@@ -1,0 +1,64 @@
+"""Ablation — does local-search post-optimization help the paper's
+approximation algorithms in practice?
+
+Compares each approximation with and without the improvement pass on a
+common batch of forest instances, reporting mean side-effect and how
+often each variant reaches the exact optimum.
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core import (
+    improve,
+    solve_exact,
+    solve_general,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+)
+from repro.workloads import random_star_problem
+
+
+def _compare(seeds):
+    solvers = [
+        ("primal-dual", solve_primal_dual),
+        ("lowdeg sweep", solve_lowdeg_tree_sweep),
+        ("claim1", solve_general),
+    ]
+    rows = []
+    for name, solver in solvers:
+        plain_cost = polished_cost = 0.0
+        plain_opt = polished_opt = 0
+        for seed in seeds:
+            problem = random_star_problem(
+                random.Random(seed), num_leaves=3, center_facts=3,
+                leaf_facts=5, num_queries=3,
+            )
+            optimum = solve_exact(problem).side_effect()
+            plain = solver(problem)
+            polished = improve(plain)
+            plain_cost += plain.side_effect()
+            polished_cost += polished.side_effect()
+            plain_opt += abs(plain.side_effect() - optimum) < 1e-9
+            polished_opt += abs(polished.side_effect() - optimum) < 1e-9
+            assert polished.side_effect() <= plain.side_effect() + 1e-9
+        rows.append(
+            {
+                "solver": name,
+                "mean_plain": round(plain_cost / len(seeds), 3),
+                "mean_polished": round(polished_cost / len(seeds), 3),
+                "optimal_plain": f"{plain_opt}/{len(seeds)}",
+                "optimal_polished": f"{polished_opt}/{len(seeds)}",
+            }
+        )
+    return rows
+
+
+def test_ablation_local_search(benchmark):
+    rows = benchmark.pedantic(
+        _compare, args=(range(400, 408),), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Ablation — local-search post-pass"))
+    for row in rows:
+        assert row["mean_polished"] <= row["mean_plain"] + 1e-9

@@ -1,0 +1,103 @@
+"""Ablation — solver head-to-head across workload families.
+
+Not a single paper artifact but the design-choice ablation DESIGN.md
+calls out: how much quality does each algorithmic ingredient buy?
+Compares, per family, the exact optimum, the two forest algorithms,
+the general RBSC pipeline, and the greedy baselines on the same seeds.
+"""
+
+import random
+import time
+
+from repro.bench import format_table
+from repro.core import (
+    solve_dp_tree,
+    solve_exact,
+    solve_general,
+    solve_greedy_max_coverage,
+    solve_greedy_min_damage,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+)
+from repro.workloads import random_chain_problem, random_star_problem
+
+
+def _family_comparison(make_problem, solvers, seeds):
+    rows = []
+    for name, solver in solvers:
+        total_cost = 0.0
+        total_time = 0.0
+        optimal_hits = 0
+        for seed in seeds:
+            problem = make_problem(random.Random(seed))
+            optimum = solve_exact(problem).side_effect()
+            start = time.perf_counter()
+            solution = solver(problem)
+            total_time += time.perf_counter() - start
+            total_cost += solution.side_effect()
+            if abs(solution.side_effect() - optimum) < 1e-9:
+                optimal_hits += 1
+        rows.append(
+            {
+                "solver": name,
+                "mean_side_effect": round(total_cost / len(seeds), 3),
+                "optimal_on": f"{optimal_hits}/{len(seeds)}",
+                "total_seconds": round(total_time, 4),
+            }
+        )
+    return rows
+
+
+def test_ablation_chain_family(benchmark):
+    seeds = range(200, 206)
+
+    def run():
+        return _family_comparison(
+            lambda rng: random_chain_problem(
+                rng, num_relations=3, facts_per_relation=6, num_queries=3
+            ),
+            [
+                ("exact", solve_exact),
+                ("dp-tree (Alg 4)", solve_dp_tree),
+                ("primal-dual (Alg 1)", solve_primal_dual),
+                ("lowdeg sweep (Alg 3)", solve_lowdeg_tree_sweep),
+                ("claim1 pipeline", solve_general),
+                ("greedy min-damage", solve_greedy_min_damage),
+                ("greedy max-coverage", solve_greedy_max_coverage),
+            ],
+            seeds,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation — chain family (pivot class)"))
+    by_name = {r["solver"]: r for r in rows}
+    assert by_name["dp-tree (Alg 4)"]["optimal_on"] == by_name["exact"]["optimal_on"]
+
+
+def test_ablation_star_family(benchmark):
+    seeds = range(300, 306)
+
+    def run():
+        return _family_comparison(
+            lambda rng: random_star_problem(
+                rng, num_leaves=3, center_facts=3, leaf_facts=5, num_queries=3
+            ),
+            [
+                ("exact", solve_exact),
+                ("primal-dual (Alg 1)", solve_primal_dual),
+                ("lowdeg sweep (Alg 3)", solve_lowdeg_tree_sweep),
+                ("claim1 pipeline", solve_general),
+                ("greedy min-damage", solve_greedy_min_damage),
+            ],
+            seeds,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation — star family (forest, no pivot)"))
+    exact_mean = next(
+        r["mean_side_effect"] for r in rows if r["solver"] == "exact"
+    )
+    for r in rows:
+        assert r["mean_side_effect"] + 1e-9 >= exact_mean

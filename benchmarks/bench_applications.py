@@ -1,0 +1,32 @@
+"""E11 — Section V applications.
+
+Batch vs sequential query-oriented cleaning, and annotation-candidate
+shrinkage as evidence accumulates across views.
+"""
+
+import random
+
+from repro.apps import DirtyOracle, QueryOrientedCleaner
+from repro.bench import e11_applications
+from repro.workloads import random_star_problem
+
+
+def test_e11_applications(benchmark, report):
+    result = benchmark.pedantic(
+        e11_applications, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_batch_cleaning(benchmark):
+    """Micro-bench: one batch cleaning round on a star workload."""
+    rng = random.Random(10)
+    problem = random_star_problem(
+        rng, num_leaves=3, center_facts=4, leaf_facts=8, num_queries=3,
+        delta_fraction=0.0,
+    )
+    facts = sorted(problem.instance.facts())
+    oracle = DirtyOracle(rng.sample(facts, 3))
+    cleaner = QueryOrientedCleaner(problem.instance, problem.queries, oracle)
+    outcome = benchmark(cleaner.clean_batch)
+    assert 0.0 <= outcome.precision <= 1.0

@@ -1,0 +1,59 @@
+"""Realistic-workload bench — the scaled Fig. 1 bibliography.
+
+Characterizes the Zipf-skewed bibliographic workload (statistics table)
+and reports the source/view trade-off curve, the two objectives side
+by side, and solver wall-clock at a realistic size.
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core import (
+    pareto_front,
+    solve_exact,
+    solve_source_exact,
+    source_cost,
+    workload_statistics,
+)
+from repro.workloads import random_bibliography_problem
+
+
+def _problem():
+    return random_bibliography_problem(
+        random.Random(16),
+        num_authors=8,
+        num_journals=4,
+        num_topics=3,
+        include_q3=False,
+        delta_fraction=0.2,
+    )
+
+
+def test_bibliography_statistics(benchmark):
+    problem = _problem()
+    stats = benchmark(workload_statistics, problem)
+    print()
+    print(format_table(stats.as_rows(), title=f"workload: {problem!r}"))
+    assert stats.key_preserving
+    assert stats.max_fan_out >= 1
+
+
+def test_bibliography_pareto_front(benchmark):
+    problem = _problem()
+    points = benchmark.pedantic(
+        pareto_front, args=(problem,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            [
+                {"deletions": p.deletions, "side_effect": p.side_effect}
+                for p in points
+            ],
+            title="source/view Pareto front",
+        )
+    )
+    view_opt = solve_exact(problem)
+    source_opt = solve_source_exact(problem)
+    assert points[-1].side_effect == view_opt.side_effect()
+    assert points[0].deletions <= source_cost(source_opt)

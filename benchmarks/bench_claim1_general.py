@@ -1,0 +1,26 @@
+"""E4 — Claim 1 general-case approximation.
+
+Measures the RBSC-pipeline approximation ratio against the exact
+optimum on general (non-forest, Theorem 1-shaped) instances and checks
+it against the 2·sqrt(l·‖V‖·log‖ΔV‖) bound.
+"""
+
+import random
+
+from repro.bench import e4_claim1_ratio
+from repro.core import solve_general
+from repro.workloads import random_general_problem
+
+
+def test_e4_claim1_ratio(benchmark, report):
+    result = benchmark.pedantic(
+        e4_claim1_ratio, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_claim1_solver(benchmark):
+    """Micro-bench: the Claim 1 pipeline on a fixed general instance."""
+    problem = random_general_problem(random.Random(4))
+    solution = benchmark(solve_general, problem)
+    assert solution.is_feasible()

@@ -1,0 +1,42 @@
+"""E12 — extension guarantees (DESIGN.md §5).
+
+LP rounding within l², randomized rounding feasibility, local-search
+monotonicity, and incremental-maintenance agreement, validated on
+random hypertree workloads.
+"""
+
+import random
+
+from repro.bench import e12_extensions
+from repro.core import solve_lp_rounding, solve_randomized_rounding
+from repro.workloads import random_forest_problem
+
+
+def test_e12_extensions(benchmark, report):
+    result = benchmark.pedantic(
+        e12_extensions, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_lp_rounding_solver(benchmark):
+    problem = random_forest_problem(
+        random.Random(13), num_relations=4, facts_per_relation=8,
+        num_queries=4,
+    )
+    solution = benchmark(solve_lp_rounding, problem)
+    assert solution.is_feasible()
+
+
+def test_bench_randomized_rounding_solver(benchmark):
+    problem = random_forest_problem(
+        random.Random(14), num_relations=4, facts_per_relation=8,
+        num_queries=4,
+    )
+    solution = benchmark.pedantic(
+        solve_randomized_rounding,
+        args=(problem, random.Random(5)),
+        rounds=3,
+        iterations=1,
+    )
+    assert solution.is_feasible()

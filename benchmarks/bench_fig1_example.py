@@ -1,0 +1,24 @@
+"""E1 — Fig. 1 worked example (paper Section II.C).
+
+Regenerates the bibliographic example: minimum view side-effect 1 for
+ΔV = (John, XML) on Q3, both paper solutions optimal, and the Q4
+single-fact deletion enabled by key preservation.
+"""
+
+from repro.bench import e1_fig1_example
+from repro.core import solve_exact
+from repro.workloads import figure1_problem
+
+
+def test_e1_fig1_example(benchmark, report):
+    result = benchmark.pedantic(
+        e1_fig1_example, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(result)
+
+
+def test_bench_fig1_exact_solve(benchmark):
+    """Micro-bench: exact solve of the Fig. 1 Q3 problem."""
+    problem = figure1_problem()
+    solution = benchmark(solve_exact, problem)
+    assert solution.side_effect() == 1.0

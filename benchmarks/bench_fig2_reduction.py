@@ -1,0 +1,25 @@
+"""E2 — Theorem 1 reduction (Fig. 2).
+
+Regenerates the RBSC → VSE construction on the Fig. 2 instance and
+random RBSC instances, asserting exact cost preservation
+(OPT_RBSC = OPT_VSE), and times both the reduction and the exact solve
+of the reduced instance.
+"""
+
+from repro.bench import e2_theorem1_reduction
+from repro.reductions import rbsc_to_vse
+from repro.workloads import figure2_rbsc
+
+
+def test_e2_theorem1_reduction(benchmark, report):
+    result = benchmark.pedantic(
+        e2_theorem1_reduction, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(result)
+
+
+def test_bench_fig2_construction(benchmark):
+    """Micro-bench: building the Theorem 1 instance from Fig. 2."""
+    rbsc = figure2_rbsc()
+    reduction = benchmark(rbsc_to_vse, rbsc)
+    assert reduction.problem.norm_delta_v == 3

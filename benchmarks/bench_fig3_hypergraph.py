@@ -1,0 +1,28 @@
+"""E3 — Fig. 3 dual hypergraphs.
+
+Regenerates the hypertree classification of the paper's three query
+sets and times the dual-hypergraph + hypertree machinery.
+"""
+
+from repro.bench import e3_fig3_hypergraphs
+from repro.hypergraph import dual_hypergraph, is_hypertree
+from repro.workloads import figure3_query_sets
+
+
+def test_e3_fig3_hypergraphs(benchmark, report):
+    result = benchmark.pedantic(
+        e3_fig3_hypergraphs, rounds=5, iterations=1, warmup_rounds=1
+    )
+    report(result)
+
+
+def test_bench_hypertree_check(benchmark):
+    """Micro-bench: the dual-of-dual α-acyclicity hypertree test."""
+    queries = figure3_query_sets()["Q1"]
+
+    def classify():
+        graph = dual_hypergraph(queries)
+        return [is_hypertree(c) for c in graph.connected_components()]
+
+    outcome = benchmark(classify)
+    assert outcome == [False]

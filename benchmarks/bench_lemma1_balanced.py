@@ -1,0 +1,29 @@
+"""E9 — Theorem 2 reduction + Lemma 1 balanced approximation.
+
+Asserts PN-PSC ⇄ balanced-VSE cost preservation and the
+2·sqrt(l·(‖V‖+‖ΔV‖)·log‖ΔV‖) ratio of the balanced pipeline, and
+micro-benchmarks the balanced solver.
+"""
+
+import random
+
+from repro.bench import e9_lemma1_balanced
+from repro.core import solve_balanced
+from repro.workloads import random_chain_problem
+
+
+def test_e9_lemma1_balanced(benchmark, report):
+    result = benchmark.pedantic(
+        e9_lemma1_balanced, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_balanced_solver(benchmark):
+    """Micro-bench: the Lemma 1 pipeline on a balanced chain problem."""
+    problem = random_chain_problem(
+        random.Random(9), num_relations=4, facts_per_relation=20,
+        num_queries=4, balanced=True,
+    )
+    solution = benchmark(solve_balanced, problem)
+    assert solution.balanced_cost() >= 0.0

@@ -1,0 +1,31 @@
+"""E8 — Proposition 1: runtime scaling of Algorithm 1.
+
+Sweeps the instance size and fits the wall-clock growth exponent of
+PrimeDualVSE, asserting it stays inside Proposition 1's polynomial
+envelope O(l·‖ΔV‖²·‖V‖ + ‖V‖⁴).
+"""
+
+import random
+
+from repro.bench import e8_prop1_scaling
+from repro.core import solve_primal_dual
+from repro.workloads import random_chain_problem
+
+
+def test_e8_prop1_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        e8_prop1_scaling, rounds=2, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_primal_dual_512_facts(benchmark):
+    """Micro-bench: the largest point of the E8 sweep, isolated."""
+    problem = random_chain_problem(
+        random.Random(8), num_relations=3, facts_per_relation=512,
+        num_queries=3, delta_fraction=0.1,
+    )
+    solution = benchmark.pedantic(
+        solve_primal_dual, args=(problem,), rounds=3, iterations=1
+    )
+    assert solution.is_feasible()

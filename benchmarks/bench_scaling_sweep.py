@@ -1,0 +1,62 @@
+"""Scaling sweep — wall-clock of every polynomial solver vs instance
+size, with the exact ILP as the reference that eventually falls behind.
+
+The paper's value proposition is asymptotic: the approximation
+algorithms stay polynomial where exact search explodes.  This sweep
+grows a chain workload and reports per-solver wall-clock, demonstrating
+where the crossover lands on this implementation.
+"""
+
+import random
+import time
+
+from repro.bench import format_table
+from repro.core import (
+    solve_dp_tree,
+    solve_exact_ilp,
+    solve_general,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+)
+from repro.workloads import random_chain_problem
+
+SOLVERS = [
+    ("dp-tree (Alg 4)", solve_dp_tree),
+    ("primal-dual (Alg 1)", solve_primal_dual),
+    ("lowdeg sweep (Alg 3)", solve_lowdeg_tree_sweep),
+    ("claim1 pipeline", solve_general),
+    ("exact ILP", solve_exact_ilp),
+]
+
+
+def _sweep(sizes):
+    rows = []
+    for facts in sizes:
+        problem = random_chain_problem(
+            random.Random(15),
+            num_relations=3,
+            facts_per_relation=facts,
+            num_queries=3,
+            delta_fraction=0.1,
+        )
+        row = {"facts_per_relation": facts, "norm_v": problem.norm_v}
+        costs = {}
+        for name, solver in SOLVERS:
+            start = time.perf_counter()
+            solution = solver(problem)
+            row[name] = round(time.perf_counter() - start, 4)
+            costs[name] = solution.side_effect()
+        # approximation quality sanity: nobody beats the exact ILP
+        for name, cost in costs.items():
+            assert cost + 1e-9 >= costs["exact ILP"], (name, costs)
+        rows.append(row)
+    return rows
+
+
+def test_scaling_sweep(benchmark):
+    rows = benchmark.pedantic(
+        _sweep, args=((8, 24, 72),), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Wall-clock (s) by solver and size"))
+    assert len(rows) == 3

@@ -1,0 +1,81 @@
+"""Ablation — source vs. view side-effect objectives.
+
+The paper's Tables II–III cover the *source* objective, IV–V the *view*
+objective.  This bench runs both exact solvers on the same instances
+and reports how often they disagree (a source-minimal repair can be
+view-expensive and vice versa), plus the resilience of the workload
+queries — grounding the two halves of the complexity landscape in data.
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core import (
+    resilience,
+    solve_exact,
+    solve_source_exact,
+    source_cost,
+)
+from repro.workloads import random_bibliography_problem, random_forest_problem
+
+
+def _compare(seeds):
+    rows = []
+    disagreements = 0
+    for seed in seeds:
+        rng = random.Random(seed)
+        problem = (
+            random_forest_problem(rng)
+            if seed % 2
+            else random_bibliography_problem(
+                rng, num_authors=6, num_journals=3, include_q3=False
+            )
+        )
+        view_opt = solve_exact(problem)
+        source_opt = solve_source_exact(problem)
+        differs = view_opt.side_effect() != source_opt.side_effect() or (
+            source_cost(view_opt) != source_cost(source_opt)
+        )
+        disagreements += differs
+        rows.append(
+            {
+                "seed": seed,
+                "view_opt_side_effect": view_opt.side_effect(),
+                "view_opt_deletions": source_cost(view_opt),
+                "source_opt_side_effect": source_opt.side_effect(),
+                "source_opt_deletions": source_cost(source_opt),
+                "objectives_differ": differs,
+            }
+        )
+    return rows, disagreements
+
+
+def test_source_vs_view_objectives(benchmark):
+    rows, _ = benchmark.pedantic(
+        _compare, args=(range(500, 508),), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Source vs view side-effect optima"))
+    for row in rows:
+        # source optimum never deletes more facts than the view optimum
+        assert (
+            row["source_opt_deletions"] <= row["view_opt_deletions"] + 1e-9
+        )
+        # view optimum never loses more view tuples than the source one
+        assert (
+            row["view_opt_side_effect"]
+            <= row["source_opt_side_effect"] + 1e-9
+        )
+
+
+def test_bench_resilience(benchmark):
+    """Micro-bench: resilience of a forest workload's first query."""
+    rng = random.Random(11)
+    problem = random_forest_problem(rng, facts_per_relation=4)
+    query = problem.queries[0]
+
+    def run():
+        return resilience(query, problem.instance)
+
+    size, facts = benchmark(run)
+    assert size == len(facts)

@@ -1,0 +1,53 @@
+"""E10 — Tables II–V: complexity-landscape regeneration.
+
+Classifies representative queries against every predicate-bearing row
+of the paper's complexity tables and prints the regenerated tables.
+"""
+
+from repro.bench import e10_complexity_tables, format_table
+from repro.core.classify import (
+    PAPER_RESULTS,
+    TABLE_II,
+    TABLE_III,
+    TABLE_IV,
+    TABLE_V,
+    verdict,
+)
+from repro.workloads import figure1_queries, figure1_schema
+
+
+def test_e10_complexity_tables(benchmark, report):
+    result = benchmark.pedantic(
+        e10_complexity_tables, rounds=5, iterations=1, warmup_rounds=1
+    )
+    report(result)
+    # Also print the full static tables as the paper lays them out.
+    for name, rows in (
+        ("Table II", TABLE_II),
+        ("Table III", TABLE_III),
+        ("Table IV", TABLE_IV),
+        ("Table V", TABLE_V),
+        ("This paper", PAPER_RESULTS),
+    ):
+        print()
+        print(
+            format_table(
+                [
+                    {
+                        "complexity": r.complexity,
+                        "citation": r.citation,
+                        "query class": r.query_class,
+                    }
+                    for r in rows
+                ],
+                title=name,
+            )
+        )
+
+
+def test_bench_classifier(benchmark):
+    """Micro-bench: full landscape verdict for the Fig. 1 queries."""
+    schema = figure1_schema()
+    queries = list(figure1_queries(schema))
+    rows = benchmark(verdict, queries)
+    assert rows is not None

@@ -1,0 +1,28 @@
+"""E5 — Theorem 3: PrimeDualVSE l-approximation on forests.
+
+Measures feasibility and the l-ratio of Algorithm 1 against the exact
+optimum over chain and star forest instances.
+"""
+
+import random
+
+from repro.bench import e5_theorem3_ratio
+from repro.core import solve_primal_dual
+from repro.workloads import random_chain_problem
+
+
+def test_e5_theorem3_ratio(benchmark, report):
+    result = benchmark.pedantic(
+        e5_theorem3_ratio, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_primal_dual_solver(benchmark):
+    """Micro-bench: one PrimeDualVSE run on a mid-size chain."""
+    problem = random_chain_problem(
+        random.Random(5), num_relations=4, facts_per_relation=30,
+        num_queries=4, delta_fraction=0.15,
+    )
+    solution = benchmark(solve_primal_dual, problem)
+    assert solution.is_feasible()

@@ -1,0 +1,29 @@
+"""E6 — Theorem 4: LowDegTreeVSETwo 2·sqrt(‖V‖)-approximation.
+
+Measures the τ-sweep algorithm's ratio against the exact optimum and
+compares it head-to-head with PrimeDualVSE (the paper: "sometimes
+better than factor l").
+"""
+
+import random
+
+from repro.bench import e6_theorem4_ratio
+from repro.core import solve_lowdeg_tree_sweep
+from repro.workloads import random_star_problem
+
+
+def test_e6_theorem4_ratio(benchmark, report):
+    result = benchmark.pedantic(
+        e6_theorem4_ratio, rounds=3, iterations=1, warmup_rounds=0
+    )
+    report(result)
+
+
+def test_bench_lowdeg_sweep_solver(benchmark):
+    """Micro-bench: the full τ sweep on a fixed star instance."""
+    problem = random_star_problem(
+        random.Random(6), num_leaves=3, center_facts=4, leaf_facts=8,
+        num_queries=4,
+    )
+    solution = benchmark(solve_lowdeg_tree_sweep, problem)
+    assert solution.is_feasible()

@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` file regenerates one paper artifact (figure, table, or
+proven bound) via :mod:`repro.bench.experiments`, prints the comparison
+table (run pytest with ``-s`` to see it), asserts the reproduction
+verdict, and times the regeneration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_experiment
+
+
+@pytest.fixture
+def report():
+    """Print an experiment result table and assert its verdict."""
+
+    def _report(result):
+        print()
+        print(format_experiment(result))
+        assert result.passed, f"{result.experiment_id} failed: {result.conclusion}"
+        return result
+
+    return _report

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Tour of the complexity landscape (paper Tables II–V).
+
+Classifies a gallery of conjunctive queries with the machine-checkable
+predicates behind the paper's complexity tables — project/self-join
+freedom, key preservation, head domination, triads, hierarchy, and
+their FD-relativized variants — and prints, per query, the landscape
+rows that apply.
+
+Run:  python examples/complexity_tour.py
+"""
+
+from repro.core.classify import classification_flags, verdict
+from repro.relational import FunctionalDependency, parse_query, render_queries
+
+GALLERY = [
+    ("select-join (project-free)",
+     "Qa(x, y, z) :- T1(x, y), T2(y, z)", []),
+    ("key-preserving with projection",
+     "Qb(y1, y2, w) :- T1(y1, x), T2(y2, w)", []),
+    ("non-key-preserving (key projected away)",
+     "Qc(z) :- T1(y, z), T2(z, w)", []),
+    ("the paper's §IV.B example: key-preserving, no head domination",
+     "Qd(y1, y2) :- T1(y1, x), T2(x, y2)", []),
+    ("same query, rescued by the FD T2.b → T2.a",
+     "Qd(y1, y2) :- T1(y1, x), T2(x, y2)",
+     [FunctionalDependency("T2", lhs=[1], rhs=[0])]),
+    ("triangle (has a triad — hard resilience)",
+     "Qe(x, y, z) :- R(x, y), S(y, z), T(z, x)", []),
+    ("chain (triad-free, hierarchical-free join)",
+     "Qf(x, z) :- R(x, y), S(y, z)", []),
+]
+
+
+def main() -> None:
+    for title, text, fds in GALLERY:
+        query = parse_query(text)
+        print("=" * 70)
+        print(title)
+        print(render_queries([query]))
+        if fds:
+            print(f"  with FDs: {fds}")
+        flags = classification_flags([query], fds)
+        interesting = {k: v for k, v in sorted(flags.items())
+                       if k != "multiple_queries"}
+        print("  flags: " + ", ".join(
+            f"{name}={value}" for name, value in interesting.items()
+        ))
+        rows = verdict([query], fds)
+        if rows:
+            print("  landscape rows:")
+            for row in rows:
+                print(f"    [{row.table}] {row.complexity} — "
+                      f"{row.query_class} ({row.citation})")
+        else:
+            print("  landscape rows: none of the predicate-bearing rows")
+        print()
+
+    # The multi-query punchline of the paper:
+    q1 = parse_query("Qa(x, y, z) :- T1(x, y), T2(y, z)")
+    q2 = parse_query("Qh(u, v, w) :- T1(u, v), T2(v, w)")
+    print("=" * 70)
+    print("TWO project-free queries together (the paper's Theorem 1 class):")
+    for row in verdict([q1, q2]):
+        if row.table == "paper":
+            print(f"  {row.complexity}")
+
+
+if __name__ == "__main__":
+    main()

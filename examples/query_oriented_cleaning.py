@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Query-oriented data cleaning (paper Section V).
+
+Scenario: a product catalog with injected dirty rows.  Analysts run
+three overlapping queries; a domain-expert oracle flags wrong answers.
+The cleaner translates the flagged answers back into source deletions —
+once processing all feedback as a single multi-query batch (this
+paper's setting) and once view-by-view (QOCO-style sequential).
+
+Run:  python examples/query_oriented_cleaning.py
+"""
+
+import random
+
+from repro.apps import DirtyOracle, QueryOrientedCleaner
+from repro.relational import Fact, Instance, Key, RelationSchema, Schema, parse_queries
+
+
+def build_catalog(rng: random.Random) -> tuple[Instance, list]:
+    schema = Schema(
+        [
+            RelationSchema("Supplier", ("sid", "region"), Key((0,))),
+            RelationSchema("Product", ("pid", "sid"), Key((0,))),
+            RelationSchema("Listing", ("lid", "pid"), Key((0,))),
+        ]
+    )
+    instance = Instance(schema)
+    for s in range(4):
+        instance.add(Fact("Supplier", (f"s{s}", f"region{s % 2}")))
+    for p in range(10):
+        instance.add(Fact("Product", (f"p{p}", f"s{rng.randrange(4)}")))
+    for l in range(14):
+        instance.add(Fact("Listing", (f"l{l}", f"p{rng.randrange(10)}")))
+    queries = parse_queries(
+        [
+            # all project-free, hence key-preserving
+            "BySupplier(p, s, r) :- Product(p, s), Supplier(s, r)",
+            "ByListing(l, p, s) :- Listing(l, p), Product(p, s)",
+            "Full(l, p, s, r) :- Listing(l, p), Product(p, s), Supplier(s, r)",
+        ],
+        schema,
+    )
+    return instance, queries
+
+
+def main() -> None:
+    rng = random.Random(2019)
+    instance, queries = build_catalog(rng)
+
+    # Inject ground truth: three dirty source rows.
+    facts = sorted(instance.facts())
+    dirty = rng.sample(facts, 3)
+    print("ground-truth dirty facts:")
+    for fact in dirty:
+        print(f"  {fact!r}")
+    oracle = DirtyOracle(dirty)
+
+    cleaner = QueryOrientedCleaner(instance, queries, oracle)
+    feedback = cleaner.collect_feedback()
+    total = sum(len(v) for v in feedback.values())
+    print(f"\noracle flagged {total} wrong view tuples across "
+          f"{len(feedback)} views")
+
+    batch = cleaner.clean_batch()
+    sequential = cleaner.clean_sequential()
+
+    print("\n                    batch    sequential")
+    print(f"deleted facts     {len(batch.deleted_facts):7d} {len(sequential.deleted_facts):11d}")
+    print(f"precision         {batch.precision:7.2f} {sequential.precision:11.2f}")
+    print(f"recall            {batch.recall:7.2f} {sequential.recall:11.2f}")
+    print(f"collateral tuples {batch.collateral_view_tuples:7d} "
+          f"{sequential.collateral_view_tuples:11d}")
+
+    assert batch.collateral_view_tuples <= sequential.collateral_view_tuples, (
+        "batch processing should not lose more correct answers"
+    )
+    print("\nbatch processing caused no more collateral damage than the "
+          "order-dependent sequential loop — the multi-query guarantee "
+          "the paper provides.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is configured via pyproject.toml; this file only enables
+legacy editable installs (`pip install -e .`) on offline machines where
+PEP 660 editable builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of *Deletion Propagation for Multiple Key
+Preserving Conjunctive Queries: Approximations and Complexity*
+(Cai, Miao, Li — ICDE 2019).
+
+The package implements the paper's primary contribution — approximation
+algorithms and exact tractable cases for the multi-view view-side-effect
+deletion propagation problem — together with every substrate it relies
+on: a relational engine with conjunctive-query evaluation and provenance,
+a hypergraph/acyclicity toolkit, red-blue and positive-negative set-cover
+solvers, LP formulations, the hardness reductions, workload generators,
+and the applications sketched in the paper (annotation propagation and
+query-oriented cleaning).
+
+Quickstart
+----------
+
+>>> from repro import quickstart_example
+>>> problem, result = quickstart_example()
+>>> result.side_effect()
+1.0
+
+See ``examples/quickstart.py`` and README.md for the full tour.
+"""
+
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.registry import available_solvers, solve
+from repro.core.solution import Propagation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancedDeletionPropagationProblem",
+    "DeletionPropagationProblem",
+    "Propagation",
+    "available_solvers",
+    "quickstart_example",
+    "solve",
+]
+
+
+def quickstart_example():
+    """Build the paper's Fig. 1 example and solve it with the default
+    solver.  Returns ``(problem, propagation)``."""
+    from repro.workloads.paper_examples import figure1_problem
+
+    problem = figure1_problem()
+    return problem, solve(problem)

@@ -1,0 +1,19 @@
+"""Applications of deletion propagation (paper Section V): annotation
+propagation, query-oriented cleaning, and database debugging."""
+
+from repro.apps.annotation import AnnotationPropagator, AnnotationReport
+from repro.apps.cleaning import CleaningOutcome, DirtyOracle, QueryOrientedCleaner
+from repro.apps.debugging import RepairSuggestion, top_k_repairs
+from repro.apps.view_update import InsertionPlan, propagate_insertion
+
+__all__ = [
+    "AnnotationPropagator",
+    "AnnotationReport",
+    "CleaningOutcome",
+    "DirtyOracle",
+    "InsertionPlan",
+    "QueryOrientedCleaner",
+    "RepairSuggestion",
+    "propagate_insertion",
+    "top_k_repairs",
+]

@@ -1,0 +1,188 @@
+"""Query-oriented cleaning (paper Section V, "Query-oriented cleaning").
+
+A QOCO-style loop: user queries materialize views, an oracle (crowd or
+domain expert) flags wrong answers, and the cleaner translates the
+flagged answers into source-tuple deletions.  The paper's point is that
+**batch** processing of feedback across all queries — enabled by its
+multi-query guarantees — beats the **sequential** one-query-at-a-time
+processing whose outcome depends on the processing order and compounds
+collateral damage.
+
+* :class:`DirtyOracle` — ground truth: a set of dirty source facts; a
+  view tuple is wrong iff some witness fact is dirty.
+* :class:`QueryOrientedCleaner` — collects feedback, then cleans either
+  in batch (one multi-query deletion-propagation problem) or
+  sequentially (one single-query problem per view, applying deletions
+  between steps).  Both report precision/recall against the dirty set
+  and the collateral damage on correct view tuples (E11 compares them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.registry import solve
+
+__all__ = ["DirtyOracle", "CleaningOutcome", "QueryOrientedCleaner"]
+
+
+class DirtyOracle:
+    """Ground-truth oracle: knows which source facts are dirty."""
+
+    def __init__(self, dirty_facts: Iterable[Fact]):
+        self.dirty_facts = frozenset(dirty_facts)
+
+    def is_wrong(
+        self, problem: DeletionPropagationProblem, vt: ViewTuple
+    ) -> bool:
+        """A view tuple is flagged wrong when every derivation uses at
+        least one dirty fact (an answer with a clean derivation is a
+        correct answer)."""
+        return all(
+            witness & self.dirty_facts for witness in problem.witnesses(vt)
+        )
+
+
+@dataclass(frozen=True)
+class CleaningOutcome:
+    """Metrics of one cleaning run."""
+
+    deleted_facts: frozenset[Fact]
+    true_positives: int
+    false_positives: int
+    missed_dirty: int
+    collateral_view_tuples: int
+    feedback_size: int
+
+    @property
+    def precision(self) -> float:
+        found = self.true_positives + self.false_positives
+        return self.true_positives / found if found else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = self.true_positives + self.missed_dirty
+        return self.true_positives / total if total else 1.0
+
+
+class QueryOrientedCleaner:
+    """Feedback-driven cleaner over a fixed query workload."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        queries: Sequence[ConjunctiveQuery],
+        oracle: DirtyOracle,
+    ):
+        self.instance = instance
+        self.queries = tuple(queries)
+        self.oracle = oracle
+
+    # ------------------------------------------------------------------
+
+    def collect_feedback(
+        self, instance: Instance | None = None
+    ) -> dict[str, list[tuple]]:
+        """Ask the oracle about every view tuple; return the wrong ones
+        per view (the ΔV of the cleaning problem)."""
+        instance = instance or self.instance
+        probe = DeletionPropagationProblem(instance, self.queries, {})
+        feedback: dict[str, list[tuple]] = {}
+        for vt in probe.all_view_tuples():
+            if self.oracle.is_wrong(probe, vt):
+                feedback.setdefault(vt.view, []).append(vt.values)
+        return feedback
+
+    def _outcome(
+        self,
+        deleted: frozenset[Fact],
+        collateral: int,
+        feedback_size: int,
+    ) -> CleaningOutcome:
+        dirty = self.oracle.dirty_facts
+        return CleaningOutcome(
+            deleted_facts=deleted,
+            true_positives=len(deleted & dirty),
+            false_positives=len(deleted - dirty),
+            missed_dirty=len(dirty - deleted),
+            collateral_view_tuples=collateral,
+            feedback_size=feedback_size,
+        )
+
+    def clean_batch(self, method: str = "auto") -> CleaningOutcome:
+        """One multi-query problem over all feedback at once."""
+        feedback = self.collect_feedback()
+        size = sum(len(v) for v in feedback.values())
+        if not feedback:
+            return self._outcome(frozenset(), 0, 0)
+        problem = DeletionPropagationProblem(
+            self.instance, self.queries, feedback
+        )
+        solution = solve(problem, method=method)
+        return self._outcome(
+            solution.deleted_facts, len(solution.collateral), size
+        )
+
+    def clean_iteratively(
+        self, max_rounds: int = 5, method: str = "auto"
+    ) -> tuple[CleaningOutcome, int]:
+        """Interactive loop: batch-clean, apply, re-ask the oracle, and
+        repeat until no feedback remains (or ``max_rounds``).  Returns
+        the cumulative outcome and the number of rounds used.
+
+        A single batch round can miss dirt that only becomes visible
+        once other wrong answers are gone (for projecting queries, a
+        wrong answer may be masked by a clean alternative derivation);
+        the loop converges because the instance strictly shrinks."""
+        current = self.instance.copy()
+        deleted: set[Fact] = set()
+        collateral = 0
+        feedback_size = 0
+        rounds = 0
+        for _ in range(max_rounds):
+            feedback = self.collect_feedback(current)
+            if not feedback:
+                break
+            rounds += 1
+            feedback_size += sum(len(v) for v in feedback.values())
+            problem = DeletionPropagationProblem(
+                current, self.queries, feedback
+            )
+            solution = solve(problem, method=method)
+            collateral += len(solution.collateral)
+            deleted.update(solution.deleted_facts)
+            current = current.without(solution.deleted_facts)
+        outcome = self._outcome(
+            frozenset(deleted), collateral, feedback_size
+        )
+        return outcome, rounds
+
+    def clean_sequential(self, method: str = "auto") -> CleaningOutcome:
+        """QOCO-style: process one view's feedback at a time, applying
+        the deletions before moving to the next view.  Order-dependent
+        (views are processed in name order) and unaware of cross-view
+        evidence."""
+        current = self.instance.copy()
+        deleted: set[Fact] = set()
+        collateral = 0
+        feedback_size = 0
+        for query in sorted(self.queries, key=lambda q: q.name):
+            feedback = self.collect_feedback(current)
+            wrong_here = feedback.get(query.name)
+            if not wrong_here:
+                continue
+            feedback_size += len(wrong_here)
+            problem = DeletionPropagationProblem(
+                current, [query], {query.name: wrong_here}
+            )
+            solution = solve(problem, method=method)
+            collateral += len(solution.collateral)
+            deleted.update(solution.deleted_facts)
+            current = current.without(solution.deleted_facts)
+        return self._outcome(frozenset(deleted), collateral, feedback_size)

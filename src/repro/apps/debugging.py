@@ -1,0 +1,125 @@
+"""Database debugging (paper Section V / [32]'s motivating task).
+
+Given wrong tuples identified in query results, suggest alternative
+source-level repairs ranked by view side-effect, so a developer can
+inspect several minimal explanations rather than one arbitrary optimum.
+
+:func:`top_k_repairs` enumerates the ``k`` cheapest *distinct* feasible
+deletion sets by a branch-and-bound over witness hitting choices (the
+same search as the exact solver, but keeping a bounded pool of the best
+leaves instead of only the optimum).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SolverError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = ["top_k_repairs", "RepairSuggestion"]
+
+
+class RepairSuggestion:
+    """One ranked repair: the deletions plus human-readable accounting."""
+
+    def __init__(self, rank: int, propagation: Propagation):
+        self.rank = rank
+        self.propagation = propagation
+
+    @property
+    def deleted_facts(self) -> frozenset[Fact]:
+        return self.propagation.deleted_facts
+
+    @property
+    def side_effect(self) -> float:
+        return self.propagation.side_effect()
+
+    def explain(self) -> str:
+        lost = sorted(self.propagation.collateral)
+        lines = [
+            f"#{self.rank}: delete {len(self.deleted_facts)} fact(s), "
+            f"side-effect {self.side_effect:g}"
+        ]
+        for fact in sorted(self.deleted_facts):
+            lines.append(f"    - {fact!r}")
+        if lost:
+            lines.append(f"    collateral: {', '.join(map(repr, lost[:5]))}")
+        return "\n".join(lines)
+
+
+def top_k_repairs(
+    instance: Instance,
+    queries: Sequence[ConjunctiveQuery],
+    wrong_tuples: Mapping[str, Iterable[tuple]],
+    k: int = 3,
+    pool_limit: int = 5000,
+) -> list[RepairSuggestion]:
+    """The ``k`` cheapest distinct repairs for the reported wrong view
+    tuples.  ``pool_limit`` bounds the number of leaves explored (the
+    search is exact within the limit; an exhausted limit raises)."""
+    if k < 1:
+        raise SolverError("k must be positive")
+    problem = DeletionPropagationProblem(instance, queries, dict(wrong_tuples))
+    requirements: list[frozenset[Fact]] = []
+    seen_requirements: set[frozenset[Fact]] = set()
+    for vt in problem.deleted_view_tuples():
+        for witness in problem.witnesses(vt):
+            if witness not in seen_requirements:
+                seen_requirements.add(witness)
+                requirements.append(witness)
+    requirements.sort(key=lambda w: (len(w), sorted(map(repr, w))))
+
+    delta = frozenset(problem.deleted_view_tuples())
+    pool: dict[frozenset[Fact], float] = {}
+    visited = 0
+
+    def cost_of(deleted: frozenset[Fact]) -> float:
+        eliminated = problem.eliminated_by(deleted)
+        return sum(
+            problem.weight(vt) for vt in eliminated if vt not in delta
+        )
+
+    deleted: set[Fact] = set()
+
+    def worst_kept() -> float:
+        if len(pool) < k:
+            return float("inf")
+        return max(pool.values())
+
+    def recurse(index: int) -> None:
+        nonlocal visited
+        visited += 1
+        if visited > pool_limit:
+            raise SolverError(
+                f"repair enumeration exceeded pool limit {pool_limit}"
+            )
+        while index < len(requirements) and requirements[index] & deleted:
+            index += 1
+        cost = cost_of(frozenset(deleted))
+        if cost > worst_kept():
+            return
+        if index == len(requirements):
+            key = frozenset(deleted)
+            pool[key] = cost
+            if len(pool) > k:
+                worst = max(pool, key=lambda s: (pool[s], len(s)))
+                del pool[worst]
+            return
+        for fact in sorted(requirements[index]):
+            deleted.add(fact)
+            recurse(index + 1)
+            deleted.discard(fact)
+
+    recurse(0)
+    ranked = sorted(pool.items(), key=lambda item: (item[1], len(item[0])))
+    return [
+        RepairSuggestion(
+            rank, Propagation(problem, facts, method="debugging-topk")
+        )
+        for rank, (facts, _) in enumerate(ranked[:k], start=1)
+    ]

@@ -1,0 +1,222 @@
+"""Insertion propagation — the other direction of view update.
+
+The paper's related-work section traces deletion propagation back to
+the classical view-update problem (Bancilhon–Spyratos, Dayal–Bernstein,
+Keller): translate a view-level change into source changes with minimal
+ambiguity and side-effect.  This module handles the *insertion* side
+for key-preserving queries, complementing the deletion machinery of
+:mod:`repro.core`:
+
+To make a tuple ``t`` appear in view ``Q(D)``:
+
+1. bind the head variables of ``Q`` from ``t`` (constants must match);
+2. **unify with the existing data**: key preservation makes every
+   atom's key fully bound, so each atom either finds its unique
+   existing fact (whose values then bind the atom's existential
+   variables — bindings cascade through shared variables until a
+   fixpoint) or must be newly created;
+3. existential variables still unbound after unification get fresh
+   *labeled nulls* (shared variables share their null — a chase step);
+   the required source facts are the instantiated atoms.  A required
+   fact that contradicts an existing fact on a *bound* position is a
+   **conflict** (the insertion would need an update, which
+   deletion/insertion semantics does not allow);
+4. the **side-effect** is every other view tuple (across all views)
+   that the new facts create, computed by delta evaluation.
+
+The result is an :class:`InsertionPlan` the caller can inspect and
+apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ViewError
+from repro.relational.cq import ConjunctiveQuery, Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.maintenance import MaintainedViewSet
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+
+__all__ = ["InsertionPlan", "propagate_insertion"]
+
+
+@dataclass(frozen=True)
+class InsertionPlan:
+    """The outcome of planning one view-tuple insertion."""
+
+    view: str
+    values: tuple
+    new_facts: tuple[Fact, ...]
+    reused_facts: tuple[Fact, ...]
+    conflicts: tuple[tuple[Fact, Fact], ...]  # (required, existing)
+    side_effects: tuple[ViewTuple, ...] = field(default=())
+
+    @property
+    def feasible(self) -> bool:
+        """Insertable without updating existing facts?"""
+        return not self.conflicts
+
+    def apply(self, instance: Instance) -> Instance:
+        """A new instance with the plan's facts inserted."""
+        if not self.feasible:
+            raise ViewError(
+                f"insertion of {self.values!r} into {self.view!r} "
+                f"conflicts with existing facts: {self.conflicts[:2]!r}"
+            )
+        out = instance.copy()
+        for fact in self.new_facts:
+            out.add(fact)
+        return out
+
+
+def _bind_head(
+    query: ConjunctiveQuery, values: tuple
+) -> dict[Variable, object]:
+    if len(values) != query.arity:
+        raise ViewError(
+            f"tuple of width {len(values)} does not fit view "
+            f"{query.name!r} of width {query.arity}"
+        )
+    assignment: dict[Variable, object] = {}
+    for term, value in zip(query.head, values):
+        if isinstance(term, Constant):
+            if term.value != value:
+                raise ViewError(
+                    f"head constant {term.value!r} cannot take value "
+                    f"{value!r}"
+                )
+            continue
+        bound = assignment.get(term)
+        if bound is None:
+            assignment[term] = value
+        elif bound != value:
+            raise ViewError(
+                f"head variable {term!r} bound inconsistently: "
+                f"{bound!r} vs {value!r}"
+            )
+    return assignment
+
+
+def propagate_insertion(
+    instance: Instance,
+    queries: Sequence[ConjunctiveQuery],
+    view_name: str,
+    values: tuple,
+    null_prefix: str = "@null",
+) -> InsertionPlan:
+    """Plan the insertion of ``values`` into view ``view_name``.
+
+    ``queries`` is the full workload: side-effects are reported across
+    *all* its views, mirroring the multi-view focus of the paper.
+    Requires the target query to be key preserving (otherwise the key
+    values of the required facts are not determined by the head).
+    """
+    query_by_name = {q.name: q for q in queries}
+    query = query_by_name.get(view_name)
+    if query is None:
+        raise ViewError(f"unknown view {view_name!r}")
+    if not query.is_key_preserving():
+        raise ViewError(
+            f"view {view_name!r} is not key preserving; the required "
+            "source facts are not determined by the head"
+        )
+    values = tuple(values)
+    assignment = _bind_head(query, values)
+    conflicts: list[tuple[Fact, Fact]] = []
+
+    def realize(atom) -> Fact:
+        row = []
+        for term in atom.terms:
+            if isinstance(term, Constant):
+                row.append(term.value)
+            else:
+                row.append(assignment.get(term))
+        return Fact(atom.relation, row)
+
+    def existing_for(atom) -> Fact | None:
+        schema = instance.schema.relation(atom.relation)
+        key_values = []
+        for position in schema.key:
+            term = atom.terms[position]
+            value = (
+                term.value
+                if isinstance(term, Constant)
+                else assignment.get(term)
+            )
+            if value is None:
+                return None  # key not yet bound (cannot happen for kp)
+            key_values.append(value)
+        return instance.lookup_by_key(atom.relation, tuple(key_values))
+
+    # Unification fixpoint: existing facts bind existential variables,
+    # possibly enabling key lookups of other atoms via shared variables.
+    changed = True
+    while changed:
+        changed = False
+        for atom in query.body:
+            existing = existing_for(atom)
+            if existing is None:
+                continue
+            for term, value in zip(atom.terms, existing.values):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        conflicts.append((realize(atom), existing))
+                    continue
+                bound = assignment.get(term)
+                if bound is None:
+                    assignment[term] = value
+                    changed = True
+                elif bound != value:
+                    conflicts.append((realize(atom), existing))
+        if conflicts:
+            break
+
+    for index, var in enumerate(sorted(query.existential_variables())):
+        if assignment.get(var) is None:
+            assignment[var] = (
+                f"{null_prefix}:{query.name}:{index}:{var.name}"
+            )
+
+    new_facts: list[Fact] = []
+    reused: list[Fact] = []
+    seen: set[Fact] = set()
+    if not conflicts:
+        for atom in query.body:
+            fact = realize(atom)
+            if fact in seen:
+                continue
+            seen.add(fact)
+            schema = instance.schema.relation(fact.relation)
+            existing = instance.lookup_by_key(
+                fact.relation, fact.key_values(schema)
+            )
+            if existing is None:
+                new_facts.append(fact)
+            elif existing == fact:
+                reused.append(existing)
+            else:
+                conflicts.append((fact, existing))
+
+    side_effects: list[ViewTuple] = []
+    if not conflicts and new_facts:
+        views = MaintainedViewSet(queries, instance)
+        appeared: dict[str, set[tuple]] = {}
+        for fact in new_facts:
+            for name, added in views.add_fact(fact).items():
+                appeared.setdefault(name, set()).update(added)
+        for name, tuples in appeared.items():
+            for added in tuples:
+                if name == view_name and added == values:
+                    continue
+                side_effects.append(ViewTuple(name, added))
+    return InsertionPlan(
+        view=view_name,
+        values=values,
+        new_facts=tuple(new_facts),
+        reused_facts=tuple(reused),
+        conflicts=tuple(conflicts),
+        side_effects=tuple(sorted(side_effects)),
+    )

@@ -1,0 +1,771 @@
+"""The reproduction experiments E1–E11 (see DESIGN.md §3).
+
+Every function regenerates one artifact of the paper — a worked example,
+a reduction, a classification, or an approximation-ratio guarantee — and
+returns an :class:`~repro.bench.harness.ExperimentResult` whose verdict
+states whether the measured behaviour matches the paper.  The
+``benchmarks/`` scripts time these functions and print their tables;
+``EXPERIMENTS.md`` records one run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.bench.harness import ExperimentResult, geometric_mean, timed
+from repro.core import (
+    claim1_bound,
+    lemma1_bound,
+    solve_balanced,
+    solve_dp_tree,
+    solve_exact,
+    solve_general,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+    theorem4_bound,
+)
+from repro.core.classify import PAPER_RESULTS, TABLE_II, TABLE_III, TABLE_IV, TABLE_V
+from repro.core.exact import solve_exact_bruteforce
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.hypergraph import dual_hypergraph, is_hypertree
+from repro.reductions import posneg_to_balanced_vse, rbsc_to_vse
+from repro.relational import FunctionalDependency, parse_query
+from repro.setcover import solve_posneg_exact, solve_rbsc_exact
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    figure2_rbsc,
+    figure3_query_sets,
+    random_chain_problem,
+    random_forest_problem,
+    random_general_problem,
+    random_posneg,
+    random_rbsc,
+    random_star_problem,
+)
+
+__all__ = [
+    "e1_fig1_example",
+    "e2_theorem1_reduction",
+    "e3_fig3_hypergraphs",
+    "e4_claim1_ratio",
+    "e5_theorem3_ratio",
+    "e6_theorem4_ratio",
+    "e7_alg4_exactness",
+    "e8_prop1_scaling",
+    "e9_lemma1_balanced",
+    "e10_complexity_tables",
+    "e11_applications",
+    "e12_extensions",
+    "all_experiments",
+]
+
+
+# ----------------------------------------------------------------------
+# E1 — Fig. 1 worked example
+# ----------------------------------------------------------------------
+
+
+def e1_fig1_example() -> ExperimentResult:
+    """Reproduce the Section II.C worked deletions on the Fig. 1
+    database."""
+    result = ExperimentResult(
+        "E1",
+        "Fig. 1 bibliographic example",
+        "ΔV=(John,XML) on Q3: minimum view side-effect 1, realized both "
+        "by {(John,TKDE),(John,TODS)} and by {(John,TKDE),(TODS,XML,30)}; "
+        "ΔV=(John,TKDE,XML) on Q4: a single-fact deletion suffices "
+        "(key-preserving witness lookup).",
+    )
+    from repro.core.solution import Propagation
+    from repro.relational import Fact
+
+    p3 = figure1_problem()
+    optimum = solve_exact(p3)
+    result.add_row(
+        case="Q3 ΔV=(John,XML)",
+        solver="exact",
+        side_effect=optimum.side_effect(),
+        feasible=optimum.is_feasible(),
+        deleted=len(optimum.deleted_facts),
+    )
+    paper_solution_a = Propagation(
+        p3, [Fact("T1", ("John", "TKDE")), Fact("T1", ("John", "TODS"))]
+    )
+    paper_solution_b = Propagation(
+        p3, [Fact("T1", ("John", "TKDE")), Fact("T2", ("TODS", "XML", 30))]
+    )
+    for label, sol in (("paper sol A", paper_solution_a),
+                       ("paper sol B", paper_solution_b)):
+        result.add_row(
+            case="Q3 ΔV=(John,XML)",
+            solver=label,
+            side_effect=sol.side_effect(),
+            feasible=sol.is_feasible(),
+            deleted=len(sol.deleted_facts),
+        )
+    p4 = figure1_problem_q4()
+    optimum4 = solve_exact(p4)
+    result.add_row(
+        case="Q4 ΔV=(John,TKDE,XML)",
+        solver="exact",
+        side_effect=optimum4.side_effect(),
+        feasible=optimum4.is_feasible(),
+        deleted=len(optimum4.deleted_facts),
+    )
+    ok = (
+        optimum.side_effect() == 1.0
+        and paper_solution_a.is_feasible()
+        and paper_solution_a.side_effect() == 1.0
+        and paper_solution_b.is_feasible()
+        and paper_solution_b.side_effect() == 1.0
+        and optimum4.is_feasible()
+        and len(optimum4.deleted_facts) == 1
+    )
+    return result.finish(
+        ok,
+        "minimum side-effect 1 on Q3 with both paper solutions optimal; "
+        "Q4 deletion handled by one fact",
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — Theorem 1 / Fig. 2 reduction
+# ----------------------------------------------------------------------
+
+
+def e2_theorem1_reduction(seed: int = 7, trials: int = 6) -> ExperimentResult:
+    """Cost preservation of the RBSC → VSE reduction (Theorem 1) on
+    Fig. 2 and random instances."""
+    result = ExperimentResult(
+        "E2",
+        "Theorem 1 reduction (Fig. 2)",
+        "Covering all blues with k covered reds ⇔ eliminating ΔV with "
+        "view side-effect k; the reduction is linear and cost-preserving.",
+    )
+    rng = random.Random(seed)
+    instances = [("fig2", figure2_rbsc())]
+    for t in range(trials):
+        instances.append(
+            (
+                f"rand{t}",
+                random_rbsc(
+                    rng,
+                    num_reds=rng.randint(3, 6),
+                    num_blues=rng.randint(2, 4),
+                    num_sets=rng.randint(4, 7),
+                ),
+            )
+        )
+    all_ok = True
+    for name, rbsc in instances:
+        _, rbsc_cost = solve_rbsc_exact(rbsc)
+        reduction = rbsc_to_vse(rbsc)
+        vse_optimum = solve_exact(reduction.problem)
+        equal = abs(rbsc_cost - vse_optimum.side_effect()) < 1e-9
+        all_ok &= equal and vse_optimum.is_feasible()
+        result.add_row(
+            instance=name,
+            opt_rbsc=rbsc_cost,
+            opt_vse=vse_optimum.side_effect(),
+            equal=equal,
+            views=reduction.problem.norm_v,
+            deletions=reduction.problem.norm_delta_v,
+        )
+    return result.finish(
+        all_ok, "OPT_RBSC = OPT_VSE on every instance (cost preservation)"
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — Fig. 3 dual hypergraphs
+# ----------------------------------------------------------------------
+
+
+def e3_fig3_hypergraphs() -> ExperimentResult:
+    """Reproduce Fig. 3's hypertree classification."""
+    result = ExperimentResult(
+        "E3",
+        "Fig. 3 dual hypergraphs",
+        "Q1={Q1,Q3,Q4,Q5} is not a hypertree; Q2={Q1,Q3,Q5} and "
+        "Q3={Q1,Q2,Q5} are hypertrees (forest cases).",
+    )
+    expected = {"Q1": False, "Q2": True, "Q3": True}
+    all_ok = True
+    for name, queries in figure3_query_sets().items():
+        graph = dual_hypergraph(queries)
+        measured = all(
+            is_hypertree(c) for c in graph.connected_components()
+        )
+        all_ok &= measured == expected[name]
+        result.add_row(
+            query_set=name,
+            relations=len(graph.vertices),
+            queries=graph.num_edges,
+            hypertree=measured,
+            paper=expected[name],
+        )
+    return result.finish(all_ok, "classification matches Fig. 3 exactly")
+
+
+# ----------------------------------------------------------------------
+# E4 — Claim 1 general-case ratio
+# ----------------------------------------------------------------------
+
+
+def e4_claim1_ratio(seed: int = 11, trials: int = 8) -> ExperimentResult:
+    """Measured approximation ratio of the Claim 1 pipeline against the
+    exact optimum on general (non-forest) instances."""
+    result = ExperimentResult(
+        "E4",
+        "Claim 1 general approximation",
+        "View side-effect approximable within 2·sqrt(l·‖V‖·log‖ΔV‖) by "
+        "reduction to RBSC + LowDegTwo.",
+    )
+    rng = random.Random(seed)
+    ratios: list[float] = []
+    all_ok = True
+    for t in range(trials):
+        problem = random_general_problem(
+            rng,
+            num_reds=rng.randint(3, 6),
+            num_blues=rng.randint(2, 4),
+            num_sets=rng.randint(4, 7),
+        )
+        approx = solve_general(problem)
+        optimum = solve_exact(problem)
+        opt = optimum.side_effect()
+        ratio = approx.side_effect() / opt if opt > 0 else 1.0
+        bound = claim1_bound(problem)
+        within = approx.is_feasible() and (
+            opt == 0.0 and approx.side_effect() == 0.0 or ratio <= bound
+        )
+        all_ok &= within
+        ratios.append(ratio)
+        result.add_row(
+            trial=t,
+            norm_v=problem.norm_v,
+            norm_dv=problem.norm_delta_v,
+            l=problem.max_arity,
+            approx=approx.side_effect(),
+            opt=opt,
+            ratio=round(ratio, 3),
+            bound=round(bound, 2),
+            within=within,
+        )
+    return result.finish(
+        all_ok,
+        f"all ratios within the bound; geometric-mean ratio "
+        f"{geometric_mean(ratios):.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — Theorem 3: PrimeDualVSE is an l-approximation on forests
+# ----------------------------------------------------------------------
+
+
+def e5_theorem3_ratio(seed: int = 13, trials: int = 10) -> ExperimentResult:
+    result = ExperimentResult(
+        "E5",
+        "Theorem 3: PrimeDualVSE l-approximation",
+        "On forest cases the primal-dual algorithm returns a feasible "
+        "solution within factor l = max arity of the optimum.",
+    )
+    rng = random.Random(seed)
+    all_ok = True
+    ratios = []
+    families = ("chain", "star", "forest")
+    for t in range(trials):
+        family = families[t % 3]
+        if family == "chain":
+            problem = random_chain_problem(
+                rng,
+                num_relations=rng.randint(2, 4),
+                facts_per_relation=rng.randint(4, 8),
+                num_queries=rng.randint(2, 4),
+            )
+        elif family == "star":
+            problem = random_star_problem(
+                rng,
+                num_leaves=rng.randint(2, 3),
+                center_facts=rng.randint(2, 4),
+                leaf_facts=rng.randint(3, 6),
+                num_queries=rng.randint(2, 4),
+            )
+        else:
+            problem = random_forest_problem(
+                rng,
+                num_relations=rng.randint(3, 5),
+                facts_per_relation=rng.randint(3, 6),
+                num_queries=rng.randint(2, 4),
+            )
+        approx = solve_primal_dual(problem)
+        optimum = solve_exact(problem)
+        opt = optimum.side_effect()
+        ratio = approx.side_effect() / opt if opt > 0 else 1.0
+        within = approx.is_feasible() and (
+            (opt == 0.0 and approx.side_effect() == 0.0)
+            or ratio <= problem.max_arity + 1e-9
+        )
+        all_ok &= within
+        ratios.append(ratio)
+        result.add_row(
+            trial=t,
+            family=family,
+            l=problem.max_arity,
+            approx=approx.side_effect(),
+            opt=opt,
+            ratio=round(ratio, 3),
+            within_l=within,
+        )
+    return result.finish(
+        all_ok,
+        f"feasible and within factor l everywhere; geometric-mean ratio "
+        f"{geometric_mean(ratios):.3f}",
+    )
+
+
+# ----------------------------------------------------------------------
+# E6 — Theorem 4: LowDegTreeVSETwo 2·sqrt(‖V‖)-approximation
+# ----------------------------------------------------------------------
+
+
+def e6_theorem4_ratio(seed: int = 17, trials: int = 10) -> ExperimentResult:
+    result = ExperimentResult(
+        "E6",
+        "Theorem 4: LowDegTreeVSETwo 2·sqrt(‖V‖)-approximation",
+        "The τ-sweep refinement approximates within 2·sqrt(‖V‖), "
+        "sometimes better than factor l.",
+    )
+    rng = random.Random(seed)
+    all_ok = True
+    sweep_wins = 0
+    for t in range(trials):
+        problem = random_star_problem(
+            rng,
+            num_leaves=rng.randint(2, 3),
+            center_facts=rng.randint(2, 4),
+            leaf_facts=rng.randint(3, 6),
+            num_queries=rng.randint(2, 4),
+        )
+        sweep = solve_lowdeg_tree_sweep(problem)
+        primal_dual = solve_primal_dual(problem)
+        optimum = solve_exact(problem)
+        opt = optimum.side_effect()
+        ratio = sweep.side_effect() / opt if opt > 0 else 1.0
+        bound = theorem4_bound(problem)
+        within = sweep.is_feasible() and (
+            (opt == 0.0 and sweep.side_effect() == 0.0) or ratio <= bound
+        )
+        all_ok &= within
+        if sweep.side_effect() <= primal_dual.side_effect():
+            sweep_wins += 1
+        result.add_row(
+            trial=t,
+            norm_v=problem.norm_v,
+            sweep=sweep.side_effect(),
+            primal_dual=primal_dual.side_effect(),
+            opt=opt,
+            ratio=round(ratio, 3),
+            bound=round(bound, 2),
+            within=within,
+        )
+    return result.finish(
+        all_ok,
+        f"within 2·sqrt(‖V‖) everywhere; sweep at least ties primal-dual "
+        f"on {sweep_wins}/{trials} instances",
+    )
+
+
+# ----------------------------------------------------------------------
+# E7 — Algorithm 4 exactness on the pivot class
+# ----------------------------------------------------------------------
+
+
+def e7_alg4_exactness(seed: int = 19, trials: int = 8) -> ExperimentResult:
+    result = ExperimentResult(
+        "E7",
+        "Algorithm 4: DPTreeVSE exactness",
+        "On forest cases with pivot tuples the DP solves view "
+        "side-effect (and the balanced/weighted variants) exactly in "
+        "polynomial time.",
+    )
+    rng = random.Random(seed)
+    all_ok = True
+    for t in range(trials):
+        weighted = t % 2 == 1
+        balanced = t % 4 >= 2
+        problem = random_chain_problem(
+            rng,
+            num_relations=rng.randint(2, 4),
+            facts_per_relation=rng.randint(4, 7),
+            num_queries=rng.randint(2, 4),
+            weighted=weighted,
+            balanced=balanced,
+        )
+        dp = solve_dp_tree(problem)
+        if balanced:
+            optimum = solve_exact_bruteforce(problem)
+            dp_cost, opt_cost = dp.balanced_cost(), optimum.balanced_cost()
+        else:
+            optimum = solve_exact(problem)
+            dp_cost, opt_cost = dp.side_effect(), optimum.side_effect()
+        equal = abs(dp_cost - opt_cost) < 1e-9
+        feasible_ok = balanced or dp.is_feasible()
+        all_ok &= equal and feasible_ok
+        result.add_row(
+            trial=t,
+            variant=("balanced" if balanced else "standard")
+            + ("+weighted" if weighted else ""),
+            dp=round(dp_cost, 3),
+            exact=round(opt_cost, 3),
+            equal=equal,
+        )
+    return result.finish(all_ok, "DP matches the exact optimum in every variant")
+
+
+# ----------------------------------------------------------------------
+# E8 — Proposition 1: runtime scaling of Algorithm 1
+# ----------------------------------------------------------------------
+
+
+def e8_prop1_scaling(seed: int = 23) -> ExperimentResult:
+    result = ExperimentResult(
+        "E8",
+        "Proposition 1: PrimeDualVSE runtime scaling",
+        "Algorithm 1 terminates in O(l·‖ΔV‖²·‖V‖ + ‖V‖⁴) — polynomial; "
+        "measured wall-clock should grow polynomially with instance size.",
+    )
+    rng = random.Random(seed)
+    timings: list[tuple[int, float]] = []
+    for facts in (8, 16, 32, 64, 128):
+        problem = random_chain_problem(
+            rng,
+            num_relations=3,
+            facts_per_relation=facts,
+            num_queries=3,
+            delta_fraction=0.15,
+        )
+        solution, seconds = timed(solve_primal_dual, problem)
+        timings.append((problem.norm_v, seconds))
+        result.add_row(
+            facts_per_relation=facts,
+            norm_v=problem.norm_v,
+            norm_dv=problem.norm_delta_v,
+            seconds=round(seconds, 5),
+            feasible=solution.is_feasible(),
+        )
+    # Fitted growth exponent between smallest and largest instance.
+    (v0, t0), (v1, t1) = timings[0], timings[-1]
+    exponent = (
+        math.log(max(t1, 1e-9) / max(t0, 1e-9)) / math.log(v1 / v0)
+        if v1 > v0
+        else 0.0
+    )
+    polynomial = exponent <= 4.5  # Prop. 1's envelope is degree 4
+    return result.finish(
+        polynomial,
+        f"fitted growth exponent {exponent:.2f} ≤ 4 (+slack): within the "
+        "Proposition 1 polynomial envelope",
+    )
+
+
+# ----------------------------------------------------------------------
+# E9 — Theorem 2 / Lemma 1: balanced version
+# ----------------------------------------------------------------------
+
+
+def e9_lemma1_balanced(seed: int = 29, trials: int = 6) -> ExperimentResult:
+    result = ExperimentResult(
+        "E9",
+        "Theorem 2 reduction + Lemma 1 balanced approximation",
+        "PN-PSC cost equals balanced deletion-propagation cost under the "
+        "Theorem 2 construction; the Lemma 1 pipeline stays within "
+        "2·sqrt(l·(‖V‖+‖ΔV‖)·log‖ΔV‖) of the optimum.",
+    )
+    rng = random.Random(seed)
+    all_ok = True
+    for t in range(trials):
+        posneg = random_posneg(
+            rng,
+            num_positives=rng.randint(2, 4),
+            num_negatives=rng.randint(3, 5),
+            num_sets=rng.randint(4, 6),
+        )
+        _, pn_opt = solve_posneg_exact(posneg)
+        reduction = posneg_to_balanced_vse(posneg)
+        problem = reduction.problem
+        balanced_opt = solve_exact_bruteforce(problem).balanced_cost()
+        approx = solve_balanced(problem)
+        bound = lemma1_bound(problem)
+        ratio = (
+            approx.balanced_cost() / balanced_opt if balanced_opt > 0 else 1.0
+        )
+        cost_equal = abs(pn_opt - balanced_opt) < 1e-9
+        within = balanced_opt == 0.0 or ratio <= bound
+        all_ok &= cost_equal and within
+        result.add_row(
+            trial=t,
+            pn_opt=pn_opt,
+            balanced_opt=balanced_opt,
+            equal=cost_equal,
+            approx=approx.balanced_cost(),
+            ratio=round(ratio, 3),
+            bound=round(bound, 2),
+            within=within,
+        )
+    return result.finish(
+        all_ok, "cost preservation and the Lemma 1 ratio hold on all trials"
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 — Tables II–V regeneration
+# ----------------------------------------------------------------------
+
+
+def _representatives() -> dict[str, tuple]:
+    """Representative (queries, fds) per predicate-bearing table row."""
+    project_free = parse_query("Qa(x, y, z) :- T1(x, y), T2(y, z)")
+    key_preserving = parse_query("Qb(y1, y2, w) :- T1(y1, x), T2(y2, w)")
+    non_kp = parse_query("Qc(z) :- T1(y, z), T2(z, w)")
+    head_dom = parse_query("Qd(y) :- T1(y, x), T2(x, 'c')")
+    non_head_dom = parse_query("Qe(y1, y2) :- T1(y1, x), T2(x, y2)")
+    triangle = parse_query("Qf(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+    chain = parse_query("Qg(x, z) :- R(x, y), S(y, z)")
+    project_free_two = parse_query("Qh(u, v, w) :- T1(u, v), T2(v, w)")
+    fd = FunctionalDependency("T2", lhs=[1], rhs=[0])
+    return {
+        "project-free & sj-free": ([project_free], ()),
+        "key-preserving": ([key_preserving], ()),
+        "non-key-preserving": ([non_kp], ()),
+        "head-domination": ([head_dom], ()),
+        "non-head-domination": ([non_head_dom], ()),
+        "fd-head-domination": ([non_head_dom], (fd,)),
+        "triad": ([triangle], ()),
+        "triad-free": ([chain], ()),
+        "two project-free": ([project_free, project_free_two], ()),
+    }
+
+
+def e10_complexity_tables() -> ExperimentResult:
+    result = ExperimentResult(
+        "E10",
+        "Tables II–V: complexity landscape regeneration",
+        "Each predicate-bearing row of Tables II–V (and the paper's new "
+        "results) is regenerated by classifying a representative query.",
+    )
+    reps = _representatives()
+    checks = [
+        # (row set, row index, representative, expected predicate value)
+        (TABLE_II, 0, "project-free & sj-free", True),
+        (TABLE_II, 1, "key-preserving", True),
+        (TABLE_II, 2, "triad-free", True),
+        (TABLE_II, 2, "triad", False),
+        (TABLE_III, 1, "non-key-preserving", True),
+        (TABLE_III, 1, "key-preserving", False),
+        (TABLE_III, 2, "triad", True),
+        (TABLE_III, 2, "triad-free", False),
+        (TABLE_IV, 1, "key-preserving", True),
+        (TABLE_IV, 2, "head-domination", True),
+        (TABLE_IV, 2, "non-head-domination", False),
+        (TABLE_IV, 3, "fd-head-domination", True),
+        (TABLE_V, 1, "non-key-preserving", True),
+        (TABLE_V, 2, "non-head-domination", True),
+        (TABLE_V, 2, "head-domination", False),
+        (PAPER_RESULTS, 0, "two project-free", True),
+        (PAPER_RESULTS, 1, "key-preserving", True),
+    ]
+    all_ok = True
+    for rows, index, rep_name, expected in checks:
+        row = rows[index]
+        queries, fds = reps[rep_name]
+        measured = bool(row.predicate(queries, fds))
+        ok = measured == expected
+        all_ok &= ok
+        result.add_row(
+            table=row.table,
+            query_class=row.query_class[:48],
+            complexity=row.complexity[:40],
+            representative=rep_name,
+            expected=expected,
+            measured=measured,
+            ok=ok,
+        )
+    return result.finish(
+        all_ok, "every checked table row classifies its representative "
+        "correctly"
+    )
+
+
+# ----------------------------------------------------------------------
+# E11 — Section V applications
+# ----------------------------------------------------------------------
+
+
+def e11_applications(seed: int = 31) -> ExperimentResult:
+    from repro.apps import AnnotationPropagator, DirtyOracle, QueryOrientedCleaner
+
+    result = ExperimentResult(
+        "E11",
+        "Section V applications: cleaning + annotation",
+        "Batch feedback processing (enabled by the multi-query "
+        "guarantees) does not exceed sequential processing in collateral "
+        "damage; merging evidence across queries shrinks the annotation "
+        "candidate set.",
+    )
+    rng = random.Random(seed)
+    batch_wins = 0
+    trials = 5
+    for t in range(trials):
+        problem = random_star_problem(
+            rng,
+            num_leaves=3,
+            center_facts=3,
+            leaf_facts=5,
+            num_queries=3,
+            delta_fraction=0.0,
+        )
+        facts = sorted(problem.instance.facts())
+        dirty = frozenset(rng.sample(facts, max(1, len(facts) // 8)))
+        oracle = DirtyOracle(dirty)
+        cleaner = QueryOrientedCleaner(
+            problem.instance, problem.queries, oracle
+        )
+        batch = cleaner.clean_batch()
+        sequential = cleaner.clean_sequential()
+        if batch.collateral_view_tuples <= sequential.collateral_view_tuples:
+            batch_wins += 1
+        result.add_row(
+            trial=t,
+            feedback=batch.feedback_size,
+            batch_collateral=batch.collateral_view_tuples,
+            seq_collateral=sequential.collateral_view_tuples,
+            batch_recall=round(batch.recall, 2),
+            seq_recall=round(sequential.recall, 2),
+        )
+    # Annotation shrinkage on the Fig. 1 data: one error seen through
+    # two queries narrows the top candidates.
+    from repro.workloads import figure1_instance, figure1_queries, figure1_schema
+
+    schema = figure1_schema()
+    propagator = AnnotationPropagator(
+        figure1_instance(schema), list(figure1_queries(schema))
+    )
+    curve = propagator.shrinkage_curve(
+        {
+            "Q3": [("John", "XML")],
+            "Q4": [("John", "TKDE", "XML"), ("John", "TODS", "XML")],
+        }
+    )
+    for views_used, strongest in curve:
+        result.add_row(
+            trial=f"annotation-{views_used}",
+            feedback=views_used,
+            batch_collateral="-",
+            seq_collateral="-",
+            batch_recall="-",
+            seq_recall=strongest,
+        )
+    shrinks = curve[-1][1] <= curve[0][1]
+    ok = batch_wins == trials and shrinks
+    return result.finish(
+        ok,
+        f"batch ≤ sequential collateral on {batch_wins}/{trials} runs; "
+        "annotation candidates do not widen as views accumulate",
+    )
+
+
+# ----------------------------------------------------------------------
+# E12 — extensions beyond the paper (DESIGN.md §5)
+# ----------------------------------------------------------------------
+
+
+def e12_extensions(seed: int = 37, trials: int = 6) -> ExperimentResult:
+    """Validate the extension algorithms' guarantees: LP rounding within
+    l², randomized rounding feasible and never below the optimum, local
+    search never worse than its input, and incremental maintenance
+    agreeing with re-evaluation."""
+    from repro.core import (
+        improve,
+        lp_rounding_bound,
+        solve_lp_rounding,
+        solve_randomized_rounding,
+    )
+    from repro.relational import MaintainedViewSet, result_tuples
+    from repro.workloads import random_forest_problem
+
+    result = ExperimentResult(
+        "E12",
+        "Extensions: LP rounding, randomized rounding, local search, IVM",
+        "LP rounding is feasible within l² of OPT on any key-preserving "
+        "instance; randomized rounding + repair is always feasible; the "
+        "local-search pass never increases cost; counting-maintained "
+        "views agree with from-scratch evaluation.",
+    )
+    rng = random.Random(seed)
+    all_ok = True
+    for t in range(trials):
+        problem = random_forest_problem(
+            rng,
+            num_relations=rng.randint(3, 5),
+            facts_per_relation=rng.randint(3, 6),
+            num_queries=rng.randint(2, 4),
+        )
+        optimum = solve_exact(problem)
+        opt = optimum.side_effect()
+        deterministic = solve_lp_rounding(problem)
+        randomized = solve_randomized_rounding(
+            problem, random.Random(seed + t)
+        )
+        polished = improve(deterministic)
+        det_ok = deterministic.is_feasible() and (
+            opt == 0.0 or deterministic.side_effect() / opt
+            <= lp_rounding_bound(problem) + 1e-9
+        )
+        rand_ok = (
+            randomized.is_feasible()
+            and randomized.side_effect() + 1e-9 >= opt
+        )
+        ls_ok = polished.side_effect() <= deterministic.side_effect() + 1e-9
+        # IVM agreement: apply the optimum's deletions incrementally.
+        views = MaintainedViewSet(problem.queries, problem.instance)
+        views.delete_facts(sorted(optimum.deleted_facts))
+        remaining = problem.instance.without(optimum.deleted_facts)
+        ivm_ok = all(
+            views.view(q.name).tuples() == result_tuples(q, remaining)
+            for q in problem.queries
+        )
+        all_ok &= det_ok and rand_ok and ls_ok and ivm_ok
+        result.add_row(
+            trial=t,
+            opt=opt,
+            lp_rounding=deterministic.side_effect(),
+            randomized=randomized.side_effect(),
+            polished=polished.side_effect(),
+            l2_bound=round(lp_rounding_bound(problem), 1),
+            checks_ok=det_ok and rand_ok and ls_ok and ivm_ok,
+        )
+    return result.finish(
+        all_ok, "every extension guarantee held on all trials"
+    )
+
+
+def all_experiments() -> list[ExperimentResult]:
+    """Run every experiment once (used by the EXPERIMENTS.md generator)."""
+    return [
+        e1_fig1_example(),
+        e2_theorem1_reduction(),
+        e3_fig3_hypergraphs(),
+        e4_claim1_ratio(),
+        e5_theorem3_ratio(),
+        e6_theorem4_ratio(),
+        e7_alg4_exactness(),
+        e8_prop1_scaling(),
+        e9_lemma1_balanced(),
+        e10_complexity_tables(),
+        e11_applications(),
+        e12_extensions(),
+    ]

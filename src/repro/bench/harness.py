@@ -1,0 +1,54 @@
+"""Experiment harness: result records, timing, and seeded trial runs.
+
+The experiments in :mod:`repro.bench.experiments` all produce an
+:class:`ExperimentResult` — a structured record with the paper claim,
+the measured rows, and a pass/fail verdict — so benches and docs render
+them uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ExperimentResult", "timed", "geometric_mean"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment (one paper artifact)."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict] = field(default_factory=list)
+    columns: Sequence[str] | None = None
+    passed: bool = True
+    conclusion: str = ""
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def finish(self, passed: bool, conclusion: str) -> "ExperimentResult":
+        self.passed = passed
+        self.conclusion = conclusion
+        return self
+
+
+def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run ``fn`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (1.0 for an empty sequence)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 1.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

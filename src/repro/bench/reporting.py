@@ -1,0 +1,59 @@
+"""Plain-text reporting for the experiment harness.
+
+ASCII tables in the style of the paper's presentation, plus a renderer
+for :class:`~repro.bench.harness.ExperimentResult` used both by the
+``benchmarks/`` scripts and by the EXPERIMENTS.md regenerator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_experiment"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Iterable[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0])
+    widths = {c: len(c) for c in cols}
+    rendered: list[dict[str, str]] = []
+    for row in rows:
+        out = {c: _cell(row.get(c, "")) for c in cols}
+        rendered.append(out)
+        for c in cols:
+            widths[c] = max(widths[c], len(out[c]))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for out in rendered:
+        lines.append(" | ".join(out[c].ljust(widths[c]) for c in cols))
+    return "\n".join(lines)
+
+
+def format_experiment(result) -> str:
+    """Render an ExperimentResult: header, claim, table, verdict."""
+    lines = [
+        f"=== {result.experiment_id}: {result.title} ===",
+        f"paper: {result.paper_claim}",
+        "",
+        format_table(result.rows, columns=result.columns),
+        "",
+        f"verdict: {'PASS' if result.passed else 'FAIL'} — {result.conclusion}",
+    ]
+    return "\n".join(lines)

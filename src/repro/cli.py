@@ -1,0 +1,319 @@
+"""Command-line interface.
+
+Usage (installed as module)::
+
+    python -m repro.cli solve problem.json [--method auto] [--json]
+    python -m repro.cli classify problem.json
+    python -m repro.cli repairs problem.json -k 3
+    python -m repro.cli render problem.json
+    python -m repro.cli sql problem.json
+    python -m repro.cli stats problem.json
+    python -m repro.cli insert problem.json Q4 Ada TODS XML
+    python -m repro.cli example fig1 > problem.json
+    python -m repro.cli experiments [--out EXPERIMENTS.md]
+
+``solve`` loads a JSON problem document (see :mod:`repro.io.serialize`),
+dispatches to the requested algorithm, and prints the deletion
+suggestion; ``classify`` reports the structural flags and the complexity
+rows that apply; ``repairs`` enumerates the cheapest distinct repairs;
+``example`` emits ready-made documents for the paper's examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.classify import classification_flags, verdict
+from repro.core.registry import available_solvers, solve
+from repro.io.serialize import (
+    dump_problem,
+    load_problem,
+    problem_to_dict,
+    solution_to_dict,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Deletion propagation for multiple key-preserving conjunctive "
+            "queries (ICDE 2019 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve_cmd = sub.add_parser("solve", help="solve a problem document")
+    solve_cmd.add_argument("problem", help="path to a JSON problem document")
+    solve_cmd.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto"] + available_solvers(),
+        help="solver to use (default: structure-aware auto dispatch)",
+    )
+    solve_cmd.add_argument(
+        "--json", action="store_true", help="emit the solution as JSON"
+    )
+    solve_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help="explain each deletion's coverage and collateral",
+    )
+
+    classify_cmd = sub.add_parser(
+        "classify", help="report structure and complexity landscape rows"
+    )
+    classify_cmd.add_argument("problem", help="path to a JSON problem document")
+
+    repairs_cmd = sub.add_parser(
+        "repairs", help="enumerate the k cheapest distinct repairs"
+    )
+    repairs_cmd.add_argument("problem", help="path to a JSON problem document")
+    repairs_cmd.add_argument("-k", type=int, default=3)
+
+    render_cmd = sub.add_parser(
+        "render", help="pretty-print a problem document (data + views)"
+    )
+    render_cmd.add_argument("problem", help="path to a JSON problem document")
+
+    sql_cmd = sub.add_parser(
+        "sql", help="emit a SQL script (DDL, data, view SELECTs)"
+    )
+    sql_cmd.add_argument("problem", help="path to a JSON problem document")
+
+    stats_cmd = sub.add_parser(
+        "stats", help="summarize a problem's workload statistics"
+    )
+    stats_cmd.add_argument("problem", help="path to a JSON problem document")
+
+    insert_cmd = sub.add_parser(
+        "insert", help="plan the insertion of a tuple into a view"
+    )
+    insert_cmd.add_argument("problem", help="path to a JSON problem document")
+    insert_cmd.add_argument("view", help="target view name")
+    insert_cmd.add_argument(
+        "values", nargs="+", help="the view tuple's values"
+    )
+
+    example_cmd = sub.add_parser(
+        "example", help="emit a ready-made problem document"
+    )
+    example_cmd.add_argument(
+        "name", choices=["fig1", "fig1-q4", "chain", "star"],
+    )
+    example_cmd.add_argument("--seed", type=int, default=0)
+    example_cmd.add_argument("--out", default=None)
+
+    experiments_cmd = sub.add_parser(
+        "experiments", help="run E1–E12 and write EXPERIMENTS.md"
+    )
+    experiments_cmd.add_argument("--out", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    solution = solve(problem, method=args.method)
+    if args.json:
+        json.dump(solution_to_dict(solution), sys.stdout, indent=2)
+        print()
+    elif args.explain:
+        from repro.core.explain import explain_solution
+
+        print(explain_solution(solution))
+    else:
+        print(solution.summary())
+        for fact in sorted(solution.deleted_facts):
+            print(f"  delete {fact!r}")
+        if solution.collateral:
+            print("  collateral:")
+            for vt in sorted(solution.collateral):
+                print(f"    - {vt!r}")
+    return 0 if solution.is_feasible() else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    problem = load_problem(args.problem)
+    flags = classification_flags(list(problem.queries))
+    print(f"{problem!r}")
+    print("structure:")
+    for name, value in sorted(flags.items()):
+        print(f"  {name}: {value}")
+    print("complexity landscape rows that apply:")
+    for row in verdict(list(problem.queries)):
+        print(f"  [{row.table}] {row.complexity} — {row.query_class} "
+              f"({row.citation})")
+    return 0
+
+
+def _cmd_repairs(args: argparse.Namespace) -> int:
+    from repro.apps.debugging import top_k_repairs
+
+    problem = load_problem(args.problem)
+    deletions = {
+        name: sorted(problem.deletion.on(name))
+        for name in problem.views.names
+        if problem.deletion.on(name)
+    }
+    repairs = top_k_repairs(
+        problem.instance, list(problem.queries), deletions, k=args.k
+    )
+    for suggestion in repairs:
+        print(suggestion.explain())
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.relational.render import (
+        render_instance,
+        render_queries,
+        render_view,
+    )
+
+    problem = load_problem(args.problem)
+    print(render_queries(problem.queries))
+    print()
+    print(render_instance(problem.instance))
+    for view in problem.views:
+        print()
+        print(render_view(view))
+    deletions = problem.deleted_view_tuples()
+    if deletions:
+        print("\nΔV (requested deletions):")
+        for vt in deletions:
+            print(f"  - {vt!r}")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.io.sqlgen import create_table_sql, insert_sql, query_sql
+
+    problem = load_problem(args.problem)
+
+    def literal(value: object) -> str:
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(value)
+
+    for relation in problem.instance.schema:
+        print(create_table_sql(relation) + ";")
+    for relation in problem.instance.schema:
+        template = insert_sql(relation)
+        for fact in sorted(problem.instance.relation(relation.name)):
+            rendered = template
+            for value in fact.values:
+                rendered = rendered.replace("?", literal(value), 1)
+            print(rendered + ";")
+    for query in problem.queries:
+        sql, parameters = query_sql(query)
+        for value in parameters:
+            sql = sql.replace("?", literal(value), 1)
+        print(f"-- view {query.name}: {query!r}")
+        print(sql + ";")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.core.statistics import workload_statistics
+
+    problem = load_problem(args.problem)
+    stats = workload_statistics(problem)
+    print(format_table(stats.as_rows(), title=repr(problem)))
+    print()
+    print(
+        format_table(
+            [
+                {"view": name, "tuples": size}
+                for name, size in stats.view_sizes.items()
+            ],
+            title="view sizes",
+        )
+    )
+    return 0
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    from repro.apps.view_update import propagate_insertion
+
+    problem = load_problem(args.problem)
+    plan = propagate_insertion(
+        problem.instance,
+        list(problem.queries),
+        args.view,
+        tuple(args.values),
+    )
+    status = "feasible" if plan.feasible else "CONFLICTS"
+    print(f"insert {plan.values!r} into {plan.view}: {status}")
+    for fact in plan.new_facts:
+        print(f"  + {fact!r}")
+    for fact in plan.reused_facts:
+        print(f"  = {fact!r} (already present)")
+    for required, existing in plan.conflicts:
+        print(f"  ! {required!r} conflicts with {existing!r}")
+    if plan.side_effects:
+        print("  side-effects:")
+        for vt in plan.side_effects:
+            print(f"    -> {vt!r}")
+    return 0 if plan.feasible else 1
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.workloads import (
+        figure1_problem,
+        figure1_problem_q4,
+        random_chain_problem,
+        random_star_problem,
+    )
+
+    makers = {
+        "fig1": figure1_problem,
+        "fig1-q4": figure1_problem_q4,
+        "chain": lambda: random_chain_problem(random.Random(args.seed)),
+        "star": lambda: random_star_problem(random.Random(args.seed)),
+    }
+    problem = makers[args.name]()
+    if args.out:
+        dump_problem(problem, args.out)
+        print(f"wrote {args.out}")
+    else:
+        json.dump(problem_to_dict(problem), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.markdown import write_experiments_md
+
+    print(f"wrote {write_experiments_md(args.out)}")
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "classify": _cmd_classify,
+    "repairs": _cmd_repairs,
+    "render": _cmd_render,
+    "sql": _cmd_sql,
+    "stats": _cmd_stats,
+    "insert": _cmd_insert,
+    "example": _cmd_example,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Lemma 1 — the balanced-case approximation.
+
+Pipeline: reduce balanced deletion propagation to Positive-Negative
+Partial Set Cover, solve via Miettinen's reduction to RBSC plus
+LowDegTwo, pull back.  The transferred ratio is the paper's
+``2·sqrt(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.core.solution import Propagation
+from repro.reductions.to_setcover import problem_to_posneg
+from repro.setcover.posneg import solve_posneg_lowdeg
+
+__all__ = ["solve_balanced", "lemma1_bound"]
+
+
+def solve_balanced(problem: BalancedDeletionPropagationProblem) -> Propagation:
+    """The Lemma 1 approximation (requires key-preserving queries)."""
+    if problem.deletion.is_empty():
+        return Propagation(problem, (), method="lemma1-posneg")
+    reduction = problem_to_posneg(problem)
+    selection, _ = solve_posneg_lowdeg(reduction.covering)
+    facts = reduction.decode(selection)
+    return Propagation(problem, facts, method="lemma1-posneg")
+
+
+def lemma1_bound(problem: BalancedDeletionPropagationProblem) -> float:
+    """The quoted ratio ``2·sqrt(l·(‖V‖+‖ΔV‖)·log‖ΔV‖)``."""
+    norm_delta = problem.norm_delta_v
+    log_term = math.log(norm_delta) if norm_delta > 1 else 1.0
+    value = 2.0 * math.sqrt(
+        problem.max_arity * (problem.norm_v + norm_delta) * log_term
+    )
+    return max(1.0, value)

@@ -1,0 +1,332 @@
+"""Complexity classification — regenerating Tables II–V.
+
+The paper situates its contribution in the complexity landscape of
+deletion propagation summarized in its Tables II–V.  This module encodes
+every row of those tables as a machine-checkable predicate over query
+sets (via :mod:`repro.relational.analysis`) and classifies concrete
+inputs, which is how bench E10 regenerates the tables and how
+:func:`verdict` explains which of the paper's results applies to a
+problem instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.relational.analysis import (
+    FunctionalDependency,
+    has_fd_head_domination,
+    has_fd_induced_triad,
+    has_head_domination,
+    has_triad,
+    is_hierarchical,
+)
+from repro.relational.cq import ConjunctiveQuery
+
+__all__ = [
+    "LandscapeRow",
+    "TABLE_II",
+    "TABLE_III",
+    "TABLE_IV",
+    "TABLE_V",
+    "PAPER_RESULTS",
+    "classification_flags",
+    "verdict",
+]
+
+Predicate = Callable[
+    [Sequence[ConjunctiveQuery], Sequence[FunctionalDependency]], bool
+]
+
+
+@dataclass(frozen=True)
+class LandscapeRow:
+    """One row of the paper's complexity tables.
+
+    ``predicate`` returns True when the row's query class contains the
+    given query set (with its functional dependencies); ``None`` marks
+    rows whose class is parameterized in ways outside this library's
+    scope (the parameterized-complexity rows of Table III).
+    """
+
+    table: str
+    problem: str  # "source side-effect" | "view side-effect"
+    complexity: str
+    citation: str
+    query_class: str
+    predicate: Predicate | None
+
+
+def _single(queries: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery | None:
+    return queries[0] if len(queries) == 1 else None
+
+
+def _all_project_free(queries, fds) -> bool:
+    return all(q.is_project_free() for q in queries)
+
+
+def _all_sj_free(queries, fds) -> bool:
+    return all(q.is_self_join_free() for q in queries)
+
+
+def _all_key_preserving(queries, fds) -> bool:
+    return all(q.is_key_preserving() for q in queries)
+
+
+def _project_free_and_sj_free(queries, fds) -> bool:
+    return _all_project_free(queries, fds) and _all_sj_free(queries, fds)
+
+
+def _non_key_preserving(queries, fds) -> bool:
+    return not _all_key_preserving(queries, fds)
+
+
+def _head_dominated(queries, fds) -> bool:
+    q = _single(queries)
+    return q is not None and q.is_self_join_free() and has_head_domination(q)
+
+
+def _fd_head_dominated(queries, fds) -> bool:
+    q = _single(queries)
+    return (
+        q is not None
+        and q.is_self_join_free()
+        and has_fd_head_domination(q, fds)
+    )
+
+
+def _not_head_dominated(queries, fds) -> bool:
+    q = _single(queries)
+    return (
+        q is not None
+        and q.is_self_join_free()
+        and not has_head_domination(q)
+    )
+
+
+def _not_fd_head_dominated(queries, fds) -> bool:
+    q = _single(queries)
+    return (
+        q is not None
+        and q.is_self_join_free()
+        and not has_fd_head_domination(q, fds)
+    )
+
+
+def _triad_free_sj_free(queries, fds) -> bool:
+    q = _single(queries)
+    return q is not None and q.is_self_join_free() and not has_triad(q)
+
+
+def _fd_triad_free_sj_free(queries, fds) -> bool:
+    q = _single(queries)
+    return (
+        q is not None
+        and q.is_self_join_free()
+        and not has_fd_induced_triad(q, fds)
+    )
+
+
+def _with_triad(queries, fds) -> bool:
+    q = _single(queries)
+    return q is not None and q.is_self_join_free() and has_triad(q)
+
+
+def _with_fd_triad(queries, fds) -> bool:
+    q = _single(queries)
+    return (
+        q is not None
+        and q.is_self_join_free()
+        and has_fd_induced_triad(q, fds)
+    )
+
+
+TABLE_II: tuple[LandscapeRow, ...] = (
+    LandscapeRow(
+        "II", "source side-effect", "PTime", "Buneman et al. 2002 [6]",
+        "project-free & sj-free conjunctive queries",
+        _project_free_and_sj_free,
+    ),
+    LandscapeRow(
+        "II", "source side-effect", "PTime", "Cong et al. 2012 [15]",
+        "key-preserving conjunctive queries", _all_key_preserving,
+    ),
+    LandscapeRow(
+        "II", "source side-effect", "PTime", "Freire et al. 2015 [24]",
+        "triad-free & sj-free conjunctive queries", _triad_free_sj_free,
+    ),
+    LandscapeRow(
+        "II", "source side-effect", "PTime", "Freire et al. 2015 [24]",
+        "fd-induced-triad-free & sj-free conjunctive queries",
+        _fd_triad_free_sj_free,
+    ),
+)
+
+TABLE_III: tuple[LandscapeRow, ...] = (
+    LandscapeRow(
+        "III", "source side-effect", "NP-complete", "Buneman et al. 2002 [6]",
+        "select-free conjunctive queries", None,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "NP-complete", "Cong et al. 2012 [15]",
+        "non-key-preserving conjunctive queries", _non_key_preserving,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "NP-complete", "Freire et al. 2015 [24]",
+        "queries with triad", _with_triad,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "NP-complete", "Freire et al. 2015 [24]",
+        "queries with fd-induced triad", _with_fd_triad,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "co-W[1]-complete", "Miao et al. [36]",
+        "conjunctive queries for parameter query size or #variables", None,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "co-W[SAT]-hard", "Miao et al. [36]",
+        "positive queries for parameter #variables", None,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "co-W[t]-hard", "Miao et al. [36]",
+        "first-order queries for parameter query size", None,
+    ),
+    LandscapeRow(
+        "III", "source side-effect", "co-W[P]-hard", "Miao et al. [36]",
+        "first-order queries for parameter #variables", None,
+    ),
+)
+
+TABLE_IV: tuple[LandscapeRow, ...] = (
+    LandscapeRow(
+        "IV", "view side-effect", "PTime", "Buneman et al. 2002 [6]",
+        "project-free & sj-free conjunctive queries",
+        _project_free_and_sj_free,
+    ),
+    LandscapeRow(
+        "IV", "view side-effect", "PTime", "Cong et al. 2012 [15]",
+        "key-preserving conjunctive queries", _all_key_preserving,
+    ),
+    LandscapeRow(
+        "IV", "view side-effect", "PTime", "Kimelfeld et al. 2012 [30]",
+        "sj-free conjunctive queries having head-domination",
+        _head_dominated,
+    ),
+    LandscapeRow(
+        "IV", "view side-effect", "PTime", "Kimelfeld et al. 2012 [30]",
+        "sj-free conjunctive queries having fd-head-domination",
+        _fd_head_dominated,
+    ),
+    LandscapeRow(
+        "IV", "view side-effect", "FPT", "Kimelfeld et al. 2013 [32]",
+        "sj-free conjunctive queries having level-k head-domination", None,
+    ),
+)
+
+TABLE_V: tuple[LandscapeRow, ...] = (
+    LandscapeRow(
+        "V", "view side-effect", "NP-complete", "Buneman et al. 2002 [6]",
+        "select-free conjunctive queries", None,
+    ),
+    LandscapeRow(
+        "V", "view side-effect", "NP-complete", "Cong et al. 2012 [15]",
+        "non-key-preserving conjunctive queries", _non_key_preserving,
+    ),
+    LandscapeRow(
+        "V", "view side-effect", "NP-complete", "Kimelfeld et al. 2012 [30]",
+        "non-head-domination conjunctive queries", _not_head_dominated,
+    ),
+    LandscapeRow(
+        "V", "view side-effect", "NP-complete", "Kimelfeld et al. 2012 [30]",
+        "non fd-head-domination conjunctive queries", _not_fd_head_dominated,
+    ),
+    LandscapeRow(
+        "V", "view side-effect", "NP(k)-complete", "Miao et al. 2017 [36]",
+        "conjunctive queries for bounded source deletions", None,
+    ),
+    LandscapeRow(
+        "V", "view side-effect", "ΣP2-complete", "Miao et al. 2016 [37]",
+        "conjunctive queries under general settings", None,
+    ),
+)
+
+#: This paper's own results (Section III–IV), with predicates over the
+#: *multi-query* input.
+PAPER_RESULTS: tuple[LandscapeRow, ...] = (
+    LandscapeRow(
+        "paper", "view side-effect",
+        "inapprox within O(2^(log^(1-δ)‖V‖)) unless P=NP (Thm 1)",
+        "this paper",
+        "two or more project-free conjunctive queries",
+        lambda queries, fds: len(queries) >= 2
+        and _all_project_free(queries, fds),
+    ),
+    LandscapeRow(
+        "paper", "view side-effect",
+        "O(2·sqrt(l·‖V‖·log‖ΔV‖))-approx (Claim 1)", "this paper",
+        "key-preserving conjunctive queries (any number)",
+        _all_key_preserving,
+    ),
+    LandscapeRow(
+        "paper", "view side-effect",
+        "l-approx (Thm 3) and 2·sqrt(‖V‖)-approx (Thm 4)", "this paper",
+        "forest case: dual hypergraph components are hypertrees",
+        lambda queries, fds: _forest(queries),
+    ),
+    LandscapeRow(
+        "paper", "view side-effect",
+        "PTime via dynamic programming (Alg. 4)", "this paper",
+        "forest case with pivot tuples (data-dependent)", None,
+    ),
+)
+
+
+def _forest(queries: Sequence[ConjunctiveQuery]) -> bool:
+    from repro.hypergraph.dual import is_forest_case
+
+    return all(q.is_key_preserving() for q in queries) and is_forest_case(
+        queries
+    )
+
+
+def classification_flags(
+    queries: Sequence[ConjunctiveQuery],
+    fds: Sequence[FunctionalDependency] = (),
+) -> dict[str, bool]:
+    """All structural flags of a query set in one dictionary."""
+    single = _single(queries)
+    flags = {
+        "multiple_queries": len(queries) > 1,
+        "project_free": _all_project_free(queries, fds),
+        "self_join_free": _all_sj_free(queries, fds),
+        "key_preserving": _all_key_preserving(queries, fds),
+        "forest_case": _forest(queries),
+    }
+    if single is not None and single.is_self_join_free():
+        flags["head_domination"] = has_head_domination(single)
+        flags["fd_head_domination"] = has_fd_head_domination(single, fds)
+        flags["triad"] = has_triad(single)
+        flags["fd_induced_triad"] = has_fd_induced_triad(single, fds)
+        flags["hierarchical"] = is_hierarchical(single)
+    return flags
+
+
+def verdict(
+    queries: Sequence[ConjunctiveQuery],
+    fds: Sequence[FunctionalDependency] = (),
+) -> list[LandscapeRow]:
+    """All landscape rows (prior work + this paper) whose class contains
+    the query set, most specific paper results included."""
+    rows = TABLE_II + TABLE_III + TABLE_IV + TABLE_V + PAPER_RESULTS
+    out = []
+    for row in rows:
+        if row.predicate is None:
+            continue
+        try:
+            applies = row.predicate(queries, fds)
+        except Exception:
+            applies = False
+        if applies:
+            out.append(row)
+    return out

@@ -1,0 +1,231 @@
+"""Exact solvers — the ground truth for every approximation experiment.
+
+Two backends:
+
+* **branch & bound** (:func:`solve_exact_bruteforce`): branches over
+  which fact to delete from each not-yet-hit witness of each ΔV tuple,
+  pruning on the (monotone) partial side-effect.  Works for arbitrary
+  CQs, including non-key-preserving ones with multiple witnesses (every
+  witness of a ΔV tuple must be hit).
+* **ILP** (:func:`solve_exact_ilp`): 0/1 program via
+  ``scipy.optimize.milp`` for key-preserving problems (unique witnesses),
+  standard and balanced.
+
+:func:`solve_exact` picks automatically.  These solvers are exponential
+in the worst case — exactly as Theorem 1 predicts — and are intended for
+the small/medium instances of the test- and bench-suites.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.solution import Propagation
+
+__all__ = ["solve_exact", "solve_exact_bruteforce", "solve_exact_ilp"]
+
+_BALANCED_BRUTEFORCE_LIMIT = 22
+
+
+def solve_exact(problem: DeletionPropagationProblem) -> Propagation:
+    """Exact optimum, automatic backend selection: ILP when available
+    and applicable (key-preserving), else branch & bound."""
+    if problem.is_key_preserving() and _milp_available():
+        return solve_exact_ilp(problem)
+    return solve_exact_bruteforce(problem)
+
+
+# ----------------------------------------------------------------------
+# Branch & bound
+# ----------------------------------------------------------------------
+
+
+def solve_exact_bruteforce(problem: DeletionPropagationProblem) -> Propagation:
+    """Branch & bound over witness hitting choices.
+
+    For the balanced problem the ΔV requirements are optional, so the
+    search enumerates subsets of the candidate facts instead (bounded at
+    ``2**22`` states; larger balanced instances need the ILP backend).
+    """
+    if isinstance(problem, BalancedDeletionPropagationProblem):
+        return _balanced_bruteforce(problem)
+    return _standard_branch_and_bound(problem)
+
+
+def _standard_branch_and_bound(
+    problem: DeletionPropagationProblem,
+) -> Propagation:
+    requirements: list[frozenset[Fact]] = []
+    seen: set[frozenset[Fact]] = set()
+    for vt in problem.deleted_view_tuples():
+        for witness in problem.witnesses(vt):
+            if witness not in seen:
+                seen.add(witness)
+                requirements.append(witness)
+    requirements.sort(key=lambda w: (len(w), sorted(map(repr, w))))
+
+    best_cost = float("inf")
+    best_facts: frozenset[Fact] = frozenset()
+    deleted: set[Fact] = set()
+    delta = frozenset(problem.deleted_view_tuples())
+
+    def partial_cost() -> float:
+        eliminated = problem.eliminated_by(deleted)
+        return sum(problem.weight(vt) for vt in eliminated if vt not in delta)
+
+    def recurse(index: int) -> None:
+        nonlocal best_cost, best_facts
+        while index < len(requirements) and requirements[index] & deleted:
+            index += 1
+        cost = partial_cost()
+        if cost >= best_cost:
+            return  # monotone lower bound: more deletions never cost less
+        if index == len(requirements):
+            best_cost = cost
+            best_facts = frozenset(deleted)
+            return
+        for fact in sorted(requirements[index]):
+            deleted.add(fact)
+            recurse(index + 1)
+            deleted.discard(fact)
+
+    recurse(0)
+    if best_cost == float("inf") and requirements:
+        raise SolverError("branch & bound found no feasible solution")
+    return Propagation(problem, best_facts, method="exact-bnb")
+
+
+def _balanced_bruteforce(
+    problem: BalancedDeletionPropagationProblem,
+) -> Propagation:
+    candidates = problem.candidate_facts()
+    if len(candidates) > _BALANCED_BRUTEFORCE_LIMIT:
+        raise SolverError(
+            f"balanced brute force limited to {_BALANCED_BRUTEFORCE_LIMIT} "
+            f"candidate facts, got {len(candidates)}; use solve_exact_ilp"
+        )
+    best = Propagation(problem, (), method="exact-enum")
+    best_cost = best.balanced_cost()
+    for size in range(1, len(candidates) + 1):
+        for subset in combinations(candidates, size):
+            candidate = Propagation(problem, subset, method="exact-enum")
+            cost = candidate.balanced_cost()
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+    return best
+
+
+# ----------------------------------------------------------------------
+# ILP backend
+# ----------------------------------------------------------------------
+
+
+def _milp_available() -> bool:
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def solve_exact_ilp(problem: DeletionPropagationProblem) -> Propagation:
+    """Exact 0/1 ILP for key-preserving problems.
+
+    Variables: ``y_t`` per candidate fact (delete), ``x_r`` per
+    at-risk preserved view tuple (collateral).  Standard problem adds
+    a covering constraint per ΔV witness; balanced adds coverage
+    indicators ``c_b`` with objective penalty for ``c_b = 0``.
+    """
+    if not problem.is_key_preserving():
+        raise SolverError("ILP backend requires key-preserving queries")
+    try:
+        from scipy.optimize import Bounds, LinearConstraint, milp
+    except ImportError as exc:  # pragma: no cover - scipy is a dependency
+        raise SolverError("scipy.optimize.milp unavailable") from exc
+
+    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+    candidates: Sequence[Fact] = problem.candidate_facts()
+    if not candidates:
+        return Propagation(problem, (), method="exact-ilp")
+    fact_index = {fact: i for i, fact in enumerate(candidates)}
+    candidate_set = frozenset(candidates)
+
+    delta = problem.deleted_view_tuples()
+    at_risk = [
+        vt
+        for vt in problem.preserved_view_tuples()
+        if problem.witness(vt) & candidate_set
+    ]
+    risk_index = {vt: len(candidates) + i for i, vt in enumerate(at_risk)}
+
+    num_vars = len(candidates) + len(at_risk) + (len(delta) if balanced else 0)
+    cost = np.zeros(num_vars)
+    # Tiny per-deletion cost keeps solutions minimal without perturbing
+    # optimality among view-tuple weights of realistic magnitude.
+    cost[: len(candidates)] = 1e-9
+    for vt, xi in risk_index.items():
+        cost[xi] = problem.weight(vt)
+
+    rows: list[np.ndarray] = []
+    lower: list[float] = []
+    upper: list[float] = []
+
+    def add_row(row: np.ndarray, lo: float, hi: float) -> None:
+        rows.append(row)
+        lower.append(lo)
+        upper.append(hi)
+
+    # Collateral linking: deleting any witness fact of r forces x_r = 1.
+    for vt in at_risk:
+        xi = risk_index[vt]
+        for fact in problem.witness(vt) & candidate_set:
+            row = np.zeros(num_vars)
+            row[xi] = 1.0
+            row[fact_index[fact]] = -1.0
+            add_row(row, 0.0, np.inf)  # x_r - y_t >= 0
+
+    if balanced:
+        # Coverage indicators: c_b <= sum of y over the witness.
+        for i, vt in enumerate(delta):
+            ci = len(candidates) + len(at_risk) + i
+            cost[ci] = -problem.delta_penalty  # reward covering
+            row = np.zeros(num_vars)
+            row[ci] = 1.0
+            for fact in problem.witness(vt):
+                row[fact_index[fact]] = -1.0
+            add_row(row, -np.inf, 0.0)
+    else:
+        # Covering constraints: each ΔV witness must be hit.
+        for vt in delta:
+            row = np.zeros(num_vars)
+            for fact in problem.witness(vt):
+                row[fact_index[fact]] = 1.0
+            add_row(row, 1.0, np.inf)
+
+    constraints = (
+        LinearConstraint(np.vstack(rows), np.array(lower), np.array(upper))
+        if rows
+        else ()
+    )
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=np.ones(num_vars),
+        bounds=Bounds(0, 1),
+    )
+    if not result.success:
+        raise SolverError(f"ILP solver failed: {result.message}")
+    chosen = [
+        fact for fact, i in fact_index.items() if result.x[i] > 0.5
+    ]
+    return Propagation(problem, chosen, method="exact-ilp")

@@ -1,0 +1,40 @@
+"""Claim 1 — the general-case approximation.
+
+Pipeline: reduce the (weighted) view side-effect problem to Red-Blue Set
+Cover (:func:`repro.reductions.to_setcover.problem_to_rbsc`), solve with
+Peleg's LowDegTwo, and pull the selected covering sets back to source
+deletions.  The reduction preserves feasibility and cost, so the RBSC
+ratio ``2·sqrt(|C|·log|B|)`` transfers; since every fact involved in the
+views defines one covering set, ``|C| ≤ l·‖V‖`` and the ratio becomes
+the paper's ``O(2·sqrt(l·‖V‖·log‖ΔV‖))``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+from repro.reductions.to_setcover import problem_to_rbsc
+from repro.setcover.lowdeg import low_deg_two
+
+__all__ = ["solve_general", "claim1_bound"]
+
+
+def solve_general(problem: DeletionPropagationProblem) -> Propagation:
+    """The Claim 1 approximation (requires key-preserving queries)."""
+    if problem.deletion.is_empty():
+        return Propagation(problem, (), method="claim1-lowdeg")
+    reduction = problem_to_rbsc(problem)
+    selection, _ = low_deg_two(reduction.covering)
+    facts = reduction.decode(selection)
+    return Propagation(problem, facts, method="claim1-lowdeg")
+
+
+def claim1_bound(problem: DeletionPropagationProblem) -> float:
+    """The quoted ratio ``2·sqrt(l·‖V‖·log‖ΔV‖)`` (natural log, with
+    degenerate values clamped to 1)."""
+    norm_delta = problem.norm_delta_v
+    log_term = math.log(norm_delta) if norm_delta > 1 else 1.0
+    value = 2.0 * math.sqrt(problem.max_arity * problem.norm_v * log_term)
+    return max(1.0, value)

@@ -1,0 +1,110 @@
+"""Greedy baseline heuristics.
+
+Not part of the paper's contributions; used by the benches to put the
+approximation algorithms' quality in context:
+
+* :func:`solve_greedy_min_damage` — per ΔV witness, delete the fact with
+  the least *marginal* weighted damage (preserved view tuples newly
+  eliminated), processing ΔV tuples in order of increasing cheapest
+  damage.
+* :func:`solve_greedy_max_coverage` — repeatedly delete the fact with
+  the best (remaining ΔV coverage) / (1 + marginal damage) ratio until
+  all of ΔV is eliminated.
+
+Both produce feasible solutions for key-preserving problems; neither has
+a meaningful worst-case guarantee, which is precisely what the paper's
+algorithms add.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotKeyPreservingError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = ["solve_greedy_min_damage", "solve_greedy_max_coverage"]
+
+
+def _require_key_preserving(problem: DeletionPropagationProblem) -> None:
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError(
+            "greedy baselines require key-preserving queries"
+        )
+
+
+def _marginal_damage(
+    problem: DeletionPropagationProblem,
+    fact: Fact,
+    eliminated: set[ViewTuple],
+    delta: frozenset[ViewTuple],
+) -> float:
+    return sum(
+        problem.weight(vt)
+        for vt in problem.dependents(fact)
+        if vt not in delta and vt not in eliminated
+    )
+
+
+def solve_greedy_min_damage(
+    problem: DeletionPropagationProblem,
+) -> Propagation:
+    """Cheapest-fact-per-witness greedy."""
+    _require_key_preserving(problem)
+    delta = frozenset(problem.deleted_view_tuples())
+    eliminated: set[ViewTuple] = set()
+    deleted: set[Fact] = set()
+    remaining = sorted(delta)
+    while remaining:
+        # Choose the (ΔV tuple, fact) pair with the least marginal damage.
+        best: tuple[float, ViewTuple, Fact] | None = None
+        for vt in remaining:
+            if vt in eliminated:
+                continue
+            for fact in sorted(problem.witness(vt)):
+                damage = _marginal_damage(problem, fact, eliminated, delta)
+                key = (damage, vt, fact)
+                if best is None or key < best:
+                    best = key
+        if best is None:
+            break
+        _, chosen_vt, chosen_fact = best
+        deleted.add(chosen_fact)
+        eliminated.update(problem.dependents(chosen_fact))
+        remaining = [vt for vt in remaining if vt not in eliminated]
+    return Propagation(problem, deleted, method="greedy-min-damage")
+
+
+def solve_greedy_max_coverage(
+    problem: DeletionPropagationProblem,
+) -> Propagation:
+    """Best coverage-per-damage greedy."""
+    _require_key_preserving(problem)
+    delta = frozenset(problem.deleted_view_tuples())
+    eliminated: set[ViewTuple] = set()
+    deleted: set[Fact] = set()
+    uncovered = set(delta)
+    candidates = problem.candidate_facts()
+    while uncovered:
+        best_fact: Fact | None = None
+        best_score = float("-inf")
+        for fact in candidates:
+            if fact in deleted:
+                continue
+            coverage = sum(
+                1 for vt in problem.dependents(fact) if vt in uncovered
+            )
+            if coverage == 0:
+                continue
+            damage = _marginal_damage(problem, fact, eliminated, delta)
+            score = coverage / (1.0 + damage)
+            if score > best_score:
+                best_score = score
+                best_fact = fact
+        if best_fact is None:
+            break
+        deleted.add(best_fact)
+        eliminated.update(problem.dependents(best_fact))
+        uncovered -= problem.dependents(best_fact)
+    return Propagation(problem, deleted, method="greedy-max-coverage")

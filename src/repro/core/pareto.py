@@ -1,0 +1,84 @@
+"""The source/view trade-off: Pareto-optimal repairs.
+
+Tables II–III price a repair by the number of *source* deletions,
+Tables IV–V by the *view* side-effect; real cleaning tools care about
+both.  :func:`pareto_front` enumerates the Pareto-optimal trade-off
+curve: for every feasible deletion budget ``k`` (from the minimum
+hitting-set size upward) it computes the minimum view side-effect via
+the bounded exact solver and keeps the non-dominated ``(deletions,
+side_effect)`` points.
+
+The curve is finite — it stops as soon as the unbounded optimum's
+side-effect is reached, since more deletions can never help below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounded import minimum_deletion_size, solve_bounded_exact
+from repro.core.exact import solve_exact
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = ["ParetoPoint", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated repair on the trade-off curve."""
+
+    deletions: int
+    side_effect: float
+    solution: Propagation
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        return (
+            self.deletions <= other.deletions
+            and self.side_effect <= other.side_effect
+            and (
+                self.deletions < other.deletions
+                or self.side_effect < other.side_effect
+            )
+        )
+
+
+def pareto_front(
+    problem: DeletionPropagationProblem, max_budget: int | None = None
+) -> list[ParetoPoint]:
+    """The Pareto-optimal ``(|ΔD|, side_effect)`` points, by increasing
+    deletion budget.
+
+    ``max_budget`` caps the sweep (default: the candidate-fact count).
+    Empty ΔV yields the single point ``(0, 0)``.
+    """
+    if problem.deletion.is_empty():
+        return [
+            ParetoPoint(0, 0.0, Propagation(problem, (), method="pareto"))
+        ]
+    k_min = minimum_deletion_size(problem)
+    unbounded = solve_exact(problem)
+    floor = unbounded.side_effect()
+    budget_cap = (
+        max_budget
+        if max_budget is not None
+        else len(problem.candidate_facts())
+    )
+    points: list[ParetoPoint] = []
+    best_so_far = float("inf")
+    for k in range(k_min, max(k_min, budget_cap) + 1):
+        solution = solve_bounded_exact(problem, k)
+        cost = solution.side_effect()
+        if cost < best_so_far - 1e-12:
+            best_so_far = cost
+            points.append(
+                ParetoPoint(len(solution.deleted_facts), cost, solution)
+            )
+        if best_so_far <= floor + 1e-12:
+            break
+    # The recorded points are non-dominated by construction (strictly
+    # decreasing side-effect at non-decreasing budget); assert anyway.
+    for i, a in enumerate(points):
+        for b in points[i + 1 :]:
+            assert not a.dominates(b) and not b.dominates(a)
+    return points

@@ -1,0 +1,205 @@
+"""Algorithm 1 — ``PrimeDualVSE``: primal-dual l-approximation on forests.
+
+Section IV.C of the paper formulates view side-effect on trees as the LP
+(1)–(5) with dual (6)–(10) and sketches a primal-dual algorithm in the
+style of Garg–Vazirani–Yannakakis multicut on trees.  Realization here
+(documented as a substitution in DESIGN.md §4):
+
+* The forest case guarantees every witness induces a connected subtree
+  of the **data dual graph** (facts connected along the relation host
+  forest).  Each component is rooted; the *depth of a view tuple* is the
+  depth of the shallowest fact of its witness (its lca).
+* Dual constraint (7) caps the dual of a preserved view tuple ``s`` at
+  ``w_s / k_s`` (``k_s`` = witness size); constraint (8) says the ΔV
+  duals routed through a fact cannot exceed the preserved duals through
+  it.  Together a fact ``t`` has **capacity**
+  ``cap(t) = Σ_{s ∈ R, t ∈ s} w_s / k_s``.
+* Process ΔV view tuples in increasing lca depth.  For each one not yet
+  cut, raise its dual ``v_r`` by the minimum residual capacity along its
+  witness; facts whose residual reaches zero are *saturated* and
+  deleted (``y_t = 1``).
+* Reverse-delete pruning: drop deletions that are not needed for
+  feasibility, in reverse order of saturation (Algorithm 1 lines 7–10).
+
+Theorem 3 asserts the result is feasible and an ``l``-approximation
+(``l`` = max query arity); experiment E5 validates the ratio against the
+exact optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import NotKeyPreservingError, StructureError
+from repro.hypergraph.datadual import DataDualGraph
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = ["solve_primal_dual", "PrimalDualTrace"]
+
+_EPS = 1e-12
+
+
+class PrimalDualTrace:
+    """Execution trace: dual values, saturation order, pruning — used by
+    tests to check dual feasibility and by the benches for reporting."""
+
+    def __init__(self) -> None:
+        self.dual_values: dict[ViewTuple, float] = {}
+        self.saturation_order: list[Fact] = []
+        self.pruned: list[Fact] = []
+        self.capacities: dict[Fact, float] = {}
+
+    def dual_objective(self) -> float:
+        """``Σ_{r ∈ ΔV} v_r`` — a lower bound on the LP optimum."""
+        return sum(self.dual_values.values())
+
+
+def _build_data_dual(
+    problem: DeletionPropagationProblem,
+) -> tuple[DataDualGraph, dict[ViewTuple, frozenset[Fact]]]:
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError(
+            "PrimeDualVSE requires key-preserving queries"
+        )
+    if not problem.is_forest_case():
+        raise StructureError(
+            "PrimeDualVSE requires the forest case (dual hypergraph "
+            "components must be hypertrees)"
+        )
+    witnesses = {
+        vt: problem.witness(vt) for vt in problem.all_view_tuples()
+    }
+    return DataDualGraph(witnesses, problem.queries), witnesses
+
+
+def _depths(graph: DataDualGraph) -> dict[Fact, int]:
+    """Root every component at its smallest fact; return depths."""
+    depth: dict[Fact, int] = {}
+    for component in graph.components():
+        root = min(component)
+        depth[root] = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for nb in sorted(graph.neighbors(node)):
+                if nb not in depth:
+                    depth[nb] = depth[node] + 1
+                    stack.append(nb)
+    return depth
+
+
+def solve_primal_dual(
+    problem: DeletionPropagationProblem,
+    allowed_facts: Iterable[Fact] | None = None,
+    preserved_weights: Mapping[ViewTuple, float] | None = None,
+    trace: PrimalDualTrace | None = None,
+) -> Propagation:
+    """Run ``PrimeDualVSE``.
+
+    Parameters
+    ----------
+    allowed_facts:
+        Restrict deletions to these facts (used by Algorithm 2's degree
+        filter).  Facts outside get infinite capacity and never
+        saturate.  ``None`` allows every fact.
+    preserved_weights:
+        Override the weights of preserved view tuples (Algorithm 2's
+        wide-view pruning passes weight 0 for pruned tuples).  Missing
+        entries fall back to the problem's weights.
+    trace:
+        Optional :class:`PrimalDualTrace` filled during the run.
+
+    Raises
+    ------
+    StructureError
+        If the input is not a forest case, or the allowed facts cannot
+        eliminate all of ΔV (Algorithm 2 treats that as "infeasible").
+    """
+    graph, witnesses = _build_data_dual(problem)
+    depth = _depths(graph)
+    delta = problem.deleted_view_tuples()
+    preserved = problem.preserved_view_tuples()
+    allowed = None if allowed_facts is None else frozenset(allowed_facts)
+
+    def weight_of(vt: ViewTuple) -> float:
+        if preserved_weights is not None and vt in preserved_weights:
+            return preserved_weights[vt]
+        return problem.weight(vt)
+
+    # Capacities from the dual LP: cap(t) = sum of w_s / k_s.
+    capacity: dict[Fact, float] = {}
+    for vt in preserved:
+        witness = witnesses[vt]
+        share = weight_of(vt) / len(witness)
+        for fact in witness:
+            capacity[fact] = capacity.get(fact, 0.0) + share
+    for vt in delta:
+        for fact in witnesses[vt]:
+            capacity.setdefault(fact, 0.0)
+
+    residual: dict[Fact, float] = {}
+    for fact, cap in capacity.items():
+        if allowed is not None and fact not in allowed:
+            residual[fact] = float("inf")
+        else:
+            residual[fact] = cap
+    if trace is not None:
+        trace.capacities = dict(capacity)
+
+    # Infeasibility under the restriction: some ΔV witness entirely
+    # disallowed.
+    if allowed is not None:
+        for vt in delta:
+            if not witnesses[vt] & allowed:
+                raise StructureError(
+                    f"no allowed fact can eliminate {vt!r}; "
+                    "restricted instance is infeasible"
+                )
+
+    deleted: list[Fact] = []
+    deleted_set: set[Fact] = set()
+    # Zero-capacity facts saturate immediately (free deletions).
+    for fact in sorted(residual):
+        if residual[fact] <= _EPS:
+            deleted.append(fact)
+            deleted_set.add(fact)
+
+    def lca_depth(vt: ViewTuple) -> int:
+        return min(depth[f] for f in witnesses[vt])
+
+    ordered_delta = sorted(delta, key=lambda vt: (lca_depth(vt), vt))
+    dual: dict[ViewTuple, float] = {}
+    for vt in ordered_delta:
+        witness = witnesses[vt]
+        if witness & deleted_set:
+            continue  # already cut
+        raisable = min(residual[f] for f in witness)
+        if raisable == float("inf"):
+            raise StructureError(
+                f"cannot saturate any fact of {vt!r} under the "
+                "deletion restriction"
+            )
+        dual[vt] = dual.get(vt, 0.0) + raisable
+        for fact in sorted(witness):
+            if residual[fact] != float("inf"):
+                residual[fact] -= raisable
+                if residual[fact] <= _EPS and fact not in deleted_set:
+                    deleted.append(fact)
+                    deleted_set.add(fact)
+    if trace is not None:
+        trace.dual_values = dual
+        trace.saturation_order = list(deleted)
+
+    # Reverse-delete pruning: drop deletions unnecessary for feasibility.
+    needed = set(deleted_set)
+    for fact in reversed(deleted):
+        trial = needed - {fact}
+        if all(witnesses[vt] & trial for vt in delta):
+            needed = trial
+            if trace is not None:
+                trace.pruned.append(fact)
+
+    return Propagation(problem, needed, method="primal-dual")

@@ -1,0 +1,112 @@
+"""Solver registry and structure-aware dispatch.
+
+``solve(problem)`` picks the strongest applicable method:
+
+1. **Balanced** problems: exact DP when the pivot-forest structure holds,
+   else the Lemma 1 PN-PSC pipeline.
+2. Standard problems with a single deleted view tuple: exact argmin.
+3. Pivot-forest structure: Algorithm 4 (exact, polynomial).
+4. Forest case: the better of Algorithm 1 (``PrimeDualVSE``) and
+   Algorithm 3 (``LowDegTreeVSETwo``) — the paper notes the
+   ``2·sqrt(‖V‖)`` bound "is sometimes better than factor l", so running
+   both and keeping the cheaper is the natural production choice.
+5. Otherwise: the Claim 1 RBSC pipeline.
+
+Named solvers are also exposed directly via ``solve(problem, method)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SolverError
+from repro.core.balanced import solve_balanced
+from repro.core.dp_tree import applies_to as dp_applies, solve_dp_tree
+from repro.core.exact import (
+    solve_exact,
+    solve_exact_bruteforce,
+    solve_exact_ilp,
+)
+from repro.core.general import solve_general
+from repro.core.greedy import solve_greedy_max_coverage, solve_greedy_min_damage
+from repro.core.lowdeg_tree import solve_lowdeg_tree_sweep
+from repro.core.lp_rounding import solve_lp_rounding, solve_randomized_rounding
+from repro.core.primal_dual import solve_primal_dual
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.single_query import (
+    solve_single_deletion,
+    solve_single_query,
+    solve_two_atom_mincut,
+)
+from repro.core.solution import Propagation
+
+__all__ = ["SOLVERS", "available_solvers", "solve"]
+
+Solver = Callable[[DeletionPropagationProblem], Propagation]
+
+SOLVERS: dict[str, Solver] = {
+    "exact": solve_exact,
+    "exact-bnb": solve_exact_bruteforce,
+    "exact-ilp": solve_exact_ilp,
+    "claim1": solve_general,
+    "balanced-lowdeg": solve_balanced,
+    "primal-dual": solve_primal_dual,
+    "lowdeg-tree": solve_lowdeg_tree_sweep,
+    "lp-rounding": solve_lp_rounding,
+    "randomized-rounding": solve_randomized_rounding,
+    "dp-tree": solve_dp_tree,
+    "single-query": solve_single_query,
+    "single-deletion": solve_single_deletion,
+    "two-atom-mincut": solve_two_atom_mincut,
+    "greedy-min-damage": solve_greedy_min_damage,
+    "greedy-max-coverage": solve_greedy_max_coverage,
+}
+
+
+def available_solvers() -> list[str]:
+    """Names accepted by :func:`solve` (besides ``"auto"``)."""
+    return sorted(SOLVERS)
+
+
+def solve(
+    problem: DeletionPropagationProblem, method: str = "auto"
+) -> Propagation:
+    """Solve a deletion-propagation problem.
+
+    ``method="auto"`` dispatches by structure (see module docstring);
+    any name from :func:`available_solvers` forces a specific algorithm.
+    """
+    if method != "auto":
+        try:
+            solver = SOLVERS[method]
+        except KeyError:
+            raise SolverError(
+                f"unknown method {method!r}; available: "
+                f"{', '.join(available_solvers())} or 'auto'"
+            ) from None
+        return solver(problem)
+
+    if isinstance(problem, BalancedDeletionPropagationProblem):
+        if problem.is_key_preserving() and dp_applies(problem):
+            return solve_dp_tree(problem)
+        return solve_balanced(problem)
+
+    if problem.deletion.is_empty():
+        return Propagation(problem, (), method="auto-trivial")
+    if problem.norm_delta_v == 1 and problem.is_key_preserving():
+        return solve_single_deletion(problem)
+    if not problem.is_key_preserving():
+        # Outside the paper's algorithmic class: fall back to exact.
+        return solve_exact(problem)
+    if dp_applies(problem):
+        return solve_dp_tree(problem)
+    if problem.is_forest_case():
+        primal_dual = solve_primal_dual(problem)
+        sweep = solve_lowdeg_tree_sweep(problem)
+        return min(
+            (primal_dual, sweep), key=lambda s: s.side_effect()
+        )
+    return solve_general(problem)

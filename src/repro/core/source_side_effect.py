@@ -1,0 +1,137 @@
+"""The *source* side-effect variant and resilience.
+
+The paper contrasts its view-side-effect objective with the source
+side-effect problem studied in Buneman et al. 2002, Cong et al. 2012
+and Freire et al. 2015 (Tables II–III): eliminate all of ΔV while
+deleting as *few source facts* as possible — collateral view damage is
+not charged.  With witnesses in hand this is a weighted hitting-set
+problem: every witness of every ΔV tuple must lose a fact.
+
+Provided here:
+
+* :func:`solve_source_exact` — optimal hitting set by branch & bound
+  (exponential in the worst case; Table III says NP-complete already
+  for non-key-preserving CQs, so this is expected).
+* :func:`solve_source_greedy` — the classical ln-n greedy.
+* :func:`resilience` — Freire et al.'s resilience of a query: the
+  minimum number of facts whose removal leaves the query with no
+  answers at all (ΔV = the whole view).  The triad predicates in
+  :mod:`repro.relational.analysis` classify when this is PTIME.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SolverError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = [
+    "solve_source_exact",
+    "solve_source_greedy",
+    "source_cost",
+    "resilience",
+]
+
+
+def source_cost(
+    solution: Propagation, fact_weights: Mapping[Fact, float] | None = None
+) -> float:
+    """The source objective: total weight of deleted facts (unit
+    weights by default)."""
+    weights = fact_weights or {}
+    return sum(weights.get(fact, 1.0) for fact in solution.deleted_facts)
+
+
+def _requirements(problem: DeletionPropagationProblem) -> list[frozenset[Fact]]:
+    requirements: list[frozenset[Fact]] = []
+    seen: set[frozenset[Fact]] = set()
+    for vt in problem.deleted_view_tuples():
+        for witness in problem.witnesses(vt):
+            if witness not in seen:
+                seen.add(witness)
+                requirements.append(witness)
+    requirements.sort(key=lambda w: (len(w), sorted(map(repr, w))))
+    return requirements
+
+
+def solve_source_exact(
+    problem: DeletionPropagationProblem,
+    fact_weights: Mapping[Fact, float] | None = None,
+) -> Propagation:
+    """Minimum-weight hitting set over the ΔV witnesses (exact)."""
+    requirements = _requirements(problem)
+    weights = fact_weights or {}
+
+    best_cost = float("inf")
+    best: frozenset[Fact] = frozenset()
+    deleted: set[Fact] = set()
+
+    def cost() -> float:
+        return sum(weights.get(fact, 1.0) for fact in deleted)
+
+    def recurse(index: int) -> None:
+        nonlocal best_cost, best
+        while index < len(requirements) and requirements[index] & deleted:
+            index += 1
+        current = cost()
+        if current >= best_cost:
+            return
+        if index == len(requirements):
+            best_cost = current
+            best = frozenset(deleted)
+            return
+        for fact in sorted(requirements[index]):
+            deleted.add(fact)
+            recurse(index + 1)
+            deleted.discard(fact)
+
+    recurse(0)
+    if best_cost == float("inf") and requirements:
+        raise SolverError("no hitting set found")  # unreachable: witnesses non-empty
+    return Propagation(problem, best, method="source-exact")
+
+
+def solve_source_greedy(
+    problem: DeletionPropagationProblem,
+    fact_weights: Mapping[Fact, float] | None = None,
+) -> Propagation:
+    """Greedy hitting set: repeatedly delete the fact covering the most
+    unhit witnesses per unit weight (the ln-n set-cover greedy)."""
+    requirements = _requirements(problem)
+    weights = fact_weights or {}
+    unhit = list(requirements)
+    deleted: set[Fact] = set()
+    while unhit:
+        counts: dict[Fact, int] = {}
+        for witness in unhit:
+            for fact in witness:
+                counts[fact] = counts.get(fact, 0) + 1
+        best_fact = min(
+            counts,
+            key=lambda fact: (weights.get(fact, 1.0) / counts[fact], fact),
+        )
+        deleted.add(best_fact)
+        unhit = [w for w in unhit if best_fact not in w]
+    return Propagation(problem, deleted, method="source-greedy")
+
+
+def resilience(
+    query: ConjunctiveQuery, instance: Instance
+) -> tuple[int, frozenset[Fact]]:
+    """Freire et al.'s resilience: the minimum number of facts whose
+    deletion makes ``query`` return no answers (0 when the view is
+    already empty).  Returns ``(size, facts)``."""
+    probe = DeletionPropagationProblem(instance, [query], {})
+    view = probe.views.view(query.name)
+    if not view.tuples:
+        return 0, frozenset()
+    problem = DeletionPropagationProblem(
+        instance, [query], {query.name: sorted(view.tuples)}
+    )
+    solution = solve_source_exact(problem)
+    return len(solution.deleted_facts), solution.deleted_facts

@@ -1,0 +1,94 @@
+"""Instance and workload statistics.
+
+Summaries that practitioners look at before running deletion
+propagation — view sizes, witness widths, fact fan-out (how many view
+tuples a single deletion would take down), and candidate overlap — and
+that the benches use to characterize generated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.problem import DeletionPropagationProblem
+
+__all__ = ["WorkloadStatistics", "workload_statistics"]
+
+
+@dataclass(frozen=True)
+class WorkloadStatistics:
+    """One problem instance, summarized."""
+
+    num_facts: int
+    num_queries: int
+    norm_v: int
+    norm_delta_v: int
+    max_arity: int
+    view_sizes: Mapping[str, int]
+    witness_width_histogram: Mapping[int, int]
+    max_fan_out: int
+    mean_fan_out: float
+    candidate_facts: int
+    overlapping_candidates: int
+    key_preserving: bool
+    forest_case: bool
+
+    def as_rows(self) -> list[dict]:
+        """Key/value rows for table rendering."""
+        rows = [
+            {"statistic": "facts", "value": self.num_facts},
+            {"statistic": "queries", "value": self.num_queries},
+            {"statistic": "‖V‖", "value": self.norm_v},
+            {"statistic": "‖ΔV‖", "value": self.norm_delta_v},
+            {"statistic": "l (max arity)", "value": self.max_arity},
+            {"statistic": "max fan-out", "value": self.max_fan_out},
+            {"statistic": "mean fan-out", "value": round(self.mean_fan_out, 2)},
+            {"statistic": "candidate facts", "value": self.candidate_facts},
+            {
+                "statistic": "multi-view candidates",
+                "value": self.overlapping_candidates,
+            },
+            {"statistic": "key-preserving", "value": self.key_preserving},
+            {"statistic": "forest case", "value": self.forest_case},
+        ]
+        return rows
+
+
+def workload_statistics(
+    problem: DeletionPropagationProblem,
+) -> WorkloadStatistics:
+    """Compute all statistics for one problem."""
+    view_sizes = {view.name: len(view) for view in problem.views}
+    width_histogram: dict[int, int] = {}
+    fan_out: dict = {}
+    for vt in problem.all_view_tuples():
+        for witness in problem.witnesses(vt):
+            width_histogram[len(witness)] = (
+                width_histogram.get(len(witness), 0) + 1
+            )
+            for fact in witness:
+                fan_out[fact] = fan_out.get(fact, 0) + 1
+    candidates = problem.candidate_facts()
+    overlapping = 0
+    for fact in candidates:
+        views_touched = {vt.view for vt in problem.dependents(fact)}
+        if len(views_touched) > 1:
+            overlapping += 1
+    return WorkloadStatistics(
+        num_facts=len(problem.instance),
+        num_queries=len(problem.queries),
+        norm_v=problem.norm_v,
+        norm_delta_v=problem.norm_delta_v,
+        max_arity=problem.max_arity,
+        view_sizes=view_sizes,
+        witness_width_histogram=dict(sorted(width_histogram.items())),
+        max_fan_out=max(fan_out.values(), default=0),
+        mean_fan_out=(
+            sum(fan_out.values()) / len(fan_out) if fan_out else 0.0
+        ),
+        candidate_facts=len(candidates),
+        overlapping_candidates=overlapping,
+        key_preserving=problem.is_key_preserving(),
+        forest_case=problem.is_forest_case(),
+    )

@@ -1,0 +1,107 @@
+"""Independent solution verification.
+
+A :class:`~repro.core.solution.Propagation` computes its effect through
+witness bookkeeping.  This module re-derives the effect through two
+independent routes and reports any disagreement:
+
+* ``engine`` — evaluate every query from scratch on ``D \\ ΔD`` with the
+  library's join engine;
+* ``sqlite`` — generate SQL, apply the deletions, and evaluate on
+  stdlib SQLite (a genuinely separate implementation).
+
+``verify_solution`` is what a downstream user runs before trusting a
+suggested deletion; the test-suite uses it to tie the whole stack
+together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SolverError
+from repro.relational.evaluate import result_tuples
+from repro.relational.views import ViewTuple
+from repro.core.solution import Propagation
+
+__all__ = ["VerificationReport", "verify_solution"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of cross-checking one solution."""
+
+    backend: str
+    consistent: bool
+    feasible: bool
+    side_effect: float
+    mismatches: tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _views_after(solution: Propagation, backend: str) -> dict[str, set]:
+    problem = solution.problem
+    if backend == "engine":
+        remaining = problem.instance.without(solution.deleted_facts)
+        return {
+            query.name: result_tuples(query, remaining)
+            for query in problem.queries
+        }
+    if backend == "sqlite":
+        from repro.io.sqlgen import apply_deletion_on_sqlite
+
+        return apply_deletion_on_sqlite(
+            problem.instance,
+            list(problem.queries),
+            solution.deleted_facts,
+        )
+    raise SolverError(f"unknown verification backend {backend!r}")
+
+
+def verify_solution(
+    solution: Propagation, backend: str = "engine"
+) -> VerificationReport:
+    """Re-derive the solution's effect via ``backend`` and compare with
+    the witness-based accounting.
+
+    The report is ``consistent`` when the recomputed views equal the
+    bookkeeping's prediction exactly; ``feasible`` and ``side_effect``
+    are recomputed from the backend's view contents (not trusted from
+    the solution object).
+    """
+    problem = solution.problem
+    after = _views_after(solution, backend)
+    mismatches: list[str] = []
+    recomputed_feasible = True
+    recomputed_side_effect = 0.0
+    for view in problem.views:
+        predicted = {
+            values
+            for values in view.tuples
+            if ViewTuple(view.name, values)
+            not in solution.eliminated_view_tuples
+        }
+        actual = after[view.name]
+        if predicted != actual:
+            extra = actual - predicted
+            missing = predicted - actual
+            mismatches.append(
+                f"view {view.name!r}: {len(extra)} unexpected, "
+                f"{len(missing)} missing"
+            )
+        for values in view.tuples:
+            vt = ViewTuple(view.name, values)
+            survived = values in actual
+            if vt in problem.deletion:
+                if survived:
+                    recomputed_feasible = False
+            elif not survived:
+                recomputed_side_effect += problem.weight(vt)
+    return VerificationReport(
+        backend=backend,
+        consistent=not mismatches,
+        feasible=recomputed_feasible,
+        side_effect=recomputed_side_effect,
+        mismatches=tuple(mismatches),
+    )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every invariant violation in the library raises a subclass of
+:class:`ReproError`.  Catching the base class is the supported way for
+applications to handle any library-level failure; the concrete subclasses
+exist so that tests and callers can distinguish schema problems from query
+problems from solver problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is malformed (bad arity, empty key, duplicate
+    relation names, key positions out of range, ...)."""
+
+
+class InstanceError(ReproError):
+    """A database instance operation violates schema constraints, most
+    commonly a primary-key violation or a fact of the wrong arity."""
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed: unknown relation, arity mismatch,
+    empty head, head variables that do not occur in the body, ..."""
+
+
+class ParseError(QueryError):
+    """The datalog-style query text could not be parsed."""
+
+
+class NotKeyPreservingError(QueryError):
+    """An operation that requires key-preserving queries was given a query
+    that is not key preserving."""
+
+
+class ViewError(ReproError):
+    """A view or view deletion is inconsistent with its query/result
+    (e.g. a requested deletion is not actually a view tuple)."""
+
+
+class ProblemError(ReproError):
+    """A deletion-propagation problem instance is malformed."""
+
+
+class SolverError(ReproError):
+    """A solver could not produce a solution (infeasible input for an
+    algorithm with preconditions, missing optional backend, ...)."""
+
+
+class StructureError(SolverError):
+    """An algorithm with structural preconditions (forest case, pivot
+    tuple) was applied to an input that does not satisfy them."""
+
+
+class ReductionError(ReproError):
+    """A reduction between problems received an invalid instance or a
+    solution that does not map back."""

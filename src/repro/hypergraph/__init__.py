@@ -1,0 +1,41 @@
+"""Hypergraph substrate: generic hypergraphs, Fagin-style acyclicity
+degrees, join/host forests, query-set dual hypergraphs (Fig. 3), and the
+data dual graph with pivot detection (Algorithm 4's tractable class)."""
+
+from repro.hypergraph.acyclicity import (
+    dual_of,
+    gyo_reduction,
+    host_forest,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_hypertree,
+    join_forest,
+)
+from repro.hypergraph.datadual import DataDualGraph, RootedComponent, Segment
+from repro.hypergraph.dual import (
+    dual_hypergraph,
+    forest_components,
+    is_forest_case,
+    relation_host_forest,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "DataDualGraph",
+    "Hypergraph",
+    "RootedComponent",
+    "Segment",
+    "dual_hypergraph",
+    "dual_of",
+    "forest_components",
+    "gyo_reduction",
+    "host_forest",
+    "is_alpha_acyclic",
+    "is_berge_acyclic",
+    "is_beta_acyclic",
+    "is_forest_case",
+    "is_hypertree",
+    "join_forest",
+    "relation_host_forest",
+]

@@ -1,0 +1,266 @@
+"""Degrees of hypergraph acyclicity (Fagin 1983) and join trees.
+
+Implemented here:
+
+* **GYO reduction** and **α-acyclicity**.
+* **β-acyclicity** via nest-point elimination (a vertex is a *nest point*
+  when the edges containing it form a chain under inclusion; a hypergraph
+  is β-acyclic iff repeated nest-point removal empties it).
+* **Join trees / join forests** by the Bernstein–Goodman maximal-weight
+  spanning tree construction, with an explicit running-intersection
+  verification.
+* **Hypertree (arboreal) test**: a hypergraph admits a *host tree* — a
+  tree on its vertices in which every hyperedge induces a subtree — iff
+  its dual hypergraph is α-acyclic; the host tree is the join tree of the
+  dual.  This is the notion behind the paper's Fig. 3 ("if every
+  connected component is a hypertree, the input is a forest case").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import StructureError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "is_beta_acyclic",
+    "is_berge_acyclic",
+    "dual_of",
+    "join_forest",
+    "is_hypertree",
+    "host_forest",
+]
+
+Vertex = Hashable
+
+
+def gyo_reduction(graph: Hypergraph) -> dict[str, frozenset[Vertex]]:
+    """Run the GYO (Graham / Yu–Özsoyoğlu) reduction.
+
+    Repeatedly (a) drop vertices contained in at most one edge and
+    (b) drop edges contained in another edge, until fixpoint.  Returns
+    the remaining edges; an empty result certifies α-acyclicity.
+    """
+    edges: dict[str, set[Vertex]] = {
+        name: set(members) for name, members in graph.edges().items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        # (a) remove vertices occurring in at most one edge
+        occurrences: dict[Vertex, int] = {}
+        for members in edges.values():
+            for v in members:
+                occurrences[v] = occurrences.get(v, 0) + 1
+        for members in edges.values():
+            lonely = {v for v in members if occurrences[v] <= 1}
+            if lonely:
+                members.difference_update(lonely)
+                changed = True
+        # (b) remove empty edges and edges contained in another edge
+        names = list(edges)
+        for name in names:
+            members = edges.get(name)
+            if members is None:
+                continue
+            if not members:
+                del edges[name]
+                changed = True
+                continue
+            for other_name, other in edges.items():
+                if other_name != name and members <= other:
+                    del edges[name]
+                    changed = True
+                    break
+    return {name: frozenset(members) for name, members in edges.items()}
+
+
+def is_alpha_acyclic(graph: Hypergraph) -> bool:
+    """α-acyclicity: the GYO reduction eliminates every edge."""
+    return not gyo_reduction(graph)
+
+
+def is_beta_acyclic(graph: Hypergraph) -> bool:
+    """β-acyclicity via nest-point elimination.
+
+    A vertex is a *nest point* when the edges containing it are totally
+    ordered by inclusion.  A hypergraph is β-acyclic iff iterated removal
+    of nest points (discarding emptied edges) removes every vertex.
+    """
+    edges: list[set[Vertex]] = [set(m) for m in graph.edges().values()]
+    vertices: set[Vertex] = set(graph.vertices)
+    while vertices:
+        nest = None
+        for v in vertices:
+            containing = [e for e in edges if v in e]
+            containing.sort(key=len)
+            if all(
+                containing[i] <= containing[i + 1]
+                for i in range(len(containing) - 1)
+            ):
+                nest = v
+                break
+        if nest is None:
+            return False
+        vertices.discard(nest)
+        for e in edges:
+            e.discard(nest)
+        edges = [e for e in edges if e]
+    return True
+
+
+def is_berge_acyclic(graph: Hypergraph) -> bool:
+    """Berge acyclicity — the strictest of Fagin's degrees.
+
+    A Berge cycle alternates distinct vertices and distinct edges
+    around a ring of length >= 2; a hypergraph has none exactly when
+    its bipartite *incidence graph* (vertices vs. edges, adjacency =
+    membership) is a forest.  Equivalent quick test: the incidence
+    graph's edge count stays below vertices + edges per connected
+    component — here computed by a union-find over memberships.
+    """
+    parent: dict = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for name, members in graph.edges().items():
+        for vertex in members:
+            a, b = find(("e", name)), find(("v", vertex))
+            if a == b:
+                return False  # membership edge closes a cycle
+            parent[a] = b
+    return True
+
+
+def dual_of(graph: Hypergraph) -> Hypergraph:
+    """The dual hypergraph: one vertex per edge of ``graph``, one edge
+    per vertex of ``graph`` collecting the edges that contain it.
+
+    Isolated vertices of ``graph`` (in no edge) would create empty dual
+    edges and are skipped.
+    """
+    dual = Hypergraph(vertices=graph.edge_names)
+    for v in sorted(graph.vertices, key=repr):
+        containing = graph.edges_containing(v)
+        if containing:
+            dual.add_edge(f"v:{v!r}", containing)
+    return dual
+
+
+def _max_weight_spanning_forest(
+    nodes: list[str], weight: dict[tuple[str, str], int]
+) -> list[tuple[str, str]]:
+    """Kruskal on positive weights only (zero-weight pairs are not
+    joined, yielding a forest per overlap-connected component)."""
+    pairs = sorted(
+        (pair for pair, w in weight.items() if w > 0),
+        key=lambda pair: -weight[pair],
+    )
+    parent = {n: n for n in nodes}
+
+    def find(n: str) -> str:
+        while parent[n] != n:
+            parent[n] = parent[parent[n]]
+            n = parent[n]
+        return n
+
+    chosen: list[tuple[str, str]] = []
+    for u, v in pairs:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            chosen.append((u, v))
+    return chosen
+
+
+def join_forest(graph: Hypergraph) -> list[tuple[str, str]] | None:
+    """A join forest over the hyperedges, or ``None`` if none exists.
+
+    Nodes are edge names; the running-intersection property holds: for
+    every vertex, the edges containing it induce a connected subtree.
+    By Bernstein–Goodman, a maximal-weight spanning forest of the
+    edge-intersection graph is a join forest iff the hypergraph is
+    α-acyclic.
+    """
+    names = list(graph.edge_names)
+    weight: dict[tuple[str, str], int] = {}
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            w = len(graph.edge(a) & graph.edge(b))
+            if w:
+                weight[(a, b)] = w
+    forest = _max_weight_spanning_forest(names, weight)
+    if _running_intersection_holds(graph, forest):
+        return forest
+    return None
+
+
+def _running_intersection_holds(
+    graph: Hypergraph, forest: list[tuple[str, str]]
+) -> bool:
+    adjacency: dict[str, set[str]] = {n: set() for n in graph.edge_names}
+    for u, v in forest:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    for vertex in graph.vertices:
+        containing = set(graph.edges_containing(vertex))
+        if len(containing) <= 1:
+            continue
+        start = next(iter(containing))
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            for nb in adjacency[node]:
+                if nb in containing and nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        if seen != containing:
+            return False
+    return True
+
+
+def is_hypertree(graph: Hypergraph) -> bool:
+    """Arboreal / hypertree test: does a host tree exist?
+
+    A *host tree* is a tree on the vertices of ``graph`` such that every
+    hyperedge induces a subtree.  Equivalently the dual hypergraph is
+    α-acyclic.  This is the paper's Fig. 3 notion: the dual hypergraph of
+    a query set is a hypertree iff deletion propagation falls into the
+    forest case.
+    """
+    if not graph.vertices:
+        return True
+    return is_alpha_acyclic(dual_of(graph))
+
+
+def host_forest(graph: Hypergraph) -> list[tuple[Vertex, Vertex]]:
+    """Construct a host forest (host tree per connected component).
+
+    Returns tree edges over the vertices of ``graph``.  Raises
+    :class:`StructureError` when the hypergraph is not a hypertree.
+    The construction is the join forest of the dual hypergraph: dual
+    edge names encode original vertices.
+    """
+    if not is_hypertree(graph):
+        raise StructureError("hypergraph admits no host tree (not arboreal)")
+    dual = dual_of(graph)
+    # Dual vertices are edge names of `graph`; dual edges are per-vertex.
+    # A join forest of the dual has *dual edges* as nodes, i.e. original
+    # vertices, which is exactly a host forest.
+    forest = join_forest(dual)
+    if forest is None:
+        raise StructureError(
+            "dual is α-acyclic but join forest construction failed"
+        )
+    decode: dict[str, Vertex] = {}
+    for v in graph.vertices:
+        decode[f"v:{v!r}"] = v
+    return [(decode[u], decode[v]) for u, v in forest]

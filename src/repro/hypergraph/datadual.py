@@ -1,0 +1,283 @@
+"""Data dual graphs and pivot tuples (paper Section IV.E).
+
+For the forest case, each view tuple's witness — one fact per atom — is
+laid out as the paper's *join path*: facts are connected along the
+query's **atom tree** (atoms adjacent when they share a variable; a
+spanning tree is fixed per query in body order, so every witness of a
+query is laid out identically).  The union of those layouts over all
+view tuples is the *data dual graph* over base facts.
+
+The restricted tractable class of Algorithm 4 additionally requires a
+**pivot tuple** per connected component: a fact ``p`` such that, rooting
+the component at ``p``, every witness is a *vertical segment* — a
+contiguous run of facts along a single root-to-leaf path.  Under that
+layout the view side-effect problem (and its balanced version) is solved
+exactly by dynamic programming (:mod:`repro.core.dp_tree`).
+
+Self-joins are not supported here (a witness fact set cannot be mapped
+back to atoms unambiguously); Section IV.B of the paper restricts the
+forest machinery to sj-free key-preserving queries as well.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import QueryError, StructureError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+
+__all__ = ["DataDualGraph", "Segment", "RootedComponent", "atom_tree"]
+
+
+def atom_tree(query: ConjunctiveQuery) -> list[tuple[int, int]]:
+    """A canonical spanning forest of the query's atom-adjacency graph.
+
+    Atoms are adjacent when they share a variable.  The forest is built
+    by BFS in body order, so it is deterministic for a given query.
+    """
+    n = len(query.body)
+    var_sets = [atom.variable_set() for atom in query.body]
+    edges: list[tuple[int, int]] = []
+    visited: set[int] = set()
+    for start in range(n):
+        if start in visited:
+            continue
+        visited.add(start)
+        frontier = [start]
+        while frontier:
+            node = frontier.pop(0)
+            for other in range(n):
+                if other in visited:
+                    continue
+                if var_sets[node] & var_sets[other]:
+                    visited.add(other)
+                    edges.append((node, other))
+                    frontier.append(other)
+    return edges
+
+
+def _atom_facts(
+    query: ConjunctiveQuery, witness: frozenset[Fact]
+) -> list[Fact]:
+    """Map a witness fact set back to per-atom facts (sj-free only)."""
+    if not query.is_self_join_free():
+        raise QueryError(
+            f"query {query.name!r} has self-joins; the data dual layout "
+            "requires sj-free queries (paper Section IV.B)"
+        )
+    by_relation = {fact.relation: fact for fact in witness}
+    out: list[Fact] = []
+    for atom in query.body:
+        fact = by_relation.get(atom.relation)
+        if fact is None:
+            raise StructureError(
+                f"witness {sorted(map(repr, witness))} misses relation "
+                f"{atom.relation!r} of query {query.name!r}"
+            )
+        out.append(fact)
+    return out
+
+
+class Segment:
+    """A witness rendered as a vertical segment of a rooted component.
+
+    ``top`` is the segment fact closest to the root, ``bottom`` the
+    farthest; ``facts`` is the full contiguous run.
+    """
+
+    __slots__ = ("view_tuple", "top", "bottom", "facts")
+
+    def __init__(
+        self, view_tuple: ViewTuple, top: Fact, bottom: Fact, facts: tuple[Fact, ...]
+    ):
+        self.view_tuple = view_tuple
+        self.top = top
+        self.bottom = bottom
+        self.facts = facts
+
+    def __repr__(self) -> str:
+        return f"Segment({self.view_tuple!r}, length {len(self.facts)})"
+
+
+class RootedComponent:
+    """One connected component of the data dual graph rooted at a pivot."""
+
+    def __init__(
+        self,
+        pivot: Fact,
+        parent: dict[Fact, Fact | None],
+        depth: dict[Fact, int],
+        children: dict[Fact, list[Fact]],
+        segments: list[Segment],
+    ):
+        self.pivot = pivot
+        self.parent = parent
+        self.depth = depth
+        self.children = children
+        self.segments = segments
+
+    @property
+    def facts(self) -> list[Fact]:
+        return sorted(self.parent)
+
+    def postorder(self) -> list[Fact]:
+        """Facts in post-order (children before parents)."""
+        order: list[Fact] = []
+        stack: list[tuple[Fact, bool]] = [(self.pivot, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for child in sorted(self.children.get(node, []), reverse=True):
+                    stack.append((child, False))
+        return order
+
+
+class DataDualGraph:
+    """The data dual graph of a (forest-case) problem instance.
+
+    Parameters
+    ----------
+    witnesses:
+        Mapping of every view tuple to its (unique) witness fact set.
+    queries:
+        The queries, supplying per-view atom trees for the layout.
+    """
+
+    def __init__(
+        self,
+        witnesses: Mapping[ViewTuple, frozenset[Fact]],
+        queries: Sequence[ConjunctiveQuery],
+    ):
+        self._witnesses = dict(witnesses)
+        query_by_name = {q.name: q for q in queries}
+        trees = {q.name: atom_tree(q) for q in queries}
+        self._adjacency: dict[Fact, set[Fact]] = {}
+        for vt, witness in self._witnesses.items():
+            query = query_by_name.get(vt.view)
+            if query is None:
+                raise StructureError(f"no query for view {vt.view!r}")
+            facts = _atom_facts(query, witness)
+            for fact in facts:
+                self._adjacency.setdefault(fact, set())
+            for i, j in trees[query.name]:
+                if facts[i] != facts[j]:
+                    self._adjacency[facts[i]].add(facts[j])
+                    self._adjacency[facts[j]].add(facts[i])
+
+    @property
+    def facts(self) -> list[Fact]:
+        return sorted(self._adjacency)
+
+    def neighbors(self, fact: Fact) -> frozenset[Fact]:
+        return frozenset(self._adjacency.get(fact, ()))
+
+    # ------------------------------------------------------------------
+    # Components and forest structure
+    # ------------------------------------------------------------------
+
+    def components(self) -> list[set[Fact]]:
+        seen: set[Fact] = set()
+        out: list[set[Fact]] = []
+        for start in sorted(self._adjacency):
+            if start in seen:
+                continue
+            stack, comp = [start], set()
+            while stack:
+                node = stack.pop()
+                if node in comp:
+                    continue
+                comp.add(node)
+                stack.extend(self._adjacency[node] - comp)
+            seen.update(comp)
+            out.append(comp)
+        return out
+
+    def is_forest(self) -> bool:
+        """Acyclic check: |edges| = |vertices| - |components|."""
+        num_edges = sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+        return num_edges == len(self._adjacency) - len(self.components())
+
+    # ------------------------------------------------------------------
+    # Pivot detection (Algorithm 4's precondition)
+    # ------------------------------------------------------------------
+
+    def root_at(self, pivot: Fact, component: set[Fact]) -> RootedComponent | None:
+        """Try to root ``component`` at ``pivot``; return the rooted
+        layout when every witness inside is a vertical segment, else
+        ``None``."""
+        parent: dict[Fact, Fact | None] = {pivot: None}
+        depth: dict[Fact, int] = {pivot: 0}
+        children: dict[Fact, list[Fact]] = {f: [] for f in component}
+        stack = [pivot]
+        while stack:
+            node = stack.pop()
+            for nb in sorted(self._adjacency[node]):
+                if nb not in parent:
+                    parent[nb] = node
+                    depth[nb] = depth[node] + 1
+                    children[node].append(nb)
+                    stack.append(nb)
+        if set(parent) != component:
+            return None  # pivot not in this component (or disconnected)
+        segments: list[Segment] = []
+        for view_tuple, witness in self._witnesses.items():
+            if not witness <= component:
+                continue
+            segment = self._as_segment(view_tuple, witness, parent, depth)
+            if segment is None:
+                return None
+            segments.append(segment)
+        return RootedComponent(pivot, parent, depth, children, segments)
+
+    @staticmethod
+    def _as_segment(
+        view_tuple: ViewTuple,
+        witness: frozenset[Fact],
+        parent: dict[Fact, Fact | None],
+        depth: dict[Fact, int],
+    ) -> Segment | None:
+        facts = sorted(witness, key=lambda f: (depth[f], repr(f)))
+        for shallower, deeper in zip(facts, facts[1:]):
+            if parent[deeper] != shallower:
+                return None
+        return Segment(view_tuple, facts[0], facts[-1], tuple(facts))
+
+    def find_pivot(self, component: set[Fact]) -> RootedComponent | None:
+        """Search every fact of the component as a pivot candidate and
+        return the first rooting under which all witnesses are vertical
+        segments (``None`` if no pivot exists)."""
+        for candidate in sorted(component):
+            rooted = self.root_at(candidate, component)
+            if rooted is not None:
+                return rooted
+        return None
+
+    def rooted_components(self) -> list[RootedComponent]:
+        """Rooted layout of every component; raises
+        :class:`StructureError` when some component has no pivot (the
+        instance is outside Algorithm 4's class)."""
+        if not self.is_forest():
+            raise StructureError("data dual graph contains a cycle")
+        out: list[RootedComponent] = []
+        for component in self.components():
+            rooted = self.find_pivot(component)
+            if rooted is None:
+                raise StructureError(
+                    "no pivot tuple: some component admits no rooting "
+                    "under which all witnesses are vertical segments"
+                )
+            out.append(rooted)
+        return out
+
+    def has_pivot_structure(self) -> bool:
+        """Non-raising version of :meth:`rooted_components`."""
+        try:
+            self.rooted_components()
+        except StructureError:
+            return False
+        return True

@@ -1,0 +1,65 @@
+"""Dual hypergraphs of query sets (paper Section IV.B, Fig. 3).
+
+Given queries ``Q = {Q1..Qm}`` over schema ``S = {T1..Tn}``, the dual
+hypergraph ``H(Q)`` has the relation symbols as vertices and one
+hyperedge per query, collecting the relations in its body:
+``e_i = {T_ij | 1 <= j <= q_i}``.
+
+The paper's *forest case* is the class of inputs whose dual hypergraph
+has every connected component a **hypertree** (a host tree on the
+relations exists in which every query induces a subtree); see
+:mod:`repro.hypergraph.acyclicity` for the test and construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.hypergraph.acyclicity import host_forest, is_hypertree
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.relational.cq import ConjunctiveQuery
+
+__all__ = [
+    "dual_hypergraph",
+    "is_forest_case",
+    "relation_host_forest",
+]
+
+
+def dual_hypergraph(queries: Sequence[ConjunctiveQuery]) -> Hypergraph:
+    """Build ``H(Q)`` for a set of queries."""
+    graph = Hypergraph()
+    for query in queries:
+        graph.add_edge(query.name, query.relation_set())
+    return graph
+
+
+def is_forest_case(queries: Sequence[ConjunctiveQuery]) -> bool:
+    """True iff every connected component of the dual hypergraph is a
+    hypertree — the precondition of Algorithms 1–3."""
+    graph = dual_hypergraph(queries)
+    return all(is_hypertree(c) for c in graph.connected_components())
+
+
+def relation_host_forest(
+    queries: Sequence[ConjunctiveQuery],
+) -> list[tuple[str, str]]:
+    """Host forest over the relation symbols: tree edges ``(T_a, T_b)``
+    such that every query's relation set induces a subtree.
+
+    Raises :class:`~repro.errors.StructureError` when the input is not a
+    forest case.
+    """
+    graph = dual_hypergraph(queries)
+    edges: list[tuple[str, str]] = []
+    for component in graph.connected_components():
+        edges.extend(host_forest(component))
+    return edges
+
+
+def forest_components(
+    queries: Sequence[ConjunctiveQuery],
+) -> list[Hypergraph]:
+    """The connected components of the dual hypergraph (each one a
+    sub-hypergraph over a subset of the relations)."""
+    return dual_hypergraph(queries).connected_components()

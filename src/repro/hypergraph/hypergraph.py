@@ -1,0 +1,133 @@
+"""Generic hypergraphs.
+
+A :class:`Hypergraph` has hashable vertices and named hyperedges (each a
+non-empty frozenset of vertices).  It provides the primitives the rest of
+the package needs: incidence, vertex/edge neighborhoods, connected
+components, and the primal ("Gaifman") graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import StructureError
+
+__all__ = ["Hypergraph"]
+
+Vertex = Hashable
+
+
+class Hypergraph:
+    """An undirected hypergraph with named edges."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Mapping[str, Iterable[Vertex]] | None = None,
+    ):
+        self._vertices: set[Vertex] = set(vertices)
+        self._edges: dict[str, frozenset[Vertex]] = {}
+        if edges:
+            for name, members in edges.items():
+                self.add_edge(name, members)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        self._vertices.add(vertex)
+
+    def add_edge(self, name: str, members: Iterable[Vertex]) -> None:
+        """Add a hyperedge; members are added as vertices implicitly."""
+        member_set = frozenset(members)
+        if not member_set:
+            raise StructureError(f"hyperedge {name!r} must be non-empty")
+        if name in self._edges:
+            raise StructureError(f"duplicate hyperedge name {name!r}")
+        self._edges[name] = member_set
+        self._vertices.update(member_set)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def vertices(self) -> frozenset[Vertex]:
+        return frozenset(self._vertices)
+
+    @property
+    def edge_names(self) -> tuple[str, ...]:
+        return tuple(self._edges)
+
+    def edge(self, name: str) -> frozenset[Vertex]:
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise StructureError(f"unknown hyperedge {name!r}") from None
+
+    def edges(self) -> dict[str, frozenset[Vertex]]:
+        return dict(self._edges)
+
+    def edges_containing(self, vertex: Vertex) -> list[str]:
+        return [name for name, members in self._edges.items() if vertex in members]
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self.edges_containing(vertex))
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def primal_adjacency(self) -> dict[Vertex, set[Vertex]]:
+        """The primal (Gaifman) graph: vertices adjacent when they share
+        a hyperedge."""
+        adjacency: dict[Vertex, set[Vertex]] = {v: set() for v in self._vertices}
+        for members in self._edges.values():
+            for v in members:
+                adjacency[v].update(members - {v})
+        return adjacency
+
+    def connected_components(self) -> list["Hypergraph"]:
+        """Split into connected components (isolated vertices form
+        singleton components with no edges)."""
+        adjacency = self.primal_adjacency()
+        seen: set[Vertex] = set()
+        components: list[Hypergraph] = []
+        for start in self._vertices:
+            if start in seen:
+                continue
+            stack = [start]
+            component_vertices: set[Vertex] = set()
+            while stack:
+                v = stack.pop()
+                if v in component_vertices:
+                    continue
+                component_vertices.add(v)
+                stack.extend(adjacency[v] - component_vertices)
+            seen.update(component_vertices)
+            sub = Hypergraph(component_vertices)
+            for name, members in self._edges.items():
+                if members <= component_vertices:
+                    sub.add_edge(name, members)
+            components.append(sub)
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph({len(self._vertices)} vertices, "
+            f"{len(self._edges)} edges)"
+        )

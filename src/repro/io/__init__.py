@@ -1,0 +1,47 @@
+"""I/O: human-editable JSON problem documents, solution records, SQL
+generation with SQLite cross-validation, used by the CLI and for
+persisting experiment inputs."""
+
+from repro.io.sqlgen import (
+    SqlGenError,
+    apply_deletion_on_sqlite,
+    create_table_sql,
+    delete_sql,
+    evaluate_on_sqlite,
+    insert_sql,
+    query_sql,
+)
+from repro.io.serialize import (
+    SerializationError,
+    dump_problem,
+    instance_from_dict,
+    instance_to_dict,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    query_to_text,
+    schema_from_dict,
+    schema_to_dict,
+    solution_to_dict,
+)
+
+__all__ = [
+    "SerializationError",
+    "SqlGenError",
+    "apply_deletion_on_sqlite",
+    "create_table_sql",
+    "delete_sql",
+    "evaluate_on_sqlite",
+    "insert_sql",
+    "query_sql",
+    "dump_problem",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_problem",
+    "problem_from_dict",
+    "problem_to_dict",
+    "query_to_text",
+    "schema_from_dict",
+    "schema_to_dict",
+    "solution_to_dict",
+]

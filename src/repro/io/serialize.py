@@ -1,0 +1,227 @@
+"""JSON (de)serialization for schemas, instances, queries, problems,
+and solutions.
+
+The on-disk format is a single JSON document::
+
+    {
+      "schema": {"T1": {"attributes": ["a", "b"], "key": [0, 1]}, ...},
+      "facts":  {"T1": [["Joe", "TKDE"], ...], ...},
+      "queries": ["Q3(x, z) :- T1(x, y), T2(y, z, w)", ...],
+      "deletions": {"Q3": [["John", "XML"]]},
+      "weights":  [{"view": "Q3", "values": ["Joe", "XML"], "weight": 2.0}],
+      "balanced": false,
+      "delta_penalty": 1.0
+    }
+
+Queries are stored in the datalog-style text syntax and re-parsed
+against the stored schema, so a problem file is human-editable.  Values
+round-trip as JSON scalars (strings, numbers, booleans, null); tuples
+of values become JSON arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.parser import parse_query
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.solution import Propagation
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "instance_to_dict",
+    "instance_from_dict",
+    "query_to_text",
+    "problem_to_dict",
+    "problem_from_dict",
+    "solution_to_dict",
+    "dump_problem",
+    "load_problem",
+]
+
+
+class SerializationError(ReproError):
+    """Malformed problem document."""
+
+
+# ----------------------------------------------------------------------
+# Schema
+# ----------------------------------------------------------------------
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    return {
+        rel.name: {
+            "attributes": list(rel.attributes),
+            "key": list(rel.key.positions),
+        }
+        for rel in schema
+    }
+
+
+def schema_from_dict(data: Mapping[str, Any]) -> Schema:
+    schema = Schema()
+    for name, spec in data.items():
+        try:
+            attributes = spec["attributes"]
+            key = spec.get("key", [0])
+        except (TypeError, KeyError) as exc:
+            raise SerializationError(
+                f"relation {name!r}: expected attributes/key, got {spec!r}"
+            ) from exc
+        schema.add(RelationSchema(name, tuple(attributes), Key(key)))
+    return schema
+
+
+# ----------------------------------------------------------------------
+# Instance
+# ----------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    facts: dict[str, list[list]] = {}
+    for fact in instance:
+        facts.setdefault(fact.relation, []).append(list(fact.values))
+    return facts
+
+
+def instance_from_dict(
+    schema: Schema, data: Mapping[str, Any]
+) -> Instance:
+    instance = Instance(schema)
+    for relation, rows in data.items():
+        for row in rows:
+            instance.add(Fact(relation, tuple(row)))
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+def query_to_text(query: ConjunctiveQuery) -> str:
+    """Datalog-style text for a query (round-trips through the parser
+    for queries whose constants are strings or numbers)."""
+
+    def term(t) -> str:
+        from repro.relational.cq import Variable
+
+        if isinstance(t, Variable):
+            return t.name
+        value = t.value
+        if isinstance(value, str):
+            return f"'{value}'"
+        return repr(value)
+
+    head = ", ".join(term(t) for t in query.head)
+    body = ", ".join(
+        f"{atom.relation}({', '.join(term(t) for t in atom.terms)})"
+        for atom in query.body
+    )
+    return f"{query.name}({head}) :- {body}"
+
+
+# ----------------------------------------------------------------------
+# Problems
+# ----------------------------------------------------------------------
+
+
+def problem_to_dict(problem: DeletionPropagationProblem) -> dict[str, Any]:
+    weights = []
+    for vt in problem.preserved_view_tuples():
+        weight = problem.weight(vt)
+        if weight != 1.0:
+            weights.append(
+                {"view": vt.view, "values": list(vt.values), "weight": weight}
+            )
+    document: dict[str, Any] = {
+        "schema": schema_to_dict(problem.instance.schema),
+        "facts": instance_to_dict(problem.instance),
+        "queries": [query_to_text(q) for q in problem.queries],
+        "deletions": {
+            name: [list(values) for values in sorted(problem.deletion.on(name))]
+            for name in problem.views.names
+            if problem.deletion.on(name)
+        },
+        "weights": weights,
+        "balanced": isinstance(problem, BalancedDeletionPropagationProblem),
+    }
+    if document["balanced"]:
+        document["delta_penalty"] = problem.delta_penalty
+    return document
+
+
+def problem_from_dict(data: Mapping[str, Any]) -> DeletionPropagationProblem:
+    try:
+        schema = schema_from_dict(data["schema"])
+        instance = instance_from_dict(schema, data["facts"])
+        queries = [parse_query(text, schema) for text in data["queries"]]
+    except KeyError as exc:
+        raise SerializationError(f"missing document key: {exc}") from exc
+    deletions = {
+        name: [tuple(values) for values in rows]
+        for name, rows in data.get("deletions", {}).items()
+    }
+    weights = {
+        (entry["view"], tuple(entry["values"])): float(entry["weight"])
+        for entry in data.get("weights", [])
+    }
+    if data.get("balanced"):
+        return BalancedDeletionPropagationProblem(
+            instance,
+            queries,
+            deletions,
+            weights=weights,
+            delta_penalty=float(data.get("delta_penalty", 1.0)),
+        )
+    return DeletionPropagationProblem(
+        instance, queries, deletions, weights=weights
+    )
+
+
+# ----------------------------------------------------------------------
+# Solutions
+# ----------------------------------------------------------------------
+
+
+def solution_to_dict(solution: Propagation) -> dict[str, Any]:
+    return {
+        "method": solution.method,
+        "feasible": solution.is_feasible(),
+        "side_effect": solution.side_effect(),
+        "balanced_cost": solution.balanced_cost(),
+        "deleted_facts": [
+            {"relation": fact.relation, "values": list(fact.values)}
+            for fact in sorted(solution.deleted_facts)
+        ],
+        "collateral": [
+            {"view": vt.view, "values": list(vt.values)}
+            for vt in sorted(solution.collateral)
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+
+
+def dump_problem(problem: DeletionPropagationProblem, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2)
+
+
+def load_problem(path: str) -> DeletionPropagationProblem:
+    with open(path, "r", encoding="utf-8") as handle:
+        return problem_from_dict(json.load(handle))

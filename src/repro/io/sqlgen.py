@@ -1,0 +1,192 @@
+"""SQL generation and SQLite cross-validation.
+
+Bridges the library to real relational systems — and gives the test
+suite an *independent implementation* to validate against:
+
+* :func:`create_table_sql` / :func:`insert_sql` — DDL/DML for an
+  instance (primary keys included).
+* :func:`query_sql` — a ``SELECT`` for a conjunctive query: one aliased
+  occurrence per atom (self-joins become separate aliases), join and
+  constant conditions in ``WHERE``, the head as the select list.
+* :func:`delete_sql` — ``DELETE`` statements realizing a
+  :class:`~repro.core.solution.Propagation` (keyed by primary key).
+* :func:`evaluate_on_sqlite` — run the generated SQL on an in-memory
+  ``sqlite3`` database and return each query's result set;
+  ``tests/io/test_sqlgen.py`` checks these against the library's own
+  evaluator on the paper example and random workloads.
+
+Identifiers are double-quoted; values are always passed as parameters,
+never interpolated.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.relational.cq import ConjunctiveQuery, Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.tuples import Fact
+
+__all__ = [
+    "SqlGenError",
+    "create_table_sql",
+    "insert_sql",
+    "query_sql",
+    "delete_sql",
+    "evaluate_on_sqlite",
+    "apply_deletion_on_sqlite",
+]
+
+
+class SqlGenError(ReproError):
+    """SQL generation failed (unsupported identifier, unknown query)."""
+
+
+def _ident(name: str) -> str:
+    if '"' in name:
+        raise SqlGenError(f"identifier {name!r} cannot be quoted safely")
+    return f'"{name}"'
+
+
+# ----------------------------------------------------------------------
+# DDL / DML
+# ----------------------------------------------------------------------
+
+
+def create_table_sql(relation: RelationSchema) -> str:
+    """``CREATE TABLE`` with the primary key declared."""
+    columns = ", ".join(_ident(a) for a in relation.attributes)
+    key = ", ".join(
+        _ident(relation.attributes[p]) for p in relation.key
+    )
+    return (
+        f"CREATE TABLE {_ident(relation.name)} ({columns}, "
+        f"PRIMARY KEY ({key}))"
+    )
+
+
+def insert_sql(relation: RelationSchema) -> str:
+    """Parameterized ``INSERT`` statement for one relation."""
+    placeholders = ", ".join("?" for _ in relation.attributes)
+    return f"INSERT INTO {_ident(relation.name)} VALUES ({placeholders})"
+
+
+def delete_sql(relation: RelationSchema) -> str:
+    """Parameterized ``DELETE`` by primary key for one relation."""
+    conditions = " AND ".join(
+        f"{_ident(relation.attributes[p])} = ?" for p in relation.key
+    )
+    return f"DELETE FROM {_ident(relation.name)} WHERE {conditions}"
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+
+
+def query_sql(query: ConjunctiveQuery) -> tuple[str, tuple]:
+    """A ``SELECT DISTINCT`` equivalent to the CQ.
+
+    Returns ``(sql, parameters)``: constants travel as parameters.
+    Each atom gets its own alias ``t0, t1, ...`` so self-joins work.
+    """
+    select_parts: list[str] = []
+    select_parameters: list[object] = []
+    where_parts: list[str] = []
+    where_parameters: list[object] = []
+    first_site: dict[Variable, str] = {}
+
+    for index, atom in enumerate(query.body):
+        alias = f"t{index}"
+        relation = query.schema.relation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            column = f"{alias}.{_ident(relation.attributes[position])}"
+            if isinstance(term, Constant):
+                where_parts.append(f"{column} = ?")
+                where_parameters.append(term.value)
+            else:
+                site = first_site.get(term)
+                if site is None:
+                    first_site[term] = column
+                else:
+                    where_parts.append(f"{site} = {column}")
+
+    for term in query.head:
+        if isinstance(term, Variable):
+            select_parts.append(first_site[term])
+        else:
+            select_parts.append("?")
+            select_parameters.append(term.value)
+
+    from_clause = ", ".join(
+        f"{_ident(atom.relation)} AS t{index}"
+        for index, atom in enumerate(query.body)
+    )
+    sql = f"SELECT DISTINCT {', '.join(select_parts)} FROM {from_clause}"
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    # sqlite binds positionally in order of appearance: SELECT first.
+    return sql, tuple(select_parameters + where_parameters)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _load(connection: sqlite3.Connection, instance: Instance) -> None:
+    cursor = connection.cursor()
+    for relation in instance.schema:
+        cursor.execute(create_table_sql(relation))
+        statement = insert_sql(relation)
+        rows = [tuple(fact.values) for fact in sorted(instance.relation(relation.name))]
+        cursor.executemany(statement, rows)
+    connection.commit()
+
+
+def evaluate_on_sqlite(
+    instance: Instance, queries: Sequence[ConjunctiveQuery]
+) -> dict[str, set[tuple]]:
+    """Load the instance into in-memory SQLite and evaluate every query
+    with the generated SQL."""
+    connection = sqlite3.connect(":memory:")
+    try:
+        _load(connection, instance)
+        out: dict[str, set[tuple]] = {}
+        for query in queries:
+            sql, parameters = query_sql(query)
+            rows = connection.execute(sql, parameters).fetchall()
+            out[query.name] = {tuple(row) for row in rows}
+        return out
+    finally:
+        connection.close()
+
+
+def apply_deletion_on_sqlite(
+    instance: Instance,
+    queries: Sequence[ConjunctiveQuery],
+    deleted_facts: Iterable[Fact],
+) -> dict[str, set[tuple]]:
+    """Load, apply ``DELETE`` statements for the given facts, and
+    evaluate — the SQL realization of ``Qi(D \\ ΔD)``."""
+    connection = sqlite3.connect(":memory:")
+    try:
+        _load(connection, instance)
+        cursor = connection.cursor()
+        for fact in sorted(deleted_facts):
+            relation = instance.schema.relation(fact.relation)
+            cursor.execute(
+                delete_sql(relation), fact.key_values(relation)
+            )
+        connection.commit()
+        out: dict[str, set[tuple]] = {}
+        for query in queries:
+            sql, parameters = query_sql(query)
+            rows = connection.execute(sql, parameters).fetchall()
+            out[query.name] = {tuple(row) for row in rows}
+        return out
+    finally:
+        connection.close()

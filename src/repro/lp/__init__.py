@@ -1,0 +1,13 @@
+"""Linear-programming substrate: a small LP builder over scipy's HiGHS
+backend and the paper's primal/dual formulations (Section IV.C)."""
+
+from repro.lp.formulations import dual_vse_lp, lp_lower_bound, primal_vse_lp
+from repro.lp.model import LinearProgram, LPSolution
+
+__all__ = [
+    "LPSolution",
+    "LinearProgram",
+    "dual_vse_lp",
+    "lp_lower_bound",
+    "primal_vse_lp",
+]

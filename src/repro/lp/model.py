@@ -1,0 +1,130 @@
+"""A small linear-program builder over ``scipy.optimize.linprog``.
+
+Just enough structure for the paper's LP formulations: named variables
+with bounds and objective coefficients, linear constraints with
+``<=``/``>=``/``==`` senses, minimization or maximization, and a typed
+solution object.  Integrality is handled by the ILP backend in
+:mod:`repro.core.exact`; this module is for *relaxations* (lower bounds
+in the ratio experiments) and dual feasibility checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+
+__all__ = ["LinearProgram", "LPSolution"]
+
+VarName = Hashable
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solved LP: status flag, objective value, and variable values."""
+
+    optimal: bool
+    objective: float
+    values: dict[VarName, float]
+    message: str = ""
+
+    def value(self, name: VarName) -> float:
+        return self.values[name]
+
+
+class LinearProgram:
+    """An LP under construction.  Variables default to ``[0, +inf)``."""
+
+    def __init__(self) -> None:
+        self._names: list[VarName] = []
+        self._index: dict[VarName, int] = {}
+        self._objective: list[float] = []
+        self._bounds: list[tuple[float, float | None]] = []
+        self._rows: list[dict[int, float]] = []
+        self._senses: list[str] = []
+        self._rhs: list[float] = []
+
+    def add_variable(
+        self,
+        name: VarName,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: float | None = None,
+    ) -> None:
+        if name in self._index:
+            raise SolverError(f"duplicate LP variable {name!r}")
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._objective.append(float(objective))
+        self._bounds.append((lower, upper))
+
+    def add_constraint(
+        self, coefficients: Mapping[VarName, float], sense: str, rhs: float
+    ) -> None:
+        """Add ``Σ c_i·x_i  <sense>  rhs`` with sense in {<=, >=, ==}."""
+        if sense not in ("<=", ">=", "=="):
+            raise SolverError(f"unknown constraint sense {sense!r}")
+        row: dict[int, float] = {}
+        for name, coefficient in coefficients.items():
+            if name not in self._index:
+                raise SolverError(f"unknown LP variable {name!r}")
+            if coefficient:
+                row[self._index[name]] = float(coefficient)
+        self._rows.append(row)
+        self._senses.append(sense)
+        self._rhs.append(float(rhs))
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    def solve(self, maximize: bool = False) -> LPSolution:
+        """Solve with HiGHS; raises :class:`SolverError` on infeasible or
+        unbounded programs."""
+        n = len(self._names)
+        if n == 0:
+            return LPSolution(True, 0.0, {})
+        c = np.array(self._objective)
+        if maximize:
+            c = -c
+        a_ub_rows, b_ub = [], []
+        a_eq_rows, b_eq = [], []
+        for row, sense, rhs in zip(self._rows, self._senses, self._rhs):
+            dense = np.zeros(n)
+            for j, coefficient in row.items():
+                dense[j] = coefficient
+            if sense == "<=":
+                a_ub_rows.append(dense)
+                b_ub.append(rhs)
+            elif sense == ">=":
+                a_ub_rows.append(-dense)
+                b_ub.append(-rhs)
+            else:
+                a_eq_rows.append(dense)
+                b_eq.append(rhs)
+        result = linprog(
+            c,
+            A_ub=np.array(a_ub_rows) if a_ub_rows else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.array(a_eq_rows) if a_eq_rows else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=self._bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise SolverError(f"LP solve failed: {result.message}")
+        objective = float(result.fun)
+        if maximize:
+            objective = -objective
+        values = {
+            name: float(result.x[i]) for name, i in self._index.items()
+        }
+        return LPSolution(True, objective, values, result.message)

@@ -1,0 +1,26 @@
+"""Reductions between deletion propagation and covering problems.
+
+* :mod:`repro.reductions.to_setcover` — the algorithmic (upper-bound)
+  direction used by Claim 1 and Lemma 1.
+* :mod:`repro.reductions.theorem1` — RBSC → VSE hardness construction.
+* :mod:`repro.reductions.theorem2` — PN-PSC → balanced VSE hardness
+  construction.
+"""
+
+from repro.reductions.theorem1 import Theorem1Reduction, rbsc_to_vse
+from repro.reductions.theorem2 import Theorem2Reduction, posneg_to_balanced_vse
+from repro.reductions.to_setcover import (
+    SetCoverReduction,
+    problem_to_posneg,
+    problem_to_rbsc,
+)
+
+__all__ = [
+    "SetCoverReduction",
+    "Theorem1Reduction",
+    "Theorem2Reduction",
+    "posneg_to_balanced_vse",
+    "problem_to_posneg",
+    "problem_to_rbsc",
+    "rbsc_to_vse",
+]

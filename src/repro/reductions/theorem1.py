@@ -1,0 +1,158 @@
+"""Theorem 1's hardness reduction: Red-Blue Set Cover → view side-effect.
+
+Construction (paper Section III, Fig. 2), implemented faithfully with
+one engineering addition.  Given an RBSC instance ``(R, B, C)``:
+
+* **Schema** — a single relation ``T`` whose columns are one *set id*
+  column (the key) followed by one column per element of ``R ∪ B``.
+  The id column realizes the paper's "fill the rest cells by distinct
+  values": it pins each atom of a view query to exactly one row.
+* **Instance** — one row per set ``C``: the id, then for each element
+  ``e`` the marker ``e`` when ``e ∈ C`` and a globally unique junk value
+  otherwise.  The table is a bijection with ``C``.
+* **Views** — one project-free (self-join) conjunctive query per
+  element ``e``: the join of the rows of all sets containing ``e``
+  (constants select the rows; every non-constant position is a fresh
+  head variable, so the query is project-free and key preserving).
+  Each view has exactly one tuple, the "join path" of Fig. 2.
+* **View deletion** — ``ΔV`` consists of the (single) view tuples of
+  the blue-element views.
+
+Cost preservation: deleting the row of set ``C`` eliminates exactly the
+views of the elements of ``C``; hence a deletion set eliminating all
+blue views while killing ``k`` red views corresponds to a selection
+covering all blues with ``k`` covered reds, and vice versa.  The
+reduction is linear, transferring RBSC's
+``O(2^(log^{1-δ}|C|))`` inapproximability to view side-effect — the
+benches verify the cost equality ``OPT_RBSC = OPT_VSE`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ReductionError
+from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+from repro.setcover.redblue import RedBlueSetCover
+
+__all__ = ["Theorem1Reduction", "rbsc_to_vse"]
+
+Element = Hashable
+
+
+class Theorem1Reduction:
+    """The materialized reduction with its decoding maps."""
+
+    def __init__(
+        self,
+        rbsc: RedBlueSetCover,
+        problem: DeletionPropagationProblem,
+        row_of_set: dict[str, Fact],
+        view_of_element: dict[Element, str],
+    ):
+        self.rbsc = rbsc
+        self.problem = problem
+        self.row_of_set = row_of_set
+        self.set_of_row = {fact: name for name, fact in row_of_set.items()}
+        self.view_of_element = view_of_element
+
+    # -- solution transfer ------------------------------------------------
+
+    def selection_to_propagation(self, selection: list[str]) -> Propagation:
+        """RBSC selection → source deletions (delete the selected rows)."""
+        facts = [self.row_of_set[name] for name in selection]
+        return Propagation(self.problem, facts, method="theorem1-transfer")
+
+    def propagation_to_selection(self, propagation: Propagation) -> list[str]:
+        """Source deletions → RBSC selection (select the deleted rows)."""
+        out = []
+        for fact in sorted(propagation.deleted_facts):
+            name = self.set_of_row.get(fact)
+            if name is None:
+                raise ReductionError(f"deleted fact {fact!r} is not a set row")
+            out.append(name)
+        return out
+
+    def side_effect_equals_cost(self, selection: list[str]) -> bool:
+        """Check the invariant behind the theorem: view side-effect of
+        the transferred solution equals the RBSC cost of the selection
+        (restricted to elements that occur in at least one set)."""
+        propagation = self.selection_to_propagation(selection)
+        return propagation.side_effect() == self.rbsc.cost(selection)
+
+
+def _column_layout(rbsc: RedBlueSetCover) -> list[Element]:
+    return sorted(rbsc.reds, key=repr) + sorted(rbsc.blues, key=repr)
+
+
+def rbsc_to_vse(rbsc: RedBlueSetCover) -> Theorem1Reduction:
+    """Build the Theorem 1 instance for an RBSC instance.
+
+    Raises :class:`ReductionError` when some blue element occurs in no
+    set (the RBSC instance would be infeasible and the corresponding
+    view empty).
+    """
+    elements = _column_layout(rbsc)
+    columns = ["set_id"] + [f"e{i}" for i in range(len(elements))]
+    schema = Schema([RelationSchema("T", columns, Key((0,)))])
+
+    instance = Instance(schema)
+    row_of_set: dict[str, Fact] = {}
+    for name in sorted(rbsc.sets):
+        members = rbsc.sets[name]
+        values: list[object] = [name]
+        for i, element in enumerate(elements):
+            if element in members:
+                values.append(("elem", element))
+            else:
+                values.append(("junk", name, i))
+        fact = Fact("T", values)
+        instance.add(fact)
+        row_of_set[name] = fact
+
+    containing: dict[Element, list[str]] = {e: [] for e in elements}
+    for name in sorted(rbsc.sets):
+        for element in rbsc.sets[name]:
+            containing[element].append(name)
+    for blue in rbsc.blues:
+        if not containing[blue]:
+            raise ReductionError(
+                f"blue element {blue!r} occurs in no set; RBSC infeasible"
+            )
+
+    queries: list[ConjunctiveQuery] = []
+    view_of_element: dict[Element, str] = {}
+    deletions: dict[str, list[tuple]] = {}
+    counter = 0
+    for element in elements:
+        sets_with_element = containing[element]
+        if not sets_with_element:
+            continue  # element never covered; its view plays no role
+        query_name = f"V{counter}"
+        counter += 1
+        view_of_element[element] = query_name
+        head: list[Variable] = []
+        body: list[Atom] = []
+        for j, set_name in enumerate(sets_with_element):
+            terms: list = [Constant(set_name)]
+            for i in range(len(elements)):
+                var = Variable(f"x_{j}_{i}")
+                terms.append(var)
+                head.append(var)
+            body.append(Atom("T", terms))
+        queries.append(ConjunctiveQuery(query_name, head, body, schema))
+        if element in rbsc.blues:
+            # The single view tuple: the join of the selected rows.
+            values: list[object] = []
+            for set_name in sets_with_element:
+                values.extend(row_of_set[set_name].values[1:])
+            deletions[query_name] = [tuple(values)]
+
+    problem = DeletionPropagationProblem(instance, queries, deletions)
+    return Theorem1Reduction(rbsc, problem, row_of_set, view_of_element)

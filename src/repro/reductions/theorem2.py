@@ -1,0 +1,109 @@
+"""Theorem 2's reduction: PN-PSC → Balanced deletion propagation.
+
+Identical table construction to Theorem 1 (see
+:mod:`repro.reductions.theorem1`), with the element roles re-cast:
+positives take the place of blues (their views form ΔV) and negatives
+take the place of reds (their views are the ones to preserve).  The
+balanced objective — uneliminated ΔV plus collateral — then coincides
+with the PN-PSC cost (uncovered positives plus covered negatives), which
+transfers Miettinen's inapproximability bound.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ReductionError
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.core.solution import Propagation
+from repro.reductions.theorem1 import Theorem1Reduction, rbsc_to_vse
+from repro.setcover.posneg import PosNegPartialSetCover
+from repro.setcover.redblue import RedBlueSetCover
+
+__all__ = ["Theorem2Reduction", "posneg_to_balanced_vse"]
+
+Element = Hashable
+
+
+class Theorem2Reduction:
+    """Materialized Theorem 2 reduction with decoding maps."""
+
+    def __init__(
+        self,
+        posneg: PosNegPartialSetCover,
+        problem: BalancedDeletionPropagationProblem,
+        inner: Theorem1Reduction,
+    ):
+        self.posneg = posneg
+        self.problem = problem
+        self._inner = inner
+        self.row_of_set = inner.row_of_set
+        self.set_of_row = inner.set_of_row
+        self.view_of_element = inner.view_of_element
+
+    def selection_to_propagation(self, selection: list[str]) -> Propagation:
+        facts = [self.row_of_set[name] for name in selection]
+        return Propagation(self.problem, facts, method="theorem2-transfer")
+
+    def propagation_to_selection(self, propagation: Propagation) -> list[str]:
+        out = []
+        for fact in sorted(propagation.deleted_facts):
+            name = self.set_of_row.get(fact)
+            if name is None:
+                raise ReductionError(f"deleted fact {fact!r} is not a set row")
+            out.append(name)
+        return out
+
+    def balanced_cost_equals_cost(self, selection: list[str]) -> bool:
+        """The Theorem 2 invariant: balanced cost of the transferred
+        deletions equals the PN-PSC cost of the selection (for elements
+        occurring in at least one set)."""
+        propagation = self.selection_to_propagation(selection)
+        return propagation.balanced_cost() == self.posneg.cost(selection)
+
+
+def posneg_to_balanced_vse(
+    posneg: PosNegPartialSetCover,
+) -> Theorem2Reduction:
+    """Build the Theorem 2 balanced instance for a PN-PSC instance.
+
+    Positives in no set would contribute a constant ``positive_penalty``
+    to every solution on the PN-PSC side but have no view on the VSE
+    side; they are rejected to keep the cost equality exact.
+    """
+    for p in posneg.positives:
+        if not any(p in members for members in posneg.sets.values()):
+            raise ReductionError(
+                f"positive element {p!r} occurs in no set; its penalty "
+                "would be a constant offset with no view counterpart"
+            )
+    # Reuse the Theorem 1 table/query construction via an RBSC skin.
+    rbsc = RedBlueSetCover(
+        reds=posneg.negatives,
+        blues=posneg.positives,
+        sets=posneg.sets,
+        red_weights={
+            n: posneg.negative_weight(n) for n in posneg.negatives
+        },
+    )
+    inner = rbsc_to_vse(rbsc)
+    base = inner.problem
+    element_of_view = {
+        view_name: element
+        for element, view_name in inner.view_of_element.items()
+    }
+    # Re-wrap as a *balanced* problem over the same data.
+    deletions = {
+        name: sorted(base.deletion.on(name)) for name in base.views.names
+    }
+    problem = BalancedDeletionPropagationProblem(
+        base.instance,
+        base.queries,
+        {k: v for k, v in deletions.items() if v},
+        weights={
+            vt: posneg.negative_weight(element_of_view[vt.view])
+            for vt in base.preserved_view_tuples()
+        },
+        delta_penalty=posneg.positive_penalty,
+    )
+    return Theorem2Reduction(posneg, problem, inner)

@@ -1,0 +1,100 @@
+"""Algorithmic reductions VSE → RBSC and balanced VSE → PN-PSC.
+
+These are the *upper bound* direction of the paper (Claim 1, Lemma 1):
+
+* red / negative elements  <- view tuples to preserve,
+* blue / positive elements <- view tuples of ΔV,
+* one covering set per candidate fact ``t``, containing exactly the view
+  tuples whose witness contains ``t`` (unique witnesses thanks to key
+  preservation, so "deleting t" and "covering t's set" eliminate the
+  same view tuples).
+
+Weights of preserved view tuples transfer unchanged.  The reduction
+preserves feasibility and cost in both directions, so any RBSC / PN-PSC
+approximation ratio transfers to deletion propagation — this is checked
+empirically by the E4/E9 benches and by the property tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotKeyPreservingError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.setcover.posneg import PosNegPartialSetCover
+from repro.setcover.redblue import RedBlueSetCover
+
+__all__ = [
+    "SetCoverReduction",
+    "problem_to_rbsc",
+    "problem_to_posneg",
+]
+
+
+class SetCoverReduction:
+    """Holds a covering instance plus the decoding map set name → fact."""
+
+    def __init__(
+        self,
+        covering,
+        fact_of_set: dict[str, Fact],
+    ):
+        self.covering = covering
+        self._fact_of_set = fact_of_set
+
+    def decode(self, selection: list[str]) -> list[Fact]:
+        """Map a selection of covering sets back to source deletions."""
+        return [self._fact_of_set[name] for name in selection]
+
+    @property
+    def set_names(self) -> list[str]:
+        return list(self._fact_of_set)
+
+
+def _covering_sets(
+    problem: DeletionPropagationProblem,
+) -> tuple[dict[str, frozenset[ViewTuple]], dict[str, Fact]]:
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError(
+            "the set-cover reduction requires key-preserving queries "
+            "(unique witnesses)"
+        )
+    sets: dict[str, frozenset[ViewTuple]] = {}
+    fact_of_set: dict[str, Fact] = {}
+    for fact in problem.candidate_facts():
+        name = f"del:{fact!r}"
+        sets[name] = problem.dependents(fact)
+        fact_of_set[name] = fact
+    return sets, fact_of_set
+
+
+def problem_to_rbsc(problem: DeletionPropagationProblem) -> SetCoverReduction:
+    """Claim 1's reduction: view side-effect → Red-Blue Set Cover."""
+    sets, fact_of_set = _covering_sets(problem)
+    preserved = problem.preserved_view_tuples()
+    instance = RedBlueSetCover(
+        reds=preserved,
+        blues=problem.deleted_view_tuples(),
+        sets=sets,
+        red_weights={vt: problem.weight(vt) for vt in preserved},
+    )
+    return SetCoverReduction(instance, fact_of_set)
+
+
+def problem_to_posneg(
+    problem: BalancedDeletionPropagationProblem,
+) -> SetCoverReduction:
+    """Lemma 1's reduction: balanced deletion propagation → PN-PSC."""
+    sets, fact_of_set = _covering_sets(problem)
+    preserved = problem.preserved_view_tuples()
+    instance = PosNegPartialSetCover(
+        positives=problem.deleted_view_tuples(),
+        negatives=preserved,
+        sets=sets,
+        negative_weights={vt: problem.weight(vt) for vt in preserved},
+        positive_penalty=problem.delta_penalty,
+    )
+    return SetCoverReduction(instance, fact_of_set)

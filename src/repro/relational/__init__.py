@@ -1,0 +1,117 @@
+"""Relational database substrate: schemas, instances, conjunctive queries,
+evaluation, provenance, and materialized views.
+
+This subpackage is the foundation every deletion-propagation algorithm in
+:mod:`repro.core` builds on.  Public API re-exports:
+
+>>> from repro.relational import (
+...     Schema, RelationSchema, Key, Fact, Instance,
+...     ConjunctiveQuery, Atom, Variable, Constant,
+...     parse_query, parse_queries, infer_schema,
+...     evaluate, result_tuples,
+...     View, ViewSet, ViewTuple, Deletion,
+... )
+"""
+
+from repro.relational.analysis import (
+    FunctionalDependency,
+    existential_components,
+    fd_closure_variables,
+    find_triad,
+    has_fd_head_domination,
+    has_fd_induced_triad,
+    has_head_domination,
+    has_triad,
+    head_domination_counterexample,
+    is_hierarchical,
+)
+from repro.relational.containment import (
+    homomorphism,
+    is_contained_in,
+    is_equivalent,
+    minimize,
+)
+from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.relational.dependencies import (
+    attribute_closure,
+    discover_fds,
+    holds,
+    violations,
+)
+from repro.relational.evaluate import Match, evaluate, iter_matches, result_tuples
+from repro.relational.instance import Instance
+from repro.relational.maintenance import MaintainedView, MaintainedViewSet
+from repro.relational.parser import infer_schema, parse_queries, parse_query
+from repro.relational.render import (
+    render_instance,
+    render_queries,
+    render_relation,
+    render_view,
+)
+from repro.relational.provenance import (
+    inverted_index,
+    unique_witness_map,
+    witness_map,
+)
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+from repro.relational.views import Deletion, View, ViewSet, ViewTuple
+from repro.relational.where_provenance import (
+    Cell,
+    annotate_cells,
+    where_provenance,
+)
+
+__all__ = [
+    "Atom",
+    "Cell",
+    "ConjunctiveQuery",
+    "Constant",
+    "Deletion",
+    "Fact",
+    "FunctionalDependency",
+    "Instance",
+    "Key",
+    "MaintainedView",
+    "MaintainedViewSet",
+    "Match",
+    "RelationSchema",
+    "Schema",
+    "Term",
+    "Variable",
+    "View",
+    "ViewSet",
+    "ViewTuple",
+    "annotate_cells",
+    "attribute_closure",
+    "discover_fds",
+    "evaluate",
+    "existential_components",
+    "fd_closure_variables",
+    "find_triad",
+    "has_fd_head_domination",
+    "has_fd_induced_triad",
+    "has_head_domination",
+    "has_triad",
+    "head_domination_counterexample",
+    "holds",
+    "homomorphism",
+    "infer_schema",
+    "inverted_index",
+    "is_contained_in",
+    "is_equivalent",
+    "is_hierarchical",
+    "minimize",
+    "iter_matches",
+    "parse_queries",
+    "parse_query",
+    "render_instance",
+    "render_queries",
+    "render_relation",
+    "render_view",
+    "result_tuples",
+    "unique_witness_map",
+    "violations",
+    "where_provenance",
+    "witness_map",
+]

@@ -1,0 +1,322 @@
+"""Query-class predicates for the complexity landscape (Tables II–V).
+
+The paper positions its results against a landscape of dichotomies from
+prior work.  This module implements machine-checkable versions of every
+query property those dichotomies are stated over, so that
+:mod:`repro.core.classify` can regenerate Tables II–V from first
+principles:
+
+* **project-free** / **self-join-free** / **key-preserving** — directly on
+  :class:`~repro.relational.cq.ConjunctiveQuery` (re-exported here).
+* **head domination** (Kimelfeld, Vondrák, Williams 2012): for every
+  connected component of the existential-connection graph of the atoms,
+  some atom contains all head variables appearing in the component.
+* **fd-head domination** (Kimelfeld 2012): head domination after closing
+  the head variables under a set of functional dependencies.
+* **triad** (Freire, Gatterbauer, Immerman, Meliou 2015, for resilience =
+  source side-effect): three atoms pairwise connected by paths that avoid
+  the third atom's variables.
+* **fd-induced triad**: triad after saturating the query under FDs.
+
+The definitions are implemented for self-join-free CQs, which is the
+setting in which the cited dichotomies hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.relational.cq import Atom, ConjunctiveQuery, Variable
+
+__all__ = [
+    "FunctionalDependency",
+    "existential_components",
+    "has_head_domination",
+    "has_fd_head_domination",
+    "fd_closure_variables",
+    "has_triad",
+    "has_fd_induced_triad",
+    "head_domination_counterexample",
+    "find_triad",
+    "is_hierarchical",
+]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """A functional dependency ``relation: lhs -> rhs`` over attribute
+    positions of one relation."""
+
+    relation: str
+    lhs: tuple[int, ...]
+    rhs: tuple[int, ...]
+
+    def __init__(self, relation: str, lhs: Iterable[int], rhs: Iterable[int]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", tuple(sorted(set(lhs))))
+        object.__setattr__(self, "rhs", tuple(sorted(set(rhs))))
+        if not self.lhs or not self.rhs:
+            raise QueryError("functional dependency needs non-empty sides")
+
+    def __repr__(self) -> str:
+        return f"{self.relation}:{list(self.lhs)}->{list(self.rhs)}"
+
+
+# ----------------------------------------------------------------------
+# Head domination (Kimelfeld et al. 2012)
+# ----------------------------------------------------------------------
+
+
+def existential_components(
+    query: ConjunctiveQuery,
+    effective_head: frozenset[Variable] | None = None,
+) -> list[list[Atom]]:
+    """Connected components of the atoms under *existential connection*.
+
+    Two atoms are connected when they share an existential variable.
+    Atoms without existential variables form singleton components.
+    ``effective_head`` widens the head-variable set (variables there are
+    *not* existential) — used by the fd-variant, where FD-determined
+    variables behave like head variables.
+    """
+    atoms = list(query.body)
+    head = effective_head if effective_head is not None else query.head_variables()
+    existential = query.body_variables() - head
+    parent = list(range(len(atoms)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for (i, a), (j, b) in combinations(enumerate(atoms), 2):
+        if a.variable_set() & b.variable_set() & existential:
+            union(i, j)
+
+    groups: dict[int, list[Atom]] = {}
+    for i, atom in enumerate(atoms):
+        groups.setdefault(find(i), []).append(atom)
+    return list(groups.values())
+
+
+def head_domination_counterexample(
+    query: ConjunctiveQuery, effective_head: frozenset[Variable] | None = None
+) -> tuple[list[Atom], frozenset[Variable]] | None:
+    """The witness of *failed* head domination, or ``None`` when the
+    query is head-dominated.
+
+    Returns the offending existential component (as its atoms) together
+    with the set of head variables occurring in it that no single atom
+    covers — the explanation a user needs to see *why* their query
+    falls on the hard side of the Kimelfeld et al. dichotomy.
+    """
+    head = effective_head if effective_head is not None else query.head_variables()
+    for component in existential_components(query, effective_head=head):
+        component_vars: set[Variable] = set()
+        for atom in component:
+            component_vars.update(atom.variable_set())
+        needed = frozenset(component_vars & head)
+        if not needed:
+            continue
+        if not any(needed <= atom.variable_set() for atom in query.body):
+            return component, needed
+    return None
+
+
+def has_head_domination(
+    query: ConjunctiveQuery, effective_head: frozenset[Variable] | None = None
+) -> bool:
+    """Head domination: for every existential component γ, some atom of
+    the query contains every *head* variable occurring in γ's atoms.
+
+    ``effective_head`` overrides the query's head-variable set (both for
+    the domination check and for which variables count as existential);
+    this is how the fd-variant reuses the check with an FD-closed head.
+    """
+    return head_domination_counterexample(query, effective_head) is None
+
+
+# ----------------------------------------------------------------------
+# Functional dependencies over variables
+# ----------------------------------------------------------------------
+
+
+def _variable_fds(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency]
+) -> list[tuple[frozenset[Variable], frozenset[Variable]]]:
+    """Lift attribute-position FDs to variable-level implications.
+
+    For an sj-free query each relation occurs once, so the lift is
+    unambiguous: the FD ``T: lhs -> rhs`` becomes
+    ``vars(atom_T at lhs) -> vars(atom_T at rhs)`` (constant positions
+    are dropped: constants are always 'determined')."""
+    atom_by_relation = {atom.relation: atom for atom in query.body}
+    out: list[tuple[frozenset[Variable], frozenset[Variable]]] = []
+    for fd in fds:
+        atom = atom_by_relation.get(fd.relation)
+        if atom is None:
+            continue
+        lhs_vars = frozenset(
+            t for t in atom.terms_at(fd.lhs) if isinstance(t, Variable)
+        )
+        rhs_vars = frozenset(
+            t for t in atom.terms_at(fd.rhs) if isinstance(t, Variable)
+        )
+        out.append((lhs_vars, rhs_vars))
+    return out
+
+
+def fd_closure_variables(
+    query: ConjunctiveQuery,
+    seed: Iterable[Variable],
+    fds: Sequence[FunctionalDependency],
+) -> frozenset[Variable]:
+    """Closure of ``seed`` under the variable-level FDs of the query."""
+    implications = _variable_fds(query, fds)
+    closed: set[Variable] = set(seed)
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in implications:
+            if lhs <= closed and not rhs <= closed:
+                closed.update(rhs)
+                changed = True
+    return frozenset(closed)
+
+
+def has_fd_head_domination(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency]
+) -> bool:
+    """fd-head domination (Kimelfeld 2012): head domination where the
+    head is first closed under the functional dependencies.  With no FDs
+    this degenerates to plain head domination."""
+    closed_head = fd_closure_variables(query, query.head_variables(), fds)
+    return has_head_domination(query, effective_head=closed_head)
+
+
+# ----------------------------------------------------------------------
+# Triads (Freire et al. 2015)
+# ----------------------------------------------------------------------
+
+
+def _connected_avoiding(
+    query: ConjunctiveQuery, source: Atom, target: Atom, avoid: frozenset[Variable]
+) -> bool:
+    """Is there a path of atoms from ``source`` to ``target`` where no
+    atom on the path (endpoints included) uses a variable of ``avoid``
+    other than through the endpoints themselves?
+
+    Following Freire et al., a path is a sequence of atoms in which
+    consecutive atoms share a variable *not in* ``avoid``, and the
+    intermediate atoms contain no variable of ``avoid``.
+    """
+    start_vars = source.variable_set() - avoid
+    target_vars = target.variable_set() - avoid
+    if start_vars & target_vars:
+        return True
+    allowed = [
+        atom
+        for atom in query.body
+        if atom not in (source, target) and not atom.variable_set() & avoid
+    ]
+    reached: set[Variable] = set(start_vars)
+    used = [False] * len(allowed)
+    progress = True
+    while progress:
+        progress = False
+        for i, atom in enumerate(allowed):
+            if not used[i] and atom.variable_set() & reached:
+                used[i] = True
+                reached.update(atom.variable_set())
+                progress = True
+    return bool(target_vars & reached)
+
+
+def find_triad(
+    query: ConjunctiveQuery,
+) -> tuple[Atom, Atom, Atom] | None:
+    """The first triad of the query (three atoms pairwise connected by
+    paths avoiding the third's variables), or ``None`` — the explaining
+    counterpart of :func:`has_triad`."""
+    if not query.is_self_join_free():
+        raise QueryError("triad detection is defined for sj-free queries")
+    atoms = list(query.body)
+    if len(atoms) < 3:
+        return None
+    for s0, s1, s2 in combinations(atoms, 3):
+        pairs = ((s0, s1, s2), (s0, s2, s1), (s1, s2, s0))
+        if all(
+            _connected_avoiding(query, a, b, c.variable_set())
+            for a, b, c in pairs
+        ):
+            return s0, s1, s2
+    return None
+
+
+def has_triad(query: ConjunctiveQuery) -> bool:
+    """Triad detection for self-join-free CQs.
+
+    A *triad* is a triple of atoms ``{S0, S1, S2}`` such that every pair
+    is connected by a path avoiding the variables of the third atom.
+    Queries whose dual hypergraph excludes triads have PTIME resilience
+    (source side-effect); with a triad the problem is NP-complete.
+    """
+    return find_triad(query) is not None
+
+
+def _saturate_under_fds(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency]
+) -> ConjunctiveQuery:
+    """Freire et al.'s induced rewriting, simplified: extend the head by
+    its FD closure.  Atoms whose variables become fully head-determined
+    no longer contribute existential structure."""
+    closed_head = fd_closure_variables(query, query.head_variables(), fds)
+    new_head = list(query.head)
+    for var in sorted(closed_head - query.head_variables()):
+        new_head.append(var)
+    return ConjunctiveQuery(query.name, new_head, query.body, query.schema)
+
+
+def has_fd_induced_triad(
+    query: ConjunctiveQuery, fds: Sequence[FunctionalDependency]
+) -> bool:
+    """Triad check after FD saturation (the 'fd-induced triad' of Freire
+    et al.).  With no FDs this equals :func:`has_triad`."""
+    return has_triad(_saturate_under_fds(query, fds))
+
+
+# ----------------------------------------------------------------------
+# Hierarchical queries
+# ----------------------------------------------------------------------
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Hierarchical test on the existential variables: for every pair of
+    existential variables ``x, y``, the atom sets ``atoms(x)`` and
+    ``atoms(y)`` are nested or disjoint.
+
+    Hierarchical structure is the backbone of several dichotomies in
+    this literature (safe query plans, resilience for sj-free CQs); the
+    classifier reports it alongside the paper's own predicates.
+    """
+    existential = sorted(query.existential_variables())
+    atom_sets = {
+        var: frozenset(
+            i for i, atom in enumerate(query.body)
+            if var in atom.variable_set()
+        )
+        for var in existential
+    }
+    for i, x in enumerate(existential):
+        for y in existential[i + 1 :]:
+            a, b = atom_sets[x], atom_sets[y]
+            if a & b and not (a <= b or b <= a):
+                return False
+    return True

@@ -1,0 +1,124 @@
+"""Conjunctive-query containment, equivalence, and minimization.
+
+Chandra and Merlin (STOC 1977 — the paper's reference [9]) showed that
+``Q1 ⊆ Q2`` holds iff there is a *homomorphism* from ``Q2`` to ``Q1``:
+a mapping of ``Q2``'s variables to ``Q1``'s terms that sends every body
+atom of ``Q2`` onto a body atom of ``Q1`` and the head onto the head.
+This module implements the homomorphism test by backtracking, the
+derived containment/equivalence checks, and core computation
+(minimization: repeatedly drop redundant atoms while staying
+equivalent).
+
+Deletion-propagation relevance: equivalent queries define the same
+views, so minimizing queries first never changes a problem's optimum —
+``tests/relational/test_containment.py`` checks exactly that — while it
+can shrink witnesses and hence the covering structure the algorithms
+work on.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Term, Variable
+
+__all__ = ["homomorphism", "is_contained_in", "is_equivalent", "minimize"]
+
+
+def _compatible(
+    source_atom: Atom,
+    target_atom: Atom,
+    mapping: dict[Variable, Term],
+) -> dict[Variable, Term] | None:
+    """Try to extend ``mapping`` so that it sends ``source_atom`` onto
+    ``target_atom``; return the extension or None."""
+    if source_atom.relation != target_atom.relation:
+        return None
+    extension = dict(mapping)
+    for source_term, target_term in zip(source_atom.terms, target_atom.terms):
+        if isinstance(source_term, Constant):
+            if source_term != target_term:
+                return None
+            continue
+        bound = extension.get(source_term)
+        if bound is None:
+            extension[source_term] = target_term
+        elif bound != target_term:
+            return None
+    return extension
+
+
+def homomorphism(
+    source: ConjunctiveQuery, target: ConjunctiveQuery
+) -> Mapping[Variable, Term] | None:
+    """A homomorphism ``h : source → target`` (head-preserving), or
+    ``None``.
+
+    ``h`` maps each variable of ``source`` to a term of ``target`` such
+    that every ``source`` body atom lands on some ``target`` body atom
+    and ``h(source.head) = target.head`` positionally.
+    """
+    if source.arity != target.arity:
+        return None
+    # Seed the mapping from the heads.
+    mapping: dict[Variable, Term] = {}
+    for source_term, target_term in zip(source.head, target.head):
+        if isinstance(source_term, Constant):
+            if source_term != target_term:
+                return None
+            continue
+        bound = mapping.get(source_term)
+        if bound is None:
+            mapping[source_term] = target_term
+        elif bound != target_term:
+            return None
+
+    atoms = list(source.body)
+
+    def search(index: int, current: dict[Variable, Term]):
+        if index == len(atoms):
+            return current
+        for target_atom in target.body:
+            extension = _compatible(atoms[index], target_atom, current)
+            if extension is not None:
+                result = search(index + 1, extension)
+                if result is not None:
+                    return result
+        return None
+
+    return search(0, mapping)
+
+
+def is_contained_in(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """``Q1 ⊆ Q2`` (every answer of Q1 on any instance is an answer of
+    Q2), via Chandra–Merlin: a homomorphism from Q2 to Q1 exists."""
+    return homomorphism(q2, q1) is not None
+
+
+def is_equivalent(q1: ConjunctiveQuery, q2: ConjunctiveQuery) -> bool:
+    """Semantic equivalence: containment in both directions."""
+    return is_contained_in(q1, q2) and is_contained_in(q2, q1)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The core of the query: greedily drop body atoms while the result
+    stays equivalent to the input.  The core is unique up to renaming;
+    the scan order makes this implementation deterministic."""
+    body = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for index in range(len(body)):
+            candidate_body = body[:index] + body[index + 1 :]
+            try:
+                candidate = ConjunctiveQuery(
+                    query.name, query.head, candidate_body, query.schema
+                )
+            except QueryError:
+                continue  # dropping the atom made the head unsafe
+            if is_equivalent(candidate, query):
+                body = candidate_body
+                changed = True
+                break
+    return ConjunctiveQuery(query.name, query.head, body, query.schema)

@@ -1,0 +1,273 @@
+"""Conjunctive queries in datalog style.
+
+Following Section II.B of the paper, a conjunctive query (CQ) is written
+
+    Q(y1, ..., yk) :- T1(x1, y1, c1), ..., Tq(xq, yq, cq)
+
+where the ``y`` are head variables, the ``x`` are existential variables
+and the ``c`` are constants.  This module provides the term algebra
+(:class:`Variable`, :class:`Constant`), atoms, and the
+:class:`ConjunctiveQuery` object with the derived notions the paper uses:
+
+* ``Var∃(Q)`` / ``Varh(Q)`` -- existential and head variables,
+* ``arity(Q)`` -- the *width* of the query (length of the head),
+* self-join freedom, projection freedom,
+* key variables per atom and the **key-preserving** property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.relational.schema import Schema
+
+__all__ = ["Variable", "Constant", "Term", "Atom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable (paper: lower-case letters from the end of the
+    alphabet, e.g. ``x``, ``y``, ``z``)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("variable name must be non-empty")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant from ``Const`` embedded in a query atom."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Variable | Constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One atom ``T(t1, ..., tn)`` of a CQ body.
+
+    ``terms`` mixes variables and constants.  The positions that form the
+    relation's key are taken from the schema at query construction.
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Term]):
+        if not relation:
+            raise QueryError("atom relation name must be non-empty")
+        for term in terms:
+            if not isinstance(term, (Variable, Constant)):
+                raise QueryError(
+                    f"atom term {term!r} is neither Variable nor Constant"
+                )
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def variables(self) -> tuple[Variable, ...]:
+        """Variables in positional order (duplicates preserved)."""
+        return tuple(t for t in self.terms if isinstance(t, Variable))
+
+    def variable_set(self) -> frozenset[Variable]:
+        return frozenset(self.variables)
+
+    def terms_at(self, positions: Iterable[int]) -> tuple[Term, ...]:
+        return tuple(self.terms[p] for p in positions)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with a distinguished head.
+
+    Parameters
+    ----------
+    name:
+        Query name (``Q1``, ``Q2``, ...). Used for display and as the view
+        identifier.
+    head:
+        The head terms.  The paper requires a non-empty head (every
+        ``yi`` non-empty); constants are permitted in heads for generality
+        but at least one head variable must exist.
+    body:
+        The atoms.  Every head variable must occur in the body (safety).
+    schema:
+        The schema the query is evaluated against; provides arities and
+        keys for each atom's relation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        head: Sequence[Term],
+        body: Sequence[Atom],
+        schema: Schema,
+    ):
+        if not name:
+            raise QueryError("query name must be non-empty")
+        if not head:
+            raise QueryError(f"query {name!r} must have a non-empty head")
+        if not body:
+            raise QueryError(f"query {name!r} must have a non-empty body")
+        self.name = name
+        self.head: tuple[Term, ...] = tuple(head)
+        self.body: tuple[Atom, ...] = tuple(body)
+        self.schema = schema
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        body_vars = self.body_variables()
+        head_vars = [t for t in self.head if isinstance(t, Variable)]
+        if not head_vars:
+            raise QueryError(
+                f"query {self.name!r} has no head variables; the paper "
+                "requires each head component to be non-empty"
+            )
+        for var in head_vars:
+            if var not in body_vars:
+                raise QueryError(
+                    f"unsafe query {self.name!r}: head variable {var!r} "
+                    "does not occur in the body"
+                )
+        for atom in self.body:
+            rel = self.schema.relation(atom.relation)  # raises if unknown
+            if atom.arity != rel.arity:
+                raise QueryError(
+                    f"atom {atom!r} of query {self.name!r} has arity "
+                    f"{atom.arity}, relation expects {rel.arity}"
+                )
+
+    # ------------------------------------------------------------------
+    # Variable classification (paper Section II.B)
+    # ------------------------------------------------------------------
+
+    def body_variables(self) -> frozenset[Variable]:
+        """``Var(Q)``: all variables occurring in the body."""
+        out: set[Variable] = set()
+        for atom in self.body:
+            out.update(atom.variables)
+        return frozenset(out)
+
+    def head_variables(self) -> frozenset[Variable]:
+        """``Varh(Q)``: variables occurring in the head."""
+        return frozenset(t for t in self.head if isinstance(t, Variable))
+
+    def existential_variables(self) -> frozenset[Variable]:
+        """``Var∃(Q)``: body variables not in the head."""
+        return self.body_variables() - self.head_variables()
+
+    @property
+    def arity(self) -> int:
+        """``arity(Q)``: the width of the query (= length of the head)."""
+        return len(self.head)
+
+    # ------------------------------------------------------------------
+    # Syntactic classes (paper Sections II.B, III)
+    # ------------------------------------------------------------------
+
+    def is_project_free(self) -> bool:
+        """True iff the query has no existential variables (select-join
+        query).  Project-free CQs are always key preserving."""
+        return not self.existential_variables()
+
+    def is_self_join_free(self) -> bool:
+        """True iff no relation symbol occurs twice in the body."""
+        relations = [atom.relation for atom in self.body]
+        return len(relations) == len(set(relations))
+
+    def key_variables_of(self, atom: Atom) -> frozenset[Variable]:
+        """Variables sitting at key positions of ``atom``."""
+        rel = self.schema.relation(atom.relation)
+        return frozenset(
+            t for t in atom.terms_at(rel.key) if isinstance(t, Variable)
+        )
+
+    def key_variables(self) -> frozenset[Variable]:
+        """Union of key variables across all atoms."""
+        out: set[Variable] = set()
+        for atom in self.body:
+            out.update(self.key_variables_of(atom))
+        return frozenset(out)
+
+    def is_key_preserving(self) -> bool:
+        """The paper's key-preserving property: (a) every atom's relation
+        has a key (guaranteed by :class:`RelationSchema`), and (b) every
+        key variable occurs in the head."""
+        return self.key_variables() <= self.head_variables()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def relations(self) -> tuple[str, ...]:
+        """Relation symbols in body order (duplicates preserved)."""
+        return tuple(atom.relation for atom in self.body)
+
+    def relation_set(self) -> frozenset[str]:
+        return frozenset(self.relations())
+
+    def head_positions_of(self, var: Variable) -> tuple[int, ...]:
+        """Head positions at which ``var`` occurs."""
+        return tuple(i for i, t in enumerate(self.head) if t == var)
+
+    def atoms_containing(self, var: Variable) -> tuple[Atom, ...]:
+        return tuple(a for a in self.body if var in a.variable_set())
+
+    def substitute_head(self, assignment: Mapping[Variable, object]) -> tuple:
+        """Apply an assignment ``μ`` to the head, producing the view tuple
+        ``μ(y)`` (constants pass through)."""
+        out = []
+        for term in self.head:
+            if isinstance(term, Variable):
+                try:
+                    out.append(assignment[term])
+                except KeyError:
+                    raise QueryError(
+                        f"assignment does not bind head variable {term!r}"
+                    ) from None
+            else:
+                out.append(term.value)
+        return tuple(out)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.body)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.head == other.head
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.head, self.body))
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(t) for t in self.head)
+        body = ", ".join(repr(a) for a in self.body)
+        return f"{self.name}({head}) :- {body}"

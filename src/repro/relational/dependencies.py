@@ -1,0 +1,131 @@
+"""Functional dependencies over instances.
+
+The fd-variants of the complexity landscape (fd-head domination,
+fd-induced triads — Tables II–V) assume FDs that actually *hold* on the
+data.  This module provides the instance-level side of that story:
+
+* :func:`violations` / :func:`holds` — check a set of
+  :class:`~repro.relational.analysis.FunctionalDependency` declarations
+  against an :class:`~repro.relational.instance.Instance`.
+* :func:`attribute_closure` — closure of a set of attribute positions
+  under declared FDs of one relation (Armstrong's axioms, computed the
+  usual fixpoint way).
+* :func:`discover_fds` — mine all minimal single-attribute-RHS FDs that
+  hold on a relation instance (exhaustive over LHS subsets; intended
+  for the small instances of this library's experiments).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.analysis import FunctionalDependency
+from repro.relational.instance import Instance
+
+__all__ = [
+    "violations",
+    "holds",
+    "attribute_closure",
+    "discover_fds",
+]
+
+
+def violations(
+    instance: Instance, fds: Sequence[FunctionalDependency]
+) -> list[tuple[FunctionalDependency, tuple, tuple]]:
+    """All FD violations: triples ``(fd, fact_a_values, fact_b_values)``
+    where two facts agree on the LHS but differ on the RHS."""
+    out: list[tuple[FunctionalDependency, tuple, tuple]] = []
+    for fd in fds:
+        if fd.relation not in instance.schema:
+            raise SchemaError(f"unknown relation {fd.relation!r} in {fd!r}")
+        arity = instance.schema.relation(fd.relation).arity
+        for position in (*fd.lhs, *fd.rhs):
+            if position >= arity:
+                raise SchemaError(
+                    f"position {position} out of range in {fd!r}"
+                )
+        seen: dict[tuple, tuple] = {}
+        for fact in sorted(instance.relation(fd.relation)):
+            lhs = tuple(fact.values[p] for p in fd.lhs)
+            rhs = tuple(fact.values[p] for p in fd.rhs)
+            if lhs in seen and seen[lhs] != rhs:
+                witness = next(
+                    f.values
+                    for f in sorted(instance.relation(fd.relation))
+                    if tuple(f.values[p] for p in fd.lhs) == lhs
+                    and tuple(f.values[p] for p in fd.rhs) == seen[lhs]
+                )
+                out.append((fd, witness, fact.values))
+            else:
+                seen.setdefault(lhs, rhs)
+    return out
+
+
+def holds(instance: Instance, fds: Sequence[FunctionalDependency]) -> bool:
+    """True iff every declared FD holds on the instance."""
+    return not violations(instance, fds)
+
+
+def attribute_closure(
+    relation: str,
+    positions: Iterable[int],
+    fds: Sequence[FunctionalDependency],
+) -> frozenset[int]:
+    """Closure of attribute positions of ``relation`` under the FDs
+    declared on it (FDs on other relations are ignored)."""
+    closed: set[int] = set(positions)
+    relevant = [fd for fd in fds if fd.relation == relation]
+    changed = True
+    while changed:
+        changed = False
+        for fd in relevant:
+            if set(fd.lhs) <= closed and not set(fd.rhs) <= closed:
+                closed.update(fd.rhs)
+                changed = True
+    return frozenset(closed)
+
+
+def discover_fds(
+    instance: Instance, relation: str, max_lhs: int = 2
+) -> list[FunctionalDependency]:
+    """Mine the minimal FDs with single-attribute RHS that hold on one
+    relation instance, with LHS size up to ``max_lhs``.
+
+    Minimality: an FD is reported only if no subset of its LHS already
+    determines the same RHS.  Exhaustive over LHS subsets — suitable
+    for the small experiment instances, not for data mining at scale.
+    """
+    rel = instance.schema.relation(relation)
+    facts = sorted(instance.relation(relation))
+    found: list[FunctionalDependency] = []
+    determined: dict[int, list[frozenset[int]]] = {}
+
+    def fd_holds(lhs: tuple[int, ...], rhs: int) -> bool:
+        seen: dict[tuple, object] = {}
+        for fact in facts:
+            key = tuple(fact.values[p] for p in lhs)
+            value = fact.values[rhs]
+            if key in seen and seen[key] != value:
+                return False
+            seen.setdefault(key, value)
+        return True
+
+    positions = range(rel.arity)
+    for size in range(1, max_lhs + 1):
+        for lhs in combinations(positions, size):
+            for rhs in positions:
+                if rhs in lhs:
+                    continue
+                minimal = not any(
+                    known <= frozenset(lhs)
+                    for known in determined.get(rhs, [])
+                )
+                if minimal and fd_holds(lhs, rhs):
+                    found.append(
+                        FunctionalDependency(relation, lhs, (rhs,))
+                    )
+                    determined.setdefault(rhs, []).append(frozenset(lhs))
+    return found

@@ -1,0 +1,179 @@
+"""Database instances with primary-key enforcement.
+
+An :class:`Instance` stores, per relation, a set of :class:`~repro.relational.tuples.Fact`
+objects and an index from key values to the (unique) fact holding them.
+The key index is what makes key-preserving deletion propagation efficient:
+given the key values exposed in a view tuple's head, the witness fact is a
+single dictionary lookup (Section II.C of the paper: *"finding the
+occurrences of key values of the deleted relation tuples in the view"*).
+
+Instances support the set algebra used throughout the paper:
+``D \\ ΔD`` (:meth:`Instance.without`), sub-instance tests, and copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import InstanceError, SchemaError
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.tuples import Fact
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """A database instance ``D`` over a :class:`~repro.relational.schema.Schema`.
+
+    Facts are validated on insertion: arity must match the relation schema
+    and no two facts may share key values (primary-key enforcement).
+    """
+
+    def __init__(self, schema: Schema, facts: Iterable[Fact] = ()):
+        self._schema = schema
+        self._facts: dict[str, set[Fact]] = {r.name: set() for r in schema}
+        self._key_index: dict[str, dict[tuple[object, ...], Fact]] = {
+            r.name: {} for r in schema
+        }
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Mapping[str, Iterable[Iterable[object]]]
+    ) -> "Instance":
+        """Build an instance from ``{relation: [row, ...]}``.
+
+        >>> inst = Instance.from_rows(schema, {"T1": [("a", 1), ("b", 2)]})
+        """
+        instance = cls(schema)
+        for relation, relation_rows in rows.items():
+            for row in relation_rows:
+                instance.add(Fact(relation, row))
+        return instance
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, fact: Fact) -> None:
+        """Insert ``fact``, enforcing arity and primary key."""
+        rel = self._relation_schema(fact.relation)
+        if fact.arity != rel.arity:
+            raise InstanceError(
+                f"fact {fact!r} has arity {fact.arity}, relation "
+                f"{rel.name!r} expects {rel.arity}"
+            )
+        key = fact.key_values(rel)
+        existing = self._key_index[rel.name].get(key)
+        if existing is not None:
+            if existing == fact:
+                return  # idempotent re-insert of the same fact
+            raise InstanceError(
+                f"primary-key violation in {rel.name!r}: {fact!r} collides "
+                f"with {existing!r} on key {key!r}"
+            )
+        self._facts[rel.name].add(fact)
+        self._key_index[rel.name][key] = fact
+
+    def remove(self, fact: Fact) -> None:
+        """Delete ``fact``; raise :class:`InstanceError` if absent."""
+        rel = self._relation_schema(fact.relation)
+        if fact not in self._facts[rel.name]:
+            raise InstanceError(f"cannot remove absent fact {fact!r}")
+        self._facts[rel.name].discard(fact)
+        del self._key_index[rel.name][fact.key_values(rel)]
+
+    def discard(self, fact: Fact) -> bool:
+        """Delete ``fact`` if present; return whether it was present."""
+        if fact in self:
+            self.remove(fact)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str) -> frozenset[Fact]:
+        """The facts of relation ``name`` as a frozen set."""
+        if name not in self._facts:
+            raise SchemaError(f"unknown relation {name!r}")
+        return frozenset(self._facts[name])
+
+    def lookup_by_key(
+        self, relation: str, key_values: tuple[object, ...]
+    ) -> Fact | None:
+        """Return the unique fact of ``relation`` with the given key
+        values, or ``None``.  This is the O(1) witness lookup that the
+        key-preserving property enables."""
+        if relation not in self._key_index:
+            raise SchemaError(f"unknown relation {relation!r}")
+        return self._key_index[relation].get(tuple(key_values))
+
+    def __contains__(self, fact: Fact) -> bool:
+        facts = self._facts.get(fact.relation)
+        return facts is not None and fact in facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        for name in self._facts:
+            yield from sorted(self._facts[name])
+
+    def __len__(self) -> int:
+        return sum(len(facts) for facts in self._facts.values())
+
+    def relation_sizes(self) -> dict[str, int]:
+        return {name: len(facts) for name, facts in self._facts.items()}
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+
+    def without(self, deleted: Iterable[Fact]) -> "Instance":
+        """Return a new instance ``D \\ ΔD`` (self is unchanged).
+
+        Facts in ``deleted`` that are not present are ignored, mirroring
+        set difference semantics.
+        """
+        deleted_set = set(deleted)
+        result = Instance(self._schema)
+        for fact in self:
+            if fact not in deleted_set:
+                result.add(fact)
+        return result
+
+    def copy(self) -> "Instance":
+        return self.without(())
+
+    def issubinstance(self, other: "Instance") -> bool:
+        """True iff every fact of ``self`` is a fact of ``other``
+        (``D0 ⊆ D`` in the paper)."""
+        return all(fact in other for fact in self)
+
+    def facts(self) -> frozenset[Fact]:
+        """All facts of the instance as one frozen set."""
+        return frozenset(f for facts in self._facts.values() for f in facts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._schema == other._schema and self._facts == other._facts
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{n}:{len(f)}" for n, f in self._facts.items())
+        return f"Instance({sizes})"
+
+    # ------------------------------------------------------------------
+
+    def _relation_schema(self, name: str) -> RelationSchema:
+        if name not in self._schema:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self._schema.relation(name)

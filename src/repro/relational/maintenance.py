@@ -1,0 +1,191 @@
+"""Incremental view maintenance under deletions *and* insertions.
+
+Deletion propagation repeatedly asks "what happens to the views if
+these facts change?".  Re-evaluating every query from scratch is
+correct but wasteful; this module provides the classic counting-based
+alternative:
+
+* every view tuple tracks its live *derivations* (one fact per atom,
+  i.e. per-atom witnesses — distinct existential bindings over the same
+  facts collapse into one derivation);
+* each base fact indexes the derivations it participates in, so a
+  **deletion** kills the affected derivations in O(affected) time; a
+  view tuple disappears exactly when its live-derivation count reaches
+  zero — the same semantics the paper's condition (a)/(b) accounting
+  uses;
+* an **insertion** runs delta evaluation: the new derivations are the
+  matches with the new fact pinned at each atom of its relation
+  (:func:`repro.relational.evaluate.iter_matches_pinned`), deduplicated
+  across pin positions for self-joins.
+
+:class:`MaintainedView` is stateful (facts can be changed one at a time
+and the view observed after each step, as the sequential cleaning loop
+of Section V does); :class:`MaintainedViewSet` maintains one view per
+query over a shared update stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import InstanceError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.evaluate import iter_matches, iter_matches_pinned
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+
+__all__ = ["MaintainedView", "MaintainedViewSet"]
+
+_Derivation = tuple[tuple, tuple[Fact, ...]]  # (head, per-atom facts)
+
+
+class MaintainedView:
+    """A materialized view maintained incrementally under updates."""
+
+    def __init__(self, query: ConjunctiveQuery, instance: Instance):
+        self.query = query
+        self.name = query.name
+        self._instance = instance.copy()
+        self._alive: dict[_Derivation, bool] = {}
+        self._support: dict[tuple, int] = {}
+        self._by_fact: dict[Fact, list[_Derivation]] = {}
+        for match in iter_matches(query, self._instance):
+            self._admit(match.head, match.witness)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+
+    def _admit(self, head: tuple, witness: tuple[Fact, ...]) -> bool:
+        """Register a derivation; returns True when the view tuple was
+        absent before (i.e. this derivation makes it appear)."""
+        key = (head, witness)
+        if self._alive.get(key):
+            return False
+        appeared = self._support.get(head, 0) == 0
+        self._alive[key] = True
+        self._support[head] = self._support.get(head, 0) + 1
+        for fact in set(witness):
+            self._by_fact.setdefault(fact, []).append(key)
+        return appeared
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def tuples(self) -> frozenset[tuple]:
+        """The current view contents."""
+        return frozenset(
+            head for head, count in self._support.items() if count > 0
+        )
+
+    def support(self, head: tuple) -> int:
+        """Number of live derivations of a view tuple (0 = gone)."""
+        return self._support.get(tuple(head), 0)
+
+    def __contains__(self, head: tuple) -> bool:
+        return self.support(tuple(head)) > 0
+
+    def __len__(self) -> int:
+        return sum(1 for count in self._support.values() if count > 0)
+
+    @property
+    def instance(self) -> Instance:
+        """The maintained view's current notion of the source data."""
+        return self._instance
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def delete_fact(self, fact: Fact) -> frozenset[tuple]:
+        """Propagate one source deletion; returns the view tuples that
+        disappeared as a consequence."""
+        if fact not in self._instance:
+            raise InstanceError(f"fact {fact!r} not in the source")
+        self._instance.remove(fact)
+        removed: set[tuple] = set()
+        for key in self._by_fact.get(fact, ()):
+            if not self._alive[key]:
+                continue
+            self._alive[key] = False
+            head, _ = key
+            self._support[head] -= 1
+            if self._support[head] == 0:
+                removed.add(head)
+        return frozenset(removed)
+
+    def add_fact(self, fact: Fact) -> frozenset[tuple]:
+        """Propagate one source insertion (delta evaluation); returns
+        the view tuples that newly appeared."""
+        self._instance.add(fact)  # validates arity / primary key
+        appeared: set[tuple] = set()
+        for atom_index, atom in enumerate(self.query.body):
+            if atom.relation != fact.relation:
+                continue
+            for match in iter_matches_pinned(
+                self.query, self._instance, atom_index, fact
+            ):
+                if self._admit(match.head, match.witness):
+                    appeared.add(match.head)
+        return frozenset(appeared)
+
+    def delete_facts(self, facts: Iterable[Fact]) -> frozenset[tuple]:
+        """Propagate a batch of deletions; returns all view tuples that
+        disappeared."""
+        removed: set[tuple] = set()
+        for fact in facts:
+            removed.update(self.delete_fact(fact))
+        return frozenset(removed)
+
+    @property
+    def deleted_facts(self) -> frozenset[Fact]:
+        """Facts that participated in some derivation but are gone."""
+        return frozenset(
+            fact for fact in self._by_fact if fact not in self._instance
+        )
+
+
+class MaintainedViewSet:
+    """One maintained view per query over a shared update stream."""
+
+    def __init__(self, queries: Sequence[ConjunctiveQuery], instance: Instance):
+        self._views = {q.name: MaintainedView(q, instance) for q in queries}
+
+    def view(self, name: str) -> MaintainedView:
+        return self._views[name]
+
+    def __iter__(self):
+        return iter(self._views.values())
+
+    def delete_fact(self, fact: Fact) -> dict[str, frozenset[tuple]]:
+        """Propagate one deletion to every view; returns the removals
+        per view (views with no removals are omitted)."""
+        out: dict[str, frozenset[tuple]] = {}
+        for view in self._views.values():
+            removed = view.delete_fact(fact)
+            if removed:
+                out[view.name] = removed
+        return out
+
+    def add_fact(self, fact: Fact) -> dict[str, frozenset[tuple]]:
+        """Propagate one insertion to every view; returns the additions
+        per view (views with no additions are omitted)."""
+        out: dict[str, frozenset[tuple]] = {}
+        for view in self._views.values():
+            added = view.add_fact(fact)
+            if added:
+                out[view.name] = added
+        return out
+
+    def delete_facts(
+        self, facts: Iterable[Fact]
+    ) -> dict[str, frozenset[tuple]]:
+        out: dict[str, set[tuple]] = {}
+        for fact in facts:
+            for name, removed in self.delete_fact(fact).items():
+                out.setdefault(name, set()).update(removed)
+        return {name: frozenset(removed) for name, removed in out.items()}
+
+    def total_size(self) -> int:
+        return sum(len(view) for view in self._views.values())

@@ -1,0 +1,237 @@
+"""Parser for datalog-style conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query     := NAME "(" terms ")" ( ":-" | "<-" ) atoms
+    atoms     := atom ( "," atom )*
+    atom      := NAME "(" terms ")"
+    terms     := term ( "," term )*
+    term      := "*"? ( VARIABLE | CONSTANT )
+    VARIABLE  := identifier starting with a letter or underscore
+    CONSTANT  := 'single quoted', "double quoted", integer, or float
+
+Examples::
+
+    Q3(x, z) :- T1(x, y), T2(y, z, w)
+    Q(y) :- T(y, 'fixed', 3)
+    Q(x, y) :- T(*x, y, w)          # star = key position (the paper's
+                                    # underline convention)
+
+A schema may be supplied (it carries arities and keys).  Without one,
+:func:`infer_schema` derives it from the query text: starred positions
+become the relation's key; relations with no starred position default to
+the first attribute — the paper's convention when it does not underline
+key positions explicitly.  When an explicit schema is given, stars are
+validated against it (a star on a non-key position is an error).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.errors import ParseError
+from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.relational.schema import Key, RelationSchema, Schema
+
+__all__ = ["parse_query", "parse_queries", "infer_schema"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<comma>,) |
+        (?P<star>\*) |
+        (?P<implies>:-|<-) |
+        (?P<squote>'[^']*') |
+        (?P<dquote>"[^"]*") |
+        (?P<number>-?\d+\.\d+|-?\d+) |
+        (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at {remainder[:20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, str]], text: str):
+        self._tokens = tokens
+        self._index = 0
+        self._text = text
+
+    def peek(self) -> tuple[str, str] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        token_kind, value = self.next()
+        if token_kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {value!r} in {self._text!r}"
+            )
+        return value
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream) -> tuple[Term, bool]:
+    """One term; returns ``(term, starred)`` where ``starred`` marks a
+    ``*``-prefixed (key) position."""
+    kind, value = stream.next()
+    starred = False
+    if kind == "star":
+        starred = True
+        kind, value = stream.next()
+    if kind == "name":
+        return Variable(value), starred
+    if kind in ("squote", "dquote"):
+        return Constant(value[1:-1]), starred
+    if kind == "number":
+        return Constant(float(value) if "." in value else int(value)), starred
+    raise ParseError(f"expected a term, found {value!r}")
+
+
+def _parse_term_list(stream: _TokenStream) -> tuple[list[Term], tuple[int, ...]]:
+    """A parenthesized term list; returns ``(terms, starred_positions)``."""
+    stream.expect("lparen")
+    term, starred = _parse_term(stream)
+    terms = [term]
+    stars = [0] if starred else []
+    while True:
+        kind, _ = stream.next()
+        if kind == "rparen":
+            return terms, tuple(stars)
+        if kind != "comma":
+            raise ParseError("expected ',' or ')' in term list")
+        term, starred = _parse_term(stream)
+        if starred:
+            stars.append(len(terms))
+        terms.append(term)
+
+
+def _parse_atom(stream: _TokenStream) -> tuple[Atom, tuple[int, ...]]:
+    relation = stream.expect("name")
+    terms, stars = _parse_term_list(stream)
+    return Atom(relation, terms), stars
+
+
+def parse_query(text: str, schema: Schema | None = None) -> ConjunctiveQuery:
+    """Parse one CQ.  If ``schema`` is ``None`` it is inferred via
+    :func:`infer_schema` (starred positions — or the first position —
+    of each relation form the key)."""
+    stream = _TokenStream(_tokenize(text), text)
+    name = stream.expect("name")
+    head, head_stars = _parse_term_list(stream)
+    if head_stars:
+        raise ParseError("key stars belong in body atoms, not the head")
+    stream.expect("implies")
+    atoms_with_stars = [_parse_atom(stream)]
+    while not stream.exhausted():
+        stream.expect("comma")
+        atoms_with_stars.append(_parse_atom(stream))
+    body = [atom for atom, _ in atoms_with_stars]
+    if schema is None:
+        schema = infer_schema([text])
+    else:
+        for atom, stars in atoms_with_stars:
+            if not stars:
+                continue
+            if atom.relation not in schema:
+                continue  # arity validation happens in ConjunctiveQuery
+            declared = schema.relation(atom.relation).key.positions
+            if tuple(stars) != declared:
+                raise ParseError(
+                    f"atom {atom!r} stars positions {list(stars)} but the "
+                    f"schema keys {atom.relation!r} on {list(declared)}"
+                )
+    return ConjunctiveQuery(name, head, body, schema)
+
+
+def parse_queries(
+    texts: Iterable[str], schema: Schema | None = None
+) -> list[ConjunctiveQuery]:
+    """Parse several CQs against one shared schema (inferred across all
+    of them when not given, so relations shared between queries agree)."""
+    texts = list(texts)
+    if schema is None:
+        schema = infer_schema(texts)
+    return [parse_query(text, schema) for text in texts]
+
+
+def infer_schema(
+    texts: Iterable[str], keys: dict[str, Iterable[int]] | None = None
+) -> Schema:
+    """Infer a schema from query texts.
+
+    Every relation gets attributes ``a0..a{n-1}``.  Its key comes from,
+    in order of precedence: the ``keys`` override, ``*``-starred
+    positions in the query text, or position 0.  Raises
+    :class:`ParseError` on inconsistent arities or inconsistent stars
+    across queries.
+    """
+    keys = keys or {}
+    arities: dict[str, int] = {}
+    starred: dict[str, tuple[int, ...]] = {}
+    for text in texts:
+        stream = _TokenStream(_tokenize(text), text)
+        stream.expect("name")
+        _parse_term_list(stream)
+        stream.expect("implies")
+        while True:
+            atom, stars = _parse_atom(stream)
+            seen = arities.get(atom.relation)
+            if seen is not None and seen != atom.arity:
+                raise ParseError(
+                    f"relation {atom.relation!r} used with arities "
+                    f"{seen} and {atom.arity}"
+                )
+            arities[atom.relation] = atom.arity
+            if stars:
+                previous = starred.get(atom.relation)
+                if previous is not None and previous != stars:
+                    raise ParseError(
+                        f"relation {atom.relation!r} starred as "
+                        f"{list(previous)} and {list(stars)}"
+                    )
+                starred[atom.relation] = stars
+            if stream.exhausted():
+                break
+            stream.expect("comma")
+    schema = Schema()
+    for relation, arity in arities.items():
+        if relation in keys:
+            key = Key(keys[relation])
+        elif relation in starred:
+            key = Key(starred[relation])
+        else:
+            key = Key((0,))
+        attributes = tuple(f"a{i}" for i in range(arity))
+        schema.add(RelationSchema(relation, attributes, key))
+    return schema

@@ -1,0 +1,82 @@
+"""Why-provenance (witnesses) of view tuples.
+
+For a match ``μ`` the *witness* is the set of facts ``{μ(T1)..μ(Tq)}``.
+A view tuple may have several witnesses in general; the key-preserving
+property of the paper guarantees exactly one, because the head exposes the
+key values of every joined fact and a key identifies at most one fact per
+relation (Section II.C).
+
+This module computes witness maps and the inverted index
+fact -> dependent view tuples that all the deletion-propagation
+algorithms consume.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotKeyPreservingError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.evaluate import iter_matches
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+
+__all__ = [
+    "witness_map",
+    "unique_witness_map",
+    "inverted_index",
+]
+
+
+def witness_map(
+    query: ConjunctiveQuery, instance: Instance
+) -> dict[tuple, list[frozenset[Fact]]]:
+    """Map each view tuple of ``query(instance)`` to all its witnesses.
+
+    Witnesses are de-duplicated (two matches that use the same facts but
+    differ on existential bindings contribute one witness).
+    """
+    out: dict[tuple, list[frozenset[Fact]]] = {}
+    for match in iter_matches(query, instance):
+        witnesses = out.setdefault(match.head, [])
+        witness = match.witness_set()
+        if witness not in witnesses:
+            witnesses.append(witness)
+    return out
+
+
+def unique_witness_map(
+    query: ConjunctiveQuery, instance: Instance
+) -> dict[tuple, frozenset[Fact]]:
+    """Map each view tuple to its *unique* witness.
+
+    Raises :class:`NotKeyPreservingError` when some view tuple has more
+    than one witness — which cannot happen for key-preserving queries, so
+    this doubles as a runtime check of the property the paper relies on.
+    """
+    out: dict[tuple, frozenset[Fact]] = {}
+    for head, witnesses in witness_map(query, instance).items():
+        if len(witnesses) != 1:
+            raise NotKeyPreservingError(
+                f"view tuple {head!r} of query {query.name!r} has "
+                f"{len(witnesses)} witnesses; key-preserving queries "
+                "guarantee exactly one"
+            )
+        out[head] = witnesses[0]
+    return out
+
+
+def inverted_index(
+    witness_maps: dict[str, dict[tuple, frozenset[Fact]]],
+) -> dict[Fact, set[tuple[str, tuple]]]:
+    """Invert per-view witness maps into fact -> dependent view tuples.
+
+    ``witness_maps`` maps view name -> (view tuple -> witness).  The
+    result maps each base fact to the set of ``(view_name, view_tuple)``
+    pairs whose witness contains it.  Deleting the fact eliminates exactly
+    those view tuples (for key-preserving queries).
+    """
+    index: dict[Fact, set[tuple[str, tuple]]] = {}
+    for view_name, mapping in witness_maps.items():
+        for head, witness in mapping.items():
+            for fact in witness:
+                index.setdefault(fact, set()).add((view_name, head))
+    return index

@@ -1,0 +1,81 @@
+"""ASCII rendering of instances, views, and query sets.
+
+Used by the examples and the CLI to show data the way the paper's
+Fig. 1 does: one aligned table per relation/view, key columns starred.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.views import View, ViewSet
+
+__all__ = ["render_relation", "render_instance", "render_view", "render_queries"]
+
+
+def _render_rows(
+    title: str, header: list[str], rows: list[list[str]]
+) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    if not rows:
+        lines.append("(empty)")
+    return "\n".join(lines)
+
+
+def render_relation(instance: Instance, name: str) -> str:
+    """One relation as an aligned table; key attributes are starred."""
+    rel = instance.schema.relation(name)
+    header = [
+        f"*{attr}" if i in rel.key else attr
+        for i, attr in enumerate(rel.attributes)
+    ]
+    rows = [
+        [str(v) for v in fact.values]
+        for fact in sorted(instance.relation(name))
+    ]
+    return _render_rows(str(rel), header, rows)
+
+
+def render_instance(instance: Instance) -> str:
+    """Every relation of the instance, Fig. 1-style."""
+    blocks = [
+        render_relation(instance, rel.name) for rel in instance.schema
+    ]
+    return "\n\n".join(blocks)
+
+
+def render_view(view: View) -> str:
+    """A materialized view as an aligned table."""
+    header = []
+    for i, term in enumerate(view.query.head):
+        header.append(getattr(term, "name", f"c{i}"))
+    rows = [[str(v) for v in values] for values in sorted(view.tuples, key=repr)]
+    title = f"{view.name} = {view.query!r}"
+    return _render_rows(title, header, rows)
+
+
+def render_queries(queries: Iterable[ConjunctiveQuery]) -> str:
+    """Query definitions with their syntactic classes."""
+    lines = []
+    for query in queries:
+        tags = []
+        if query.is_project_free():
+            tags.append("project-free")
+        if query.is_self_join_free():
+            tags.append("sj-free")
+        if query.is_key_preserving():
+            tags.append("key-preserving")
+        lines.append(f"{query!r}   [{', '.join(tags) or 'none'}]")
+    return "\n".join(lines)

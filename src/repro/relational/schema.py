@@ -1,0 +1,184 @@
+"""Relation schemas, keys, and database schemas.
+
+The paper (Section II.A) models a schema ``S`` as a finite sequence of
+distinct relation symbols ``T1..Tm``, each with a fixed arity.  Every
+relation used by a key-preserving query additionally declares a *key*: a
+non-empty set of attribute positions such that no two tuples of the
+relation agree on all key positions.
+
+This module provides the immutable schema objects used everywhere else:
+
+* :class:`Key` -- a set of attribute positions of one relation.
+* :class:`RelationSchema` -- relation name, arity, attribute names, key.
+* :class:`Schema` -- an ordered collection of relation schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Key", "RelationSchema", "Schema"]
+
+
+@dataclass(frozen=True)
+class Key:
+    """A primary key: an ordered tuple of attribute positions.
+
+    Positions are zero-based indexes into the relation's attribute list.
+    The paper requires *at least one* key attribute position per atom
+    (Section II.B, "Key-preserving").
+    """
+
+    positions: tuple[int, ...]
+
+    def __init__(self, positions: Iterable[int]):
+        object.__setattr__(self, "positions", tuple(sorted(set(positions))))
+        if not self.positions:
+            raise SchemaError("a key must contain at least one position")
+        if any(p < 0 for p in self.positions):
+            raise SchemaError(f"key positions must be non-negative: {self.positions}")
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.positions)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __contains__(self, position: int) -> bool:
+        return position in self.positions
+
+    def validate_for_arity(self, arity: int) -> None:
+        """Raise :class:`SchemaError` if any position is out of range."""
+        for p in self.positions:
+            if p >= arity:
+                raise SchemaError(
+                    f"key position {p} out of range for relation of arity {arity}"
+                )
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a single relation: name, attributes, and primary key.
+
+    Parameters
+    ----------
+    name:
+        Relation symbol, e.g. ``"T1"`` or ``"Author"``.
+    attributes:
+        Attribute names; their count is the relation's arity (``Dim`` in
+        the paper).  Attribute names must be distinct.
+    key:
+        Primary key.  Defaults to the first attribute, mirroring the
+        paper's convention of underlining the first position when no key
+        is stated explicitly.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    key: Key = field(default=None)  # type: ignore[assignment]
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        key: Key | Iterable[int] | None = None,
+    ):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have arity > 0")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names")
+        if key is None:
+            key = Key((0,))
+        elif not isinstance(key, Key):
+            key = Key(key)
+        key.validate_for_arity(len(attrs))
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "key", key)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes (``Dim`` in the paper)."""
+        return len(self.attributes)
+
+    def key_of(self, values: Sequence[object]) -> tuple[object, ...]:
+        """Project ``values`` (a full tuple of this relation) onto the key."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"tuple of arity {len(values)} does not match relation "
+                f"{self.name!r} of arity {self.arity}"
+            )
+        return tuple(values[p] for p in self.key)
+
+    def position_of(self, attribute: str) -> int:
+        """Return the position of ``attribute``; raise if unknown."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        cols = [
+            f"*{a}" if i in self.key else a for i, a in enumerate(self.attributes)
+        ]
+        return f"{self.name}({', '.join(cols)})"
+
+
+class Schema:
+    """A database schema: an ordered mapping of relation name -> schema.
+
+    Iteration order is insertion order, matching the paper's notion of a
+    schema as a finite *sequence* of relations.
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add(rel)
+
+    def add(self, relation: RelationSchema) -> None:
+        """Add one relation schema; names must be unique."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def as_mapping(self) -> Mapping[str, RelationSchema]:
+        """Read-only view of the name -> relation mapping."""
+        return dict(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        inner = "; ".join(str(r) for r in self)
+        return f"Schema[{inner}]"

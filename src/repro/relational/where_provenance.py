@@ -1,0 +1,92 @@
+"""Where-provenance: which source *cells* feed each view cell.
+
+The paper's annotation application (Section V) propagates annotations
+"to the fields of view tuples" — that is where-provenance (Buneman et
+al.; Cheney, Chiticariu, Tan survey [11]): for every position of a view
+tuple, the set of source cells ``(fact, position)`` whose value was
+copied there by some match.
+
+Why-provenance (witnesses) drives deletion; where-provenance drives
+cell-level annotation placement.  Both are derived from the same match
+enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.relational.cq import ConjunctiveQuery, Variable
+from repro.relational.evaluate import iter_matches
+from repro.relational.instance import Instance
+from repro.relational.tuples import Fact
+
+__all__ = ["Cell", "where_provenance", "annotate_cells"]
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One source cell: a fact and an attribute position inside it."""
+
+    fact: Fact
+    position: int
+
+    @property
+    def value(self) -> object:
+        return self.fact.values[self.position]
+
+    def __repr__(self) -> str:
+        return f"{self.fact!r}[{self.position}]"
+
+
+def where_provenance(
+    query: ConjunctiveQuery, instance: Instance
+) -> dict[tuple, tuple[frozenset[Cell], ...]]:
+    """Map every view tuple to, per head position, the source cells
+    copied into it (union over all matches).
+
+    Head positions holding constants get empty cell sets — their value
+    is invented by the query, not copied from the data.
+    """
+    out: dict[tuple, list[set[Cell]]] = {}
+    for match in iter_matches(query, instance):
+        slots = out.setdefault(
+            match.head, [set() for _ in range(query.arity)]
+        )
+        for head_index, term in enumerate(query.head):
+            if not isinstance(term, Variable):
+                continue
+            for atom, fact in zip(query.body, match.witness):
+                for position, atom_term in enumerate(atom.terms):
+                    if atom_term == term:
+                        slots[head_index].add(Cell(fact, position))
+    return {
+        head: tuple(frozenset(cells) for cells in slots)
+        for head, slots in out.items()
+    }
+
+
+def annotate_cells(
+    query: ConjunctiveQuery,
+    instance: Instance,
+    annotations: Mapping[tuple, Mapping[int, object]],
+) -> dict[Cell, set[object]]:
+    """Propagate view-cell annotations back to source cells.
+
+    ``annotations`` maps view tuples to ``{head position: annotation}``.
+    The result maps each source cell to the set of annotations that
+    reach it through where-provenance.  This is the cell-level engine
+    behind :class:`repro.apps.annotation.AnnotationPropagator`.
+    """
+    provenance = where_provenance(query, instance)
+    out: dict[Cell, set[object]] = {}
+    for head, per_position in annotations.items():
+        slots = provenance.get(tuple(head))
+        if slots is None:
+            continue
+        for position, annotation in per_position.items():
+            if not 0 <= position < len(slots):
+                continue
+            for cell in slots[position]:
+                out.setdefault(cell, set()).add(annotation)
+    return out

@@ -1,0 +1,29 @@
+"""Covering-problem substrate: Red-Blue Set Cover (exact + Peleg's
+LowDegTwo), classical weighted greedy, and Positive-Negative Partial Set
+Cover with Miettinen's reduction.  These are the targets of the paper's
+Claim 1 / Lemma 1 pipelines and the sources of its Theorem 1/2 hardness
+reductions."""
+
+from repro.setcover.greedy import greedy_rbsc, greedy_weighted_cover
+from repro.setcover.lowdeg import low_deg, low_deg_bound, low_deg_two
+from repro.setcover.posneg import (
+    PosNegPartialSetCover,
+    posneg_to_rbsc,
+    solve_posneg_exact,
+    solve_posneg_lowdeg,
+)
+from repro.setcover.redblue import RedBlueSetCover, solve_rbsc_exact
+
+__all__ = [
+    "PosNegPartialSetCover",
+    "RedBlueSetCover",
+    "greedy_rbsc",
+    "greedy_weighted_cover",
+    "low_deg",
+    "low_deg_bound",
+    "low_deg_two",
+    "posneg_to_rbsc",
+    "solve_posneg_exact",
+    "solve_posneg_lowdeg",
+    "solve_rbsc_exact",
+]

@@ -1,0 +1,133 @@
+"""Positive-Negative Partial Set Cover (Miettinen, IPL 2008).
+
+Paper Section II.D: given disjoint positives ``P`` and negatives ``N``
+and a collection ``C ⊆ 2^(P∪N)``, pick a subcollection minimizing
+``|P \\ covered| + |N ∩ covered|`` — uncovered positives plus covered
+negatives.  The balanced deletion-propagation problem reduces to PN-PSC
+(Lemma 1) and PN-PSC reduces linearly to RBSC (Miettinen), which is how
+the approximation is obtained here:
+
+* each negative becomes a red element,
+* each positive ``p`` becomes a blue element, and a private *escape set*
+  ``{p, r_p}`` with a fresh red ``r_p`` is added: covering ``p`` via its
+  escape set costs exactly the one unit that leaving ``p`` uncovered
+  would cost.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import ReductionError
+from repro.setcover.lowdeg import low_deg_two
+from repro.setcover.redblue import RedBlueSetCover, solve_rbsc_exact
+
+__all__ = [
+    "PosNegPartialSetCover",
+    "posneg_to_rbsc",
+    "solve_posneg_exact",
+    "solve_posneg_lowdeg",
+]
+
+Element = Hashable
+
+_ESCAPE_PREFIX = "__escape__"
+
+
+class PosNegPartialSetCover:
+    """A PN-PSC instance with optionally weighted negatives and a
+    configurable penalty per uncovered positive."""
+
+    def __init__(
+        self,
+        positives: Iterable[Element],
+        negatives: Iterable[Element],
+        sets: Mapping[str, Iterable[Element]],
+        negative_weights: Mapping[Element, float] | None = None,
+        positive_penalty: float = 1.0,
+    ):
+        self.positives: frozenset[Element] = frozenset(positives)
+        self.negatives: frozenset[Element] = frozenset(negatives)
+        if self.positives & self.negatives:
+            raise ReductionError("positives and negatives must be disjoint")
+        universe = self.positives | self.negatives
+        self.sets: dict[str, frozenset[Element]] = {}
+        for name, members in sets.items():
+            member_set = frozenset(members)
+            stray = member_set - universe
+            if stray:
+                raise ReductionError(
+                    f"set {name!r} contains unknown elements "
+                    f"{sorted(map(repr, stray))[:3]}"
+                )
+            self.sets[name] = member_set
+        self._negative_weights = {
+            e: float(w) for e, w in (negative_weights or {}).items()
+        }
+        self.positive_penalty = float(positive_penalty)
+
+    def negative_weight(self, element: Element) -> float:
+        return self._negative_weights.get(element, 1.0)
+
+    def cost(self, selection: Iterable[str]) -> float:
+        """``penalty·|uncovered positives| + weight(covered negatives)``."""
+        covered: set[Element] = set()
+        for name in selection:
+            covered.update(self.sets[name])
+        uncovered_positives = self.positives - covered
+        covered_negatives = self.negatives & covered
+        return self.positive_penalty * len(uncovered_positives) + sum(
+            self.negative_weight(n) for n in covered_negatives
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PosNegPartialSetCover(|P|={len(self.positives)}, "
+            f"|N|={len(self.negatives)}, |C|={len(self.sets)})"
+        )
+
+
+def posneg_to_rbsc(instance: PosNegPartialSetCover) -> RedBlueSetCover:
+    """Miettinen's linear reduction PN-PSC → RBSC (escape sets).
+
+    The RBSC optimum equals the PN-PSC optimum, and any RBSC selection
+    maps back by dropping the escape sets.
+    """
+    escape_reds = {p: (_ESCAPE_PREFIX, p) for p in instance.positives}
+    reds = set(instance.negatives) | set(escape_reds.values())
+    sets: dict[str, frozenset] = dict(instance.sets)
+    for p, red in escape_reds.items():
+        sets[f"{_ESCAPE_PREFIX}{p!r}"] = frozenset((p, red))
+    weights = {n: instance.negative_weight(n) for n in instance.negatives}
+    for red in escape_reds.values():
+        weights[red] = instance.positive_penalty
+    return RedBlueSetCover(
+        reds=reds,
+        blues=instance.positives,
+        sets=sets,
+        red_weights=weights,
+    )
+
+
+def _strip_escapes(selection: Iterable[str]) -> list[str]:
+    return [n for n in selection if not n.startswith(_ESCAPE_PREFIX)]
+
+
+def solve_posneg_exact(
+    instance: PosNegPartialSetCover,
+) -> tuple[list[str], float]:
+    """Exact PN-PSC via the RBSC reduction and the exact RBSC solver."""
+    selection, _ = solve_rbsc_exact(posneg_to_rbsc(instance))
+    stripped = _strip_escapes(selection)
+    return stripped, instance.cost(stripped)
+
+
+def solve_posneg_lowdeg(
+    instance: PosNegPartialSetCover,
+) -> tuple[list[str], float]:
+    """Approximate PN-PSC: reduce to RBSC, run LowDegTwo, strip the
+    escape sets.  This is the pipeline Lemma 1 transfers to balanced
+    deletion propagation."""
+    selection, _ = low_deg_two(posneg_to_rbsc(instance))
+    stripped = _strip_escapes(selection)
+    return stripped, instance.cost(stripped)

@@ -1,0 +1,55 @@
+"""Workloads: the paper's verbatim examples (Figs. 1–3), structured
+forest-case generators, general synthetic instances, and random covering
+problems.  All generators are seeded and deterministic."""
+
+from repro.workloads.bibliography import (
+    bibliography_schema,
+    random_bibliography_problem,
+)
+from repro.workloads.golden import GOLDEN_SCENARIOS, GoldenScenario
+from repro.workloads.paper_examples import (
+    figure1_instance,
+    figure1_problem,
+    figure1_problem_q4,
+    figure1_queries,
+    figure1_schema,
+    figure2_rbsc,
+    figure3_query_sets,
+)
+from repro.workloads.setcover_gen import random_posneg, random_rbsc
+from repro.workloads.synthetic import (
+    random_cq,
+    random_general_problem,
+    random_problem,
+    random_single_query_problem,
+)
+from repro.workloads.trees import (
+    random_chain_problem,
+    random_forest_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+__all__ = [
+    "GOLDEN_SCENARIOS",
+    "GoldenScenario",
+    "bibliography_schema",
+    "figure1_instance",
+    "figure1_problem",
+    "figure1_problem_q4",
+    "figure1_queries",
+    "figure1_schema",
+    "figure2_rbsc",
+    "figure3_query_sets",
+    "random_bibliography_problem",
+    "random_chain_problem",
+    "random_cq",
+    "random_forest_problem",
+    "random_general_problem",
+    "random_posneg",
+    "random_problem",
+    "random_rbsc",
+    "random_single_query_problem",
+    "random_star_problem",
+    "random_triangle_problem",
+]

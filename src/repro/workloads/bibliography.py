@@ -1,0 +1,105 @@
+"""A scaled bibliographic workload in the shape of the paper's Fig. 1.
+
+Generates Author/Journal/Topic data with configurable sizes and skew,
+plus the two Fig. 1 query shapes (projecting `Q3` and key-preserving
+`Q4`) and optional extra per-topic views.  Used by the examples, the
+scaling benches, and as a more "realistic" counterpart to the purely
+structural chain/star generators.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ProblemError
+from repro.relational.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.parser import parse_queries
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+from repro.core.problem import DeletionPropagationProblem
+
+__all__ = ["bibliography_schema", "random_bibliography_problem"]
+
+
+def bibliography_schema() -> Schema:
+    """The Fig. 1 schema at scale: T1(AuName, Journal) with a composite
+    key, T2(Journal, Topic, Papers) keyed on (Journal, Topic)."""
+    return Schema(
+        [
+            RelationSchema("T1", ("AuName", "Journal"), Key((0, 1))),
+            RelationSchema("T2", ("Journal", "Topic", "Papers"), Key((0, 1))),
+        ]
+    )
+
+
+def _zipf_choice(rng: random.Random, items: Sequence[str], skew: float) -> str:
+    """Pick an item with a Zipf-ish preference for the early ones."""
+    if skew <= 0:
+        return items[rng.randrange(len(items))]
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(items))]
+    total = sum(weights)
+    point = rng.random() * total
+    acc = 0.0
+    for item, weight in zip(items, weights):
+        acc += weight
+        if point <= acc:
+            return item
+    return items[-1]
+
+
+def random_bibliography_problem(
+    rng: random.Random,
+    num_authors: int = 12,
+    num_journals: int = 5,
+    num_topics: int = 4,
+    venues_per_author: int = 2,
+    topics_per_journal: int = 2,
+    skew: float = 0.8,
+    delta_fraction: float = 0.15,
+    include_q3: bool = True,
+) -> DeletionPropagationProblem:
+    """A scaled Fig. 1 instance.
+
+    Authors publish in ``venues_per_author`` journals (Zipf-skewed, so
+    popular journals accumulate authors — exactly the structure that
+    makes deletions collide); each journal covers
+    ``topics_per_journal`` topics.  ΔV samples the key-preserving Q4
+    view; when ``include_q3`` is set the projecting Q3 view is also
+    materialized (making the problem non-key-preserving overall, the
+    Fig. 1 situation).
+    """
+    if num_authors < 1 or num_journals < 1 or num_topics < 1:
+        raise ProblemError("sizes must be positive")
+    schema = bibliography_schema()
+    instance = Instance(schema)
+    authors = [f"author{i}" for i in range(num_authors)]
+    journals = [f"journal{i}" for i in range(num_journals)]
+    topics = [f"topic{i}" for i in range(num_topics)]
+
+    for author in authors:
+        chosen: set[str] = set()
+        while len(chosen) < min(venues_per_author, num_journals):
+            chosen.add(_zipf_choice(rng, journals, skew))
+        for journal in sorted(chosen):
+            instance.add(Fact("T1", (author, journal)))
+    for journal in journals:
+        chosen = set()
+        while len(chosen) < min(topics_per_journal, num_topics):
+            chosen.add(_zipf_choice(rng, topics, skew))
+        for topic in sorted(chosen):
+            instance.add(Fact("T2", (journal, topic, rng.randint(5, 60))))
+
+    texts = ["Q4(x, y, z) :- T1(x, y), T2(y, z, w)"]
+    if include_q3:
+        texts.append("Q3(x, z) :- T1(x, y), T2(y, z, w)")
+    queries = parse_queries(texts, schema)
+
+    probe = DeletionPropagationProblem(instance, queries, {})
+    q4_tuples = sorted(probe.views.view("Q4").tuples)
+    if not q4_tuples:
+        raise ProblemError("degenerate instance: empty Q4 view")
+    count = max(1, round(delta_fraction * len(q4_tuples)))
+    deletions = {"Q4": rng.sample(q4_tuples, count)}
+    return DeletionPropagationProblem(instance, queries, deletions)

@@ -1,0 +1,181 @@
+"""Golden scenarios: frozen instances with hand-verified optima.
+
+Each scenario is a small, deterministic problem whose minimum view
+side-effect (and, where stated, minimum deletion count) was verified by
+hand.  ``tests/workloads/test_golden.py`` asserts every solver that
+claims optimality reproduces these numbers — the guard rail for future
+refactors of the witness semantics or the solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.relational.instance import Instance
+from repro.relational.parser import parse_queries
+from repro.core.problem import DeletionPropagationProblem
+
+__all__ = ["GoldenScenario", "GOLDEN_SCENARIOS"]
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One frozen instance with its hand-verified optima."""
+
+    name: str
+    description: str
+    build: Callable[[], DeletionPropagationProblem]
+    optimal_side_effect: float
+    optimal_deletions: int  # the source-side optimum (min |ΔD|)
+    pivot_class: bool  # inside Algorithm 4's tractable class?
+
+
+def _shared_hub() -> DeletionPropagationProblem:
+    """Two chains funneling through one hub fact: deleting the hub is
+    source-cheap (1 deletion) but destroys both preserved paths
+    (side-effect 2); the view-optimal repair deletes the two sources
+    (2 deletions, side-effect 0)."""
+    queries = parse_queries(["Q(a, h, z) :- A(a, h), H(h, z)"])
+    instance = Instance.from_rows(
+        queries[0].schema,
+        {
+            "A": [("bad1", "hub"), ("bad2", "hub"), ("good1", "hub"),
+                  ("good2", "hub")],
+            "H": [("hub", "end")],
+        },
+    )
+    return DeletionPropagationProblem(
+        instance,
+        queries,
+        {"Q": [("bad1", "hub", "end"), ("bad2", "hub", "end")]},
+    )
+
+
+def _two_views_disagree() -> DeletionPropagationProblem:
+    """Two views over shared data: the fact cheap for view 1 is
+    expensive for view 2.  Optimum must look at both."""
+    queries = parse_queries(
+        [
+            "V1(a, b) :- R(a, b)",
+            "V2(a, b, c) :- R(a, b), S(b, c)",
+        ]
+    )
+    instance = Instance.from_rows(
+        queries[0].schema,
+        {
+            "R": [("x", "j"), ("y", "j"), ("z", "k")],
+            "S": [("j", "s1"), ("k", "s2")],
+        },
+    )
+    # Delete (x, j) from V1. Only R(x, j) can do it; collateral is
+    # V2's (x, j, s1). Optimal side-effect = 1, deletions = 1.
+    return DeletionPropagationProblem(
+        instance, queries, {"V1": [("x", "j")]}
+    )
+
+
+def _weighted_tradeoff() -> DeletionPropagationProblem:
+    """Weights flip the optimal witness member: the heavy tuple must be
+    protected even though it is the 'narrow' choice unweighted."""
+    queries = parse_queries(["Q(a, b, c) :- L(a, b), Rr(b, c)"])
+    instance = Instance.from_rows(
+        queries[0].schema,
+        {
+            "L": [("del", "m"), ("keepA", "m"), ("keepB", "n")],
+            "Rr": [("m", "r"), ("n", "r2")],
+        },
+    )
+    # ΔV = (del, m, r). Deleting L(del, m): side-effect 0. Deleting
+    # Rr(m, r): kills (keepA, m, r) weighted 5. Optimum 0 via L.
+    return DeletionPropagationProblem(
+        instance,
+        queries,
+        {"Q": [("del", "m", "r")]},
+        weights={("Q", ("keepA", "m", "r")): 5.0},
+    )
+
+
+def _forced_collateral() -> DeletionPropagationProblem:
+    """Every witness member of the ΔV tuple is shared with preserved
+    tuples: no side-effect-free repair exists; minimum is 1.  ``Rr``
+    carries a composite key (star syntax) so one journal-style value
+    may pair with several second components."""
+    queries = parse_queries(["Q(a, b, c) :- L(a, b), Rr(*b, *c)"])
+    instance = Instance.from_rows(
+        queries[0].schema,
+        {
+            "L": [("u", "m"), ("v", "m")],
+            "Rr": [("m", "r1"), ("m", "r2")],
+        },
+    )
+    # view: (u,m,r1), (u,m,r2), (v,m,r1), (v,m,r2); delete (u,m,r1).
+    # L(u,m) kills (u,m,r2) too; Rr(m,r1) kills (v,m,r1). Either way 1.
+    return DeletionPropagationProblem(
+        instance, queries, {"Q": [("u", "m", "r1")]}
+    )
+
+
+def _multi_delta_share() -> DeletionPropagationProblem:
+    """Two ΔV tuples sharing a fact: one deletion covers both at
+    side-effect 0 (the covering structure pays off)."""
+    queries = parse_queries(["Q(a, b, c) :- L(a, b), Rr(b, c)"])
+    instance = Instance.from_rows(
+        queries[0].schema,
+        {
+            "L": [("u", "m"), ("v", "m"), ("w", "n")],
+            "Rr": [("m", "r"), ("n", "r2")],
+        },
+    )
+    # delete (u,m,r) and (v,m,r): deleting Rr(m, r) covers both with no
+    # other tuples through it — side-effect 0, one deletion.
+    return DeletionPropagationProblem(
+        instance,
+        queries,
+        {"Q": [("u", "m", "r"), ("v", "m", "r")]},
+    )
+
+
+GOLDEN_SCENARIOS: tuple[GoldenScenario, ...] = (
+    GoldenScenario(
+        "shared-hub",
+        "source-optimal and view-optimal repairs diverge",
+        _shared_hub,
+        optimal_side_effect=0.0,
+        optimal_deletions=1,
+        pivot_class=True,
+    ),
+    GoldenScenario(
+        "two-views-disagree",
+        "collateral crosses view boundaries",
+        _two_views_disagree,
+        optimal_side_effect=1.0,
+        optimal_deletions=1,
+        pivot_class=True,
+    ),
+    GoldenScenario(
+        "weighted-tradeoff",
+        "weights steer the witness choice",
+        _weighted_tradeoff,
+        optimal_side_effect=0.0,
+        optimal_deletions=1,
+        pivot_class=True,
+    ),
+    GoldenScenario(
+        "forced-collateral",
+        "no side-effect-free repair exists; the 2x2 join grid puts a "
+        "cycle in the data dual graph (outside Algorithm 4's class)",
+        _forced_collateral,
+        optimal_side_effect=1.0,
+        optimal_deletions=1,
+        pivot_class=False,
+    ),
+    GoldenScenario(
+        "multi-delta-share",
+        "one deletion covers two ΔV tuples for free",
+        _multi_delta_share,
+        optimal_side_effect=0.0,
+        optimal_deletions=1,
+        pivot_class=True,
+    ),
+)

@@ -1,0 +1,153 @@
+"""The paper's worked examples, verbatim.
+
+* **Figure 1** — the bibliographic database: relations
+  ``T1(AuName, Journal)`` and ``T2(Journal, Topic, #Papers)`` with seven
+  tuples, queries ``Q3(x, z) :- T1(x, y), T2(y, z, w)`` (not key
+  preserving: ``y`` is a projected-away key variable) and
+  ``Q4(x, y, z) :- T1(x, y), T2(y, z, w)`` (key preserving).
+* **Section II.C worked deletions** — ``ΔV = (John, XML)`` on ``Q3``
+  has minimum view side-effect 1 (two optimal solutions, exactly as the
+  paper lists); ``ΔV = (John, TKDE, XML)`` on ``Q4`` is handled by a
+  single-fact deletion thanks to key preservation (minimum side-effect
+  1: ``(John, TKDE, CUBE)`` is lost).
+* **Figure 2** — the Red-Blue Set Cover instance
+  ``C = {C1(r1,b1), C2(r1,b2), C3(r1,b3)}`` used to illustrate the
+  Theorem 1 reduction.
+* **Figure 3** — the query sets ``Q1 = {Q1,Q3,Q4,Q5}`` (dual hypergraph
+  not a hypertree), ``Q2 = {Q1,Q3,Q5}`` and ``Q3 = {Q1,Q2,Q5}`` (both
+  hypertrees).
+"""
+
+from __future__ import annotations
+
+from repro.relational.cq import Atom, ConjunctiveQuery, Variable
+from repro.relational.instance import Instance
+from repro.relational.parser import parse_query
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.core.problem import DeletionPropagationProblem
+from repro.setcover.redblue import RedBlueSetCover
+
+__all__ = [
+    "figure1_schema",
+    "figure1_instance",
+    "figure1_queries",
+    "figure1_problem",
+    "figure1_problem_q4",
+    "figure2_rbsc",
+    "figure3_query_sets",
+]
+
+
+def figure1_schema() -> Schema:
+    """T1(AuName, Journal) and T2(Journal, Topic, #Papers); both keys
+    span the columns that are duplicated in the sample data (author
+    publishes in several journals, journal covers several topics)."""
+    return Schema(
+        [
+            RelationSchema("T1", ("AuName", "Journal"), Key((0, 1))),
+            RelationSchema("T2", ("Journal", "Topic", "Papers"), Key((0, 1))),
+        ]
+    )
+
+
+def figure1_instance(schema: Schema | None = None) -> Instance:
+    """The seven tuples of Fig. 1 (a)–(b)."""
+    schema = schema or figure1_schema()
+    return Instance.from_rows(
+        schema,
+        {
+            "T1": [
+                ("Joe", "TKDE"),
+                ("John", "TKDE"),
+                ("Tom", "TKDE"),
+                ("John", "TODS"),
+            ],
+            "T2": [
+                ("TKDE", "XML", 30),
+                ("TKDE", "CUBE", 30),
+                ("TODS", "XML", 30),
+            ],
+        },
+    )
+
+
+def figure1_queries(
+    schema: Schema | None = None,
+) -> tuple[ConjunctiveQuery, ConjunctiveQuery]:
+    """``Q3`` (projecting, not key preserving) and ``Q4`` (key
+    preserving)."""
+    schema = schema or figure1_schema()
+    q3 = parse_query("Q3(x, z) :- T1(x, y), T2(y, z, w)", schema)
+    q4 = parse_query("Q4(x, y, z) :- T1(x, y), T2(y, z, w)", schema)
+    return q3, q4
+
+
+def figure1_problem() -> DeletionPropagationProblem:
+    """The Section II.C example: delete ``(John, XML)`` from ``Q3(D)``.
+    The minimum view side-effect is 1."""
+    schema = figure1_schema()
+    q3, _ = figure1_queries(schema)
+    return DeletionPropagationProblem(
+        figure1_instance(schema),
+        [q3],
+        {"Q3": [("John", "XML")]},
+    )
+
+
+def figure1_problem_q4() -> DeletionPropagationProblem:
+    """The second worked deletion: remove ``(John, TKDE, XML)`` from
+    ``Q4(D)``.  Deleting ``(John, TKDE)`` from T1 works (key-preserving:
+    the unique witness is read off the head) at minimum side-effect 1 —
+    the collateral loss of ``(John, TKDE, CUBE)``."""
+    schema = figure1_schema()
+    _, q4 = figure1_queries(schema)
+    return DeletionPropagationProblem(
+        figure1_instance(schema),
+        [q4],
+        {"Q4": [("John", "TKDE", "XML")]},
+    )
+
+
+def figure2_rbsc() -> RedBlueSetCover:
+    """Fig. 2's RBSC instance: one red element, three blues, three sets
+    each pairing the red with one blue."""
+    return RedBlueSetCover(
+        reds=["r1"],
+        blues=["b1", "b2", "b3"],
+        sets={
+            "C1": ["r1", "b1"],
+            "C2": ["r1", "b2"],
+            "C3": ["r1", "b3"],
+        },
+    )
+
+
+def _project_free_query(
+    name: str, relations: list[str], schema: Schema
+) -> ConjunctiveQuery:
+    head: list[Variable] = []
+    body: list[Atom] = []
+    for relation in relations:
+        var = Variable(f"x_{relation}")
+        head.append(var)
+        body.append(Atom(relation, (var,)))
+    return ConjunctiveQuery(name, head, body, schema)
+
+
+def figure3_query_sets() -> dict[str, list[ConjunctiveQuery]]:
+    """The three query sets of Fig. 3 over relations ``T1..T4`` (bodies
+    realized as project-free single-variable atoms — only the relation
+    sets matter for the dual hypergraph)."""
+    schema = Schema(
+        [RelationSchema(f"T{i}", (f"a{i}",), Key((0,))) for i in (1, 2, 3, 4)]
+    )
+    q1 = _project_free_query("Q1", ["T1", "T2", "T3"], schema)
+    q2 = _project_free_query("Q2", ["T1", "T2", "T4"], schema)
+    q3 = _project_free_query("Q3", ["T1", "T2"], schema)
+    q4 = _project_free_query("Q4", ["T1", "T3"], schema)
+    q5 = _project_free_query("Q5", ["T2", "T3"], schema)
+    return {
+        "Q1": [q1, q3, q4, q5],
+        "Q2": [q1, q3, q5],
+        "Q3": [q1, q2, q5],
+    }

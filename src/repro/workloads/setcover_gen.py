@@ -1,0 +1,90 @@
+"""Random covering-problem instances (seeded, reproducible).
+
+Generators for Red-Blue Set Cover and Positive-Negative Partial Set
+Cover used by the reduction and ratio experiments (E2, E4, E9).  Every
+generator takes an explicit :class:`random.Random` so experiments are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.setcover.posneg import PosNegPartialSetCover
+from repro.setcover.redblue import RedBlueSetCover
+
+__all__ = ["random_rbsc", "random_posneg"]
+
+
+def random_rbsc(
+    rng: random.Random,
+    num_reds: int = 6,
+    num_blues: int = 5,
+    num_sets: int = 8,
+    red_density: float = 0.3,
+    blue_density: float = 0.4,
+    weighted: bool = False,
+) -> RedBlueSetCover:
+    """A random feasible RBSC instance.
+
+    Each set independently samples red and blue members by density;
+    every blue element is then guaranteed coverable by adding it to a
+    random set if needed.  ``weighted`` draws red weights uniformly from
+    ``[0.5, 2.0]``.
+    """
+    reds = [f"r{i}" for i in range(num_reds)]
+    blues = [f"b{i}" for i in range(num_blues)]
+    sets: dict[str, set] = {}
+    for s in range(num_sets):
+        members = {r for r in reds if rng.random() < red_density}
+        members |= {b for b in blues if rng.random() < blue_density}
+        if not members:
+            members.add(rng.choice(blues))
+        sets[f"C{s}"] = members
+    for blue in blues:
+        if not any(blue in members for members in sets.values()):
+            sets[rng.choice(sorted(sets))].add(blue)
+    weights = (
+        {r: round(rng.uniform(0.5, 2.0), 3) for r in reds}
+        if weighted
+        else None
+    )
+    return RedBlueSetCover(reds, blues, sets, red_weights=weights)
+
+
+def random_posneg(
+    rng: random.Random,
+    num_positives: int = 5,
+    num_negatives: int = 6,
+    num_sets: int = 8,
+    positive_density: float = 0.4,
+    negative_density: float = 0.3,
+    weighted: bool = False,
+    positive_penalty: float = 1.0,
+) -> PosNegPartialSetCover:
+    """A random PN-PSC instance; every positive occurs in some set so the
+    Theorem 2 reduction applies without constant offsets."""
+    positives = [f"p{i}" for i in range(num_positives)]
+    negatives = [f"n{i}" for i in range(num_negatives)]
+    sets: dict[str, set] = {}
+    for s in range(num_sets):
+        members = {p for p in positives if rng.random() < positive_density}
+        members |= {n for n in negatives if rng.random() < negative_density}
+        if not members:
+            members.add(rng.choice(positives))
+        sets[f"C{s}"] = members
+    for positive in positives:
+        if not any(positive in members for members in sets.values()):
+            sets[rng.choice(sorted(sets))].add(positive)
+    weights = (
+        {n: round(rng.uniform(0.5, 2.0), 3) for n in negatives}
+        if weighted
+        else None
+    )
+    return PosNegPartialSetCover(
+        positives,
+        negatives,
+        sets,
+        negative_weights=weights,
+        positive_penalty=positive_penalty,
+    )

@@ -1,0 +1,152 @@
+"""General-purpose synthetic workloads.
+
+Complements :mod:`repro.workloads.trees` (structured forest families)
+with:
+
+* :func:`random_problem` — a mixed sampler over the chain / star /
+  triangle families, for property-based tests that should not depend on
+  one structure.
+* :func:`random_general_problem` — non-forest multi-view instances
+  derived from random RBSC instances through the Theorem 1 construction
+  (genuinely hard shape, used by E4).
+* :func:`random_single_query_problem` — the m = 1 baseline setting.
+* :func:`random_cq` — random self-join-free conjunctive queries over a
+  fresh schema, for the classifier experiments (E10).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.cq import Atom, ConjunctiveQuery, Variable
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.core.problem import DeletionPropagationProblem
+from repro.reductions.theorem1 import rbsc_to_vse
+from repro.workloads.setcover_gen import random_rbsc
+from repro.workloads.trees import (
+    random_chain_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+__all__ = [
+    "random_problem",
+    "random_general_problem",
+    "random_single_query_problem",
+    "random_cq",
+]
+
+
+def random_problem(
+    rng: random.Random,
+    weighted: bool = False,
+    balanced: bool = False,
+) -> DeletionPropagationProblem:
+    """Sample one instance from a random family (chain, star, or
+    triangle) with mildly randomized sizes."""
+    family = rng.choice(("chain", "star", "triangle"))
+    if family == "chain":
+        return random_chain_problem(
+            rng,
+            num_relations=rng.randint(2, 5),
+            facts_per_relation=rng.randint(3, 8),
+            num_queries=rng.randint(1, 4),
+            weighted=weighted,
+            balanced=balanced,
+        )
+    if family == "star":
+        return random_star_problem(
+            rng,
+            num_leaves=rng.randint(2, 4),
+            center_facts=rng.randint(2, 5),
+            leaf_facts=rng.randint(3, 6),
+            num_queries=rng.randint(1, 4),
+            weighted=weighted,
+            balanced=balanced,
+        )
+    return random_triangle_problem(
+        rng,
+        center_facts=rng.randint(2, 5),
+        leaf_facts=rng.randint(3, 6),
+        weighted=weighted,
+        balanced=balanced,
+    )
+
+
+def random_general_problem(
+    rng: random.Random,
+    num_reds: int = 5,
+    num_blues: int = 4,
+    num_sets: int = 6,
+) -> DeletionPropagationProblem:
+    """A multi-view project-free instance with the Theorem 1 shape,
+    built from a random RBSC instance.  These are the adversarial
+    inputs for the Claim 1 ratio experiment."""
+    rbsc = random_rbsc(rng, num_reds=num_reds, num_blues=num_blues,
+                       num_sets=num_sets)
+    return rbsc_to_vse(rbsc).problem
+
+
+def random_single_query_problem(
+    rng: random.Random,
+    facts_per_relation: int = 8,
+    num_atoms: int = 2,
+    delta_size: int = 1,
+) -> DeletionPropagationProblem:
+    """A single chain query of exactly ``num_atoms`` atoms (spanning the
+    whole relation chain) with ``delta_size`` deletions (clamped to the
+    view size)."""
+    base = random_chain_problem(
+        rng,
+        num_relations=num_atoms,
+        facts_per_relation=facts_per_relation,
+        num_queries=1,
+        delta_fraction=0.0,
+    )
+    schema = base.instance.schema
+    variables = [Variable(f"v{i}") for i in range(num_atoms + 1)]
+    body = [
+        Atom(f"R{i}", (variables[i], variables[i + 1]))
+        for i in range(num_atoms)
+    ]
+    query = ConjunctiveQuery("Q0", variables, body, schema)
+    probe = DeletionPropagationProblem(base.instance, [query], {})
+    tuples = sorted(next(iter(probe.views)).tuples)
+    size = max(1, min(delta_size, len(tuples)))
+    chosen = rng.sample(tuples, size)
+    return DeletionPropagationProblem(
+        base.instance, [query], {"Q0": chosen}
+    )
+
+
+def random_cq(
+    rng: random.Random,
+    num_atoms: int = 3,
+    num_variables: int = 5,
+    head_fraction: float = 0.6,
+    name: str = "Q",
+) -> ConjunctiveQuery:
+    """A random sj-free CQ over a fresh schema of binary relations.
+
+    Variables are shared between atoms at random; roughly
+    ``head_fraction`` of the used variables go to the head (at least
+    one).  Keys default to the first position.
+    """
+    variables = [Variable(f"x{i}") for i in range(num_variables)]
+    relations = []
+    atoms = []
+    used: list[Variable] = []
+    for i in range(num_atoms):
+        relations.append(
+            RelationSchema(f"T{i}", ("a", "b"), Key((0,)))
+        )
+        pair = rng.sample(variables, 2)
+        atoms.append(Atom(f"T{i}", tuple(pair)))
+        for var in pair:
+            if var not in used:
+                used.append(var)
+    schema = Schema(relations)
+    head_size = max(1, round(head_fraction * len(used)))
+    head = rng.sample(used, head_size)
+    return ConjunctiveQuery(name, head, atoms, schema)

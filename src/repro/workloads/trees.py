@@ -1,0 +1,335 @@
+"""Forest-case workload generators (paper Sections IV.C–IV.E).
+
+Three structured families, all key-preserving and project-free:
+
+* :func:`random_chain_problem` — relations in a referential chain
+  ``R0 → R1 → ... → R{n-1}``, each fact holding a single pointer into
+  the next relation; queries are contiguous intervals of the chain.
+  The dual hypergraph is a path (hypertree) and the data dual graph is
+  a forest in which every witness is a vertical segment with the
+  deepest-relation facts as pivots — **exactly Algorithm 4's class**.
+* :func:`random_star_problem` — a center relation referenced by leaf
+  relations; queries join the center with subsets of leaves.  Still a
+  forest case (star host tree), but witnesses with two or more leaves
+  are stars rather than paths, so the pivot structure fails and only
+  Algorithms 1–3 apply.
+* :func:`random_triangle_problem` — two leaves that also join each
+  other directly, producing the triangle dual hypergraph of Fig. 3's
+  ``Q1`` — **not** a forest case; only the Claim 1 pipeline applies.
+
+All generators return ready :class:`DeletionPropagationProblem`
+instances (or balanced ones on request).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.errors import ProblemError
+from repro.relational.cq import Atom, ConjunctiveQuery, Variable
+from repro.relational.instance import Instance
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+
+__all__ = [
+    "random_chain_problem",
+    "random_forest_problem",
+    "random_star_problem",
+    "random_triangle_problem",
+]
+
+
+def _sample_deletions(
+    rng: random.Random,
+    problem_views: dict[str, list[tuple]],
+    delta_fraction: float,
+) -> dict[str, list[tuple]]:
+    """Sample at least one deletion overall, ``delta_fraction`` of each
+    view in expectation."""
+    deletions: dict[str, list[tuple]] = {}
+    for name, tuples in problem_views.items():
+        chosen = [t for t in tuples if rng.random() < delta_fraction]
+        if chosen:
+            deletions[name] = chosen
+    if not deletions:
+        non_empty = [(n, ts) for n, ts in problem_views.items() if ts]
+        if not non_empty:
+            raise ProblemError("generated instance has empty views")
+        name, tuples = non_empty[rng.randrange(len(non_empty))]
+        deletions[name] = [tuples[rng.randrange(len(tuples))]]
+    return deletions
+
+
+def _random_weights(
+    rng: random.Random, problem: DeletionPropagationProblem
+) -> dict:
+    return {
+        vt: round(rng.uniform(0.5, 2.0), 3)
+        for vt in problem.preserved_view_tuples()
+    }
+
+
+def _finalize(
+    rng: random.Random,
+    instance: Instance,
+    queries: list[ConjunctiveQuery],
+    delta_fraction: float,
+    weighted: bool,
+    balanced: bool,
+) -> DeletionPropagationProblem:
+    base = DeletionPropagationProblem(instance, queries, {})
+    views = {
+        view.name: sorted(view.tuples) for view in base.views
+    }
+    deletions = _sample_deletions(rng, views, delta_fraction)
+    cls = BalancedDeletionPropagationProblem if balanced else DeletionPropagationProblem
+    problem = cls(instance, queries, deletions)
+    if weighted:
+        problem = cls(
+            instance, queries, deletions, weights=_random_weights(rng, problem)
+        )
+    return problem
+
+
+# ----------------------------------------------------------------------
+# Chain family (pivot class)
+# ----------------------------------------------------------------------
+
+
+def random_chain_problem(
+    rng: random.Random,
+    num_relations: int = 4,
+    facts_per_relation: int = 8,
+    num_queries: int = 3,
+    delta_fraction: float = 0.2,
+    weighted: bool = False,
+    balanced: bool = False,
+) -> DeletionPropagationProblem:
+    """Referential-chain instance (see module docstring)."""
+    if num_relations < 2:
+        raise ProblemError("chain needs at least two relations")
+    relations = [
+        RelationSchema(f"R{i}", ("k", "nxt"), Key((0,)))
+        for i in range(num_relations)
+    ]
+    schema = Schema(relations)
+    instance = Instance(schema)
+    for i in range(num_relations):
+        for j in range(facts_per_relation):
+            if i < num_relations - 1:
+                target = rng.randrange(facts_per_relation)
+                nxt = f"{i + 1}:{target}"
+            else:
+                nxt = f"pad:{j}"
+            instance.add(Fact(f"R{i}", (f"{i}:{j}", nxt)))
+
+    queries: list[ConjunctiveQuery] = []
+    for q in range(num_queries):
+        a = rng.randrange(num_relations - 1)
+        b = rng.randrange(a + 1, num_relations)
+        variables = [Variable(f"v{q}_{i}") for i in range(a, b + 2)]
+        body = [
+            Atom(f"R{i}", (variables[i - a], variables[i - a + 1]))
+            for i in range(a, b + 1)
+        ]
+        queries.append(
+            ConjunctiveQuery(f"Q{q}", variables, body, schema)
+        )
+    return _finalize(rng, instance, queries, delta_fraction, weighted, balanced)
+
+
+# ----------------------------------------------------------------------
+# Star family (forest case, no pivot when queries span >= 2 leaves)
+# ----------------------------------------------------------------------
+
+
+def _star_schema(num_leaves: int) -> Schema:
+    relations = [RelationSchema("C", ("k", "pad"), Key((0,)))]
+    relations += [
+        RelationSchema(f"L{i}", ("k", "ref"), Key((0,)))
+        for i in range(num_leaves)
+    ]
+    return Schema(relations)
+
+
+def _star_instance(
+    rng: random.Random,
+    schema: Schema,
+    num_leaves: int,
+    center_facts: int,
+    leaf_facts: int,
+) -> Instance:
+    instance = Instance(schema)
+    for j in range(center_facts):
+        instance.add(Fact("C", (f"c{j}", f"pad{j}")))
+    for leaf in range(num_leaves):
+        for j in range(leaf_facts):
+            ref = f"c{rng.randrange(center_facts)}"
+            instance.add(Fact(f"L{leaf}", (f"l{leaf}:{j}", ref)))
+    return instance
+
+
+def _star_query(
+    name: str, leaves: Iterable[int], schema: Schema
+) -> ConjunctiveQuery:
+    yc = Variable("yc")
+    pad = Variable("w")
+    head: list[Variable] = [yc, pad]
+    body: list[Atom] = [Atom("C", (yc, pad))]
+    for leaf in leaves:
+        y = Variable(f"y{leaf}")
+        head.append(y)
+        body.append(Atom(f"L{leaf}", (y, yc)))
+    return ConjunctiveQuery(name, head, body, schema)
+
+
+def random_star_problem(
+    rng: random.Random,
+    num_leaves: int = 3,
+    center_facts: int = 4,
+    leaf_facts: int = 5,
+    num_queries: int = 3,
+    max_leaves_per_query: int = 2,
+    delta_fraction: float = 0.2,
+    weighted: bool = False,
+    balanced: bool = False,
+) -> DeletionPropagationProblem:
+    """Star-join instance (see module docstring)."""
+    schema = _star_schema(num_leaves)
+    instance = _star_instance(
+        rng, schema, num_leaves, center_facts, leaf_facts
+    )
+    queries: list[ConjunctiveQuery] = []
+    for q in range(num_queries):
+        k = rng.randint(1, min(max_leaves_per_query, num_leaves))
+        leaves = sorted(rng.sample(range(num_leaves), k))
+        queries.append(_star_query(f"Q{q}", leaves, schema))
+    return _finalize(rng, instance, queries, delta_fraction, weighted, balanced)
+
+
+# ----------------------------------------------------------------------
+# General hypertree family (random relation tree, subtree queries)
+# ----------------------------------------------------------------------
+
+
+def random_forest_problem(
+    rng: random.Random,
+    num_relations: int = 5,
+    facts_per_relation: int = 5,
+    num_queries: int = 3,
+    max_query_size: int = 3,
+    delta_fraction: float = 0.2,
+    weighted: bool = False,
+    balanced: bool = False,
+) -> DeletionPropagationProblem:
+    """The most general forest-case generator: relations form a random
+    tree (each non-root points at its parent's key), queries join random
+    connected subtrees.  Chains and stars are special cases; arbitrary
+    branching exercises the forest algorithms on shapes the structured
+    generators never produce.
+    """
+    if num_relations < 2:
+        raise ProblemError("forest needs at least two relations")
+    # Random tree over relations: parent[i] < i (random recursive tree).
+    parent_of = {i: rng.randrange(i) for i in range(1, num_relations)}
+    children: dict[int, list[int]] = {i: [] for i in range(num_relations)}
+    for child, parent in parent_of.items():
+        children[parent].append(child)
+
+    relations = [RelationSchema("R0", ("k", "pad"), Key((0,)))]
+    relations += [
+        RelationSchema(f"R{i}", ("k", "ref"), Key((0,)))
+        for i in range(1, num_relations)
+    ]
+    schema = Schema(relations)
+    instance = Instance(schema)
+    for j in range(facts_per_relation):
+        instance.add(Fact("R0", (f"0:{j}", f"pad{j}")))
+    for i in range(1, num_relations):
+        for j in range(facts_per_relation):
+            target = rng.randrange(facts_per_relation)
+            instance.add(
+                Fact(f"R{i}", (f"{i}:{j}", f"{parent_of[i]}:{target}"))
+            )
+
+    def random_subtree(size: int) -> list[int]:
+        start = rng.randrange(num_relations)
+        chosen = {start}
+        frontier = set(children[start])
+        if start in parent_of:
+            frontier.add(parent_of[start])
+        while len(chosen) < size and frontier:
+            nxt = rng.choice(sorted(frontier))
+            chosen.add(nxt)
+            frontier.discard(nxt)
+            frontier.update(c for c in children[nxt] if c not in chosen)
+            if nxt in parent_of and parent_of[nxt] not in chosen:
+                frontier.add(parent_of[nxt])
+        return sorted(chosen)
+
+    queries: list[ConjunctiveQuery] = []
+    for q in range(num_queries):
+        size = rng.randint(1, max_query_size)
+        nodes = random_subtree(size)
+        node_set = set(nodes)
+        key_var = {i: Variable(f"q{q}_k{i}") for i in nodes}
+        head: list[Variable] = []
+        body: list[Atom] = []
+        for i in nodes:
+            if i == 0 or parent_of[i] not in node_set:
+                # free second column (pad or a ref outside the subtree)
+                second = Variable(f"q{q}_f{i}")
+            else:
+                second = key_var[parent_of[i]]
+            body.append(Atom(f"R{i}", (key_var[i], second)))
+            head.append(key_var[i])
+            if not isinstance(second, Variable) or second not in head:
+                head.append(second)
+        # Deduplicate while preserving order (shared parent keys).
+        seen: set[Variable] = set()
+        unique_head = []
+        for var in head:
+            if var not in seen:
+                seen.add(var)
+                unique_head.append(var)
+        queries.append(
+            ConjunctiveQuery(f"Q{q}", unique_head, body, schema)
+        )
+    return _finalize(rng, instance, queries, delta_fraction, weighted, balanced)
+
+
+# ----------------------------------------------------------------------
+# Triangle family (general case, not a forest)
+# ----------------------------------------------------------------------
+
+
+def random_triangle_problem(
+    rng: random.Random,
+    center_facts: int = 4,
+    leaf_facts: int = 5,
+    delta_fraction: float = 0.25,
+    weighted: bool = False,
+    balanced: bool = False,
+) -> DeletionPropagationProblem:
+    """Two leaf relations referencing a shared center *and* joining each
+    other directly on the reference — dual hypergraph edges
+    ``{L0,C}, {L1,C}, {L0,L1}`` form Fig. 3's non-hypertree triangle."""
+    schema = _star_schema(2)
+    instance = _star_instance(rng, schema, 2, center_facts, leaf_facts)
+    q0 = _star_query("Q0", [0], schema)
+    q1 = _star_query("Q1", [1], schema)
+    y0, y1, yc = Variable("y0"), Variable("y1"), Variable("yc")
+    q2 = ConjunctiveQuery(
+        "Q2",
+        [y0, y1, yc],
+        [Atom("L0", (y0, yc)), Atom("L1", (y1, yc))],
+        schema,
+    )
+    return _finalize(
+        rng, instance, [q0, q1, q2], delta_fraction, weighted, balanced
+    )

@@ -1,0 +1,107 @@
+"""Tests for annotation propagation (Section V)."""
+
+import pytest
+
+from repro.apps import AnnotationPropagator
+from repro.relational import Fact
+from repro.workloads import figure1_instance, figure1_queries, figure1_schema
+
+
+@pytest.fixture
+def propagator():
+    schema = figure1_schema()
+    return AnnotationPropagator(
+        figure1_instance(schema), list(figure1_queries(schema))
+    )
+
+
+class TestCandidates:
+    def test_candidates_are_witness_facts(self, propagator):
+        scores = propagator.candidates({"Q3": [("John", "XML")]})
+        assert Fact("T1", ("John", "TKDE")) in scores
+        assert Fact("T1", ("John", "TODS")) in scores
+        assert Fact("T2", ("TKDE", "XML", 30)) in scores
+        assert Fact("T2", ("TODS", "XML", 30)) in scores
+        # an unrelated fact is not suspected
+        assert Fact("T1", ("Joe", "TKDE")) not in scores
+
+    def test_merging_views_raises_suspicion(self, propagator):
+        single = propagator.candidates({"Q3": [("John", "XML")]})
+        merged = propagator.candidates(
+            {
+                "Q3": [("John", "XML")],
+                "Q4": [("John", "TKDE", "XML"), ("John", "TODS", "XML")],
+            }
+        )
+        fact = Fact("T1", ("John", "TKDE"))
+        assert merged[fact] > single[fact]
+
+    def test_scores_count_distinct_errors(self, propagator):
+        scores = propagator.candidates(
+            {"Q4": [("John", "TKDE", "XML"), ("John", "TKDE", "CUBE")]}
+        )
+        assert scores[Fact("T1", ("John", "TKDE"))] == 2
+
+
+class TestPropagation:
+    def test_report_suggestion_feasible(self, propagator):
+        report = propagator.propagate({"Q3": [("John", "XML")]})
+        assert report.suggestion.is_feasible()
+        assert report.candidates
+
+    def test_ranked_candidates_sorted(self, propagator):
+        report = propagator.propagate(
+            {
+                "Q3": [("John", "XML")],
+                "Q4": [("John", "TKDE", "XML"), ("John", "TODS", "XML")],
+            }
+        )
+        ranked = report.ranked_candidates()
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+        # merging evidence makes John's T1 facts the top suspects
+        top_facts = {fact for fact, score in ranked if score == scores[0]}
+        assert Fact("T1", ("John", "TKDE")) in top_facts
+
+
+class TestCellAnnotation:
+    def test_annotation_lands_on_topic_cells(self, propagator):
+        merged = propagator.annotate_cells(
+            {"Q3": {("John", "XML"): {1: "wrong-topic"}}}
+        )
+        from repro.relational import Cell
+
+        assert merged[Cell(Fact("T2", ("TKDE", "XML", 30)), 1)] == {
+            "wrong-topic"
+        }
+
+    def test_annotations_merge_across_views(self, propagator):
+        merged = propagator.annotate_cells(
+            {
+                "Q3": {("John", "XML"): {0: "suspect"}},
+                "Q4": {("John", "TKDE", "XML"): {0: "flagged"}},
+            }
+        )
+        from repro.relational import Cell
+
+        cell = Cell(Fact("T1", ("John", "TKDE")), 0)
+        assert merged[cell] == {"suspect", "flagged"}
+
+    def test_unknown_view_rejected(self, propagator):
+        from repro.errors import ProblemError
+
+        with pytest.raises(ProblemError):
+            propagator.annotate_cells({"Zed": {}})
+
+
+class TestShrinkage:
+    def test_curve_shape(self, propagator):
+        curve = propagator.shrinkage_curve(
+            {
+                "Q3": [("John", "XML")],
+                "Q4": [("John", "TKDE", "XML"), ("John", "TODS", "XML")],
+            }
+        )
+        assert [views for views, _ in curve] == [1, 2]
+        # candidates never widen at the top as evidence accumulates
+        assert curve[-1][1] <= curve[0][1]

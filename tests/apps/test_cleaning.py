@@ -1,0 +1,121 @@
+"""Tests for query-oriented cleaning (Section V)."""
+
+import random
+
+import pytest
+
+from repro.apps import DirtyOracle, QueryOrientedCleaner
+from repro.relational import Fact
+from repro.workloads import (
+    figure1_instance,
+    figure1_queries,
+    figure1_schema,
+    random_star_problem,
+)
+
+
+@pytest.fixture
+def fig1_cleaner():
+    schema = figure1_schema()
+    instance = figure1_instance(schema)
+    oracle = DirtyOracle([Fact("T1", ("John", "TODS"))])
+    return QueryOrientedCleaner(
+        instance, list(figure1_queries(schema)), oracle
+    )
+
+
+class TestOracle:
+    def test_wrong_iff_every_derivation_dirty(self, fig1_cleaner):
+        feedback = fig1_cleaner.collect_feedback()
+        # (John, TODS, XML) has its only witness through the dirty fact
+        assert ("John", "TODS", "XML") in feedback.get("Q4", [])
+        # (John, XML) in Q3 also derives via TKDE: not flagged
+        assert ("John", "XML") not in feedback.get("Q3", [])
+
+
+class TestBatchCleaning:
+    def test_batch_finds_the_dirty_fact(self, fig1_cleaner):
+        outcome = fig1_cleaner.clean_batch()
+        assert Fact("T1", ("John", "TODS")) in outcome.deleted_facts
+        assert outcome.recall == 1.0
+        assert outcome.precision == 1.0
+
+    def test_no_feedback_no_deletions(self):
+        schema = figure1_schema()
+        instance = figure1_instance(schema)
+        cleaner = QueryOrientedCleaner(
+            instance, list(figure1_queries(schema)), DirtyOracle([])
+        )
+        outcome = cleaner.clean_batch()
+        assert outcome.deleted_facts == frozenset()
+        assert outcome.feedback_size == 0
+
+
+class TestIterativeCleaning:
+    def test_converges_to_clean_views(self, fig1_cleaner):
+        outcome, rounds = fig1_cleaner.clean_iteratively()
+        assert rounds >= 1
+        # after convergence the oracle has nothing left to flag
+        remaining = fig1_cleaner.instance.without(outcome.deleted_facts)
+        assert fig1_cleaner.collect_feedback(remaining) == {}
+
+    def test_round_limit_respected(self, fig1_cleaner):
+        outcome, rounds = fig1_cleaner.clean_iteratively(max_rounds=1)
+        assert rounds <= 1
+
+    def test_no_dirt_zero_rounds(self):
+        schema = figure1_schema()
+        instance = figure1_instance(schema)
+        cleaner = QueryOrientedCleaner(
+            instance, list(figure1_queries(schema)), DirtyOracle([])
+        )
+        outcome, rounds = cleaner.clean_iteratively()
+        assert rounds == 0
+        assert outcome.deleted_facts == frozenset()
+
+    def test_iterative_recall_at_least_single_batch(self):
+        rng = random.Random(152)
+        for _ in range(4):
+            problem = random_star_problem(
+                rng, num_leaves=3, leaf_facts=5, num_queries=3,
+                delta_fraction=0.0,
+            )
+            facts = sorted(problem.instance.facts())
+            dirty = rng.sample(facts, 2)
+            cleaner = QueryOrientedCleaner(
+                problem.instance, problem.queries, DirtyOracle(dirty)
+            )
+            batch = cleaner.clean_batch()
+            iterative, _ = cleaner.clean_iteratively()
+            assert iterative.recall + 1e-9 >= batch.recall
+
+
+class TestSequentialVsBatch:
+    def test_batch_never_more_collateral_on_random_instances(self):
+        rng = random.Random(151)
+        for _ in range(5):
+            problem = random_star_problem(
+                rng, num_leaves=3, leaf_facts=5, num_queries=3,
+                delta_fraction=0.0,
+            )
+            facts = sorted(problem.instance.facts())
+            dirty = rng.sample(facts, max(1, len(facts) // 8))
+            cleaner = QueryOrientedCleaner(
+                problem.instance, problem.queries, DirtyOracle(dirty)
+            )
+            batch = cleaner.clean_batch()
+            sequential = cleaner.clean_sequential()
+            assert (
+                batch.collateral_view_tuples
+                <= sequential.collateral_view_tuples
+            )
+
+    def test_metrics_are_consistent(self, fig1_cleaner):
+        outcome = fig1_cleaner.clean_batch()
+        assert 0.0 <= outcome.precision <= 1.0
+        assert 0.0 <= outcome.recall <= 1.0
+        assert (
+            outcome.true_positives
+            + outcome.false_positives
+            == len(outcome.deleted_facts)
+        )

@@ -1,0 +1,78 @@
+"""Tests for the database-debugging top-k repair enumeration."""
+
+import pytest
+
+from repro.apps import top_k_repairs
+from repro.errors import SolverError
+from repro.workloads import figure1_instance, figure1_queries, figure1_schema
+
+
+@pytest.fixture
+def fig1_parts():
+    """Fig. 1 with only Q3 in scope, so the two minimum-side-effect
+    repairs are exactly the paper's worked solutions."""
+    schema = figure1_schema()
+    q3, q4 = figure1_queries(schema)
+    return figure1_instance(schema), [q3]
+
+
+class TestTopK:
+    def test_top1_is_optimal(self, fig1_parts):
+        instance, queries = fig1_parts
+        repairs = top_k_repairs(
+            instance, queries, {"Q3": [("John", "XML")]}, k=1
+        )
+        assert len(repairs) == 1
+        assert repairs[0].side_effect == 1.0
+        assert repairs[0].propagation.is_feasible()
+
+    def test_topk_sorted_by_cost(self, fig1_parts):
+        instance, queries = fig1_parts
+        repairs = top_k_repairs(
+            instance, queries, {"Q3": [("John", "XML")]}, k=4
+        )
+        costs = [r.side_effect for r in repairs]
+        assert costs == sorted(costs)
+        assert len({r.deleted_facts for r in repairs}) == len(repairs)
+
+    def test_both_paper_optima_in_top2(self, fig1_parts):
+        from repro.relational import Fact
+
+        instance, queries = fig1_parts
+        repairs = top_k_repairs(
+            instance, queries, {"Q3": [("John", "XML")]}, k=2
+        )
+        found = {r.deleted_facts for r in repairs}
+        paper_a = frozenset(
+            {Fact("T1", ("John", "TKDE")), Fact("T1", ("John", "TODS"))}
+        )
+        paper_b = frozenset(
+            {Fact("T1", ("John", "TKDE")), Fact("T2", ("TODS", "XML", 30))}
+        )
+        assert found <= {paper_a, paper_b} or all(
+            r.side_effect == 1.0 for r in repairs
+        )
+
+    def test_explanations_render(self, fig1_parts):
+        instance, queries = fig1_parts
+        repairs = top_k_repairs(
+            instance, queries, {"Q3": [("John", "XML")]}, k=2
+        )
+        text = repairs[0].explain()
+        assert "#1" in text and "side-effect" in text
+
+    def test_invalid_k_rejected(self, fig1_parts):
+        instance, queries = fig1_parts
+        with pytest.raises(SolverError):
+            top_k_repairs(instance, queries, {}, k=0)
+
+    def test_pool_limit_enforced(self, fig1_parts):
+        instance, queries = fig1_parts
+        with pytest.raises(SolverError, match="pool limit"):
+            top_k_repairs(
+                instance,
+                queries,
+                {"Q3": [("John", "XML"), ("Joe", "XML")]},
+                k=2,
+                pool_limit=1,
+            )

@@ -1,0 +1,122 @@
+"""Tests for insertion propagation (view update)."""
+
+import pytest
+
+from repro.apps import propagate_insertion
+from repro.errors import ViewError
+from repro.relational import Fact, result_tuples
+from repro.workloads import figure1_instance, figure1_queries, figure1_schema
+
+
+@pytest.fixture
+def fig1():
+    schema = figure1_schema()
+    q3, q4 = figure1_queries(schema)
+    return figure1_instance(schema), [q3, q4], q3, q4
+
+
+class TestPlanning:
+    def test_insertion_reusing_one_side(self, fig1):
+        instance, queries, _, q4 = fig1
+        # (Ada, TODS, XML): T2(TODS, XML, ...) exists, T1(Ada, TODS) is new
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Ada", "TODS", "XML")
+        )
+        assert plan.feasible
+        assert plan.new_facts == (Fact("T1", ("Ada", "TODS")),)
+        assert Fact("T2", ("TODS", "XML", 30)) in plan.reused_facts
+
+    def test_fully_new_facts_get_labeled_nulls(self, fig1):
+        instance, queries, _, q4 = fig1
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Ada", "JACM", "Theory")
+        )
+        assert plan.feasible
+        t2 = next(f for f in plan.new_facts if f.relation == "T2")
+        # the Papers column is existential: filled with a labeled null
+        assert str(t2.values[2]).startswith("@null")
+
+    def test_applied_plan_makes_tuple_appear(self, fig1):
+        instance, queries, _, q4 = fig1
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Ada", "JACM", "Theory")
+        )
+        updated = plan.apply(instance)
+        assert ("Ada", "JACM", "Theory") in result_tuples(q4, updated)
+
+    def test_side_effects_across_views(self, fig1):
+        instance, queries, q3, _ = fig1
+        # inserting (Ada, TODS, XML) into Q4 also creates (Ada, XML) in Q3
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Ada", "TODS", "XML")
+        )
+        side_views = {(vt.view, vt.values) for vt in plan.side_effects}
+        assert ("Q3", ("Ada", "XML")) in side_views
+        # ... but never reports the requested tuple itself
+        assert ("Q4", ("Ada", "TODS", "XML")) not in side_views
+
+    def test_existing_tuple_needs_nothing(self, fig1):
+        instance, queries, _, _ = fig1
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Joe", "TKDE", "XML")
+        )
+        assert plan.feasible
+        assert plan.new_facts == ()
+        assert plan.side_effects == ()
+
+
+class TestUnification:
+    def test_existing_fact_binds_existential_variable(self, fig1):
+        instance, queries, _, _ = fig1
+        # T2 key (TKDE, XML) exists with Papers=30: the existential w
+        # unifies with 30 and the fact is reused, not conflicted.
+        plan = propagate_insertion(
+            instance, queries, "Q4", ("Ada", "TKDE", "XML"),
+        )
+        assert plan.feasible
+        assert Fact("T2", ("TKDE", "XML", 30)) in plan.reused_facts
+        assert plan.new_facts == (Fact("T1", ("Ada", "TKDE")),)
+
+
+class TestConflicts:
+    def test_contradictory_shared_existential_conflicts(self):
+        from repro.relational import Instance, parse_queries
+
+        queries = parse_queries(["Q(x, y) :- A(x, w), B(y, w)"])
+        instance = Instance.from_rows(
+            queries[0].schema,
+            {"A": [("a0", 1)], "B": [("b0", 2)]},
+        )
+        # inserting (a0, b0) needs w = 1 (from A) and w = 2 (from B)
+        plan = propagate_insertion(instance, queries, "Q", ("a0", "b0"))
+        assert not plan.feasible
+        assert plan.conflicts
+        with pytest.raises(ViewError):
+            plan.apply(instance)
+
+    def test_constant_contradiction_conflicts(self):
+        from repro.relational import Instance, parse_queries
+
+        queries = parse_queries(["Q(x) :- A(x, 'expected')"])
+        instance = Instance.from_rows(
+            queries[0].schema, {"A": [("a0", "other")]}
+        )
+        plan = propagate_insertion(instance, queries, "Q", ("a0",))
+        assert not plan.feasible
+
+
+class TestValidation:
+    def test_unknown_view_rejected(self, fig1):
+        instance, queries, _, _ = fig1
+        with pytest.raises(ViewError):
+            propagate_insertion(instance, queries, "Zed", ("a",))
+
+    def test_wrong_width_rejected(self, fig1):
+        instance, queries, _, _ = fig1
+        with pytest.raises(ViewError, match="width"):
+            propagate_insertion(instance, queries, "Q4", ("a", "b"))
+
+    def test_non_key_preserving_view_rejected(self, fig1):
+        instance, queries, _, _ = fig1
+        with pytest.raises(ViewError, match="key preserving"):
+            propagate_insertion(instance, queries, "Q3", ("Ada", "XML"))

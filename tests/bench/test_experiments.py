@@ -1,0 +1,63 @@
+"""Tests that every reproduction experiment passes and renders."""
+
+import pytest
+
+from repro.bench import (
+    e1_fig1_example,
+    e2_theorem1_reduction,
+    e3_fig3_hypergraphs,
+    e4_claim1_ratio,
+    e5_theorem3_ratio,
+    e6_theorem4_ratio,
+    e7_alg4_exactness,
+    e9_lemma1_balanced,
+    e10_complexity_tables,
+    e11_applications,
+    e12_extensions,
+    format_experiment,
+    format_table,
+)
+
+EXPERIMENTS = [
+    e1_fig1_example,
+    e2_theorem1_reduction,
+    e3_fig3_hypergraphs,
+    e4_claim1_ratio,
+    e5_theorem3_ratio,
+    e6_theorem4_ratio,
+    e7_alg4_exactness,
+    e9_lemma1_balanced,
+    e10_complexity_tables,
+    e11_applications,
+    e12_extensions,
+]
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS)
+def test_experiment_passes(experiment):
+    result = experiment()
+    assert result.passed, f"{result.experiment_id}: {result.conclusion}"
+    assert result.rows
+
+
+@pytest.mark.parametrize("experiment", EXPERIMENTS[:3])
+def test_experiment_renders(experiment):
+    text = format_experiment(experiment())
+    assert "verdict: PASS" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,46 @@
+"""Tests for the bench harness utilities and markdown rendering."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, geometric_mean, timed
+from repro.bench.markdown import render_markdown
+
+
+class TestHarness:
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert seconds >= 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 1.0
+        assert geometric_mean([2.0, 0.0]) == pytest.approx(2.0)  # zeros skipped
+
+    def test_experiment_result_rows_and_finish(self):
+        result = ExperimentResult("EX", "title", "claim")
+        result.add_row(a=1, b="x")
+        finished = result.finish(True, "done")
+        assert finished is result
+        assert result.rows == [{"a": 1, "b": "x"}]
+        assert result.passed and result.conclusion == "done"
+
+
+class TestMarkdown:
+    def test_render_includes_summary_and_sections(self):
+        results = [
+            ExperimentResult("E1", "first", "claim one").finish(True, "ok"),
+            ExperimentResult("E2", "second", "claim two").finish(False, "bad"),
+        ]
+        results[0].add_row(metric=1.5)
+        text = render_markdown(results)
+        assert "## Summary" in text
+        assert "| E1 | first | PASS |" in text
+        assert "| E2 | second | FAIL |" in text
+        assert "## E1 — first" in text
+        assert "**Verdict:** FAIL — bad" in text
+        assert "| 1.5 |" in text
+
+    def test_render_handles_empty_rows(self):
+        results = [ExperimentResult("E0", "t", "c").finish(True, "ok")]
+        assert "(no rows)" in render_markdown(results)

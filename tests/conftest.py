@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.relational import Instance, Key, RelationSchema, Schema, parse_queries
+from repro.workloads import (
+    figure1_instance,
+    figure1_queries,
+    figure1_schema,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def fig1_schema() -> Schema:
+    return figure1_schema()
+
+
+@pytest.fixture
+def fig1_instance(fig1_schema) -> Instance:
+    return figure1_instance(fig1_schema)
+
+
+@pytest.fixture
+def fig1_q3(fig1_schema):
+    q3, _ = figure1_queries(fig1_schema)
+    return q3
+
+
+@pytest.fixture
+def fig1_q4(fig1_schema):
+    _, q4 = figure1_queries(fig1_schema)
+    return q4
+
+
+@pytest.fixture
+def chain_schema() -> Schema:
+    """R0 -> R1 -> R2 referential chain schema."""
+    return Schema(
+        [
+            RelationSchema("R0", ("k", "nxt"), Key((0,))),
+            RelationSchema("R1", ("k", "nxt"), Key((0,))),
+            RelationSchema("R2", ("k", "nxt"), Key((0,))),
+        ]
+    )
+
+
+@pytest.fixture
+def chain_queries(chain_schema):
+    """Two overlapping interval queries over the chain."""
+    return parse_queries(
+        [
+            "QA(a, b, c) :- R0(a, b), R1(b, c)",
+            "QB(b, c, d) :- R1(b, c), R2(c, d)",
+        ],
+        chain_schema,
+    )
+
+
+@pytest.fixture
+def chain_instance(chain_schema) -> Instance:
+    """A small deterministic chain instance:
+
+    R0: 0:0->1:0, 0:1->1:0, 0:2->1:1
+    R1: 1:0->2:0, 1:1->2:0
+    R2: 2:0, 2:1 (padding second column)
+    """
+    return Instance.from_rows(
+        chain_schema,
+        {
+            "R0": [("0:0", "1:0"), ("0:1", "1:0"), ("0:2", "1:1")],
+            "R1": [("1:0", "2:0"), ("1:1", "2:0")],
+            "R2": [("2:0", "pad0"), ("2:1", "pad1")],
+        },
+    )

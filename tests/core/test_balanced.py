@@ -1,0 +1,81 @@
+"""Tests for the Lemma 1 balanced pipeline."""
+
+import random
+
+import pytest
+
+from repro.core.balanced import lemma1_bound, solve_balanced
+from repro.core.exact import solve_exact_bruteforce
+from repro.core.solution import Propagation
+from repro.workloads import random_chain_problem, random_star_problem
+
+
+class TestPipeline:
+    def test_cost_never_exceeds_trivial_solutions(self):
+        rng = random.Random(71)
+        for _ in range(8):
+            problem = random_chain_problem(
+                rng, num_relations=3, facts_per_relation=4, balanced=True
+            )
+            sol = solve_balanced(problem)
+            empty_cost = Propagation(problem, ()).balanced_cost()
+            assert sol.balanced_cost() <= empty_cost + 1e-9
+
+    def test_within_lemma1_bound_of_optimum(self):
+        rng = random.Random(72)
+        for _ in range(8):
+            problem = random_chain_problem(
+                rng, num_relations=3, facts_per_relation=4, balanced=True
+            )
+            sol = solve_balanced(problem)
+            optimum = solve_exact_bruteforce(problem)
+            if optimum.balanced_cost() > 0:
+                ratio = sol.balanced_cost() / optimum.balanced_cost()
+                assert ratio <= lemma1_bound(problem) + 1e-9
+            else:
+                assert sol.balanced_cost() == 0.0
+
+    def test_penalty_influences_solution(self):
+        rng = random.Random(73)
+        from repro.core.problem import BalancedDeletionPropagationProblem
+
+        base = random_star_problem(rng, balanced=True)
+        deletions = {
+            name: sorted(base.deletion.on(name)) for name in base.views.names
+        }
+        deletions = {k: v for k, v in deletions.items() if v}
+        high = BalancedDeletionPropagationProblem(
+            base.instance, base.queries, deletions, delta_penalty=100.0
+        )
+        sol = solve_balanced(high)
+        # With a huge penalty the solution should eliminate all of ΔV.
+        assert sol.is_feasible()
+
+    def test_zero_penalty_deletes_nothing(self):
+        rng = random.Random(74)
+        from repro.core.problem import BalancedDeletionPropagationProblem
+
+        base = random_star_problem(rng, balanced=True)
+        deletions = {
+            name: sorted(base.deletion.on(name)) for name in base.views.names
+        }
+        deletions = {k: v for k, v in deletions.items() if v}
+        free = BalancedDeletionPropagationProblem(
+            base.instance, base.queries, deletions, delta_penalty=0.0
+        )
+        optimum = solve_exact_bruteforce(free)
+        assert optimum.balanced_cost() == 0.0
+
+
+class TestBound:
+    def test_bound_positive_and_monotone_in_v(self):
+        rng = random.Random(75)
+        small = random_chain_problem(
+            rng, num_relations=2, facts_per_relation=3, balanced=True
+        )
+        big = random_chain_problem(
+            rng, num_relations=4, facts_per_relation=8, balanced=True
+        )
+        assert lemma1_bound(small) >= 1.0
+        if big.norm_v > small.norm_v and big.norm_delta_v >= small.norm_delta_v:
+            assert lemma1_bound(big) >= lemma1_bound(small) * 0.5

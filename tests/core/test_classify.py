@@ -1,0 +1,91 @@
+"""Tests for the complexity classifier (Tables II–V regeneration)."""
+
+from repro.core.classify import (
+    PAPER_RESULTS,
+    TABLE_II,
+    TABLE_III,
+    TABLE_IV,
+    TABLE_V,
+    classification_flags,
+    verdict,
+)
+from repro.relational import FunctionalDependency, parse_query
+from repro.workloads import figure1_queries, figure1_schema, figure3_query_sets
+
+
+class TestTablesShape:
+    def test_row_counts_match_paper(self):
+        assert len(TABLE_II) == 4
+        assert len(TABLE_III) == 8
+        assert len(TABLE_IV) == 5
+        assert len(TABLE_V) == 6
+        assert len(PAPER_RESULTS) == 4
+
+    def test_tables_cover_both_problems(self):
+        assert all(r.problem == "source side-effect" for r in TABLE_II)
+        assert all(r.problem == "view side-effect" for r in TABLE_IV)
+
+    def test_every_row_has_citation(self):
+        for row in TABLE_II + TABLE_III + TABLE_IV + TABLE_V:
+            assert row.citation
+
+
+class TestClassificationFlags:
+    def test_fig1_queries(self):
+        schema = figure1_schema()
+        q3, q4 = figure1_queries(schema)
+        flags3 = classification_flags([q3])
+        assert not flags3["key_preserving"]
+        assert not flags3["project_free"]
+        assert flags3["self_join_free"]
+        flags4 = classification_flags([q4])
+        assert flags4["key_preserving"]
+
+    def test_multiple_query_flag(self):
+        schema = figure1_schema()
+        q3, q4 = figure1_queries(schema)
+        assert classification_flags([q3, q4])["multiple_queries"]
+        assert not classification_flags([q3])["multiple_queries"]
+
+    def test_fig3_forest_flags(self):
+        sets = figure3_query_sets()
+        assert not classification_flags(sets["Q1"])["forest_case"]
+        assert classification_flags(sets["Q2"])["forest_case"]
+
+    def test_single_query_gets_domination_flags(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        flags = classification_flags([q])
+        assert flags["head_domination"] is False
+        assert flags["triad"] is False
+
+    def test_fd_flags_respond_to_fds(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        fd = FunctionalDependency("T2", lhs=[1], rhs=[0])
+        assert classification_flags([q], [fd])["fd_head_domination"]
+
+
+class TestVerdict:
+    def test_key_preserving_query_hits_ptime_rows(self):
+        schema = figure1_schema()
+        _, q4 = figure1_queries(schema)
+        rows = verdict([q4])
+        classes = {r.query_class for r in rows}
+        assert "key-preserving conjunctive queries" in classes
+
+    def test_two_project_free_queries_hit_theorem1_row(self):
+        q1 = parse_query("Qa(x, y) :- T1(x, y)")
+        q2 = parse_query("Qb(u, v, w) :- T1(u, v), T2(v, w)")
+        rows = verdict([q1, q2])
+        assert any("project-free" in r.query_class and r.table == "paper"
+                   for r in rows)
+
+    def test_non_key_preserving_hits_np_rows(self):
+        schema = figure1_schema()
+        q3, _ = figure1_queries(schema)
+        rows = verdict([q3])
+        assert any(r.complexity == "NP-complete" for r in rows)
+
+    def test_triangle_hits_triad_row(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+        rows = verdict([q])
+        assert any("with triad" in r.query_class for r in rows)

@@ -1,0 +1,131 @@
+"""Tests for Algorithm 4 (DPTreeVSE) — exactness on the pivot class."""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError, StructureError
+from repro.core.dp_tree import applies_to, solve_dp_tree
+from repro.core.exact import solve_exact, solve_exact_bruteforce
+from repro.workloads import (
+    figure1_problem,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+class TestPreconditions:
+    def test_rejects_non_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            solve_dp_tree(figure1_problem())
+
+    def test_applies_to_is_nonraising(self):
+        assert applies_to(figure1_problem()) is False
+
+    def test_rejects_star_witnesses(self):
+        rng = random.Random(41)
+        for _ in range(20):
+            problem = random_star_problem(
+                rng, num_leaves=3, num_queries=2, max_leaves_per_query=3
+            )
+            wide_views = {
+                q.name for q in problem.queries if len(q.body) >= 3
+            }
+            if wide_views and any(
+                vt.view in wide_views for vt in problem.all_view_tuples()
+            ):
+                assert not applies_to(problem)
+                with pytest.raises(StructureError):
+                    solve_dp_tree(problem)
+                return
+        pytest.skip("no wide star instance generated")
+
+
+class TestExactness:
+    def test_matches_exact_on_chains(self):
+        rng = random.Random(42)
+        for _ in range(12):
+            problem = random_chain_problem(rng)
+            dp = solve_dp_tree(problem)
+            optimum = solve_exact(problem)
+            assert dp.is_feasible()
+            assert dp.side_effect() == pytest.approx(optimum.side_effect())
+
+    def test_matches_exact_weighted(self):
+        rng = random.Random(43)
+        for _ in range(8):
+            problem = random_chain_problem(rng, weighted=True)
+            dp = solve_dp_tree(problem)
+            optimum = solve_exact(problem)
+            assert dp.side_effect() == pytest.approx(optimum.side_effect())
+
+    def test_matches_exact_balanced(self):
+        rng = random.Random(44)
+        for _ in range(8):
+            problem = random_chain_problem(
+                rng, num_relations=3, facts_per_relation=4, balanced=True
+            )
+            dp = solve_dp_tree(problem)
+            optimum = solve_exact_bruteforce(problem)
+            assert dp.balanced_cost() == pytest.approx(
+                optimum.balanced_cost()
+            )
+
+    def test_balanced_weighted(self):
+        rng = random.Random(45)
+        for _ in range(5):
+            problem = random_chain_problem(
+                rng,
+                num_relations=3,
+                facts_per_relation=4,
+                weighted=True,
+                balanced=True,
+            )
+            dp = solve_dp_tree(problem)
+            optimum = solve_exact_bruteforce(problem)
+            assert dp.balanced_cost() == pytest.approx(
+                optimum.balanced_cost()
+            )
+
+
+class TestDeterministicScenario:
+    def test_shared_suffix_forces_tradeoff(
+        self, chain_instance, chain_queries
+    ):
+        """Deleting R1(1:0, 2:0) kills the QA tuples of both 0:0 and
+        0:1; deleting them individually is cheaper when only one is
+        targeted."""
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(
+            chain_instance,
+            chain_queries,
+            {"QA": [("0:0", "1:0", "2:0")]},
+        )
+        dp = solve_dp_tree(problem)
+        assert dp.is_feasible()
+        optimum = solve_exact(problem)
+        assert dp.side_effect() == pytest.approx(optimum.side_effect())
+        # best: delete R0(0:0, 1:0) — zero collateral
+        assert dp.side_effect() == 0.0
+
+    def test_multi_delta_on_shared_structure(
+        self, chain_instance, chain_queries
+    ):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(
+            chain_instance,
+            chain_queries,
+            {
+                "QA": [
+                    ("0:0", "1:0", "2:0"),
+                    ("0:1", "1:0", "2:0"),
+                ],
+                "QB": [("1:1", "2:0", "pad0")],
+            },
+        )
+        dp = solve_dp_tree(problem)
+        optimum = solve_exact(problem)
+        assert dp.is_feasible()
+        assert dp.side_effect() == pytest.approx(optimum.side_effect())

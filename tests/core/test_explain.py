@@ -1,0 +1,61 @@
+"""Tests for solution explanations."""
+
+import pytest
+
+from repro.core import coverage_of, explain_solution, solve_exact
+from repro.core.solution import Propagation
+from repro.relational import Fact
+from repro.workloads import figure1_problem
+
+
+@pytest.fixture
+def solution():
+    return solve_exact(figure1_problem())
+
+
+class TestCoverage:
+    def test_every_deleted_fact_reported(self, solution):
+        coverage = coverage_of(solution)
+        assert set(coverage) == set(solution.deleted_facts)
+
+    def test_coverage_lists_delta_targets(self, solution):
+        coverage = coverage_of(solution)
+        for fact, (covered, _) in coverage.items():
+            assert covered, f"{fact!r} covers nothing"
+            assert all(vt.view == "Q3" for vt in covered)
+
+    def test_collateral_attribution_sums_to_solution(self, solution):
+        coverage = coverage_of(solution)
+        attributed = set()
+        for _, (_, collateral) in coverage.items():
+            attributed.update(collateral)
+        assert attributed == set(solution.collateral)
+
+
+class TestExplainText:
+    def test_mentions_facts_and_costs(self, solution):
+        text = explain_solution(solution)
+        for fact in solution.deleted_facts:
+            assert repr(fact) in text
+        assert "collateral" in text
+
+    def test_warns_on_infeasible_solution(self):
+        problem = figure1_problem()
+        partial = Propagation(problem, [Fact("T1", ("John", "TKDE"))])
+        text = explain_solution(partial)
+        assert "WARNING" in text
+        assert "left standing" in text
+
+    def test_optimum_gap_reported(self, solution):
+        text = explain_solution(solution, include_optimum_gap=True)
+        assert "gap 0" in text
+
+    def test_cli_explain_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.io import dump_problem
+
+        path = tmp_path / "p.json"
+        dump_problem(figure1_problem(), str(path))
+        assert main(["solve", str(path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "eliminates from ΔV" in out

@@ -1,0 +1,48 @@
+"""Tests for the greedy baselines."""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError
+from repro.core.exact import solve_exact
+from repro.core.greedy import solve_greedy_max_coverage, solve_greedy_min_damage
+from repro.workloads import (
+    figure1_problem,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+@pytest.mark.parametrize(
+    "solver", [solve_greedy_min_damage, solve_greedy_max_coverage]
+)
+class TestGreedyBaselines:
+    def test_feasible_on_random_instances(self, solver):
+        rng = random.Random(91)
+        for _ in range(8):
+            problem = (
+                random_chain_problem(rng)
+                if rng.random() < 0.5
+                else random_star_problem(rng)
+            )
+            sol = solver(problem)
+            assert sol.is_feasible()
+
+    def test_never_better_than_exact(self, solver):
+        rng = random.Random(92)
+        for _ in range(6):
+            problem = random_chain_problem(rng)
+            sol = solver(problem)
+            optimum = solve_exact(problem)
+            assert sol.side_effect() + 1e-9 >= optimum.side_effect()
+
+    def test_rejects_non_key_preserving(self, solver):
+        with pytest.raises(NotKeyPreservingError):
+            solver(figure1_problem())
+
+    def test_empty_delta(self, solver, fig1_instance, fig1_q4):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(fig1_instance, [fig1_q4], {})
+        assert solver(problem).deleted_facts == frozenset()

@@ -1,0 +1,110 @@
+"""Tests for local-search post-optimization."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    improve,
+    solve_exact,
+    solve_greedy_max_coverage,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+    solve_with_local_search,
+)
+from repro.core.exact import solve_exact_bruteforce
+from repro.core.solution import Propagation
+from repro.errors import NotKeyPreservingError
+from repro.workloads import (
+    figure1_problem,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+class TestImprove:
+    def test_never_worse(self):
+        rng = random.Random(181)
+        for _ in range(8):
+            problem = (
+                random_chain_problem(rng)
+                if rng.random() < 0.5
+                else random_star_problem(rng)
+            )
+            base = solve_primal_dual(problem)
+            better = improve(base)
+            assert better.is_feasible()
+            assert better.side_effect() <= base.side_effect() + 1e-9
+
+    def test_optimal_input_stays_optimal(self):
+        rng = random.Random(182)
+        problem = random_chain_problem(rng)
+        optimum = solve_exact(problem)
+        polished = improve(optimum)
+        assert polished.side_effect() == pytest.approx(optimum.side_effect())
+
+    def test_drops_redundant_deletions(self):
+        rng = random.Random(183)
+        problem = random_chain_problem(rng)
+        # start from "delete every candidate" — grossly redundant
+        bloated = Propagation(problem, problem.candidate_facts())
+        polished = improve(bloated)
+        assert polished.is_feasible()
+        assert len(polished.deleted_facts) <= len(bloated.deleted_facts)
+        assert polished.side_effect() <= bloated.side_effect() + 1e-9
+
+    def test_requires_feasible_start_for_standard(self):
+        rng = random.Random(184)
+        problem = random_chain_problem(rng)
+        infeasible = Propagation(problem, ())
+        with pytest.raises(ValueError):
+            improve(infeasible)
+
+    def test_rejects_non_key_preserving(self):
+        problem = figure1_problem()
+        from repro.relational import Fact
+
+        sol = Propagation(
+            problem,
+            [Fact("T1", ("John", "TKDE")), Fact("T1", ("John", "TODS"))],
+        )
+        with pytest.raises(NotKeyPreservingError):
+            improve(sol)
+
+    def test_balanced_improvement(self):
+        rng = random.Random(185)
+        problem = random_chain_problem(
+            rng, num_relations=3, facts_per_relation=4, balanced=True
+        )
+        start = Propagation(problem, ())
+        polished = improve(start)
+        optimum = solve_exact_bruteforce(problem)
+        assert polished.balanced_cost() <= start.balanced_cost() + 1e-9
+        assert polished.balanced_cost() + 1e-9 >= optimum.balanced_cost()
+
+
+class TestWrapper:
+    def test_wraps_any_solver(self):
+        rng = random.Random(186)
+        problem = random_star_problem(rng)
+        wrapped = solve_with_local_search(problem, solve_greedy_max_coverage)
+        plain = solve_greedy_max_coverage(problem)
+        assert wrapped.is_feasible()
+        assert wrapped.side_effect() <= plain.side_effect() + 1e-9
+        assert wrapped.method.endswith("+local-search")
+
+    def test_often_reaches_optimum_on_small_instances(self):
+        rng = random.Random(187)
+        hits = 0
+        trials = 6
+        for _ in range(trials):
+            problem = random_star_problem(
+                rng, num_leaves=2, center_facts=3, leaf_facts=4
+            )
+            polished = solve_with_local_search(
+                problem, solve_lowdeg_tree_sweep
+            )
+            optimum = solve_exact(problem)
+            if abs(polished.side_effect() - optimum.side_effect()) < 1e-9:
+                hits += 1
+        assert hits >= trials - 1

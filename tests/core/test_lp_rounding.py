@@ -1,0 +1,149 @@
+"""Tests for the LP-rounding l²-approximation."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    lp_rounding_bound,
+    solve_exact,
+    solve_lp_rounding,
+)
+from repro.errors import NotKeyPreservingError
+from repro.workloads import (
+    figure1_problem,
+    random_chain_problem,
+    random_general_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+
+class TestPreconditions:
+    def test_rejects_non_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            solve_lp_rounding(figure1_problem())
+
+    def test_empty_delta(self, fig1_instance, fig1_q4):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(fig1_instance, [fig1_q4], {})
+        assert solve_lp_rounding(problem).deleted_facts == frozenset()
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("family_seed", [(0, 0), (1, 7), (2, 13), (0, 21), (1, 33)])
+    def test_feasible_on_all_families(self, family_seed):
+        family, seed = family_seed
+        rng = random.Random(seed)
+        problem = [
+            random_chain_problem,
+            random_star_problem,
+            random_triangle_problem,
+        ][family](rng)
+        solution = solve_lp_rounding(problem)
+        assert solution.is_feasible()
+
+    def test_ratio_within_l_squared(self):
+        rng = random.Random(191)
+        for _ in range(10):
+            problem = (
+                random_star_problem(rng)
+                if rng.random() < 0.5
+                else random_triangle_problem(rng)
+            )
+            solution = solve_lp_rounding(problem)
+            optimum = solve_exact(problem)
+            assert solution.is_feasible()
+            if optimum.side_effect() > 0:
+                ratio = solution.side_effect() / optimum.side_effect()
+                assert ratio <= lp_rounding_bound(problem) + 1e-9
+            # zero-cost optima need not be matched by the rounding, but
+            # the l² bound is vacuous there; feasibility is the check.
+
+    def test_applies_outside_forest_cases(self):
+        rng = random.Random(192)
+        problem = random_triangle_problem(rng)
+        assert not problem.is_forest_case()
+        solution = solve_lp_rounding(problem)
+        assert solution.is_feasible()
+
+    def test_applies_to_self_join_reduction_instances(self):
+        # Theorem 1 instances: one relation, heavy self-joins — the
+        # forest algorithms cannot lay these out, LP rounding can.
+        rng = random.Random(196)
+        problem = random_general_problem(rng)
+        assert not problem.is_self_join_free()
+        solution = solve_lp_rounding(problem)
+        assert solution.is_feasible()
+
+    def test_no_redundant_deletions(self):
+        rng = random.Random(193)
+        for _ in range(5):
+            problem = random_chain_problem(rng)
+            solution = solve_lp_rounding(problem)
+            for fact in solution.deleted_facts:
+                smaller = solution.deleted_facts - {fact}
+                still = all(
+                    problem.witness(vt) & smaller
+                    for vt in problem.deleted_view_tuples()
+                )
+                assert not still
+
+
+class TestRandomizedRounding:
+    def test_feasible_and_seed_deterministic(self):
+        from repro.core import solve_randomized_rounding
+
+        rng = random.Random(197)
+        problem = random_star_problem(rng)
+        a = solve_randomized_rounding(problem, random.Random(42))
+        b = solve_randomized_rounding(problem, random.Random(42))
+        assert a.is_feasible()
+        assert a.deleted_facts == b.deleted_facts
+
+    def test_never_below_exact(self):
+        from repro.core import solve_randomized_rounding
+
+        rng = random.Random(198)
+        for _ in range(6):
+            problem = random_chain_problem(rng)
+            approx = solve_randomized_rounding(problem, random.Random(1))
+            optimum = solve_exact(problem)
+            assert approx.is_feasible()
+            assert approx.side_effect() + 1e-9 >= optimum.side_effect()
+
+    def test_rejects_non_key_preserving(self):
+        from repro.core import solve_randomized_rounding
+
+        with pytest.raises(NotKeyPreservingError):
+            solve_randomized_rounding(figure1_problem())
+
+    def test_more_repetitions_never_hurt(self):
+        from repro.core import solve_randomized_rounding
+
+        rng = random.Random(199)
+        problem = random_star_problem(rng)
+        one = solve_randomized_rounding(
+            problem, random.Random(7), repetitions=1
+        )
+        many = solve_randomized_rounding(
+            problem, random.Random(7), repetitions=8
+        )
+        assert many.side_effect() <= one.side_effect() + 1e-9
+
+
+class TestRegistry:
+    def test_named_dispatch(self):
+        rng = random.Random(194)
+        problem = random_chain_problem(rng)
+        from repro.core import solve
+
+        solution = solve(problem, method="lp-rounding")
+        assert solution.method == "lp-rounding"
+        assert solution.is_feasible()
+
+    def test_bound_formula(self):
+        rng = random.Random(195)
+        problem = random_chain_problem(rng)
+        assert lp_rounding_bound(problem) == float(problem.max_arity) ** 2

@@ -1,0 +1,128 @@
+"""Tests for Algorithm 1 (PrimeDualVSE)."""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError, StructureError
+from repro.core.exact import solve_exact
+from repro.core.primal_dual import PrimalDualTrace, solve_primal_dual
+from repro.lp import dual_vse_lp, lp_lower_bound
+from repro.workloads import (
+    figure1_problem,
+    random_chain_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+
+class TestPreconditions:
+    def test_rejects_non_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            solve_primal_dual(figure1_problem())
+
+    def test_rejects_non_forest_case(self, rng):
+        problem = random_triangle_problem(rng)
+        with pytest.raises(StructureError):
+            solve_primal_dual(problem)
+
+
+class TestFeasibilityAndRatio:
+    def test_always_feasible_on_chains(self):
+        rng = random.Random(31)
+        for _ in range(10):
+            problem = random_chain_problem(rng)
+            sol = solve_primal_dual(problem)
+            assert sol.is_feasible()
+
+    def test_l_ratio_on_forest_cases(self):
+        rng = random.Random(32)
+        for _ in range(10):
+            problem = (
+                random_chain_problem(rng)
+                if rng.random() < 0.5
+                else random_star_problem(rng)
+            )
+            sol = solve_primal_dual(problem)
+            optimum = solve_exact(problem)
+            assert sol.is_feasible()
+            if optimum.side_effect() == 0:
+                assert sol.side_effect() == 0.0
+            else:
+                ratio = sol.side_effect() / optimum.side_effect()
+                assert ratio <= problem.max_arity + 1e-9
+
+    def test_weighted_ratio(self):
+        rng = random.Random(33)
+        for _ in range(6):
+            problem = random_chain_problem(rng, weighted=True)
+            sol = solve_primal_dual(problem)
+            optimum = solve_exact(problem)
+            assert sol.is_feasible()
+            if optimum.side_effect() > 0:
+                assert (
+                    sol.side_effect() / optimum.side_effect()
+                    <= problem.max_arity + 1e-9
+                )
+
+
+class TestDualCertificate:
+    def test_trace_dual_is_lp_feasible_and_bounds_optimum(self):
+        rng = random.Random(34)
+        for _ in range(5):
+            problem = random_chain_problem(rng)
+            trace = PrimalDualTrace()
+            solve_primal_dual(problem, trace=trace)
+            # The dual objective lower-bounds the LP (hence the ILP).
+            lp_value = lp_lower_bound(problem)
+            assert trace.dual_objective() <= lp_value + 1e-6
+            optimum = solve_exact(problem)
+            assert trace.dual_objective() <= optimum.side_effect() + 1e-6
+
+    def test_trace_capacities_match_weights(self):
+        rng = random.Random(35)
+        problem = random_chain_problem(rng)
+        trace = PrimalDualTrace()
+        solve_primal_dual(problem, trace=trace)
+        for fact, cap in trace.capacities.items():
+            assert cap >= 0.0
+
+
+class TestRestrictions:
+    def test_allowed_facts_respected(self):
+        rng = random.Random(36)
+        problem = random_chain_problem(rng)
+        allowed = frozenset(problem.candidate_facts())
+        sol = solve_primal_dual(problem, allowed_facts=allowed)
+        assert sol.deleted_facts <= allowed
+
+    def test_empty_allowed_set_raises(self):
+        rng = random.Random(37)
+        problem = random_chain_problem(rng)
+        with pytest.raises(StructureError):
+            solve_primal_dual(problem, allowed_facts=frozenset())
+
+    def test_weight_override_changes_choice(self):
+        rng = random.Random(38)
+        problem = random_chain_problem(rng)
+        zeroed = {vt: 0.0 for vt in problem.preserved_view_tuples()}
+        sol = solve_primal_dual(problem, preserved_weights=zeroed)
+        # With all weights zero, every candidate fact is free: still
+        # feasible, and the reported (true) side-effect may be positive,
+        # but the run must not crash and must cut all of ΔV.
+        assert sol.is_feasible()
+
+
+class TestPruning:
+    def test_no_redundant_deletions(self):
+        rng = random.Random(39)
+        for _ in range(8):
+            problem = random_chain_problem(rng)
+            sol = solve_primal_dual(problem)
+            for fact in sol.deleted_facts:
+                smaller = sol.deleted_facts - {fact}
+                still_feasible = all(
+                    problem.witness(vt) & smaller
+                    for vt in problem.deleted_view_tuples()
+                )
+                assert not still_feasible, "reverse-delete left redundancy"

@@ -1,0 +1,144 @@
+"""Tests for problem definitions and the derived witness structure."""
+
+import pytest
+
+from repro.errors import ProblemError
+from repro.relational import Fact, ViewTuple
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.workloads import figure1_problem, figure1_problem_q4
+
+
+@pytest.fixture
+def multi_problem(fig1_instance, fig1_q3, fig1_q4):
+    return DeletionPropagationProblem(
+        fig1_instance,
+        [fig1_q3, fig1_q4],
+        {
+            "Q3": [("John", "XML")],
+            "Q4": [("John", "TODS", "XML")],
+        },
+    )
+
+
+class TestNotation:
+    def test_norms_match_table_i(self, multi_problem):
+        assert multi_problem.norm_v == 13
+        assert multi_problem.norm_delta_v == 2
+        assert multi_problem.max_arity == 3
+
+    def test_partition_of_view_tuples(self, multi_problem):
+        preserved = multi_problem.preserved_view_tuples()
+        deleted = multi_problem.deleted_view_tuples()
+        assert len(preserved) == 11
+        assert len(deleted) == 2
+
+
+class TestConstruction:
+    def test_no_queries_rejected(self, fig1_instance):
+        with pytest.raises(ProblemError):
+            DeletionPropagationProblem(fig1_instance, [], {})
+
+    def test_duplicate_query_names_rejected(self, fig1_instance, fig1_q3):
+        with pytest.raises(ProblemError):
+            DeletionPropagationProblem(fig1_instance, [fig1_q3, fig1_q3], {})
+
+    def test_negative_weight_rejected(self, fig1_instance, fig1_q4):
+        with pytest.raises(ProblemError):
+            DeletionPropagationProblem(
+                fig1_instance,
+                [fig1_q4],
+                {},
+                weights={("Q4", ("Joe", "TKDE", "XML")): -1.0},
+            )
+
+    def test_weights_default_to_one(self, multi_problem):
+        vt = ViewTuple("Q3", ("Joe", "XML"))
+        assert multi_problem.weight(vt) == 1.0
+
+    def test_weights_by_plain_tuple_key(self, fig1_instance, fig1_q4):
+        problem = DeletionPropagationProblem(
+            fig1_instance,
+            [fig1_q4],
+            {},
+            weights={("Q4", ("Joe", "TKDE", "XML")): 2.5},
+        )
+        assert problem.weight(ViewTuple("Q4", ("Joe", "TKDE", "XML"))) == 2.5
+
+
+class TestWitnessStructure:
+    def test_unique_witness_for_key_preserving(self):
+        problem = figure1_problem_q4()
+        vt = problem.deleted_view_tuples()[0]
+        assert len(problem.witnesses(vt)) == 1
+        assert problem.witness(vt)
+
+    def test_multiple_witnesses_for_projecting_query(self):
+        problem = figure1_problem()
+        vt = problem.deleted_view_tuples()[0]
+        assert len(problem.witnesses(vt)) == 2
+
+    def test_candidate_facts_cover_delta_witnesses(self, multi_problem):
+        candidates = set(multi_problem.candidate_facts())
+        for vt in multi_problem.deleted_view_tuples():
+            for witness in multi_problem.witnesses(vt):
+                assert witness <= candidates
+
+    def test_dependents_inverse_of_witnesses(self, multi_problem):
+        for vt in multi_problem.all_view_tuples():
+            for witness in multi_problem.witnesses(vt):
+                for fact in witness:
+                    assert vt in multi_problem.dependents(fact)
+
+    def test_eliminated_by_empty_set(self, multi_problem):
+        assert multi_problem.eliminated_by([]) == set()
+
+    def test_eliminated_by_requires_all_witnesses_hit(self):
+        problem = figure1_problem()
+        john_tkde = Fact("T1", ("John", "TKDE"))
+        john_tods = Fact("T1", ("John", "TODS"))
+        # one witness broken: (John, XML) still derivable via TODS
+        partial = problem.eliminated_by([john_tkde])
+        assert ViewTuple("Q3", ("John", "XML")) not in partial
+        full = problem.eliminated_by([john_tkde, john_tods])
+        assert ViewTuple("Q3", ("John", "XML")) in full
+
+    def test_eliminated_by_monotone(self, multi_problem, rng):
+        facts = sorted(multi_problem.instance.facts())
+        small = set(rng.sample(facts, 2))
+        large = small | set(rng.sample(facts, 3))
+        assert multi_problem.eliminated_by(small) <= multi_problem.eliminated_by(
+            large
+        )
+
+
+class TestClassification:
+    def test_key_preserving_detection(self, multi_problem):
+        assert not multi_problem.is_key_preserving()  # Q3 is not
+        assert figure1_problem_q4().is_key_preserving()
+
+    def test_project_free_detection(self, multi_problem):
+        assert not multi_problem.is_project_free()
+
+    def test_single_query(self, multi_problem):
+        assert not multi_problem.is_single_query()
+        assert figure1_problem().is_single_query()
+
+    def test_forest_case_single_query(self):
+        assert figure1_problem_q4().is_forest_case()
+
+
+class TestBalancedProblem:
+    def test_penalty_validation(self, fig1_instance, fig1_q4):
+        with pytest.raises(ProblemError):
+            BalancedDeletionPropagationProblem(
+                fig1_instance, [fig1_q4], {}, delta_penalty=-1.0
+            )
+
+    def test_penalty_default(self, fig1_instance, fig1_q4):
+        problem = BalancedDeletionPropagationProblem(
+            fig1_instance, [fig1_q4], {}
+        )
+        assert problem.delta_penalty == 1.0

@@ -1,0 +1,102 @@
+"""Tests for the solver registry and auto dispatch."""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.core.registry import available_solvers, solve
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    random_chain_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+
+class TestRegistry:
+    def test_available_solvers_sorted_and_nonempty(self):
+        names = available_solvers()
+        assert names == sorted(names)
+        assert "exact" in names and "dp-tree" in names
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(SolverError, match="unknown method"):
+            solve(figure1_problem_q4(), method="nope")
+
+    def test_named_method_dispatch(self):
+        sol = solve(figure1_problem_q4(), method="exact")
+        assert sol.is_feasible()
+
+
+class TestAutoDispatch:
+    def test_single_deletion_route(self):
+        sol = solve(figure1_problem_q4())
+        assert sol.method == "single-deletion"
+        assert sol.is_feasible()
+
+    def test_non_key_preserving_falls_back_to_exact(self):
+        sol = solve(figure1_problem())
+        assert sol.method.startswith("exact")
+        assert sol.is_feasible()
+
+    def test_pivot_class_routes_to_dp(self, rng):
+        problem = random_chain_problem(rng, delta_fraction=0.5)
+        if problem.norm_delta_v == 1:
+            pytest.skip("single deletion routes elsewhere")
+        sol = solve(problem)
+        assert sol.method == "dp-tree"
+        assert sol.is_feasible()
+
+    def test_forest_routes_to_tree_algorithms(self):
+        rng = random.Random(101)
+        for _ in range(10):
+            problem = random_star_problem(
+                rng, num_queries=3, max_leaves_per_query=3, delta_fraction=0.4
+            )
+            if problem.norm_delta_v <= 1:
+                continue
+            sol = solve(problem)
+            assert sol.is_feasible()
+            if sol.method in ("primal-dual", "lowdeg-tree-sweep"):
+                return
+        pytest.skip("no non-pivot forest instance hit the tree route")
+
+    def test_general_routes_to_claim1(self):
+        rng = random.Random(102)
+        for _ in range(10):
+            problem = random_triangle_problem(rng, delta_fraction=0.5)
+            if problem.norm_delta_v <= 1:
+                continue
+            from repro.core.dp_tree import applies_to
+
+            if applies_to(problem):
+                continue
+            sol = solve(problem)
+            assert sol.method == "claim1-lowdeg"
+            assert sol.is_feasible()
+            return
+        pytest.skip("no suitable triangle instance generated")
+
+    def test_balanced_dispatch(self):
+        rng = random.Random(103)
+        problem = random_chain_problem(rng, balanced=True)
+        sol = solve(problem)
+        assert sol.method in ("dp-tree", "lemma1-posneg")
+
+    def test_empty_delta_trivial(self, fig1_instance, fig1_q4):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(fig1_instance, [fig1_q4], {})
+        sol = solve(problem)
+        assert sol.deleted_facts == frozenset()
+
+
+class TestQuickstart:
+    def test_package_level_quickstart(self):
+        import repro
+
+        problem, sol = repro.quickstart_example()
+        assert sol.is_feasible()
+        assert sol.side_effect() == 1.0

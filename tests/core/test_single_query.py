@@ -1,0 +1,98 @@
+"""Tests for the single-query baselines."""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.core.exact import solve_exact
+from repro.core.single_query import (
+    solve_single_deletion,
+    solve_single_query,
+    solve_two_atom_mincut,
+)
+from repro.workloads import (
+    figure1_problem_q4,
+    random_single_query_problem,
+)
+
+
+class TestSingleDeletion:
+    def test_fig1_q4_single_deletion_optimal(self):
+        problem = figure1_problem_q4()
+        sol = solve_single_deletion(problem)
+        optimum = solve_exact(problem)
+        assert sol.is_feasible()
+        assert sol.side_effect() == pytest.approx(optimum.side_effect())
+        assert len(sol.deleted_facts) == 1
+
+    def test_requires_single_delta(self):
+        rng = random.Random(81)
+        problem = random_single_query_problem(rng, delta_size=3)
+        if problem.norm_delta_v > 1:
+            with pytest.raises(SolverError):
+                solve_single_deletion(problem)
+
+    def test_optimal_across_random_instances(self):
+        rng = random.Random(82)
+        for _ in range(10):
+            problem = random_single_query_problem(rng, delta_size=1)
+            sol = solve_single_deletion(problem)
+            optimum = solve_exact(problem)
+            assert sol.side_effect() == pytest.approx(optimum.side_effect())
+
+
+class TestTwoAtomMinCut:
+    def test_feasible_and_within_factor_two(self):
+        rng = random.Random(83)
+        for _ in range(10):
+            problem = random_single_query_problem(
+                rng, num_atoms=2, delta_size=2
+            )
+            sol = solve_two_atom_mincut(problem)
+            optimum = solve_exact(problem)
+            assert sol.is_feasible()
+            if optimum.side_effect() > 0:
+                assert (
+                    sol.side_effect() <= 2.0 * optimum.side_effect() + 1e-9
+                )
+            else:
+                assert sol.side_effect() == 0.0
+
+    def test_rejects_multi_query(self, fig1_instance, fig1_q3, fig1_q4):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(
+            fig1_instance, [fig1_q3, fig1_q4], {}
+        )
+        with pytest.raises(SolverError):
+            solve_two_atom_mincut(problem)
+
+    def test_rejects_wrong_atom_count(self):
+        rng = random.Random(84)
+        problem = random_single_query_problem(rng, num_atoms=3)
+        with pytest.raises(SolverError):
+            solve_two_atom_mincut(problem)
+
+
+class TestDispatch:
+    def test_single_deletion_route(self):
+        problem = figure1_problem_q4()
+        sol = solve_single_query(problem)
+        assert sol.method == "single-deletion"
+
+    def test_multi_deletion_route_is_exact(self):
+        rng = random.Random(85)
+        problem = random_single_query_problem(rng, delta_size=3)
+        sol = solve_single_query(problem)
+        optimum = solve_exact(problem)
+        assert sol.side_effect() == pytest.approx(optimum.side_effect())
+
+    def test_rejects_multiple_queries(self, fig1_instance, fig1_q3, fig1_q4):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(
+            fig1_instance, [fig1_q3, fig1_q4], {}
+        )
+        with pytest.raises(SolverError):
+            solve_single_query(problem)

@@ -1,0 +1,111 @@
+"""Tests for the source side-effect variant and resilience."""
+
+import random
+
+import pytest
+
+from repro.core.source_side_effect import (
+    resilience,
+    solve_source_exact,
+    solve_source_greedy,
+    source_cost,
+)
+from repro.relational import Fact, Instance, parse_query
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+class TestSourceExact:
+    def test_fig1_q4_needs_one_deletion(self):
+        sol = solve_source_exact(figure1_problem_q4())
+        assert sol.is_feasible()
+        assert len(sol.deleted_facts) == 1
+
+    def test_fig1_q3_needs_two_deletions(self):
+        # both witnesses of (John, XML) must be hit, and no single fact
+        # hits both
+        sol = solve_source_exact(figure1_problem())
+        assert sol.is_feasible()
+        assert len(sol.deleted_facts) == 2
+
+    def test_source_objective_ignores_view_damage(self):
+        # source-optimal may differ from view-optimal: deleting the
+        # journal fact (TKDE, XML, 30) is source-optimal for a deletion
+        # of all TKDE-XML answers even though it kills three view tuples
+        from repro.core.problem import DeletionPropagationProblem
+        from repro.workloads import figure1_queries, figure1_instance, figure1_schema
+
+        schema = figure1_schema()
+        _, q4 = figure1_queries(schema)
+        problem = DeletionPropagationProblem(
+            figure1_instance(schema),
+            [q4],
+            {"Q4": [
+                ("Joe", "TKDE", "XML"),
+                ("Tom", "TKDE", "XML"),
+                ("John", "TKDE", "XML"),
+            ]},
+        )
+        sol = solve_source_exact(problem)
+        assert sol.deleted_facts == {Fact("T2", ("TKDE", "XML", 30))}
+        assert source_cost(sol) == 1.0
+        assert sol.side_effect() == 0.0  # nothing preserved was lost
+
+    def test_weighted_facts(self):
+        problem = figure1_problem()
+        heavy = {Fact("T1", ("John", "TKDE")): 10.0}
+        sol = solve_source_exact(problem, fact_weights=heavy)
+        assert sol.is_feasible()
+        assert Fact("T1", ("John", "TKDE")) not in sol.deleted_facts
+
+
+class TestSourceGreedy:
+    def test_feasible_and_not_below_exact(self):
+        rng = random.Random(171)
+        for _ in range(8):
+            problem = (
+                random_chain_problem(rng)
+                if rng.random() < 0.5
+                else random_star_problem(rng)
+            )
+            greedy = solve_source_greedy(problem)
+            exact = solve_source_exact(problem)
+            assert greedy.is_feasible()
+            assert source_cost(greedy) + 1e-9 >= source_cost(exact)
+
+    def test_greedy_picks_shared_fact(self):
+        # one fact hitting many witnesses should be chosen first
+        problem = figure1_problem_q4()
+        sol = solve_source_greedy(problem)
+        assert sol.is_feasible()
+        assert len(sol.deleted_facts) == 1
+
+
+class TestResilience:
+    def test_empty_view_zero(self):
+        q = parse_query("Q(x, y) :- T(x, y)")
+        inst = Instance(q.schema)
+        assert resilience(q, inst) == (0, frozenset())
+
+    def test_single_atom_resilience_is_view_size(self):
+        q = parse_query("Q(x, y) :- T(x, y)")
+        inst = Instance.from_rows(q.schema, {"T": [(1, 2), (3, 4)]})
+        size, facts = resilience(q, inst)
+        assert size == 2
+        assert len(facts) == 2
+
+    def test_join_resilience_uses_bottleneck(self):
+        # star join through one shared hub fact: removing the hub
+        # removes every answer
+        q = parse_query("Q(x, y, w) :- L(x, y), C(y, w)")
+        inst = Instance.from_rows(
+            q.schema,
+            {"L": [(1, "hub"), (2, "hub"), (3, "hub")], "C": [("hub", 0)]},
+        )
+        size, facts = resilience(q, inst)
+        assert size == 1
+        assert facts == {Fact("C", ("hub", 0))}

@@ -1,0 +1,201 @@
+"""Tests for GYO reduction, acyclicity degrees, join/host forests."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.hypergraph import (
+    Hypergraph,
+    dual_of,
+    gyo_reduction,
+    host_forest,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_beta_acyclic,
+    is_hypertree,
+    join_forest,
+)
+
+
+def triangle() -> Hypergraph:
+    return Hypergraph(
+        edges={"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["c", "a"]}
+    )
+
+
+def covered_triangle() -> Hypergraph:
+    """Triangle plus a covering 3-edge: α-acyclic but not β-acyclic."""
+    g = triangle()
+    g.add_edge("big", ["a", "b", "c"])
+    return g
+
+
+class TestGYO:
+    def test_acyclic_chain_reduces_to_empty(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert gyo_reduction(g) == {}
+
+    def test_triangle_is_stuck(self):
+        assert gyo_reduction(triangle())
+
+    def test_covered_triangle_reduces(self):
+        assert gyo_reduction(covered_triangle()) == {}
+
+
+class TestAlphaAcyclicity:
+    def test_chain(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert is_alpha_acyclic(g)
+
+    def test_triangle_cyclic(self):
+        assert not is_alpha_acyclic(triangle())
+
+    def test_covered_triangle_alpha_acyclic(self):
+        assert is_alpha_acyclic(covered_triangle())
+
+    def test_single_edge(self):
+        assert is_alpha_acyclic(Hypergraph(edges={"e": ["a", "b", "c"]}))
+
+    def test_empty(self):
+        assert is_alpha_acyclic(Hypergraph())
+
+
+class TestBetaAcyclicity:
+    def test_covered_triangle_not_beta(self):
+        # α-acyclic but the triangle sub-hypergraph is cyclic.
+        assert not is_beta_acyclic(covered_triangle())
+
+    def test_chain_is_beta(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert is_beta_acyclic(g)
+
+    def test_nested_edges_are_beta(self):
+        g = Hypergraph(edges={"e1": ["a", "b", "c"], "e2": ["a", "b"]})
+        assert is_beta_acyclic(g)
+
+
+class TestBergeAcyclicity:
+    def test_double_shared_vertex_is_berge_cyclic(self):
+        g = Hypergraph(edges={"A": ["x", "y"], "B": ["x", "y"]})
+        assert not is_berge_acyclic(g)
+        # ... while remaining β-acyclic (nested after vertex removal)
+        assert is_beta_acyclic(g)
+
+    def test_chain_is_berge_acyclic(self):
+        g = Hypergraph(edges={"A": ["x", "y"], "B": ["y", "z"]})
+        assert is_berge_acyclic(g)
+
+    def test_single_edge_berge_acyclic(self):
+        assert is_berge_acyclic(Hypergraph(edges={"A": ["x", "y", "z"]}))
+
+    def test_triangle_is_berge_cyclic(self):
+        assert not is_berge_acyclic(triangle())
+
+    def test_strictness_chain(self):
+        """Berge ⊂ β ⊂ α on the covered triangle / shared-pair examples."""
+        shared_pair = Hypergraph(edges={"A": ["x", "y"], "B": ["x", "y"]})
+        assert is_alpha_acyclic(shared_pair)
+        assert is_beta_acyclic(shared_pair)
+        assert not is_berge_acyclic(shared_pair)
+        covered = covered_triangle()
+        assert is_alpha_acyclic(covered)
+        assert not is_beta_acyclic(covered)
+        assert not is_berge_acyclic(covered)
+
+
+class TestJoinForest:
+    def test_running_intersection_on_chain(self):
+        g = Hypergraph(
+            edges={"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["c", "d"]}
+        )
+        forest = join_forest(g)
+        assert forest is not None
+        assert len(forest) == 2
+
+    def test_triangle_has_no_join_tree(self):
+        assert join_forest(triangle()) is None
+
+    def test_disconnected_components_get_forest(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["x", "y"]})
+        assert join_forest(g) == []
+
+
+class TestHypertree:
+    def test_fig3_q1_not_hypertree(self):
+        g = Hypergraph(
+            edges={
+                "Q1": ["T1", "T2", "T3"],
+                "Q3": ["T1", "T2"],
+                "Q4": ["T1", "T3"],
+                "Q5": ["T2", "T3"],
+            }
+        )
+        assert not is_hypertree(g)
+
+    def test_fig3_q2_hypertree(self):
+        g = Hypergraph(
+            edges={
+                "Q1": ["T1", "T2", "T3"],
+                "Q3": ["T1", "T2"],
+                "Q5": ["T2", "T3"],
+            }
+        )
+        assert is_hypertree(g)
+
+    def test_fig3_q3_hypertree(self):
+        g = Hypergraph(
+            edges={
+                "Q1": ["T1", "T2", "T3"],
+                "Q2": ["T1", "T2", "T4"],
+                "Q5": ["T2", "T3"],
+            }
+        )
+        assert is_hypertree(g)
+
+    def test_empty_is_hypertree(self):
+        assert is_hypertree(Hypergraph())
+
+    def test_dual_of_swaps_roles(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b"]})
+        dual = dual_of(g)
+        assert set(dual.vertices) == {"e1", "e2"}
+        assert dual.num_edges == 2  # one per original vertex
+
+
+class TestHostForest:
+    def test_host_tree_edges_cover_queries(self):
+        g = Hypergraph(
+            edges={
+                "Q1": ["T1", "T2", "T3"],
+                "Q3": ["T1", "T2"],
+                "Q5": ["T2", "T3"],
+            }
+        )
+        edges = host_forest(g)
+        adjacency: dict = {}
+        for u, v in edges:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+        # every hyperedge induces a connected subgraph of the host tree
+        for members in g.edges().values():
+            seen = set()
+            start = next(iter(members))
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(adjacency.get(node, set()) & members - seen)
+            assert seen == members
+
+    def test_non_hypertree_raises(self):
+        g = Hypergraph(
+            edges={
+                "Q1": ["T1", "T2", "T3"],
+                "Q3": ["T1", "T2"],
+                "Q4": ["T1", "T3"],
+                "Q5": ["T2", "T3"],
+            }
+        )
+        with pytest.raises(StructureError):
+            host_forest(g)

@@ -1,0 +1,114 @@
+"""Tests for the data dual graph, segments, and pivot detection."""
+
+import random
+
+import pytest
+
+from repro.errors import StructureError
+from repro.hypergraph.datadual import DataDualGraph, atom_tree
+from repro.relational import parse_query
+from repro.core.problem import DeletionPropagationProblem
+from repro.workloads import random_chain_problem, random_star_problem
+
+
+def build_graph(problem: DeletionPropagationProblem) -> DataDualGraph:
+    witnesses = {vt: problem.witness(vt) for vt in problem.all_view_tuples()}
+    return DataDualGraph(witnesses, problem.queries)
+
+
+class TestAtomTree:
+    def test_chain_query_tree_is_path(self):
+        q = parse_query("Q(a, b, c, d) :- R(a, b), S(b, c), T(c, d)")
+        assert atom_tree(q) == [(0, 1), (1, 2)]
+
+    def test_star_query_tree_is_star(self):
+        q = parse_query("Q(c, x, y) :- C(c), L1(x, c), L2(y, c)")
+        assert set(atom_tree(q)) == {(0, 1), (0, 2)}
+
+    def test_disconnected_atoms_form_forest(self):
+        q = parse_query("Q(a, b) :- R(a), S(b)")
+        assert atom_tree(q) == []
+
+
+class TestChainStructure:
+    def test_chain_data_dual_is_forest(self, chain_instance, chain_queries):
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {}
+        )
+        graph = build_graph(problem)
+        assert graph.is_forest()
+
+    def test_chain_has_pivot_structure(self, chain_instance, chain_queries):
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {}
+        )
+        assert build_graph(problem).has_pivot_structure()
+
+    def test_rooted_components_segments_are_vertical(
+        self, chain_instance, chain_queries
+    ):
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {}
+        )
+        for component in build_graph(problem).rooted_components():
+            for segment in component.segments:
+                depths = [component.depth[f] for f in segment.facts]
+                assert depths == sorted(depths)
+                assert depths == list(
+                    range(depths[0], depths[0] + len(depths))
+                )
+
+    def test_postorder_children_before_parents(
+        self, chain_instance, chain_queries
+    ):
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {}
+        )
+        for component in build_graph(problem).rooted_components():
+            order = component.postorder()
+            position = {f: i for i, f in enumerate(order)}
+            for fact, kids in component.children.items():
+                for child in kids:
+                    assert position[child] < position[fact]
+
+
+class TestPivotDetection:
+    def test_star_with_wide_query_has_no_pivot(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            problem = random_star_problem(
+                rng, num_leaves=3, num_queries=3, max_leaves_per_query=3
+            )
+            has_wide = any(len(q.body) >= 3 for q in problem.queries)
+            graph = build_graph(problem)
+            if has_wide and graph.is_forest():
+                # a 3-atom star witness can never be a vertical segment
+                wide_views = [
+                    q.name for q in problem.queries if len(q.body) >= 3
+                ]
+                has_wide_tuple = any(
+                    vt.view in wide_views
+                    for vt in problem.all_view_tuples()
+                )
+                if has_wide_tuple:
+                    assert not graph.has_pivot_structure()
+                    with pytest.raises(StructureError):
+                        graph.rooted_components()
+                    return
+        pytest.skip("no wide star instance generated")
+
+    def test_random_chains_always_have_pivots(self):
+        rng = random.Random(6)
+        for _ in range(5):
+            problem = random_chain_problem(rng)
+            assert build_graph(problem).has_pivot_structure()
+
+    def test_components_partition_facts(self, chain_instance, chain_queries):
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {}
+        )
+        graph = build_graph(problem)
+        components = graph.components()
+        union = set().union(*components) if components else set()
+        assert union == set(graph.facts)
+        assert sum(len(c) for c in components) == len(graph.facts)

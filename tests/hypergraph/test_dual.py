@@ -1,0 +1,45 @@
+"""Tests for query-set dual hypergraphs and forest-case detection."""
+
+from repro.hypergraph import dual_hypergraph, is_forest_case, relation_host_forest
+from repro.workloads import figure3_query_sets
+
+
+class TestDualHypergraph:
+    def test_vertices_are_relations(self, chain_queries):
+        g = dual_hypergraph(chain_queries)
+        assert g.vertices == {"R0", "R1", "R2"}
+
+    def test_one_edge_per_query(self, chain_queries):
+        g = dual_hypergraph(chain_queries)
+        assert set(g.edge_names) == {"QA", "QB"}
+        assert g.edge("QA") == {"R0", "R1"}
+
+
+class TestForestCase:
+    def test_fig3_classification(self):
+        sets = figure3_query_sets()
+        assert not is_forest_case(sets["Q1"])
+        assert is_forest_case(sets["Q2"])
+        assert is_forest_case(sets["Q3"])
+
+    def test_chain_queries_are_forest(self, chain_queries):
+        assert is_forest_case(chain_queries)
+
+    def test_single_query_always_forest(self, fig1_q4):
+        assert is_forest_case([fig1_q4])
+
+
+class TestHostForest:
+    def test_chain_host_forest_is_path(self, chain_queries):
+        edges = {frozenset(e) for e in relation_host_forest(chain_queries)}
+        assert edges == {
+            frozenset({"R0", "R1"}),
+            frozenset({"R1", "R2"}),
+        }
+
+    def test_fig3_q3_host_forest_spans(self):
+        sets = figure3_query_sets()
+        edges = relation_host_forest(sets["Q3"])
+        touched = {v for e in edges for v in e}
+        assert touched == {"T1", "T2", "T3", "T4"}
+        assert len(edges) == 3  # spanning tree of 4 relations

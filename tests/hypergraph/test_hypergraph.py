@@ -1,0 +1,72 @@
+"""Tests for the generic hypergraph type."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.hypergraph import Hypergraph
+
+
+class TestConstruction:
+    def test_edges_imply_vertices(self):
+        g = Hypergraph(edges={"e": ["a", "b"]})
+        assert g.vertices == {"a", "b"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(StructureError):
+            Hypergraph(edges={"e": []})
+
+    def test_duplicate_edge_name_rejected(self):
+        g = Hypergraph(edges={"e": ["a"]})
+        with pytest.raises(StructureError):
+            g.add_edge("e", ["b"])
+
+    def test_isolated_vertices_allowed(self):
+        g = Hypergraph(vertices=["x"], edges={"e": ["a"]})
+        assert "x" in g.vertices
+        assert g.degree("x") == 0
+
+
+class TestAccessors:
+    def test_edge_lookup(self):
+        g = Hypergraph(edges={"e": ["a", "b"]})
+        assert g.edge("e") == {"a", "b"}
+        with pytest.raises(StructureError):
+            g.edge("missing")
+
+    def test_edges_containing_and_degree(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert set(g.edges_containing("b")) == {"e1", "e2"}
+        assert g.degree("b") == 2
+        assert g.degree("a") == 1
+
+    def test_sizes(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b"]})
+        assert len(g) == 2
+        assert g.num_edges == 2
+
+
+class TestStructure:
+    def test_primal_adjacency(self):
+        g = Hypergraph(edges={"e": ["a", "b", "c"]})
+        adjacency = g.primal_adjacency()
+        assert adjacency["a"] == {"b", "c"}
+
+    def test_connected_components_split(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]})
+        components = g.connected_components()
+        assert len(components) == 2
+        assert not g.is_connected()
+
+    def test_component_keeps_its_edges(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["c"]})
+        by_size = sorted(components := g.connected_components(), key=len)
+        assert by_size[0].num_edges == 1
+        assert by_size[1].num_edges == 1
+
+    def test_single_component_connected(self):
+        g = Hypergraph(edges={"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert g.is_connected()
+
+    def test_isolated_vertex_is_own_component(self):
+        g = Hypergraph(vertices=["x"], edges={"e": ["a", "b"]})
+        assert len(g.connected_components()) == 2

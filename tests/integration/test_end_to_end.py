@@ -1,0 +1,93 @@
+"""End-to-end integration tests across the whole stack."""
+
+import random
+
+import pytest
+
+from repro import solve
+from repro.core import available_solvers, solve_exact
+from repro.core.problem import DeletionPropagationProblem
+from repro.relational import Instance, parse_queries, result_tuples
+from repro.workloads import random_problem
+
+
+class TestFullWorkflow:
+    def test_parse_materialize_delete_solve_apply(self):
+        """The README workflow: schema inference, materialization,
+        deletion, solving, and applying the solution."""
+        queries = parse_queries(
+            [
+                "ByDept(d, e, p) :- Emp(e, d), Proj(p, e)",
+                "ByProj(p, e) :- Proj(p, e)",
+            ]
+        )
+        schema = queries[0].schema
+        instance = Instance.from_rows(
+            schema,
+            {
+                "Emp": [("alice", "eng"), ("bob", "eng"), ("carol", "ops")],
+                "Proj": [("db", "alice"), ("web", "bob"), ("etl", "carol")],
+            },
+        )
+        problem = DeletionPropagationProblem(
+            instance,
+            queries,
+            {"ByProj": [("db", "alice")]},
+        )
+        solution = solve(problem)
+        assert solution.is_feasible()
+        # apply and re-check: the unwanted tuple is gone
+        cleaned = instance.without(solution.deleted_facts)
+        after = result_tuples(queries[1], cleaned)
+        assert ("db", "alice") not in after
+
+    def test_every_named_solver_on_a_compatible_instance(self):
+        rng = random.Random(161)
+        from repro.workloads import random_chain_problem
+
+        problem = random_chain_problem(rng, delta_fraction=0.3)
+        compatible = [
+            "exact",
+            "exact-bnb",
+            "exact-ilp",
+            "claim1",
+            "primal-dual",
+            "lowdeg-tree",
+            "dp-tree",
+            "greedy-min-damage",
+            "greedy-max-coverage",
+        ]
+        optimum = solve_exact(problem).side_effect()
+        for name in compatible:
+            sol = solve(problem, method=name)
+            assert sol.is_feasible(), name
+            assert sol.side_effect() + 1e-9 >= optimum, name
+
+    def test_registry_covers_documented_solvers(self):
+        names = set(available_solvers())
+        assert {
+            "exact",
+            "claim1",
+            "balanced-lowdeg",
+            "primal-dual",
+            "lowdeg-tree",
+            "dp-tree",
+        } <= names
+
+    def test_random_families_auto_solved(self):
+        rng = random.Random(162)
+        for _ in range(6):
+            problem = random_problem(rng)
+            sol = solve(problem)
+            assert sol.is_feasible()
+            assert sol.verify_by_reevaluation()
+
+    def test_balanced_random_families(self):
+        rng = random.Random(163)
+        for _ in range(4):
+            problem = random_problem(rng, balanced=True)
+            sol = solve(problem)
+            from repro.core.solution import Propagation
+
+            empty = Propagation(problem, ())
+            assert sol.balanced_cost() <= empty.balanced_cost() + 1e-9

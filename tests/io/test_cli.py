@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import dump_problem
+from repro.workloads import figure1_problem, figure1_problem_q4
+
+
+@pytest.fixture
+def problem_file(tmp_path):
+    path = tmp_path / "fig1.json"
+    dump_problem(figure1_problem(), str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self, problem_file):
+        args = build_parser().parse_args(["solve", problem_file])
+        assert args.method == "auto"
+        assert args.json is False
+
+    def test_unknown_method_rejected(self, problem_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["solve", problem_file, "--method", "bogus"]
+            )
+
+
+class TestSolveCommand:
+    def test_solve_text_output(self, problem_file, capsys):
+        code = main(["solve", problem_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "side-effect 1" in out
+        assert "delete" in out
+
+    def test_solve_json_output(self, problem_file, capsys):
+        code = main(["solve", problem_file, "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["feasible"] is True
+        assert document["side_effect"] == 1.0
+
+    def test_solve_with_named_method(self, tmp_path, capsys):
+        path = tmp_path / "q4.json"
+        dump_problem(figure1_problem_q4(), str(path))
+        code = main(["solve", str(path), "--method", "exact"])
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_classify(self, problem_file, capsys):
+        assert main(["classify", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "key_preserving: False" in out
+        assert "NP-complete" in out
+
+    def test_repairs(self, problem_file, capsys):
+        assert main(["repairs", problem_file, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out and "#2" in out
+
+    def test_render(self, problem_file, capsys):
+        assert main(["render", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "T1(" in out and "ΔV" in out
+
+    def test_stats(self, problem_file, capsys):
+        assert main(["stats", problem_file]) == 0
+        out = capsys.readouterr().out
+        assert "‖V‖" in out and "view sizes" in out
+
+    def test_sql_script_is_executable(self, problem_file, capsys):
+        import sqlite3
+
+        assert main(["sql", problem_file]) == 0
+        script = capsys.readouterr().out
+        connection = sqlite3.connect(":memory:")
+        rows = []
+        for statement in script.split(";\n"):
+            statement = statement.strip()
+            if not statement or statement.startswith("--"):
+                # strip leading comments attached to SELECTs
+                statement = "\n".join(
+                    line
+                    for line in statement.splitlines()
+                    if not line.startswith("--")
+                )
+                if not statement.strip():
+                    continue
+            cursor = connection.execute(statement)
+            if statement.lstrip().upper().startswith("SELECT"):
+                rows = cursor.fetchall()
+        assert ("John", "XML") in {tuple(r) for r in rows}
+
+    def test_insert_feasible(self, tmp_path, capsys):
+        path = tmp_path / "q4.json"
+        dump_problem(figure1_problem_q4(), str(path))
+        code = main(["insert", str(path), "Q4", "Ada", "TODS", "XML"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible" in out
+        assert "+ T1('Ada', 'TODS')" in out
+
+    def test_insert_into_non_key_preserving_view_fails(
+        self, problem_file, capsys
+    ):
+        from repro.errors import ViewError
+        import pytest as _pytest
+
+        with _pytest.raises(ViewError):
+            main(["insert", problem_file, "Q3", "Ada", "XML"])
+
+    def test_example_to_stdout(self, capsys):
+        assert main(["example", "fig1"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "T1" in document["schema"]
+
+    def test_example_to_file_then_solve(self, tmp_path, capsys):
+        path = tmp_path / "chain.json"
+        assert main(["example", "chain", "--seed", "3", "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["solve", str(path)]) == 0

@@ -1,0 +1,101 @@
+"""Tests for JSON serialization of problems and solutions."""
+
+import json
+
+import pytest
+
+from repro.core import solve_exact
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.io import (
+    SerializationError,
+    dump_problem,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+    query_to_text,
+    schema_from_dict,
+    schema_to_dict,
+    solution_to_dict,
+)
+from repro.relational import parse_query
+from repro.workloads import figure1_problem, figure1_schema, random_chain_problem
+
+
+class TestSchemaRoundTrip:
+    def test_round_trip(self):
+        schema = figure1_schema()
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            schema_from_dict({"T": {"columns": ["a"]}})
+
+
+class TestQueryText:
+    def test_round_trip_through_parser(self, fig1_q3):
+        text = query_to_text(fig1_q3)
+        reparsed = parse_query(text, fig1_q3.schema)
+        assert reparsed == fig1_q3
+
+    def test_constants_round_trip(self):
+        q = parse_query("Q(x) :- T(x, 'abc', 3)")
+        assert parse_query(query_to_text(q), q.schema) == q
+
+
+class TestProblemRoundTrip:
+    def test_fig1_round_trip(self):
+        problem = figure1_problem()
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert restored.instance == problem.instance
+        assert [q.name for q in restored.queries] == ["Q3"]
+        assert restored.deletion.deleted_view_tuples() == (
+            problem.deletion.deleted_view_tuples()
+        )
+
+    def test_solutions_agree_after_round_trip(self):
+        problem = figure1_problem()
+        restored = problem_from_dict(problem_to_dict(problem))
+        assert solve_exact(restored).side_effect() == pytest.approx(
+            solve_exact(problem).side_effect()
+        )
+
+    def test_weights_round_trip(self, rng):
+        problem = random_chain_problem(rng, weighted=True)
+        restored = problem_from_dict(problem_to_dict(problem))
+        for vt in problem.preserved_view_tuples():
+            assert restored.weight(vt) == problem.weight(vt)
+
+    def test_balanced_round_trip(self, rng):
+        problem = random_chain_problem(rng, balanced=True)
+        document = problem_to_dict(problem)
+        assert document["balanced"] is True
+        restored = problem_from_dict(document)
+        assert isinstance(restored, BalancedDeletionPropagationProblem)
+        assert restored.delta_penalty == problem.delta_penalty
+
+    def test_document_is_json_serializable(self):
+        document = problem_to_dict(figure1_problem())
+        json.dumps(document)  # must not raise
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SerializationError):
+            problem_from_dict({"facts": {}})
+
+
+class TestFileHelpers:
+    def test_dump_and_load(self, tmp_path):
+        problem = figure1_problem()
+        path = tmp_path / "problem.json"
+        dump_problem(problem, str(path))
+        restored = load_problem(str(path))
+        assert restored.norm_v == problem.norm_v
+
+    def test_solution_document(self):
+        problem = figure1_problem()
+        solution = solve_exact(problem)
+        document = solution_to_dict(solution)
+        json.dumps(document)
+        assert document["feasible"] is True
+        assert document["side_effect"] == 1.0
+        assert len(document["deleted_facts"]) == len(solution.deleted_facts)

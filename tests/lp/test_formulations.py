@@ -1,0 +1,65 @@
+"""Tests for the paper's primal/dual LP formulations."""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError
+from repro.lp import dual_vse_lp, lp_lower_bound, primal_vse_lp
+from repro.core.exact import solve_exact
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+class TestPrimal:
+    def test_requires_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            primal_vse_lp(figure1_problem())
+
+    def test_lower_bounds_integer_optimum(self):
+        rng = random.Random(141)
+        for _ in range(8):
+            problem = (
+                random_chain_problem(rng)
+                if rng.random() < 0.5
+                else random_star_problem(rng)
+            )
+            bound = lp_lower_bound(problem)
+            optimum = solve_exact(problem).side_effect()
+            assert bound <= optimum + 1e-6
+
+    def test_fig1_q4_relaxation_value(self):
+        problem = figure1_problem_q4()
+        bound = lp_lower_bound(problem)
+        # OPT = 1; the relaxation can halve x via k_r = 2.
+        assert 0.0 <= bound <= 1.0 + 1e-9
+
+    def test_zero_when_free_deletion_exists(self, chain_instance, chain_queries):
+        from repro.core.problem import DeletionPropagationProblem
+
+        problem = DeletionPropagationProblem(
+            chain_instance, chain_queries, {"QA": [("0:0", "1:0", "2:0")]}
+        )
+        # deleting R0(0:0,1:0) is collateral-free, so LP optimum is 0
+        assert lp_lower_bound(problem) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDual:
+    def test_weak_duality(self):
+        rng = random.Random(142)
+        for _ in range(6):
+            problem = random_chain_problem(rng)
+            primal_value = primal_vse_lp(problem).solve().objective
+            dual_value = dual_vse_lp(problem).solve(maximize=True).objective
+            assert dual_value <= primal_value + 1e-6
+
+    def test_strong_duality_on_lp(self):
+        rng = random.Random(143)
+        problem = random_chain_problem(rng)
+        primal_value = primal_vse_lp(problem).solve().objective
+        dual_value = dual_vse_lp(problem).solve(maximize=True).objective
+        assert dual_value == pytest.approx(primal_value, abs=1e-6)

@@ -1,0 +1,70 @@
+"""Tests for the LP builder."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import LinearProgram
+
+
+class TestModel:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0)
+        lp.add_variable("y", objective=2.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, ">=", 4.0)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(4.0)
+        assert solution.value("x") == pytest.approx(4.0)
+
+    def test_maximization(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, upper=3.0)
+        solution = lp.solve(maximize=True)
+        assert solution.objective == pytest.approx(3.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0)
+        lp.add_constraint({"x": 2.0}, "==", 6.0)
+        assert lp.solve().value("x") == pytest.approx(3.0)
+
+    def test_leq_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=-1.0, upper=None)
+        lp.add_constraint({"x": 1.0}, "<=", 5.0)
+        assert lp.solve().value("x") == pytest.approx(5.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", upper=1.0)
+        lp.add_constraint({"x": 1.0}, ">=", 2.0)
+        with pytest.raises(SolverError):
+            lp.solve()
+
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolverError):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(SolverError):
+            lp.add_constraint({"ghost": 1.0}, ">=", 0.0)
+
+    def test_unknown_sense_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolverError):
+            lp.add_constraint({"x": 1.0}, "~", 0.0)
+
+    def test_empty_program(self):
+        solution = LinearProgram().solve()
+        assert solution.objective == 0.0
+
+    def test_counts(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.add_constraint({"x": 1.0}, ">=", 0.0)
+        assert lp.num_variables == 1
+        assert lp.num_constraints == 1

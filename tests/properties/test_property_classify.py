@@ -1,0 +1,86 @@
+"""Property tests for classification consistency.
+
+Implications that must hold between the query-class predicates on any
+sj-free query, mirroring the containments the literature states:
+
+* project-free ⇒ key-preserving (paper Section II.B);
+* project-free ⇒ head-dominated (no existential components with heads);
+* head domination with no FDs = fd-head domination;
+* the triad/counterexample explainers agree with the boolean predicates.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    find_triad,
+    has_fd_head_domination,
+    has_head_domination,
+    has_triad,
+    head_domination_counterexample,
+)
+from repro.workloads import random_cq
+
+seeds = st.integers(min_value=0, max_value=10_000)
+atom_counts = st.integers(min_value=1, max_value=4)
+variable_counts = st.integers(min_value=2, max_value=6)
+
+
+def make_query(seed: int, num_atoms: int, num_variables: int, head_fraction):
+    return random_cq(
+        random.Random(seed),
+        num_atoms=num_atoms,
+        num_variables=num_variables,
+        head_fraction=head_fraction,
+    )
+
+
+class TestImplications:
+    @given(seeds, atom_counts, variable_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_project_free_implies_key_preserving(
+        self, seed, num_atoms, num_variables
+    ):
+        query = make_query(seed, num_atoms, num_variables, 1.0)
+        assert query.is_project_free()
+        assert query.is_key_preserving()
+
+    @given(seeds, atom_counts, variable_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_project_free_implies_head_domination(
+        self, seed, num_atoms, num_variables
+    ):
+        query = make_query(seed, num_atoms, num_variables, 1.0)
+        assert has_head_domination(query)
+
+    @given(seeds, atom_counts, variable_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_fd_variant_with_no_fds_degenerates(
+        self, seed, num_atoms, num_variables
+    ):
+        query = make_query(seed, num_atoms, num_variables, 0.5)
+        assert has_fd_head_domination(query, []) == has_head_domination(query)
+
+    @given(seeds, atom_counts, variable_counts)
+    @settings(max_examples=60, deadline=None)
+    def test_explainers_agree_with_predicates(
+        self, seed, num_atoms, num_variables
+    ):
+        query = make_query(seed, num_atoms, num_variables, 0.5)
+        counterexample = head_domination_counterexample(query)
+        assert has_head_domination(query) == (counterexample is None)
+        if counterexample is not None:
+            component, missing = counterexample
+            assert component and missing
+        triad = find_triad(query)
+        assert has_triad(query) == (triad is not None)
+        if triad is not None:
+            assert len({atom.relation for atom in triad}) == 3
+
+    @given(seeds, variable_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_fewer_than_three_atoms_never_triad(self, seed, num_variables):
+        query = make_query(seed, 2, num_variables, 0.5)
+        assert not has_triad(query)

@@ -1,0 +1,63 @@
+"""Property-based tests for serialization round-trips."""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve_exact
+from repro.io import problem_from_dict, problem_to_dict
+from repro.workloads import random_chain_problem, random_star_problem
+
+seeds = st.integers(min_value=0, max_value=5_000)
+
+
+class TestRoundTrip:
+    @given(seeds, st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_problem_round_trip_preserves_everything(self, seed, weighted):
+        problem = random_chain_problem(
+            random.Random(seed),
+            num_relations=3,
+            facts_per_relation=4,
+            weighted=weighted,
+        )
+        document = problem_to_dict(problem)
+        # the document must survive a JSON text round trip too
+        restored = problem_from_dict(json.loads(json.dumps(document)))
+        assert restored.instance == problem.instance
+        assert [q.name for q in restored.queries] == [
+            q.name for q in problem.queries
+        ]
+        assert (
+            restored.deletion.deleted_view_tuples()
+            == problem.deletion.deleted_view_tuples()
+        )
+        for vt in problem.preserved_view_tuples():
+            assert restored.weight(vt) == problem.weight(vt)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_optima_invariant_under_round_trip(self, seed):
+        problem = random_star_problem(
+            random.Random(seed), num_leaves=2, center_facts=3, leaf_facts=4
+        )
+        restored = problem_from_dict(
+            json.loads(json.dumps(problem_to_dict(problem)))
+        )
+        assert solve_exact(restored).side_effect() == solve_exact(
+            problem
+        ).side_effect()
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_double_round_trip_is_fixpoint(self, seed):
+        problem = random_chain_problem(
+            random.Random(seed), num_relations=3, facts_per_relation=4
+        )
+        once = problem_to_dict(problem)
+        twice = problem_to_dict(problem_from_dict(once))
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True
+        )

@@ -1,0 +1,80 @@
+"""Stateful property test: a maintained view under a random stream of
+insertions and deletions always agrees with from-scratch evaluation."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Fact,
+    Instance,
+    MaintainedView,
+    parse_queries,
+    result_tuples,
+)
+
+_QUERY_TEXTS = [
+    "V(a, b, j) :- R(a, j), S(j, b)",
+]
+_QUERIES = parse_queries(_QUERY_TEXTS, None)
+_SCHEMA = _QUERIES[0].schema
+
+keys = st.integers(min_value=0, max_value=3)
+
+
+class MaintainedViewMachine(RuleBasedStateMachine):
+    """Random add/delete stream over R and S, checking the maintained
+    view against re-evaluation after every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.instance = Instance(_SCHEMA)
+        self.view = MaintainedView(_QUERIES[0], self.instance)
+
+    # ------------------------------------------------------------------
+
+    @rule(k=keys, j=keys)
+    def add_r(self, k, j):
+        fact = Fact("R", (f"r{k}", f"j{j}"))
+        if self.instance.lookup_by_key("R", (f"r{k}",)) is None:
+            self.view.add_fact(fact)
+            self.instance.add(fact)
+
+    @rule(j=keys, b=keys)
+    def add_s(self, j, b):
+        fact = Fact("S", (f"j{j}", f"b{b}"))
+        if self.instance.lookup_by_key("S", (f"j{j}",)) is None:
+            self.view.add_fact(fact)
+            self.instance.add(fact)
+
+    @precondition(lambda self: len(self.instance) > 0)
+    @rule(index=st.integers(min_value=0, max_value=50))
+    def delete_some_fact(self, index):
+        facts = sorted(self.instance.facts())
+        fact = facts[index % len(facts)]
+        self.view.delete_fact(fact)
+        self.instance.remove(fact)
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def view_matches_reevaluation(self):
+        assert self.view.tuples() == result_tuples(
+            _QUERIES[0], self.instance
+        )
+
+    @invariant()
+    def support_counts_are_positive_for_present_tuples(self):
+        for head in self.view.tuples():
+            assert self.view.support(head) >= 1
+
+
+MaintainedViewMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestMaintainedViewStateful = MaintainedViewMachine.TestCase

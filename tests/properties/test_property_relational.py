@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) for the relational substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Fact,
+    Instance,
+    Key,
+    RelationSchema,
+    Schema,
+    parse_query,
+    result_tuples,
+)
+
+# Small value universe keeps joins meaningful.
+values = st.integers(min_value=0, max_value=5)
+rows = st.lists(
+    st.tuples(values, values), min_size=0, max_size=12, unique_by=lambda r: r[0]
+)
+
+
+def make_instance(rows_a, rows_b) -> Instance:
+    schema = Schema(
+        [
+            RelationSchema("A", ("k", "x"), Key((0,))),
+            RelationSchema("B", ("k", "x"), Key((0,))),
+        ]
+    )
+    inst = Instance(schema)
+    for k, x in rows_a:
+        inst.add(Fact("A", (k, x)))
+    for k, x in rows_b:
+        inst.add(Fact("B", (k, x)))
+    return inst
+
+
+class TestEvaluationProperties:
+    @given(rows, rows)
+    @settings(max_examples=40, deadline=None)
+    def test_join_is_subset_of_product(self, rows_a, rows_b):
+        inst = make_instance(rows_a, rows_b)
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", inst.schema)
+        result = result_tuples(q, inst)
+        keys_a = {k for k, _ in rows_a}
+        keys_b = {k for k, _ in rows_b}
+        assert all(a in keys_a and b in keys_b for a, b in result)
+
+    @given(rows, rows)
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity_under_deletion(self, rows_a, rows_b):
+        """CQs are monotone: deleting facts never adds answers."""
+        inst = make_instance(rows_a, rows_b)
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", inst.schema)
+        before = result_tuples(q, inst)
+        facts = sorted(inst.facts())
+        if not facts:
+            return
+        smaller = inst.without(facts[: len(facts) // 2])
+        after = result_tuples(q, smaller)
+        assert after <= before
+
+    @given(rows, rows)
+    @settings(max_examples=40, deadline=None)
+    def test_witness_semantics_match_reevaluation(self, rows_a, rows_b):
+        """A view tuple survives a deletion iff some witness survives."""
+        from repro.relational import witness_map
+
+        inst = make_instance(rows_a, rows_b)
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", inst.schema)
+        witnesses = witness_map(q, inst)
+        facts = sorted(inst.facts())
+        deleted = set(facts[::2])
+        remaining = inst.without(deleted)
+        after = result_tuples(q, remaining)
+        for head, head_witnesses in witnesses.items():
+            survives = any(not (w & deleted) for w in head_witnesses)
+            assert (head in after) == survives
+
+    @given(rows)
+    @settings(max_examples=30, deadline=None)
+    def test_instance_roundtrip(self, rows_a):
+        inst = make_instance(rows_a, [])
+        assert len(inst) == len(rows_a)
+        for k, x in rows_a:
+            assert inst.lookup_by_key("A", (k,)) == Fact("A", (k, x))
+
+    @given(rows, rows)
+    @settings(max_examples=30, deadline=None)
+    def test_without_then_size(self, rows_a, rows_b):
+        inst = make_instance(rows_a, rows_b)
+        facts = sorted(inst.facts())
+        half = facts[: len(facts) // 2]
+        assert len(inst.without(half)) == len(inst) - len(half)

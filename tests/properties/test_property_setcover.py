@@ -1,0 +1,97 @@
+"""Property-based tests for the covering substrate."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.setcover import (
+    PosNegPartialSetCover,
+    RedBlueSetCover,
+    low_deg_two,
+    posneg_to_rbsc,
+    solve_rbsc_exact,
+)
+
+
+@st.composite
+def rbsc_instances(draw):
+    num_reds = draw(st.integers(1, 4))
+    num_blues = draw(st.integers(1, 3))
+    num_sets = draw(st.integers(1, 5))
+    reds = [f"r{i}" for i in range(num_reds)]
+    blues = [f"b{i}" for i in range(num_blues)]
+    sets = {}
+    for s in range(num_sets):
+        members = draw(
+            st.sets(st.sampled_from(reds + blues), min_size=1)
+        )
+        sets[f"C{s}"] = members
+    # force feasibility
+    for i, blue in enumerate(blues):
+        sets.setdefault(f"F{i}", set()).add(blue)
+    return RedBlueSetCover(reds, blues, sets)
+
+
+@st.composite
+def posneg_instances(draw):
+    num_pos = draw(st.integers(1, 3))
+    num_neg = draw(st.integers(1, 3))
+    positives = [f"p{i}" for i in range(num_pos)]
+    negatives = [f"n{i}" for i in range(num_neg)]
+    sets = {}
+    for s in range(draw(st.integers(1, 4))):
+        members = draw(
+            st.sets(st.sampled_from(positives + negatives), min_size=1)
+        )
+        sets[f"C{s}"] = members
+    return PosNegPartialSetCover(positives, negatives, sets)
+
+
+class TestRBSCProperties:
+    @given(rbsc_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_exact_is_feasible_and_minimal(self, inst):
+        selection, cost = solve_rbsc_exact(inst)
+        assert inst.is_feasible(selection)
+        assert cost == inst.cost(selection)
+
+    @given(rbsc_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_lowdeg_feasible_and_never_below_optimum(self, inst):
+        selection, cost = low_deg_two(inst)
+        assert inst.is_feasible(selection)
+        _, optimum = solve_rbsc_exact(inst)
+        assert cost + 1e-9 >= optimum
+
+    @given(rbsc_instances(), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_cost_monotone_in_selection(self, inst, k):
+        names = sorted(inst.sets)
+        prefix = names[: k % (len(names) + 1)]
+        assert inst.cost(prefix) <= inst.cost(names)
+
+
+class TestPosNegProperties:
+    @given(posneg_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_reduction_preserves_cost_of_any_selection(self, inst):
+        rbsc = posneg_to_rbsc(inst)
+        # Any original selection: RBSC needs escapes for uncovered
+        # positives; costs then agree.
+        names = sorted(inst.sets)
+        selection = names[: len(names) // 2]
+        covered = set()
+        for name in selection:
+            covered.update(inst.sets[name])
+        escapes = [
+            f"__escape__{p!r}"
+            for p in inst.positives
+            if p not in covered
+        ]
+        full = selection + escapes
+        assert rbsc.is_feasible(full)
+        assert abs(rbsc.cost(full) - inst.cost(selection)) < 1e-9
+
+    @given(posneg_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_selection_cost_is_positive_count(self, inst):
+        assert inst.cost([]) == len(inst.positives)

@@ -1,0 +1,107 @@
+"""Tests for the Theorem 1 hardness reduction (RBSC → VSE)."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reductions import rbsc_to_vse
+from repro.setcover import RedBlueSetCover, solve_rbsc_exact
+from repro.core.exact import solve_exact
+from repro.workloads import figure2_rbsc, random_rbsc
+
+
+class TestConstruction:
+    def test_fig2_shape(self):
+        reduction = rbsc_to_vse(figure2_rbsc())
+        problem = reduction.problem
+        # one table with one row per set
+        assert len(problem.instance) == 3
+        # one view per element occurring in some set (r1, b1..b3)
+        assert len(problem.views) == 4
+        # ΔV holds the single tuple of each blue view
+        assert problem.norm_delta_v == 3
+
+    def test_queries_are_project_free_self_join(self):
+        reduction = rbsc_to_vse(figure2_rbsc())
+        for query in reduction.problem.queries:
+            assert query.is_project_free()
+            assert query.is_key_preserving()
+        # the red view joins three atoms over the same table: a self-join
+        red_view = reduction.view_of_element["r1"]
+        red_query = next(
+            q for q in reduction.problem.queries if q.name == red_view
+        )
+        assert len(red_query.body) == 3
+        assert not red_query.is_self_join_free()
+
+    def test_each_view_has_exactly_one_tuple(self):
+        reduction = rbsc_to_vse(figure2_rbsc())
+        for view in reduction.problem.views:
+            assert len(view) == 1
+
+    def test_uncoverable_blue_rejected(self):
+        rbsc = RedBlueSetCover(["r"], ["b"], {"C": ["r"]})
+        with pytest.raises(ReductionError):
+            rbsc_to_vse(rbsc)
+
+    def test_element_in_no_set_skipped(self):
+        rbsc = RedBlueSetCover(
+            ["lonely", "r"], ["b"], {"C": ["r", "b"]}
+        )
+        reduction = rbsc_to_vse(rbsc)
+        assert "lonely" not in reduction.view_of_element
+
+
+class TestCostPreservation:
+    def test_fig2_cost_equality(self):
+        rbsc = figure2_rbsc()
+        reduction = rbsc_to_vse(rbsc)
+        selection, cost = solve_rbsc_exact(rbsc)
+        assert reduction.side_effect_equals_cost(selection)
+        optimum = solve_exact(reduction.problem)
+        assert optimum.side_effect() == pytest.approx(cost)
+
+    def test_cost_equality_on_random_instances(self):
+        rng = random.Random(111)
+        for _ in range(6):
+            rbsc = random_rbsc(
+                rng, num_reds=4, num_blues=3, num_sets=5
+            )
+            reduction = rbsc_to_vse(rbsc)
+            _, rbsc_cost = solve_rbsc_exact(rbsc)
+            vse_cost = solve_exact(reduction.problem).side_effect()
+            assert vse_cost == pytest.approx(rbsc_cost)
+
+    def test_arbitrary_selection_transfers(self):
+        rbsc = figure2_rbsc()
+        reduction = rbsc_to_vse(rbsc)
+        for selection in (["C1", "C2", "C3"], ["C1", "C2"], []):
+            propagation = reduction.selection_to_propagation(selection)
+            feasible = rbsc.is_feasible(selection)
+            assert propagation.is_feasible() == feasible
+            assert propagation.side_effect() == pytest.approx(
+                rbsc.cost(selection)
+            )
+
+
+class TestSolutionMaps:
+    def test_round_trip(self):
+        reduction = rbsc_to_vse(figure2_rbsc())
+        selection = ["C1", "C3"]
+        propagation = reduction.selection_to_propagation(selection)
+        assert sorted(
+            reduction.propagation_to_selection(propagation)
+        ) == sorted(selection)
+
+    def test_foreign_fact_rejected_in_decode(self):
+        reduction = rbsc_to_vse(figure2_rbsc())
+        from repro.core.solution import Propagation
+
+        # a Propagation over a different problem's fact cannot be built,
+        # so forge the map call directly
+        class Fake:
+            deleted_facts = frozenset({"not-a-fact"})
+
+        with pytest.raises(ReductionError):
+            reduction.propagation_to_selection(Fake())

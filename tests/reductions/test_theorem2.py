@@ -1,0 +1,93 @@
+"""Tests for the Theorem 2 reduction (PN-PSC → balanced VSE)."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.reductions import posneg_to_balanced_vse
+from repro.setcover import PosNegPartialSetCover, solve_posneg_exact
+from repro.core.exact import solve_exact_bruteforce
+from repro.workloads import random_posneg
+
+
+def tiny() -> PosNegPartialSetCover:
+    return PosNegPartialSetCover(
+        positives=["p1", "p2"],
+        negatives=["n1"],
+        sets={"A": ["p1", "n1"], "B": ["p2"], "C": ["p1", "p2", "n1"]},
+    )
+
+
+class TestConstruction:
+    def test_problem_is_balanced(self):
+        from repro.core.problem import BalancedDeletionPropagationProblem
+
+        reduction = posneg_to_balanced_vse(tiny())
+        assert isinstance(
+            reduction.problem, BalancedDeletionPropagationProblem
+        )
+
+    def test_delta_covers_positive_views(self):
+        reduction = posneg_to_balanced_vse(tiny())
+        assert reduction.problem.norm_delta_v == 2
+
+    def test_positive_in_no_set_rejected(self):
+        bad = PosNegPartialSetCover(["p"], ["n"], {"A": ["n"]})
+        with pytest.raises(ReductionError):
+            posneg_to_balanced_vse(bad)
+
+    def test_negative_weights_transfer(self):
+        inst = PosNegPartialSetCover(
+            ["p"],
+            ["n"],
+            {"A": ["p", "n"]},
+            negative_weights={"n": 4.0},
+        )
+        reduction = posneg_to_balanced_vse(inst)
+        negative_view = reduction.view_of_element["n"]
+        vt = next(
+            vt
+            for vt in reduction.problem.preserved_view_tuples()
+            if vt.view == negative_view
+        )
+        assert reduction.problem.weight(vt) == 4.0
+
+
+class TestCostPreservation:
+    def test_cost_equality_per_selection(self):
+        inst = tiny()
+        reduction = posneg_to_balanced_vse(inst)
+        for selection in ([], ["A"], ["A", "B"], ["C"], ["B"]):
+            assert reduction.balanced_cost_equals_cost(selection)
+
+    def test_optimum_equality(self):
+        inst = tiny()
+        reduction = posneg_to_balanced_vse(inst)
+        _, pn_opt = solve_posneg_exact(inst)
+        balanced_opt = solve_exact_bruteforce(
+            reduction.problem
+        ).balanced_cost()
+        assert balanced_opt == pytest.approx(pn_opt)
+
+    def test_optimum_equality_on_random_instances(self):
+        rng = random.Random(121)
+        for _ in range(5):
+            inst = random_posneg(
+                rng, num_positives=2, num_negatives=3, num_sets=4
+            )
+            reduction = posneg_to_balanced_vse(inst)
+            _, pn_opt = solve_posneg_exact(inst)
+            balanced_opt = solve_exact_bruteforce(
+                reduction.problem
+            ).balanced_cost()
+            assert balanced_opt == pytest.approx(pn_opt)
+
+    def test_penalty_transfers(self):
+        inst = PosNegPartialSetCover(
+            ["p"], ["n"], {"A": ["p", "n"]}, positive_penalty=3.0
+        )
+        reduction = posneg_to_balanced_vse(inst)
+        assert reduction.problem.delta_penalty == 3.0
+        empty = reduction.selection_to_propagation([])
+        assert empty.balanced_cost() == 3.0

@@ -1,0 +1,85 @@
+"""Tests for the algorithmic reductions VSE → RBSC / balanced → PN-PSC."""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError
+from repro.reductions import problem_to_posneg, problem_to_rbsc
+from repro.setcover import solve_posneg_exact, solve_rbsc_exact
+from repro.core.exact import solve_exact, solve_exact_bruteforce
+from repro.core.solution import Propagation
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    random_chain_problem,
+    random_star_problem,
+)
+
+
+class TestProblemToRBSC:
+    def test_requires_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            problem_to_rbsc(figure1_problem())
+
+    def test_elements_mirror_view_tuples(self):
+        problem = figure1_problem_q4()
+        reduction = problem_to_rbsc(problem)
+        assert len(reduction.covering.blues) == problem.norm_delta_v
+        assert len(reduction.covering.reds) == problem.norm_v - problem.norm_delta_v
+
+    def test_one_set_per_candidate_fact(self):
+        problem = figure1_problem_q4()
+        reduction = problem_to_rbsc(problem)
+        assert len(reduction.covering.sets) == len(problem.candidate_facts())
+
+    def test_optimum_transfer(self):
+        rng = random.Random(131)
+        for _ in range(6):
+            problem = random_chain_problem(rng)
+            reduction = problem_to_rbsc(problem)
+            selection, cover_cost = solve_rbsc_exact(reduction.covering)
+            propagation = Propagation(problem, reduction.decode(selection))
+            assert propagation.is_feasible()
+            assert propagation.side_effect() == pytest.approx(cover_cost)
+            optimum = solve_exact(problem)
+            assert cover_cost == pytest.approx(optimum.side_effect())
+
+    def test_weights_transfer(self):
+        rng = random.Random(132)
+        problem = random_star_problem(rng, weighted=True)
+        reduction = problem_to_rbsc(problem)
+        for vt in problem.preserved_view_tuples():
+            assert reduction.covering.red_weight(vt) == problem.weight(vt)
+
+
+class TestProblemToPosNeg:
+    def test_optimum_transfer_balanced(self):
+        rng = random.Random(133)
+        for _ in range(5):
+            problem = random_chain_problem(
+                rng, num_relations=3, facts_per_relation=4, balanced=True
+            )
+            reduction = problem_to_posneg(problem)
+            selection, cover_cost = solve_posneg_exact(reduction.covering)
+            propagation = Propagation(problem, reduction.decode(selection))
+            assert propagation.balanced_cost() == pytest.approx(cover_cost)
+            optimum = solve_exact_bruteforce(problem)
+            assert cover_cost == pytest.approx(optimum.balanced_cost())
+
+    def test_penalty_transfers(self):
+        rng = random.Random(134)
+        from repro.core.problem import BalancedDeletionPropagationProblem
+
+        base = random_chain_problem(rng, balanced=True)
+        deletions = {
+            name: sorted(base.deletion.on(name)) for name in base.views.names
+        }
+        problem = BalancedDeletionPropagationProblem(
+            base.instance,
+            base.queries,
+            {k: v for k, v in deletions.items() if v},
+            delta_penalty=2.5,
+        )
+        reduction = problem_to_posneg(problem)
+        assert reduction.covering.positive_penalty == 2.5

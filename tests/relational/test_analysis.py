@@ -1,0 +1,143 @@
+"""Tests for the query-class predicates (head domination, triads, FDs)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational import (
+    FunctionalDependency,
+    existential_components,
+    fd_closure_variables,
+    has_fd_head_domination,
+    has_fd_induced_triad,
+    has_head_domination,
+    has_triad,
+    is_hierarchical,
+    parse_query,
+)
+from repro.relational.cq import Variable
+
+
+class TestExistentialComponents:
+    def test_project_free_query_all_singletons(self):
+        q = parse_query("Q(x, y, z) :- T1(x, y), T2(y, z)")
+        assert len(existential_components(q)) == 2
+
+    def test_shared_existential_merges_atoms(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        components = existential_components(q)
+        assert len(components) == 1
+        assert len(components[0]) == 2
+
+    def test_disjoint_existentials_stay_separate(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(y2, z)")
+        assert len(existential_components(q)) == 2
+
+
+class TestHeadDomination:
+    def test_paper_iv_b_counterexample(self):
+        # The paper's example of sj-free key-preserving without
+        # head-domination: Q(y1,y2) :- T1(y1,x), T(x,y2).
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        assert not has_head_domination(q)
+
+    def test_single_head_variable_dominated(self):
+        q = parse_query("Q(y) :- T1(y, x), T2(x, 'c')")
+        assert has_head_domination(q)
+
+    def test_project_free_always_dominated(self):
+        q = parse_query("Q(x, y, z) :- T1(x, y), T2(y, z)")
+        assert has_head_domination(q)
+
+    def test_component_with_no_head_variables_ignored(self):
+        q = parse_query("Q(y) :- T1(y, w), T2(x, z), T3(z, x)")
+        assert has_head_domination(q)
+
+    def test_wide_atom_dominates(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, y2, x), T2(x, y2)")
+        assert has_head_domination(q)
+
+
+class TestFDHeadDomination:
+    def test_fd_rescues_domination(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        fd = FunctionalDependency("T2", lhs=[1], rhs=[0])  # y2 -> x
+        assert not has_head_domination(q)
+        assert has_fd_head_domination(q, [fd])
+
+    def test_no_fds_degenerates_to_plain(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        assert has_fd_head_domination(q, []) == has_head_domination(q)
+
+    def test_closure_is_transitive(self):
+        q = parse_query("Q(y) :- T1(y, a), T2(a, b), T3(b, 'c')")
+        fds = [
+            FunctionalDependency("T1", lhs=[0], rhs=[1]),  # y -> a
+            FunctionalDependency("T2", lhs=[0], rhs=[1]),  # a -> b
+        ]
+        closed = fd_closure_variables(q, [Variable("y")], fds)
+        assert Variable("b") in closed
+
+    def test_fd_needs_full_lhs(self):
+        q = parse_query("Q(y) :- T1(y, a, b)")
+        fd = FunctionalDependency("T1", lhs=[0, 2], rhs=[1])
+        closed = fd_closure_variables(q, [Variable("y")], [fd])
+        assert Variable("a") not in closed
+
+    def test_malformed_fd_rejected(self):
+        with pytest.raises(QueryError):
+            FunctionalDependency("T", lhs=[], rhs=[1])
+
+
+class TestTriads:
+    def test_triangle_has_triad(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+        assert has_triad(q)
+
+    def test_chain_has_no_triad(self):
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert not has_triad(q)
+
+    def test_star_has_no_triad(self):
+        q = parse_query("Q(x) :- R(x, a), S(x, b), T(x, c)")
+        assert not has_triad(q)
+
+    def test_fewer_than_three_atoms_never_triad(self):
+        q = parse_query("Q(x, y) :- R(x, y)")
+        assert not has_triad(q)
+
+    def test_triangle_with_tail_still_has_triad(self):
+        q = parse_query(
+            "Q(x, y, z, w) :- R(x, y), S(y, z), T(z, x), U(z, w)"
+        )
+        assert has_triad(q)
+
+    def test_self_join_rejected(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), R(y, z)")
+        with pytest.raises(QueryError):
+            has_triad(q)
+
+    def test_fd_induced_triad_no_fds_same_as_triad(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z), T(z, x)")
+        assert has_fd_induced_triad(q, []) == has_triad(q)
+
+
+class TestHierarchical:
+    def test_nested_atom_sets_hierarchical(self):
+        q = parse_query("Q(z) :- R(z, x, y), S(z, x)")
+        assert is_hierarchical(q)
+
+    def test_crossing_atom_sets_not_hierarchical(self):
+        q = parse_query("Q(z) :- R(z, x), S(x, y), T(y, z)")
+        assert not is_hierarchical(q)
+
+    def test_disjoint_atom_sets_hierarchical(self):
+        q = parse_query("Q(z) :- R(z, x), S(z, y)")
+        assert is_hierarchical(q)
+
+    def test_project_free_trivially_hierarchical(self):
+        q = parse_query("Q(x, y, z) :- R(x, y), S(y, z)")
+        assert is_hierarchical(q)
+
+    def test_single_existential_hierarchical(self):
+        q = parse_query("Q(y1, y2) :- T1(y1, x), T2(x, y2)")
+        assert is_hierarchical(q)

@@ -1,0 +1,114 @@
+"""Tests for CQ containment, equivalence, and minimization
+(Chandra–Merlin)."""
+
+import random
+
+import pytest
+
+from repro.relational import (
+    is_contained_in,
+    is_equivalent,
+    minimize,
+    parse_query,
+    result_tuples,
+)
+
+
+class TestContainment:
+    def test_identical_queries_contained(self):
+        a = parse_query("Q(x, y) :- R(x, y)")
+        b = parse_query("P(x, y) :- R(x, y)")
+        assert is_contained_in(a, b) and is_contained_in(b, a)
+
+    def test_extra_atom_restricts(self):
+        narrow = parse_query("Q(x) :- R(x, y), S(y)")
+        wide = parse_query("P(x) :- R(x, y)")
+        assert is_contained_in(narrow, wide)
+        assert not is_contained_in(wide, narrow)
+
+    def test_constant_selection_restricts(self):
+        narrow = parse_query("Q(x) :- R(x, 'c')")
+        wide = parse_query("P(x) :- R(x, y)")
+        assert is_contained_in(narrow, wide)
+        assert not is_contained_in(wide, narrow)
+
+    def test_different_arity_incomparable(self):
+        a = parse_query("Q(x) :- R(x, y)")
+        b = parse_query("P(x, y) :- R(x, y)")
+        assert not is_contained_in(a, b)
+        assert not is_contained_in(b, a)
+
+    def test_classic_double_edge_containment(self):
+        # path of length 2 is contained in single-edge query via y↦x fold
+        path = parse_query("Q(x) :- R(x, y), R(y, z)")
+        loopy = parse_query("P(x) :- R(x, y)")
+        assert is_contained_in(path, loopy)
+        assert not is_contained_in(loopy, path)
+
+    def test_head_constants_must_match(self):
+        a = parse_query("Q(x, 'a') :- R(x)")
+        b = parse_query("P(x, 'b') :- R(x)")
+        assert not is_contained_in(a, b)
+
+    def test_containment_is_sound_on_data(self):
+        """Spot-check soundness: if Q1 ⊆ Q2 then Q1(D) ⊆ Q2(D)."""
+        from repro.relational import Instance
+        from repro.relational.parser import infer_schema
+
+        texts = ["Q(x) :- R(x, y), S(y)", "P(x) :- R(x, y)"]
+        schema = infer_schema(texts)
+        q_narrow = parse_query(texts[0], schema)
+        q_wide = parse_query(texts[1], schema)
+        rng = random.Random(11)
+        for _ in range(5):
+            inst = Instance(schema)
+            from repro.relational import Fact
+
+            for i in range(6):
+                inst.add(Fact("R", (i, rng.randrange(4))))
+            for j in range(3):
+                inst.add(Fact("S", (rng.randrange(4),)))
+            assert result_tuples(q_narrow, inst) <= result_tuples(
+                q_wide, inst
+            )
+
+
+class TestEquivalence:
+    def test_redundant_atom_equivalent(self):
+        redundant = parse_query("Q(x) :- R(x, y), R(x, z)")
+        lean = parse_query("P(x) :- R(x, y)")
+        assert is_equivalent(redundant, lean)
+
+    def test_non_equivalent(self):
+        a = parse_query("Q(x) :- R(x, y), S(y)")
+        b = parse_query("P(x) :- R(x, y)")
+        assert not is_equivalent(a, b)
+
+
+class TestMinimize:
+    def test_removes_redundant_atom(self):
+        q = parse_query("Q(x) :- R(x, y), R(x, z)")
+        core = minimize(q)
+        assert len(core.body) == 1
+        assert is_equivalent(core, q)
+
+    def test_keeps_necessary_atoms(self):
+        q = parse_query("Q(x) :- R(x, y), S(y)")
+        core = minimize(q)
+        assert len(core.body) == 2
+
+    def test_folds_longer_redundancy(self):
+        q = parse_query("Q(x) :- R(x, y), R(x, z), R(x, w)")
+        assert len(minimize(q).body) == 1
+
+    def test_head_safety_respected(self):
+        # the only atom binding a head variable cannot be dropped
+        q = parse_query("Q(x, w) :- R(x, y), S(w)")
+        core = minimize(q)
+        assert len(core.body) == 2
+
+    def test_core_evaluates_identically(self, fig1_instance, fig1_q3):
+        core = minimize(fig1_q3)
+        assert result_tuples(core, fig1_instance) == result_tuples(
+            fig1_q3, fig1_instance
+        )

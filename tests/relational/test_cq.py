@@ -1,0 +1,151 @@
+"""Tests for repro.relational.cq (query objects and syntactic classes)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Variable
+from repro.relational.parser import parse_query
+from repro.relational.schema import Key, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            RelationSchema("T1", ("a", "b"), Key((0,))),
+            RelationSchema("T2", ("a", "b", "c"), Key((0,))),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_head_rejected(self, schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(
+                "Q", [], [Atom("T1", (Variable("x"), Variable("y")))], schema
+            )
+
+    def test_empty_body_rejected(self, schema):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery("Q", [Variable("x")], [], schema)
+
+    def test_unsafe_head_variable_rejected(self, schema):
+        with pytest.raises(QueryError, match="unsafe"):
+            ConjunctiveQuery(
+                "Q",
+                [Variable("z")],
+                [Atom("T1", (Variable("x"), Variable("y")))],
+                schema,
+            )
+
+    def test_head_of_constants_only_rejected(self, schema):
+        with pytest.raises(QueryError, match="no head variables"):
+            ConjunctiveQuery(
+                "Q",
+                [Constant("c")],
+                [Atom("T1", (Variable("x"), Variable("y")))],
+                schema,
+            )
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(QueryError, match="arity"):
+            ConjunctiveQuery(
+                "Q", [Variable("x")], [Atom("T1", (Variable("x"),))], schema
+            )
+
+    def test_unknown_relation_rejected(self, schema):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            ConjunctiveQuery(
+                "Q", [Variable("x")], [Atom("Z", (Variable("x"),))], schema
+            )
+
+
+class TestVariableClassification:
+    def test_paper_example_q1(self):
+        # Q1(y1, y2, w) :- T1(x, y1, z), T2(x, y2, w)  — paper Section II.B
+        q = parse_query("Q1(y1, y2, w) :- T1(x, y1, z), T2(x, y2, w)")
+        assert q.arity == 3
+        assert q.head_variables() == {
+            Variable("y1"),
+            Variable("y2"),
+            Variable("w"),
+        }
+        assert q.existential_variables() == {Variable("x"), Variable("z")}
+
+    def test_paper_example_q2_project_free(self):
+        q = parse_query("Q2(y, y1, y, y2, y, y3) :- T1(y, y1), T2(y, y2), T3(y, y3)")
+        assert q.arity == 6
+        assert not q.existential_variables()
+        assert q.is_project_free()
+
+    def test_body_variables(self, schema):
+        q = parse_query("Q(x) :- T1(x, y), T2(y, z, 'c')", schema)
+        assert q.body_variables() == {
+            Variable("x"),
+            Variable("y"),
+            Variable("z"),
+        }
+
+
+class TestSyntacticClasses:
+    def test_self_join_detection(self, schema):
+        sj = parse_query("Q(x, y, z) :- T1(x, y), T1(y, z)", schema)
+        assert not sj.is_self_join_free()
+        free = parse_query("Q(x, y, z) :- T1(x, y), T2(y, z, z)", schema)
+        assert free.is_self_join_free()
+
+    def test_key_preserving_positive(self, schema):
+        # keys are first positions; both key variables appear in the head
+        q = parse_query("Q(x, y) :- T1(x, w), T2(y, w, v)", schema)
+        assert q.is_key_preserving()
+
+    def test_key_preserving_negative(self, schema):
+        # T1's key variable x is projected away
+        q = parse_query("Q(w) :- T1(x, w)", schema)
+        assert not q.is_key_preserving()
+
+    def test_project_free_implies_key_preserving(self, schema):
+        q = parse_query("Q(x, y, z, v) :- T1(x, y), T2(y, z, v)", schema)
+        assert q.is_project_free()
+        assert q.is_key_preserving()
+
+    def test_key_variable_constant_counts_as_preserved(self, schema):
+        # A constant in the key position contributes no key variable.
+        q = parse_query("Q(y) :- T1('fixed', y)", schema)
+        assert q.is_key_preserving()
+
+    def test_key_variables_of_composite_key(self):
+        schema = Schema([RelationSchema("T", ("a", "b"), Key((0, 1)))])
+        q = parse_query("Q(x, y) :- T(x, y)", schema)
+        atom = q.body[0]
+        assert q.key_variables_of(atom) == {Variable("x"), Variable("y")}
+
+
+class TestHelpers:
+    def test_substitute_head(self, schema):
+        q = parse_query("Q(x, y) :- T1(x, y)", schema)
+        assignment = {Variable("x"): 1, Variable("y"): 2}
+        assert q.substitute_head(assignment) == (1, 2)
+
+    def test_substitute_head_missing_binding_raises(self, schema):
+        q = parse_query("Q(x, y) :- T1(x, y)", schema)
+        with pytest.raises(QueryError):
+            q.substitute_head({Variable("x"): 1})
+
+    def test_relations_and_positions(self, schema):
+        q = parse_query("Q(x, y) :- T1(x, y), T2(y, x, x)", schema)
+        assert q.relations() == ("T1", "T2")
+        assert q.relation_set() == {"T1", "T2"}
+        assert q.head_positions_of(Variable("y")) == (1,)
+        assert len(q.atoms_containing(Variable("x"))) == 2
+
+    def test_equality_and_hash(self, schema):
+        a = parse_query("Q(x, y) :- T1(x, y)", schema)
+        b = parse_query("Q(x, y) :- T1(x, y)", schema)
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr_round_trip_shape(self, schema):
+        q = parse_query("Q(x) :- T1(x, y)", schema)
+        assert repr(q) == "Q(x) :- T1(x, y)"

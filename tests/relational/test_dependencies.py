@@ -1,0 +1,111 @@
+"""Tests for functional-dependency validation and discovery."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    FunctionalDependency,
+    Instance,
+    attribute_closure,
+    discover_fds,
+    holds,
+    violations,
+)
+from repro.relational.schema import Key, RelationSchema, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [RelationSchema("T", ("a", "b", "c"), Key((0,)))]
+    )
+
+
+class TestViolations:
+    def test_holding_fd(self, schema):
+        inst = Instance.from_rows(
+            schema, {"T": [(1, "x", 10), (2, "x", 10), (3, "y", 20)]}
+        )
+        fd = FunctionalDependency("T", lhs=[1], rhs=[2])  # b -> c
+        assert holds(inst, [fd])
+        assert violations(inst, [fd]) == []
+
+    def test_violated_fd(self, schema):
+        inst = Instance.from_rows(
+            schema, {"T": [(1, "x", 10), (2, "x", 99)]}
+        )
+        fd = FunctionalDependency("T", lhs=[1], rhs=[2])
+        found = violations(inst, [fd])
+        assert len(found) == 1
+        violated_fd, row_a, row_b = found[0]
+        assert violated_fd == fd
+        assert {row_a[2], row_b[2]} == {10, 99}
+
+    def test_key_always_holds_as_fd(self, schema):
+        inst = Instance.from_rows(schema, {"T": [(1, "x", 10), (2, "x", 99)]})
+        fd = FunctionalDependency("T", lhs=[0], rhs=[1, 2])
+        assert holds(inst, [fd])  # primary key enforced on insert
+
+    def test_unknown_relation_rejected(self, schema):
+        inst = Instance(schema)
+        with pytest.raises(SchemaError):
+            violations(inst, [FunctionalDependency("Z", [0], [1])])
+
+    def test_position_out_of_range_rejected(self, schema):
+        inst = Instance(schema)
+        with pytest.raises(SchemaError):
+            violations(inst, [FunctionalDependency("T", [0], [7])])
+
+    def test_fig1_journal_topic_fd(self, fig1_instance):
+        # (Journal, Topic) -> Papers holds on Fig. 1's T2
+        fd = FunctionalDependency("T2", lhs=[0, 1], rhs=[2])
+        assert holds(fig1_instance, [fd])
+        # Journal -> Topic does NOT hold (TKDE covers XML and CUBE)
+        bad = FunctionalDependency("T2", lhs=[0], rhs=[1])
+        assert not holds(fig1_instance, [bad])
+
+
+class TestClosure:
+    def test_transitive_closure(self):
+        fds = [
+            FunctionalDependency("T", [0], [1]),
+            FunctionalDependency("T", [1], [2]),
+        ]
+        assert attribute_closure("T", [0], fds) == {0, 1, 2}
+
+    def test_other_relations_ignored(self):
+        fds = [FunctionalDependency("U", [0], [1])]
+        assert attribute_closure("T", [0], fds) == {0}
+
+    def test_composite_lhs_needs_all(self):
+        fds = [FunctionalDependency("T", [0, 1], [2])]
+        assert attribute_closure("T", [0], fds) == {0}
+        assert attribute_closure("T", [0, 1], fds) == {0, 1, 2}
+
+
+class TestDiscovery:
+    def test_discovers_planted_fd(self, schema):
+        inst = Instance.from_rows(
+            schema, {"T": [(1, "x", 10), (2, "x", 10), (3, "y", 20)]}
+        )
+        found = discover_fds(inst, "T", max_lhs=1)
+        assert FunctionalDependency("T", [1], [2]) in found
+
+    def test_minimality(self, schema):
+        # b -> c holds, so {a, b} -> c must not be reported
+        inst = Instance.from_rows(
+            schema, {"T": [(1, "x", 10), (2, "x", 10), (3, "y", 20)]}
+        )
+        found = discover_fds(inst, "T", max_lhs=2)
+        assert FunctionalDependency("T", [0, 1], [2]) not in found
+
+    def test_all_discovered_fds_hold(self, fig1_instance):
+        for relation in ("T1", "T2"):
+            for fd in discover_fds(fig1_instance, relation, max_lhs=2):
+                assert holds(fig1_instance, [fd])
+
+    def test_key_discovered(self, schema):
+        inst = Instance.from_rows(schema, {"T": [(1, "x", 10), (2, "y", 20)]})
+        found = discover_fds(inst, "T", max_lhs=1)
+        assert FunctionalDependency("T", [0], [1]) in found
+        assert FunctionalDependency("T", [0], [2]) in found

@@ -1,0 +1,130 @@
+"""Tests for the conjunctive-query evaluation engine."""
+
+import pytest
+
+from repro.relational import (
+    Fact,
+    Instance,
+    evaluate,
+    parse_query,
+    result_tuples,
+)
+from repro.relational.parser import infer_schema
+from repro.relational.schema import Key, RelationSchema, Schema
+
+
+@pytest.fixture
+def join_schema():
+    return Schema(
+        [
+            RelationSchema("A", ("k", "x")),
+            RelationSchema("B", ("k", "x")),
+        ]
+    )
+
+
+class TestBasicEvaluation:
+    def test_single_atom_scan(self, join_schema):
+        q = parse_query("Q(k, x) :- A(k, x)", join_schema)
+        inst = Instance.from_rows(join_schema, {"A": [(1, 2), (3, 4)]})
+        assert result_tuples(q, inst) == {(1, 2), (3, 4)}
+
+    def test_join_on_shared_variable(self, join_schema):
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", join_schema)
+        inst = Instance.from_rows(
+            join_schema,
+            {"A": [(1, "x"), (2, "y")], "B": [(10, "x"), (11, "z")]},
+        )
+        assert result_tuples(q, inst) == {(1, 10)}
+
+    def test_projection_deduplicates(self, join_schema):
+        q = parse_query("Q(j) :- A(a, j)", join_schema)
+        inst = Instance.from_rows(join_schema, {"A": [(1, "x"), (2, "x")]})
+        assert result_tuples(q, inst) == {("x",)}
+        # but matches are distinct per witness:
+        assert len(evaluate(q, inst)) == 2
+
+    def test_constant_selection(self, join_schema):
+        q = parse_query("Q(k) :- A(k, 'x')", join_schema)
+        inst = Instance.from_rows(join_schema, {"A": [(1, "x"), (2, "y")]})
+        assert result_tuples(q, inst) == {(1,)}
+
+    def test_repeated_variable_in_atom(self, join_schema):
+        q = parse_query("Q(k) :- A(k, k)", join_schema)
+        inst = Instance.from_rows(join_schema, {"A": [(1, 1), (2, 3)]})
+        assert result_tuples(q, inst) == {(1,)}
+
+    def test_empty_result(self, join_schema):
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", join_schema)
+        inst = Instance.from_rows(join_schema, {"A": [(1, "x")], "B": []})
+        assert result_tuples(q, inst) == set()
+
+    def test_cross_product(self, join_schema):
+        q = parse_query("Q(a, b) :- A(a, x), B(b, y)", join_schema)
+        inst = Instance.from_rows(
+            join_schema, {"A": [(1, "p"), (2, "q")], "B": [(7, "r")]}
+        )
+        assert result_tuples(q, inst) == {(1, 7), (2, 7)}
+
+
+class TestSelfJoins:
+    def test_self_join_path(self):
+        schema = infer_schema(["Q(a, b, c) :- E(a, b), E(b, c)"])
+        # E's default key is position 0 — one outgoing edge per node.
+        q = parse_query("Q(a, b, c) :- E(a, b), E(b, c)", schema)
+        inst = Instance.from_rows(schema, {"E": [(1, 2), (2, 3)]})
+        assert result_tuples(q, inst) == {(1, 2, 3)}
+
+    def test_self_join_witness_uses_same_fact_twice(self):
+        schema = infer_schema(["Q(a, b) :- E(a, b), E(a, b)"])
+        q = parse_query("Q(a, b) :- E(a, b), E(a, b)", schema)
+        inst = Instance.from_rows(schema, {"E": [(1, 1)]})
+        matches = evaluate(q, inst)
+        assert len(matches) == 1
+        assert matches[0].witness == (Fact("E", (1, 1)), Fact("E", (1, 1)))
+
+
+class TestWitnesses:
+    def test_witness_matches_atoms_in_body_order(self, join_schema):
+        q = parse_query("Q(a, b) :- A(a, j), B(b, j)", join_schema)
+        inst = Instance.from_rows(
+            join_schema, {"A": [(1, "x")], "B": [(10, "x")]}
+        )
+        (match,) = evaluate(q, inst)
+        assert match.witness == (Fact("A", (1, "x")), Fact("B", (10, "x")))
+        assert match.head == (1, 10)
+
+    def test_assignment_binds_all_body_variables(self, join_schema):
+        q = parse_query("Q(a) :- A(a, j), B(b, j)", join_schema)
+        inst = Instance.from_rows(
+            join_schema, {"A": [(1, "x")], "B": [(10, "x")]}
+        )
+        (match,) = evaluate(q, inst)
+        assert len(match.assignment) == 3  # a, j, b
+
+
+class TestFig1:
+    def test_q3_result(self, fig1_instance, fig1_q3):
+        expected = {
+            ("Joe", "CUBE"),
+            ("Joe", "XML"),
+            ("Tom", "CUBE"),
+            ("Tom", "XML"),
+            ("John", "CUBE"),
+            ("John", "XML"),
+        }
+        assert result_tuples(fig1_q3, fig1_instance) == expected
+
+    def test_q4_result_has_seven_tuples(self, fig1_instance, fig1_q4):
+        result = result_tuples(fig1_q4, fig1_instance)
+        assert len(result) == 7
+        assert ("John", "TODS", "XML") in result
+
+    def test_evaluation_after_deletion_shrinks(self, fig1_instance, fig1_q3):
+        smaller = fig1_instance.without(
+            [Fact("T1", ("John", "TKDE")), Fact("T1", ("John", "TODS"))]
+        )
+        result = result_tuples(fig1_q3, smaller)
+        assert ("John", "XML") not in result
+        assert ("John", "CUBE") not in result
+        assert ("Joe", "XML") in result

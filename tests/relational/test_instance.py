@@ -1,0 +1,127 @@
+"""Tests for repro.relational.instance."""
+
+import pytest
+
+from repro.errors import InstanceError, SchemaError
+from repro.relational.instance import Instance
+from repro.relational.schema import Key, RelationSchema, Schema
+from repro.relational.tuples import Fact
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            RelationSchema("T", ("k", "v"), Key((0,))),
+            RelationSchema("U", ("a", "b"), Key((0, 1))),
+        ]
+    )
+
+
+class TestInsertion:
+    def test_add_and_contains(self, schema):
+        inst = Instance(schema)
+        fact = Fact("T", ("k1", "v1"))
+        inst.add(fact)
+        assert fact in inst
+        assert len(inst) == 1
+
+    def test_primary_key_violation(self, schema):
+        inst = Instance(schema)
+        inst.add(Fact("T", ("k1", "v1")))
+        with pytest.raises(InstanceError, match="primary-key violation"):
+            inst.add(Fact("T", ("k1", "other")))
+
+    def test_reinsert_same_fact_is_idempotent(self, schema):
+        inst = Instance(schema)
+        inst.add(Fact("T", ("k1", "v1")))
+        inst.add(Fact("T", ("k1", "v1")))
+        assert len(inst) == 1
+
+    def test_composite_key_allows_shared_prefix(self, schema):
+        inst = Instance(schema)
+        inst.add(Fact("U", ("a", "b1")))
+        inst.add(Fact("U", ("a", "b2")))
+        assert len(inst) == 2
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(InstanceError):
+            Instance(schema).add(Fact("T", ("only",)))
+
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Instance(schema).add(Fact("Z", ("x",)))
+
+
+class TestRemoval:
+    def test_remove(self, schema):
+        inst = Instance(schema)
+        fact = Fact("T", ("k1", "v1"))
+        inst.add(fact)
+        inst.remove(fact)
+        assert fact not in inst
+        # the key slot is freed:
+        inst.add(Fact("T", ("k1", "v2")))
+
+    def test_remove_absent_raises(self, schema):
+        with pytest.raises(InstanceError):
+            Instance(schema).remove(Fact("T", ("k1", "v1")))
+
+    def test_discard_returns_presence(self, schema):
+        inst = Instance(schema)
+        fact = Fact("T", ("k1", "v1"))
+        assert inst.discard(fact) is False
+        inst.add(fact)
+        assert inst.discard(fact) is True
+
+
+class TestLookupAndAlgebra:
+    def test_lookup_by_key(self, schema):
+        inst = Instance(schema)
+        fact = Fact("T", ("k1", "v1"))
+        inst.add(fact)
+        assert inst.lookup_by_key("T", ("k1",)) == fact
+        assert inst.lookup_by_key("T", ("nope",)) is None
+
+    def test_without_is_nondestructive(self, schema):
+        inst = Instance(schema)
+        f1, f2 = Fact("T", ("k1", "v1")), Fact("T", ("k2", "v2"))
+        inst.add(f1)
+        inst.add(f2)
+        smaller = inst.without([f1])
+        assert f1 in inst and f1 not in smaller and f2 in smaller
+
+    def test_without_ignores_absent_facts(self, schema):
+        inst = Instance(schema)
+        inst.add(Fact("T", ("k1", "v1")))
+        assert len(inst.without([Fact("T", ("zz", "zz"))])) == 1
+
+    def test_copy_equality(self, schema):
+        inst = Instance(schema)
+        inst.add(Fact("T", ("k1", "v1")))
+        assert inst.copy() == inst
+
+    def test_issubinstance(self, schema):
+        inst = Instance(schema)
+        f1, f2 = Fact("T", ("k1", "v1")), Fact("T", ("k2", "v2"))
+        inst.add(f1)
+        inst.add(f2)
+        assert inst.without([f2]).issubinstance(inst)
+        assert not inst.issubinstance(inst.without([f2]))
+
+    def test_from_rows_and_sizes(self, schema):
+        inst = Instance.from_rows(
+            schema, {"T": [("k1", "v1")], "U": [("a", "b"), ("a", "c")]}
+        )
+        assert inst.relation_sizes() == {"T": 1, "U": 2}
+        assert inst.facts() == {
+            Fact("T", ("k1", "v1")),
+            Fact("U", ("a", "b")),
+            Fact("U", ("a", "c")),
+        }
+
+    def test_iteration_is_deterministic(self, schema):
+        inst = Instance.from_rows(
+            schema, {"T": [("k2", "v"), ("k1", "v")]}
+        )
+        assert [f.values[0] for f in inst] == ["k1", "k2"]

@@ -1,0 +1,171 @@
+"""Tests for incremental view maintenance."""
+
+import random
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational import Fact, MaintainedView, MaintainedViewSet, result_tuples
+from repro.workloads import random_chain_problem, random_star_problem
+
+
+class TestMaintainedView:
+    def test_initial_contents_match_evaluation(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        assert view.tuples() == result_tuples(fig1_q3, fig1_instance)
+        assert len(view) == 6
+
+    def test_support_counts_witnesses(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        assert view.support(("John", "XML")) == 2  # TKDE and TODS paths
+        assert view.support(("Joe", "XML")) == 1
+        assert view.support(("Nobody", "XML")) == 0
+
+    def test_single_deletion_propagates(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        removed = view.delete_fact(Fact("T2", ("TODS", "XML", 30)))
+        # (John, XML) still alive via TKDE
+        assert removed == frozenset()
+        assert view.support(("John", "XML")) == 1
+
+    def test_tuple_disappears_when_support_reaches_zero(
+        self, fig1_instance, fig1_q3
+    ):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        view.delete_fact(Fact("T2", ("TODS", "XML", 30)))
+        removed = view.delete_fact(Fact("T1", ("John", "TKDE")))
+        assert ("John", "XML") in removed
+        assert ("John", "CUBE") in removed
+        assert ("John", "XML") not in view
+
+    def test_double_deletion_rejected(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        fact = Fact("T1", ("John", "TKDE"))
+        view.delete_fact(fact)
+        with pytest.raises(InstanceError):
+            view.delete_fact(fact)
+
+    def test_unrelated_fact_deletion_is_noop(self, fig1_instance, fig1_q4):
+        view = MaintainedView(fig1_q4, fig1_instance)
+        before = view.tuples()
+        removed = view.delete_fact(Fact("T2", ("TKDE", "CUBE", 30)))
+        assert removed == {("Joe", "TKDE", "CUBE"), ("Tom", "TKDE", "CUBE"),
+                           ("John", "TKDE", "CUBE")}
+        assert view.tuples() == before - removed
+
+
+class TestInsertions:
+    def test_insertion_creates_join_results(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        appeared = view.add_fact(Fact("T1", ("Ada", "TODS")))
+        assert appeared == {("Ada", "XML")}
+        assert ("Ada", "XML") in view
+
+    def test_insertion_raises_support_of_existing_tuple(
+        self, fig1_instance, fig1_q3
+    ):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        before = view.support(("Joe", "XML"))
+        appeared = view.add_fact(Fact("T1", ("Joe", "TODS")))
+        assert appeared == frozenset()  # (Joe, XML) already present
+        assert view.support(("Joe", "XML")) == before + 1
+
+    def test_insert_then_delete_round_trip(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        baseline = view.tuples()
+        fact = Fact("T1", ("Ada", "TODS"))
+        view.add_fact(fact)
+        removed = view.delete_fact(fact)
+        assert removed == {("Ada", "XML")}
+        assert view.tuples() == baseline
+
+    def test_delete_then_reinsert_restores(self, fig1_instance, fig1_q4):
+        view = MaintainedView(fig1_q4, fig1_instance)
+        fact = Fact("T1", ("John", "TODS"))
+        view.delete_fact(fact)
+        assert ("John", "TODS", "XML") not in view
+        appeared = view.add_fact(fact)
+        assert ("John", "TODS", "XML") in appeared
+
+    def test_primary_key_still_enforced(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        with pytest.raises(InstanceError):
+            view.add_fact(Fact("T2", ("TKDE", "XML", 999)))
+
+    def test_self_join_insertion(self):
+        from repro.relational import parse_query, Instance
+
+        q = parse_query("Q(a, b, c) :- E(a, b), E(b, c)")
+        inst = Instance.from_rows(q.schema, {"E": [(1, 2)]})
+        view = MaintainedView(q, inst)
+        assert len(view) == 0
+        appeared = view.add_fact(Fact("E", (2, 3)))
+        assert appeared == {(1, 2, 3)}
+        # a self-looping edge joins with itself
+        appeared = view.add_fact(Fact("E", (7, 7)))
+        assert (7, 7, 7) in appeared
+
+
+class TestAgainstReevaluation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_deletion_streams_match_scratch_evaluation(self, seed):
+        rng = random.Random(seed)
+        problem = (
+            random_chain_problem(rng)
+            if seed % 2
+            else random_star_problem(rng)
+        )
+        views = MaintainedViewSet(problem.queries, problem.instance)
+        facts = sorted(problem.instance.facts())
+        deleted: list[Fact] = []
+        for fact in rng.sample(facts, len(facts) // 2):
+            views.delete_fact(fact)
+            deleted.append(fact)
+            remaining = problem.instance.without(deleted)
+            for query in problem.queries:
+                assert views.view(query.name).tuples() == result_tuples(
+                    query, remaining
+                )
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_mixed_update_streams_match_scratch_evaluation(self, seed):
+        """Interleaved deletions and re-insertions stay consistent with
+        from-scratch evaluation at every step."""
+        rng = random.Random(seed)
+        problem = random_chain_problem(rng)
+        views = MaintainedViewSet(problem.queries, problem.instance)
+        current = problem.instance.copy()
+        pool = sorted(problem.instance.facts())
+        outside: list[Fact] = []
+        for _ in range(12):
+            if outside and rng.random() < 0.5:
+                fact = outside.pop(rng.randrange(len(outside)))
+                views.add_fact(fact)
+                current.add(fact)
+            else:
+                inside = sorted(current.facts())
+                fact = inside[rng.randrange(len(inside))]
+                views.delete_fact(fact)
+                current.remove(fact)
+                outside.append(fact)
+            for query in problem.queries:
+                assert views.view(query.name).tuples() == result_tuples(
+                    query, current
+                )
+
+    def test_batch_equals_stream(self, fig1_instance, fig1_q3, fig1_q4):
+        facts = [
+            Fact("T1", ("John", "TKDE")),
+            Fact("T2", ("TODS", "XML", 30)),
+        ]
+        stream = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
+        for fact in facts:
+            stream.delete_fact(fact)
+        batch = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
+        batch.delete_facts(facts)
+        for name in ("Q3", "Q4"):
+            assert stream.view(name).tuples() == batch.view(name).tuples()
+
+    def test_total_size(self, fig1_instance, fig1_q3, fig1_q4):
+        views = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
+        assert views.total_size() == 13

@@ -1,0 +1,129 @@
+"""Tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.cq import Constant, Variable
+from repro.relational.parser import infer_schema, parse_queries, parse_query
+
+
+class TestParsing:
+    def test_basic_query(self):
+        q = parse_query("Q(x, z) :- T1(x, y), T2(y, z)")
+        assert q.name == "Q"
+        assert q.head == (Variable("x"), Variable("z"))
+        assert [a.relation for a in q.body] == ["T1", "T2"]
+
+    def test_alternative_arrow(self):
+        q = parse_query("Q(x) <- T(x)")
+        assert q.name == "Q"
+
+    def test_single_quoted_constant(self):
+        q = parse_query("Q(x) :- T(x, 'abc')")
+        assert q.body[0].terms[1] == Constant("abc")
+
+    def test_double_quoted_constant(self):
+        q = parse_query('Q(x) :- T(x, "abc")')
+        assert q.body[0].terms[1] == Constant("abc")
+
+    def test_integer_constant(self):
+        q = parse_query("Q(x) :- T(x, 30)")
+        assert q.body[0].terms[1] == Constant(30)
+
+    def test_float_constant(self):
+        q = parse_query("Q(x) :- T(x, 3.5)")
+        assert q.body[0].terms[1] == Constant(3.5)
+
+    def test_negative_number(self):
+        q = parse_query("Q(x) :- T(x, -2)")
+        assert q.body[0].terms[1] == Constant(-2)
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q ( x )   :-   T ( x , y ) ")
+        assert q.arity == 1
+
+    def test_constants_in_head(self):
+        q = parse_query("Q(x, 'tag') :- T(x)")
+        assert q.head[1] == Constant("tag")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Q(x)",  # no body
+            "Q(x) :-",  # empty body
+            "Q(x) :- T(x,)",  # trailing comma
+            "Q x :- T(x)",  # missing parens
+            "Q(x) :- T(x) T(y)",  # missing comma
+            "Q() :- T(x)",  # empty head terms
+            "Q(x) :- T(x) @",  # stray token
+        ],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+
+class TestStarKeySyntax:
+    def test_starred_positions_become_keys(self):
+        q = parse_query("Q1(y1, y2, w) :- T1(x, *y1, z), T2(x, *y2, w)")
+        assert q.schema.relation("T1").key.positions == (1,)
+        assert q.schema.relation("T2").key.positions == (1,)
+        assert q.is_key_preserving()
+
+    def test_composite_star_key(self):
+        q = parse_query("Q(x, y) :- T(*x, *y, z)")
+        assert q.schema.relation("T").key.positions == (0, 1)
+
+    def test_star_on_constant_allowed(self):
+        q = parse_query("Q(y) :- T(*'fixed', y)")
+        assert q.schema.relation("T").key.positions == (0,)
+
+    def test_star_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(*x) :- T(x, y)")
+
+    def test_inconsistent_stars_rejected(self):
+        with pytest.raises(ParseError, match="starred"):
+            parse_queries(["Q(x, y) :- T(*x, y)", "P(x, y) :- T(x, *y)"])
+
+    def test_stars_validated_against_explicit_schema(self):
+        schema = infer_schema(["Q(x, y) :- T(x, y)"])  # key = (0,)
+        with pytest.raises(ParseError, match="stars"):
+            parse_query("Q(x, y) :- T(x, *y)", schema)
+
+    def test_matching_stars_with_explicit_schema_ok(self):
+        schema = infer_schema(["Q(x, y) :- T(x, y)"])
+        q = parse_query("Q(x, y) :- T(*x, y)", schema)
+        assert q.schema is schema
+
+    def test_keys_override_beats_stars(self):
+        schema = infer_schema(["Q(x, y) :- T(*x, y)"], keys={"T": (1,)})
+        assert schema.relation("T").key.positions == (1,)
+
+
+class TestSchemaInference:
+    def test_infer_arities(self):
+        schema = infer_schema(["Q(x) :- T1(x, y), T2(y)"])
+        assert schema.relation("T1").arity == 2
+        assert schema.relation("T2").arity == 1
+
+    def test_infer_default_key_is_first(self):
+        schema = infer_schema(["Q(x) :- T(x, y)"])
+        assert schema.relation("T").key.positions == (0,)
+
+    def test_infer_with_key_override(self):
+        schema = infer_schema(["Q(x, y) :- T(x, y)"], keys={"T": (0, 1)})
+        assert schema.relation("T").key.positions == (0, 1)
+
+    def test_inconsistent_arity_across_queries_rejected(self):
+        with pytest.raises(ParseError, match="arities"):
+            infer_schema(["Q(x) :- T(x)", "P(x, y) :- T(x, y)"])
+
+    def test_parse_queries_share_schema(self):
+        qs = parse_queries(
+            ["Q(x, y) :- T(x, y)", "P(x) :- T(x, y), U(y)"]
+        )
+        assert qs[0].schema is qs[1].schema
+        assert "U" in qs[0].schema

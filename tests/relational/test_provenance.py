@@ -1,0 +1,72 @@
+"""Tests for witness extraction and the inverted provenance index."""
+
+import pytest
+
+from repro.errors import NotKeyPreservingError
+from repro.relational import (
+    Fact,
+    inverted_index,
+    unique_witness_map,
+    witness_map,
+)
+
+
+class TestWitnessMap:
+    def test_fig1_q3_has_double_witness(self, fig1_instance, fig1_q3):
+        mapping = witness_map(fig1_q3, fig1_instance)
+        # (John, XML) is derivable via TKDE and via TODS.
+        assert len(mapping[("John", "XML")]) == 2
+
+    def test_fig1_q3_single_witness_tuple(self, fig1_instance, fig1_q3):
+        mapping = witness_map(fig1_q3, fig1_instance)
+        assert mapping[("Joe", "CUBE")] == [
+            frozenset(
+                {Fact("T1", ("Joe", "TKDE")), Fact("T2", ("TKDE", "CUBE", 30))}
+            )
+        ]
+
+    def test_witnesses_deduplicated(self, fig1_instance, fig1_q4):
+        mapping = witness_map(fig1_q4, fig1_instance)
+        for witnesses in mapping.values():
+            assert len(witnesses) == len(set(witnesses))
+
+
+class TestUniqueWitnessMap:
+    def test_key_preserving_query_has_unique_witnesses(
+        self, fig1_instance, fig1_q4
+    ):
+        mapping = unique_witness_map(fig1_q4, fig1_instance)
+        assert len(mapping) == 7
+        witness = mapping[("John", "TKDE", "XML")]
+        assert witness == frozenset(
+            {Fact("T1", ("John", "TKDE")), Fact("T2", ("TKDE", "XML", 30))}
+        )
+
+    def test_non_key_preserving_raises(self, fig1_instance, fig1_q3):
+        with pytest.raises(NotKeyPreservingError):
+            unique_witness_map(fig1_q3, fig1_instance)
+
+
+class TestInvertedIndex:
+    def test_fact_to_dependent_view_tuples(self, fig1_instance, fig1_q4):
+        mapping = unique_witness_map(fig1_q4, fig1_instance)
+        index = inverted_index({"Q4": mapping})
+        dependents = index[Fact("T1", ("John", "TKDE"))]
+        assert dependents == {
+            ("Q4", ("John", "TKDE", "XML")),
+            ("Q4", ("John", "TKDE", "CUBE")),
+        }
+
+    def test_index_covers_every_witness_fact(self, fig1_instance, fig1_q4):
+        mapping = unique_witness_map(fig1_q4, fig1_instance)
+        index = inverted_index({"Q4": mapping})
+        for head, witness in mapping.items():
+            for fact in witness:
+                assert ("Q4", head) in index[fact]
+
+    def test_multiple_views_share_index(self, fig1_instance, fig1_q4):
+        mapping = unique_witness_map(fig1_q4, fig1_instance)
+        index = inverted_index({"A": mapping, "B": mapping})
+        some_fact = Fact("T2", ("TODS", "XML", 30))
+        views = {view for view, _ in index[some_fact]}
+        assert views == {"A", "B"}

@@ -1,0 +1,54 @@
+"""Tests for ASCII rendering utilities."""
+
+from repro.relational import (
+    View,
+    render_instance,
+    render_queries,
+    render_relation,
+    render_view,
+)
+
+
+class TestRenderRelation:
+    def test_key_columns_starred(self, fig1_instance):
+        text = render_relation(fig1_instance, "T1")
+        header = text.splitlines()[1]
+        assert "*AuName" in header and "*Journal" in header
+
+    def test_rows_sorted_and_aligned(self, fig1_instance):
+        text = render_relation(fig1_instance, "T1")
+        lines = text.splitlines()
+        assert len(lines) == 3 + 4  # title, header, rule, 4 rows
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_empty_relation(self, chain_schema):
+        from repro.relational import Instance
+
+        text = render_relation(Instance(chain_schema), "R0")
+        assert "(empty)" in text
+
+
+class TestRenderInstance:
+    def test_all_relations_present(self, fig1_instance):
+        text = render_instance(fig1_instance)
+        assert "T1(" in text and "T2(" in text
+
+
+class TestRenderView:
+    def test_header_uses_head_variables(self, fig1_instance, fig1_q3):
+        text = render_view(View(fig1_q3, fig1_instance))
+        assert "x" in text.splitlines()[1]
+        assert "Q3" in text.splitlines()[0]
+
+    def test_row_count(self, fig1_instance, fig1_q3):
+        text = render_view(View(fig1_q3, fig1_instance))
+        assert len(text.splitlines()) == 3 + 6
+
+
+class TestRenderQueries:
+    def test_tags(self, fig1_q3, fig1_q4):
+        text = render_queries([fig1_q3, fig1_q4])
+        lines = text.splitlines()
+        assert "key-preserving" not in lines[0]
+        assert "key-preserving" in lines[1]
+        assert "sj-free" in lines[0]

@@ -1,0 +1,106 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Key, RelationSchema, Schema
+
+
+class TestKey:
+    def test_positions_sorted_and_deduplicated(self):
+        assert Key([2, 0, 2]).positions == (0, 2)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Key([])
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(SchemaError):
+            Key([-1])
+
+    def test_contains_and_len(self):
+        key = Key([0, 1])
+        assert 0 in key and 1 in key and 2 not in key
+        assert len(key) == 2
+
+    def test_validate_for_arity(self):
+        Key([0, 1]).validate_for_arity(2)
+        with pytest.raises(SchemaError):
+            Key([3]).validate_for_arity(2)
+
+
+class TestRelationSchema:
+    def test_default_key_is_first_position(self):
+        rel = RelationSchema("T", ("a", "b"))
+        assert rel.key.positions == (0,)
+
+    def test_arity(self):
+        assert RelationSchema("T", ("a", "b", "c")).arity == 3
+
+    def test_key_of_projects_key_values(self):
+        rel = RelationSchema("T", ("a", "b", "c"), Key((0, 2)))
+        assert rel.key_of(("x", "y", "z")) == ("x", "z")
+
+    def test_key_of_wrong_arity_raises(self):
+        rel = RelationSchema("T", ("a", "b"))
+        with pytest.raises(SchemaError):
+            rel.key_of(("only",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", ("a", "a"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", ())
+
+    def test_key_out_of_range_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", ("a",), Key((1,)))
+
+    def test_position_of(self):
+        rel = RelationSchema("T", ("a", "b"))
+        assert rel.position_of("b") == 1
+        with pytest.raises(SchemaError):
+            rel.position_of("zz")
+
+    def test_str_marks_key_columns(self):
+        rel = RelationSchema("T", ("a", "b"), Key((1,)))
+        assert str(rel) == "T(a, *b)"
+
+
+class TestSchema:
+    def test_iteration_preserves_insertion_order(self):
+        schema = Schema(
+            [RelationSchema("B", ("x",)), RelationSchema("A", ("y",))]
+        )
+        assert schema.names == ("B", "A")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([RelationSchema("T", ("a",))])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("T", ("b",)))
+
+    def test_lookup(self):
+        schema = Schema([RelationSchema("T", ("a",))])
+        assert schema.relation("T").arity == 1
+        assert "T" in schema and "U" not in schema
+        with pytest.raises(SchemaError):
+            schema.relation("U")
+
+    def test_equality(self):
+        a = Schema([RelationSchema("T", ("a",))])
+        b = Schema([RelationSchema("T", ("a",))])
+        c = Schema([RelationSchema("T", ("a", "b"))])
+        assert a == b
+        assert a != c
+
+    def test_as_mapping_is_a_copy(self):
+        schema = Schema([RelationSchema("T", ("a",))])
+        mapping = schema.as_mapping()
+        assert mapping["T"].name == "T"
+        assert len(schema) == 1

@@ -1,0 +1,58 @@
+"""Tests for repro.relational.tuples (facts)."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational.schema import Key, RelationSchema
+from repro.relational.tuples import Fact
+
+
+class TestFact:
+    def test_equality_and_hash(self):
+        a = Fact("T", ("x", 1))
+        b = Fact("T", ["x", 1])
+        c = Fact("U", ("x", 1))
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_immutable(self):
+        fact = Fact("T", ("x",))
+        with pytest.raises(AttributeError):
+            fact.relation = "U"
+
+    def test_arity_and_indexing(self):
+        fact = Fact("T", ("x", "y", "z"))
+        assert fact.arity == 3
+        assert fact[1] == "y"
+        assert list(fact) == ["x", "y", "z"]
+
+    def test_key_values(self):
+        rel = RelationSchema("T", ("a", "b", "c"), Key((0, 2)))
+        fact = Fact("T", ("x", "y", "z"))
+        assert fact.key_values(rel) == ("x", "z")
+
+    def test_key_values_wrong_relation_raises(self):
+        rel = RelationSchema("U", ("a",))
+        with pytest.raises(InstanceError):
+            Fact("T", ("x",)).key_values(rel)
+
+    def test_key_values_wrong_arity_raises(self):
+        rel = RelationSchema("T", ("a", "b"))
+        with pytest.raises(InstanceError):
+            Fact("T", ("x",)).key_values(rel)
+
+    def test_ordering_is_total_and_deterministic(self):
+        facts = [Fact("T", (2,)), Fact("S", (9,)), Fact("T", (1,))]
+        ordered = sorted(facts)
+        assert [f.relation for f in ordered] == ["S", "T", "T"]
+        assert ordered[1].values == (1,)
+
+    def test_ordering_mixed_types_does_not_crash(self):
+        assert sorted([Fact("T", ("a",)), Fact("T", (1,))])
+
+    def test_repr(self):
+        assert repr(Fact("T", ("x", 1))) == "T('x', 1)"
+
+    def test_usable_in_sets(self):
+        facts = {Fact("T", (1,)), Fact("T", (1,)), Fact("T", (2,))}
+        assert len(facts) == 2

@@ -1,0 +1,104 @@
+"""Tests for views, view sets, and deletions (ΔV)."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.relational import Deletion, View, ViewSet, ViewTuple
+
+
+@pytest.fixture
+def views(fig1_instance, fig1_q3, fig1_q4):
+    return ViewSet.materialize([fig1_q3, fig1_q4], fig1_instance)
+
+
+class TestView:
+    def test_materialization_sizes(self, views):
+        assert len(views.view("Q3")) == 6
+        assert len(views.view("Q4")) == 7
+
+    def test_width_is_query_arity(self, views):
+        assert views.view("Q3").width == 2
+        assert views.view("Q4").width == 3
+
+    def test_contains(self, views):
+        assert ("John", "XML") in views.view("Q3")
+        assert ("Nobody", "XML") not in views.view("Q3")
+
+    def test_witness_of_unique(self, views):
+        witness = views.view("Q4").witness_of(("John", "TODS", "XML"))
+        assert len(witness) == 2
+
+    def test_witness_of_ambiguous_raises(self, views):
+        with pytest.raises(ViewError):
+            views.view("Q3").witness_of(("John", "XML"))
+
+    def test_witnesses_of_unknown_tuple_raises(self, views):
+        with pytest.raises(ViewError):
+            views.view("Q3").witnesses_of(("Nobody", "XML"))
+
+    def test_view_tuples_sorted(self, views):
+        tuples = views.view("Q3").view_tuples()
+        assert tuples == sorted(tuples)
+        assert all(vt.view == "Q3" for vt in tuples)
+
+
+class TestViewSet:
+    def test_total_size_is_norm_v(self, views):
+        assert views.total_size() == 13
+
+    def test_max_arity_is_l(self, views):
+        assert views.max_arity() == 3
+
+    def test_duplicate_names_rejected(self, fig1_instance, fig1_q3):
+        view = View(fig1_q3, fig1_instance)
+        with pytest.raises(ViewError):
+            ViewSet([view, view])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ViewError):
+            ViewSet([])
+
+    def test_unknown_view_lookup_raises(self, views):
+        with pytest.raises(ViewError):
+            views.view("Nope")
+
+    def test_all_view_tuples_count(self, views):
+        assert len(views.all_view_tuples()) == 13
+
+
+class TestDeletion:
+    def test_valid_deletion(self, views):
+        deletion = Deletion(views, {"Q3": [("John", "XML")]})
+        assert deletion.total_size() == 1
+        assert ViewTuple("Q3", ("John", "XML")) in deletion
+
+    def test_non_view_tuple_rejected(self, views):
+        with pytest.raises(ViewError, match="non-view tuples"):
+            Deletion(views, {"Q3": [("Martian", "XML")]})
+
+    def test_unknown_view_rejected(self, views):
+        with pytest.raises(ViewError):
+            Deletion(views, {"Zed": [("x",)]})
+
+    def test_preserved_plus_deleted_partition(self, views):
+        deletion = Deletion(views, {"Q3": [("John", "XML")]})
+        preserved = deletion.preserved_view_tuples()
+        deleted = deletion.deleted_view_tuples()
+        assert len(preserved) + len(deleted) == views.total_size()
+        assert not set(preserved) & set(deleted)
+
+    def test_empty_deletion(self, views):
+        deletion = Deletion(views, {})
+        assert deletion.is_empty()
+        assert deletion.on("Q3") == frozenset()
+
+    def test_multi_view_deletion(self, views):
+        deletion = Deletion(
+            views,
+            {
+                "Q3": [("John", "XML")],
+                "Q4": [("John", "TODS", "XML")],
+            },
+        )
+        assert deletion.total_size() == 2
+        assert len(deletion.deleted_view_tuples()) == 2

@@ -1,0 +1,93 @@
+"""Tests for where-provenance (cell-level lineage)."""
+
+from repro.relational import Cell, Fact, annotate_cells, where_provenance
+from repro.relational.parser import parse_query
+
+
+class TestWhereProvenance:
+    def test_fig1_q3_author_cell(self, fig1_instance, fig1_q3):
+        provenance = where_provenance(fig1_q3, fig1_instance)
+        author_cells, topic_cells = provenance[("Joe", "CUBE")]
+        assert author_cells == {
+            Cell(Fact("T1", ("Joe", "TKDE")), 0)
+        }
+        assert topic_cells == {
+            Cell(Fact("T2", ("TKDE", "CUBE", 30)), 1)
+        }
+
+    def test_multi_derivation_unions_cells(self, fig1_instance, fig1_q3):
+        provenance = where_provenance(fig1_q3, fig1_instance)
+        author_cells, topic_cells = provenance[("John", "XML")]
+        # (John, XML) derives via TKDE and TODS: two author cells, two
+        # topic cells.
+        assert author_cells == {
+            Cell(Fact("T1", ("John", "TKDE")), 0),
+            Cell(Fact("T1", ("John", "TODS")), 0),
+        }
+        assert len(topic_cells) == 2
+
+    def test_constant_head_position_has_no_cells(self):
+        q = parse_query("Q(x, 'tag') :- T(x, y)")
+        from repro.relational import Instance
+
+        inst = Instance.from_rows(q.schema, {"T": [(1, 2)]})
+        provenance = where_provenance(q, inst)
+        cells_x, cells_tag = provenance[(1, "tag")]
+        assert cells_x and not cells_tag
+
+    def test_join_variable_copied_from_both_sides(self):
+        q = parse_query("Q(j) :- A(x, j), B(j, y)")
+        from repro.relational import Instance
+
+        inst = Instance.from_rows(
+            q.schema, {"A": [(1, "m")], "B": [("m", 9)]}
+        )
+        (cells,) = where_provenance(q, inst)[("m",)]
+        assert cells == {
+            Cell(Fact("A", (1, "m")), 1),
+            Cell(Fact("B", ("m", 9)), 0),
+        }
+
+    def test_cell_value_accessor(self):
+        cell = Cell(Fact("T", ("a", "b")), 1)
+        assert cell.value == "b"
+
+
+class TestAnnotateCells:
+    def test_annotation_reaches_both_witnesses(self, fig1_instance, fig1_q3):
+        annotated = annotate_cells(
+            fig1_q3,
+            fig1_instance,
+            {("John", "XML"): {1: "wrong-topic"}},
+        )
+        # the XML cell of both journal facts receives the annotation
+        assert annotated[Cell(Fact("T2", ("TKDE", "XML", 30)), 1)] == {
+            "wrong-topic"
+        }
+        assert annotated[Cell(Fact("T2", ("TODS", "XML", 30)), 1)] == {
+            "wrong-topic"
+        }
+
+    def test_unknown_view_tuple_ignored(self, fig1_instance, fig1_q3):
+        annotated = annotate_cells(
+            fig1_q3, fig1_instance, {("Martian", "XML"): {0: "x"}}
+        )
+        assert annotated == {}
+
+    def test_out_of_range_position_ignored(self, fig1_instance, fig1_q3):
+        annotated = annotate_cells(
+            fig1_q3, fig1_instance, {("Joe", "CUBE"): {99: "x"}}
+        )
+        assert annotated == {}
+
+    def test_multiple_annotations_accumulate(self, fig1_instance, fig1_q3):
+        annotated = annotate_cells(
+            fig1_q3,
+            fig1_instance,
+            {
+                ("Joe", "XML"): {0: "check-author"},
+                ("Joe", "CUBE"): {0: "verify"},
+            },
+        )
+        cell = Cell(Fact("T1", ("Joe", "TKDE")), 0)
+        assert annotated[cell] == {"check-author", "verify"}

@@ -1,0 +1,110 @@
+"""Tests for greedy covers and Peleg's LowDegTwo."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.setcover import (
+    RedBlueSetCover,
+    greedy_weighted_cover,
+    low_deg,
+    low_deg_bound,
+    low_deg_two,
+    solve_rbsc_exact,
+)
+from repro.workloads import figure2_rbsc, random_rbsc
+
+
+class TestGreedyWeightedCover:
+    def test_covers_all_blues(self):
+        inst = figure2_rbsc()
+        selection = greedy_weighted_cover(inst)
+        assert inst.is_feasible(selection)
+
+    def test_respects_allowed_subset(self):
+        inst = figure2_rbsc()
+        assert greedy_weighted_cover(inst, allowed=["C1"]) is None
+
+    def test_prefers_low_red_cost(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2", "r3"],
+            ["b"],
+            {"costly": ["r1", "r2", "r3", "b"], "cheap": ["b"]},
+        )
+        assert greedy_weighted_cover(inst) == ["cheap"]
+
+    def test_prefers_high_blue_coverage(self):
+        inst = RedBlueSetCover(
+            ["r"],
+            ["b1", "b2", "b3"],
+            {"wide": ["r", "b1", "b2", "b3"], "narrow": ["r", "b1"]},
+        )
+        # Both cost one red; wide covers 3 blues per red.
+        assert greedy_weighted_cover(inst) == ["wide"]
+
+
+class TestLowDeg:
+    def test_filter_excludes_heavy_sets(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2"],
+            ["b"],
+            {"heavy": ["r1", "r2", "b"], "light": ["r1", "b"]},
+        )
+        selection = low_deg(inst, tau=1)
+        assert selection == ["light"]
+
+    def test_too_strict_threshold_infeasible(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2"], ["b"], {"only": ["r1", "r2", "b"]}
+        )
+        assert low_deg(inst, tau=1) is None
+
+
+class TestLowDegTwo:
+    def test_feasible_on_fig2(self):
+        inst = figure2_rbsc()
+        selection, cost = low_deg_two(inst)
+        assert inst.is_feasible(selection)
+        assert cost == 1.0  # optimal here
+
+    def test_no_blues_trivial(self):
+        inst = RedBlueSetCover(["r"], [], {"C": ["r"]})
+        assert low_deg_two(inst) == ([], 0.0)
+
+    def test_infeasible_raises(self):
+        inst = RedBlueSetCover(["r"], ["b"], {"C": ["r"]})
+        with pytest.raises(SolverError):
+            low_deg_two(inst)
+
+    def test_ratio_within_bound_on_random_instances(self):
+        rng = random.Random(9)
+        for _ in range(12):
+            inst = random_rbsc(rng)
+            selection, cost = low_deg_two(inst)
+            assert inst.is_feasible(selection)
+            _, optimum = solve_rbsc_exact(inst)
+            bound = low_deg_bound(len(inst.sets), len(inst.blues))
+            if optimum > 0:
+                assert cost / optimum <= bound + 1e-9
+            else:
+                assert cost == 0.0
+
+    def test_weighted_instances(self):
+        rng = random.Random(10)
+        for _ in range(6):
+            inst = random_rbsc(rng, weighted=True)
+            selection, cost = low_deg_two(inst)
+            assert inst.is_feasible(selection)
+            _, optimum = solve_rbsc_exact(inst)
+            assert cost + 1e-9 >= optimum
+
+
+class TestBound:
+    def test_formula(self):
+        assert low_deg_bound(16, math.e) == pytest.approx(8.0)
+
+    def test_degenerate_values_clamped(self):
+        assert low_deg_bound(0, 10) == 1.0
+        assert low_deg_bound(1, 1) >= 1.0

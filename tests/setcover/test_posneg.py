@@ -1,0 +1,108 @@
+"""Tests for Positive-Negative Partial Set Cover and its RBSC reduction."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError
+from repro.setcover import (
+    PosNegPartialSetCover,
+    posneg_to_rbsc,
+    solve_posneg_exact,
+    solve_posneg_lowdeg,
+    solve_rbsc_exact,
+)
+from repro.workloads import random_posneg
+
+
+def tiny() -> PosNegPartialSetCover:
+    return PosNegPartialSetCover(
+        positives=["p1", "p2"],
+        negatives=["n1", "n2"],
+        sets={
+            "A": ["p1", "n1"],
+            "B": ["p2"],
+            "C": ["p1", "p2", "n1", "n2"],
+        },
+    )
+
+
+class TestInstance:
+    def test_cost_of_empty_selection_pays_all_positives(self):
+        assert tiny().cost([]) == 2.0
+
+    def test_cost_trades_positives_against_negatives(self):
+        inst = tiny()
+        assert inst.cost(["A", "B"]) == 1.0  # covers both p, one n
+        assert inst.cost(["C"]) == 2.0  # covers both p, two n
+        assert inst.cost(["B"]) == 1.0  # p1 uncovered
+
+    def test_weighted_negatives(self):
+        inst = PosNegPartialSetCover(
+            ["p"], ["n"], {"A": ["p", "n"]}, negative_weights={"n": 0.25}
+        )
+        assert inst.cost(["A"]) == 0.25
+
+    def test_positive_penalty(self):
+        inst = PosNegPartialSetCover(
+            ["p"], ["n"], {"A": ["n"]}, positive_penalty=3.0
+        )
+        assert inst.cost([]) == 3.0
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ReductionError):
+            PosNegPartialSetCover(["x"], ["x"], {})
+
+
+class TestReductionToRBSC:
+    def test_escape_sets_added(self):
+        rbsc = posneg_to_rbsc(tiny())
+        assert len(rbsc.sets) == 3 + 2  # one escape per positive
+        assert rbsc.blues == {"p1", "p2"}
+
+    def test_optima_agree(self):
+        inst = tiny()
+        _, rbsc_cost = solve_rbsc_exact(posneg_to_rbsc(inst))
+        _, pn_cost = solve_posneg_exact(inst)
+        assert rbsc_cost == pytest.approx(pn_cost)
+
+    def test_optima_agree_on_random_instances(self):
+        rng = random.Random(21)
+        for _ in range(8):
+            inst = random_posneg(rng)
+            _, rbsc_cost = solve_rbsc_exact(posneg_to_rbsc(inst))
+            _, pn_cost = solve_posneg_exact(inst)
+            assert rbsc_cost == pytest.approx(pn_cost)
+
+    def test_escape_reduction_always_feasible(self):
+        # Even a positive in no original set is coverable via escape.
+        inst = PosNegPartialSetCover(["p"], ["n"], {"A": ["n"]})
+        rbsc = posneg_to_rbsc(inst)
+        assert rbsc.feasibility_possible()
+
+
+class TestSolvers:
+    def test_exact_vs_lowdeg(self):
+        rng = random.Random(22)
+        for _ in range(8):
+            inst = random_posneg(rng)
+            _, exact_cost = solve_posneg_exact(inst)
+            _, approx_cost = solve_posneg_lowdeg(inst)
+            assert approx_cost + 1e-9 >= exact_cost
+
+    def test_selection_strips_escape_sets(self):
+        selection, _ = solve_posneg_lowdeg(tiny())
+        assert all(not name.startswith("__escape__") for name in selection)
+
+    def test_exact_on_weighted_penalty(self):
+        inst = PosNegPartialSetCover(
+            ["p"],
+            ["n"],
+            {"A": ["p", "n"]},
+            negative_weights={"n": 5.0},
+            positive_penalty=1.0,
+        )
+        selection, cost = solve_posneg_exact(inst)
+        # Covering p costs 5 (the negative); leaving it costs 1.
+        assert selection == []
+        assert cost == 1.0

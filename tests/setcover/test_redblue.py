@@ -1,0 +1,95 @@
+"""Tests for the Red-Blue Set Cover substrate."""
+
+import random
+
+import pytest
+
+from repro.errors import ReductionError, SolverError
+from repro.setcover import RedBlueSetCover, greedy_rbsc, solve_rbsc_exact
+from repro.workloads import figure2_rbsc, random_rbsc
+
+
+class TestInstance:
+    def test_disjointness_enforced(self):
+        with pytest.raises(ReductionError):
+            RedBlueSetCover(["x"], ["x"], {})
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ReductionError):
+            RedBlueSetCover(["r"], ["b"], {"C": ["zz"]})
+
+    def test_cost_counts_covered_red_weight(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2"],
+            ["b"],
+            {"C1": ["r1", "b"], "C2": ["r1", "r2"]},
+            red_weights={"r2": 5.0},
+        )
+        assert inst.cost(["C1"]) == 1.0
+        assert inst.cost(["C1", "C2"]) == 6.0
+
+    def test_red_covered_once(self):
+        inst = RedBlueSetCover(
+            ["r"], ["b1", "b2"], {"C1": ["r", "b1"], "C2": ["r", "b2"]}
+        )
+        assert inst.cost(["C1", "C2"]) == 1.0
+
+    def test_feasibility(self):
+        inst = figure2_rbsc()
+        assert inst.is_feasible(["C1", "C2", "C3"])
+        assert not inst.is_feasible(["C1"])
+        assert inst.feasibility_possible()
+
+    def test_red_degree(self):
+        inst = figure2_rbsc()
+        assert inst.red_degree("C1") == 1
+
+
+class TestExactSolver:
+    def test_fig2_optimum_is_one(self):
+        selection, cost = solve_rbsc_exact(figure2_rbsc())
+        assert cost == 1.0
+        assert set(selection) == {"C1", "C2", "C3"}
+
+    def test_prefers_cheap_cover(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2", "r3"],
+            ["b1", "b2"],
+            {
+                "expensive": ["r1", "r2", "r3", "b1", "b2"],
+                "cheap1": ["r1", "b1"],
+                "cheap2": ["r1", "b2"],
+            },
+        )
+        selection, cost = solve_rbsc_exact(inst)
+        assert cost == 1.0
+        assert set(selection) == {"cheap1", "cheap2"}
+
+    def test_zero_cost_cover(self):
+        inst = RedBlueSetCover(["r"], ["b"], {"free": ["b"], "paid": ["r", "b"]})
+        _, cost = solve_rbsc_exact(inst)
+        assert cost == 0.0
+
+    def test_infeasible_raises(self):
+        inst = RedBlueSetCover(["r"], ["b"], {"C": ["r"]})
+        with pytest.raises(SolverError):
+            solve_rbsc_exact(inst)
+
+    def test_weighted_optimum(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2"],
+            ["b"],
+            {"A": ["r1", "b"], "B": ["r2", "b"]},
+            red_weights={"r1": 10.0, "r2": 0.5},
+        )
+        selection, cost = solve_rbsc_exact(inst)
+        assert selection == ["B"]
+        assert cost == 0.5
+
+    def test_exact_never_beaten_by_greedy(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            inst = random_rbsc(rng)
+            _, exact_cost = solve_rbsc_exact(inst)
+            _, greedy_cost = greedy_rbsc(inst)
+            assert exact_cost <= greedy_cost + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.SchemaError,
+            errors.InstanceError,
+            errors.QueryError,
+            errors.ViewError,
+            errors.ProblemError,
+            errors.SolverError,
+            errors.ReductionError,
+        ],
+    )
+    def test_all_inherit_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_parse_error_is_query_error(self):
+        assert issubclass(errors.ParseError, errors.QueryError)
+
+    def test_not_key_preserving_is_query_error(self):
+        assert issubclass(errors.NotKeyPreservingError, errors.QueryError)
+
+    def test_structure_error_is_solver_error(self):
+        assert issubclass(errors.StructureError, errors.SolverError)
+
+    def test_serialization_error_is_repro_error(self):
+        from repro.io import SerializationError
+
+        assert issubclass(SerializationError, errors.ReproError)
+
+
+class TestCatchability:
+    def test_catching_base_catches_library_failures(self):
+        from repro.relational import parse_query
+
+        with pytest.raises(errors.ReproError):
+            parse_query("not a query at all !!!")
+
+    def test_solver_failures_catchable_as_base(self):
+        from repro.core import solve
+        from repro.workloads import figure1_problem_q4
+
+        with pytest.raises(errors.ReproError):
+            solve(figure1_problem_q4(), method="no-such-method")

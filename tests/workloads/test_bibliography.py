@@ -1,0 +1,75 @@
+"""Tests for the scaled bibliographic workload."""
+
+import random
+
+import pytest
+
+from repro.core import solve, solve_exact
+from repro.errors import ProblemError
+from repro.workloads import random_bibliography_problem
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = random_bibliography_problem(random.Random(5))
+        b = random_bibliography_problem(random.Random(5))
+        assert a.instance == b.instance
+        assert a.deletion.deleted_view_tuples() == b.deletion.deleted_view_tuples()
+
+    def test_fig1_shape(self, rng):
+        problem = random_bibliography_problem(rng)
+        names = {q.name for q in problem.queries}
+        assert names == {"Q3", "Q4"}
+        q4 = next(q for q in problem.queries if q.name == "Q4")
+        q3 = next(q for q in problem.queries if q.name == "Q3")
+        assert q4.is_key_preserving()
+        assert not q3.is_key_preserving()
+
+    def test_q4_only_variant_is_key_preserving(self, rng):
+        problem = random_bibliography_problem(rng, include_q3=False)
+        assert problem.is_key_preserving()
+
+    def test_sizes_respected(self, rng):
+        problem = random_bibliography_problem(
+            rng, num_authors=6, num_journals=3, venues_per_author=1
+        )
+        assert len(problem.instance.relation("T1")) == 6
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ProblemError):
+            random_bibliography_problem(rng, num_authors=0)
+
+    def test_deltas_are_q4_tuples(self, rng):
+        problem = random_bibliography_problem(rng)
+        for vt in problem.deleted_view_tuples():
+            assert vt.view == "Q4"
+
+
+class TestSolving:
+    def test_exact_solvable_and_feasible(self):
+        rng = random.Random(6)
+        problem = random_bibliography_problem(
+            rng, num_authors=6, num_journals=3, num_topics=3,
+            delta_fraction=0.1,
+        )
+        solution = solve_exact(problem)
+        assert solution.is_feasible()
+        assert solution.verify_by_reevaluation()
+
+    def test_auto_dispatch(self):
+        rng = random.Random(7)
+        problem = random_bibliography_problem(
+            rng, num_authors=5, num_journals=3, delta_fraction=0.1
+        )
+        solution = solve(problem)
+        assert solution.is_feasible()
+
+    def test_key_preserving_variant_uses_paper_algorithms(self):
+        rng = random.Random(8)
+        problem = random_bibliography_problem(
+            rng, num_authors=8, include_q3=False, delta_fraction=0.2
+        )
+        if problem.norm_delta_v > 1:
+            solution = solve(problem)
+            assert solution.method != "exact-bnb"
+            assert solution.is_feasible()

@@ -1,0 +1,75 @@
+"""Tests for the general hypertree workload generator."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    solve_dp_tree,
+    solve_exact,
+    solve_lowdeg_tree_sweep,
+    solve_primal_dual,
+)
+from repro.core.dp_tree import applies_to
+from repro.errors import ProblemError
+from repro.workloads import random_forest_problem
+
+
+class TestStructure:
+    def test_always_forest_case(self):
+        rng = random.Random(201)
+        for _ in range(8):
+            problem = random_forest_problem(rng)
+            assert problem.is_forest_case()
+            assert problem.is_key_preserving()
+            assert problem.is_project_free()
+
+    def test_deterministic(self):
+        a = random_forest_problem(random.Random(9))
+        b = random_forest_problem(random.Random(9))
+        assert a.instance == b.instance
+
+    def test_too_few_relations_rejected(self, rng):
+        with pytest.raises(ProblemError):
+            random_forest_problem(rng, num_relations=1)
+
+    def test_produces_both_pivot_and_non_pivot_shapes(self):
+        rng = random.Random(202)
+        outcomes = {applies_to(random_forest_problem(rng)) for _ in range(20)}
+        assert outcomes == {True, False}
+
+
+class TestAlgorithmsOnForest:
+    def test_primal_dual_within_l(self):
+        rng = random.Random(203)
+        for _ in range(8):
+            problem = random_forest_problem(rng)
+            approx = solve_primal_dual(problem)
+            optimum = solve_exact(problem)
+            assert approx.is_feasible()
+            if optimum.side_effect() > 0:
+                assert (
+                    approx.side_effect()
+                    <= problem.max_arity * optimum.side_effect() + 1e-9
+                )
+            else:
+                assert approx.side_effect() == 0.0
+
+    def test_sweep_feasible(self):
+        rng = random.Random(204)
+        for _ in range(6):
+            problem = random_forest_problem(rng)
+            assert solve_lowdeg_tree_sweep(problem).is_feasible()
+
+    def test_dp_exact_when_applicable(self):
+        rng = random.Random(205)
+        checked = 0
+        for _ in range(15):
+            problem = random_forest_problem(rng)
+            if not applies_to(problem):
+                continue
+            dp = solve_dp_tree(problem)
+            optimum = solve_exact(problem)
+            assert dp.side_effect() == pytest.approx(optimum.side_effect())
+            checked += 1
+        assert checked >= 3

@@ -1,0 +1,109 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.workloads import (
+    random_chain_problem,
+    random_cq,
+    random_general_problem,
+    random_posneg,
+    random_problem,
+    random_rbsc,
+    random_single_query_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            random_chain_problem,
+            random_star_problem,
+            random_triangle_problem,
+            random_problem,
+        ],
+    )
+    def test_same_seed_same_instance(self, generator):
+        a = generator(random.Random(7))
+        b = generator(random.Random(7))
+        assert a.instance == b.instance
+        assert [q.name for q in a.queries] == [q.name for q in b.queries]
+        assert a.deletion.deleted_view_tuples() == b.deletion.deleted_view_tuples()
+
+    def test_rbsc_determinism(self):
+        a = random_rbsc(random.Random(8))
+        b = random_rbsc(random.Random(8))
+        assert a.sets == b.sets
+
+
+class TestStructuralGuarantees:
+    def test_chain_is_key_preserving_project_free_forest(self, rng):
+        problem = random_chain_problem(rng)
+        assert problem.is_key_preserving()
+        assert problem.is_project_free()
+        assert problem.is_forest_case()
+
+    def test_star_is_forest(self, rng):
+        problem = random_star_problem(rng)
+        assert problem.is_key_preserving()
+        assert problem.is_forest_case()
+
+    def test_triangle_is_not_forest(self, rng):
+        problem = random_triangle_problem(rng)
+        assert problem.is_key_preserving()
+        assert not problem.is_forest_case()
+
+    def test_general_problem_has_multiple_views(self, rng):
+        problem = random_general_problem(rng)
+        assert len(problem.queries) >= 2
+        assert problem.is_project_free()
+
+    def test_deletions_nonempty(self, rng):
+        for _ in range(5):
+            assert random_problem(rng).norm_delta_v >= 1
+
+    def test_balanced_flag(self, rng):
+        problem = random_chain_problem(rng, balanced=True)
+        assert isinstance(problem, BalancedDeletionPropagationProblem)
+
+    def test_weighted_flag(self, rng):
+        problem = random_chain_problem(rng, weighted=True)
+        weights = {
+            problem.weight(vt) for vt in problem.preserved_view_tuples()
+        }
+        assert weights - {1.0}  # at least one non-default weight
+
+    def test_single_query_sizes(self, rng):
+        problem = random_single_query_problem(rng, num_atoms=3, delta_size=2)
+        assert len(problem.queries) == 1
+        assert len(problem.queries[0].body) == 3
+        assert 1 <= problem.norm_delta_v <= 2
+
+
+class TestRandomCQ:
+    def test_is_sj_free(self, rng):
+        q = random_cq(rng)
+        assert q.is_self_join_free()
+
+    def test_head_nonempty(self, rng):
+        for _ in range(10):
+            assert random_cq(rng).head_variables()
+
+    def test_atom_count(self, rng):
+        assert len(random_cq(rng, num_atoms=4).body) == 4
+
+
+class TestPosNegGenerator:
+    def test_every_positive_covered(self, rng):
+        inst = random_posneg(rng)
+        for p in inst.positives:
+            assert any(p in members for members in inst.sets.values())
+
+    def test_every_blue_coverable(self, rng):
+        inst = random_rbsc(rng)
+        assert inst.feasibility_possible()

@@ -1,0 +1,91 @@
+"""Golden regression suite: frozen instances with hand-verified optima.
+
+Every optimal solver must reproduce the known numbers; every
+approximation must be feasible and respect its proven bound on them.
+"""
+
+import pytest
+
+from repro.core import (
+    solve_dp_tree,
+    solve_exact,
+    solve_exact_bruteforce,
+    solve_exact_ilp,
+    solve_lowdeg_tree_sweep,
+    solve_lp_rounding,
+    solve_primal_dual,
+    solve_source_exact,
+    theorem4_bound,
+    verify_solution,
+)
+from repro.core.dp_tree import applies_to
+from repro.workloads.golden import GOLDEN_SCENARIOS
+
+SCENARIOS = {s.name: s for s in GOLDEN_SCENARIOS}
+IDS = sorted(SCENARIOS)
+
+
+@pytest.mark.parametrize("name", IDS)
+class TestGoldenOptima:
+    def test_exact_backends_agree_with_hand_verification(self, name):
+        scenario = SCENARIOS[name]
+        problem = scenario.build()
+        for solver in (solve_exact, solve_exact_bruteforce, solve_exact_ilp):
+            solution = solver(problem)
+            assert solution.is_feasible(), name
+            assert solution.side_effect() == pytest.approx(
+                scenario.optimal_side_effect
+            ), (name, solver.__name__)
+
+    def test_source_optimum(self, name):
+        scenario = SCENARIOS[name]
+        solution = solve_source_exact(scenario.build())
+        assert len(solution.deleted_facts) == scenario.optimal_deletions
+
+    def test_dp_when_in_class(self, name):
+        scenario = SCENARIOS[name]
+        problem = scenario.build()
+        assert applies_to(problem) == scenario.pivot_class
+        if scenario.pivot_class:
+            assert solve_dp_tree(problem).side_effect() == pytest.approx(
+                scenario.optimal_side_effect
+            )
+
+    def test_approximations_within_bounds(self, name):
+        scenario = SCENARIOS[name]
+        problem = scenario.build()
+        opt = scenario.optimal_side_effect
+        primal_dual = solve_primal_dual(problem)
+        assert primal_dual.is_feasible()
+        if opt == 0:
+            assert primal_dual.side_effect() == 0.0
+        else:
+            assert (
+                primal_dual.side_effect() <= problem.max_arity * opt + 1e-9
+            )
+        sweep = solve_lowdeg_tree_sweep(problem)
+        assert sweep.is_feasible()
+        if opt > 0:
+            assert sweep.side_effect() <= theorem4_bound(problem) * opt + 1e-9
+        rounding = solve_lp_rounding(problem)
+        assert rounding.is_feasible()
+
+    def test_optimum_verifies_on_sqlite(self, name):
+        scenario = SCENARIOS[name]
+        solution = solve_exact(scenario.build())
+        report = verify_solution(solution, backend="sqlite")
+        assert report.consistent and report.feasible
+
+
+class TestGoldenInventory:
+    def test_scenarios_have_unique_names(self):
+        assert len(IDS) == len(GOLDEN_SCENARIOS)
+
+    def test_all_scenarios_deterministic(self):
+        for scenario in GOLDEN_SCENARIOS:
+            a, b = scenario.build(), scenario.build()
+            assert a.instance == b.instance
+            assert (
+                a.deletion.deleted_view_tuples()
+                == b.deletion.deleted_view_tuples()
+            )

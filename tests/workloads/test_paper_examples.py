@@ -1,0 +1,79 @@
+"""Tests pinning the paper's verbatim examples."""
+
+import pytest
+
+from repro.relational import result_tuples
+from repro.workloads import (
+    figure1_instance,
+    figure1_problem,
+    figure1_problem_q4,
+    figure1_queries,
+    figure1_schema,
+    figure2_rbsc,
+    figure3_query_sets,
+)
+
+
+class TestFigure1:
+    def test_seven_source_tuples(self):
+        assert len(figure1_instance()) == 7
+
+    def test_q3_is_fig1c(self, fig1_instance, fig1_q3):
+        # Fig. 1(c) lists exactly six (AuName, Topic) pairs.
+        assert result_tuples(fig1_q3, fig1_instance) == {
+            ("Joe", "CUBE"),
+            ("Joe", "XML"),
+            ("Tom", "CUBE"),
+            ("Tom", "XML"),
+            ("John", "CUBE"),
+            ("John", "XML"),
+        }
+
+    def test_q4_is_fig1d(self, fig1_instance, fig1_q4):
+        # Fig. 1(d) lists exactly seven (AuName, Journal, Topic) rows.
+        assert result_tuples(fig1_q4, fig1_instance) == {
+            ("Joe", "TKDE", "CUBE"),
+            ("Joe", "TKDE", "XML"),
+            ("Tom", "TKDE", "CUBE"),
+            ("Tom", "TKDE", "XML"),
+            ("John", "TKDE", "CUBE"),
+            ("John", "TKDE", "XML"),
+            ("John", "TODS", "XML"),
+        }
+
+    def test_q3_not_key_preserving_q4_is(self):
+        schema = figure1_schema()
+        q3, q4 = figure1_queries(schema)
+        assert not q3.is_key_preserving()
+        assert q4.is_key_preserving()
+
+    def test_problem_objects_are_consistent(self):
+        assert figure1_problem().norm_delta_v == 1
+        assert figure1_problem_q4().norm_delta_v == 1
+
+
+class TestFigure2:
+    def test_instance_shape(self):
+        rbsc = figure2_rbsc()
+        assert rbsc.reds == {"r1"}
+        assert rbsc.blues == {"b1", "b2", "b3"}
+        assert len(rbsc.sets) == 3
+
+    def test_every_set_pairs_red_with_one_blue(self):
+        rbsc = figure2_rbsc()
+        for members in rbsc.sets.values():
+            assert len(members & rbsc.reds) == 1
+            assert len(members & rbsc.blues) == 1
+
+
+class TestFigure3:
+    def test_three_query_sets(self):
+        sets = figure3_query_sets()
+        assert set(sets) == {"Q1", "Q2", "Q3"}
+        assert [q.name for q in sets["Q1"]] == ["Q1", "Q3", "Q4", "Q5"]
+        assert [q.name for q in sets["Q3"]] == ["Q1", "Q2", "Q5"]
+
+    def test_queries_are_project_free(self):
+        for queries in figure3_query_sets().values():
+            for q in queries:
+                assert q.is_project_free()
