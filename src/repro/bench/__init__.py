@@ -16,12 +16,18 @@ from repro.bench.experiments import (
     e10_complexity_tables,
     e11_applications,
 )
-from repro.bench.harness import ExperimentResult, geometric_mean, timed
+from repro.bench.harness import (
+    ExperimentResult,
+    counter_rows,
+    geometric_mean,
+    timed,
+)
 from repro.bench.reporting import format_experiment, format_table
 
 __all__ = [
     "ExperimentResult",
     "all_experiments",
+    "counter_rows",
     "e10_complexity_tables",
     "e11_applications",
     "e12_extensions",

@@ -3,16 +3,18 @@
 The experiments in :mod:`repro.bench.experiments` all produce an
 :class:`ExperimentResult` — a structured record with the paper claim,
 the measured rows, and a pass/fail verdict — so benches and docs render
-them uniformly.
+them uniformly.  :func:`counter_rows` turns the solvers' oracle
+counters (:class:`repro.core.oracle.OracleCounters`) into the same row
+shape, so perf accounting rides through the identical rendering path.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["ExperimentResult", "timed", "geometric_mean"]
+__all__ = ["ExperimentResult", "timed", "geometric_mean", "counter_rows"]
 
 
 @dataclass
@@ -41,6 +43,23 @@ def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def counter_rows(
+    counters_by_label: Mapping[str, object],
+) -> list[dict]:
+    """Flatten a ``{label: OracleCounters}`` mapping into result rows.
+
+    Accepts anything with an ``as_dict()`` method (or a plain mapping),
+    so benches can record oracle accounting next to timings without
+    importing the oracle module themselves.
+    """
+    rows: list[dict] = []
+    for label, counters in counters_by_label.items():
+        as_dict = getattr(counters, "as_dict", None)
+        values = dict(as_dict()) if callable(as_dict) else dict(counters)
+        rows.append({"label": label, **values})
+    return rows
 
 
 def geometric_mean(values: Iterable[float]) -> float:

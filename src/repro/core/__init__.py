@@ -21,7 +21,12 @@ from repro.core.exact import solve_exact, solve_exact_bruteforce, solve_exact_il
 from repro.core.explain import coverage_of, explain_solution
 from repro.core.general import claim1_bound, solve_general
 from repro.core.greedy import solve_greedy_max_coverage, solve_greedy_min_damage
-from repro.core.local_search import improve, solve_with_local_search
+from repro.core.local_search import (
+    improve,
+    improve_reference,
+    solve_with_local_search,
+)
+from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.lowdeg_tree import (
     preserved_degree,
     solve_lowdeg_tree,
@@ -46,7 +51,12 @@ from repro.core.single_query import (
     solve_two_atom_mincut,
 )
 from repro.core.solution import Propagation
-from repro.core.statistics import WorkloadStatistics, workload_statistics
+from repro.core.statistics import (
+    SolverStatistics,
+    WorkloadStatistics,
+    solver_statistics,
+    workload_statistics,
+)
 from repro.core.verify import VerificationReport, verify_solution
 from repro.core.source_side_effect import (
     resilience,
@@ -57,6 +67,9 @@ from repro.core.source_side_effect import (
 
 __all__ = [
     "BalancedDeletionPropagationProblem",
+    "EliminationOracle",
+    "OracleCounters",
+    "SolverStatistics",
     "VerificationReport",
     "WorkloadStatistics",
     "DeletionPropagationProblem",
@@ -74,6 +87,7 @@ __all__ = [
     "coverage_of",
     "explain_solution",
     "improve",
+    "improve_reference",
     "lemma1_bound",
     "lp_rounding_bound",
     "minimum_deletion_size",
@@ -101,6 +115,7 @@ __all__ = [
     "solve_source_greedy",
     "solve_two_atom_mincut",
     "solve_with_local_search",
+    "solver_statistics",
     "source_cost",
     "theorem4_bound",
     "verdict",

@@ -14,13 +14,25 @@ approximation algorithms' quality in context:
 Both produce feasible solutions for key-preserving problems; neither has
 a meaningful worst-case guarantee, which is precisely what the paper's
 algorithms add.
+
+Both run on the :class:`~repro.core.oracle.EliminationOracle` with a
+lazy-invalidation priority queue: instead of rescanning every candidate
+each round, scores live in a heap and only the candidates whose
+dependents intersect the newly eliminated view tuples are rescored
+after a pick (their coverage/damage are the only ones that can have
+changed, since hit counts are monotone during greedy).  Stale heap
+entries carry an outdated version stamp and are skipped on pop, so the
+selection sequence is identical to the full-rescan originals.
 """
 
 from __future__ import annotations
 
+import heapq
+
 from repro.errors import NotKeyPreservingError
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
+from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
 
@@ -34,77 +46,112 @@ def _require_key_preserving(problem: DeletionPropagationProblem) -> None:
         )
 
 
-def _marginal_damage(
+def _newly_eliminated(
+    oracle: EliminationOracle, fact: Fact
+) -> list[ViewTuple]:
+    """View tuples whose hit count would go 0 → 1 when ``fact`` is
+    added (must be computed *before* the add)."""
+    return [
+        vt
+        for vt in oracle.problem.dependents(fact)
+        if oracle.hits(vt) == 0
+    ]
+
+
+def _affected_candidates(
     problem: DeletionPropagationProblem,
-    fact: Fact,
-    eliminated: set[ViewTuple],
-    delta: frozenset[ViewTuple],
-) -> float:
-    return sum(
-        problem.weight(vt)
-        for vt in problem.dependents(fact)
-        if vt not in delta and vt not in eliminated
-    )
+    newly: list[ViewTuple],
+    candidate_set: frozenset[Fact],
+) -> set[Fact]:
+    """Candidates whose coverage or damage can have changed: exactly
+    the facts occurring in a witness of a newly eliminated view tuple
+    (for key-preserving queries, ``vt ∈ dep(f) ⇔ f ∈ wit(vt)``)."""
+    affected: set[Fact] = set()
+    for vt in newly:
+        affected.update(problem.witness(vt))
+    return affected & candidate_set
 
 
 def solve_greedy_min_damage(
     problem: DeletionPropagationProblem,
+    counters: OracleCounters | None = None,
 ) -> Propagation:
     """Cheapest-fact-per-witness greedy."""
     _require_key_preserving(problem)
+    oracle = EliminationOracle(problem, (), counters=counters)
     delta = frozenset(problem.deleted_view_tuples())
-    eliminated: set[ViewTuple] = set()
-    deleted: set[Fact] = set()
-    remaining = sorted(delta)
-    while remaining:
-        # Choose the (ΔV tuple, fact) pair with the least marginal damage.
-        best: tuple[float, ViewTuple, Fact] | None = None
-        for vt in remaining:
-            if vt in eliminated:
+    candidate_set = frozenset(problem.candidate_facts())
+
+    # Heap of (damage, vt, fact, stamp) over every uncovered ΔV tuple
+    # and every fact of its witness — the same key the full rescan
+    # minimized.  version[fact] invalidates entries when the fact's
+    # damage may have changed.
+    version: dict[Fact, int] = {}
+    heap: list[tuple[float, ViewTuple, Fact, int]] = []
+    for vt in sorted(delta):
+        for fact in sorted(problem.witness(vt)):
+            heapq.heappush(
+                heap, (oracle.marginal_damage(fact), vt, fact, 0)
+            )
+
+    while oracle.uncovered_delta() and heap:
+        damage, vt, fact, stamp = heapq.heappop(heap)
+        if stamp != version.get(fact, 0) or oracle.hits(vt) > 0:
+            continue
+        newly = _newly_eliminated(oracle, fact)
+        oracle.add(fact)
+        # Only facts sharing a newly eliminated *preserved* view tuple
+        # can see their damage change; ΔV transitions are handled by
+        # the hits check on pop.
+        affected = _affected_candidates(
+            problem, [v for v in newly if v not in delta], candidate_set
+        )
+        for other in affected:
+            if other in oracle:
                 continue
-            for fact in sorted(problem.witness(vt)):
-                damage = _marginal_damage(problem, fact, eliminated, delta)
-                key = (damage, vt, fact)
-                if best is None or key < best:
-                    best = key
-        if best is None:
-            break
-        _, chosen_vt, chosen_fact = best
-        deleted.add(chosen_fact)
-        eliminated.update(problem.dependents(chosen_fact))
-        remaining = [vt for vt in remaining if vt not in eliminated]
-    return Propagation(problem, deleted, method="greedy-min-damage")
+            version[other] = version.get(other, 0) + 1
+            damage = oracle.marginal_damage(other)
+            for target in problem.dependents(other):
+                if target in delta and oracle.hits(target) == 0:
+                    heapq.heappush(
+                        heap, (damage, target, other, version[other])
+                    )
+    return oracle.to_propagation(method="greedy-min-damage")
 
 
 def solve_greedy_max_coverage(
     problem: DeletionPropagationProblem,
+    counters: OracleCounters | None = None,
 ) -> Propagation:
     """Best coverage-per-damage greedy."""
     _require_key_preserving(problem)
-    delta = frozenset(problem.deleted_view_tuples())
-    eliminated: set[ViewTuple] = set()
-    deleted: set[Fact] = set()
-    uncovered = set(delta)
-    candidates = problem.candidate_facts()
-    while uncovered:
-        best_fact: Fact | None = None
-        best_score = float("-inf")
-        for fact in candidates:
-            if fact in deleted:
+    oracle = EliminationOracle(problem, (), counters=counters)
+    candidate_set = frozenset(problem.candidate_facts())
+
+    # Max-heap of (-score, fact, stamp); ties break toward the smallest
+    # fact, matching the original scan over sorted candidates.
+    version: dict[Fact, int] = {}
+    heap: list[tuple[float, Fact, int]] = []
+
+    def _push(fact: Fact, stamp: int) -> None:
+        coverage = oracle.coverage(fact)
+        if coverage == 0:
+            return
+        score = coverage / (1.0 + oracle.marginal_damage(fact))
+        heapq.heappush(heap, (-score, fact, stamp))
+
+    for fact in problem.candidate_facts():
+        _push(fact, 0)
+
+    while oracle.uncovered_delta() and heap:
+        _, fact, stamp = heapq.heappop(heap)
+        if stamp != version.get(fact, 0) or fact in oracle:
+            continue
+        newly = _newly_eliminated(oracle, fact)
+        oracle.add(fact)
+        for other in _affected_candidates(problem, newly, candidate_set):
+            if other in oracle:
                 continue
-            coverage = sum(
-                1 for vt in problem.dependents(fact) if vt in uncovered
-            )
-            if coverage == 0:
-                continue
-            damage = _marginal_damage(problem, fact, eliminated, delta)
-            score = coverage / (1.0 + damage)
-            if score > best_score:
-                best_score = score
-                best_fact = fact
-        if best_fact is None:
-            break
-        deleted.add(best_fact)
-        eliminated.update(problem.dependents(best_fact))
-        uncovered -= problem.dependents(best_fact)
-    return Propagation(problem, deleted, method="greedy-max-coverage")
+            version[other] = version.get(other, 0) + 1
+            _push(other, version[other])
+    return oracle.to_propagation(method="greedy-max-coverage")

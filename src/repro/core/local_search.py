@@ -14,6 +14,15 @@ For balanced problems feasibility is not required, so *drop* and an
 additional **add** move (delete one more candidate fact) are evaluated
 directly against the balanced objective.
 
+Every candidate move is costed through the
+:class:`~repro.core.oracle.EliminationOracle` in O(dependents) delta
+time — the oracle is built once per :func:`improve` call and no full
+``eliminated_by`` pass happens inside the move loop (counter-verified
+by the benches).  :func:`improve_reference` keeps the original
+rebuild-per-trial implementation as the behavioral ground truth: both
+paths evaluate the identical move sequence, so their outputs match
+fact-for-fact, which the differential tests assert.
+
 :func:`solve_with_local_search` wraps any registered solver with an
 improvement pass — this is the ablation knob benchmarked in
 ``benchmarks/bench_ablation_local_search.py``.
@@ -25,79 +34,141 @@ from typing import Callable
 
 from repro.errors import NotKeyPreservingError
 from repro.relational.tuples import Fact
+from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
 from repro.core.solution import Propagation
 
-__all__ = ["improve", "solve_with_local_search"]
+__all__ = ["improve", "improve_reference", "solve_with_local_search"]
 
 _MAX_ROUNDS = 50
 
 
-def _objective(problem: DeletionPropagationProblem, facts: frozenset[Fact]) -> float:
-    return Propagation(problem, facts).objective()
-
-
-def _feasible(
-    problem: DeletionPropagationProblem, facts: frozenset[Fact]
-) -> bool:
-    return Propagation(problem, facts).is_feasible()
-
-
-def improve(solution: Propagation, max_rounds: int = _MAX_ROUNDS) -> Propagation:
-    """Iterate improving moves until a local optimum (or round limit).
-
-    The result is never worse than the input; for standard problems the
-    input must be feasible and the output stays feasible.
-    """
+def _check_start(solution: Propagation) -> bool:
+    """Validate the starting point; returns whether the problem is
+    balanced."""
     problem = solution.problem
     if not problem.is_key_preserving():
         raise NotKeyPreservingError("local search requires key-preserving queries")
     balanced = isinstance(problem, BalancedDeletionPropagationProblem)
     if not balanced and not solution.is_feasible():
         raise ValueError("local search needs a feasible starting solution")
+    return balanced
 
-    current = frozenset(solution.deleted_facts)
-    current_cost = _objective(problem, current)
+
+def improve(
+    solution: Propagation,
+    max_rounds: int = _MAX_ROUNDS,
+    counters: OracleCounters | None = None,
+) -> Propagation:
+    """Iterate improving moves until a local optimum (or round limit).
+
+    The result is never worse than the input; for standard problems the
+    input must be feasible and the output stays feasible.  Pass
+    ``counters`` to accumulate oracle statistics across calls.
+    """
+    balanced = _check_start(solution)
+    problem = solution.problem
+    oracle = EliminationOracle(problem, solution.deleted_facts, counters=counters)
+    current_cost = oracle.objective()
     candidates = problem.candidate_facts()
 
     for _ in range(max_rounds):
         improved = False
 
         # Drop moves.
-        for fact in sorted(current):
-            trial = current - {fact}
-            if not balanced and not _feasible(problem, trial):
+        for fact in sorted(oracle.deleted_facts):
+            if not balanced and not oracle.feasible_if_removed(fact):
                 continue
-            cost = _objective(problem, trial)
+            cost = oracle.objective_if_removed(fact)
             if cost <= current_cost:
                 # dropping never hurts; accept even at equal cost to
                 # shrink the deletion set
-                current, current_cost = trial, cost
+                oracle.remove(fact)
+                current_cost = cost
                 improved = True
         # Swap moves.
+        for fact in sorted(oracle.deleted_facts):
+            for replacement in candidates:
+                if replacement in oracle:
+                    continue
+                if not balanced and not oracle.feasible_if_swapped(
+                    fact, replacement
+                ):
+                    continue
+                cost = oracle.objective_if_swapped(fact, replacement)
+                if cost < current_cost:
+                    oracle.swap(fact, replacement)
+                    current_cost = cost
+                    improved = True
+                    break
+        # Add moves (balanced only: adding can pay off by covering ΔV).
+        if balanced:
+            for fact in candidates:
+                if fact in oracle:
+                    continue
+                cost = oracle.objective_if_added(fact)
+                if cost < current_cost:
+                    oracle.add(fact)
+                    current_cost = cost
+                    improved = True
+        if not improved:
+            break
+
+    return oracle.to_propagation(method=f"{solution.method}+local-search")
+
+
+def improve_reference(
+    solution: Propagation, max_rounds: int = _MAX_ROUNDS
+) -> Propagation:
+    """The pre-oracle implementation: every trial rebuilds a fresh
+    :class:`Propagation` (a full ``eliminated_by`` pass).  Kept as the
+    ground-truth twin of :func:`improve` for differential tests and the
+    speedup bench — the move sequence is identical by construction."""
+    balanced = _check_start(solution)
+    problem = solution.problem
+
+    def _objective(facts: frozenset[Fact]) -> float:
+        return Propagation(problem, facts).objective()
+
+    def _feasible(facts: frozenset[Fact]) -> bool:
+        return Propagation(problem, facts).is_feasible()
+
+    current = frozenset(solution.deleted_facts)
+    current_cost = _objective(current)
+    candidates = problem.candidate_facts()
+
+    for _ in range(max_rounds):
+        improved = False
+        for fact in sorted(current):
+            trial = current - {fact}
+            if not balanced and not _feasible(trial):
+                continue
+            cost = _objective(trial)
+            if cost <= current_cost:
+                current, current_cost = trial, cost
+                improved = True
         for fact in sorted(current):
             without = current - {fact}
             for replacement in candidates:
                 if replacement in current:
                     continue
                 trial = without | {replacement}
-                if not balanced and not _feasible(problem, trial):
+                if not balanced and not _feasible(trial):
                     continue
-                cost = _objective(problem, trial)
+                cost = _objective(trial)
                 if cost < current_cost:
                     current, current_cost = trial, cost
                     improved = True
                     break
-        # Add moves (balanced only: adding can pay off by covering ΔV).
         if balanced:
             for fact in candidates:
                 if fact in current:
                     continue
                 trial = current | {fact}
-                cost = _objective(problem, trial)
+                cost = _objective(trial)
                 if cost < current_cost:
                     current, current_cost = trial, cost
                     improved = True

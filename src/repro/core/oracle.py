@@ -1,0 +1,391 @@
+"""Incremental elimination oracle — the solver hot path.
+
+Every solver in this package reduces deletion propagation to covering
+over the unique witnesses of key-preserving queries, and the expensive
+inner question is always the same: *what happens to the objective if
+``ΔD`` gains or loses one fact?*  Answering it by rebuilding a full
+:class:`~repro.core.solution.Propagation` costs a pass over the whole
+witness structure per candidate move; :class:`EliminationOracle`
+answers it in ``O(|dependents(fact)|)`` instead.
+
+The counter scheme mirrors the counting-based view maintenance of
+:mod:`repro.relational.maintenance`, transposed from derivations to
+witnesses: for every view tuple ``r`` with unique witness ``wit(r)``
+the oracle maintains
+
+    ``hits[r] = |wit(r) ∩ ΔD|``
+
+so ``r`` is eliminated exactly when ``hits[r] > 0`` (key preservation:
+a view tuple survives iff its one witness survives intact).  Three
+aggregates ride on the transitions ``0 ↔ positive``:
+
+* ``side_effect`` — total weight of *preserved* view tuples with
+  positive hits (the paper's ``s_view``);
+* ``uncovered``   — number of ΔV tuples with zero hits (feasibility is
+  ``uncovered == 0``, condition (a) of Section II.C);
+* ``balanced_cost`` — ``delta_penalty·uncovered + side_effect``.
+
+Deleting or restoring a fact touches only its dependents, and the
+hypothetical queries (``objective_if_added`` and friends) inspect the
+same dependents without mutating anything, which is what turns the
+local-search move loop and the greedy selection loop from
+``O(full re-pass)`` per trial into ``O(dependents)`` per trial.
+
+:class:`OracleCounters` records how the work was answered —
+``oracle_hits`` (hypothetical O(dep) queries), ``delta_evaluations``
+(applied incremental updates) and ``full_reevaluations`` (passes over
+the complete witness structure) — and is surfaced through
+:func:`repro.core.statistics.solver_statistics` and the bench harness.
+
+:class:`~repro.core.solution.Propagation` remains the immutable result
+type; :meth:`EliminationOracle.to_propagation` exports the current
+state, and :meth:`EliminationOracle.verify` cross-checks the counters
+against the from-scratch accounting (and transitively against
+``verify_by_reevaluation``, the evaluation-level ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import NotKeyPreservingError, ProblemError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.solution import Propagation
+
+__all__ = ["EliminationOracle", "OracleCounters"]
+
+
+@dataclass
+class OracleCounters:
+    """Tallies of how elimination questions were answered.
+
+    ``oracle_hits`` counts hypothetical queries served from the live
+    counters in O(dependents) time; ``delta_evaluations`` counts applied
+    incremental updates (one per accepted move); ``full_reevaluations``
+    counts passes over the complete witness structure (one per oracle
+    build or explicit verification).
+    """
+
+    oracle_hits: int = 0
+    delta_evaluations: int = 0
+    full_reevaluations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "oracle_hits": self.oracle_hits,
+            "delta_evaluations": self.delta_evaluations,
+            "full_reevaluations": self.full_reevaluations,
+        }
+
+    def merge(self, other: "OracleCounters") -> "OracleCounters":
+        """Element-wise sum (for aggregating across solver stages)."""
+        return OracleCounters(
+            oracle_hits=self.oracle_hits + other.oracle_hits,
+            delta_evaluations=self.delta_evaluations + other.delta_evaluations,
+            full_reevaluations=self.full_reevaluations
+            + other.full_reevaluations,
+        )
+
+
+class EliminationOracle:
+    """Live support counters over the witness structure of a problem.
+
+    The oracle is bound to one (key-preserving)
+    :class:`DeletionPropagationProblem` and tracks a mutable deletion
+    set ``ΔD``; all objective and feasibility questions about
+    ``ΔD ± {fact}`` are answered in ``O(|dependents(fact)|)``.
+    """
+
+    def __init__(
+        self,
+        problem: DeletionPropagationProblem,
+        deleted: Iterable[Fact] = (),
+        counters: OracleCounters | None = None,
+    ):
+        if not problem.is_key_preserving():
+            raise NotKeyPreservingError(
+                "the elimination oracle requires key-preserving queries "
+                "(unique witnesses)"
+            )
+        self.problem = problem
+        self.counters = counters if counters is not None else OracleCounters()
+        self._balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+        self._penalty = getattr(problem, "delta_penalty", 1.0)
+        self._delta: frozenset[ViewTuple] = frozenset(
+            problem.deleted_view_tuples()
+        )
+        self._deleted: set[Fact] = set()
+        self._hits: dict[ViewTuple, int] = {}
+        self._side_effect: float = 0.0
+        self._uncovered: int = len(self._delta)
+        # Building the counters walks the full witness structure once
+        # (problem.dependents' index) — account it as a full pass.
+        self.counters.full_reevaluations += 1
+        for fact in sorted(deleted, key=lambda f: (f.relation, f.values)):
+            if fact in self._deleted:
+                continue
+            self._apply_add(fact)
+
+    # ------------------------------------------------------------------
+    # State observation
+    # ------------------------------------------------------------------
+
+    @property
+    def deleted_facts(self) -> frozenset[Fact]:
+        """The current ``ΔD`` (snapshot)."""
+        return frozenset(self._deleted)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._deleted
+
+    def __len__(self) -> int:
+        return len(self._deleted)
+
+    def hits(self, vt: ViewTuple) -> int:
+        """``|wit(vt) ∩ ΔD|`` — the live support counter."""
+        return self._hits.get(vt, 0)
+
+    def is_eliminated(self, vt: ViewTuple) -> bool:
+        return self._hits.get(vt, 0) > 0
+
+    def eliminated_view_tuples(self) -> frozenset[ViewTuple]:
+        """All view tuples with positive hit count."""
+        return frozenset(vt for vt, h in self._hits.items() if h > 0)
+
+    def side_effect(self) -> float:
+        """Weight of preserved view tuples currently eliminated."""
+        return self._side_effect
+
+    def uncovered_delta(self) -> int:
+        """Number of ΔV tuples not yet eliminated."""
+        return self._uncovered
+
+    def is_feasible(self) -> bool:
+        return self._uncovered == 0
+
+    def balanced_cost(self) -> float:
+        return self._penalty * self._uncovered + self._side_effect
+
+    def objective(self) -> float:
+        """The bound problem's natural objective, matching
+        :meth:`Propagation.objective` exactly."""
+        if self._balanced:
+            return self.balanced_cost()
+        if self._uncovered:
+            return float("inf")
+        return self._side_effect
+
+    # ------------------------------------------------------------------
+    # Mutation (delta updates)
+    # ------------------------------------------------------------------
+
+    def _apply_add(self, fact: Fact) -> None:
+        self._deleted.add(fact)
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            h = hits.get(vt, 0)
+            hits[vt] = h + 1
+            if h == 0:
+                if vt in self._delta:
+                    self._uncovered -= 1
+                else:
+                    self._side_effect += self.problem.weight(vt)
+
+    def add(self, fact: Fact) -> None:
+        """Delete one more fact (``ΔD ← ΔD ∪ {fact}``)."""
+        if fact in self._deleted:
+            raise ProblemError(f"{fact!r} is already deleted")
+        if fact not in self.problem.instance:
+            raise ProblemError(f"{fact!r} is not in the source instance")
+        self.counters.delta_evaluations += 1
+        self._apply_add(fact)
+
+    def remove(self, fact: Fact) -> None:
+        """Restore one fact (``ΔD ← ΔD \\ {fact}``)."""
+        if fact not in self._deleted:
+            raise ProblemError(f"{fact!r} is not currently deleted")
+        self.counters.delta_evaluations += 1
+        self._deleted.remove(fact)
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            h = hits[vt] - 1
+            if h:
+                hits[vt] = h
+            else:
+                del hits[vt]
+                if vt in self._delta:
+                    self._uncovered += 1
+                else:
+                    self._side_effect -= self.problem.weight(vt)
+
+    def swap(self, out: Fact, replacement: Fact) -> None:
+        """Atomically replace ``out`` by ``replacement`` in ``ΔD``."""
+        self.remove(out)
+        self.add(replacement)
+
+    # ------------------------------------------------------------------
+    # Hypothetical queries (no mutation, O(dependents) each)
+    # ------------------------------------------------------------------
+
+    def _shift_if_added(self, fact: Fact) -> tuple[float, int]:
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if hits.get(vt, 0) == 0:
+                if vt in self._delta:
+                    d_unc -= 1
+                else:
+                    d_se += self.problem.weight(vt)
+        return d_se, d_unc
+
+    def _shift_if_removed(self, fact: Fact) -> tuple[float, int]:
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if hits.get(vt, 0) == 1:
+                if vt in self._delta:
+                    d_unc += 1
+                else:
+                    d_se -= self.problem.weight(vt)
+        return d_se, d_unc
+
+    def _objective_for(self, side_effect: float, uncovered: int) -> float:
+        if self._balanced:
+            return self._penalty * uncovered + side_effect
+        if uncovered:
+            return float("inf")
+        return side_effect
+
+    def objective_if_added(self, fact: Fact) -> float:
+        """Objective of ``ΔD ∪ {fact}`` (``fact ∉ ΔD``)."""
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_added(fact)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def objective_if_removed(self, fact: Fact) -> float:
+        """Objective of ``ΔD \\ {fact}`` (``fact ∈ ΔD``)."""
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_removed(fact)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def objective_if_swapped(self, out: Fact, replacement: Fact) -> float:
+        """Objective of ``(ΔD \\ {out}) ∪ {replacement}``."""
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_swapped(out, replacement)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def _shift_if_swapped(
+        self, out: Fact, replacement: Fact
+    ) -> tuple[float, int]:
+        deps_out = self.problem.dependents(out)
+        deps_in = self.problem.dependents(replacement)
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in deps_out:
+            # hit count unchanged when the replacement also covers vt
+            if vt in deps_in:
+                continue
+            if hits.get(vt, 0) == 1:
+                if vt in self._delta:
+                    d_unc += 1
+                else:
+                    d_se -= self.problem.weight(vt)
+        for vt in deps_in:
+            if vt in deps_out:
+                continue
+            if hits.get(vt, 0) == 0:
+                if vt in self._delta:
+                    d_unc -= 1
+                else:
+                    d_se += self.problem.weight(vt)
+        return d_se, d_unc
+
+    def feasible_if_removed(self, fact: Fact) -> bool:
+        """Would ``ΔD \\ {fact}`` still eliminate all of ΔV?"""
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if vt in self._delta and hits.get(vt, 0) == 1:
+                return False
+        return self._uncovered == 0
+
+    def feasible_if_swapped(self, out: Fact, replacement: Fact) -> bool:
+        """Would ``(ΔD \\ {out}) ∪ {replacement}`` stay feasible?"""
+        self.counters.oracle_hits += 1
+        _, d_unc = self._shift_if_swapped(out, replacement)
+        return self._uncovered + d_unc == 0
+
+    # ------------------------------------------------------------------
+    # Greedy-selection primitives
+    # ------------------------------------------------------------------
+
+    def marginal_damage(self, fact: Fact) -> float:
+        """Weight of *preserved* view tuples newly eliminated by adding
+        ``fact`` (the greedy baselines' damage term)."""
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        return sum(
+            self.problem.weight(vt)
+            for vt in self.problem.dependents(fact)
+            if vt not in self._delta and hits.get(vt, 0) == 0
+        )
+
+    def coverage(self, fact: Fact) -> int:
+        """Number of still-uncovered ΔV tuples that adding ``fact``
+        would eliminate."""
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        return sum(
+            1
+            for vt in self.problem.dependents(fact)
+            if vt in self._delta and hits.get(vt, 0) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Export / ground truth
+    # ------------------------------------------------------------------
+
+    def to_propagation(self, method: str = "oracle") -> Propagation:
+        """Freeze the current state as an immutable result."""
+        return Propagation(
+            self.problem,
+            self._deleted,
+            method=method,
+            counters=self.counters,
+        )
+
+    def verify(self) -> bool:
+        """Cross-check the live counters against the from-scratch
+        witness accounting of :class:`Propagation` (counted as a full
+        re-evaluation).  The test suite chains this with
+        ``verify_by_reevaluation`` for evaluation-level ground truth."""
+        self.counters.full_reevaluations += 1
+        reference = Propagation(self.problem, self._deleted)
+        if self.eliminated_view_tuples() != reference.eliminated_view_tuples:
+            return False
+        if abs(self._side_effect - reference.side_effect()) > 1e-9:
+            return False
+        if self._uncovered != len(reference.surviving_delta):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"EliminationOracle(|ΔD|={len(self._deleted)}, "
+            f"uncovered={self._uncovered}, side_effect={self._side_effect:g})"
+        )

@@ -40,10 +40,14 @@ class Propagation:
         problem: DeletionPropagationProblem,
         deleted_facts: Iterable[Fact],
         method: str = "unspecified",
+        counters: object | None = None,
     ):
         self.problem = problem
         self.deleted_facts: frozenset[Fact] = frozenset(deleted_facts)
         self.method = method
+        # Optional perf accounting (an OracleCounters when the producing
+        # solver ran on the elimination oracle); never part of equality.
+        self.counters = counters
         for fact in self.deleted_facts:
             if fact not in problem.instance:
                 raise ProblemError(

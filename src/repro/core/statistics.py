@@ -1,9 +1,14 @@
-"""Instance and workload statistics.
+"""Instance, workload, and solver-run statistics.
 
 Summaries that practitioners look at before running deletion
 propagation — view sizes, witness widths, fact fan-out (how many view
 tuples a single deletion would take down), and candidate overlap — and
 that the benches use to characterize generated workloads.
+
+:func:`solver_statistics` summarizes one solver *run*: the solution's
+objective values plus the :class:`~repro.core.oracle.OracleCounters`
+perf counters (oracle hits, delta evaluations, full re-evaluations)
+when the producing solver ran on the elimination oracle.
 """
 
 from __future__ import annotations
@@ -11,9 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.oracle import OracleCounters
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
 
-__all__ = ["WorkloadStatistics", "workload_statistics"]
+__all__ = [
+    "SolverStatistics",
+    "WorkloadStatistics",
+    "solver_statistics",
+    "workload_statistics",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +65,60 @@ class WorkloadStatistics:
             {"statistic": "forest case", "value": self.forest_case},
         ]
         return rows
+
+
+@dataclass(frozen=True)
+class SolverStatistics:
+    """One solver run, summarized: outcome plus oracle perf counters."""
+
+    method: str
+    deleted_facts: int
+    feasible: bool
+    side_effect: float
+    balanced_cost: float
+    oracle_hits: int
+    delta_evaluations: int
+    full_reevaluations: int
+
+    def as_rows(self) -> list[dict]:
+        """Key/value rows for table rendering."""
+        return [
+            {"statistic": "method", "value": self.method},
+            {"statistic": "|ΔD|", "value": self.deleted_facts},
+            {"statistic": "feasible", "value": self.feasible},
+            {"statistic": "side-effect", "value": round(self.side_effect, 6)},
+            {
+                "statistic": "balanced cost",
+                "value": round(self.balanced_cost, 6),
+            },
+            {"statistic": "oracle hits", "value": self.oracle_hits},
+            {"statistic": "delta evaluations", "value": self.delta_evaluations},
+            {
+                "statistic": "full re-evaluations",
+                "value": self.full_reevaluations,
+            },
+        ]
+
+    def as_dict(self) -> dict:
+        return {row["statistic"]: row["value"] for row in self.as_rows()}
+
+
+def solver_statistics(solution: Propagation) -> SolverStatistics:
+    """Summarize one solver run.  Solutions produced without the oracle
+    report zeroed counters."""
+    counters = solution.counters
+    if not isinstance(counters, OracleCounters):
+        counters = OracleCounters()
+    return SolverStatistics(
+        method=solution.method,
+        deleted_facts=len(solution.deleted_facts),
+        feasible=solution.is_feasible(),
+        side_effect=solution.side_effect(),
+        balanced_cost=solution.balanced_cost(),
+        oracle_hits=counters.oracle_hits,
+        delta_evaluations=counters.delta_evaluations,
+        full_reevaluations=counters.full_reevaluations,
+    )
 
 
 def workload_statistics(

@@ -77,6 +77,10 @@ class _Evaluator:
         self.query = query
         self.instance = instance
         self._index_cache: dict[tuple[str, tuple[int, ...]], _AtomIndex] = {}
+        # Sorted fact lists per relation for fully-unbound atom lookups;
+        # computed once per evaluator instead of re-sorting the relation
+        # on every backtracking visit.
+        self._sorted_cache: dict[str, list[Fact]] = {}
 
     # ------------------------------------------------------------------
 
@@ -148,7 +152,11 @@ class _Evaluator:
                 bound_values.append(assignment[term])
         positions = tuple(bound_positions)
         if not positions:
-            return sorted(self.instance.relation(atom.relation))
+            cached = self._sorted_cache.get(atom.relation)
+            if cached is None:
+                cached = sorted(self.instance.relation(atom.relation))
+                self._sorted_cache[atom.relation] = cached
+            return cached
         index_key = (atom.relation, positions)
         index = self._index_cache.get(index_key)
         if index is None:

@@ -18,10 +18,17 @@ alternative:
   (:func:`repro.relational.evaluate.iter_matches_pinned`), deduplicated
   across pin positions for self-joins.
 
+Dead derivations are pruned eagerly: when a deletion kills a
+derivation, every index entry for it is removed, so the bookkeeping is
+always proportional to the *live* derivations and stays bounded under
+arbitrary add/delete churn (the churn regression test in
+``tests/relational/test_maintenance.py`` pins this down).
+
 :class:`MaintainedView` is stateful (facts can be changed one at a time
 and the view observed after each step, as the sequential cleaning loop
 of Section V does); :class:`MaintainedViewSet` maintains one view per
-query over a shared update stream.
+query over a *single shared* source instance — the m views index their
+own derivations but never duplicate the base data.
 """
 
 from __future__ import annotations
@@ -40,15 +47,31 @@ _Derivation = tuple[tuple, tuple[Fact, ...]]  # (head, per-atom facts)
 
 
 class MaintainedView:
-    """A materialized view maintained incrementally under updates."""
+    """A materialized view maintained incrementally under updates.
 
-    def __init__(self, query: ConjunctiveQuery, instance: Instance):
+    By default the view works on a private copy of ``instance`` so that
+    callers' data is never mutated; pass ``share_instance=True`` to
+    operate directly on the given object (used by
+    :class:`MaintainedViewSet` to keep one source of truth across m
+    views).
+    """
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        instance: Instance,
+        share_instance: bool = False,
+    ):
         self.query = query
         self.name = query.name
-        self._instance = instance.copy()
-        self._alive: dict[_Derivation, bool] = {}
+        self._instance = instance if share_instance else instance.copy()
+        self._alive: set[_Derivation] = set()
         self._support: dict[tuple, int] = {}
-        self._by_fact: dict[Fact, list[_Derivation]] = {}
+        self._by_fact: dict[Fact, set[_Derivation]] = {}
+        # Facts ever seen in a witness (grows with distinct facts, not
+        # with derivations or churn) and the deleted subset of them.
+        self._participated: set[Fact] = set()
+        self._gone: set[Fact] = set()
         for match in iter_matches(query, self._instance):
             self._admit(match.head, match.witness)
 
@@ -60,14 +83,57 @@ class MaintainedView:
         """Register a derivation; returns True when the view tuple was
         absent before (i.e. this derivation makes it appear)."""
         key = (head, witness)
-        if self._alive.get(key):
+        if key in self._alive:
             return False
         appeared = self._support.get(head, 0) == 0
-        self._alive[key] = True
+        self._alive.add(key)
         self._support[head] = self._support.get(head, 0) + 1
         for fact in set(witness):
-            self._by_fact.setdefault(fact, []).append(key)
+            self._by_fact.setdefault(fact, set()).add(key)
+            self._participated.add(fact)
         return appeared
+
+    def _retract(self, fact: Fact) -> frozenset[tuple]:
+        """Kill and prune every derivation through ``fact``; returns the
+        view tuples that disappeared.  Does not touch the instance."""
+        if fact in self._participated:
+            self._gone.add(fact)
+        removed: set[tuple] = set()
+        for key in self._by_fact.pop(fact, ()):
+            self._alive.discard(key)
+            head, witness = key
+            count = self._support[head] - 1
+            if count:
+                self._support[head] = count
+            else:
+                del self._support[head]
+                removed.add(head)
+            # Prune the dead derivation from every other fact's index so
+            # the structures track live derivations only.
+            for other in set(witness):
+                if other == fact:
+                    continue
+                keys = self._by_fact.get(other)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._by_fact[other]
+        return frozenset(removed)
+
+    def _delta_insert(self, fact: Fact) -> frozenset[tuple]:
+        """Delta-evaluate one insertion (instance already updated);
+        returns the view tuples that newly appeared."""
+        self._gone.discard(fact)
+        appeared: set[tuple] = set()
+        for atom_index, atom in enumerate(self.query.body):
+            if atom.relation != fact.relation:
+                continue
+            for match in iter_matches_pinned(
+                self.query, self._instance, atom_index, fact
+            ):
+                if self._admit(match.head, match.witness):
+                    appeared.add(match.head)
+        return frozenset(appeared)
 
     # ------------------------------------------------------------------
     # Observation
@@ -75,9 +141,7 @@ class MaintainedView:
 
     def tuples(self) -> frozenset[tuple]:
         """The current view contents."""
-        return frozenset(
-            head for head, count in self._support.items() if count > 0
-        )
+        return frozenset(self._support)
 
     def support(self, head: tuple) -> int:
         """Number of live derivations of a view tuple (0 = gone)."""
@@ -87,12 +151,17 @@ class MaintainedView:
         return self.support(tuple(head)) > 0
 
     def __len__(self) -> int:
-        return sum(1 for count in self._support.values() if count > 0)
+        return len(self._support)
 
     @property
     def instance(self) -> Instance:
         """The maintained view's current notion of the source data."""
         return self._instance
+
+    def live_derivations(self) -> int:
+        """Number of live derivations across all view tuples (the
+        bookkeeping footprint; bounded under churn)."""
+        return len(self._alive)
 
     # ------------------------------------------------------------------
     # Updates
@@ -104,31 +173,13 @@ class MaintainedView:
         if fact not in self._instance:
             raise InstanceError(f"fact {fact!r} not in the source")
         self._instance.remove(fact)
-        removed: set[tuple] = set()
-        for key in self._by_fact.get(fact, ()):
-            if not self._alive[key]:
-                continue
-            self._alive[key] = False
-            head, _ = key
-            self._support[head] -= 1
-            if self._support[head] == 0:
-                removed.add(head)
-        return frozenset(removed)
+        return self._retract(fact)
 
     def add_fact(self, fact: Fact) -> frozenset[tuple]:
         """Propagate one source insertion (delta evaluation); returns
         the view tuples that newly appeared."""
         self._instance.add(fact)  # validates arity / primary key
-        appeared: set[tuple] = set()
-        for atom_index, atom in enumerate(self.query.body):
-            if atom.relation != fact.relation:
-                continue
-            for match in iter_matches_pinned(
-                self.query, self._instance, atom_index, fact
-            ):
-                if self._admit(match.head, match.witness):
-                    appeared.add(match.head)
-        return frozenset(appeared)
+        return self._delta_insert(fact)
 
     def delete_facts(self, facts: Iterable[Fact]) -> frozenset[tuple]:
         """Propagate a batch of deletions; returns all view tuples that
@@ -141,16 +192,29 @@ class MaintainedView:
     @property
     def deleted_facts(self) -> frozenset[Fact]:
         """Facts that participated in some derivation but are gone."""
-        return frozenset(
-            fact for fact in self._by_fact if fact not in self._instance
-        )
+        return frozenset(self._gone)
 
 
 class MaintainedViewSet:
-    """One maintained view per query over a shared update stream."""
+    """One maintained view per query over a shared update stream.
+
+    All m views observe the *same* :class:`Instance` object (one copy of
+    the caller's data total, not one per view), so the set can never
+    silently diverge: a deletion is applied to the shared source once
+    and each view only updates its derivation index.
+    """
 
     def __init__(self, queries: Sequence[ConjunctiveQuery], instance: Instance):
-        self._views = {q.name: MaintainedView(q, instance) for q in queries}
+        self._instance = instance.copy()
+        self._views = {
+            q.name: MaintainedView(q, self._instance, share_instance=True)
+            for q in queries
+        }
+
+    @property
+    def instance(self) -> Instance:
+        """The single shared source instance."""
+        return self._instance
 
     def view(self, name: str) -> MaintainedView:
         return self._views[name]
@@ -161,9 +225,12 @@ class MaintainedViewSet:
     def delete_fact(self, fact: Fact) -> dict[str, frozenset[tuple]]:
         """Propagate one deletion to every view; returns the removals
         per view (views with no removals are omitted)."""
+        if fact not in self._instance:
+            raise InstanceError(f"fact {fact!r} not in the source")
+        self._instance.remove(fact)
         out: dict[str, frozenset[tuple]] = {}
         for view in self._views.values():
-            removed = view.delete_fact(fact)
+            removed = view._retract(fact)
             if removed:
                 out[view.name] = removed
         return out
@@ -171,9 +238,10 @@ class MaintainedViewSet:
     def add_fact(self, fact: Fact) -> dict[str, frozenset[tuple]]:
         """Propagate one insertion to every view; returns the additions
         per view (views with no additions are omitted)."""
+        self._instance.add(fact)  # validates arity / primary key once
         out: dict[str, frozenset[tuple]] = {}
         for view in self._views.values():
-            added = view.add_fact(fact)
+            added = view._delta_insert(fact)
             if added:
                 out[view.name] = added
         return out

@@ -27,27 +27,38 @@ from repro.setcover.redblue import RedBlueSetCover
 __all__ = ["low_deg", "low_deg_two", "low_deg_bound"]
 
 
-def low_deg(instance: RedBlueSetCover, tau: int) -> list[str] | None:
-    """One LowDeg pass: filter sets with red degree > τ, then greedy
-    cover.  ``None`` when the filtered collection cannot cover the
-    blues."""
-    allowed = [
-        name for name in instance.sets if instance.red_degree(name) <= tau
-    ]
+def low_deg(
+    instance: RedBlueSetCover, tau: int | None
+) -> list[str] | None:
+    """One LowDeg pass: filter sets with red degree > τ (``tau=None``
+    disables the filter entirely), then greedy cover.  Returns ``None``
+    when the allowed collection cannot cover the blues; any selection
+    returned is verified feasible, never costed on faith."""
+    if tau is None:
+        allowed = list(instance.sets)
+    else:
+        allowed = [
+            name for name in instance.sets if instance.red_degree(name) <= tau
+        ]
     if not allowed:
         return None
-    return greedy_weighted_cover(instance, allowed)
+    selection = greedy_weighted_cover(instance, allowed)
+    if selection is None or not instance.is_feasible(selection):
+        return None
+    return selection
 
 
 def low_deg_two(instance: RedBlueSetCover) -> tuple[list[str], float]:
-    """Full LowDegTwo: sweep τ over the distinct red degrees (plus the
-    no-filter pass) and return the cheapest feasible cover found."""
+    """Full LowDegTwo: sweep τ over the distinct red degrees, run one
+    explicit no-filter pass (``τ = None``), and return the cheapest
+    feasible cover found.  Raises :class:`SolverError` when some blue
+    element is uncoverable."""
     if not instance.blues:
         return [], 0.0
     degrees = sorted({instance.red_degree(name) for name in instance.sets})
     best_selection: list[str] | None = None
     best_cost = float("inf")
-    for tau in degrees:
+    for tau in (*degrees, None):
         selection = low_deg(instance, tau)
         if selection is None:
             continue

@@ -22,6 +22,7 @@ from repro.workloads.synthetic import (
     random_general_problem,
     random_problem,
     random_single_query_problem,
+    scaling_problem,
 )
 from repro.workloads.trees import (
     random_chain_problem,
@@ -52,4 +53,5 @@ __all__ = [
     "random_single_query_problem",
     "random_star_problem",
     "random_triangle_problem",
+    "scaling_problem",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "random_general_problem",
     "random_single_query_problem",
     "random_cq",
+    "scaling_problem",
 ]
 
 
@@ -117,6 +118,27 @@ def random_single_query_problem(
     chosen = rng.sample(tuples, size)
     return DeletionPropagationProblem(
         base.instance, [query], {"Q0": chosen}
+    )
+
+
+def scaling_problem(
+    rng: random.Random,
+    num_relations: int = 3,
+    facts_per_relation: int = 700,
+    num_queries: int = 3,
+    delta_fraction: float = 0.02,
+) -> DeletionPropagationProblem:
+    """The throughput workload: a key-preserving chain instance sized
+    for wall-clock benchmarks rather than correctness checks (defaults:
+    2100 facts, 3 queries, ~40 requested deletions).  Used by the
+    oracle speedup bench and the CI smoke bench; shrink the parameters
+    for quick runs."""
+    return random_chain_problem(
+        rng,
+        num_relations=num_relations,
+        facts_per_relation=facts_per_relation,
+        num_queries=num_queries,
+        delta_fraction=delta_fraction,
     )
 
 

@@ -1,0 +1,263 @@
+"""Differential tests for the incremental elimination oracle.
+
+The oracle's live counters must agree with the from-scratch witness
+accounting (``problem.eliminated_by`` / fresh :class:`Propagation`) on
+*every* reachable state, and the oracle-backed :func:`improve` must
+reproduce the rebuild-per-trial :func:`improve_reference` move for
+move.  The streams below are seeded and cover well over 50 random
+instances across the chain / star / triangle families, weighted and
+balanced variants included.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError, ProblemError
+from repro.core import (
+    EliminationOracle,
+    OracleCounters,
+    Propagation,
+    improve,
+    improve_reference,
+    solve_greedy_max_coverage,
+)
+from repro.workloads import figure1_problem, figure1_problem_q4, random_problem
+
+
+def _problem_for_seed(seed: int):
+    """Deterministic mix of families/variants keyed on the seed."""
+    rng = random.Random(seed)
+    return random_problem(
+        rng, weighted=(seed % 3 == 0), balanced=(seed % 5 == 0)
+    )
+
+
+def _reference_state(problem, deleted):
+    return Propagation(problem, deleted)
+
+
+class TestCountersMatchScratch:
+    """Random add/remove streams: after every applied delta the live
+    counters equal the from-scratch accounting."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_update_stream(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(1000 + seed)
+        oracle = EliminationOracle(problem)
+        pool = sorted(problem.candidate_facts())
+        if not pool:
+            pytest.skip("no candidate facts in this draw")
+        for _ in range(25):
+            inside = sorted(oracle.deleted_facts)
+            if inside and rng.random() < 0.4:
+                oracle.remove(inside[rng.randrange(len(inside))])
+            else:
+                outside = [f for f in pool if f not in oracle]
+                if not outside:
+                    continue
+                oracle.add(outside[rng.randrange(len(outside))])
+
+            deleted = oracle.deleted_facts
+            assert oracle.eliminated_view_tuples() == frozenset(
+                problem.eliminated_by(deleted)
+            )
+            reference = _reference_state(problem, deleted)
+            assert oracle.side_effect() == pytest.approx(
+                reference.side_effect()
+            )
+            assert oracle.uncovered_delta() == len(reference.surviving_delta)
+            assert oracle.is_feasible() == reference.is_feasible()
+            assert oracle.balanced_cost() == pytest.approx(
+                reference.balanced_cost()
+            )
+            if oracle.objective() == float("inf"):
+                assert reference.objective() == float("inf")
+            else:
+                assert oracle.objective() == pytest.approx(
+                    reference.objective()
+                )
+        assert oracle.verify()
+
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_initial_load_equals_incremental_adds(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(seed)
+        pool = sorted(problem.candidate_facts())
+        chosen = rng.sample(pool, min(4, len(pool)))
+        loaded = EliminationOracle(problem, chosen)
+        grown = EliminationOracle(problem)
+        for fact in chosen:
+            grown.add(fact)
+        assert loaded.deleted_facts == grown.deleted_facts
+        assert loaded.eliminated_view_tuples() == grown.eliminated_view_tuples()
+        assert loaded.side_effect() == pytest.approx(grown.side_effect())
+        assert loaded.uncovered_delta() == grown.uncovered_delta()
+
+
+class TestHypotheticalQueries:
+    """``objective_if_*`` / ``feasible_if_*`` answers match actually
+    performing the move on a fresh state — without mutating the oracle."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_hypotheticals_match_actual(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(2000 + seed)
+        pool = sorted(problem.candidate_facts())
+        if len(pool) < 2:
+            pytest.skip("too few candidates")
+        start = rng.sample(pool, max(1, len(pool) // 3))
+        oracle = EliminationOracle(problem, start)
+        snapshot = oracle.deleted_facts
+
+        for fact in pool:
+            if fact in oracle:
+                trial = snapshot - {fact}
+                assert oracle.objective_if_removed(fact) == pytest.approx(
+                    _objective(problem, trial)
+                )
+                assert oracle.feasible_if_removed(fact) == _reference_state(
+                    problem, trial
+                ).is_feasible()
+                for replacement in pool:
+                    if replacement in oracle:
+                        continue
+                    swapped = trial | {replacement}
+                    assert oracle.objective_if_swapped(
+                        fact, replacement
+                    ) == pytest.approx(_objective(problem, swapped))
+                    assert oracle.feasible_if_swapped(
+                        fact, replacement
+                    ) == _reference_state(problem, swapped).is_feasible()
+            else:
+                trial = snapshot | {fact}
+                assert oracle.objective_if_added(fact) == pytest.approx(
+                    _objective(problem, trial)
+                )
+            # hypotheticals never mutate
+            assert oracle.deleted_facts == snapshot
+
+    @pytest.mark.parametrize("seed", [0, 4, 8])
+    def test_greedy_primitives_match_definition(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(3000 + seed)
+        pool = sorted(problem.candidate_facts())
+        if not pool:
+            pytest.skip("no candidates")
+        oracle = EliminationOracle(
+            problem, rng.sample(pool, len(pool) // 2)
+        )
+        eliminated = oracle.eliminated_view_tuples()
+        delta = frozenset(problem.deleted_view_tuples())
+        for fact in pool:
+            deps = problem.dependents(fact)
+            fresh = deps - eliminated
+            assert oracle.coverage(fact) == len(fresh & delta)
+            assert oracle.marginal_damage(fact) == pytest.approx(
+                sum(problem.weight(vt) for vt in fresh - delta)
+            )
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize("seed", [1, 5, 9, 13])
+    def test_exported_propagation_verifies_by_reevaluation(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(4000 + seed)
+        pool = sorted(problem.candidate_facts())
+        if not pool:
+            pytest.skip("no candidates")
+        oracle = EliminationOracle(
+            problem, rng.sample(pool, max(1, len(pool) // 2))
+        )
+        exported = oracle.to_propagation(method="test")
+        assert exported.method == "test"
+        assert exported.deleted_facts == oracle.deleted_facts
+        assert exported.verify_by_reevaluation()
+        assert exported.counters is oracle.counters
+
+    def test_requires_key_preserving(self):
+        with pytest.raises(NotKeyPreservingError):
+            EliminationOracle(figure1_problem())
+
+    def test_invalid_mutations_rejected(self):
+        problem = figure1_problem_q4()
+        oracle = EliminationOracle(problem)
+        fact = sorted(problem.candidate_facts())[0]
+        oracle.add(fact)
+        with pytest.raises(ProblemError):
+            oracle.add(fact)
+        oracle.remove(fact)
+        with pytest.raises(ProblemError):
+            oracle.remove(fact)
+        from repro.relational import Fact
+
+        with pytest.raises(ProblemError):
+            oracle.add(Fact("T1", ("Nobody", "Nowhere")))
+
+
+class TestLocalSearchDifferential:
+    """Oracle-backed ``improve`` is move-for-move identical to the
+    rebuild-per-trial ``improve_reference`` (exact equality asserted on
+    unweighted instances, where both sums are bit-identical)."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_improve_matches_reference(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, balanced=(seed % 5 == 0))
+        start = (
+            Propagation(problem, frozenset())
+            if seed % 5 == 0
+            else solve_greedy_max_coverage(problem)
+        )
+        fast = improve(start)
+        slow = improve_reference(start)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast.objective() == slow.objective()
+        assert fast.method == slow.method
+        assert fast.verify_by_reevaluation()
+
+    @pytest.mark.parametrize("seed", [6, 12, 18, 24, 30, 36])
+    def test_weighted_invariants(self, seed):
+        """Weighted objectives may differ in the last ulp between the
+        incremental and the fresh sum, so assert invariants instead of
+        bitwise equality."""
+        rng = random.Random(seed)
+        problem = random_problem(rng, weighted=True, balanced=(seed % 12 == 0))
+        start = (
+            Propagation(problem, frozenset())
+            if seed % 12 == 0
+            else solve_greedy_max_coverage(problem)
+        )
+        improved = improve(start)
+        assert improved.objective() <= start.objective() + 1e-9
+        if start.is_feasible():
+            assert improved.is_feasible()
+        assert improved.verify_by_reevaluation()
+
+    @pytest.mark.parametrize("seed", [2, 17])
+    def test_counters_prove_no_full_repass(self, seed):
+        """The whole move loop runs on deltas: exactly one full pass
+        (the oracle build), everything else hypothetical or delta."""
+        rng = random.Random(seed)
+        problem = random_problem(rng)
+        start = solve_greedy_max_coverage(problem)
+        counters = OracleCounters()
+        improved = improve(start, counters=counters)
+        assert counters.full_reevaluations == 1
+        assert counters.oracle_hits > 0
+        assert improved.counters is counters
+
+    def test_counters_merge_and_dict(self):
+        a = OracleCounters(1, 2, 3)
+        b = OracleCounters(10, 20, 30)
+        merged = a.merge(b)
+        assert merged.as_dict() == {
+            "oracle_hits": 11,
+            "delta_evaluations": 22,
+            "full_reevaluations": 33,
+        }
+
+
+def _objective(problem, deleted) -> float:
+    return Propagation(problem, deleted).objective()

@@ -169,3 +169,115 @@ class TestAgainstReevaluation:
     def test_total_size(self, fig1_instance, fig1_q3, fig1_q4):
         views = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
         assert views.total_size() == 13
+
+
+class TestChurnRegression:
+    """Dead derivations are pruned eagerly, so the bookkeeping stays
+    bounded under arbitrary add/delete churn instead of growing with
+    the number of updates."""
+
+    def test_bookkeeping_bounded_under_churn(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        fact = Fact("T2", ("TODS", "XML", 30))
+        baseline_alive = view.live_derivations()
+        baseline_index = sum(
+            len(keys) for keys in view._by_fact.values()
+        )
+        for _ in range(200):
+            view.delete_fact(fact)
+            view.add_fact(fact)
+        assert view.live_derivations() == baseline_alive
+        assert sum(len(keys) for keys in view._by_fact.values()) == (
+            baseline_index
+        )
+        assert view.tuples() == MaintainedView(
+            fig1_q3, fig1_instance
+        ).tuples()
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_random_churn_keeps_index_exact(self, seed):
+        """After any add/delete stream the per-fact index holds exactly
+        the live derivations — no dead entries linger, no fact keeps an
+        empty bucket."""
+        rng = random.Random(seed)
+        problem = random_chain_problem(rng)
+        view = MaintainedView(problem.queries[0], problem.instance)
+        pool = sorted(problem.instance.facts())
+        outside: list[Fact] = []
+        for _ in range(60):
+            if outside and rng.random() < 0.5:
+                view.add_fact(outside.pop(rng.randrange(len(outside))))
+            else:
+                inside = sorted(view.instance.facts())
+                fact = inside[rng.randrange(len(inside))]
+                view.delete_fact(fact)
+                outside.append(fact)
+        indexed = set()
+        for fact, keys in view._by_fact.items():
+            assert keys, f"empty index bucket for {fact!r}"
+            for key in keys:
+                assert key in view._alive
+                assert fact in set(key[1])
+            indexed.update(keys)
+        assert indexed == view._alive
+
+    def test_deletion_bookkeeping_touches_live_derivations_only(
+        self, fig1_instance, fig1_q3
+    ):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        first = Fact("T2", ("TODS", "XML", 30))
+        second = Fact("T1", ("John", "TKDE"))
+        view.delete_fact(first)
+        # The derivations through `first` are gone from every index
+        # entry, so deleting a co-witness only pays for what is alive.
+        assert all(
+            first not in set(key[1])
+            for keys in view._by_fact.values()
+            for key in keys
+        )
+        removed = view.delete_fact(second)
+        assert ("John", "XML") in removed
+
+    def test_deleted_facts_tracks_participating_facts_only(
+        self, fig1_instance, fig1_q3
+    ):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        # No author publishes in ICDE, so this fact joins with nothing.
+        bystander = Fact("T2", ("ICDE", "Privacy", 27))
+        participant = Fact("T2", ("TODS", "XML", 30))
+        assert view.add_fact(bystander) == frozenset()
+        view.delete_fact(bystander)
+        assert view.deleted_facts == frozenset()
+        view.delete_fact(participant)
+        assert view.deleted_facts == {participant}
+        view.add_fact(participant)
+        assert view.deleted_facts == frozenset()
+
+
+class TestSharedInstance:
+    """A view set keeps ONE shared source instance: the caller's data
+    is copied once, never once per view."""
+
+    def test_views_share_one_instance(self, fig1_instance, fig1_q3, fig1_q4):
+        views = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
+        for view in views:
+            assert view.instance is views.instance
+        # ... and it is a copy, so the caller's object is untouched.
+        assert views.instance is not fig1_instance
+        fact = Fact("T1", ("John", "TKDE"))
+        views.delete_fact(fact)
+        assert fact not in views.instance
+        assert fact in fig1_instance
+
+    def test_shared_deletion_applied_once(self, fig1_instance, fig1_q3, fig1_q4):
+        views = MaintainedViewSet([fig1_q3, fig1_q4], fig1_instance)
+        before = len(views.instance.facts())
+        views.delete_fact(Fact("T2", ("TODS", "XML", 30)))
+        assert len(views.instance.facts()) == before - 1
+        views.add_fact(Fact("T2", ("TODS", "XML", 30)))
+        assert len(views.instance.facts()) == before
+
+    def test_standalone_view_still_copies(self, fig1_instance, fig1_q3):
+        view = MaintainedView(fig1_q3, fig1_instance)
+        view.delete_fact(Fact("T1", ("John", "TKDE")))
+        assert Fact("T1", ("John", "TKDE")) in fig1_instance

@@ -61,6 +61,26 @@ class TestLowDeg:
         )
         assert low_deg(inst, tau=1) is None
 
+    def test_tau_none_disables_filter(self):
+        inst = RedBlueSetCover(
+            ["r1", "r2"],
+            ["b"],
+            {"heavy": ["r1", "r2", "b"]},
+        )
+        # Every positive threshold below 2 filters the only cover out;
+        # the no-filter pass recovers it.
+        assert low_deg(inst, tau=1) is None
+        assert low_deg(inst, tau=None) == ["heavy"]
+
+    def test_uncoverable_blue_returns_none_even_unfiltered(self):
+        inst = RedBlueSetCover(
+            ["r"], ["b1", "b2"], {"C": ["r", "b1"]}
+        )
+        # b2 is in no set: feasibility is checked explicitly, so no tau
+        # (not even the unfiltered pass) can return a bogus selection.
+        assert low_deg(inst, tau=None) is None
+        assert low_deg(inst, tau=0) is None
+
 
 class TestLowDegTwo:
     def test_feasible_on_fig2(self):
@@ -77,6 +97,34 @@ class TestLowDegTwo:
         inst = RedBlueSetCover(["r"], ["b"], {"C": ["r"]})
         with pytest.raises(SolverError):
             low_deg_two(inst)
+
+    def test_uncoverable_blue_raises(self):
+        # b2 appears in no set at all; the sweep must report
+        # infeasibility rather than return a non-cover.
+        inst = RedBlueSetCover(
+            ["r1", "r2"],
+            ["b1", "b2"],
+            {"C1": ["r1", "b1"], "C2": ["r1", "r2", "b1"]},
+        )
+        with pytest.raises(SolverError, match="uncoverable"):
+            low_deg_two(inst)
+
+    def test_no_filter_pass_rescues_heavy_only_covers(self):
+        # The only feasible cover needs the max-red-degree set together
+        # with a lighter one; degree sweeps alone find it, and the
+        # explicit tau=None pass guarantees it regardless of the degree
+        # enumeration.
+        inst = RedBlueSetCover(
+            ["r1", "r2", "r3"],
+            ["b1", "b2"],
+            {
+                "heavy": ["r1", "r2", "r3", "b1"],
+                "light": ["r1", "b2"],
+            },
+        )
+        selection, cost = low_deg_two(inst)
+        assert inst.is_feasible(selection)
+        assert set(selection) == {"heavy", "light"}
 
     def test_ratio_within_bound_on_random_instances(self):
         rng = random.Random(9)
