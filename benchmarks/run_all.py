@@ -1,0 +1,187 @@
+"""Bench sweep driver: run the smoke benches in parallel, aggregate
+every ``BENCH_*.json`` artifact into one machine-readable index.
+
+The smoke benches are independent scripts, so the sweep launches them
+as concurrent subprocesses (``--jobs``, default one per bench capped at
+the CPU count) and then collects every ``BENCH_*.json`` in the output
+directory — including artifacts written by earlier runs, e.g. the
+committed ``BENCH_oracle_local_search.json`` acceptance record — into
+``BENCH_INDEX.json`` plus a human-readable table on stdout.
+
+``--full`` additionally runs the pytest acceptance bench
+(``bench_oracle_local_search.py``), which re-verifies the >=5x arena
+speedup and refreshes its artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--jobs N] [--out DIR] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+
+_INDEX_NAME = "BENCH_INDEX.json"
+
+
+def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
+    commands = [
+        (
+            "smoke_oracle",
+            [
+                sys.executable,
+                str(_HERE / "smoke_oracle.py"),
+                "--bench-dir",
+                str(out_dir),
+            ],
+        ),
+        (
+            "smoke_arena",
+            [
+                sys.executable,
+                str(_HERE / "smoke_arena.py"),
+                "--out",
+                str(out_dir),
+            ],
+        ),
+    ]
+    if full:
+        commands.append(
+            (
+                "oracle_local_search",
+                [
+                    sys.executable,
+                    "-m",
+                    "pytest",
+                    str(_HERE / "bench_oracle_local_search.py"),
+                    "-q",
+                    "--no-header",
+                ],
+            )
+        )
+    return commands
+
+
+def _run_one(name: str, command: list[str]) -> dict:
+    env = dict(os.environ)
+    src = str(_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        command,
+        cwd=_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    return {
+        "bench": name,
+        "returncode": proc.returncode,
+        "seconds": time.perf_counter() - start,
+        "stderr_tail": proc.stderr.strip().splitlines()[-3:],
+    }
+
+
+def _aggregate(out_dir: Path) -> list[dict]:
+    from repro.bench import load_bench_json
+
+    rows: list[dict] = []
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        if path.name == _INDEX_NAME:
+            continue
+        try:
+            document = load_bench_json(path)
+        except (ValueError, OSError) as exc:
+            rows.append({"artifact": path.name, "error": str(exc)})
+            continue
+        counters = document["counters"]
+        rows.append(
+            {
+                "artifact": path.name,
+                "bench": document["bench"],
+                "workload": document["workload"],
+                "rows": len(document["rows"]),
+                "wall_seconds": round(document["wall_seconds"], 4),
+                "oracle_hits": counters.get("oracle_hits", 0),
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="concurrent bench subprocesses (default: min(benches, CPUs))",
+    )
+    parser.add_argument(
+        "--out", default=str(_ROOT), help="artifact directory (default: repo root)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="also run the pytest acceptance bench (slower)",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    commands = _bench_commands(out_dir, args.full)
+    jobs = args.jobs
+    if jobs is None:
+        jobs = min(len(commands), os.cpu_count() or 1)
+    jobs = max(1, jobs)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        outcomes = list(
+            pool.map(lambda pair: _run_one(*pair), commands)
+        )
+    wall = time.perf_counter() - start
+
+    failed = [o for o in outcomes if o["returncode"] != 0]
+    for outcome in outcomes:
+        status = "ok" if outcome["returncode"] == 0 else "FAILED"
+        print(
+            f"[{status}] {outcome['bench']} "
+            f"({outcome['seconds']:.1f}s)"
+        )
+        if outcome["returncode"] != 0:
+            for line in outcome["stderr_tail"]:
+                print(f"    {line}")
+
+    from repro.bench import write_bench_json
+    from repro.bench.reporting import format_table
+
+    rows = _aggregate(out_dir)
+    if rows:
+        print()
+        print(format_table(rows, title="BENCH_*.json artifacts"))
+    index_path = write_bench_json(
+        bench="INDEX",
+        workload=f"aggregate of {len(rows)} artifacts",
+        rows=rows,
+        wall_seconds=wall,
+        directory=out_dir,
+    )
+    print(f"\nwrote {index_path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

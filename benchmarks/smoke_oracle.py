@@ -7,6 +7,10 @@ invariants and records the accounting so regressions in the
 incremental hot path show up as counter drift in the uploaded
 artifact.
 
+Besides the raw counter dump (``--out``) the run is recorded as a
+standard ``BENCH_smoke_oracle.json`` perf artifact (schema: see
+:func:`repro.bench.write_bench_json`) in ``--bench-dir``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/smoke_oracle.py --out oracle-counters.json
@@ -18,7 +22,9 @@ import argparse
 import json
 import random
 import sys
+import time
 
+from repro.bench import write_bench_json
 from repro.core import (
     BalancedDeletionPropagationProblem,
     OracleCounters,
@@ -92,13 +98,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=73)
     parser.add_argument("--facts-per-relation", type=int, default=200)
     parser.add_argument("--out", default=None, help="write JSON here")
+    parser.add_argument(
+        "--bench-dir",
+        default=".",
+        help="directory for the BENCH_smoke_oracle.json artifact",
+    )
     args = parser.parse_args(argv)
 
+    start = time.perf_counter()
     record = run(seed=args.seed, facts_per_relation=args.facts_per_relation)
+    wall = time.perf_counter() - start
     payload = json.dumps(record, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(payload + "\n")
+    totals = {"oracle_hits": 0, "delta_evaluations": 0, "full_reevaluations": 0}
+    rows = []
+    for name, stats in record["solvers"].items():
+        rows.append({"solver": name, **stats})
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    write_bench_json(
+        bench="smoke_oracle",
+        workload=(
+            f"scaling_problem(seed={record['seed']}, "
+            f"facts={record['num_facts']}, "
+            f"delta={record['delta_size']})"
+        ),
+        rows=rows,
+        wall_seconds=wall,
+        counters=totals,
+        directory=args.bench_dir,
+    )
     print(payload)
     return 0
 

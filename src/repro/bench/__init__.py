@@ -20,7 +20,9 @@ from repro.bench.harness import (
     ExperimentResult,
     counter_rows,
     geometric_mean,
+    load_bench_json,
     timed,
+    write_bench_json,
 )
 from repro.bench.reporting import format_experiment, format_table
 
@@ -43,5 +45,7 @@ __all__ = [
     "format_experiment",
     "format_table",
     "geometric_mean",
+    "load_bench_json",
     "timed",
+    "write_bench_json",
 ]

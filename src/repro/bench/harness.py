@@ -6,15 +6,40 @@ the measured rows, and a pass/fail verdict — so benches and docs render
 them uniformly.  :func:`counter_rows` turns the solvers' oracle
 counters (:class:`repro.core.oracle.OracleCounters`) into the same row
 shape, so perf accounting rides through the identical rendering path.
+
+Perf artifacts are standardized as ``BENCH_<name>.json`` files
+(:func:`write_bench_json` / :func:`load_bench_json`) with the schema::
+
+    {
+      "bench": "<bench name>",
+      "workload": "<workload description>",
+      "rows": [{...}, ...],
+      "wall_seconds": <total wall-clock of the measured section>,
+      "counters": {"oracle_hits": ..., ...}
+    }
+
+so the perf trajectory is machine-readable across PRs;
+``benchmarks/run_all.py`` aggregates every artifact it finds.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Sequence
 
-__all__ = ["ExperimentResult", "timed", "geometric_mean", "counter_rows"]
+__all__ = [
+    "ExperimentResult",
+    "timed",
+    "geometric_mean",
+    "counter_rows",
+    "write_bench_json",
+    "load_bench_json",
+]
+
+_BENCH_SCHEMA_KEYS = ("bench", "workload", "rows", "wall_seconds", "counters")
 
 
 @dataclass
@@ -60,6 +85,49 @@ def counter_rows(
         values = dict(as_dict()) if callable(as_dict) else dict(counters)
         rows.append({"label": label, **values})
     return rows
+
+
+def write_bench_json(
+    bench: str,
+    workload: str,
+    rows: Iterable[Mapping],
+    wall_seconds: float,
+    counters: Mapping[str, int] | object | None = None,
+    directory: str | Path = ".",
+) -> Path:
+    """Write one ``BENCH_<bench>.json`` perf artifact and return its path.
+
+    ``counters`` accepts a mapping or anything with ``as_dict()`` (an
+    :class:`~repro.core.oracle.OracleCounters`); ``None`` records ``{}``.
+    """
+    as_dict = getattr(counters, "as_dict", None)
+    if callable(as_dict):
+        counter_map = dict(as_dict())
+    elif counters is None:
+        counter_map = {}
+    else:
+        counter_map = dict(counters)
+    document = {
+        "bench": bench,
+        "workload": workload,
+        "rows": [dict(row) for row in rows],
+        "wall_seconds": float(wall_seconds),
+        "counters": counter_map,
+    }
+    path = Path(directory) / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: str | Path) -> dict:
+    """Load and validate one ``BENCH_*.json`` artifact."""
+    document = json.loads(Path(path).read_text())
+    missing = [key for key in _BENCH_SCHEMA_KEYS if key not in document]
+    if missing:
+        raise ValueError(
+            f"{path}: not a bench artifact (missing keys {missing})"
+        )
+    return document
 
 
 def geometric_mean(values: Iterable[float]) -> float:

@@ -3,6 +3,7 @@
 Usage (installed as module)::
 
     python -m repro.cli solve problem.json [--method auto] [--json]
+    python -m repro.cli solve problem.json --portfolio [--methods a,b] [--jobs N]
     python -m repro.cli classify problem.json
     python -m repro.cli repairs problem.json -k 3
     python -m repro.cli render problem.json
@@ -63,6 +64,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="explain each deletion's coverage and collateral",
     )
+    solve_cmd.add_argument(
+        "--portfolio",
+        action="store_true",
+        help=(
+            "solve with several strategies concurrently and keep the "
+            "best feasible propagation (see --methods / --jobs)"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated strategy list for --portfolio "
+            "(default: claim1,greedy-min-damage,greedy-max-coverage)"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for --portfolio (default: one per "
+            "strategy capped at CPU count; 0 forces serial)"
+        ),
+    )
 
     classify_cmd = sub.add_parser(
         "classify", help="report structure and complexity landscape rows"
@@ -118,7 +144,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    solution = solve(problem, method=args.method)
+    if args.portfolio:
+        from repro.core.portfolio import DEFAULT_PORTFOLIO, solve_portfolio
+
+        methods = (
+            [m.strip() for m in args.methods.split(",") if m.strip()]
+            if args.methods
+            else DEFAULT_PORTFOLIO
+        )
+        solution = solve_portfolio(
+            problem, methods=methods, max_workers=args.jobs
+        )
+    else:
+        solution = solve(problem, method=args.method)
     if args.json:
         json.dump(solution_to_dict(solution), sys.stdout, indent=2)
         print()

@@ -5,6 +5,7 @@ LowDegTreeVSE(+Two), Algorithm 4 DPTreeVSE), plus baselines, the
 complexity classifier for Tables II–V, and a structure-aware dispatcher.
 """
 
+from repro.core.arena import CompiledProblem, compile_problem
 from repro.core.balanced import lemma1_bound, solve_balanced
 from repro.core.bounded import minimum_deletion_size, solve_bounded_exact
 from repro.core.classify import (
@@ -39,6 +40,13 @@ from repro.core.lp_rounding import (
     solve_randomized_rounding,
 )
 from repro.core.pareto import ParetoPoint, pareto_front
+from repro.core.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioResult,
+    run_delta_batch,
+    run_portfolio,
+    solve_portfolio,
+)
 from repro.core.primal_dual import PrimalDualTrace, solve_primal_dual
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
@@ -67,6 +75,8 @@ from repro.core.source_side_effect import (
 
 __all__ = [
     "BalancedDeletionPropagationProblem",
+    "CompiledProblem",
+    "DEFAULT_PORTFOLIO",
     "EliminationOracle",
     "OracleCounters",
     "SolverStatistics",
@@ -75,6 +85,7 @@ __all__ = [
     "DeletionPropagationProblem",
     "PAPER_RESULTS",
     "ParetoPoint",
+    "PortfolioResult",
     "PrimalDualTrace",
     "Propagation",
     "TABLE_II",
@@ -84,6 +95,7 @@ __all__ = [
     "available_solvers",
     "claim1_bound",
     "classification_flags",
+    "compile_problem",
     "coverage_of",
     "explain_solution",
     "improve",
@@ -94,6 +106,8 @@ __all__ = [
     "pareto_front",
     "preserved_degree",
     "resilience",
+    "run_delta_batch",
+    "run_portfolio",
     "solve_bounded_exact",
     "solve",
     "solve_balanced",
@@ -107,6 +121,7 @@ __all__ = [
     "solve_lowdeg_tree",
     "solve_lowdeg_tree_sweep",
     "solve_lp_rounding",
+    "solve_portfolio",
     "solve_primal_dual",
     "solve_randomized_rounding",
     "solve_single_deletion",

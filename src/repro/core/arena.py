@@ -1,0 +1,235 @@
+"""Compiled witness arena — integer-ID form of a propagation problem.
+
+Every solver in this package is a covering loop over the unique
+witnesses guaranteed by key preservation, and after the incremental
+:class:`~repro.core.oracle.EliminationOracle` made each move
+``O(dependents)``, the remaining constant factor was dominated by
+Python object hashing: the dependents were frozensets of
+:class:`~repro.relational.views.ViewTuple` and the witnesses frozensets
+of :class:`~repro.relational.tuples.Fact`, so every counter lookup paid
+a tuple hash.  :class:`CompiledProblem` flattens the whole witness
+bipartite structure into dense integer IDs **once**, after which any
+number of solving strategies (greedy, local search, the RBSC / PN-PSC
+set-cover pipelines, a parallel portfolio) reuse the same arrays —
+compile once, solve many.
+
+Memory layout
+-------------
+
+* ``facts`` / ``view_tuples`` — the interning tables, ID → object.  IDs
+  are assigned **in sorted object order**, so comparing two IDs orders
+  exactly like comparing the objects they name; heaps and sorted scans
+  over IDs therefore reproduce the object-level iteration order
+  move-for-move.
+* ``dep_offsets`` / ``dep_indices`` — CSR adjacency fact → dependent
+  view tuples: the dependents of fact ``f`` are
+  ``dep_indices[dep_offsets[f]:dep_offsets[f + 1]]`` (sorted).
+* ``wit_offsets`` / ``wit_indices`` — CSR adjacency view tuple →
+  witness facts (the transpose; key preservation makes the two sides of
+  the bipartite graph each other's inverse).
+* ``weights`` — flat per-view-tuple weight array.
+* ``is_delta`` — flat per-view-tuple ΔV membership flags.
+
+The CSR arrays are the canonical layout (``array('l')`` /
+``array('d')``); ``dep_of`` and ``wit_of`` are per-row tuple views over
+the same indices, precomputed because iterating a small tuple is the
+fastest loop CPython offers and the hot paths do nothing else.
+
+The object-level API (:class:`~repro.core.problem.DeletionPropagationProblem`,
+:class:`~repro.core.solution.Propagation`) remains the public surface;
+:meth:`CompiledProblem.fact_of` / :meth:`CompiledProblem.vt_of`
+reconstruct objects from IDs on export.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable
+
+from repro.errors import NotKeyPreservingError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+
+__all__ = ["CompiledProblem", "compile_problem"]
+
+
+class CompiledProblem:
+    """Integer-ID witness arena for one key-preserving problem.
+
+    Built in one pass over the problem's witness structure; immutable
+    afterwards.  Use :meth:`CompiledProblem.of` to share one compile
+    across every solver touching the same problem.
+    """
+
+    __slots__ = (
+        "problem",
+        "facts",
+        "fact_ids",
+        "view_tuples",
+        "vt_ids",
+        "dep_offsets",
+        "dep_indices",
+        "wit_offsets",
+        "wit_indices",
+        "dep_of",
+        "dep_set_of",
+        "wit_of",
+        "weights",
+        "is_delta",
+        "delta_ids",
+        "candidate_ids",
+        "num_delta",
+        "balanced",
+        "delta_penalty",
+    )
+
+    def __init__(self, problem: DeletionPropagationProblem):
+        if not problem.is_key_preserving():
+            raise NotKeyPreservingError(
+                "the witness arena requires key-preserving queries "
+                "(unique witnesses)"
+            )
+        self.problem = problem
+        self.balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+        self.delta_penalty = float(getattr(problem, "delta_penalty", 1.0))
+
+        # Interning tables in sorted order so ID order == object order.
+        self.facts: tuple[Fact, ...] = tuple(sorted(problem.instance.facts()))
+        self.fact_ids: dict[Fact, int] = {
+            fact: fid for fid, fact in enumerate(self.facts)
+        }
+        self.view_tuples: tuple[ViewTuple, ...] = tuple(
+            problem.all_view_tuples()  # already sorted by ViewSet
+        )
+        self.vt_ids: dict[ViewTuple, int] = {
+            vt: vid for vid, vt in enumerate(self.view_tuples)
+        }
+
+        num_facts = len(self.facts)
+        num_vts = len(self.view_tuples)
+
+        # One pass over the unique witnesses builds both CSR sides.
+        self.weights = array("d", bytes(8 * num_vts))
+        self.is_delta = bytearray(num_vts)
+        witness_ids: list[list[int]] = []
+        dep_lists: list[list[int]] = [[] for _ in range(num_facts)]
+        deletion = problem.deletion
+        weight = problem.weight
+        fact_ids = self.fact_ids
+        for vid, vt in enumerate(self.view_tuples):
+            self.weights[vid] = weight(vt)
+            if vt in deletion:
+                self.is_delta[vid] = 1
+            wit = sorted(fact_ids[fact] for fact in problem.witness(vt))
+            witness_ids.append(wit)
+            for fid in wit:
+                dep_lists[fid].append(vid)
+
+        self.wit_offsets, self.wit_indices = _csr(witness_ids)
+        self.dep_offsets, self.dep_indices = _csr(dep_lists)
+        # Per-row tuple views over the CSR indices for allocation-free
+        # iteration in the hot loops.
+        self.wit_of: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in witness_ids
+        )
+        self.dep_of: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in dep_lists
+        )
+        # Frozen membership views for the swap hypotheticals (``vid in
+        # dep(replacement)``) — built once so no per-trial set churn.
+        self.dep_set_of: tuple[frozenset[int], ...] = tuple(
+            frozenset(row) for row in dep_lists
+        )
+
+        self.delta_ids: tuple[int, ...] = tuple(
+            vid for vid in range(num_vts) if self.is_delta[vid]
+        )
+        self.num_delta = len(self.delta_ids)
+        candidate: set[int] = set()
+        for vid in self.delta_ids:
+            candidate.update(self.wit_of[vid])
+        self.candidate_ids: tuple[int, ...] = tuple(sorted(candidate))
+
+    # ------------------------------------------------------------------
+    # Shared-compile cache
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, problem: DeletionPropagationProblem) -> "CompiledProblem":
+        """The (cached) compiled form of ``problem`` — every solver that
+        asks for the same problem gets the same arena."""
+        compiled = getattr(problem, "_compiled_arena", None)
+        if compiled is None or compiled.problem is not problem:
+            compiled = cls(problem)
+            problem._compiled_arena = compiled
+        return compiled
+
+    # ------------------------------------------------------------------
+    # ID ↔ object translation (export surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_facts(self) -> int:
+        return len(self.facts)
+
+    @property
+    def num_view_tuples(self) -> int:
+        return len(self.view_tuples)
+
+    def fact_id(self, fact: Fact) -> int:
+        return self.fact_ids[fact]
+
+    def fact_of(self, fid: int) -> Fact:
+        return self.facts[fid]
+
+    def vt_id(self, vt: ViewTuple) -> int:
+        return self.vt_ids[vt]
+
+    def vt_of(self, vid: int) -> ViewTuple:
+        return self.view_tuples[vid]
+
+    def facts_of(self, fids: Iterable[int]) -> list[Fact]:
+        facts = self.facts
+        return [facts[fid] for fid in fids]
+
+    def vts_of(self, vids: Iterable[int]) -> list[ViewTuple]:
+        vts = self.view_tuples
+        return [vts[vid] for vid in vids]
+
+    def dependent_ids(self, fid: int) -> tuple[int, ...]:
+        """View-tuple IDs whose unique witness contains fact ``fid``."""
+        return self.dep_of[fid]
+
+    def witness_ids(self, vid: int) -> tuple[int, ...]:
+        """Fact IDs of the unique witness of view tuple ``vid``."""
+        return self.wit_of[vid]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledProblem(|D|={self.num_facts}, "
+            f"‖V‖={self.num_view_tuples}, ‖ΔV‖={self.num_delta}, "
+            f"nnz={len(self.dep_indices)})"
+        )
+
+
+def _csr(rows: list[list[int]]) -> tuple[array, array]:
+    """Pack a list of index rows into (offsets, indices) CSR arrays."""
+    offsets = array("l", [0])
+    total = 0
+    for row in rows:
+        total += len(row)
+        offsets.append(total)
+    indices = array("l")
+    for row in rows:
+        indices.extend(row)
+    return offsets, indices
+
+
+def compile_problem(problem: DeletionPropagationProblem) -> CompiledProblem:
+    """Compile ``problem`` into a fresh integer-ID witness arena (see
+    :meth:`CompiledProblem.of` for the shared, cached variant)."""
+    return CompiledProblem(problem)

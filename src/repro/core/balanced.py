@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.arena import CompiledProblem
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import BalancedDeletionPropagationProblem
 from repro.core.solution import Propagation
@@ -36,7 +37,11 @@ def solve_balanced(
     """The Lemma 1 approximation (requires key-preserving queries)."""
     if problem.deletion.is_empty():
         return Propagation(problem, (), method="lemma1-posneg")
-    reduction = problem_to_posneg(problem)
+    # Route the covering instance through the compiled arena (integer
+    # view-tuple IDs end-to-end in the PN-PSC → RBSC pipeline).
+    reduction = problem_to_posneg(
+        problem, compiled=CompiledProblem.of(problem)
+    )
     selection, _ = solve_posneg_lowdeg(reduction.covering)
     facts = reduction.decode(selection)
     oracle = EliminationOracle(problem, facts, counters=counters)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core.arena import CompiledProblem
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
 from repro.reductions.to_setcover import problem_to_rbsc
@@ -25,7 +26,10 @@ def solve_general(problem: DeletionPropagationProblem) -> Propagation:
     """The Claim 1 approximation (requires key-preserving queries)."""
     if problem.deletion.is_empty():
         return Propagation(problem, (), method="claim1-lowdeg")
-    reduction = problem_to_rbsc(problem)
+    # Route the covering instance through the compiled arena: the RBSC
+    # solver then works over integer view-tuple IDs (raises
+    # NotKeyPreservingError exactly like the object path).
+    reduction = problem_to_rbsc(problem, compiled=CompiledProblem.of(problem))
     selection, _ = low_deg_two(reduction.covering)
     facts = reduction.decode(selection)
     return Propagation(problem, facts, method="claim1-lowdeg")

@@ -23,6 +23,13 @@ after a pick (their coverage/damage are the only ones that can have
 changed, since hit counts are monotone during greedy).  Stale heap
 entries carry an outdated version stamp and are skipped on pop, so the
 selection sequence is identical to the full-rescan originals.
+
+The loops run at the integer-ID level of the compiled witness arena
+(:mod:`repro.core.arena`): heap entries hold fact/view-tuple IDs, and
+because IDs are interned in sorted object order the heap's tie-breaks
+reproduce the object-level selection sequence exactly.  The
+object-backed twins live in :mod:`repro.core.reference` for the
+differential suite.
 """
 
 from __future__ import annotations
@@ -30,8 +37,7 @@ from __future__ import annotations
 import heapq
 
 from repro.errors import NotKeyPreservingError
-from repro.relational.tuples import Fact
-from repro.relational.views import ViewTuple
+from repro.core.arena import CompiledProblem
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
@@ -46,73 +52,53 @@ def _require_key_preserving(problem: DeletionPropagationProblem) -> None:
         )
 
 
-def _newly_eliminated(
-    oracle: EliminationOracle, fact: Fact
-) -> list[ViewTuple]:
-    """View tuples whose hit count would go 0 → 1 when ``fact`` is
-    added (must be computed *before* the add)."""
-    return [
-        vt
-        for vt in oracle.problem.dependents(fact)
-        if oracle.hits(vt) == 0
-    ]
-
-
-def _affected_candidates(
-    problem: DeletionPropagationProblem,
-    newly: list[ViewTuple],
-    candidate_set: frozenset[Fact],
-) -> set[Fact]:
-    """Candidates whose coverage or damage can have changed: exactly
-    the facts occurring in a witness of a newly eliminated view tuple
-    (for key-preserving queries, ``vt ∈ dep(f) ⇔ f ∈ wit(vt)``)."""
-    affected: set[Fact] = set()
-    for vt in newly:
-        affected.update(problem.witness(vt))
-    return affected & candidate_set
-
-
 def solve_greedy_min_damage(
     problem: DeletionPropagationProblem,
     counters: OracleCounters | None = None,
 ) -> Propagation:
     """Cheapest-fact-per-witness greedy."""
     _require_key_preserving(problem)
+    arena = CompiledProblem.of(problem)
     oracle = EliminationOracle(problem, (), counters=counters)
-    delta = frozenset(problem.deleted_view_tuples())
-    candidate_set = frozenset(problem.candidate_facts())
+    dep_of = arena.dep_of
+    wit_of = arena.wit_of
+    is_delta = arena.is_delta
+    hits = oracle._hits
+    deleted = oracle._deleted_ids
+    candidate_set = frozenset(arena.candidate_ids)
 
-    # Heap of (damage, vt, fact, stamp) over every uncovered ΔV tuple
+    # Heap of (damage, vid, fid, stamp) over every uncovered ΔV tuple
     # and every fact of its witness — the same key the full rescan
-    # minimized.  version[fact] invalidates entries when the fact's
-    # damage may have changed.
-    version: dict[Fact, int] = {}
-    heap: list[tuple[float, ViewTuple, Fact, int]] = []
-    for vt in sorted(delta):
-        for fact in sorted(problem.witness(vt)):
-            heapq.heappush(
-                heap, (oracle.marginal_damage(fact), vt, fact, 0)
-            )
+    # minimized (ID order == object order).  version[fid] invalidates
+    # entries when the fact's damage may have changed.
+    version: dict[int, int] = {}
+    heap: list[tuple[float, int, int, int]] = []
+    marginal_damage = oracle.marginal_damage_id
+    for vid in arena.delta_ids:
+        for fid in wit_of[vid]:
+            heapq.heappush(heap, (marginal_damage(fid), vid, fid, 0))
 
-    while oracle.uncovered_delta() and heap:
-        damage, vt, fact, stamp = heapq.heappop(heap)
-        if stamp != version.get(fact, 0) or oracle.hits(vt) > 0:
+    while oracle._uncovered and heap:
+        damage, vid, fid, stamp = heapq.heappop(heap)
+        if stamp != version.get(fid, 0) or hits[vid] > 0:
             continue
-        newly = _newly_eliminated(oracle, fact)
-        oracle.add(fact)
-        # Only facts sharing a newly eliminated *preserved* view tuple
-        # can see their damage change; ΔV transitions are handled by
-        # the hits check on pop.
-        affected = _affected_candidates(
-            problem, [v for v in newly if v not in delta], candidate_set
-        )
+        # Facts whose damage can have changed: those sharing a newly
+        # eliminated *preserved* view tuple with the pick (ΔV
+        # transitions are handled by the hits check on pop).  Must be
+        # collected before the add flips the hit counts.
+        affected: set[int] = set()
+        for dvid in dep_of[fid]:
+            if hits[dvid] == 0 and not is_delta[dvid]:
+                affected.update(wit_of[dvid])
+        affected &= candidate_set
+        oracle.add_id(fid)
         for other in affected:
-            if other in oracle:
+            if other in deleted:
                 continue
             version[other] = version.get(other, 0) + 1
-            damage = oracle.marginal_damage(other)
-            for target in problem.dependents(other):
-                if target in delta and oracle.hits(target) == 0:
+            damage = marginal_damage(other)
+            for target in dep_of[other]:
+                if is_delta[target] and hits[target] == 0:
                     heapq.heappush(
                         heap, (damage, target, other, version[other])
                     )
@@ -125,32 +111,47 @@ def solve_greedy_max_coverage(
 ) -> Propagation:
     """Best coverage-per-damage greedy."""
     _require_key_preserving(problem)
+    arena = CompiledProblem.of(problem)
     oracle = EliminationOracle(problem, (), counters=counters)
-    candidate_set = frozenset(problem.candidate_facts())
+    dep_of = arena.dep_of
+    wit_of = arena.wit_of
+    is_delta = arena.is_delta
+    hits = oracle._hits
+    deleted = oracle._deleted_ids
+    candidate_set = frozenset(arena.candidate_ids)
+    coverage = oracle.coverage_id
+    marginal_damage = oracle.marginal_damage_id
 
-    # Max-heap of (-score, fact, stamp); ties break toward the smallest
-    # fact, matching the original scan over sorted candidates.
-    version: dict[Fact, int] = {}
-    heap: list[tuple[float, Fact, int]] = []
+    # Max-heap of (-score, fid, stamp); ties break toward the smallest
+    # fact ID — i.e. the smallest fact, matching the original scan over
+    # sorted candidates.
+    version: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = []
 
-    def _push(fact: Fact, stamp: int) -> None:
-        coverage = oracle.coverage(fact)
-        if coverage == 0:
+    def _push(fid: int, stamp: int) -> None:
+        cov = coverage(fid)
+        if cov == 0:
             return
-        score = coverage / (1.0 + oracle.marginal_damage(fact))
-        heapq.heappush(heap, (-score, fact, stamp))
+        score = cov / (1.0 + marginal_damage(fid))
+        heapq.heappush(heap, (-score, fid, stamp))
 
-    for fact in problem.candidate_facts():
-        _push(fact, 0)
+    for fid in arena.candidate_ids:
+        _push(fid, 0)
 
-    while oracle.uncovered_delta() and heap:
-        _, fact, stamp = heapq.heappop(heap)
-        if stamp != version.get(fact, 0) or fact in oracle:
+    while oracle._uncovered and heap:
+        _, fid, stamp = heapq.heappop(heap)
+        if stamp != version.get(fid, 0) or fid in deleted:
             continue
-        newly = _newly_eliminated(oracle, fact)
-        oracle.add(fact)
-        for other in _affected_candidates(problem, newly, candidate_set):
-            if other in oracle:
+        # Candidates sharing any newly eliminated view tuple (ΔV or
+        # preserved) can see coverage or damage change.
+        affected: set[int] = set()
+        for dvid in dep_of[fid]:
+            if hits[dvid] == 0:
+                affected.update(wit_of[dvid])
+        affected &= candidate_set
+        oracle.add_id(fid)
+        for other in affected:
+            if other in deleted:
                 continue
             version[other] = version.get(other, 0) + 1
             _push(other, version[other])

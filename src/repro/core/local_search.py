@@ -14,14 +14,20 @@ For balanced problems feasibility is not required, so *drop* and an
 additional **add** move (delete one more candidate fact) are evaluated
 directly against the balanced objective.
 
-Every candidate move is costed through the
-:class:`~repro.core.oracle.EliminationOracle` in O(dependents) delta
-time — the oracle is built once per :func:`improve` call and no full
-``eliminated_by`` pass happens inside the move loop (counter-verified
-by the benches).  :func:`improve_reference` keeps the original
-rebuild-per-trial implementation as the behavioral ground truth: both
-paths evaluate the identical move sequence, so their outputs match
-fact-for-fact, which the differential tests assert.
+The move loop runs entirely on the integer-ID witness arena
+(:mod:`repro.core.arena`): every candidate move is costed over flat
+``hits`` / weight / ΔV-flag arrays with the loop state hoisted into
+locals, so one trial is a handful of small-int reads — no object
+hashing and no per-trial method dispatch.  The loop mutates the
+:class:`~repro.core.oracle.EliminationOracle`'s live structures in
+place and flushes the aggregates and counters back before exporting, so
+the exported :class:`Propagation` and its
+:class:`~repro.core.oracle.OracleCounters` are exactly what the
+object-level API would have produced.  Two ground-truth twins exist for
+the differential suite: :func:`repro.core.reference.reference_improve`
+(the previous PR's object-backed oracle, identical moves *and identical
+counters*) and :func:`improve_reference` here (the original
+rebuild-per-trial implementation, identical moves).
 
 :func:`solve_with_local_search` wraps any registered solver with an
 improvement pass — this is the ablation knob benchmarked in
@@ -69,54 +75,222 @@ def improve(
     input must be feasible and the output stays feasible.  Pass
     ``counters`` to accumulate oracle statistics across calls.
     """
-    balanced = _check_start(solution)
     problem = solution.problem
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError("local search requires key-preserving queries")
+    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
     oracle = EliminationOracle(problem, solution.deleted_facts, counters=counters)
-    current_cost = oracle.objective()
-    candidates = problem.candidate_facts()
+    # Feasibility of the start is judged by the oracle's own counters
+    # so the arena path never touches the object-level dependents index
+    # (whose lazy build would dwarf the move loop itself).
+    if not balanced and oracle._uncovered:
+        raise ValueError("local search needs a feasible starting solution")
+
+    # Hot-path setup: hoist the arena arrays and the oracle's live
+    # structures into locals.  The loop below is the trusted in-place
+    # twin of the oracle's own move methods — it mutates ``hits`` /
+    # ``deleted`` / ``eliminated`` directly and flushes the float/int
+    # aggregates and the counters back before exporting.
+    arena = oracle.arena
+    dep_of = arena.dep_of
+    dep_set_of = arena.dep_set_of
+    is_delta = arena.is_delta
+    weights = arena.weights
+    penalty = arena.delta_penalty
+    candidates = arena.candidate_ids
+    hits = oracle._hits
+    deleted = oracle._deleted_ids
+    eliminated = oracle._eliminated_ids
+    side_effect = oracle._side_effect
+    uncovered = oracle._uncovered
+    hypotheticals = 0
+    applied = 0
+    infinity = float("inf")
+
+    if balanced:
+        current_cost = penalty * uncovered + side_effect
+    else:
+        current_cost = infinity if uncovered else side_effect
 
     for _ in range(max_rounds):
         improved = False
 
         # Drop moves.
-        for fact in sorted(oracle.deleted_facts):
-            if not balanced and not oracle.feasible_if_removed(fact):
-                continue
-            cost = oracle.objective_if_removed(fact)
+        for fid in sorted(deleted):
+            deps = dep_of[fid]
+            if not balanced:
+                hypotheticals += 1  # feasible_if_removed
+                feasible = uncovered == 0
+                if feasible:
+                    for vid in deps:
+                        if is_delta[vid] and hits[vid] == 1:
+                            feasible = False
+                            break
+                if not feasible:
+                    continue
+                hypotheticals += 1  # objective_if_removed
+                d_se = 0.0
+                for vid in deps:
+                    if hits[vid] == 1 and not is_delta[vid]:
+                        d_se -= weights[vid]
+                cost = side_effect + d_se
+            else:
+                hypotheticals += 1  # objective_if_removed
+                d_se = 0.0
+                d_unc = 0
+                for vid in deps:
+                    if hits[vid] == 1:
+                        if is_delta[vid]:
+                            d_unc += 1
+                        else:
+                            d_se -= weights[vid]
+                cost = penalty * (uncovered + d_unc) + side_effect + d_se
             if cost <= current_cost:
                 # dropping never hurts; accept even at equal cost to
                 # shrink the deletion set
-                oracle.remove(fact)
+                applied += 1
+                deleted.discard(fid)
+                for vid in deps:
+                    h = hits[vid] - 1
+                    hits[vid] = h
+                    if h == 0:
+                        eliminated.discard(vid)
+                        if is_delta[vid]:
+                            uncovered += 1
+                        else:
+                            side_effect -= weights[vid]
                 current_cost = cost
                 improved = True
+
         # Swap moves.
-        for fact in sorted(oracle.deleted_facts):
-            for replacement in candidates:
-                if replacement in oracle:
+        for fid in sorted(deleted):
+            deps_out = dep_of[fid]
+            out_set = dep_set_of[fid]
+            for rid in candidates:
+                if rid in deleted:
                     continue
-                if not balanced and not oracle.feasible_if_swapped(
-                    fact, replacement
-                ):
-                    continue
-                cost = oracle.objective_if_swapped(fact, replacement)
+                in_set = dep_set_of[rid]
+                if not balanced:
+                    hypotheticals += 1  # feasible_if_swapped
+                    # With a feasible current state every ΔV tuple has
+                    # positive hits, so the swap stays feasible iff no
+                    # ΔV tuple is uniquely covered by ``fid`` and not
+                    # re-covered by ``rid``.
+                    feasible = True
+                    for vid in deps_out:
+                        if (
+                            is_delta[vid]
+                            and hits[vid] == 1
+                            and vid not in in_set
+                        ):
+                            feasible = False
+                            break
+                    if not feasible:
+                        continue
+                    hypotheticals += 1  # objective_if_swapped
+                    d_se = 0.0
+                    for vid in deps_out:
+                        if (
+                            hits[vid] == 1
+                            and not is_delta[vid]
+                            and vid not in in_set
+                        ):
+                            d_se -= weights[vid]
+                    for vid in dep_of[rid]:
+                        if (
+                            hits[vid] == 0
+                            and not is_delta[vid]
+                            and vid not in out_set
+                        ):
+                            d_se += weights[vid]
+                    cost = side_effect + d_se
+                else:
+                    hypotheticals += 1  # objective_if_swapped
+                    d_se = 0.0
+                    d_unc = 0
+                    for vid in deps_out:
+                        if vid in in_set:
+                            continue
+                        if hits[vid] == 1:
+                            if is_delta[vid]:
+                                d_unc += 1
+                            else:
+                                d_se -= weights[vid]
+                    for vid in dep_of[rid]:
+                        if vid in out_set:
+                            continue
+                        if hits[vid] == 0:
+                            if is_delta[vid]:
+                                d_unc -= 1
+                            else:
+                                d_se += weights[vid]
+                    cost = penalty * (uncovered + d_unc) + side_effect + d_se
                 if cost < current_cost:
-                    oracle.swap(fact, replacement)
+                    # apply the swap: remove ``fid`` then add ``rid``
+                    applied += 2
+                    deleted.discard(fid)
+                    for vid in deps_out:
+                        h = hits[vid] - 1
+                        hits[vid] = h
+                        if h == 0:
+                            eliminated.discard(vid)
+                            if is_delta[vid]:
+                                uncovered += 1
+                            else:
+                                side_effect -= weights[vid]
+                    deleted.add(rid)
+                    for vid in dep_of[rid]:
+                        h = hits[vid]
+                        hits[vid] = h + 1
+                        if h == 0:
+                            eliminated.add(vid)
+                            if is_delta[vid]:
+                                uncovered -= 1
+                            else:
+                                side_effect += weights[vid]
                     current_cost = cost
                     improved = True
                     break
+
         # Add moves (balanced only: adding can pay off by covering ΔV).
         if balanced:
-            for fact in candidates:
-                if fact in oracle:
+            for rid in candidates:
+                if rid in deleted:
                     continue
-                cost = oracle.objective_if_added(fact)
+                hypotheticals += 1  # objective_if_added
+                d_se = 0.0
+                d_unc = 0
+                for vid in dep_of[rid]:
+                    if hits[vid] == 0:
+                        if is_delta[vid]:
+                            d_unc -= 1
+                        else:
+                            d_se += weights[vid]
+                cost = penalty * (uncovered + d_unc) + side_effect + d_se
                 if cost < current_cost:
-                    oracle.add(fact)
+                    applied += 1
+                    deleted.add(rid)
+                    for vid in dep_of[rid]:
+                        h = hits[vid]
+                        hits[vid] = h + 1
+                        if h == 0:
+                            eliminated.add(vid)
+                            if is_delta[vid]:
+                                uncovered -= 1
+                            else:
+                                side_effect += weights[vid]
                     current_cost = cost
                     improved = True
         if not improved:
             break
 
+    # Flush the hoisted aggregates and accounting back into the oracle.
+    oracle._side_effect = side_effect
+    oracle._uncovered = uncovered
+    oracle._deleted_cache = None
+    oracle._eliminated_cache = None
+    oracle.counters.oracle_hits += hypotheticals
+    oracle.counters.delta_evaluations += applied
     return oracle.to_propagation(method=f"{solution.method}+local-search")
 
 

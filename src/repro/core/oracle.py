@@ -25,23 +25,27 @@ aggregates ride on the transitions ``0 ↔ positive``:
   ``uncovered == 0``, condition (a) of Section II.C);
 * ``balanced_cost`` — ``delta_penalty·uncovered + side_effect``.
 
-Deleting or restoring a fact touches only its dependents, and the
-hypothetical queries (``objective_if_added`` and friends) inspect the
-same dependents without mutating anything, which is what turns the
-local-search move loop and the greedy selection loop from
-``O(full re-pass)`` per trial into ``O(dependents)`` per trial.
+The oracle runs on the integer-ID witness arena of
+:mod:`repro.core.arena`: ``hits`` is a flat int array indexed by
+view-tuple ID, the dependents of a fact are a tuple of integer IDs, and
+one move touches nothing but small-int list reads — no
+``Fact``/``ViewTuple`` hashing anywhere on the hot path.  The
+object-level API (``add(fact)``, ``hits(vt)``, ``to_propagation`` …)
+stays the public surface; an ``*_id`` twin of each primitive serves the
+solvers that already hold IDs.  The pre-arena dict-backed
+implementation survives as
+:class:`repro.core.reference.ReferenceEliminationOracle`, the ground
+truth of the differential suite.
+
+``deleted_facts`` and :meth:`eliminated_view_tuples` are cached
+snapshots invalidated only by mutation, so statistics polling between
+moves is O(1).
 
 :class:`OracleCounters` records how the work was answered —
 ``oracle_hits`` (hypothetical O(dep) queries), ``delta_evaluations``
 (applied incremental updates) and ``full_reevaluations`` (passes over
 the complete witness structure) — and is surfaced through
 :func:`repro.core.statistics.solver_statistics` and the bench harness.
-
-:class:`~repro.core.solution.Propagation` remains the immutable result
-type; :meth:`EliminationOracle.to_propagation` exports the current
-state, and :meth:`EliminationOracle.verify` cross-checks the counters
-against the from-scratch accounting (and transitively against
-``verify_by_reevaluation``, the evaluation-level ground truth).
 """
 
 from __future__ import annotations
@@ -49,13 +53,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.errors import NotKeyPreservingError, ProblemError
+from repro.errors import ProblemError
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
-from repro.core.problem import (
-    BalancedDeletionPropagationProblem,
-    DeletionPropagationProblem,
-)
+from repro.core.arena import CompiledProblem
+from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
 
 __all__ = ["EliminationOracle", "OracleCounters"]
@@ -94,12 +96,16 @@ class OracleCounters:
 
 
 class EliminationOracle:
-    """Live support counters over the witness structure of a problem.
+    """Live support counters over the compiled witness arena.
 
     The oracle is bound to one (key-preserving)
     :class:`DeletionPropagationProblem` and tracks a mutable deletion
     set ``ΔD``; all objective and feasibility questions about
-    ``ΔD ± {fact}`` are answered in ``O(|dependents(fact)|)``.
+    ``ΔD ± {fact}`` are answered in ``O(|dependents(fact)|)`` over flat
+    integer arrays.  Pass ``compiled`` to share one
+    :class:`~repro.core.arena.CompiledProblem` across oracles; by
+    default the problem's cached arena is used (compiled on first
+    demand).
     """
 
     def __init__(
@@ -107,30 +113,40 @@ class EliminationOracle:
         problem: DeletionPropagationProblem,
         deleted: Iterable[Fact] = (),
         counters: OracleCounters | None = None,
+        compiled: CompiledProblem | None = None,
     ):
-        if not problem.is_key_preserving():
-            raise NotKeyPreservingError(
-                "the elimination oracle requires key-preserving queries "
-                "(unique witnesses)"
+        if compiled is None:
+            compiled = CompiledProblem.of(problem)  # raises NotKeyPreserving
+        elif compiled.problem is not problem:
+            raise ProblemError(
+                "compiled arena belongs to a different problem instance"
             )
         self.problem = problem
+        self.arena = compiled
         self.counters = counters if counters is not None else OracleCounters()
-        self._balanced = isinstance(problem, BalancedDeletionPropagationProblem)
-        self._penalty = getattr(problem, "delta_penalty", 1.0)
-        self._delta: frozenset[ViewTuple] = frozenset(
-            problem.deleted_view_tuples()
-        )
-        self._deleted: set[Fact] = set()
-        self._hits: dict[ViewTuple, int] = {}
+        self._balanced = compiled.balanced
+        self._penalty = compiled.delta_penalty
+        self._hits: list[int] = [0] * compiled.num_view_tuples
+        self._deleted_ids: set[int] = set()
+        self._eliminated_ids: set[int] = set()
         self._side_effect: float = 0.0
-        self._uncovered: int = len(self._delta)
+        self._uncovered: int = compiled.num_delta
+        self._deleted_cache: frozenset[Fact] | None = frozenset()
+        self._eliminated_cache: frozenset[ViewTuple] | None = frozenset()
         # Building the counters walks the full witness structure once
-        # (problem.dependents' index) — account it as a full pass.
+        # (the compiled adjacency) — account it as a full pass.
         self.counters.full_reevaluations += 1
-        for fact in sorted(deleted, key=lambda f: (f.relation, f.values)):
-            if fact in self._deleted:
-                continue
-            self._apply_add(fact)
+        fact_ids = compiled.fact_ids
+        initial: set[int] = set()
+        for fact in deleted:
+            fid = fact_ids.get(fact)
+            if fid is None:
+                raise ProblemError(
+                    f"{fact!r} is not in the source instance"
+                )
+            initial.add(fid)
+        for fid in sorted(initial):
+            self._apply_add(fid)
 
     # ------------------------------------------------------------------
     # State observation
@@ -138,25 +154,49 @@ class EliminationOracle:
 
     @property
     def deleted_facts(self) -> frozenset[Fact]:
-        """The current ``ΔD`` (snapshot)."""
-        return frozenset(self._deleted)
+        """The current ``ΔD`` (cached snapshot, O(1) when unchanged)."""
+        cache = self._deleted_cache
+        if cache is None:
+            facts = self.arena.facts
+            cache = frozenset(facts[fid] for fid in self._deleted_ids)
+            self._deleted_cache = cache
+        return cache
+
+    @property
+    def deleted_ids(self) -> set[int]:
+        """The current ``ΔD`` as fact IDs (live set — do not mutate)."""
+        return self._deleted_ids
 
     def __contains__(self, fact: Fact) -> bool:
-        return fact in self._deleted
+        fid = self.arena.fact_ids.get(fact)
+        return fid is not None and fid in self._deleted_ids
+
+    def contains_id(self, fid: int) -> bool:
+        return fid in self._deleted_ids
 
     def __len__(self) -> int:
-        return len(self._deleted)
+        return len(self._deleted_ids)
 
     def hits(self, vt: ViewTuple) -> int:
         """``|wit(vt) ∩ ΔD|`` — the live support counter."""
-        return self._hits.get(vt, 0)
+        vid = self.arena.vt_ids.get(vt)
+        return 0 if vid is None else self._hits[vid]
+
+    def hits_id(self, vid: int) -> int:
+        return self._hits[vid]
 
     def is_eliminated(self, vt: ViewTuple) -> bool:
-        return self._hits.get(vt, 0) > 0
+        return self.hits(vt) > 0
 
     def eliminated_view_tuples(self) -> frozenset[ViewTuple]:
-        """All view tuples with positive hit count."""
-        return frozenset(vt for vt, h in self._hits.items() if h > 0)
+        """All view tuples with positive hit count (cached snapshot,
+        O(1) when unchanged)."""
+        cache = self._eliminated_cache
+        if cache is None:
+            vts = self.arena.view_tuples
+            cache = frozenset(vts[vid] for vid in self._eliminated_ids)
+            self._eliminated_cache = cache
+        return cache
 
     def side_effect(self) -> float:
         """Weight of preserved view tuples currently eliminated."""
@@ -185,44 +225,77 @@ class EliminationOracle:
     # Mutation (delta updates)
     # ------------------------------------------------------------------
 
-    def _apply_add(self, fact: Fact) -> None:
-        self._deleted.add(fact)
+    def _apply_add(self, fid: int) -> None:
+        self._deleted_ids.add(fid)
+        self._deleted_cache = None
+        arena = self.arena
         hits = self._hits
-        for vt in self.problem.dependents(fact):
-            h = hits.get(vt, 0)
-            hits[vt] = h + 1
+        is_delta = arena.is_delta
+        weights = arena.weights
+        eliminated = self._eliminated_ids
+        for vid in arena.dep_of[fid]:
+            h = hits[vid]
+            hits[vid] = h + 1
             if h == 0:
-                if vt in self._delta:
+                eliminated.add(vid)
+                self._eliminated_cache = None
+                if is_delta[vid]:
                     self._uncovered -= 1
                 else:
-                    self._side_effect += self.problem.weight(vt)
+                    self._side_effect += weights[vid]
+
+    def _apply_remove(self, fid: int) -> None:
+        self._deleted_ids.discard(fid)
+        self._deleted_cache = None
+        arena = self.arena
+        hits = self._hits
+        is_delta = arena.is_delta
+        weights = arena.weights
+        eliminated = self._eliminated_ids
+        for vid in arena.dep_of[fid]:
+            h = hits[vid] - 1
+            hits[vid] = h
+            if h == 0:
+                eliminated.discard(vid)
+                self._eliminated_cache = None
+                if is_delta[vid]:
+                    self._uncovered += 1
+                else:
+                    self._side_effect -= weights[vid]
 
     def add(self, fact: Fact) -> None:
         """Delete one more fact (``ΔD ← ΔD ∪ {fact}``)."""
-        if fact in self._deleted:
+        fid = self.arena.fact_ids.get(fact)
+        if fid is not None and fid in self._deleted_ids:
             raise ProblemError(f"{fact!r} is already deleted")
-        if fact not in self.problem.instance:
+        if fid is None:
             raise ProblemError(f"{fact!r} is not in the source instance")
         self.counters.delta_evaluations += 1
-        self._apply_add(fact)
+        self._apply_add(fid)
+
+    def add_id(self, fid: int) -> None:
+        if fid in self._deleted_ids:
+            raise ProblemError(
+                f"{self.arena.facts[fid]!r} is already deleted"
+            )
+        self.counters.delta_evaluations += 1
+        self._apply_add(fid)
 
     def remove(self, fact: Fact) -> None:
         """Restore one fact (``ΔD ← ΔD \\ {fact}``)."""
-        if fact not in self._deleted:
+        fid = self.arena.fact_ids.get(fact)
+        if fid is None or fid not in self._deleted_ids:
             raise ProblemError(f"{fact!r} is not currently deleted")
         self.counters.delta_evaluations += 1
-        self._deleted.remove(fact)
-        hits = self._hits
-        for vt in self.problem.dependents(fact):
-            h = hits[vt] - 1
-            if h:
-                hits[vt] = h
-            else:
-                del hits[vt]
-                if vt in self._delta:
-                    self._uncovered += 1
-                else:
-                    self._side_effect -= self.problem.weight(vt)
+        self._apply_remove(fid)
+
+    def remove_id(self, fid: int) -> None:
+        if fid not in self._deleted_ids:
+            raise ProblemError(
+                f"{self.arena.facts[fid]!r} is not currently deleted"
+            )
+        self.counters.delta_evaluations += 1
+        self._apply_remove(fid)
 
     def swap(self, out: Fact, replacement: Fact) -> None:
         """Atomically replace ``out`` by ``replacement`` in ``ΔD``."""
@@ -233,28 +306,64 @@ class EliminationOracle:
     # Hypothetical queries (no mutation, O(dependents) each)
     # ------------------------------------------------------------------
 
-    def _shift_if_added(self, fact: Fact) -> tuple[float, int]:
+    def _shift_if_added(self, fid: int) -> tuple[float, int]:
         d_se = 0.0
         d_unc = 0
+        arena = self.arena
         hits = self._hits
-        for vt in self.problem.dependents(fact):
-            if hits.get(vt, 0) == 0:
-                if vt in self._delta:
+        is_delta = arena.is_delta
+        weights = arena.weights
+        for vid in arena.dep_of[fid]:
+            if hits[vid] == 0:
+                if is_delta[vid]:
                     d_unc -= 1
                 else:
-                    d_se += self.problem.weight(vt)
+                    d_se += weights[vid]
         return d_se, d_unc
 
-    def _shift_if_removed(self, fact: Fact) -> tuple[float, int]:
+    def _shift_if_removed(self, fid: int) -> tuple[float, int]:
         d_se = 0.0
         d_unc = 0
+        arena = self.arena
         hits = self._hits
-        for vt in self.problem.dependents(fact):
-            if hits.get(vt, 0) == 1:
-                if vt in self._delta:
+        is_delta = arena.is_delta
+        weights = arena.weights
+        for vid in arena.dep_of[fid]:
+            if hits[vid] == 1:
+                if is_delta[vid]:
                     d_unc += 1
                 else:
-                    d_se -= self.problem.weight(vt)
+                    d_se -= weights[vid]
+        return d_se, d_unc
+
+    def _shift_if_swapped(self, out: int, replacement: int) -> tuple[float, int]:
+        arena = self.arena
+        deps_out = arena.dep_of[out]
+        deps_in = arena.dep_of[replacement]
+        out_set = arena.dep_set_of[out]
+        in_set = arena.dep_set_of[replacement]
+        hits = self._hits
+        is_delta = arena.is_delta
+        weights = arena.weights
+        d_se = 0.0
+        d_unc = 0
+        for vid in deps_out:
+            # hit count unchanged when the replacement also covers vid
+            if vid in in_set:
+                continue
+            if hits[vid] == 1:
+                if is_delta[vid]:
+                    d_unc += 1
+                else:
+                    d_se -= weights[vid]
+        for vid in deps_in:
+            if vid in out_set:
+                continue
+            if hits[vid] == 0:
+                if is_delta[vid]:
+                    d_unc -= 1
+                else:
+                    d_se += weights[vid]
         return d_se, d_unc
 
     def _objective_for(self, side_effect: float, uncovered: int) -> float:
@@ -264,68 +373,68 @@ class EliminationOracle:
             return float("inf")
         return side_effect
 
+    def _fid(self, fact: Fact) -> int:
+        fid = self.arena.fact_ids.get(fact)
+        if fid is None:
+            raise ProblemError(f"{fact!r} is not in the source instance")
+        return fid
+
     def objective_if_added(self, fact: Fact) -> float:
         """Objective of ``ΔD ∪ {fact}`` (``fact ∉ ΔD``)."""
+        return self.objective_if_added_id(self._fid(fact))
+
+    def objective_if_added_id(self, fid: int) -> float:
         self.counters.oracle_hits += 1
-        d_se, d_unc = self._shift_if_added(fact)
+        d_se, d_unc = self._shift_if_added(fid)
         return self._objective_for(
             self._side_effect + d_se, self._uncovered + d_unc
         )
 
     def objective_if_removed(self, fact: Fact) -> float:
         """Objective of ``ΔD \\ {fact}`` (``fact ∈ ΔD``)."""
+        return self.objective_if_removed_id(self._fid(fact))
+
+    def objective_if_removed_id(self, fid: int) -> float:
         self.counters.oracle_hits += 1
-        d_se, d_unc = self._shift_if_removed(fact)
+        d_se, d_unc = self._shift_if_removed(fid)
         return self._objective_for(
             self._side_effect + d_se, self._uncovered + d_unc
         )
 
     def objective_if_swapped(self, out: Fact, replacement: Fact) -> float:
         """Objective of ``(ΔD \\ {out}) ∪ {replacement}``."""
+        return self.objective_if_swapped_id(
+            self._fid(out), self._fid(replacement)
+        )
+
+    def objective_if_swapped_id(self, out: int, replacement: int) -> float:
         self.counters.oracle_hits += 1
         d_se, d_unc = self._shift_if_swapped(out, replacement)
         return self._objective_for(
             self._side_effect + d_se, self._uncovered + d_unc
         )
 
-    def _shift_if_swapped(
-        self, out: Fact, replacement: Fact
-    ) -> tuple[float, int]:
-        deps_out = self.problem.dependents(out)
-        deps_in = self.problem.dependents(replacement)
-        d_se = 0.0
-        d_unc = 0
-        hits = self._hits
-        for vt in deps_out:
-            # hit count unchanged when the replacement also covers vt
-            if vt in deps_in:
-                continue
-            if hits.get(vt, 0) == 1:
-                if vt in self._delta:
-                    d_unc += 1
-                else:
-                    d_se -= self.problem.weight(vt)
-        for vt in deps_in:
-            if vt in deps_out:
-                continue
-            if hits.get(vt, 0) == 0:
-                if vt in self._delta:
-                    d_unc -= 1
-                else:
-                    d_se += self.problem.weight(vt)
-        return d_se, d_unc
-
     def feasible_if_removed(self, fact: Fact) -> bool:
         """Would ``ΔD \\ {fact}`` still eliminate all of ΔV?"""
+        return self.feasible_if_removed_id(self._fid(fact))
+
+    def feasible_if_removed_id(self, fid: int) -> bool:
         self.counters.oracle_hits += 1
+        arena = self.arena
         hits = self._hits
-        for vt in self.problem.dependents(fact):
-            if vt in self._delta and hits.get(vt, 0) == 1:
+        is_delta = arena.is_delta
+        for vid in arena.dep_of[fid]:
+            if is_delta[vid] and hits[vid] == 1:
                 return False
         return self._uncovered == 0
 
     def feasible_if_swapped(self, out: Fact, replacement: Fact) -> bool:
         """Would ``(ΔD \\ {out}) ∪ {replacement}`` stay feasible?"""
+        return self.feasible_if_swapped_id(
+            self._fid(out), self._fid(replacement)
+        )
+
+    def feasible_if_swapped_id(self, out: int, replacement: int) -> bool:
         self.counters.oracle_hits += 1
         _, d_unc = self._shift_if_swapped(out, replacement)
         return self._uncovered + d_unc == 0
@@ -337,24 +446,35 @@ class EliminationOracle:
     def marginal_damage(self, fact: Fact) -> float:
         """Weight of *preserved* view tuples newly eliminated by adding
         ``fact`` (the greedy baselines' damage term)."""
+        return self.marginal_damage_id(self._fid(fact))
+
+    def marginal_damage_id(self, fid: int) -> float:
         self.counters.oracle_hits += 1
+        arena = self.arena
         hits = self._hits
-        return sum(
-            self.problem.weight(vt)
-            for vt in self.problem.dependents(fact)
-            if vt not in self._delta and hits.get(vt, 0) == 0
-        )
+        is_delta = arena.is_delta
+        weights = arena.weights
+        total = 0.0
+        for vid in arena.dep_of[fid]:
+            if not is_delta[vid] and hits[vid] == 0:
+                total += weights[vid]
+        return total
 
     def coverage(self, fact: Fact) -> int:
         """Number of still-uncovered ΔV tuples that adding ``fact``
         would eliminate."""
+        return self.coverage_id(self._fid(fact))
+
+    def coverage_id(self, fid: int) -> int:
         self.counters.oracle_hits += 1
+        arena = self.arena
         hits = self._hits
-        return sum(
-            1
-            for vt in self.problem.dependents(fact)
-            if vt in self._delta and hits.get(vt, 0) == 0
-        )
+        is_delta = arena.is_delta
+        total = 0
+        for vid in arena.dep_of[fid]:
+            if is_delta[vid] and hits[vid] == 0:
+                total += 1
+        return total
 
     # ------------------------------------------------------------------
     # Export / ground truth
@@ -364,7 +484,7 @@ class EliminationOracle:
         """Freeze the current state as an immutable result."""
         return Propagation(
             self.problem,
-            self._deleted,
+            self.deleted_facts,
             method=method,
             counters=self.counters,
         )
@@ -375,7 +495,7 @@ class EliminationOracle:
         re-evaluation).  The test suite chains this with
         ``verify_by_reevaluation`` for evaluation-level ground truth."""
         self.counters.full_reevaluations += 1
-        reference = Propagation(self.problem, self._deleted)
+        reference = Propagation(self.problem, self.deleted_facts)
         if self.eliminated_view_tuples() != reference.eliminated_view_tuples:
             return False
         if abs(self._side_effect - reference.side_effect()) > 1e-9:
@@ -386,6 +506,6 @@ class EliminationOracle:
 
     def __repr__(self) -> str:
         return (
-            f"EliminationOracle(|ΔD|={len(self._deleted)}, "
+            f"EliminationOracle(|ΔD|={len(self._deleted_ids)}, "
             f"uncovered={self._uncovered}, side_effect={self._side_effect:g})"
         )

@@ -1,0 +1,322 @@
+"""Parallel solver portfolios over one compiled problem.
+
+The compiled witness arena (:mod:`repro.core.arena`) makes single
+strategies cheap; this module spends the freed budget on *breadth*: run
+several solving strategies on the same problem concurrently and keep
+the best feasible propagation, or push a batch of ΔV requests against
+one shared instance through worker processes.
+
+Processes, not threads — the solvers are pure Python and hold the GIL,
+so ``ProcessPoolExecutor`` is the only way the strategies actually
+overlap.  The problem travels to the workers once as its JSON document
+(:func:`repro.io.serialize.problem_to_dict`), is reconstructed and
+compiled worker-side on first use, and is cached in the worker process
+for the rest of the pool's lifetime — the classic compile-once
+solve-many layout, one compile per worker instead of one per task.
+Workers return plain ``(relation, values)`` pairs; the parent rebuilds
+:class:`~repro.core.solution.Propagation` objects against its own
+problem, so the public surface stays object-level.
+
+When the pool cannot be used (``max_workers=0``, a single strategy, or
+an executor that fails to start — e.g. a sandbox without process
+semaphores) the same work runs serially in-process with identical
+results; the portfolio is a throughput knob, never a semantics knob.
+
+Exposed on the command line as ``python -m repro.cli solve
+--portfolio`` and used by ``benchmarks/run_all.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SolverError
+from repro.relational.tuples import Fact
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.solution import Propagation
+
+__all__ = [
+    "DEFAULT_PORTFOLIO",
+    "PortfolioResult",
+    "run_portfolio",
+    "solve_portfolio",
+    "run_delta_batch",
+]
+
+#: Strategies tried by default: the paper's general-case approximation
+#: plus the two greedy baselines — all polynomial, all feasible on
+#: key-preserving problems, frequently incomparable on quality.
+DEFAULT_PORTFOLIO: tuple[str, ...] = (
+    "claim1",
+    "greedy-min-damage",
+    "greedy-max-coverage",
+)
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """One strategy's outcome inside a portfolio run."""
+
+    method: str
+    propagation: Propagation | None
+    wall_seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.propagation is not None
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (module-level so the pool can pickle it)
+# ----------------------------------------------------------------------
+
+_WORKER_DOC: Mapping[str, Any] | None = None
+_WORKER_PROBLEM: DeletionPropagationProblem | None = None
+
+
+def _init_worker(doc: Mapping[str, Any]) -> None:
+    global _WORKER_DOC, _WORKER_PROBLEM
+    _WORKER_DOC = doc
+    _WORKER_PROBLEM = None
+
+
+def _worker_problem() -> DeletionPropagationProblem:
+    """Reconstruct (once) and cache the problem in this worker."""
+    global _WORKER_PROBLEM
+    if _WORKER_PROBLEM is None:
+        from repro.io.serialize import problem_from_dict
+
+        _WORKER_PROBLEM = problem_from_dict(_WORKER_DOC)
+    return _WORKER_PROBLEM
+
+
+def _facts_payload(propagation: Propagation) -> list[tuple[str, tuple]]:
+    return [
+        (fact.relation, fact.values)
+        for fact in sorted(propagation.deleted_facts)
+    ]
+
+
+def _solve_method_task(method: str) -> tuple[str, float, list | None, str | None]:
+    """Worker task: solve the cached problem with one strategy."""
+    from repro.core.registry import solve
+
+    start = time.perf_counter()
+    try:
+        propagation = solve(_worker_problem(), method=method)
+    except Exception as exc:  # travel as text; solver errors are data here
+        return method, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
+    return method, time.perf_counter() - start, _facts_payload(propagation), None
+
+
+def _solve_delta_task(
+    index: int, deletions: Mapping[str, list], method: str
+) -> tuple[int, float, list | None, str | None]:
+    """Worker task: solve one ΔV request against the cached instance."""
+    from repro.io.serialize import problem_from_dict
+    from repro.core.registry import solve
+
+    start = time.perf_counter()
+    try:
+        doc = dict(_WORKER_DOC)
+        doc["deletions"] = deletions
+        problem = problem_from_dict(doc)
+        propagation = solve(problem, method=method)
+    except Exception as exc:
+        return index, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
+    return index, time.perf_counter() - start, _facts_payload(propagation), None
+
+
+# ----------------------------------------------------------------------
+# Parent-side API
+# ----------------------------------------------------------------------
+
+
+def _rebuild(
+    problem: DeletionPropagationProblem,
+    method: str,
+    payload: list[tuple[str, tuple]],
+) -> Propagation:
+    facts = [Fact(relation, values) for relation, values in payload]
+    return Propagation(problem, facts, method=method)
+
+
+def _run_serial(
+    problem: DeletionPropagationProblem, methods: Sequence[str]
+) -> list[PortfolioResult]:
+    from repro.core.registry import solve
+
+    results: list[PortfolioResult] = []
+    for method in methods:
+        start = time.perf_counter()
+        try:
+            propagation = solve(problem, method=method)
+        except Exception as exc:
+            results.append(
+                PortfolioResult(
+                    method,
+                    None,
+                    time.perf_counter() - start,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        results.append(
+            PortfolioResult(method, propagation, time.perf_counter() - start)
+        )
+    return results
+
+
+def run_portfolio(
+    problem: DeletionPropagationProblem,
+    methods: Sequence[str] = DEFAULT_PORTFOLIO,
+    max_workers: int | None = None,
+) -> list[PortfolioResult]:
+    """Solve ``problem`` with every strategy in ``methods``.
+
+    Strategies run in a process pool when ``max_workers`` permits
+    (default: one worker per strategy, capped at the CPU count) and
+    serially otherwise.  Returns one :class:`PortfolioResult` per
+    strategy in input order; strategies that raised carry their error
+    text instead of a propagation.
+    """
+    methods = list(dict.fromkeys(methods))  # dedupe, keep order
+    if not methods:
+        raise SolverError("portfolio needs at least one method")
+    if max_workers is None:
+        max_workers = min(len(methods), os.cpu_count() or 1)
+    if max_workers <= 0 or len(methods) == 1:
+        return _run_serial(problem, methods)
+
+    from repro.io.serialize import problem_to_dict
+
+    doc = problem_to_dict(problem)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(doc,),
+        ) as pool:
+            outcomes = list(pool.map(_solve_method_task, methods))
+    except (OSError, PermissionError):
+        # No usable process primitives (restricted sandboxes): same
+        # work, same results, one process.
+        return _run_serial(problem, methods)
+
+    results: list[PortfolioResult] = []
+    for method, seconds, payload, error in outcomes:
+        if payload is None:
+            results.append(PortfolioResult(method, None, seconds, error))
+        else:
+            results.append(
+                PortfolioResult(method, _rebuild(problem, method, payload), seconds)
+            )
+    return results
+
+
+def best_result(results: Iterable[PortfolioResult]) -> PortfolioResult:
+    """The winning entry: best objective, then fewest deletions, then
+    method name (deterministic across pool scheduling orders)."""
+    ranked = [r for r in results if r.ok]
+    if not ranked:
+        errors = "; ".join(
+            f"{r.method}: {r.error}" for r in results if r.error
+        )
+        raise SolverError(f"every portfolio strategy failed ({errors})")
+    return min(
+        ranked,
+        key=lambda r: (
+            r.propagation.objective(),
+            len(r.propagation.deleted_facts),
+            r.method,
+        ),
+    )
+
+
+def solve_portfolio(
+    problem: DeletionPropagationProblem,
+    methods: Sequence[str] = DEFAULT_PORTFOLIO,
+    max_workers: int | None = None,
+) -> Propagation:
+    """Run the portfolio and return the best feasible propagation.
+
+    Raises :class:`SolverError` when no strategy produced a feasible
+    result (for balanced problems every propagation is feasible, so the
+    portfolio always answers)."""
+    results = run_portfolio(problem, methods, max_workers=max_workers)
+    feasible = [r for r in results if r.ok and r.propagation.is_feasible()]
+    winner = best_result(feasible if feasible else results)
+    if not winner.propagation.is_feasible():
+        raise SolverError(
+            "no portfolio strategy produced a feasible propagation"
+        )
+    return winner.propagation
+
+
+def run_delta_batch(
+    problem: DeletionPropagationProblem,
+    requests: Sequence[Mapping[str, Sequence[Sequence[object]]]],
+    method: str = "auto",
+    max_workers: int | None = None,
+) -> list[Propagation]:
+    """Solve a batch of ΔV requests against one shared instance.
+
+    Each request is a ``{view: [values, ...]}`` mapping like the
+    ``deletions`` field of a problem document.  The instance, queries
+    and weights are shipped to the workers once; each task re-binds only
+    the deletion set.  Returns one propagation per request, in order,
+    each bound to its own parent-side problem variant.
+    """
+    from repro.io.serialize import problem_from_dict, problem_to_dict
+
+    doc = problem_to_dict(problem)
+    normalized = [
+        {name: [list(values) for values in rows] for name, rows in req.items()}
+        for req in requests
+    ]
+    if max_workers is None:
+        max_workers = min(len(normalized), os.cpu_count() or 1)
+
+    outcomes: list[tuple[int, float, list | None, str | None]]
+    if max_workers <= 0 or len(normalized) <= 1:
+        _init_worker(doc)
+        outcomes = [
+            _solve_delta_task(i, req, method)
+            for i, req in enumerate(normalized)
+        ]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(doc,),
+            ) as pool:
+                outcomes = list(
+                    pool.map(
+                        _solve_delta_task,
+                        range(len(normalized)),
+                        normalized,
+                        [method] * len(normalized),
+                    )
+                )
+        except (OSError, PermissionError):
+            _init_worker(doc)
+            outcomes = [
+                _solve_delta_task(i, req, method)
+                for i, req in enumerate(normalized)
+            ]
+
+    propagations: list[Propagation] = []
+    for index, _seconds, payload, error in sorted(outcomes):
+        if payload is None:
+            raise SolverError(f"request #{index} failed: {error}")
+        variant_doc = dict(doc)
+        variant_doc["deletions"] = normalized[index]
+        variant = problem_from_dict(variant_doc)
+        propagations.append(_rebuild(variant, method, payload))
+    return propagations

@@ -1,0 +1,493 @@
+"""Object-backed reference twins of the arena hot path.
+
+The production :class:`~repro.core.oracle.EliminationOracle`, the
+greedy baselines, and :func:`~repro.core.local_search.improve` all run
+on the integer-ID witness arena (:mod:`repro.core.arena`).  This module
+keeps the pre-arena implementations — dicts and frozensets keyed by
+hashed :class:`~repro.relational.tuples.Fact` /
+:class:`~repro.relational.views.ViewTuple` objects — as behavioral
+ground truth:
+
+* the differential suite (``tests/core/test_arena.py``) asserts the
+  arena-backed solvers produce **identical propagations and identical
+  oracle counters** to these twins on random instances and churn
+  streams;
+* the speedup bench (``benchmarks/bench_oracle_local_search.py``)
+  measures the arena path against :func:`reference_improve` — the
+  object-backed oracle of the previous PR — so the perf trajectory is
+  comparable across PRs.
+
+The counter semantics are shared with the arena oracle: one
+``oracle_hit`` per hypothetical question, one ``delta_evaluation`` per
+applied move, one ``full_reevaluation`` per pass over the complete
+witness structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.errors import NotKeyPreservingError, ProblemError
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.oracle import OracleCounters
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+from repro.core.solution import Propagation
+
+__all__ = [
+    "ReferenceEliminationOracle",
+    "reference_improve",
+    "reference_greedy_min_damage",
+    "reference_greedy_max_coverage",
+]
+
+_MAX_ROUNDS = 50
+
+
+class ReferenceEliminationOracle:
+    """The object-backed elimination oracle (previous PR's hot path).
+
+    Maintains ``hits[vt] = |wit(vt) ∩ ΔD|`` in a dict keyed by
+    :class:`ViewTuple`; every query hashes the dependents of the probed
+    fact.  Semantically identical to the arena-backed
+    :class:`~repro.core.oracle.EliminationOracle` — only the data
+    layout differs — which is exactly what the differential suite
+    checks.
+    """
+
+    def __init__(
+        self,
+        problem: DeletionPropagationProblem,
+        deleted: Iterable[Fact] = (),
+        counters: OracleCounters | None = None,
+    ):
+        if not problem.is_key_preserving():
+            raise NotKeyPreservingError(
+                "the elimination oracle requires key-preserving queries "
+                "(unique witnesses)"
+            )
+        self.problem = problem
+        self.counters = counters if counters is not None else OracleCounters()
+        self._balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+        self._penalty = getattr(problem, "delta_penalty", 1.0)
+        self._delta: frozenset[ViewTuple] = frozenset(
+            problem.deleted_view_tuples()
+        )
+        self._deleted: set[Fact] = set()
+        self._hits: dict[ViewTuple, int] = {}
+        self._side_effect: float = 0.0
+        self._uncovered: int = len(self._delta)
+        self.counters.full_reevaluations += 1
+        for fact in sorted(deleted, key=lambda f: (f.relation, f.values)):
+            if fact in self._deleted:
+                continue
+            self._apply_add(fact)
+
+    # ------------------------------------------------------------------
+    # State observation
+    # ------------------------------------------------------------------
+
+    @property
+    def deleted_facts(self) -> frozenset[Fact]:
+        return frozenset(self._deleted)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._deleted
+
+    def __len__(self) -> int:
+        return len(self._deleted)
+
+    def hits(self, vt: ViewTuple) -> int:
+        return self._hits.get(vt, 0)
+
+    def is_eliminated(self, vt: ViewTuple) -> bool:
+        return self._hits.get(vt, 0) > 0
+
+    def eliminated_view_tuples(self) -> frozenset[ViewTuple]:
+        return frozenset(vt for vt, h in self._hits.items() if h > 0)
+
+    def side_effect(self) -> float:
+        return self._side_effect
+
+    def uncovered_delta(self) -> int:
+        return self._uncovered
+
+    def is_feasible(self) -> bool:
+        return self._uncovered == 0
+
+    def balanced_cost(self) -> float:
+        return self._penalty * self._uncovered + self._side_effect
+
+    def objective(self) -> float:
+        if self._balanced:
+            return self.balanced_cost()
+        if self._uncovered:
+            return float("inf")
+        return self._side_effect
+
+    # ------------------------------------------------------------------
+    # Mutation (delta updates)
+    # ------------------------------------------------------------------
+
+    def _apply_add(self, fact: Fact) -> None:
+        self._deleted.add(fact)
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            h = hits.get(vt, 0)
+            hits[vt] = h + 1
+            if h == 0:
+                if vt in self._delta:
+                    self._uncovered -= 1
+                else:
+                    self._side_effect += self.problem.weight(vt)
+
+    def add(self, fact: Fact) -> None:
+        if fact in self._deleted:
+            raise ProblemError(f"{fact!r} is already deleted")
+        if fact not in self.problem.instance:
+            raise ProblemError(f"{fact!r} is not in the source instance")
+        self.counters.delta_evaluations += 1
+        self._apply_add(fact)
+
+    def remove(self, fact: Fact) -> None:
+        if fact not in self._deleted:
+            raise ProblemError(f"{fact!r} is not currently deleted")
+        self.counters.delta_evaluations += 1
+        self._deleted.remove(fact)
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            h = hits[vt] - 1
+            if h:
+                hits[vt] = h
+            else:
+                del hits[vt]
+                if vt in self._delta:
+                    self._uncovered += 1
+                else:
+                    self._side_effect -= self.problem.weight(vt)
+
+    def swap(self, out: Fact, replacement: Fact) -> None:
+        self.remove(out)
+        self.add(replacement)
+
+    # ------------------------------------------------------------------
+    # Hypothetical queries
+    # ------------------------------------------------------------------
+
+    def _shift_if_added(self, fact: Fact) -> tuple[float, int]:
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if hits.get(vt, 0) == 0:
+                if vt in self._delta:
+                    d_unc -= 1
+                else:
+                    d_se += self.problem.weight(vt)
+        return d_se, d_unc
+
+    def _shift_if_removed(self, fact: Fact) -> tuple[float, int]:
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if hits.get(vt, 0) == 1:
+                if vt in self._delta:
+                    d_unc += 1
+                else:
+                    d_se -= self.problem.weight(vt)
+        return d_se, d_unc
+
+    def _objective_for(self, side_effect: float, uncovered: int) -> float:
+        if self._balanced:
+            return self._penalty * uncovered + side_effect
+        if uncovered:
+            return float("inf")
+        return side_effect
+
+    def objective_if_added(self, fact: Fact) -> float:
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_added(fact)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def objective_if_removed(self, fact: Fact) -> float:
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_removed(fact)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def objective_if_swapped(self, out: Fact, replacement: Fact) -> float:
+        self.counters.oracle_hits += 1
+        d_se, d_unc = self._shift_if_swapped(out, replacement)
+        return self._objective_for(
+            self._side_effect + d_se, self._uncovered + d_unc
+        )
+
+    def _shift_if_swapped(
+        self, out: Fact, replacement: Fact
+    ) -> tuple[float, int]:
+        deps_out = self.problem.dependents(out)
+        deps_in = self.problem.dependents(replacement)
+        d_se = 0.0
+        d_unc = 0
+        hits = self._hits
+        for vt in deps_out:
+            if vt in deps_in:
+                continue
+            if hits.get(vt, 0) == 1:
+                if vt in self._delta:
+                    d_unc += 1
+                else:
+                    d_se -= self.problem.weight(vt)
+        for vt in deps_in:
+            if vt in deps_out:
+                continue
+            if hits.get(vt, 0) == 0:
+                if vt in self._delta:
+                    d_unc -= 1
+                else:
+                    d_se += self.problem.weight(vt)
+        return d_se, d_unc
+
+    def feasible_if_removed(self, fact: Fact) -> bool:
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        for vt in self.problem.dependents(fact):
+            if vt in self._delta and hits.get(vt, 0) == 1:
+                return False
+        return self._uncovered == 0
+
+    def feasible_if_swapped(self, out: Fact, replacement: Fact) -> bool:
+        self.counters.oracle_hits += 1
+        _, d_unc = self._shift_if_swapped(out, replacement)
+        return self._uncovered + d_unc == 0
+
+    # ------------------------------------------------------------------
+    # Greedy-selection primitives
+    # ------------------------------------------------------------------
+
+    def marginal_damage(self, fact: Fact) -> float:
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        return sum(
+            self.problem.weight(vt)
+            for vt in self.problem.dependents(fact)
+            if vt not in self._delta and hits.get(vt, 0) == 0
+        )
+
+    def coverage(self, fact: Fact) -> int:
+        self.counters.oracle_hits += 1
+        hits = self._hits
+        return sum(
+            1
+            for vt in self.problem.dependents(fact)
+            if vt in self._delta and hits.get(vt, 0) == 0
+        )
+
+    # ------------------------------------------------------------------
+    # Export / ground truth
+    # ------------------------------------------------------------------
+
+    def to_propagation(self, method: str = "oracle") -> Propagation:
+        return Propagation(
+            self.problem,
+            self._deleted,
+            method=method,
+            counters=self.counters,
+        )
+
+    def verify(self) -> bool:
+        self.counters.full_reevaluations += 1
+        reference = Propagation(self.problem, self._deleted)
+        if self.eliminated_view_tuples() != reference.eliminated_view_tuples:
+            return False
+        if abs(self._side_effect - reference.side_effect()) > 1e-9:
+            return False
+        if self._uncovered != len(reference.surviving_delta):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferenceEliminationOracle(|ΔD|={len(self._deleted)}, "
+            f"uncovered={self._uncovered}, side_effect={self._side_effect:g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Object-backed solver twins (the previous PR's move loops, verbatim)
+# ----------------------------------------------------------------------
+
+
+def reference_improve(
+    solution: Propagation,
+    max_rounds: int = _MAX_ROUNDS,
+    counters: OracleCounters | None = None,
+) -> Propagation:
+    """The previous PR's oracle-backed local search: the identical move
+    loop as :func:`repro.core.local_search.improve`, costed through the
+    object-backed oracle.  Same moves, same counters — only slower."""
+    problem = solution.problem
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError(
+            "local search requires key-preserving queries"
+        )
+    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+    if not balanced and not solution.is_feasible():
+        raise ValueError("local search needs a feasible starting solution")
+    oracle = ReferenceEliminationOracle(
+        problem, solution.deleted_facts, counters=counters
+    )
+    current_cost = oracle.objective()
+    candidates = problem.candidate_facts()
+
+    for _ in range(max_rounds):
+        improved = False
+        for fact in sorted(oracle.deleted_facts):
+            if not balanced and not oracle.feasible_if_removed(fact):
+                continue
+            cost = oracle.objective_if_removed(fact)
+            if cost <= current_cost:
+                oracle.remove(fact)
+                current_cost = cost
+                improved = True
+        for fact in sorted(oracle.deleted_facts):
+            for replacement in candidates:
+                if replacement in oracle:
+                    continue
+                if not balanced and not oracle.feasible_if_swapped(
+                    fact, replacement
+                ):
+                    continue
+                cost = oracle.objective_if_swapped(fact, replacement)
+                if cost < current_cost:
+                    oracle.swap(fact, replacement)
+                    current_cost = cost
+                    improved = True
+                    break
+        if balanced:
+            for fact in candidates:
+                if fact in oracle:
+                    continue
+                cost = oracle.objective_if_added(fact)
+                if cost < current_cost:
+                    oracle.add(fact)
+                    current_cost = cost
+                    improved = True
+        if not improved:
+            break
+
+    return oracle.to_propagation(method=f"{solution.method}+local-search")
+
+
+def _require_key_preserving(problem: DeletionPropagationProblem) -> None:
+    if not problem.is_key_preserving():
+        raise NotKeyPreservingError(
+            "greedy baselines require key-preserving queries"
+        )
+
+
+def _newly_eliminated(
+    oracle: ReferenceEliminationOracle, fact: Fact
+) -> list[ViewTuple]:
+    return [
+        vt
+        for vt in oracle.problem.dependents(fact)
+        if oracle.hits(vt) == 0
+    ]
+
+
+def _affected_candidates(
+    problem: DeletionPropagationProblem,
+    newly: list[ViewTuple],
+    candidate_set: frozenset[Fact],
+) -> set[Fact]:
+    affected: set[Fact] = set()
+    for vt in newly:
+        affected.update(problem.witness(vt))
+    return affected & candidate_set
+
+
+def reference_greedy_min_damage(
+    problem: DeletionPropagationProblem,
+    counters: OracleCounters | None = None,
+) -> Propagation:
+    """Object-backed twin of
+    :func:`repro.core.greedy.solve_greedy_min_damage`."""
+    _require_key_preserving(problem)
+    oracle = ReferenceEliminationOracle(problem, (), counters=counters)
+    delta = frozenset(problem.deleted_view_tuples())
+    candidate_set = frozenset(problem.candidate_facts())
+
+    version: dict[Fact, int] = {}
+    heap: list[tuple[float, ViewTuple, Fact, int]] = []
+    for vt in sorted(delta):
+        for fact in sorted(problem.witness(vt)):
+            heapq.heappush(
+                heap, (oracle.marginal_damage(fact), vt, fact, 0)
+            )
+
+    while oracle.uncovered_delta() and heap:
+        damage, vt, fact, stamp = heapq.heappop(heap)
+        if stamp != version.get(fact, 0) or oracle.hits(vt) > 0:
+            continue
+        newly = _newly_eliminated(oracle, fact)
+        oracle.add(fact)
+        affected = _affected_candidates(
+            problem, [v for v in newly if v not in delta], candidate_set
+        )
+        for other in affected:
+            if other in oracle:
+                continue
+            version[other] = version.get(other, 0) + 1
+            damage = oracle.marginal_damage(other)
+            for target in problem.dependents(other):
+                if target in delta and oracle.hits(target) == 0:
+                    heapq.heappush(
+                        heap, (damage, target, other, version[other])
+                    )
+    return oracle.to_propagation(method="greedy-min-damage")
+
+
+def reference_greedy_max_coverage(
+    problem: DeletionPropagationProblem,
+    counters: OracleCounters | None = None,
+) -> Propagation:
+    """Object-backed twin of
+    :func:`repro.core.greedy.solve_greedy_max_coverage`."""
+    _require_key_preserving(problem)
+    oracle = ReferenceEliminationOracle(problem, (), counters=counters)
+    candidate_set = frozenset(problem.candidate_facts())
+
+    version: dict[Fact, int] = {}
+    heap: list[tuple[float, Fact, int]] = []
+
+    def _push(fact: Fact, stamp: int) -> None:
+        coverage = oracle.coverage(fact)
+        if coverage == 0:
+            return
+        score = coverage / (1.0 + oracle.marginal_damage(fact))
+        heapq.heappush(heap, (-score, fact, stamp))
+
+    for fact in problem.candidate_facts():
+        _push(fact, 0)
+
+    while oracle.uncovered_delta() and heap:
+        _, fact, stamp = heapq.heappop(heap)
+        if stamp != version.get(fact, 0) or fact in oracle:
+            continue
+        newly = _newly_eliminated(oracle, fact)
+        oracle.add(fact)
+        for other in _affected_candidates(problem, newly, candidate_set):
+            if other in oracle:
+                continue
+            version[other] = version.get(other, 0) + 1
+            _push(other, version[other])
+    return oracle.to_propagation(method="greedy-max-coverage")

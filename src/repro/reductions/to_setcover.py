@@ -13,13 +13,23 @@ Weights of preserved view tuples transfer unchanged.  The reduction
 preserves feasibility and cost in both directions, so any RBSC / PN-PSC
 approximation ratio transfers to deletion propagation — this is checked
 empirically by the E4/E9 benches and by the property tests.
+
+Both reductions accept an optional pre-compiled witness arena
+(:class:`~repro.core.arena.CompiledProblem`).  With ``compiled`` the
+covering elements are dense integer view-tuple IDs instead of hashed
+:class:`ViewTuple` objects, so the downstream RBSC/PN-PSC solvers stop
+re-hashing structured tuples on every set operation; the decoding map
+(set name → :class:`Fact`) is unchanged either way, which keeps the
+object-level solver surface identical.  The covering *sets* coincide
+under the arena's interning (ID order == object order), so solver
+selections are preserved.
 """
 
 from __future__ import annotations
 
 from repro.errors import NotKeyPreservingError
 from repro.relational.tuples import Fact
-from repro.relational.views import ViewTuple
+from repro.core.arena import CompiledProblem
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
@@ -56,14 +66,29 @@ class SetCoverReduction:
 
 def _covering_sets(
     problem: DeletionPropagationProblem,
-) -> tuple[dict[str, frozenset[ViewTuple]], dict[str, Fact]]:
+    compiled: CompiledProblem | None = None,
+) -> tuple[dict[str, frozenset], dict[str, Fact]]:
+    if compiled is not None:
+        # Arena path: one covering set per candidate fact, with integer
+        # view-tuple IDs as elements (dep_set_of is exactly the
+        # dependents frozenset, pre-interned).
+        sets: dict[str, frozenset] = {}
+        fact_of_set: dict[str, Fact] = {}
+        facts = compiled.facts
+        dep_set_of = compiled.dep_set_of
+        for fid in compiled.candidate_ids:
+            fact = facts[fid]
+            name = f"del:{fact!r}"
+            sets[name] = dep_set_of[fid]
+            fact_of_set[name] = fact
+        return sets, fact_of_set
     if not problem.is_key_preserving():
         raise NotKeyPreservingError(
             "the set-cover reduction requires key-preserving queries "
             "(unique witnesses)"
         )
-    sets: dict[str, frozenset[ViewTuple]] = {}
-    fact_of_set: dict[str, Fact] = {}
+    sets = {}
+    fact_of_set = {}
     for fact in problem.candidate_facts():
         name = f"del:{fact!r}"
         sets[name] = problem.dependents(fact)
@@ -71,30 +96,71 @@ def _covering_sets(
     return sets, fact_of_set
 
 
-def problem_to_rbsc(problem: DeletionPropagationProblem) -> SetCoverReduction:
-    """Claim 1's reduction: view side-effect → Red-Blue Set Cover."""
-    sets, fact_of_set = _covering_sets(problem)
-    preserved = problem.preserved_view_tuples()
-    instance = RedBlueSetCover(
-        reds=preserved,
-        blues=problem.deleted_view_tuples(),
-        sets=sets,
-        red_weights={vt: problem.weight(vt) for vt in preserved},
-    )
+def problem_to_rbsc(
+    problem: DeletionPropagationProblem,
+    compiled: CompiledProblem | None = None,
+) -> SetCoverReduction:
+    """Claim 1's reduction: view side-effect → Red-Blue Set Cover.
+
+    Pass ``compiled`` to build the covering instance over integer
+    view-tuple IDs (same sets, no object hashing downstream)."""
+    sets, fact_of_set = _covering_sets(problem, compiled)
+    if compiled is not None:
+        is_delta = compiled.is_delta
+        weights = compiled.weights
+        preserved_ids = [
+            vid
+            for vid in range(compiled.num_view_tuples)
+            if not is_delta[vid]
+        ]
+        instance = RedBlueSetCover(
+            reds=preserved_ids,
+            blues=compiled.delta_ids,
+            sets=sets,
+            red_weights={vid: weights[vid] for vid in preserved_ids},
+        )
+    else:
+        preserved = problem.preserved_view_tuples()
+        instance = RedBlueSetCover(
+            reds=preserved,
+            blues=problem.deleted_view_tuples(),
+            sets=sets,
+            red_weights={vt: problem.weight(vt) for vt in preserved},
+        )
     return SetCoverReduction(instance, fact_of_set)
 
 
 def problem_to_posneg(
     problem: BalancedDeletionPropagationProblem,
+    compiled: CompiledProblem | None = None,
 ) -> SetCoverReduction:
-    """Lemma 1's reduction: balanced deletion propagation → PN-PSC."""
-    sets, fact_of_set = _covering_sets(problem)
-    preserved = problem.preserved_view_tuples()
-    instance = PosNegPartialSetCover(
-        positives=problem.deleted_view_tuples(),
-        negatives=preserved,
-        sets=sets,
-        negative_weights={vt: problem.weight(vt) for vt in preserved},
-        positive_penalty=problem.delta_penalty,
-    )
+    """Lemma 1's reduction: balanced deletion propagation → PN-PSC.
+
+    Pass ``compiled`` to build the covering instance over integer
+    view-tuple IDs (same sets, no object hashing downstream)."""
+    sets, fact_of_set = _covering_sets(problem, compiled)
+    if compiled is not None:
+        is_delta = compiled.is_delta
+        weights = compiled.weights
+        preserved_ids = [
+            vid
+            for vid in range(compiled.num_view_tuples)
+            if not is_delta[vid]
+        ]
+        instance = PosNegPartialSetCover(
+            positives=compiled.delta_ids,
+            negatives=preserved_ids,
+            sets=sets,
+            negative_weights={vid: weights[vid] for vid in preserved_ids},
+            positive_penalty=compiled.delta_penalty,
+        )
+    else:
+        preserved = problem.preserved_view_tuples()
+        instance = PosNegPartialSetCover(
+            positives=problem.deleted_view_tuples(),
+            negatives=preserved,
+            sets=sets,
+            negative_weights={vt: problem.weight(vt) for vt in preserved},
+            positive_penalty=problem.delta_penalty,
+        )
     return SetCoverReduction(instance, fact_of_set)

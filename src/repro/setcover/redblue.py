@@ -39,6 +39,12 @@ class RedBlueSetCover:
         if self.reds & self.blues:
             raise ReductionError("red and blue element sets must be disjoint")
         self.sets: dict[str, frozenset[Element]] = {}
+        # Red/blue slices of every set are computed once here; the
+        # solver loops (greedy passes, LowDeg sweeps, per-selection
+        # costing) poll them constantly and used to re-intersect the
+        # full sets on every call.
+        self._reds_of: dict[str, frozenset[Element]] = {}
+        self._blues_of: dict[str, frozenset[Element]] = {}
         universe = self.reds | self.blues
         for name, members in sets.items():
             member_set = frozenset(members)
@@ -48,6 +54,8 @@ class RedBlueSetCover:
                     f"set {name!r} contains unknown elements {sorted(map(repr, stray))[:3]}"
                 )
             self.sets[name] = member_set
+            self._reds_of[name] = member_set & self.reds
+            self._blues_of[name] = member_set & self.blues
         self._red_weights = {
             element: float(weight)
             for element, weight in (red_weights or {}).items()
@@ -59,27 +67,29 @@ class RedBlueSetCover:
         return self._red_weights.get(element, 1.0)
 
     def reds_of(self, name: str) -> frozenset[Element]:
-        return self.sets[name] & self.reds
+        return self._reds_of[name]
 
     def blues_of(self, name: str) -> frozenset[Element]:
-        return self.sets[name] & self.blues
+        return self._blues_of[name]
 
     def red_degree(self, name: str) -> int:
         """Number of red elements in one set (the LowDeg threshold
         quantity)."""
-        return len(self.reds_of(name))
+        return len(self._reds_of[name])
 
     def is_feasible(self, selection: Iterable[str]) -> bool:
         """Do the selected sets cover every blue element?"""
+        blues_of = self._blues_of
         covered: set[Element] = set()
         for name in selection:
-            covered.update(self.blues_of(name))
+            covered.update(blues_of[name])
         return self.blues <= covered
 
     def covered_reds(self, selection: Iterable[str]) -> frozenset[Element]:
+        reds_of = self._reds_of
         out: set[Element] = set()
         for name in selection:
-            out.update(self.reds_of(name))
+            out.update(reds_of[name])
         return frozenset(out)
 
     def cost(self, selection: Iterable[str]) -> float:

@@ -1,9 +1,18 @@
 """Tests for the bench harness utilities and markdown rendering."""
 
+import json
+
 import pytest
 
-from repro.bench.harness import ExperimentResult, geometric_mean, timed
+from repro.bench.harness import (
+    ExperimentResult,
+    geometric_mean,
+    load_bench_json,
+    timed,
+    write_bench_json,
+)
 from repro.bench.markdown import render_markdown
+from repro.core import OracleCounters
 
 
 class TestHarness:
@@ -24,6 +33,53 @@ class TestHarness:
         assert finished is result
         assert result.rows == [{"a": 1, "b": "x"}]
         assert result.passed and result.conclusion == "done"
+
+
+class TestBenchJson:
+    def test_round_trip(self, tmp_path):
+        path = write_bench_json(
+            bench="demo",
+            workload="tiny workload",
+            rows=[{"seed": 7, "speedup": 5.5}],
+            wall_seconds=1.25,
+            counters={"oracle_hits": 3},
+            directory=tmp_path,
+        )
+        assert path == tmp_path / "BENCH_demo.json"
+        document = load_bench_json(path)
+        assert document == {
+            "bench": "demo",
+            "workload": "tiny workload",
+            "rows": [{"seed": 7, "speedup": 5.5}],
+            "wall_seconds": 1.25,
+            "counters": {"oracle_hits": 3},
+        }
+
+    def test_counters_accepts_oracle_counters_and_none(self, tmp_path):
+        counters = OracleCounters(oracle_hits=9, delta_evaluations=2)
+        path = write_bench_json(
+            bench="with_counters",
+            workload="w",
+            rows=[],
+            wall_seconds=0.0,
+            counters=counters,
+            directory=tmp_path,
+        )
+        assert load_bench_json(path)["counters"] == counters.as_dict()
+        bare = write_bench_json(
+            bench="no_counters",
+            workload="w",
+            rows=[],
+            wall_seconds=0.0,
+            directory=tmp_path,
+        )
+        assert load_bench_json(bare)["counters"] == {}
+
+    def test_load_rejects_non_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_bogus.json"
+        path.write_text(json.dumps({"bench": "bogus", "rows": []}))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_bench_json(path)
 
 
 class TestMarkdown:

@@ -1,0 +1,309 @@
+"""Differential suite for the compiled witness arena.
+
+The arena path (:class:`CompiledProblem`-backed oracle, greedy
+baselines, local search, set-cover reductions) must be *behaviorally
+invisible*: identical propagations, identical move sequences, and
+identical oracle counters to the object-backed reference twins in
+:mod:`repro.core.reference`, on random instances across the
+chain / star / triangle families — weighted and balanced variants
+included — and under random add/remove churn streams.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError, ProblemError
+from repro.core import (
+    EliminationOracle,
+    OracleCounters,
+    improve,
+    solve_balanced,
+    solve_general,
+    solve_greedy_max_coverage,
+    solve_greedy_min_damage,
+)
+from repro.core.arena import CompiledProblem, compile_problem
+from repro.core.reference import (
+    ReferenceEliminationOracle,
+    reference_greedy_max_coverage,
+    reference_greedy_min_damage,
+    reference_improve,
+)
+from repro.reductions.to_setcover import problem_to_posneg, problem_to_rbsc
+from repro.setcover.lowdeg import low_deg_two
+from repro.setcover.posneg import solve_posneg_lowdeg
+from repro.workloads import (
+    figure1_problem,
+    figure1_problem_q4,
+    random_problem,
+    scaling_problem,
+)
+
+
+def _problem_for_seed(seed: int):
+    rng = random.Random(seed)
+    return random_problem(
+        rng, weighted=(seed % 3 == 0), balanced=(seed % 5 == 0)
+    )
+
+
+class TestCompiledLayout:
+    """Structural invariants of the interning tables and CSR arrays."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interning_is_sorted_and_total(self, seed):
+        problem = _problem_for_seed(seed)
+        arena = compile_problem(problem)
+        assert list(arena.facts) == sorted(problem.instance.facts())
+        assert list(arena.view_tuples) == sorted(problem.all_view_tuples())
+        # ID order == object order (the move-for-move guarantee).
+        assert all(
+            arena.facts[i] < arena.facts[i + 1]
+            for i in range(arena.num_facts - 1)
+        )
+        assert arena.fact_ids == {
+            fact: i for i, fact in enumerate(arena.facts)
+        }
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_csr_matches_witness_structure(self, seed):
+        problem = _problem_for_seed(seed)
+        arena = compile_problem(problem)
+        for vid, vt in enumerate(arena.view_tuples):
+            row = arena.wit_indices[
+                arena.wit_offsets[vid] : arena.wit_offsets[vid + 1]
+            ]
+            assert tuple(row) == arena.wit_of[vid]
+            assert frozenset(arena.facts_of(row)) == problem.witness(vt)
+            assert arena.weights[vid] == problem.weight(vt)
+            assert bool(arena.is_delta[vid]) == (vt in problem.deletion)
+        for fid, fact in enumerate(arena.facts):
+            row = arena.dep_indices[
+                arena.dep_offsets[fid] : arena.dep_offsets[fid + 1]
+            ]
+            assert tuple(row) == arena.dep_of[fid]
+            assert frozenset(row) == arena.dep_set_of[fid]
+            assert frozenset(arena.vts_of(row)) == problem.dependents(fact)
+        # The two CSR sides are transposes of each other.
+        assert len(arena.dep_indices) == len(arena.wit_indices)
+        assert set(arena.candidate_ids) == {
+            arena.fact_ids[f] for f in problem.candidate_facts()
+        }
+        assert arena.delta_ids == tuple(
+            vid
+            for vid in range(arena.num_view_tuples)
+            if arena.is_delta[vid]
+        )
+
+    def test_of_caches_per_problem(self):
+        problem = figure1_problem_q4()
+        first = CompiledProblem.of(problem)
+        assert CompiledProblem.of(problem) is first
+        assert compile_problem(problem) is not first
+
+    def test_rejects_non_key_preserving(self):
+        # figure1_problem uses Q3, the paper's non-key-preserving query.
+        with pytest.raises(NotKeyPreservingError):
+            compile_problem(figure1_problem())
+
+    def test_oracle_rejects_foreign_arena(self):
+        problem = figure1_problem_q4()
+        other = figure1_problem_q4()
+        compiled = compile_problem(other)
+        with pytest.raises(ProblemError):
+            EliminationOracle(problem, compiled=compiled)
+
+
+class TestCachedSnapshots:
+    """``deleted_facts`` / ``eliminated_view_tuples()`` are cached
+    frozenset snapshots: polling between moves is O(1) (same object
+    back), and any mutation invalidates them."""
+
+    def test_snapshots_stable_until_mutated(self):
+        problem = _problem_for_seed(3)
+        oracle = EliminationOracle(problem)
+        fact = sorted(problem.candidate_facts())[0]
+        oracle.add(fact)
+
+        deleted_snapshot = oracle.deleted_facts
+        eliminated_snapshot = oracle.eliminated_view_tuples()
+        # Repeated polling with no mutation returns the same objects.
+        assert oracle.deleted_facts is deleted_snapshot
+        assert oracle.eliminated_view_tuples() is eliminated_snapshot
+        # Hypothetical queries never invalidate the snapshots.
+        oracle.objective_if_removed(fact)
+        oracle.marginal_damage(fact)
+        assert oracle.deleted_facts is deleted_snapshot
+        assert oracle.eliminated_view_tuples() is eliminated_snapshot
+
+        oracle.remove(fact)
+        assert oracle.deleted_facts is not deleted_snapshot
+        assert oracle.deleted_facts == frozenset()
+        assert oracle.eliminated_view_tuples() is not eliminated_snapshot
+
+    def test_snapshot_contents_track_state(self):
+        problem = _problem_for_seed(3)
+        oracle = EliminationOracle(problem)
+        pool = sorted(problem.candidate_facts())[:3]
+        for fact in pool:
+            oracle.add(fact)
+            assert oracle.deleted_facts == frozenset(
+                pool[: pool.index(fact) + 1]
+            )
+            fresh = frozenset(
+                vt
+                for vt in problem.all_view_tuples()
+                if oracle.hits(vt) > 0
+            )
+            assert oracle.eliminated_view_tuples() == fresh
+
+
+class TestOracleChurnDifferential:
+    """Random add/remove churn: the arena oracle and the object-backed
+    reference oracle stay in lockstep on every observable and every
+    counter after every single move."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_churn_stream(self, seed):
+        problem = _problem_for_seed(seed)
+        rng = random.Random(2000 + seed)
+        arena_counters = OracleCounters()
+        object_counters = OracleCounters()
+        fast = EliminationOracle(problem, counters=arena_counters)
+        slow = ReferenceEliminationOracle(problem, counters=object_counters)
+        pool = sorted(problem.candidate_facts())
+        if not pool:
+            pytest.skip("no candidate facts in this draw")
+        for _ in range(30):
+            inside = sorted(fast.deleted_facts)
+            if inside and rng.random() < 0.4:
+                fact = inside[rng.randrange(len(inside))]
+                fast.remove(fact)
+                slow.remove(fact)
+            else:
+                outside = [f for f in pool if f not in fast]
+                if not outside:
+                    continue
+                fact = outside[rng.randrange(len(outside))]
+                fast.add(fact)
+                slow.add(fact)
+            assert fast.deleted_facts == slow.deleted_facts
+            assert (
+                fast.eliminated_view_tuples() == slow.eliminated_view_tuples()
+            )
+            assert fast.side_effect() == pytest.approx(slow.side_effect())
+            assert fast.uncovered_delta() == slow.uncovered_delta()
+            assert fast.objective() == pytest.approx(slow.objective())
+            # Hypotheticals agree too (and count identically).
+            probe = pool[rng.randrange(len(pool))]
+            if probe in fast:
+                assert fast.objective_if_removed(
+                    probe
+                ) == pytest.approx(slow.objective_if_removed(probe))
+                assert fast.feasible_if_removed(
+                    probe
+                ) == slow.feasible_if_removed(probe)
+            else:
+                assert fast.objective_if_added(probe) == pytest.approx(
+                    slow.objective_if_added(probe)
+                )
+                assert fast.marginal_damage(probe) == pytest.approx(
+                    slow.marginal_damage(probe)
+                )
+                assert fast.coverage(probe) == slow.coverage(probe)
+            assert arena_counters.as_dict() == object_counters.as_dict()
+        assert fast.verify()
+        assert slow.verify()
+
+
+class TestSolverDifferential:
+    """Arena-backed greedy / local search / covering pipelines produce
+    identical propagations (and counters) to the reference twins."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_greedy_min_damage_identical(self, seed):
+        problem = _problem_for_seed(seed)
+        fast_counters, slow_counters = OracleCounters(), OracleCounters()
+        fast = solve_greedy_min_damage(problem, counters=fast_counters)
+        slow = reference_greedy_min_damage(problem, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_greedy_max_coverage_identical(self, seed):
+        problem = _problem_for_seed(seed)
+        fast_counters, slow_counters = OracleCounters(), OracleCounters()
+        fast = solve_greedy_max_coverage(problem, counters=fast_counters)
+        slow = reference_greedy_max_coverage(problem, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_improve_identical_moves_and_counters(self, seed):
+        problem = _problem_for_seed(seed)
+        start = solve_greedy_max_coverage(problem)
+        fast_counters, slow_counters = OracleCounters(), OracleCounters()
+        fast = improve(start, counters=fast_counters)
+        slow = reference_improve(start, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast.objective() == pytest.approx(slow.objective())
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+        assert fast.verify_by_reevaluation()
+
+    def test_scaling_workload_identical(self):
+        problem = scaling_problem(random.Random(73), facts_per_relation=150)
+        start = solve_greedy_max_coverage(problem)
+        fast_counters, slow_counters = OracleCounters(), OracleCounters()
+        fast = improve(start, counters=fast_counters)
+        slow = reference_improve(start, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_rbsc_reduction_compiled_equals_object(self, seed):
+        problem = _problem_for_seed(seed)
+        compiled = CompiledProblem.of(problem)
+        via_objects = problem_to_rbsc(problem)
+        via_arena = problem_to_rbsc(problem, compiled=compiled)
+        assert set(via_objects.set_names) == set(via_arena.set_names)
+        # Same covering structure under the interning bijection ...
+        for name in via_objects.set_names:
+            object_set = via_objects.covering.sets[name]
+            arena_set = via_arena.covering.sets[name]
+            assert {compiled.vt_ids[vt] for vt in object_set} == set(
+                arena_set
+            )
+        # ... hence the same LowDegTwo selection and cost.
+        sel_objects, cost_objects = low_deg_two(via_objects.covering)
+        sel_arena, cost_arena = low_deg_two(via_arena.covering)
+        assert sel_objects == sel_arena
+        assert cost_objects == pytest.approx(cost_arena)
+        assert sorted(via_objects.decode(sel_objects)) == sorted(
+            via_arena.decode(sel_arena)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 5, 10, 15, 20])
+    def test_posneg_reduction_compiled_equals_object_cost(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, weighted=(seed % 2 == 0), balanced=True)
+        compiled = CompiledProblem.of(problem)
+        via_objects = problem_to_posneg(problem)
+        via_arena = problem_to_posneg(problem, compiled=compiled)
+        sel_objects, cost_objects = solve_posneg_lowdeg(via_objects.covering)
+        sel_arena, cost_arena = solve_posneg_lowdeg(via_arena.covering)
+        # Escape-set naming differs between element universes, so the
+        # guarantee is equal quality, not equal set names.
+        assert cost_objects == pytest.approx(cost_arena)
+        del sel_objects, sel_arena
+
+    @pytest.mark.parametrize("seed", [1, 4, 9])
+    def test_end_to_end_solvers_still_verify(self, seed):
+        rng = random.Random(seed)
+        problem = random_problem(rng, weighted=True)
+        solution = solve_general(problem)
+        assert solution.is_feasible()
+        assert solution.verify_by_reevaluation()
+        balanced = random_problem(random.Random(seed + 100), balanced=True)
+        balanced_solution = solve_balanced(balanced)
+        assert balanced_solution.verify_by_reevaluation()

@@ -1,0 +1,183 @@
+"""Tests for the parallel solver portfolio and ΔV batch runner.
+
+The portfolio is a throughput knob, never a semantics knob: pool and
+serial execution must return identical propagations, and the winner
+selection must be deterministic regardless of scheduling order.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.core.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioResult,
+    best_result,
+    run_delta_batch,
+    run_portfolio,
+    solve_portfolio,
+)
+from repro.core.registry import solve
+from repro.workloads import random_problem, scaling_problem
+
+
+@pytest.fixture
+def problem():
+    return scaling_problem(random.Random(11), facts_per_relation=60)
+
+
+def _by_method(results):
+    return {r.method: r for r in results}
+
+
+class TestRunPortfolio:
+    def test_pool_matches_serial(self, problem):
+        pooled = _by_method(run_portfolio(problem, max_workers=2))
+        serial = _by_method(run_portfolio(problem, max_workers=0))
+        assert set(pooled) == set(serial) == set(DEFAULT_PORTFOLIO)
+        for method, result in pooled.items():
+            assert result.ok, result.error
+            assert (
+                result.propagation.deleted_facts
+                == serial[method].propagation.deleted_facts
+            )
+            assert result.propagation.objective() == pytest.approx(
+                serial[method].propagation.objective()
+            )
+
+    def test_matches_direct_solver_calls(self, problem):
+        for result in run_portfolio(problem, max_workers=0):
+            direct = solve(problem, method=result.method)
+            assert result.propagation.deleted_facts == direct.deleted_facts
+
+    def test_single_method_runs_serially(self, problem):
+        (result,) = run_portfolio(problem, methods=["greedy-min-damage"])
+        assert result.ok
+        assert result.method == "greedy-min-damage"
+
+    def test_deduplicates_methods(self, problem):
+        results = run_portfolio(
+            problem,
+            methods=["claim1", "claim1", "greedy-min-damage"],
+            max_workers=0,
+        )
+        assert [r.method for r in results] == ["claim1", "greedy-min-damage"]
+
+    def test_unknown_method_is_an_error_entry(self, problem):
+        results = _by_method(
+            run_portfolio(
+                problem,
+                methods=["claim1", "no-such-method"],
+                max_workers=0,
+            )
+        )
+        assert results["claim1"].ok
+        assert not results["no-such-method"].ok
+        assert "no-such-method" in results["no-such-method"].error
+
+    def test_empty_portfolio_rejected(self, problem):
+        with pytest.raises(SolverError):
+            run_portfolio(problem, methods=[])
+
+
+class TestBestResult:
+    def _result(self, method, propagation):
+        return PortfolioResult(method, propagation, 0.0)
+
+    def test_prefers_lower_objective(self, problem):
+        results = run_portfolio(problem, max_workers=0)
+        winner = best_result(results)
+        objectives = [
+            r.propagation.objective() for r in results if r.ok
+        ]
+        assert winner.propagation.objective() == min(objectives)
+
+    def test_ties_break_deterministically(self, problem):
+        base = solve(problem, method="greedy-min-damage")
+        a = self._result("zeta", base)
+        b = self._result("alpha", base)
+        # Identical propagations: the method name decides, regardless
+        # of the order results arrived in.
+        assert best_result([a, b]).method == "alpha"
+        assert best_result([b, a]).method == "alpha"
+
+    def test_all_failed_raises_with_causes(self):
+        failed = [
+            PortfolioResult("m1", None, 0.0, "ValueError: boom"),
+            PortfolioResult("m2", None, 0.0, "SolverError: bust"),
+        ]
+        with pytest.raises(SolverError, match="boom"):
+            best_result(failed)
+
+
+class TestSolvePortfolio:
+    def test_returns_best_feasible(self, problem):
+        winner = solve_portfolio(problem, max_workers=2)
+        assert winner.is_feasible()
+        assert winner.verify_by_reevaluation()
+        serial_objectives = [
+            r.propagation.objective()
+            for r in run_portfolio(problem, max_workers=0)
+            if r.ok and r.propagation.is_feasible()
+        ]
+        assert winner.objective() == pytest.approx(min(serial_objectives))
+
+    def test_balanced_problem_always_answers(self):
+        balanced = random_problem(random.Random(5), balanced=True)
+        winner = solve_portfolio(
+            balanced,
+            methods=["lemma1-posneg", "greedy-max-coverage"],
+            max_workers=0,
+        )
+        assert winner.verify_by_reevaluation()
+
+    def test_all_strategies_failing_raises(self, problem):
+        with pytest.raises(SolverError):
+            solve_portfolio(
+                problem, methods=["no-such-method"], max_workers=0
+            )
+
+
+class TestRunDeltaBatch:
+    def _requests(self, problem, count=3):
+        rng = random.Random(99)
+        pool = sorted(problem.deleted_view_tuples())
+        requests = []
+        for _ in range(count):
+            picks = rng.sample(pool, k=min(4, len(pool)))
+            req: dict = {}
+            for vt in picks:
+                req.setdefault(vt.view, []).append(list(vt.values))
+            requests.append(req)
+        return requests
+
+    def test_batch_matches_individual_solves(self, problem):
+        requests = self._requests(problem)
+        batch = run_delta_batch(
+            problem, requests, method="greedy-min-damage", max_workers=2
+        )
+        serial = run_delta_batch(
+            problem, requests, method="greedy-min-damage", max_workers=0
+        )
+        assert len(batch) == len(requests)
+        for parallel_prop, serial_prop, request in zip(
+            batch, serial, requests
+        ):
+            assert (
+                parallel_prop.deleted_facts == serial_prop.deleted_facts
+            )
+            assert parallel_prop.is_feasible()
+            # Each result is bound to a problem carrying its own ΔV.
+            assert {
+                vt.view for vt in parallel_prop.problem.deleted_view_tuples()
+            } == set(request)
+
+    def test_failed_request_raises(self, problem):
+        with pytest.raises(SolverError, match="request #0"):
+            run_delta_batch(
+                problem,
+                [{"NoSuchView": [["x"]]}],
+                method="greedy-min-damage",
+                max_workers=0,
+            )
