@@ -12,6 +12,8 @@ Usage (installed as module)::
     python -m repro.cli insert problem.json Q4 Ada TODS XML
     python -m repro.cli example fig1 > problem.json
     python -m repro.cli experiments [--out EXPERIMENTS.md]
+    python -m repro.cli fuzz [--seed 0] [--iterations 100] [--budget-seconds 60]
+                             [--corpus tests/corpus] [--kinds chain,star] [--no-shrink]
 
 ``solve`` loads a JSON problem document (see :mod:`repro.io.serialize`),
 dispatches to the requested algorithm, and prints the deletion
@@ -138,6 +140,40 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run E1–E12 and write EXPERIMENTS.md"
     )
     experiments_cmd.add_argument("--out", default="EXPERIMENTS.md")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help=(
+            "differential fuzzing: random instances through every solver "
+            "route, both verifier backends, and the exact ILP"
+        ),
+    )
+    fuzz_cmd.add_argument("--seed", type=int, default=0)
+    fuzz_cmd.add_argument("--iterations", type=int, default=100)
+    fuzz_cmd.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="stop early after this much wall time",
+    )
+    fuzz_cmd.add_argument(
+        "--corpus",
+        default="tests/corpus",
+        help=(
+            "directory for shrunken failing cases (replayed as "
+            "regression tests); 'none' disables persistence"
+        ),
+    )
+    fuzz_cmd.add_argument(
+        "--kinds",
+        default=None,
+        help="comma-separated case kinds (default: all)",
+    )
+    fuzz_cmd.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing cases without shrinking them",
+    )
 
     return parser
 
@@ -335,6 +371,42 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import CASE_KINDS, run_fuzz
+
+    kinds = None
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        unknown = set(kinds) - set(CASE_KINDS)
+        if unknown:
+            print(
+                f"unknown kinds {sorted(unknown)}; "
+                f"known: {', '.join(CASE_KINDS)}",
+                file=sys.stderr,
+            )
+            return 2
+    corpus_dir = None if args.corpus == "none" else args.corpus
+    stats = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        budget_seconds=args.budget_seconds,
+        kinds=kinds,
+        corpus_dir=corpus_dir,
+        shrink=not args.no_shrink,
+        on_event=print,
+    )
+    print(
+        f"fuzz: {stats.iterations} iterations, {stats.routes} route runs, "
+        f"{len(stats.failures)} disagreement(s), "
+        f"{stats.wall_seconds:.1f}s wall"
+    )
+    if stats.failures:
+        for entry in stats.failures:
+            print(f"  - [{entry['kind']}] {entry['detail']}")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "classify": _cmd_classify,
@@ -345,6 +417,7 @@ _COMMANDS = {
     "insert": _cmd_insert,
     "example": _cmd_example,
     "experiments": _cmd_experiments,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -42,6 +42,7 @@ from repro.core.lp_rounding import (
 from repro.core.pareto import ParetoPoint, pareto_front
 from repro.core.portfolio import (
     DEFAULT_PORTFOLIO,
+    DeltaOutcome,
     PortfolioResult,
     run_delta_batch,
     run_portfolio,
@@ -77,6 +78,7 @@ __all__ = [
     "BalancedDeletionPropagationProblem",
     "CompiledProblem",
     "DEFAULT_PORTFOLIO",
+    "DeltaOutcome",
     "EliminationOracle",
     "OracleCounters",
     "SolverStatistics",

@@ -42,6 +42,7 @@ from repro.core.solution import Propagation
 __all__ = [
     "DEFAULT_PORTFOLIO",
     "PortfolioResult",
+    "DeltaOutcome",
     "run_portfolio",
     "solve_portfolio",
     "run_delta_batch",
@@ -61,6 +62,27 @@ DEFAULT_PORTFOLIO: tuple[str, ...] = (
 class PortfolioResult:
     """One strategy's outcome inside a portfolio run."""
 
+    method: str
+    propagation: Propagation | None
+    wall_seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.propagation is not None
+
+
+@dataclass(frozen=True)
+class DeltaOutcome:
+    """One ΔV request's outcome inside a batch run.
+
+    ``propagation`` is bound to a problem variant carrying the request's
+    own ΔV; ``error`` carries the failure text when the request could
+    not be solved (unknown view tuple, solver error, ...).  Exactly one
+    of the two is set.
+    """
+
+    index: int
     method: str
     propagation: Propagation | None
     wall_seconds: float
@@ -117,15 +139,18 @@ def _solve_method_task(method: str) -> tuple[str, float, list | None, str | None
 def _solve_delta_task(
     index: int, deletions: Mapping[str, list], method: str
 ) -> tuple[int, float, list | None, str | None]:
-    """Worker task: solve one ΔV request against the cached instance."""
-    from repro.io.serialize import problem_from_dict
+    """Worker task: solve one ΔV request against the cached instance.
+
+    The base problem is reconstructed once per worker (compile-once) and
+    each request rebinds only the ΔV via
+    :meth:`~repro.core.problem.DeletionPropagationProblem.with_deletions`
+    — no per-task document parse, no view re-materialization.
+    """
     from repro.core.registry import solve
 
     start = time.perf_counter()
     try:
-        doc = dict(_WORKER_DOC)
-        doc["deletions"] = deletions
-        problem = problem_from_dict(doc)
+        problem = _worker_problem().with_deletions(deletions)
         propagation = solve(problem, method=method)
     except Exception as exc:
         return index, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
@@ -258,23 +283,47 @@ def solve_portfolio(
     return winner.propagation
 
 
+def _solve_delta_serial(
+    problem: DeletionPropagationProblem,
+    index: int,
+    deletions: Mapping[str, list],
+    method: str,
+) -> tuple[int, float, list | None, str | None]:
+    """In-process twin of :func:`_solve_delta_task` bound to an explicit
+    problem — the serial fallback must not touch the module-level
+    ``_WORKER_DOC`` / ``_WORKER_PROBLEM`` cache, which belongs to worker
+    processes (a parent that is itself a pool worker would otherwise
+    have its cached problem clobbered)."""
+    from repro.core.registry import solve
+
+    start = time.perf_counter()
+    try:
+        variant = problem.with_deletions(deletions)
+        propagation = solve(variant, method=method)
+    except Exception as exc:
+        return index, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
+    return index, time.perf_counter() - start, _facts_payload(propagation), None
+
+
 def run_delta_batch(
     problem: DeletionPropagationProblem,
     requests: Sequence[Mapping[str, Sequence[Sequence[object]]]],
     method: str = "auto",
     max_workers: int | None = None,
-) -> list[Propagation]:
+    strict: bool = False,
+) -> list[DeltaOutcome]:
     """Solve a batch of ΔV requests against one shared instance.
 
     Each request is a ``{view: [values, ...]}`` mapping like the
     ``deletions`` field of a problem document.  The instance, queries
     and weights are shipped to the workers once; each task re-binds only
-    the deletion set.  Returns one propagation per request, in order,
-    each bound to its own parent-side problem variant.
+    the deletion set.  Returns one :class:`DeltaOutcome` per request, in
+    order; a request that fails (unknown view tuple, solver error)
+    carries its error text instead of aborting the batch, so every
+    completed propagation survives one bad request.  ``strict=True``
+    restores the historical behavior of raising :class:`SolverError` on
+    the first failed request.
     """
-    from repro.io.serialize import problem_from_dict, problem_to_dict
-
-    doc = problem_to_dict(problem)
     normalized = [
         {name: [list(values) for values in rows] for name, rows in req.items()}
         for req in requests
@@ -282,21 +331,23 @@ def run_delta_batch(
     if max_workers is None:
         max_workers = min(len(normalized), os.cpu_count() or 1)
 
-    outcomes: list[tuple[int, float, list | None, str | None]]
+    raw: list[tuple[int, float, list | None, str | None]]
     if max_workers <= 0 or len(normalized) <= 1:
-        _init_worker(doc)
-        outcomes = [
-            _solve_delta_task(i, req, method)
+        raw = [
+            _solve_delta_serial(problem, i, req, method)
             for i, req in enumerate(normalized)
         ]
     else:
+        from repro.io.serialize import problem_to_dict
+
+        doc = problem_to_dict(problem)
         try:
             with ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
                 initargs=(doc,),
             ) as pool:
-                outcomes = list(
+                raw = list(
                     pool.map(
                         _solve_delta_task,
                         range(len(normalized)),
@@ -305,18 +356,20 @@ def run_delta_batch(
                     )
                 )
         except (OSError, PermissionError):
-            _init_worker(doc)
-            outcomes = [
-                _solve_delta_task(i, req, method)
+            raw = [
+                _solve_delta_serial(problem, i, req, method)
                 for i, req in enumerate(normalized)
             ]
 
-    propagations: list[Propagation] = []
-    for index, _seconds, payload, error in sorted(outcomes):
+    outcomes: list[DeltaOutcome] = []
+    for index, seconds, payload, error in sorted(raw):
         if payload is None:
-            raise SolverError(f"request #{index} failed: {error}")
-        variant_doc = dict(doc)
-        variant_doc["deletions"] = normalized[index]
-        variant = problem_from_dict(variant_doc)
-        propagations.append(_rebuild(variant, method, payload))
-    return propagations
+            if strict:
+                raise SolverError(f"request #{index} failed: {error}")
+            outcomes.append(DeltaOutcome(index, method, None, seconds, error))
+            continue
+        variant = problem.with_deletions(normalized[index])
+        outcomes.append(
+            DeltaOutcome(index, method, _rebuild(variant, method, payload), seconds)
+        )
+    return outcomes

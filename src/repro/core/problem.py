@@ -163,6 +163,33 @@ class DeletionPropagationProblem:
         facts any minimal solution deletes."""
         return self._candidate_facts
 
+    def with_deletions(
+        self, deletions: Mapping[str, Iterable[tuple]]
+    ) -> "DeletionPropagationProblem":
+        """A sibling problem over the same instance/queries with a
+        different ΔV.
+
+        The materialized views, weights, and (when already computed) the
+        fact → dependents index are *shared* with ``self`` — only the
+        :class:`~repro.relational.views.Deletion` is rebuilt, so binding
+        a new request against a compiled instance costs O(‖ΔV‖) instead
+        of re-materializing every view.  This is the worker-side hot
+        path of :func:`repro.core.portfolio.run_delta_batch`.
+        """
+        clone = object.__new__(type(self))
+        clone.instance = self.instance
+        clone.queries = self.queries
+        clone.views = self.views
+        clone.deletion = Deletion(self.views, deletions)
+        clone._weights = dict(self._weights)
+        if isinstance(self, BalancedDeletionPropagationProblem):
+            clone.delta_penalty = self.delta_penalty
+        # The dependents index is ΔV-independent; reuse it when built.
+        # (candidate_facts depends on ΔV and must not be copied.)
+        if "_dependents" in self.__dict__:
+            clone.__dict__["_dependents"] = self.__dict__["_dependents"]
+        return clone
+
     def eliminated_by(self, deleted: Iterable[Fact]) -> set[ViewTuple]:
         """View tuples eliminated by deleting ``deleted``: those whose
         *every* witness meets the deletion (correct for all CQs, since a

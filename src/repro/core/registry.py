@@ -103,7 +103,10 @@ def solve(
         return solve_exact(problem)
     if dp_applies(problem):
         return solve_dp_tree(problem)
-    if problem.is_forest_case():
+    if problem.is_forest_case() and problem.is_self_join_free():
+        # Algorithms 1 and 3 walk the data dual graph, which is only
+        # defined for sj-free queries; self-join forest inputs fall
+        # through to the Claim 1 pipeline.
         primal_dual = solve_primal_dual(problem)
         sweep = solve_lowdeg_tree_sweep(problem)
         return min(

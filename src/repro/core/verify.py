@@ -40,6 +40,20 @@ class VerificationReport:
         return self.consistent
 
 
+_PREVIEW_LIMIT = 5
+
+
+def _preview(rows: list[tuple]) -> str:
+    """The offending tuples themselves (first few), so a mismatch report
+    names what diverged instead of only how much."""
+    if not rows:
+        return "[]"
+    shown = ", ".join(repr(row) for row in rows[:_PREVIEW_LIMIT])
+    if len(rows) > _PREVIEW_LIMIT:
+        shown += ", ..."
+    return f"[{shown}]"
+
+
 def _views_after(solution: Propagation, backend: str) -> dict[str, set]:
     problem = solution.problem
     if backend == "engine":
@@ -77,22 +91,27 @@ def verify_solution(
     recomputed_side_effect = 0.0
     for view in problem.views:
         predicted = {
-            values
+            tuple(values)
             for values in view.tuples
             if ViewTuple(view.name, values)
             not in solution.eliminated_view_tuples
         }
-        actual = after[view.name]
+        # Normalize the backend's row containers: the SQLite path (or a
+        # row factory upstream of it) may hand back lists, and a
+        # list-vs-tuple container mismatch must never read as a
+        # semantic inconsistency.
+        actual = {tuple(values) for values in after[view.name]}
         if predicted != actual:
-            extra = actual - predicted
-            missing = predicted - actual
+            extra = sorted(actual - predicted)
+            missing = sorted(predicted - actual)
             mismatches.append(
-                f"view {view.name!r}: {len(extra)} unexpected, "
-                f"{len(missing)} missing"
+                f"view {view.name!r}: "
+                f"{len(extra)} unexpected {_preview(extra)}, "
+                f"{len(missing)} missing {_preview(missing)}"
             )
         for values in view.tuples:
             vt = ViewTuple(view.name, values)
-            survived = values in actual
+            survived = tuple(values) in actual
             if vt in problem.deletion:
                 if survived:
                     recomputed_feasible = False

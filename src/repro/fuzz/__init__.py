@@ -1,0 +1,50 @@
+"""Property-based differential fuzzing across the solver/verifier routes.
+
+After the compiled arena (PR 2) the repository holds *four* independent
+routes to the same answer — the arena-backed solvers, their object-level
+twins in :mod:`repro.core.reference`, the two re-evaluation backends of
+:func:`repro.core.verify.verify_solution` (join engine and SQLite), and
+the exact ILP of :mod:`repro.core.exact`.  This package generates seeded
+random problems covering the edge shapes (empty ΔV, weight ties, forest
+vs cyclic joins, multi-view shared facts, self-overlapping witnesses),
+runs every applicable route, and asserts they agree:
+
+* arena vs reference twins produce identical propagations;
+* every produced propagation is consistent under both
+  ``verify_solution`` backends;
+* on small instances, each route with a quoted guarantee stays within
+  its approximation bound of the ILP optimum;
+* metamorphic invariants hold (adding an unrelated fact never changes
+  the answer; duplicated / already-satisfied deletion requests are
+  no-ops; serialization round-trips preserve the answer).
+
+Failures are shrunk greedily (:mod:`repro.fuzz.shrink`) and persisted as
+problem documents in a corpus directory (:mod:`repro.fuzz.corpus`) which
+the test suite replays as regression tests.  Entry point:
+``python -m repro.cli fuzz``.
+"""
+
+from repro.fuzz.corpus import (
+    corpus_paths,
+    load_corpus_case,
+    replay_corpus_case,
+    write_corpus_case,
+)
+from repro.fuzz.generator import CASE_KINDS, FuzzCase, generate_case
+from repro.fuzz.harness import CaseReport, Disagreement, check_problem, run_fuzz
+from repro.fuzz.shrink import shrink_document
+
+__all__ = [
+    "CASE_KINDS",
+    "CaseReport",
+    "Disagreement",
+    "FuzzCase",
+    "check_problem",
+    "corpus_paths",
+    "generate_case",
+    "load_corpus_case",
+    "replay_corpus_case",
+    "run_fuzz",
+    "shrink_document",
+    "write_corpus_case",
+]

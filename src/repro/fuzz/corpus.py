@@ -1,0 +1,77 @@
+"""Failing-case corpus: persistence and replay.
+
+A corpus entry is one JSON document::
+
+    {
+      "version": 1,
+      "kind": "chain",              # generator shape (or "seed" for
+                                    # hand-written regression cases)
+      "seed": 0, "iteration": 17,   # provenance (null for hand-written)
+      "checks": ["verify:auto:sqlite"],
+      "detail": "...",              # human-readable first failure
+      "problem": { ... }            # repro.io.serialize problem document
+    }
+
+Entries are content-addressed (``fuzz-<sha1 prefix>.json``) so the same
+shrunken case is never stored twice, and the test suite replays every
+entry through :func:`repro.fuzz.harness.check_problem` — a corpus file
+is a regression test the moment it lands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = [
+    "corpus_paths",
+    "load_corpus_case",
+    "replay_corpus_case",
+    "write_corpus_case",
+]
+
+
+def corpus_paths(corpus_dir: str | Path) -> list[Path]:
+    """Every corpus entry under ``corpus_dir``, sorted by name."""
+    root = Path(corpus_dir)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.json"))
+
+
+def load_corpus_case(path: str | Path) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    if "problem" not in entry:
+        raise ValueError(f"{path}: corpus entry has no 'problem' document")
+    return entry
+
+
+def write_corpus_case(corpus_dir: str | Path, entry: Mapping[str, Any]) -> Path:
+    """Persist one entry, content-addressed by its problem document."""
+    root = Path(corpus_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha1(
+        json.dumps(entry["problem"], sort_keys=True).encode("utf-8")
+    ).hexdigest()[:12]
+    path = root / f"fuzz-{digest}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dict(entry), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def replay_corpus_case(path: str | Path):
+    """Re-run the differential checks on one corpus entry.
+
+    Returns the :class:`~repro.fuzz.harness.CaseReport`; the caller (the
+    pytest bridge, CI) asserts it is clean.
+    """
+    from repro.fuzz.harness import check_problem
+    from repro.io.serialize import problem_from_dict
+
+    entry = load_corpus_case(path)
+    problem = problem_from_dict(entry["problem"])
+    return check_problem(problem, kind=entry.get("kind", "corpus"))

@@ -1,0 +1,166 @@
+"""Seeded fuzz-case generation.
+
+Each case kind targets one structural shape the differential checks must
+survive; together they cover the edge geometry the hand-picked random
+suites never reach systematically:
+
+* ``chain`` / ``star`` / ``forest`` — forest-case joins (Algorithms
+  1–4 apply), mildly randomized sizes;
+* ``triangle`` / ``general`` — cyclic dual hypergraphs (only the
+  Claim 1 pipeline has a guarantee); the ``general`` shape routes
+  through the Theorem 1 construction, so every view joins rows of one
+  shared relation — maximal multi-view fact sharing and
+  self-overlapping witnesses;
+* ``shared-facts`` — star instances with many queries over few center
+  facts (each center fact sits in witnesses of several views);
+* ``weight-ties`` — weights drawn from a tiny level set so ties are
+  everywhere and tie-breaking differences become visible;
+* ``empty-delta`` — ``ΔV = ∅``; every route must answer with the empty
+  propagation;
+* ``single-delta`` — ``‖ΔV‖ = 1`` (the exact argmin fast path);
+* ``balanced`` — the balanced variant (PN-PSC semantics).
+
+All generation is driven by one :class:`random.Random`, so a seed fully
+determines the case.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.problem import DeletionPropagationProblem
+from repro.workloads.synthetic import (
+    random_general_problem,
+    random_problem,
+    random_single_query_problem,
+    with_empty_delta,
+    with_tied_weights,
+)
+from repro.workloads.trees import (
+    random_chain_problem,
+    random_forest_problem,
+    random_star_problem,
+    random_triangle_problem,
+)
+
+__all__ = ["CASE_KINDS", "FuzzCase", "generate_case", "make_case"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated differential-check input."""
+
+    kind: str
+    problem: DeletionPropagationProblem
+
+
+def _chain(rng: random.Random) -> DeletionPropagationProblem:
+    return random_chain_problem(
+        rng,
+        num_relations=rng.randint(2, 4),
+        facts_per_relation=rng.randint(3, 6),
+        num_queries=rng.randint(1, 3),
+        delta_fraction=rng.choice((0.1, 0.25, 0.5)),
+    )
+
+
+def _star(rng: random.Random) -> DeletionPropagationProblem:
+    return random_star_problem(
+        rng,
+        num_leaves=rng.randint(2, 3),
+        center_facts=rng.randint(2, 4),
+        leaf_facts=rng.randint(2, 5),
+        num_queries=rng.randint(1, 3),
+    )
+
+
+def _forest(rng: random.Random) -> DeletionPropagationProblem:
+    return random_forest_problem(
+        rng,
+        num_relations=rng.randint(3, 5),
+        facts_per_relation=rng.randint(3, 5),
+        num_queries=rng.randint(1, 3),
+    )
+
+
+def _triangle(rng: random.Random) -> DeletionPropagationProblem:
+    return random_triangle_problem(
+        rng,
+        center_facts=rng.randint(2, 4),
+        leaf_facts=rng.randint(2, 4),
+    )
+
+
+def _general(rng: random.Random) -> DeletionPropagationProblem:
+    return random_general_problem(
+        rng,
+        num_reds=rng.randint(2, 5),
+        num_blues=rng.randint(1, 4),
+        num_sets=rng.randint(2, 6),
+    )
+
+
+def _shared_facts(rng: random.Random) -> DeletionPropagationProblem:
+    return random_star_problem(
+        rng,
+        num_leaves=rng.randint(2, 3),
+        center_facts=2,
+        leaf_facts=rng.randint(3, 5),
+        num_queries=4,
+    )
+
+
+def _weight_ties(rng: random.Random) -> DeletionPropagationProblem:
+    return with_tied_weights(rng, random_problem(rng))
+
+
+def _empty_delta(rng: random.Random) -> DeletionPropagationProblem:
+    return with_empty_delta(random_problem(rng))
+
+
+def _single_delta(rng: random.Random) -> DeletionPropagationProblem:
+    return random_single_query_problem(
+        rng,
+        facts_per_relation=rng.randint(4, 7),
+        num_atoms=rng.randint(2, 3),
+        delta_size=1,
+    )
+
+
+def _balanced(rng: random.Random) -> DeletionPropagationProblem:
+    return random_problem(rng, balanced=True)
+
+
+_MAKERS = {
+    "chain": _chain,
+    "star": _star,
+    "forest": _forest,
+    "triangle": _triangle,
+    "general": _general,
+    "shared-facts": _shared_facts,
+    "weight-ties": _weight_ties,
+    "empty-delta": _empty_delta,
+    "single-delta": _single_delta,
+    "balanced": _balanced,
+}
+
+CASE_KINDS: tuple[str, ...] = tuple(_MAKERS)
+
+
+def make_case(kind: str, rng: random.Random) -> FuzzCase:
+    """Build one case of an explicit kind."""
+    try:
+        maker = _MAKERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown case kind {kind!r}; known: {', '.join(CASE_KINDS)}"
+        ) from None
+    return FuzzCase(kind, maker(rng))
+
+
+def generate_case(
+    rng: random.Random, kinds: tuple[str, ...] = CASE_KINDS
+) -> FuzzCase:
+    """Sample one case from the kind mix (uniform over ``kinds``)."""
+    return make_case(rng.choice(list(kinds)), rng)

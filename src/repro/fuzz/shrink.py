@@ -1,0 +1,173 @@
+"""Greedy test-case shrinking.
+
+Works on the serialized problem *document* (the JSON form of
+:mod:`repro.io.serialize`), because that is what gets persisted to the
+corpus and replayed: a shrunken document is immediately a regression
+test.  The strategy is classic delta-debugging reduced to its greedy
+core — try removing one component at a time and keep the removal
+whenever the *same* disagreement still reproduces:
+
+1. drop ΔV rows;
+2. drop whole queries (with their ΔV entries);
+3. drop facts — when removing a fact invalidates ΔV rows (the view
+   tuple disappears), those rows are dropped alongside it, since a
+   fact and the requests it witnesses shrink or survive together;
+4. drop weight entries.
+
+Passes repeat until a fixpoint or the attempt budget is exhausted.  A
+candidate document that fails to rebuild (``ViewError``, parse errors)
+counts as not reproducing — shrinking never trades one bug for another:
+the failure is matched by its ``check`` identifier.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Mapping
+
+__all__ = ["shrink_document"]
+
+_DEFAULT_BUDGET = 400
+
+
+def _reproduces(
+    doc: Mapping[str, Any],
+    check: str,
+    rebuild: Callable[[Mapping[str, Any]], Any],
+    run_checks: Callable[[Any], Any],
+) -> bool:
+    """Does this document still trigger the same disagreement?"""
+    try:
+        problem = rebuild(doc)
+        report = run_checks(problem)
+    except Exception:
+        return False
+    return any(failure.check == check for failure in report.failures)
+
+
+def _prune_invalid_deletions(
+    doc: dict[str, Any],
+    rebuild: Callable[[Mapping[str, Any]], Any],
+) -> dict[str, Any] | None:
+    """Drop ΔV rows that no longer name view tuples (after a fact was
+    removed).  Returns the repaired document, or ``None`` when even the
+    ΔV-free document does not rebuild."""
+    probe = copy.deepcopy(doc)
+    probe["deletions"] = {}
+    try:
+        base = rebuild(probe)
+    except Exception:
+        return None
+    repaired = copy.deepcopy(doc)
+    pruned: dict[str, list] = {}
+    for name, rows in doc.get("deletions", {}).items():
+        try:
+            view = base.views.view(name)
+        except Exception:
+            continue
+        kept = [row for row in rows if tuple(row) in view.tuples]
+        if kept:
+            pruned[name] = kept
+    repaired["deletions"] = pruned
+    return repaired
+
+
+def shrink_document(
+    doc: Mapping[str, Any],
+    check: str,
+    rebuild: Callable[[Mapping[str, Any]], Any],
+    run_checks: Callable[[Any], Any],
+    max_attempts: int = _DEFAULT_BUDGET,
+) -> tuple[dict[str, Any], int]:
+    """Greedily shrink ``doc`` while the disagreement ``check``
+    reproduces.  Returns ``(shrunken_document, attempts_used)``; the
+    input is returned unchanged when it does not reproduce at all (a
+    flaky failure never yields a misleading corpus entry).
+    """
+    current = copy.deepcopy(dict(doc))
+    attempts = 0
+
+    def try_candidate(candidate: dict[str, Any]) -> bool:
+        nonlocal attempts, current
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        if _reproduces(candidate, check, rebuild, run_checks):
+            current = candidate
+            return True
+        return False
+
+    if not _reproduces(current, check, rebuild, run_checks):
+        return current, 1
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+
+        # 1. ΔV rows.
+        for name in sorted(current.get("deletions", {})):
+            index = 0
+            while index < len(current["deletions"].get(name, [])):
+                candidate = copy.deepcopy(current)
+                del candidate["deletions"][name][index]
+                if not candidate["deletions"][name]:
+                    del candidate["deletions"][name]
+                if try_candidate(candidate):
+                    progress = True
+                else:
+                    index += 1
+                if attempts >= max_attempts:
+                    break
+
+        # 2. Whole queries (only while more than one remains), together
+        # with their ΔV entries and weights.
+        index = 0
+        while len(current.get("queries", [])) > 1 and index < len(
+            current["queries"]
+        ):
+            text = current["queries"][index]
+            name = text.split("(", 1)[0].strip()
+            candidate = copy.deepcopy(current)
+            del candidate["queries"][index]
+            candidate.get("deletions", {}).pop(name, None)
+            candidate["weights"] = [
+                entry
+                for entry in candidate.get("weights", [])
+                if entry.get("view") != name
+            ]
+            if try_candidate(candidate):
+                progress = True
+            else:
+                index += 1
+            if attempts >= max_attempts:
+                break
+
+        # 3. Facts — repairing ΔV rows the removal invalidates.
+        for relation in sorted(current.get("facts", {})):
+            index = 0
+            while index < len(current["facts"].get(relation, [])):
+                candidate = copy.deepcopy(current)
+                del candidate["facts"][relation][index]
+                if not candidate["facts"][relation]:
+                    del candidate["facts"][relation]
+                repaired = _prune_invalid_deletions(candidate, rebuild)
+                if repaired is not None and try_candidate(repaired):
+                    progress = True
+                else:
+                    index += 1
+                if attempts >= max_attempts:
+                    break
+
+        # 4. Weight entries.
+        index = 0
+        while index < len(current.get("weights", [])):
+            candidate = copy.deepcopy(current)
+            del candidate["weights"][index]
+            if try_candidate(candidate):
+                progress = True
+            else:
+                index += 1
+            if attempts >= max_attempts:
+                break
+
+    return current, attempts

@@ -54,6 +54,15 @@ class SerializationError(ReproError):
     """Malformed problem document."""
 
 
+def _value_from_json(value: Any) -> Any:
+    """Reverse the tuple→array encoding.  Facts and view tuples only
+    hold hashable values, so a JSON array in a value position can only
+    ever have been a tuple."""
+    if isinstance(value, list):
+        return tuple(_value_from_json(item) for item in value)
+    return value
+
+
 # ----------------------------------------------------------------------
 # Schema
 # ----------------------------------------------------------------------
@@ -101,7 +110,9 @@ def instance_from_dict(
     instance = Instance(schema)
     for relation, rows in data.items():
         for row in rows:
-            instance.add(Fact(relation, tuple(row)))
+            instance.add(
+                Fact(relation, tuple(_value_from_json(v) for v in row))
+            )
     return instance
 
 
@@ -138,8 +149,13 @@ def query_to_text(query: ConjunctiveQuery) -> str:
 
 
 def problem_to_dict(problem: DeletionPropagationProblem) -> dict[str, Any]:
+    # All non-default weights are stored, ΔV tuples included: a ΔV
+    # tuple's weight is irrelevant to the base problem's objective but
+    # matters once the document's ΔV is rebound to a different request
+    # (repro.core.portfolio.run_delta_batch), where the tuple may be
+    # preserved — dropping it would make pool and serial runs diverge.
     weights = []
-    for vt in problem.preserved_view_tuples():
+    for vt in problem.all_view_tuples():
         weight = problem.weight(vt)
         if weight != 1.0:
             weights.append(
@@ -170,11 +186,16 @@ def problem_from_dict(data: Mapping[str, Any]) -> DeletionPropagationProblem:
     except KeyError as exc:
         raise SerializationError(f"missing document key: {exc}") from exc
     deletions = {
-        name: [tuple(values) for values in rows]
+        name: [
+            tuple(_value_from_json(v) for v in values) for values in rows
+        ]
         for name, rows in data.get("deletions", {}).items()
     }
     weights = {
-        (entry["view"], tuple(entry["values"])): float(entry["weight"])
+        (
+            entry["view"],
+            tuple(_value_from_json(v) for v in entry["values"]),
+        ): float(entry["weight"])
         for entry in data.get("weights", [])
     }
     if data.get("balanced"):

@@ -21,6 +21,7 @@ never interpolated.
 
 from __future__ import annotations
 
+import ast
 import sqlite3
 from typing import Iterable, Sequence
 
@@ -49,6 +50,39 @@ def _ident(name: str) -> str:
     if '"' in name:
         raise SqlGenError(f"identifier {name!r} cannot be quoted safely")
     return f'"{name}"'
+
+
+# Attribute values are arbitrary hashable Python objects (the Theorem 1
+# construction stores whole witness sets as tuple values), but sqlite can
+# only bind its native scalar types.  Non-native values travel as tagged
+# ``repr`` strings and are decoded on the way out, so result sets compare
+# equal to the library evaluator's.
+_ENCODED_PREFIX = "\x00pyrepr:"
+
+
+def _encode_value(value: object) -> object:
+    if value is None or isinstance(value, (int, float, bytes)):
+        return value
+    if isinstance(value, str):
+        if value.startswith(_ENCODED_PREFIX):
+            return _ENCODED_PREFIX + repr(value)
+        return value
+    try:
+        encoded = repr(value)
+        if ast.literal_eval(encoded) != value:
+            raise ValueError(encoded)
+    except (ValueError, SyntaxError):
+        raise SqlGenError(
+            f"value {value!r} has no literal round-trip; cannot be "
+            f"bound as a sqlite parameter"
+        ) from None
+    return _ENCODED_PREFIX + encoded
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, str) and value.startswith(_ENCODED_PREFIX):
+        return ast.literal_eval(value[len(_ENCODED_PREFIX):])
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -142,7 +176,10 @@ def _load(connection: sqlite3.Connection, instance: Instance) -> None:
     for relation in instance.schema:
         cursor.execute(create_table_sql(relation))
         statement = insert_sql(relation)
-        rows = [tuple(fact.values) for fact in sorted(instance.relation(relation.name))]
+        rows = [
+            tuple(_encode_value(v) for v in fact.values)
+            for fact in sorted(instance.relation(relation.name))
+        ]
         cursor.executemany(statement, rows)
     connection.commit()
 
@@ -155,14 +192,23 @@ def evaluate_on_sqlite(
     connection = sqlite3.connect(":memory:")
     try:
         _load(connection, instance)
-        out: dict[str, set[tuple]] = {}
-        for query in queries:
-            sql, parameters = query_sql(query)
-            rows = connection.execute(sql, parameters).fetchall()
-            out[query.name] = {tuple(row) for row in rows}
-        return out
+        return _evaluate(connection, queries)
     finally:
         connection.close()
+
+
+def _evaluate(
+    connection: sqlite3.Connection, queries: Sequence[ConjunctiveQuery]
+) -> dict[str, set[tuple]]:
+    out: dict[str, set[tuple]] = {}
+    for query in queries:
+        sql, parameters = query_sql(query)
+        bound = tuple(_encode_value(p) for p in parameters)
+        rows = connection.execute(sql, bound).fetchall()
+        out[query.name] = {
+            tuple(_decode_value(v) for v in row) for row in rows
+        }
+    return out
 
 
 def apply_deletion_on_sqlite(
@@ -178,15 +224,11 @@ def apply_deletion_on_sqlite(
         cursor = connection.cursor()
         for fact in sorted(deleted_facts):
             relation = instance.schema.relation(fact.relation)
-            cursor.execute(
-                delete_sql(relation), fact.key_values(relation)
+            keys = tuple(
+                _encode_value(v) for v in fact.key_values(relation)
             )
+            cursor.execute(delete_sql(relation), keys)
         connection.commit()
-        out: dict[str, set[tuple]] = {}
-        for query in queries:
-            sql, parameters = query_sql(query)
-            rows = connection.execute(sql, parameters).fetchall()
-            out[query.name] = {tuple(row) for row in rows}
-        return out
+        return _evaluate(connection, queries)
     finally:
         connection.close()

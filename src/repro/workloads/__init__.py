@@ -23,6 +23,8 @@ from repro.workloads.synthetic import (
     random_problem,
     random_single_query_problem,
     scaling_problem,
+    with_empty_delta,
+    with_tied_weights,
 )
 from repro.workloads.trees import (
     random_chain_problem,
@@ -54,4 +56,6 @@ __all__ = [
     "random_star_problem",
     "random_triangle_problem",
     "scaling_problem",
+    "with_empty_delta",
+    "with_tied_weights",
 ]

@@ -24,13 +24,16 @@ def random_rbsc(
     red_density: float = 0.3,
     blue_density: float = 0.4,
     weighted: bool = False,
+    ensure_coverable: bool = True,
 ) -> RedBlueSetCover:
     """A random feasible RBSC instance.
 
     Each set independently samples red and blue members by density;
     every blue element is then guaranteed coverable by adding it to a
-    random set if needed.  ``weighted`` draws red weights uniformly from
-    ``[0.5, 2.0]``.
+    random set if needed (``ensure_coverable=False`` skips the repair,
+    yielding possibly-infeasible instances for the error-path tests and
+    the fuzzer's uncoverable-blue shape).  ``weighted`` draws red
+    weights uniformly from ``[0.5, 2.0]``.
     """
     reds = [f"r{i}" for i in range(num_reds)]
     blues = [f"b{i}" for i in range(num_blues)]
@@ -41,9 +44,10 @@ def random_rbsc(
         if not members:
             members.add(rng.choice(blues))
         sets[f"C{s}"] = members
-    for blue in blues:
-        if not any(blue in members for members in sets.values()):
-            sets[rng.choice(sorted(sets))].add(blue)
+    if ensure_coverable:
+        for blue in blues:
+            if not any(blue in members for members in sets.values()):
+                sets[rng.choice(sorted(sets))].add(blue)
     weights = (
         {r: round(rng.uniform(0.5, 2.0), 3) for r in reds}
         if weighted

@@ -36,6 +36,8 @@ __all__ = [
     "random_single_query_problem",
     "random_cq",
     "scaling_problem",
+    "with_empty_delta",
+    "with_tied_weights",
 ]
 
 
@@ -140,6 +142,37 @@ def scaling_problem(
         num_queries=num_queries,
         delta_fraction=delta_fraction,
     )
+
+
+def with_empty_delta(
+    problem: DeletionPropagationProblem,
+) -> DeletionPropagationProblem:
+    """The same instance and queries with ``ΔV = ∅`` — the degenerate
+    shape every solver must answer with the empty propagation."""
+    return problem.with_deletions({})
+
+
+def with_tied_weights(
+    rng: random.Random,
+    problem: DeletionPropagationProblem,
+    levels: Sequence[float] = (0.5, 1.0, 1.0, 2.0),
+) -> DeletionPropagationProblem:
+    """Reweight every preserved view tuple from a tiny level set so that
+    weight ties are everywhere — the shape that stresses deterministic
+    tie-breaking across the solver routes."""
+    weights = {
+        vt: rng.choice(list(levels))
+        for vt in problem.preserved_view_tuples()
+    }
+    clone = problem.with_deletions(
+        {
+            name: [tuple(v) for v in problem.deletion.on(name)]
+            for name in problem.views.names
+            if problem.deletion.on(name)
+        }
+    )
+    clone._weights = {vt: float(w) for vt, w in weights.items()}
+    return clone
 
 
 def random_cq(

@@ -12,6 +12,7 @@ import pytest
 from repro.errors import SolverError
 from repro.core.portfolio import (
     DEFAULT_PORTFOLIO,
+    DeltaOutcome,
     PortfolioResult,
     best_result,
     run_delta_batch,
@@ -161,23 +162,67 @@ class TestRunDeltaBatch:
             problem, requests, method="greedy-min-damage", max_workers=0
         )
         assert len(batch) == len(requests)
-        for parallel_prop, serial_prop, request in zip(
-            batch, serial, requests
-        ):
+        for pooled, inproc, request in zip(batch, serial, requests):
+            assert isinstance(pooled, DeltaOutcome)
+            assert pooled.ok and inproc.ok
             assert (
-                parallel_prop.deleted_facts == serial_prop.deleted_facts
+                pooled.propagation.deleted_facts
+                == inproc.propagation.deleted_facts
             )
-            assert parallel_prop.is_feasible()
+            assert pooled.propagation.is_feasible()
             # Each result is bound to a problem carrying its own ΔV.
             assert {
-                vt.view for vt in parallel_prop.problem.deleted_view_tuples()
+                vt.view
+                for vt in pooled.propagation.problem.deleted_view_tuples()
             } == set(request)
 
-    def test_failed_request_raises(self, problem):
+    def test_failed_request_yields_error_outcome(self, problem):
+        good = self._requests(problem, count=1)[0]
+        outcomes = run_delta_batch(
+            problem,
+            [good, {"NoSuchView": [["x"]]}, good],
+            method="greedy-min-damage",
+            max_workers=0,
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        bad = outcomes[1]
+        assert bad.propagation is None
+        assert bad.error and "NoSuchView" in bad.error
+        # The rest of the batch is unaffected by the failure.
+        assert (
+            outcomes[0].propagation.deleted_facts
+            == outcomes[2].propagation.deleted_facts
+        )
+
+    def test_failed_request_preserves_order_in_pool(self, problem):
+        good = self._requests(problem, count=1)[0]
+        outcomes = run_delta_batch(
+            problem,
+            [{"NoSuchView": [["x"]]}, good],
+            method="greedy-min-damage",
+            max_workers=2,
+        )
+        assert [o.index for o in outcomes] == [0, 1]
+        assert [o.ok for o in outcomes] == [False, True]
+
+    def test_strict_mode_raises(self, problem):
         with pytest.raises(SolverError, match="request #0"):
             run_delta_batch(
                 problem,
                 [{"NoSuchView": [["x"]]}],
                 method="greedy-min-damage",
                 max_workers=0,
+                strict=True,
             )
+
+    def test_serial_fallback_leaves_worker_globals_alone(self, problem):
+        from repro.core import portfolio as mod
+
+        before = (mod._WORKER_DOC, mod._WORKER_PROBLEM)
+        run_delta_batch(
+            problem,
+            self._requests(problem, count=2),
+            method="greedy-min-damage",
+            max_workers=0,
+        )
+        assert (mod._WORKER_DOC, mod._WORKER_PROBLEM) == before

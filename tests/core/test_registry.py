@@ -100,3 +100,32 @@ class TestQuickstart:
         problem, sol = repro.quickstart_example()
         assert sol.is_feasible()
         assert sol.side_effect() == 1.0
+
+
+class TestSelfJoinDispatch:
+    """Fuzzer regression: the Theorem 1 shape is key-preserving but its
+    queries self-join one shared relation, so the data dual graph (and
+    with it Algorithms 1, 3, 4) is undefined.  Auto dispatch used to
+    crash with QueryError instead of falling through to Claim 1."""
+
+    def _problem(self, seed=3):
+        from repro.workloads import random_general_problem
+
+        return random_general_problem(
+            random.Random(seed), num_reds=3, num_blues=2, num_sets=3
+        )
+
+    def test_dp_applies_answers_no_instead_of_raising(self):
+        from repro.core.dp_tree import applies_to
+
+        problem = self._problem()
+        assert not problem.is_self_join_free()
+        assert applies_to(problem) is False
+
+    def test_auto_routes_self_join_forest_to_claim1(self):
+        problem = self._problem()
+        # Structurally a forest case (one relation), but not sj-free.
+        assert problem.is_forest_case()
+        sol = solve(problem, method="auto")
+        assert sol.method == "claim1-lowdeg"
+        assert sol.is_feasible()

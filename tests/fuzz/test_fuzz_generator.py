@@ -1,0 +1,70 @@
+"""Tests for the fuzz-case generator: determinism and shape coverage."""
+
+import random
+
+import pytest
+
+from repro.fuzz import CASE_KINDS, generate_case
+from repro.fuzz.generator import make_case
+from repro.io.serialize import problem_to_dict
+from repro.core.problem import BalancedDeletionPropagationProblem
+
+
+class TestKinds:
+    def test_kind_registry_is_nonempty_and_named(self):
+        assert len(CASE_KINDS) >= 8
+        assert "general" in CASE_KINDS and "empty-delta" in CASE_KINDS
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown case kind"):
+            make_case("no-such-kind", random.Random(0))
+
+    @pytest.mark.parametrize("kind", CASE_KINDS)
+    def test_every_kind_builds_a_problem(self, kind):
+        case = make_case(kind, random.Random(7))
+        assert case.kind == kind
+        assert case.problem.norm_v >= 0
+        # Every shape must survive a serialization round-trip — the
+        # corpus stores documents, not objects.
+        problem_to_dict(case.problem)
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        a = generate_case(random.Random(42))
+        b = generate_case(random.Random(42))
+        assert a.kind == b.kind
+        assert problem_to_dict(a.problem) == problem_to_dict(b.problem)
+
+    def test_kind_filter_is_respected(self):
+        for _ in range(10):
+            case = generate_case(random.Random(5), kinds=("chain", "star"))
+            assert case.kind in ("chain", "star")
+
+
+class TestShapeProperties:
+    def test_empty_delta_really_is_empty(self):
+        case = make_case("empty-delta", random.Random(1))
+        assert case.problem.deletion.is_empty()
+
+    def test_single_delta_has_one_request(self):
+        case = make_case("single-delta", random.Random(2))
+        assert case.problem.norm_delta_v == 1
+
+    def test_balanced_kind_is_balanced(self):
+        case = make_case("balanced", random.Random(3))
+        assert isinstance(case.problem, BalancedDeletionPropagationProblem)
+
+    def test_general_kind_self_joins(self):
+        # The Theorem 1 shape: every query joins rows of one shared
+        # relation, so it is never self-join-free.
+        case = make_case("general", random.Random(4))
+        assert not case.problem.is_self_join_free()
+
+    def test_weight_ties_draw_from_level_set(self):
+        case = make_case("weight-ties", random.Random(6))
+        weights = {
+            case.problem.weight(vt)
+            for vt in case.problem.all_view_tuples()
+        }
+        assert weights <= {0.5, 1.0, 2.0}

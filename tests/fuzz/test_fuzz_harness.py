@@ -1,0 +1,118 @@
+"""Tests for the differential check battery and the fuzz loop.
+
+Two directions: clean problems must produce clean reports, and an
+artificially broken solver must be caught — a harness that can't fail
+verifies nothing.
+"""
+
+import random
+
+import pytest
+
+from repro.fuzz import check_problem, run_fuzz
+from repro.fuzz.harness import _routes_for
+from repro.core.registry import SOLVERS
+from repro.core.solution import Propagation
+from repro.workloads import (
+    figure1_problem_q4,
+    random_general_problem,
+    random_problem,
+    with_empty_delta,
+)
+
+
+class TestCheckProblem:
+    def test_paper_example_is_clean(self):
+        report = check_problem(figure1_problem_q4(), kind="fig1")
+        assert report.ok, [str(f) for f in report.failures]
+        assert "auto" in report.routes_run
+
+    def test_empty_delta_is_clean(self):
+        problem = with_empty_delta(random_problem(random.Random(0)))
+        report = check_problem(problem)
+        assert report.ok, [str(f) for f in report.failures]
+
+    def test_self_join_shape_is_clean(self):
+        # Regression: used to crash route selection with QueryError.
+        problem = random_general_problem(
+            random.Random(3), num_reds=3, num_blues=2, num_sets=3
+        )
+        report = check_problem(problem, kind="general")
+        assert report.ok, [str(f) for f in report.failures]
+
+    def test_balanced_problem_is_clean(self):
+        problem = random_problem(random.Random(8), balanced=True)
+        report = check_problem(problem, kind="balanced")
+        assert report.ok, [str(f) for f in report.failures]
+
+
+class TestRouteSelection:
+    def test_self_join_forest_skips_data_dual_routes(self):
+        problem = random_general_problem(
+            random.Random(3), num_reds=3, num_blues=2, num_sets=3
+        )
+        routes = _routes_for(problem)
+        assert "primal-dual" not in routes
+        assert "lowdeg-tree" not in routes
+        assert "dp-tree" not in routes
+        assert "claim1" in routes
+
+
+class TestHarnessCatchesBugs:
+    def test_infeasible_solver_is_flagged(self, monkeypatch):
+        problem = figure1_problem_q4()
+
+        def broken(p):
+            # Claims success while deleting nothing: infeasible
+            # whenever ΔV is non-empty.
+            return Propagation(p, (), method="greedy-min-damage")
+
+        monkeypatch.setitem(SOLVERS, "greedy-min-damage", broken)
+        report = check_problem(problem, metamorphic=False)
+        assert not report.ok
+        assert any(
+            "greedy-min-damage" in failure.check
+            for failure in report.failures
+        )
+
+    def test_crashing_solver_is_flagged(self, monkeypatch):
+        problem = figure1_problem_q4()
+
+        def crashing(p):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setitem(SOLVERS, "claim1", crashing)
+        report = check_problem(problem, metamorphic=False)
+        assert any(
+            failure.check == "route-crash:claim1"
+            for failure in report.failures
+        )
+
+
+class TestRunFuzz:
+    def test_short_campaign_is_clean_and_deterministic(self):
+        first = run_fuzz(seed=1234, iterations=8)
+        second = run_fuzz(seed=1234, iterations=8)
+        assert first.ok, first.failures
+        assert first.iterations == second.iterations == 8
+        assert first.routes == second.routes
+
+    def test_budget_stops_early(self):
+        stats = run_fuzz(seed=0, iterations=10_000, budget_seconds=0.0)
+        assert stats.iterations < 10_000
+
+    def test_failures_land_in_corpus(self, tmp_path, monkeypatch):
+        def broken(p):
+            return Propagation(p, (), method="greedy-min-damage")
+
+        monkeypatch.setitem(SOLVERS, "greedy-min-damage", broken)
+        stats = run_fuzz(
+            seed=0,
+            iterations=3,
+            kinds=("chain",),
+            corpus_dir=str(tmp_path),
+            shrink=False,
+        )
+        assert not stats.ok
+        written = list(tmp_path.glob("fuzz-*.json"))
+        assert written, "failing case was not persisted"

@@ -1,0 +1,123 @@
+"""Tests for greedy document shrinking."""
+
+import random
+
+from repro.fuzz import check_problem, shrink_document
+from repro.fuzz.shrink import _prune_invalid_deletions
+from repro.io.serialize import problem_from_dict, problem_to_dict
+from repro.workloads import random_chain_problem
+
+
+def _report_for(predicate):
+    """Adapter: a run_checks whose single failure 'toy' fires iff the
+    predicate holds for the rebuilt problem."""
+
+    class _Failure:
+        check = "toy"
+
+    class _Report:
+        def __init__(self, failing):
+            self.failures = [_Failure()] if failing else []
+
+    return lambda problem: _Report(predicate(problem))
+
+
+class TestShrinkDocument:
+    def _doc(self, seed=5):
+        problem = random_chain_problem(
+            random.Random(seed),
+            num_relations=3,
+            facts_per_relation=5,
+            num_queries=2,
+            delta_fraction=0.5,
+        )
+        return problem_to_dict(problem)
+
+    def test_non_reproducing_input_is_returned_unchanged(self):
+        doc = self._doc()
+        shrunk, attempts = shrink_document(
+            doc,
+            "toy",
+            problem_from_dict,
+            _report_for(lambda problem: False),
+        )
+        assert shrunk == doc
+        assert attempts == 1
+
+    def test_shrinks_to_minimal_fact_count(self):
+        doc = self._doc()
+        total = sum(len(rows) for rows in doc["facts"].values())
+        assert total > 4
+        run_checks = _report_for(
+            lambda problem: len(problem.instance) >= 4
+        )
+        shrunk, _ = shrink_document(
+            doc, "toy", problem_from_dict, run_checks
+        )
+        remaining = sum(len(rows) for rows in shrunk["facts"].values())
+        # Greedy one-at-a-time removal reaches the boundary exactly.
+        assert remaining == 4
+
+    def test_shrinks_delta_rows(self):
+        doc = self._doc()
+        delta_total = sum(len(r) for r in doc["deletions"].values())
+        assert delta_total > 1
+        run_checks = _report_for(
+            lambda problem: problem.norm_delta_v >= 1
+        )
+        shrunk, _ = shrink_document(
+            doc, "toy", problem_from_dict, run_checks
+        )
+        assert sum(len(r) for r in shrunk["deletions"].values()) == 1
+
+    def test_drops_whole_queries(self):
+        doc = self._doc()
+        assert len(doc["queries"]) == 2
+        run_checks = _report_for(lambda problem: True)
+        shrunk, _ = shrink_document(
+            doc, "toy", problem_from_dict, run_checks
+        )
+        assert len(shrunk["queries"]) == 1
+
+    def test_attempt_budget_is_respected(self):
+        doc = self._doc()
+        _, attempts = shrink_document(
+            doc,
+            "toy",
+            problem_from_dict,
+            _report_for(lambda problem: True),
+            max_attempts=5,
+        )
+        assert attempts <= 5
+
+    def test_different_failure_does_not_count_as_reproducing(self):
+        doc = self._doc()
+
+        class _Failure:
+            check = "other-check"
+
+        class _Report:
+            failures = [_Failure()]
+
+        shrunk, _ = shrink_document(
+            doc, "toy", problem_from_dict, lambda problem: _Report()
+        )
+        assert shrunk == doc
+
+    def test_prune_repairs_deletions_after_fact_removal(self):
+        doc = self._doc()
+        # Remove every fact of the first relation; its view tuples (and
+        # their ΔV rows) disappear, so pruning must drop the stale rows
+        # rather than let the rebuild raise ViewError.
+        relation = sorted(doc["facts"])[0]
+        broken = {**doc, "facts": {
+            name: rows
+            for name, rows in doc["facts"].items()
+            if name != relation
+        }}
+        repaired = _prune_invalid_deletions(dict(broken), problem_from_dict)
+        assert repaired is not None
+        problem = problem_from_dict(repaired)
+        # The repaired document must rebuild and pass the real battery
+        # of checks (it may legitimately have an empty ΔV now).
+        assert check_problem(problem).ok

@@ -120,3 +120,44 @@ class TestSqliteCrossValidation:
         q = parse_query("Q(x, 'tag') :- T(x, y)")
         inst = Instance.from_rows(q.schema, {"T": [(1, 2)]})
         assert evaluate_on_sqlite(inst, [q]) == {"Q": {(1, "tag")}}
+
+
+class TestNonNativeValues:
+    """Fuzzer regression: the Theorem 1 construction stores whole
+    witness sets as tuple-valued attributes, which sqlite cannot bind
+    natively.  Values must round-trip through the tagged-repr codec so
+    SQLite results compare equal to the library evaluator's."""
+
+    def _problem(self, seed=13):
+        from repro.workloads import random_general_problem
+
+        return random_general_problem(
+            random.Random(seed), num_reds=3, num_blues=2, num_sets=4
+        )
+
+    def test_tuple_values_evaluate(self):
+        problem = self._problem()
+        results = evaluate_on_sqlite(problem.instance, problem.queries)
+        for query in problem.queries:
+            assert results[query.name] == result_tuples(
+                query, problem.instance
+            )
+
+    def test_tuple_values_survive_deletion_path(self):
+        problem = self._problem()
+        sol = solve_exact(problem)
+        after = apply_deletion_on_sqlite(
+            problem.instance, problem.queries, sol.deleted_facts
+        )
+        remaining = problem.instance.without(sol.deleted_facts)
+        for query in problem.queries:
+            assert after[query.name] == result_tuples(query, remaining)
+
+    def test_tagged_string_is_not_confused_with_encoding(self):
+        from repro.io.sqlgen import _decode_value, _encode_value
+
+        plain = "\x00pyrepr:('spoof',)"
+        assert _decode_value(_encode_value(plain)) == plain
+        assert _decode_value(_encode_value(("a", 1))) == ("a", 1)
+        assert _encode_value("ordinary") == "ordinary"
+        assert _encode_value(7) == 7

@@ -1,0 +1,156 @@
+"""Degenerate-shape tests for Peleg's LowDegTwo and its error paths.
+
+Covers the corners the fuzzer's generator shapes exercise implicitly:
+the explicit no-filter (``τ = None``) pass, the single-blue logarithm
+clamp in the quoted bound, and uncoverable-blue infeasibility — both at
+the RBSC layer and as it propagates through the reductions.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import NotKeyPreservingError, ReductionError, SolverError
+from repro.reductions import problem_to_rbsc, rbsc_to_vse
+from repro.core.general import solve_general
+from repro.setcover import (
+    RedBlueSetCover,
+    low_deg,
+    low_deg_bound,
+    low_deg_two,
+    solve_rbsc_exact,
+)
+from repro.workloads import figure1_problem, random_rbsc
+
+
+class TestNoFilterPass:
+    """The sweep's explicit ``τ = None`` pass."""
+
+    def _instance(self):
+        # Every set touches both reds, so any τ below the max red degree
+        # filters out the whole collection.
+        return RedBlueSetCover(
+            reds=["r0", "r1"],
+            blues=["b0", "b1"],
+            sets={"C0": {"r0", "r1", "b0"}, "C1": {"r0", "r1", "b1"}},
+        )
+
+    def test_small_tau_is_infeasible(self):
+        instance = self._instance()
+        assert low_deg(instance, 0) is None
+        assert low_deg(instance, 1) is None
+
+    def test_none_tau_disables_the_filter(self):
+        instance = self._instance()
+        selection = low_deg(instance, None)
+        assert selection is not None
+        assert instance.is_feasible(selection)
+
+    def test_sweep_falls_back_to_unfiltered_cover(self):
+        instance = self._instance()
+        selection, cost = low_deg_two(instance)
+        assert instance.is_feasible(selection)
+        assert cost == pytest.approx(
+            instance.cost(low_deg(instance, None))
+        )
+
+    def test_no_blues_is_the_empty_cover(self):
+        instance = RedBlueSetCover(
+            reds=["r0"], blues=[], sets={"C0": {"r0"}}
+        )
+        assert low_deg_two(instance) == ([], 0.0)
+
+
+class TestSingleBlueBound:
+    """``2·sqrt(|C|·log|B|)`` with the ``log 1 = 0`` clamp."""
+
+    def test_single_blue_clamps_log_to_one(self):
+        assert low_deg_bound(4, 1) == pytest.approx(2.0 * math.sqrt(4.0))
+
+    def test_single_set_single_blue(self):
+        assert low_deg_bound(1, 1) == pytest.approx(2.0)
+
+    def test_no_sets_is_ratio_one(self):
+        assert low_deg_bound(0, 5) == 1.0
+
+    def test_bound_never_below_one(self):
+        for sets in range(1, 6):
+            for blues in range(1, 6):
+                assert low_deg_bound(sets, blues) >= 1.0
+
+    def test_single_blue_instance_matches_exact(self):
+        instance = RedBlueSetCover(
+            reds=["r0", "r1"],
+            blues=["b0"],
+            sets={"C0": {"r0", "b0"}, "C1": {"r0", "r1", "b0"}},
+        )
+        selection, cost = low_deg_two(instance)
+        _, optimum = solve_rbsc_exact(instance)
+        assert instance.is_feasible(selection)
+        assert cost == pytest.approx(optimum)
+
+
+class TestUncoverableBlue:
+    def _uncoverable(self):
+        return RedBlueSetCover(
+            reds=["r0"],
+            blues=["b0", "b1"],
+            sets={"C0": {"r0", "b0"}},  # b1 occurs in no set
+        )
+
+    def test_feasibility_possible_is_false(self):
+        assert not self._uncoverable().feasibility_possible()
+
+    def test_low_deg_two_raises_solver_error(self):
+        with pytest.raises(SolverError, match="uncoverable"):
+            low_deg_two(self._uncoverable())
+
+    def test_exact_raises_solver_error(self):
+        with pytest.raises(SolverError, match="uncoverable"):
+            solve_rbsc_exact(self._uncoverable())
+
+    def test_theorem1_construction_rejects_it(self):
+        with pytest.raises(ReductionError, match="occurs in no set"):
+            rbsc_to_vse(self._uncoverable())
+
+    def test_unrepaired_generator_can_produce_it(self):
+        # With the coverability repair disabled the generator must be
+        # able to reach the infeasible shape, and the solver must flag
+        # it rather than return a bogus cover.
+        hit = False
+        for seed in range(40):
+            instance = random_rbsc(
+                random.Random(seed),
+                num_blues=6,
+                num_sets=3,
+                blue_density=0.1,
+                ensure_coverable=False,
+            )
+            if instance.feasibility_possible():
+                continue
+            hit = True
+            with pytest.raises(SolverError):
+                low_deg_two(instance)
+        assert hit, "no seed produced an uncoverable instance"
+
+    def test_repaired_generator_never_produces_it(self):
+        for seed in range(40):
+            instance = random_rbsc(
+                random.Random(seed),
+                num_blues=6,
+                num_sets=3,
+                blue_density=0.1,
+            )
+            assert instance.feasibility_possible()
+
+
+class TestReductionPropagation:
+    def test_non_key_preserving_problem_is_rejected(self):
+        # Fig. 1's Q1–Q3 views have multi-witness tuples; the Claim 1
+        # pipeline must surface NotKeyPreservingError from the
+        # reduction, not a crash deeper in the solver.
+        with pytest.raises(NotKeyPreservingError):
+            problem_to_rbsc(figure1_problem())
+        with pytest.raises(NotKeyPreservingError):
+            solve_general(figure1_problem())

@@ -1,0 +1,35 @@
+"""Replay every persisted fuzz corpus entry as a regression test.
+
+``tests/corpus/`` holds shrunken failing cases written by
+``python -m repro.cli fuzz`` (plus hand-written seeds for historical
+bugs).  Each entry is a serialized problem document; replaying it runs
+the full differential check battery, so a regression on any persisted
+case fails the suite with the original check identifier in the message.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import corpus_paths, load_corpus_case, replay_corpus_case
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_present():
+    # The seed entries ship with the repo; an empty corpus means the
+    # bridge silently tests nothing.
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", ENTRIES, ids=[p.stem for p in ENTRIES]
+)
+def test_corpus_entry_replays_clean(path):
+    entry = load_corpus_case(path)
+    report = replay_corpus_case(path)
+    assert report.ok, (
+        f"{path.name} ({entry.get('detail', 'no detail')}) regressed: "
+        + "; ".join(str(f) for f in report.failures)
+    )
