@@ -27,7 +27,6 @@ from repro.core import (
 )
 from repro.core.classify import PAPER_RESULTS, TABLE_II, TABLE_III, TABLE_IV, TABLE_V
 from repro.core.exact import solve_exact_bruteforce
-from repro.core.problem import BalancedDeletionPropagationProblem
 from repro.hypergraph import dual_hypergraph, is_hypertree
 from repro.reductions import posneg_to_balanced_vse, rbsc_to_vse
 from repro.relational import FunctionalDependency, parse_query

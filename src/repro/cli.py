@@ -2,7 +2,7 @@
 
 Usage (installed as module)::
 
-    python -m repro.cli solve problem.json [--method auto] [--json]
+    python -m repro.cli solve problem.json [--method auto] [--json] [--trace]
     python -m repro.cli solve problem.json --portfolio [--methods a,b] [--jobs N]
     python -m repro.cli classify problem.json
     python -m repro.cli repairs problem.json -k 3
@@ -29,7 +29,7 @@ import json
 import sys
 
 from repro.core.classify import classification_flags, verdict
-from repro.core.registry import available_solvers, solve
+from repro.core.registry import available_solvers, solve, solve_report
 from repro.io.serialize import (
     dump_problem,
     load_problem,
@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="explain each deletion's coverage and collateral",
+    )
+    solve_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "print the dispatch route, the structure profile, and "
+            "per-stage solver timings (ignored with --portfolio)"
+        ),
     )
     solve_cmd.add_argument(
         "--portfolio",
@@ -180,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
+    report = None
     if args.portfolio:
         from repro.core.portfolio import DEFAULT_PORTFOLIO, solve_portfolio
 
@@ -192,16 +201,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             problem, methods=methods, max_workers=args.jobs
         )
     else:
-        solution = solve(problem, method=args.method)
+        report = solve_report(problem, method=args.method)
+        solution = report.propagation
     if args.json:
-        json.dump(solution_to_dict(solution), sys.stdout, indent=2)
+        doc = solution_to_dict(solution)
+        if args.trace and report is not None:
+            doc["route"] = report.route
+            doc["profile"] = report.profile.as_dict()
+            doc["trace"] = [stage.as_dict() for stage in report.trace]
+        json.dump(doc, sys.stdout, indent=2)
         print()
     elif args.explain:
         from repro.core.explain import explain_solution
 
         print(explain_solution(solution))
     else:
-        print(solution.summary())
+        if args.trace and report is not None:
+            print(report.summary())
+            print("  profile:")
+            for name, value in report.profile.as_dict().items():
+                print(f"    {name}: {value}")
+        else:
+            print(solution.summary())
         for fact in sorted(solution.deleted_facts):
             print(f"  delete {fact!r}")
         if solution.collateral:

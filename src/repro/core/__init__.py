@@ -53,7 +53,16 @@ from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
-from repro.core.registry import available_solvers, solve
+from repro.core.registry import (
+    ROUTE_TABLE,
+    Route,
+    RouteStage,
+    SolveReport,
+    available_solvers,
+    solve,
+    solve_report,
+)
+from repro.core.session import SolveSession, StructureProfile
 from repro.core.single_query import (
     solve_single_deletion,
     solve_single_query,
@@ -90,6 +99,12 @@ __all__ = [
     "PortfolioResult",
     "PrimalDualTrace",
     "Propagation",
+    "ROUTE_TABLE",
+    "Route",
+    "RouteStage",
+    "SolveReport",
+    "SolveSession",
+    "StructureProfile",
     "TABLE_II",
     "TABLE_III",
     "TABLE_IV",
@@ -112,6 +127,7 @@ __all__ = [
     "run_portfolio",
     "solve_bounded_exact",
     "solve",
+    "solve_report",
     "solve_balanced",
     "solve_dp_tree",
     "solve_exact",

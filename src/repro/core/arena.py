@@ -81,6 +81,7 @@ class CompiledProblem:
         "weights",
         "is_delta",
         "delta_ids",
+        "preserved_ids",
         "candidate_ids",
         "num_delta",
         "balanced",
@@ -145,14 +146,66 @@ class CompiledProblem:
             frozenset(row) for row in dep_lists
         )
 
+        self._bind_delta()
+
+    def _bind_delta(self) -> None:
+        """Derive the ΔV slices (``delta_ids`` / ``preserved_ids`` /
+        ``candidate_ids`` / ``num_delta``) from ``is_delta``.  Shared by
+        the full compile and the O(‖ΔV‖) rebind."""
+        num_vts = len(self.view_tuples)
+        is_delta = self.is_delta
         self.delta_ids: tuple[int, ...] = tuple(
-            vid for vid in range(num_vts) if self.is_delta[vid]
+            vid for vid in range(num_vts) if is_delta[vid]
+        )
+        self.preserved_ids: tuple[int, ...] = tuple(
+            vid for vid in range(num_vts) if not is_delta[vid]
         )
         self.num_delta = len(self.delta_ids)
         candidate: set[int] = set()
         for vid in self.delta_ids:
             candidate.update(self.wit_of[vid])
         self.candidate_ids: tuple[int, ...] = tuple(sorted(candidate))
+
+    def rebound(self, problem: DeletionPropagationProblem) -> "CompiledProblem":
+        """A sibling arena for ``problem`` — the same instance/queries
+        with a different ΔV — sharing every ΔV-independent array.
+
+        The interning tables, both CSR adjacency sides, the per-row
+        tuple views, and the weights carry over by reference; only the
+        ``is_delta`` flags and the delta/candidate slices are rebuilt,
+        so re-binding a request against a compiled base costs
+        O(‖V‖ + ‖ΔV‖) instead of a full recompile.  This is the arena
+        half of :meth:`~repro.core.problem.DeletionPropagationProblem.with_deletions`.
+        """
+        if problem.views is not self.problem.views:
+            raise ValueError(
+                "rebound() requires a problem sharing this arena's "
+                "materialized views (use with_deletions)"
+            )
+        clone = object.__new__(CompiledProblem)
+        clone.problem = problem
+        clone.balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+        clone.delta_penalty = float(getattr(problem, "delta_penalty", 1.0))
+        # ΔV-independent structure: shared by reference.
+        clone.facts = self.facts
+        clone.fact_ids = self.fact_ids
+        clone.view_tuples = self.view_tuples
+        clone.vt_ids = self.vt_ids
+        clone.dep_offsets = self.dep_offsets
+        clone.dep_indices = self.dep_indices
+        clone.wit_offsets = self.wit_offsets
+        clone.wit_indices = self.wit_indices
+        clone.dep_of = self.dep_of
+        clone.dep_set_of = self.dep_set_of
+        clone.wit_of = self.wit_of
+        clone.weights = self.weights
+        # ΔV slices: rebuilt from the new deletion.
+        clone.is_delta = bytearray(len(self.view_tuples))
+        vt_ids = self.vt_ids
+        for vt in problem.deleted_view_tuples():
+            clone.is_delta[vt_ids[vt]] = 1
+        clone._bind_delta()
+        return clone
 
     # ------------------------------------------------------------------
     # Shared-compile cache

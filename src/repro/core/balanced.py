@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import math
 
-from repro.core.arena import CompiledProblem
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
-from repro.reductions.to_setcover import problem_to_posneg
 from repro.setcover.posneg import solve_posneg_lowdeg
 
 __all__ = ["solve_balanced", "lemma1_bound"]
@@ -35,13 +34,13 @@ def solve_balanced(
     counters: OracleCounters | None = None,
 ) -> Propagation:
     """The Lemma 1 approximation (requires key-preserving queries)."""
-    if problem.deletion.is_empty():
+    session = SolveSession.of(problem)
+    if session.profile.empty_delta:
         return Propagation(problem, (), method="lemma1-posneg")
-    # Route the covering instance through the compiled arena (integer
-    # view-tuple IDs end-to-end in the PN-PSC → RBSC pipeline).
-    reduction = problem_to_posneg(
-        problem, compiled=CompiledProblem.of(problem)
-    )
+    # The session memoizes the Lemma 1 reduction over the compiled
+    # arena (integer view-tuple IDs end-to-end in the PN-PSC → RBSC
+    # pipeline).
+    reduction = session.posneg()
     selection, _ = solve_posneg_lowdeg(reduction.covering)
     facts = reduction.decode(selection)
     oracle = EliminationOracle(problem, facts, counters=counters)

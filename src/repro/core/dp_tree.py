@@ -24,14 +24,12 @@ against brute force.
 
 from __future__ import annotations
 
-from repro.errors import NotKeyPreservingError, QueryError, StructureError
-from repro.hypergraph.datadual import DataDualGraph, RootedComponent
+from repro.errors import NotKeyPreservingError, StructureError
+from repro.hypergraph.datadual import RootedComponent
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
-from repro.core.problem import (
-    BalancedDeletionPropagationProblem,
-    DeletionPropagationProblem,
-)
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = ["solve_dp_tree", "applies_to"]
@@ -40,37 +38,33 @@ _NO_ANCESTOR = -1
 
 
 def applies_to(problem: DeletionPropagationProblem) -> bool:
-    """Does the instance fall into Algorithm 4's tractable class?"""
-    try:
-        _rooted_components(problem)
-    except (StructureError, NotKeyPreservingError, QueryError):
-        # QueryError: the data dual layout is only defined for
-        # self-join-free queries — outside the class, not an error.
-        return False
-    return True
+    """Does the instance fall into Algorithm 4's tractable class?
+
+    Answered by the session's structure profile, so repeated probes (and
+    the dispatch that follows) share one pivot search.
+    """
+    return SolveSession.of(problem).profile.dp_tree_applies
 
 
-def _rooted_components(
-    problem: DeletionPropagationProblem,
-) -> list[RootedComponent]:
-    if not problem.is_key_preserving():
+def _rooted_components(session: SolveSession) -> list[RootedComponent]:
+    profile = session.profile
+    if not profile.key_preserving:
         raise NotKeyPreservingError("DPTreeVSE requires key-preserving queries")
-    if not problem.is_forest_case():
+    if not profile.forest_case:
         raise StructureError("DPTreeVSE requires the forest case")
-    witnesses = {vt: problem.witness(vt) for vt in problem.all_view_tuples()}
-    graph = DataDualGraph(witnesses, problem.queries)
-    return graph.rooted_components()
+    return session.rooted_components()
 
 
 def solve_dp_tree(problem: DeletionPropagationProblem) -> Propagation:
     """Exact optimum for pivot-forest instances (standard, weighted, or
     balanced).  Raises :class:`StructureError` outside the class."""
-    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
+    session = SolveSession.of(problem)
+    balanced = session.profile.balanced
     penalty = problem.delta_penalty if balanced else float("inf")
     delta = frozenset(problem.deleted_view_tuples())
 
     deleted: set[Fact] = set()
-    for component in _rooted_components(problem):
+    for component in _rooted_components(session):
         deleted.update(
             _solve_component(problem, component, delta, penalty)
         )

@@ -25,11 +25,11 @@ import numpy as np
 
 from repro.errors import SolverError
 from repro.relational.tuples import Fact
-from repro.relational.views import ViewTuple
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = ["solve_exact", "solve_exact_bruteforce", "solve_exact_ilp"]
@@ -40,7 +40,7 @@ _BALANCED_BRUTEFORCE_LIMIT = 22
 def solve_exact(problem: DeletionPropagationProblem) -> Propagation:
     """Exact optimum, automatic backend selection: ILP when available
     and applicable (key-preserving), else branch & bound."""
-    if problem.is_key_preserving() and _milp_available():
+    if SolveSession.of(problem).profile.key_preserving and _milp_available():
         return solve_exact_ilp(problem)
     return solve_exact_bruteforce(problem)
 
@@ -146,7 +146,7 @@ def solve_exact_ilp(problem: DeletionPropagationProblem) -> Propagation:
     a covering constraint per ΔV witness; balanced adds coverage
     indicators ``c_b`` with objective penalty for ``c_b = 0``.
     """
-    if not problem.is_key_preserving():
+    if not SolveSession.of(problem).profile.key_preserving:
         raise SolverError("ILP backend requires key-preserving queries")
     try:
         from scipy.optimize import Bounds, LinearConstraint, milp

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 import math
 
-from repro.core.arena import CompiledProblem
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
-from repro.reductions.to_setcover import problem_to_rbsc
 from repro.setcover.lowdeg import low_deg_two
 
 __all__ = ["solve_general", "claim1_bound"]
@@ -24,12 +23,13 @@ __all__ = ["solve_general", "claim1_bound"]
 
 def solve_general(problem: DeletionPropagationProblem) -> Propagation:
     """The Claim 1 approximation (requires key-preserving queries)."""
-    if problem.deletion.is_empty():
+    session = SolveSession.of(problem)
+    if session.profile.empty_delta:
         return Propagation(problem, (), method="claim1-lowdeg")
-    # Route the covering instance through the compiled arena: the RBSC
-    # solver then works over integer view-tuple IDs (raises
+    # The session memoizes the Claim 1 reduction over the compiled
+    # arena: the RBSC solver works over integer view-tuple IDs (raises
     # NotKeyPreservingError exactly like the object path).
-    reduction = problem_to_rbsc(problem, compiled=CompiledProblem.of(problem))
+    reduction = session.rbsc()
     selection, _ = low_deg_two(reduction.covering)
     facts = reduction.decode(selection)
     return Propagation(problem, facts, method="claim1-lowdeg")

@@ -37,19 +37,21 @@ from __future__ import annotations
 import heapq
 
 from repro.errors import NotKeyPreservingError
-from repro.core.arena import CompiledProblem
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = ["solve_greedy_min_damage", "solve_greedy_max_coverage"]
 
 
-def _require_key_preserving(problem: DeletionPropagationProblem) -> None:
-    if not problem.is_key_preserving():
+def _session_of(problem: DeletionPropagationProblem) -> SolveSession:
+    session = SolveSession.of(problem)
+    if not session.profile.key_preserving:
         raise NotKeyPreservingError(
             "greedy baselines require key-preserving queries"
         )
+    return session
 
 
 def solve_greedy_min_damage(
@@ -57,8 +59,7 @@ def solve_greedy_min_damage(
     counters: OracleCounters | None = None,
 ) -> Propagation:
     """Cheapest-fact-per-witness greedy."""
-    _require_key_preserving(problem)
-    arena = CompiledProblem.of(problem)
+    arena = _session_of(problem).arena
     oracle = EliminationOracle(problem, (), counters=counters)
     dep_of = arena.dep_of
     wit_of = arena.wit_of
@@ -110,12 +111,10 @@ def solve_greedy_max_coverage(
     counters: OracleCounters | None = None,
 ) -> Propagation:
     """Best coverage-per-damage greedy."""
-    _require_key_preserving(problem)
-    arena = CompiledProblem.of(problem)
+    arena = _session_of(problem).arena
     oracle = EliminationOracle(problem, (), counters=counters)
     dep_of = arena.dep_of
     wit_of = arena.wit_of
-    is_delta = arena.is_delta
     hits = oracle._hits
     deleted = oracle._deleted_ids
     candidate_set = frozenset(arena.candidate_ids)

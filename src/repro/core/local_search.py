@@ -45,6 +45,7 @@ from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = ["improve", "improve_reference", "solve_with_local_search"]
@@ -56,12 +57,12 @@ def _check_start(solution: Propagation) -> bool:
     """Validate the starting point; returns whether the problem is
     balanced."""
     problem = solution.problem
-    if not problem.is_key_preserving():
+    profile = SolveSession.of(problem).profile
+    if not profile.key_preserving:
         raise NotKeyPreservingError("local search requires key-preserving queries")
-    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
-    if not balanced and not solution.is_feasible():
+    if not profile.balanced and not solution.is_feasible():
         raise ValueError("local search needs a feasible starting solution")
-    return balanced
+    return profile.balanced
 
 
 def improve(
@@ -76,7 +77,7 @@ def improve(
     ``counters`` to accumulate oracle statistics across calls.
     """
     problem = solution.problem
-    if not problem.is_key_preserving():
+    if not SolveSession.of(problem).profile.key_preserving:
         raise NotKeyPreservingError("local search requires key-preserving queries")
     balanced = isinstance(problem, BalancedDeletionPropagationProblem)
     oracle = EliminationOracle(problem, solution.deleted_facts, counters=counters)

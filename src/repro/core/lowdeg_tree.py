@@ -30,6 +30,7 @@ from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.primal_dual import solve_primal_dual
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = [
@@ -42,15 +43,13 @@ __all__ = [
 
 def preserved_degree(problem: DeletionPropagationProblem) -> dict[Fact, int]:
     """For every fact: the number of preserved view tuples whose witness
-    contains it (the quantity thresholded by τ)."""
-    delta = frozenset(problem.deleted_view_tuples())
-    degrees: dict[Fact, int] = {}
-    for vt in problem.all_view_tuples():
-        if vt in delta:
-            continue
-        for fact in problem.witness(vt):
-            degrees[fact] = degrees.get(fact, 0) + 1
-    return degrees
+    contains it (the quantity thresholded by τ).
+
+    Memoized on the problem's :class:`SolveSession`, so the τ sweep
+    below (which used to rebuild this index once per threshold) pays
+    for it exactly once.
+    """
+    return SolveSession.of(problem).preserved_degree()
 
 
 def solve_lowdeg_tree(

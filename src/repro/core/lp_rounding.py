@@ -36,6 +36,7 @@ import random
 from repro.errors import NotKeyPreservingError
 from repro.relational.tuples import Fact
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 from repro.lp.formulations import primal_vse_lp
 
@@ -52,9 +53,10 @@ def solve_lp_rounding(problem: DeletionPropagationProblem) -> Propagation:
     Requires key-preserving queries (like every algorithm in the
     paper).  Returns a feasible solution within ``l²`` of the optimum.
     """
-    if not problem.is_key_preserving():
+    profile = SolveSession.of(problem).profile
+    if not profile.key_preserving:
         raise NotKeyPreservingError("LP rounding requires key-preserving queries")
-    if problem.deletion.is_empty():
+    if profile.empty_delta:
         return Propagation(problem, (), method="lp-rounding")
     solution = primal_vse_lp(problem).solve()
     threshold = 1.0 / max(1, problem.max_arity)
@@ -107,11 +109,12 @@ def solve_randomized_rounding(
     Deterministic for a given ``rng`` seed; feasible regardless of the
     coin flips thanks to the repair step.
     """
-    if not problem.is_key_preserving():
+    profile = SolveSession.of(problem).profile
+    if not profile.key_preserving:
         raise NotKeyPreservingError(
             "LP rounding requires key-preserving queries"
         )
-    if problem.deletion.is_empty():
+    if profile.empty_delta:
         return Propagation(problem, (), method="randomized-rounding")
     rng = rng or random.Random(0)
     lp_values = primal_vse_lp(problem).solve().values

@@ -107,13 +107,28 @@ def _init_worker(doc: Mapping[str, Any]) -> None:
     _WORKER_PROBLEM = None
 
 
+def _prime_session(problem: DeletionPropagationProblem):
+    """Build the problem's shared :class:`SolveSession` eagerly: the
+    structure profile plus, on key-preserving instances, the compiled
+    witness arena.  Every subsequent ΔV rebind then reuses the compiled
+    base (delta slices only) instead of recompiling per request."""
+    from repro.core.session import SolveSession
+
+    session = SolveSession.of(problem)
+    if session.profile.key_preserving:
+        session.arena
+    return session
+
+
 def _worker_problem() -> DeletionPropagationProblem:
-    """Reconstruct (once) and cache the problem in this worker."""
+    """Reconstruct (once), prime, and cache the problem in this worker."""
     global _WORKER_PROBLEM
     if _WORKER_PROBLEM is None:
         from repro.io.serialize import problem_from_dict
 
-        _WORKER_PROBLEM = problem_from_dict(_WORKER_DOC)
+        problem = problem_from_dict(_WORKER_DOC)
+        _prime_session(problem)
+        _WORKER_PROBLEM = problem
     return _WORKER_PROBLEM
 
 
@@ -330,6 +345,11 @@ def run_delta_batch(
     ]
     if max_workers is None:
         max_workers = min(len(normalized), os.cpu_count() or 1)
+
+    # Compile the shared base once up front: serial tasks and the
+    # parent-side variant rebuilds below all rebind ΔV against this
+    # session's arena instead of recompiling per request.
+    _prime_session(problem)
 
     raw: list[tuple[int, float, list | None, str | None]]
     if max_workers <= 0 or len(normalized) <= 1:

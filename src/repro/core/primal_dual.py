@@ -31,10 +31,10 @@ from __future__ import annotations
 from typing import Iterable, Mapping
 
 from repro.errors import NotKeyPreservingError, StructureError
-from repro.hypergraph.datadual import DataDualGraph
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = ["solve_primal_dual", "PrimalDualTrace"]
@@ -57,38 +57,23 @@ class PrimalDualTrace:
         return sum(self.dual_values.values())
 
 
-def _build_data_dual(
-    problem: DeletionPropagationProblem,
-) -> tuple[DataDualGraph, dict[ViewTuple, frozenset[Fact]]]:
-    if not problem.is_key_preserving():
+def _session_artifacts(
+    session: SolveSession,
+) -> tuple[Mapping[ViewTuple, frozenset[Fact]], dict[Fact, int]]:
+    """The witness map and data dual depths, memoized on the session
+    (the τ sweep of Algorithm 3 calls PrimeDualVSE many times on the
+    same instance — the graph is built exactly once)."""
+    profile = session.profile
+    if not profile.key_preserving:
         raise NotKeyPreservingError(
             "PrimeDualVSE requires key-preserving queries"
         )
-    if not problem.is_forest_case():
+    if not profile.forest_case:
         raise StructureError(
             "PrimeDualVSE requires the forest case (dual hypergraph "
             "components must be hypertrees)"
         )
-    witnesses = {
-        vt: problem.witness(vt) for vt in problem.all_view_tuples()
-    }
-    return DataDualGraph(witnesses, problem.queries), witnesses
-
-
-def _depths(graph: DataDualGraph) -> dict[Fact, int]:
-    """Root every component at its smallest fact; return depths."""
-    depth: dict[Fact, int] = {}
-    for component in graph.components():
-        root = min(component)
-        depth[root] = 0
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            for nb in sorted(graph.neighbors(node)):
-                if nb not in depth:
-                    depth[nb] = depth[node] + 1
-                    stack.append(nb)
-    return depth
+    return session.witness_map(), session.dual_depths()
 
 
 def solve_primal_dual(
@@ -118,8 +103,8 @@ def solve_primal_dual(
         If the input is not a forest case, or the allowed facts cannot
         eliminate all of ΔV (Algorithm 2 treats that as "infeasible").
     """
-    graph, witnesses = _build_data_dual(problem)
-    depth = _depths(graph)
+    session = SolveSession.of(problem)
+    witnesses, depth = _session_artifacts(session)
     delta = problem.deleted_view_tuples()
     preserved = problem.preserved_view_tuples()
     allowed = None if allowed_facts is None else frozenset(allowed_facts)

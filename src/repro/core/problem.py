@@ -188,6 +188,18 @@ class DeletionPropagationProblem:
         # (candidate_facts depends on ΔV and must not be copied.)
         if "_dependents" in self.__dict__:
             clone.__dict__["_dependents"] = self.__dict__["_dependents"]
+        # A compiled witness arena carries over via an O(‖V‖ + ‖ΔV‖)
+        # rebind of its ΔV slices — never a full recompile.
+        arena = getattr(self, "_compiled_arena", None)
+        if arena is not None and arena.problem is self:
+            clone._compiled_arena = arena.rebound(clone)
+        # Point the clone at the base's session (created lazily here if
+        # need be — construction computes nothing) so SolveSession.of
+        # rebinds and every sibling shares one set of ΔV-independent
+        # artifacts instead of recomputing per variant.
+        from repro.core.session import SolveSession
+
+        clone._session_base = SolveSession.of(self)
         return clone
 
     def eliminated_by(self, deleted: Iterable[Fact]) -> set[ViewTuple]:

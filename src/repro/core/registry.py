@@ -1,27 +1,42 @@
 """Solver registry and structure-aware dispatch.
 
-``solve(problem)`` picks the strongest applicable method:
+``solve(problem)`` picks the strongest applicable method by walking a
+declarative **route table**: an ordered list of
+``(predicate over the StructureProfile, solver over the SolveSession)``
+pairs.  The profile is computed once per instance by the
+:class:`~repro.core.session.SolveSession`, so dispatch never re-runs the
+structural scans.  The routes, in order:
 
 1. **Balanced** problems: exact DP when the pivot-forest structure holds,
    else the Lemma 1 PN-PSC pipeline.
-2. Standard problems with a single deleted view tuple: exact argmin.
-3. Pivot-forest structure: Algorithm 4 (exact, polynomial).
-4. Forest case: the better of Algorithm 1 (``PrimeDualVSE``) and
-   Algorithm 3 (``LowDegTreeVSETwo``) — the paper notes the
-   ``2·sqrt(‖V‖)`` bound "is sometimes better than factor l", so running
-   both and keeping the cheaper is the natural production choice.
-5. Otherwise: the Claim 1 RBSC pipeline.
+2. Empty ΔV: the trivial empty solution.
+3. Standard problems with a single deleted view tuple: exact argmin.
+4. Non-key-preserving inputs: fall back to exact search.
+5. Pivot-forest structure: Algorithm 4 (exact, polynomial).
+6. Forest case: run **both** Algorithm 1 (``PrimeDualVSE``) and
+   Algorithm 3 (``LowDegTreeVSETwo``) and keep the cheaper — the paper
+   notes the ``2·sqrt(‖V‖)`` bound "is sometimes better than factor l".
+   The winner is labeled ``auto:<winner>`` and both candidates' costs
+   are recorded in the :class:`SolveReport` trace.
+7. Otherwise: the Claim 1 RBSC pipeline.
 
-Named solvers are also exposed directly via ``solve(problem, method)``.
+``solve_report`` returns the full :class:`SolveReport` envelope (the
+:class:`~repro.core.solution.Propagation` plus the route taken, the
+per-stage timings, and the producing solver's
+:class:`~repro.core.oracle.OracleCounters`); ``solve`` is the
+propagation-only wrapper.  Named solvers are exposed directly via
+``solve(problem, method)``.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SolverError
 from repro.core.balanced import solve_balanced
-from repro.core.dp_tree import applies_to as dp_applies, solve_dp_tree
+from repro.core.dp_tree import solve_dp_tree
 from repro.core.exact import (
     solve_exact,
     solve_exact_bruteforce,
@@ -32,10 +47,8 @@ from repro.core.greedy import solve_greedy_max_coverage, solve_greedy_min_damage
 from repro.core.lowdeg_tree import solve_lowdeg_tree_sweep
 from repro.core.lp_rounding import solve_lp_rounding, solve_randomized_rounding
 from repro.core.primal_dual import solve_primal_dual
-from repro.core.problem import (
-    BalancedDeletionPropagationProblem,
-    DeletionPropagationProblem,
-)
+from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession, StructureProfile
 from repro.core.single_query import (
     solve_single_deletion,
     solve_single_query,
@@ -43,7 +56,16 @@ from repro.core.single_query import (
 )
 from repro.core.solution import Propagation
 
-__all__ = ["SOLVERS", "available_solvers", "solve"]
+__all__ = [
+    "SOLVERS",
+    "ROUTE_TABLE",
+    "Route",
+    "RouteStage",
+    "SolveReport",
+    "available_solvers",
+    "solve",
+    "solve_report",
+]
 
 Solver = Callable[[DeletionPropagationProblem], Propagation]
 
@@ -71,14 +93,185 @@ def available_solvers() -> list[str]:
     return sorted(SOLVERS)
 
 
-def solve(
-    problem: DeletionPropagationProblem, method: str = "auto"
-) -> Propagation:
-    """Solve a deletion-propagation problem.
+# ----------------------------------------------------------------------
+# SolveReport envelope
+# ----------------------------------------------------------------------
 
-    ``method="auto"`` dispatches by structure (see module docstring);
-    any name from :func:`available_solvers` forces a specific algorithm.
+
+@dataclass
+class RouteStage:
+    """One solver execution inside a dispatch: what ran, how long it
+    took, what it cost, and whether its answer was kept."""
+
+    route: str  #: route-table entry (or ``forced:<name>``)
+    method: str  #: the produced Propagation's method label
+    seconds: float
+    objective: float | None  #: the candidate's natural objective
+    chosen: bool
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "route": self.route,
+            "method": self.method,
+            "seconds": self.seconds,
+            "objective": self.objective,
+            "chosen": self.chosen,
+        }
+
+
+@dataclass
+class SolveReport:
+    """The uniform dispatch envelope: the winning propagation plus how
+    it was reached.
+
+    ``trace`` holds every solver actually executed — for the forest
+    duel that is both candidates, with the loser's cost preserved
+    instead of silently discarded.
     """
+
+    propagation: Propagation
+    route: str  #: name of the route-table entry (or ``forced:<name>``)
+    profile: StructureProfile
+    trace: list[RouteStage] = field(default_factory=list)
+
+    @property
+    def method(self) -> str:
+        return self.propagation.method
+
+    @property
+    def counters(self):
+        """The producing solver's OracleCounters (``None`` when the
+        winning route did not run on the elimination oracle)."""
+        return self.propagation.counters
+
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.trace)
+
+    def summary(self) -> str:
+        lines = [
+            f"route {self.route}: {self.propagation.summary()}",
+        ]
+        for stage in self.trace:
+            mark = "*" if stage.chosen else " "
+            objective = (
+                "-" if stage.objective is None else f"{stage.objective:g}"
+            )
+            lines.append(
+                f"  {mark} {stage.method:<24} {stage.seconds * 1e3:8.2f} ms"
+                f"  objective {objective}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Route table
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Route:
+    """One dispatch rule: if ``applies(profile)``, answer with
+    ``run(session)``."""
+
+    name: str
+    applies: Callable[[StructureProfile], bool]
+    run: Callable[[SolveSession], Propagation]
+
+
+def _run_trivial(session: SolveSession) -> Propagation:
+    return Propagation(session.problem, (), method="auto-trivial")
+
+
+def _run_forest_duel(session: SolveSession) -> Propagation:
+    """Run Algorithms 1 and 3, keep the cheaper, label it with the
+    winner (satellite: the losing candidate used to be discarded with
+    no trace that the duel even happened)."""
+    problem = session.problem
+    candidates = []
+    for solver in (solve_primal_dual, solve_lowdeg_tree_sweep):
+        start = time.perf_counter()
+        candidate = solver(problem)
+        candidates.append((candidate, time.perf_counter() - start))
+    winner = min(candidates, key=lambda pair: pair[0].side_effect())[0]
+    labeled = Propagation(
+        problem,
+        winner.deleted_facts,
+        method=f"auto:{winner.method}",
+        counters=winner.counters,
+    )
+    # Stash the duel stages for solve_report to splice into the trace.
+    labeled.duel_stages = [
+        RouteStage(
+            route="forest-duel",
+            method=candidate.method,
+            seconds=seconds,
+            objective=candidate.side_effect(),
+            chosen=candidate is winner,
+        )
+        for candidate, seconds in candidates
+    ]
+    return labeled
+
+
+ROUTE_TABLE: tuple[Route, ...] = (
+    Route(
+        "balanced-dp",
+        lambda p: p.balanced and p.key_preserving and p.dp_tree_applies,
+        lambda s: solve_dp_tree(s.problem),
+    ),
+    Route(
+        "balanced",
+        lambda p: p.balanced,
+        lambda s: solve_balanced(s.problem),
+    ),
+    Route("trivial", lambda p: p.empty_delta, _run_trivial),
+    Route(
+        "single-deletion",
+        lambda p: p.norm_delta_v == 1 and p.key_preserving,
+        lambda s: solve_single_deletion(s.problem),
+    ),
+    Route(
+        # Outside the paper's algorithmic class: fall back to exact.
+        "exact-fallback",
+        lambda p: not p.key_preserving,
+        lambda s: solve_exact(s.problem),
+    ),
+    Route(
+        "dp-tree",
+        lambda p: p.dp_tree_applies,
+        lambda s: solve_dp_tree(s.problem),
+    ),
+    Route(
+        # Algorithms 1 and 3 walk the data dual graph, which is only
+        # defined for sj-free queries; self-join forest inputs fall
+        # through to the Claim 1 pipeline.
+        "forest-duel",
+        lambda p: p.forest_case and p.self_join_free,
+        _run_forest_duel,
+    ),
+    Route("general", lambda p: True, lambda s: solve_general(s.problem)),
+)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+
+def solve_report(
+    problem: DeletionPropagationProblem | SolveSession,
+    method: str = "auto",
+) -> SolveReport:
+    """Solve and return the full :class:`SolveReport` envelope.
+
+    Accepts either a problem (a session is built or reused via
+    :meth:`SolveSession.of`) or an existing session.
+    """
+    if isinstance(problem, SolveSession):
+        session = problem
+    else:
+        session = SolveSession.of(problem)
+
     if method != "auto":
         try:
             solver = SOLVERS[method]
@@ -87,29 +280,59 @@ def solve(
                 f"unknown method {method!r}; available: "
                 f"{', '.join(available_solvers())} or 'auto'"
             ) from None
-        return solver(problem)
-
-    if isinstance(problem, BalancedDeletionPropagationProblem):
-        if problem.is_key_preserving() and dp_applies(problem):
-            return solve_dp_tree(problem)
-        return solve_balanced(problem)
-
-    if problem.deletion.is_empty():
-        return Propagation(problem, (), method="auto-trivial")
-    if problem.norm_delta_v == 1 and problem.is_key_preserving():
-        return solve_single_deletion(problem)
-    if not problem.is_key_preserving():
-        # Outside the paper's algorithmic class: fall back to exact.
-        return solve_exact(problem)
-    if dp_applies(problem):
-        return solve_dp_tree(problem)
-    if problem.is_forest_case() and problem.is_self_join_free():
-        # Algorithms 1 and 3 walk the data dual graph, which is only
-        # defined for sj-free queries; self-join forest inputs fall
-        # through to the Claim 1 pipeline.
-        primal_dual = solve_primal_dual(problem)
-        sweep = solve_lowdeg_tree_sweep(problem)
-        return min(
-            (primal_dual, sweep), key=lambda s: s.side_effect()
+        start = time.perf_counter()
+        propagation = solver(session.problem)
+        seconds = time.perf_counter() - start
+        return SolveReport(
+            propagation=propagation,
+            route=f"forced:{method}",
+            profile=session.profile,
+            trace=[
+                RouteStage(
+                    route=f"forced:{method}",
+                    method=propagation.method,
+                    seconds=seconds,
+                    objective=propagation.objective(),
+                    chosen=True,
+                )
+            ],
         )
-    return solve_general(problem)
+
+    profile = session.profile
+    for route in ROUTE_TABLE:
+        if not route.applies(profile):
+            continue
+        start = time.perf_counter()
+        propagation = route.run(session)
+        seconds = time.perf_counter() - start
+        stages = getattr(propagation, "duel_stages", None)
+        if stages is None:
+            stages = [
+                RouteStage(
+                    route=route.name,
+                    method=propagation.method,
+                    seconds=seconds,
+                    objective=propagation.objective(),
+                    chosen=True,
+                )
+            ]
+        return SolveReport(
+            propagation=propagation,
+            route=route.name,
+            profile=profile,
+            trace=stages,
+        )
+    raise SolverError("route table exhausted (missing catch-all)")
+
+
+def solve(
+    problem: DeletionPropagationProblem, method: str = "auto"
+) -> Propagation:
+    """Solve a deletion-propagation problem.
+
+    ``method="auto"`` dispatches by structure via the route table (see
+    module docstring); any name from :func:`available_solvers` forces a
+    specific algorithm.  Use :func:`solve_report` for the route trace
+    and per-stage timings.
+    """
+    return solve_report(problem, method=method).propagation

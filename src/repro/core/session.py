@@ -1,0 +1,431 @@
+"""Compile-once solve context — one :class:`SolveSession` per instance.
+
+Before this module existed every ``registry.solve`` call re-ran the
+structural scans (``is_key_preserving`` / ``is_forest_case`` /
+``is_self_join_free`` / ``dp_tree`` applicability) and every route
+re-derived the witness artifacts the compiled arena already holds: the
+primal-dual route rebuilt the data dual graph, the LowDeg sweep rebuilt
+it once *per τ*, and the set-cover pipelines re-sliced red/blue element
+arrays per call.  A :class:`SolveSession` is built once per problem
+instance and owns all of it:
+
+* the :class:`~repro.core.arena.CompiledProblem` integer-ID witness
+  arena (compiled on first demand, shared with every solver);
+* a :class:`StructureProfile` — every structural predicate and size
+  norm the route table dispatches on, each computed exactly once;
+* memoized solve artifacts: the witness map, the rooted data dual
+  layout (Algorithms 1/3/4), the preserved-degree index (Algorithm 2's
+  τ filter), and the RBSC / PN-PSC covering reductions with red/blue
+  slices taken from the arena's flat int-ID arrays.
+
+Sessions are cached on the problem (:meth:`SolveSession.of`), so any
+number of solver routes, portfolio strategies, statistics calls, and
+verification passes share one compile.  Re-binding a new ΔV against the
+same instance (:meth:`SolveSession.rebind`) clones only the
+ΔV-dependent slices: the interning tables, CSR adjacency, structure
+profile flags, and rooted components carry over untouched — this is the
+batch hot path of :func:`repro.core.portfolio.run_delta_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Iterable, Mapping, TYPE_CHECKING
+
+from repro.errors import (
+    NotKeyPreservingError,
+    QueryError,
+    StructureError,
+)
+from repro.relational.tuples import Fact
+from repro.relational.views import ViewTuple
+from repro.core.arena import CompiledProblem
+from repro.core.problem import (
+    BalancedDeletionPropagationProblem,
+    DeletionPropagationProblem,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.hypergraph.datadual import DataDualGraph, RootedComponent
+    from repro.reductions.to_setcover import SetCoverReduction
+
+__all__ = ["SolveSession", "StructureProfile"]
+
+
+@dataclass(frozen=True)
+class StructureProfile:
+    """Every structural fact the route table dispatches on, computed
+    exactly once per session.
+
+    All fields except ``norm_delta_v`` (and the derived
+    :attr:`empty_delta`) depend only on the queries and the source
+    instance, so a ΔV rebind copies them verbatim.
+    """
+
+    key_preserving: bool
+    self_join_free: bool
+    project_free: bool
+    single_query: bool
+    forest_case: bool
+    dp_tree_applies: bool
+    balanced: bool
+    max_arity: int  #: the paper's ``l``
+    norm_v: int  #: ``‖V‖``
+    norm_delta_v: int  #: ``‖ΔV‖``
+
+    @property
+    def empty_delta(self) -> bool:
+        return self.norm_delta_v == 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "key_preserving": self.key_preserving,
+            "self_join_free": self.self_join_free,
+            "project_free": self.project_free,
+            "single_query": self.single_query,
+            "forest_case": self.forest_case,
+            "dp_tree_applies": self.dp_tree_applies,
+            "balanced": self.balanced,
+            "l": self.max_arity,
+            "norm_v": self.norm_v,
+            "norm_delta_v": self.norm_delta_v,
+        }
+
+
+_UNSET = object()
+
+
+class _InstanceArtifacts:
+    """ΔV-independent solve artifacts of one compiled instance.
+
+    Held by reference by every session bound to the same instance
+    (the base and all of its ``with_deletions`` rebinds), so whichever
+    sibling builds the witness map, the data dual graph, its depths, or
+    the pivot rooting first builds it for all of them.
+    """
+
+    __slots__ = ("witness_map", "data_dual", "dual_depths", "rooted")
+
+    def __init__(self) -> None:
+        self.witness_map: Mapping[ViewTuple, frozenset[Fact]] | None = None
+        self.data_dual: "DataDualGraph | None" = None
+        self.dual_depths: dict[Fact, int] | None = None
+        self.rooted: "list[RootedComponent] | object" = _UNSET
+
+
+class SolveSession:
+    """One problem instance, compiled once, solved many ways.
+
+    Use :meth:`SolveSession.of` — it caches the session on the problem
+    so every route, portfolio strategy, and statistics call shares the
+    same artifacts.  Direct construction is only for tests that need an
+    uncached session.
+    """
+
+    def __init__(
+        self,
+        problem: DeletionPropagationProblem,
+        shared: _InstanceArtifacts | None = None,
+    ):
+        self.problem = problem
+        # ΔV-independent artifacts live in a holder shared by reference
+        # across every rebind of the same instance.
+        self._shared = shared if shared is not None else _InstanceArtifacts()
+        # ΔV-dependent memos: per-session.
+        self._preserved_degree: dict[Fact, int] | None = None
+        self._rbsc: "SetCoverReduction | None" = None
+        self._posneg: "SetCoverReduction | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction / caching
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, problem: DeletionPropagationProblem) -> "SolveSession":
+        """The (cached) session of ``problem``.
+
+        A problem produced by
+        :meth:`~repro.core.problem.DeletionPropagationProblem.with_deletions`
+        carries a pointer to its base problem's session; the first
+        ``of`` call on such a clone derives a rebound session instead
+        of recomputing the instance-level artifacts from scratch.
+        """
+        session = getattr(problem, "_solve_session", None)
+        if session is not None and session.problem is problem:
+            return session
+        base = getattr(problem, "_session_base", None)
+        if (
+            base is not None
+            and base.problem.views is problem.views
+            and type(base.problem) is type(problem)
+        ):
+            session = base._rebound_to(problem)
+        else:
+            session = cls(problem)
+        problem._solve_session = session
+        return session
+
+    def rebind(
+        self, deletions: Mapping[str, Iterable[tuple]]
+    ) -> "SolveSession":
+        """A sibling session over the same compiled instance with a
+        different ΔV.
+
+        Costs O(‖V‖ + ‖ΔV‖): the views, witness arena arrays, structure
+        flags, and rooted data dual layout are shared; only the ΔV
+        slices (``is_delta`` / ``delta_ids`` / ``candidate_ids``) and
+        the ΔV-dependent memos are rebuilt.
+        """
+        return SolveSession.of(self.problem.with_deletions(deletions))
+
+    def _rebound_to(
+        self, problem: DeletionPropagationProblem
+    ) -> "SolveSession":
+        """A session for a rebound problem variant (``problem`` shares
+        this session's views), sharing the ΔV-independent artifact
+        holder by reference."""
+        clone = SolveSession(problem, shared=self._shared)
+        if "profile" in self.__dict__:
+            clone.__dict__["profile"] = replace(
+                self.profile, norm_delta_v=problem.norm_delta_v
+            )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Structure profile
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def profile(self) -> StructureProfile:
+        """The problem's structural profile, computed exactly once."""
+        problem = self.problem
+        key_preserving = all(
+            q.is_key_preserving() for q in problem.queries
+        )
+        self_join_free = all(
+            q.is_self_join_free() for q in problem.queries
+        )
+        project_free = all(q.is_project_free() for q in problem.queries)
+        from repro.hypergraph.dual import is_forest_case
+
+        forest_case = is_forest_case(problem.queries)
+        # Algorithm 4 applicability: attempt the pivot rooting exactly
+        # as dp_tree's probe used to, seeding the session memos so the
+        # attempt is never repeated.  (The memos are seeded directly —
+        # not via data_dual() — because that accessor reads this
+        # property, which is still being computed.)
+        dp_tree_applies = False
+        if key_preserving and forest_case:
+            shared = self._shared
+            try:
+                if shared.witness_map is None:
+                    shared.witness_map = {
+                        vt: problem.witness(vt)
+                        for vt in problem.all_view_tuples()
+                    }
+                if shared.data_dual is None:
+                    from repro.hypergraph.datadual import DataDualGraph
+
+                    shared.data_dual = DataDualGraph(
+                        dict(shared.witness_map), problem.queries
+                    )
+                self.rooted_components()
+            except (StructureError, NotKeyPreservingError, QueryError):
+                dp_tree_applies = False
+            else:
+                dp_tree_applies = True
+        return StructureProfile(
+            key_preserving=key_preserving,
+            self_join_free=self_join_free,
+            project_free=project_free,
+            single_query=len(problem.queries) == 1,
+            forest_case=forest_case,
+            dp_tree_applies=dp_tree_applies,
+            balanced=isinstance(
+                problem, BalancedDeletionPropagationProblem
+            ),
+            max_arity=problem.max_arity,
+            norm_v=problem.norm_v,
+            norm_delta_v=problem.norm_delta_v,
+        )
+
+    # ------------------------------------------------------------------
+    # Compiled arena
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def arena(self) -> CompiledProblem:
+        """The shared integer-ID witness arena (raises
+        :class:`~repro.errors.NotKeyPreservingError` outside the
+        key-preserving class)."""
+        return CompiledProblem.of(self.problem)
+
+    # ------------------------------------------------------------------
+    # Witness structure (delegating to the problem's caches)
+    # ------------------------------------------------------------------
+
+    def witness(self, vt: ViewTuple) -> frozenset[Fact]:
+        return self.problem.witness(vt)
+
+    def witnesses(self, vt: ViewTuple) -> list[frozenset[Fact]]:
+        return self.problem.witnesses(vt)
+
+    def dependents(self, fact: Fact) -> frozenset[ViewTuple]:
+        return self.problem.dependents(fact)
+
+    def candidate_facts(self) -> tuple[Fact, ...]:
+        return self.problem.candidate_facts()
+
+    def weight(self, vt: ViewTuple) -> float:
+        return self.problem.weight(vt)
+
+    def deleted_view_tuples(self) -> list[ViewTuple]:
+        return self.problem.deleted_view_tuples()
+
+    def preserved_view_tuples(self) -> list[ViewTuple]:
+        return self.problem.preserved_view_tuples()
+
+    def witness_map(self) -> Mapping[ViewTuple, frozenset[Fact]]:
+        """``{vt: wit(vt)}`` over all view tuples (key-preserving only;
+        ΔV-independent, shared across rebinds)."""
+        shared = self._shared
+        if shared.witness_map is None:
+            problem = self.problem
+            if not self.profile.key_preserving:
+                raise NotKeyPreservingError(
+                    "the witness map requires key-preserving queries "
+                    "(unique witnesses)"
+                )
+            shared.witness_map = {
+                vt: problem.witness(vt) for vt in problem.all_view_tuples()
+            }
+        return shared.witness_map
+
+    # ------------------------------------------------------------------
+    # Forest-case artifacts (Algorithms 1 / 3 / 4)
+    # ------------------------------------------------------------------
+
+    def data_dual(self) -> "DataDualGraph":
+        """The data dual graph over the unique witnesses (memoized;
+        defined for key-preserving forest-case sj-free inputs)."""
+        shared = self._shared
+        if shared.data_dual is None:
+            from repro.hypergraph.datadual import DataDualGraph
+
+            profile = self.profile
+            if shared.data_dual is not None:
+                # Computing the profile just seeded the graph (the
+                # Algorithm 4 applicability probe builds it).
+                return shared.data_dual
+            if not profile.key_preserving:
+                raise NotKeyPreservingError(
+                    "the data dual graph requires key-preserving queries"
+                )
+            if not profile.forest_case:
+                raise StructureError(
+                    "the data dual graph requires the forest case (dual "
+                    "hypergraph components must be hypertrees)"
+                )
+            shared.data_dual = DataDualGraph(
+                dict(self.witness_map()), self.problem.queries
+            )
+        return shared.data_dual
+
+    def dual_depths(self) -> dict[Fact, int]:
+        """Depths of every fact with each data dual component rooted at
+        its smallest fact (Algorithm 1's processing order; memoized)."""
+        shared = self._shared
+        if shared.dual_depths is None:
+            graph = self.data_dual()
+            depth: dict[Fact, int] = {}
+            for component in graph.components():
+                root = min(component)
+                depth[root] = 0
+                stack = [root]
+                while stack:
+                    node = stack.pop()
+                    for nb in sorted(graph.neighbors(node)):
+                        if nb not in depth:
+                            depth[nb] = depth[node] + 1
+                            stack.append(nb)
+            shared.dual_depths = depth
+        return shared.dual_depths
+
+    def rooted_components(self) -> "list[RootedComponent]":
+        """Algorithm 4's pivot-rooted layout (memoized — including the
+        negative answer, so ``dp_tree_applies`` probes don't redo the
+        pivot search)."""
+        shared = self._shared
+        if shared.rooted is _UNSET:
+            try:
+                shared.rooted = self.data_dual().rooted_components()
+            except (StructureError, NotKeyPreservingError, QueryError) as exc:
+                shared.rooted = exc
+        if isinstance(shared.rooted, Exception):
+            raise shared.rooted
+        return shared.rooted
+
+    # ------------------------------------------------------------------
+    # Degree index (Algorithms 2 / 3)
+    # ------------------------------------------------------------------
+
+    def preserved_degree(self) -> dict[Fact, int]:
+        """For every fact: the number of *preserved* view tuples whose
+        witness contains it (the τ-threshold quantity; ΔV-dependent,
+        memoized per session)."""
+        if self._preserved_degree is None:
+            arena = self.arena
+            degrees: dict[Fact, int] = {}
+            facts = arena.facts
+            is_delta = arena.is_delta
+            wit_of = arena.wit_of
+            for vid in range(arena.num_view_tuples):
+                if is_delta[vid]:
+                    continue
+                for fid in wit_of[vid]:
+                    fact = facts[fid]
+                    degrees[fact] = degrees.get(fact, 0) + 1
+            self._preserved_degree = degrees
+        return self._preserved_degree
+
+    # ------------------------------------------------------------------
+    # Set-cover reductions (Claim 1 / Lemma 1)
+    # ------------------------------------------------------------------
+
+    def rbsc(self) -> "SetCoverReduction":
+        """The memoized Claim 1 reduction (VSE → RBSC) over the arena's
+        flat int-ID red/blue slices."""
+        if self._rbsc is None:
+            from repro.reductions.to_setcover import problem_to_rbsc
+
+            self._rbsc = problem_to_rbsc(self.problem, compiled=self.arena)
+        return self._rbsc
+
+    def posneg(self) -> "SetCoverReduction":
+        """The memoized Lemma 1 reduction (balanced VSE → PN-PSC) over
+        the arena's flat int-ID slices."""
+        if self._posneg is None:
+            from repro.reductions.to_setcover import problem_to_posneg
+
+            self._posneg = problem_to_posneg(
+                self.problem, compiled=self.arena
+            )
+        return self._posneg
+
+    def __repr__(self) -> str:
+        built = [
+            name
+            for name, flag in (
+                ("profile", "profile" in self.__dict__),
+                ("arena", "arena" in self.__dict__),
+                ("data-dual", self._shared.data_dual is not None),
+                ("rbsc", self._rbsc is not None),
+                ("posneg", self._posneg is not None),
+            )
+            if flag
+        ]
+        return (
+            f"SolveSession({self.problem!r}, "
+            f"built=[{', '.join(built) or 'nothing yet'}])"
+        )

@@ -32,9 +32,9 @@ import networkx as nx
 
 from repro.errors import NotKeyPreservingError, SolverError
 from repro.relational.tuples import Fact
-from repro.relational.views import ViewTuple
 from repro.core.exact import solve_exact
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
 __all__ = [
@@ -51,7 +51,7 @@ def solve_single_deletion(problem: DeletionPropagationProblem) -> Propagation:
         raise SolverError(
             f"solve_single_deletion expects |ΔV| = 1, got {len(delta)}"
         )
-    if not problem.is_key_preserving():
+    if not SolveSession.of(problem).profile.key_preserving:
         raise NotKeyPreservingError(
             "solve_single_deletion requires key-preserving queries"
         )
@@ -85,14 +85,15 @@ def solve_two_atom_mincut(problem: DeletionPropagationProblem) -> Propagation:
     fact to delete — and paying for a shared preserved tuple once
     covers all its occurrences.
     """
-    if len(problem.queries) != 1:
+    session = SolveSession.of(problem)
+    if not session.profile.single_query:
         raise SolverError("solve_two_atom_mincut expects a single query")
     query = problem.queries[0]
     if len(query.body) != 2 or not query.is_self_join_free():
         raise SolverError(
             "solve_two_atom_mincut expects a two-atom sj-free query"
         )
-    if not problem.is_key_preserving():
+    if not session.profile.key_preserving:
         raise NotKeyPreservingError(
             "solve_two_atom_mincut requires a key-preserving query"
         )
@@ -146,8 +147,9 @@ def solve_two_atom_mincut(problem: DeletionPropagationProblem) -> Propagation:
 
 def solve_single_query(problem: DeletionPropagationProblem) -> Propagation:
     """Dispatch for the single-query case; exact in all branches."""
-    if len(problem.queries) != 1:
+    profile = SolveSession.of(problem).profile
+    if not profile.single_query:
         raise SolverError("solve_single_query expects exactly one query")
-    if problem.norm_delta_v == 1 and problem.is_key_preserving():
+    if profile.norm_delta_v == 1 and profile.key_preserving:
         return solve_single_deletion(problem)
     return solve_exact(problem)

@@ -13,12 +13,12 @@ when the producing solver ran on the elimination oracle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.oracle import OracleCounters
 from repro.core.problem import DeletionPropagationProblem
-from repro.core.solution import Propagation
+from repro.core.session import SolveSession
 
 __all__ = [
     "SolverStatistics",
@@ -103,9 +103,15 @@ class SolverStatistics:
         return {row["statistic"]: row["value"] for row in self.as_rows()}
 
 
-def solver_statistics(solution: Propagation) -> SolverStatistics:
-    """Summarize one solver run.  Solutions produced without the oracle
-    report zeroed counters."""
+def solver_statistics(solution) -> SolverStatistics:
+    """Summarize one solver run.
+
+    Accepts a :class:`~repro.core.solution.Propagation` or a
+    :class:`~repro.core.registry.SolveReport` (the report's winning
+    propagation is summarized).  Solutions produced without the oracle
+    report zeroed counters.
+    """
+    solution = getattr(solution, "propagation", solution)
     counters = solution.counters
     if not isinstance(counters, OracleCounters):
         counters = OracleCounters()
@@ -124,7 +130,10 @@ def solver_statistics(solution: Propagation) -> SolverStatistics:
 def workload_statistics(
     problem: DeletionPropagationProblem,
 ) -> WorkloadStatistics:
-    """Compute all statistics for one problem."""
+    """Compute all statistics for one problem.  The structural flags
+    come from the problem's session profile, so they are computed at
+    most once across statistics and dispatch."""
+    profile = SolveSession.of(problem).profile
     view_sizes = {view.name: len(view) for view in problem.views}
     width_histogram: dict[int, int] = {}
     fan_out: dict = {}
@@ -155,6 +164,6 @@ def workload_statistics(
         ),
         candidate_facts=len(candidates),
         overlapping_candidates=overlapping,
-        key_preserving=problem.is_key_preserving(),
-        forest_case=problem.is_forest_case(),
+        key_preserving=profile.key_preserving,
+        forest_case=profile.forest_case,
     )

@@ -37,7 +37,7 @@ import random
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable
 
 from repro.errors import NotKeyPreservingError, ProblemError, SolverError
 from repro.relational.instance import Instance
@@ -50,6 +50,7 @@ from repro.core.problem import (
     DeletionPropagationProblem,
 )
 from repro.core.registry import solve
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 from repro.core.verify import verify_solution
 
@@ -100,20 +101,23 @@ class CaseReport:
 
 
 def _routes_for(problem: DeletionPropagationProblem) -> list[str]:
-    """The strategies worth running on this problem's structure."""
+    """The strategies worth running on this problem's structure.
+
+    Reads the problem's cached :class:`StructureProfile`, so the route
+    sweep and the ``auto`` dispatch below share one set of structural
+    predicates (computed exactly once per case)."""
+    profile = SolveSession.of(problem).profile
     if isinstance(problem, BalancedDeletionPropagationProblem):
         routes = ["auto", "balanced-lowdeg"]
-        if problem.is_key_preserving():
+        if profile.key_preserving:
             routes += ["greedy-min-damage", "greedy-max-coverage"]
         return routes
     routes = ["auto"]
-    if problem.is_key_preserving():
+    if profile.key_preserving:
         routes += ["claim1", "greedy-min-damage", "greedy-max-coverage"]
-        if problem.is_forest_case() and problem.is_self_join_free():
+        if profile.forest_case and profile.self_join_free:
             routes += ["primal-dual", "lowdeg-tree"]
-        from repro.core.dp_tree import applies_to as dp_applies
-
-        if dp_applies(problem):
+        if profile.dp_tree_applies:
             routes.append("dp-tree")
     return routes
 
@@ -225,7 +229,7 @@ def _check_propagation(
 def _check_arena_vs_reference(
     problem: DeletionPropagationProblem, report: CaseReport
 ) -> None:
-    if not problem.is_key_preserving():
+    if not SolveSession.of(problem).profile.key_preserving:
         return
     from repro.core.greedy import (
         solve_greedy_max_coverage,
@@ -284,7 +288,7 @@ def _check_arena_vs_reference(
 
 def _ilp_applicable(problem: DeletionPropagationProblem) -> bool:
     return (
-        problem.is_key_preserving()
+        SolveSession.of(problem).profile.key_preserving
         and len(problem.candidate_facts()) <= _ILP_MAX_CANDIDATES
         and problem.norm_v <= _ILP_MAX_VIEW_TUPLES
     )

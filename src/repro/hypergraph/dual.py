@@ -13,7 +13,7 @@ relations exists in which every query induces a subtree); see
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.hypergraph.acyclicity import host_forest, is_hypertree
 from repro.hypergraph.hypergraph import Hypergraph

@@ -28,7 +28,7 @@ from typing import Iterable, Sequence
 from repro.errors import ReproError
 from repro.relational.cq import ConjunctiveQuery, Constant, Variable
 from repro.relational.instance import Instance
-from repro.relational.schema import RelationSchema, Schema
+from repro.relational.schema import RelationSchema
 from repro.relational.tuples import Fact
 
 __all__ = [

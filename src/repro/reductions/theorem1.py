@@ -36,8 +36,8 @@ from repro.relational.cq import Atom, ConjunctiveQuery, Constant, Variable
 from repro.relational.instance import Instance
 from repro.relational.schema import Key, RelationSchema, Schema
 from repro.relational.tuples import Fact
-from repro.relational.views import ViewTuple
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 from repro.setcover.redblue import RedBlueSetCover
 
@@ -61,6 +61,12 @@ class Theorem1Reduction:
         self.row_of_set = row_of_set
         self.set_of_row = {fact: name for name, fact in row_of_set.items()}
         self.view_of_element = view_of_element
+
+    @property
+    def session(self) -> SolveSession:
+        """The compile-once solve context of the constructed instance —
+        any solver run on :attr:`problem` shares its profile and arena."""
+        return SolveSession.of(self.problem)
 
     # -- solution transfer ------------------------------------------------
 

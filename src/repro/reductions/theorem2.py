@@ -15,6 +15,7 @@ from typing import Hashable
 
 from repro.errors import ReductionError
 from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 from repro.reductions.theorem1 import Theorem1Reduction, rbsc_to_vse
 from repro.setcover.posneg import PosNegPartialSetCover
@@ -40,6 +41,12 @@ class Theorem2Reduction:
         self.row_of_set = inner.row_of_set
         self.set_of_row = inner.set_of_row
         self.view_of_element = inner.view_of_element
+
+    @property
+    def session(self) -> SolveSession:
+        """The compile-once solve context of the constructed balanced
+        instance (shared with any solver run on it)."""
+        return SolveSession.of(self.problem)
 
     def selection_to_propagation(self, selection: list[str]) -> Propagation:
         facts = [self.row_of_set[name] for name in selection]

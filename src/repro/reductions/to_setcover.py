@@ -34,6 +34,7 @@ from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
+from repro.core.session import SolveSession
 from repro.setcover.posneg import PosNegPartialSetCover
 from repro.setcover.redblue import RedBlueSetCover
 
@@ -82,7 +83,7 @@ def _covering_sets(
             sets[name] = dep_set_of[fid]
             fact_of_set[name] = fact
         return sets, fact_of_set
-    if not problem.is_key_preserving():
+    if not SolveSession.of(problem).profile.key_preserving:
         raise NotKeyPreservingError(
             "the set-cover reduction requires key-preserving queries "
             "(unique witnesses)"
@@ -106,13 +107,10 @@ def problem_to_rbsc(
     view-tuple IDs (same sets, no object hashing downstream)."""
     sets, fact_of_set = _covering_sets(problem, compiled)
     if compiled is not None:
-        is_delta = compiled.is_delta
+        # Red/blue slices come straight off the arena's flat int-ID
+        # arrays (preserved_ids / delta_ids) — no per-call rescan.
         weights = compiled.weights
-        preserved_ids = [
-            vid
-            for vid in range(compiled.num_view_tuples)
-            if not is_delta[vid]
-        ]
+        preserved_ids = compiled.preserved_ids
         instance = RedBlueSetCover(
             reds=preserved_ids,
             blues=compiled.delta_ids,
@@ -140,13 +138,10 @@ def problem_to_posneg(
     view-tuple IDs (same sets, no object hashing downstream)."""
     sets, fact_of_set = _covering_sets(problem, compiled)
     if compiled is not None:
-        is_delta = compiled.is_delta
+        # Positive/negative slices come straight off the arena's flat
+        # int-ID arrays (delta_ids / preserved_ids) — no per-call rescan.
         weights = compiled.weights
-        preserved_ids = [
-            vid
-            for vid in range(compiled.num_view_tuples)
-            if not is_delta[vid]
-        ]
+        preserved_ids = compiled.preserved_ids
         instance = PosNegPartialSetCover(
             positives=compiled.delta_ids,
             negatives=preserved_ids,

@@ -10,7 +10,7 @@ from typing import Iterable
 
 from repro.relational.cq import ConjunctiveQuery
 from repro.relational.instance import Instance
-from repro.relational.views import View, ViewSet
+from repro.relational.views import View
 
 __all__ = ["render_relation", "render_instance", "render_view", "render_queries"]
 

@@ -14,7 +14,6 @@ from typing import Iterable, Iterator, Mapping
 
 from repro.errors import ViewError
 from repro.relational.cq import ConjunctiveQuery
-from repro.relational.evaluate import result_tuples
 from repro.relational.instance import Instance
 from repro.relational.provenance import unique_witness_map, witness_map
 from repro.relational.tuples import Fact

@@ -13,7 +13,6 @@ import random
 from typing import Sequence
 
 from repro.errors import ProblemError
-from repro.relational.cq import ConjunctiveQuery
 from repro.relational.instance import Instance
 from repro.relational.parser import parse_queries
 from repro.relational.schema import Key, RelationSchema, Schema

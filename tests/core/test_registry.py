@@ -59,7 +59,7 @@ class TestAutoDispatch:
                 continue
             sol = solve(problem)
             assert sol.is_feasible()
-            if sol.method in ("primal-dual", "lowdeg-tree-sweep"):
+            if sol.method in ("auto:primal-dual", "auto:lowdeg-tree-sweep"):
                 return
         pytest.skip("no non-pivot forest instance hit the tree route")
 
