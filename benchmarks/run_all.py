@@ -12,9 +12,16 @@ committed ``BENCH_oracle_local_search.json`` acceptance record — into
 (``bench_oracle_local_search.py``), which re-verifies the >=5x arena
 speedup and refreshes its artifact.
 
+``--validate`` turns the sweep into a gate: every ``BENCH_*.json`` in
+the output directory must parse against the harness schema and carry at
+least one row — checked once *before* the sweep (a pre-existing corrupt
+artifact fails fast, before minutes of benching) and once after
+aggregation.  Any violation exits 2.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_all.py [--jobs N] [--out DIR] [--full]
+    PYTHONPATH=src python benchmarks/run_all.py [--jobs N] [--out DIR]
+                                                [--full] [--validate]
 """
 
 from __future__ import annotations
@@ -121,6 +128,26 @@ def _aggregate(out_dir: Path) -> list[dict]:
     return rows
 
 
+def _validate(out_dir: Path) -> list[str]:
+    """Schema-check every ``BENCH_*.json`` artifact; one message per
+    violation (empty list = all valid)."""
+    from repro.bench import load_bench_json
+
+    problems: list[str] = []
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        if path.name == _INDEX_NAME:
+            continue
+        try:
+            document = load_bench_json(path)
+        except (ValueError, OSError) as exc:
+            problems.append(f"{path.name}: {exc}")
+            continue
+        rows = document["rows"]
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{path.name}: schema-valid but has no rows")
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -137,10 +164,28 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also run the pytest acceptance bench (slower)",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "fail (exit 2) unless every BENCH_*.json artifact parses "
+            "against the harness schema and has rows — checked before "
+            "the sweep (fail fast on stale corruption) and after it"
+        ),
+    )
     args = parser.parse_args(argv)
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.validate:
+        stale = _validate(out_dir)
+        if stale:
+            for problem in stale:
+                print(f"[invalid artifact] {problem}")
+            print("pre-existing artifacts failed validation; not sweeping")
+            return 2
+
     commands = _bench_commands(out_dir, args.full)
     jobs = args.jobs
     if jobs is None:
@@ -180,6 +225,14 @@ def main(argv: list[str] | None = None) -> int:
         directory=out_dir,
     )
     print(f"\nwrote {index_path}")
+
+    if args.validate:
+        invalid = _validate(out_dir)
+        if invalid:
+            for problem in invalid:
+                print(f"[invalid artifact] {problem}")
+            return 2
+
     return 1 if failed else 0
 
 

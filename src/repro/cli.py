@@ -3,6 +3,8 @@
 Usage (installed as module)::
 
     python -m repro.cli solve problem.json [--method auto] [--json] [--trace]
+    python -m repro.cli solve problem.json [--deadline 0.5] [--retries 2]
+                                           [--fallback claim1,greedy-min-damage]
     python -m repro.cli solve problem.json --portfolio [--methods a,b] [--jobs N]
     python -m repro.cli classify problem.json
     python -m repro.cli repairs problem.json -k 3
@@ -99,6 +101,36 @@ def build_parser() -> argparse.ArgumentParser:
             "strategy capped at CPU count; 0 forces serial)"
         ),
     )
+    solve_cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock deadline; a solver that exceeds it "
+            "degrades to its best-so-far feasible answer when one "
+            "exists (route 'degraded:<method>')"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "extra attempts per method for transient failures, with "
+            "exponential backoff (default: 0)"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--fallback",
+        default=None,
+        metavar="M1,M2,...",
+        help=(
+            "ordered fallback methods tried when the requested method "
+            "is inapplicable or out of retries, e.g. "
+            "'claim1,greedy-min-damage'"
+        ),
+    )
 
     classify_cmd = sub.add_parser(
         "classify", help="report structure and complexity landscape rows"
@@ -186,8 +218,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_policy(args: argparse.Namespace):
+    """The :class:`SolvePolicy` implied by --deadline/--retries/--fallback
+    (``None`` when none are set, keeping the plain dispatch path)."""
+    fallback = args.fallback
+    if args.deadline is None and not args.retries and not fallback:
+        return None
+    from repro.core.resilience import SolvePolicy, parse_fallback
+
+    return SolvePolicy(
+        deadline_seconds=args.deadline,
+        retries=args.retries,
+        fallback=parse_fallback(fallback),
+    )
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
+    policy = _build_policy(args)
     report = None
     if args.portfolio:
         from repro.core.portfolio import DEFAULT_PORTFOLIO, solve_portfolio
@@ -198,13 +246,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             else DEFAULT_PORTFOLIO
         )
         solution = solve_portfolio(
-            problem, methods=methods, max_workers=args.jobs
+            problem, methods=methods, max_workers=args.jobs, policy=policy
         )
     else:
-        report = solve_report(problem, method=args.method)
+        report = solve_report(problem, method=args.method, policy=policy)
         solution = report.propagation
     if args.json:
         doc = solution_to_dict(solution)
+        if report is not None and report.attempts:
+            doc["attempts"] = [
+                record.as_dict() for record in report.attempts
+            ]
         if args.trace and report is not None:
             doc["route"] = report.route
             doc["profile"] = report.profile.as_dict()

@@ -62,6 +62,16 @@ from repro.core.registry import (
     solve,
     solve_report,
 )
+from repro.core.resilience import (
+    AttemptRecord,
+    Deadline,
+    DeadlineExceededError,
+    SolvePolicy,
+    active_deadline,
+    deadline_scope,
+    parse_fallback,
+    solve_with_policy,
+)
 from repro.core.session import SolveSession, StructureProfile
 from repro.core.single_query import (
     solve_single_deletion,
@@ -84,9 +94,12 @@ from repro.core.source_side_effect import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "BalancedDeletionPropagationProblem",
     "CompiledProblem",
     "DEFAULT_PORTFOLIO",
+    "Deadline",
+    "DeadlineExceededError",
     "DeltaOutcome",
     "EliminationOracle",
     "OracleCounters",
@@ -102,6 +115,7 @@ __all__ = [
     "ROUTE_TABLE",
     "Route",
     "RouteStage",
+    "SolvePolicy",
     "SolveReport",
     "SolveSession",
     "StructureProfile",
@@ -109,11 +123,13 @@ __all__ = [
     "TABLE_III",
     "TABLE_IV",
     "TABLE_V",
+    "active_deadline",
     "available_solvers",
     "claim1_bound",
     "classification_flags",
     "compile_problem",
     "coverage_of",
+    "deadline_scope",
     "explain_solution",
     "improve",
     "improve_reference",
@@ -121,6 +137,7 @@ __all__ = [
     "lp_rounding_bound",
     "minimum_deletion_size",
     "pareto_front",
+    "parse_fallback",
     "preserved_degree",
     "resilience",
     "run_delta_batch",
@@ -148,6 +165,7 @@ __all__ = [
     "solve_source_greedy",
     "solve_two_atom_mincut",
     "solve_with_local_search",
+    "solve_with_policy",
     "solver_statistics",
     "source_cost",
     "theorem4_bound",

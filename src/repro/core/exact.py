@@ -23,12 +23,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import DeadlineExceededError, SolverError
 from repro.relational.tuples import Fact
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
 )
+from repro.core.resilience import active_deadline
 from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
@@ -78,6 +79,7 @@ def _standard_branch_and_bound(
     best_facts: frozenset[Fact] = frozenset()
     deleted: set[Fact] = set()
     delta = frozenset(problem.deleted_view_tuples())
+    deadline = active_deadline()
 
     def partial_cost() -> float:
         eliminated = problem.eliminated_by(deleted)
@@ -85,6 +87,19 @@ def _standard_branch_and_bound(
 
     def recurse(index: int) -> None:
         nonlocal best_cost, best_facts
+        if deadline is not None and deadline.expired:
+            # Each search node already pays a full eliminated_by pass, so
+            # a per-node clock read is noise; the incumbent (if any) is
+            # feasible — it hit every requirement before being recorded.
+            incumbent = (
+                Propagation(problem, best_facts, method="exact-bnb")
+                if best_cost < float("inf")
+                else None
+            )
+            raise DeadlineExceededError(
+                "exact branch & bound deadline exceeded",
+                incumbent=incumbent,
+            )
         while index < len(requirements) and requirements[index] & deleted:
             index += 1
         cost = partial_cost()
@@ -116,8 +131,16 @@ def _balanced_bruteforce(
         )
     best = Propagation(problem, (), method="exact-enum")
     best_cost = best.balanced_cost()
+    deadline = active_deadline()
     for size in range(1, len(candidates) + 1):
         for subset in combinations(candidates, size):
+            # Balanced solutions are always feasible, so the running
+            # best is a valid incumbent from the very first subset.
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceededError(
+                    "balanced exact enumeration deadline exceeded",
+                    incumbent=best,
+                )
             candidate = Propagation(problem, subset, method="exact-enum")
             cost = candidate.balanced_cost()
             if cost < best_cost:
@@ -217,6 +240,12 @@ def solve_exact_ilp(problem: DeletionPropagationProblem) -> Propagation:
         if rows
         else ()
     )
+    deadline = active_deadline()
+    if deadline is not None:
+        # ``milp`` cannot be interrupted cooperatively; check once before
+        # committing to the call so an already-expired deadline does not
+        # start an unbounded solve.
+        deadline.check(what="exact ILP")
     result = milp(
         c=cost,
         constraints=constraints,

@@ -1,0 +1,131 @@
+"""Deterministic fault injection for the resilient solve runtime.
+
+The pool supervisor in :mod:`repro.core.portfolio` promises recovery
+from crashed workers, hung tasks, and transient failures.  Promises
+about error paths rot unless the paths run, so this module lets the
+test suite (and CI's fault matrix) trigger each failure mode
+deterministically instead of trusting the supervisor on faith.
+
+Activation is **environment-driven and off by default** — production
+and normal test runs pay one ``os.environ.get`` per instrumented site
+and nothing else:
+
+* ``REPRO_FAULTS`` — comma-separated fault specs
+  ``<mode>@<site>[:<key>[:<count>]]``:
+
+  - ``mode`` — ``crash`` (``os._exit(3)``, the worker dies
+    mid-task), ``hang`` (a non-cooperative ``time.sleep`` that ignores
+    deadlines), or ``transient`` (raise :class:`InjectedFault`, a
+    plain ``RuntimeError`` the retry machinery treats as retryable).
+  - ``site`` — where the hook fires: ``delta`` (per ΔV batch task,
+    keyed by request index), ``portfolio`` (per portfolio task, keyed
+    by method name), ``solve`` (inside
+    :func:`repro.core.resilience.solve_with_policy`'s attempt loop,
+    keyed by method name).
+  - ``key`` — which task at the site (``*`` or omitted = any).
+  - ``count`` — inject only the first ``count`` matching invocations
+    (default 1), tracked **across processes** via marker files so a
+    re-dispatched task observes "fail once, then succeed".
+
+* ``REPRO_FAULT_DIR`` — directory for the cross-process markers.
+  Without it every matching invocation injects (count is ignored),
+  which is only safe for ``transient``.
+* ``REPRO_FAULT_HANG_SECONDS`` — hang duration (default 60).
+
+Example — the CI matrix's crash leg::
+
+    REPRO_FAULTS="crash@delta:1" REPRO_FAULT_DIR=$(mktemp -d) \\
+        python -m pytest tests/core/test_faultinject.py -k crash
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["InjectedFault", "maybe_inject", "parse_faults"]
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_DIR = "REPRO_FAULT_DIR"
+ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
+
+_MODES = ("crash", "hang", "transient")
+
+
+class InjectedFault(RuntimeError):
+    """The transient fault mode's exception.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the policy
+    layer must classify it as retryable, exactly like a real
+    infrastructure hiccup would be.
+    """
+
+
+def parse_faults(spec: str) -> list[tuple[str, str, str, int]]:
+    """Parse ``REPRO_FAULTS`` into ``(mode, site, key, count)`` tuples.
+
+    Malformed entries raise :class:`ValueError` — a silently ignored
+    fault spec would make a recovery test pass vacuously.
+    """
+    entries: list[tuple[str, str, str, int]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        mode, sep, rest = part.partition("@")
+        mode = mode.strip()
+        if not sep or mode not in _MODES:
+            raise ValueError(
+                f"bad fault spec {part!r}: expected <mode>@<site>[:<key>"
+                f"[:<count>]] with mode in {_MODES}"
+            )
+        bits = rest.split(":")
+        site = bits[0].strip()
+        key = bits[1].strip() if len(bits) > 1 and bits[1].strip() else "*"
+        count = int(bits[2]) if len(bits) > 2 else 1
+        if not site:
+            raise ValueError(f"bad fault spec {part!r}: empty site")
+        entries.append((mode, site, key, count))
+    return entries
+
+
+def _claim(mode: str, site: str, key: str, count: int) -> bool:
+    """Should this invocation inject?  True for the first ``count``
+    matching invocations, counted across processes via ``O_EXCL``
+    marker files in ``REPRO_FAULT_DIR``."""
+    directory = os.environ.get(ENV_DIR)
+    if directory is None:
+        return True
+    for n in range(count):
+        marker = os.path.join(directory, f"{mode}-{site}-{key}-{n}")
+        try:
+            handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False  # unusable marker dir: do not inject
+        os.close(handle)
+        return True
+    return False
+
+
+def maybe_inject(site: str, key: object) -> None:
+    """Fault-injection hook: no-op unless ``REPRO_FAULTS`` matches
+    ``site``/``key``, in which case the configured failure mode fires.
+    Called from the pool worker tasks and the policy attempt loop.
+    """
+    spec = os.environ.get(ENV_FAULTS)
+    if not spec:
+        return
+    wanted = str(key)
+    for mode, fault_site, fault_key, count in parse_faults(spec):
+        if fault_site != site or (fault_key != "*" and fault_key != wanted):
+            continue
+        if not _claim(mode, site, fault_key, count):
+            continue
+        if mode == "crash":
+            os._exit(3)
+        if mode == "hang":
+            time.sleep(float(os.environ.get(ENV_HANG_SECONDS, "60")))
+            return
+        raise InjectedFault(f"injected transient fault at {site}:{wanted}")

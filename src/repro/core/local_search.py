@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import NotKeyPreservingError
+from repro.errors import DeadlineExceededError, NotKeyPreservingError
 from repro.relational.tuples import Fact
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import (
@@ -51,6 +51,13 @@ from repro.core.solution import Propagation
 __all__ = ["improve", "improve_reference", "solve_with_local_search"]
 
 _MAX_ROUNDS = 50
+
+#: Move trials between deadline clock reads in the improve loop.  One
+#: trial is a handful of small-int reads, so polling the clock every
+#: trial would dominate; every 256th trial bounds the overshoot to a
+#: fraction of a millisecond while keeping the per-trial cost at one
+#: decrement-and-compare (and zero when no deadline is active).
+_DEADLINE_STRIDE = 256
 
 
 def _check_start(solution: Propagation) -> bool:
@@ -77,10 +84,22 @@ def improve(
     ``counters`` to accumulate oracle statistics across calls.
     """
     problem = solution.problem
-    if not SolveSession.of(problem).profile.key_preserving:
+    session = SolveSession.of(problem)
+    if not session.profile.key_preserving:
         raise NotKeyPreservingError("local search requires key-preserving queries")
     balanced = isinstance(problem, BalancedDeletionPropagationProblem)
-    oracle = EliminationOracle(problem, solution.deleted_facts, counters=counters)
+    deadline = session.deadline
+    try:
+        oracle = EliminationOracle(
+            problem, solution.deleted_facts, counters=counters
+        )
+    except DeadlineExceededError:
+        # Timed out before the first move: the (contractually feasible)
+        # starting solution is the incumbent.
+        raise DeadlineExceededError(
+            "local search deadline exceeded before the first move",
+            incumbent=solution,
+        ) from None
     # Feasibility of the start is judged by the oracle's own counters
     # so the arena path never touches the object-level dependents index
     # (whose lazy build would dwarf the move loop itself).
@@ -113,11 +132,45 @@ def improve(
     else:
         current_cost = infinity if uncovered else side_effect
 
+    method_label = f"{solution.method}+local-search"
+
+    def _flush(se, unc, hyp, app):
+        oracle._side_effect = se
+        oracle._uncovered = unc
+        oracle._deleted_cache = None
+        oracle._eliminated_cache = None
+        oracle.counters.oracle_hits += hyp
+        oracle.counters.delta_evaluations += app
+
+    def _deadline_hit(se, unc, hyp, app):
+        # Checkpoints only sit at move boundaries, so the flushed state
+        # is a consistent — and for standard problems feasible — local
+        # search iterate: the incumbent the caller degrades to.
+        _flush(se, unc, hyp, app)
+        raise DeadlineExceededError(
+            "local search deadline exceeded",
+            incumbent=oracle.to_propagation(method=method_label),
+        )
+
+    # Stride-counted cooperative checkpoints: -1 disables the per-trial
+    # branch body entirely when no deadline is active.
+    trials_left = _DEADLINE_STRIDE if deadline is not None else -1
+
     for _ in range(max_rounds):
         improved = False
+        if deadline is not None and deadline.expired:
+            _deadline_hit(side_effect, uncovered, hypotheticals, applied)
 
         # Drop moves.
         for fid in sorted(deleted):
+            if trials_left >= 0:
+                trials_left -= 1
+                if trials_left < 0:
+                    if deadline.expired:
+                        _deadline_hit(
+                            side_effect, uncovered, hypotheticals, applied
+                        )
+                    trials_left = _DEADLINE_STRIDE
             deps = dep_of[fid]
             if not balanced:
                 hypotheticals += 1  # feasible_if_removed
@@ -168,6 +221,14 @@ def improve(
             deps_out = dep_of[fid]
             out_set = dep_set_of[fid]
             for rid in candidates:
+                if trials_left >= 0:
+                    trials_left -= 1
+                    if trials_left < 0:
+                        if deadline.expired:
+                            _deadline_hit(
+                                side_effect, uncovered, hypotheticals, applied
+                            )
+                        trials_left = _DEADLINE_STRIDE
                 if rid in deleted:
                     continue
                 in_set = dep_set_of[rid]
@@ -256,6 +317,14 @@ def improve(
         # Add moves (balanced only: adding can pay off by covering ΔV).
         if balanced:
             for rid in candidates:
+                if trials_left >= 0:
+                    trials_left -= 1
+                    if trials_left < 0:
+                        if deadline.expired:
+                            _deadline_hit(
+                                side_effect, uncovered, hypotheticals, applied
+                            )
+                        trials_left = _DEADLINE_STRIDE
                 if rid in deleted:
                     continue
                 hypotheticals += 1  # objective_if_added
@@ -286,13 +355,8 @@ def improve(
             break
 
     # Flush the hoisted aggregates and accounting back into the oracle.
-    oracle._side_effect = side_effect
-    oracle._uncovered = uncovered
-    oracle._deleted_cache = None
-    oracle._eliminated_cache = None
-    oracle.counters.oracle_hits += hypotheticals
-    oracle.counters.delta_evaluations += applied
-    return oracle.to_propagation(method=f"{solution.method}+local-search")
+    _flush(side_effect, uncovered, hypotheticals, applied)
+    return oracle.to_propagation(method=method_label)
 
 
 def improve_reference(

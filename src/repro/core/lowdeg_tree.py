@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import math
 
-from repro.errors import StructureError
+from repro.errors import DeadlineExceededError, StructureError
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.primal_dual import solve_primal_dual
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.resilience import active_deadline
 from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 
@@ -103,8 +104,31 @@ def solve_lowdeg_tree_sweep(
     if not thresholds:
         return Propagation(problem, (), method="lowdeg-tree-sweep")
     best: Propagation | None = None
+    deadline = active_deadline()
+
+    def _sweep_timeout() -> DeadlineExceededError:
+        # Any threshold's feasible solution is a valid (if weaker)
+        # sweep answer, so degrade to the best one found so far.
+        incumbent = (
+            Propagation(
+                problem, best.deleted_facts, method="lowdeg-tree-sweep"
+            )
+            if best is not None
+            else None
+        )
+        return DeadlineExceededError(
+            "lowdeg τ sweep deadline exceeded", incumbent=incumbent
+        )
+
     for tau in thresholds:
-        candidate = solve_lowdeg_tree(problem, tau)
+        if deadline is not None and deadline.expired:
+            raise _sweep_timeout()
+        try:
+            candidate = solve_lowdeg_tree(problem, tau)
+        except DeadlineExceededError:
+            # A checkpoint fired inside this threshold's pipeline; the
+            # partial threshold is discarded but earlier ones stand.
+            raise _sweep_timeout() from None
         if not candidate.is_feasible():
             continue
         if best is None or candidate.side_effect() < best.side_effect():

@@ -57,6 +57,7 @@ from repro.errors import ProblemError
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.arena import CompiledProblem
+from repro.core.resilience import active_deadline
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
 
@@ -134,7 +135,13 @@ class EliminationOracle:
         self._deleted_cache: frozenset[Fact] | None = frozenset()
         self._eliminated_cache: frozenset[ViewTuple] | None = frozenset()
         # Building the counters walks the full witness structure once
-        # (the compiled adjacency) — account it as a full pass.
+        # (the compiled adjacency) — account it as a full pass.  Sweeps
+        # that build one oracle per threshold (LowDeg, portfolios) must
+        # not stack builds past an expired per-request deadline, so the
+        # build itself is a cooperative checkpoint.
+        deadline = active_deadline()
+        if deadline is not None:
+            deadline.check(what="elimination oracle build")
         self.counters.full_reevaluations += 1
         fact_ids = compiled.fact_ids
         initial: set[int] = set()

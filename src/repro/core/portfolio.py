@@ -17,10 +17,32 @@ Workers return plain ``(relation, values)`` pairs; the parent rebuilds
 :class:`~repro.core.solution.Propagation` objects against its own
 problem, so the public surface stays object-level.
 
-When the pool cannot be used (``max_workers=0``, a single strategy, or
-an executor that fails to start — e.g. a sandbox without process
-semaphores) the same work runs serially in-process with identical
-results; the portfolio is a throughput knob, never a semantics knob.
+The pool is **supervised** rather than fire-and-forget: tasks run as
+individual futures with per-task timeouts instead of one opaque
+``pool.map`` (whose lazy iterator used to let ``BrokenProcessPool``
+escape mid-iteration and take every completed result down with it).
+The supervisor in :func:`_run_supervised`:
+
+* keeps every result completed before a failure — a crashed worker
+  loses at most its own in-flight tasks;
+* detects worker crashes (``BrokenProcessPool``), respawns the pool a
+  bounded number of times, and re-dispatches only the lost tasks;
+* reclaims **hung** tasks: when a :class:`SolvePolicy` deadline is in
+  force, a task overdue past the deadline plus a small grace gets its
+  pool killed (``SIGKILL`` — a hung worker ignores cooperative
+  deadlines by definition) and is re-dispatched on a fresh pool;
+* applies a per-task dispatch budget: a task that keeps crashing falls
+  back to an in-process serial run, a task that keeps hanging becomes
+  a timeout-error outcome (running it serially would hang the parent);
+* records every supervision event as an
+  :class:`~repro.core.resilience.AttemptRecord` on the task's outcome,
+  so ``--trace`` shows crashes, timeouts, and re-dispatches.
+
+When the pool cannot be used at all (``max_workers=0``, a single
+strategy, or an executor that fails to start — e.g. a sandbox without
+process semaphores) the same work runs serially in-process with
+identical results; the portfolio is a throughput knob, never a
+semantics knob.
 
 Exposed on the command line as ``python -m repro.cli solve
 --portfolio`` and used by ``benchmarks/run_all.py``.
@@ -30,13 +52,15 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import SolverError
 from repro.relational.tuples import Fact
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.resilience import AttemptRecord, SolvePolicy
 from repro.core.solution import Propagation
 
 __all__ = [
@@ -57,15 +81,40 @@ DEFAULT_PORTFOLIO: tuple[str, ...] = (
     "greedy-max-coverage",
 )
 
+#: Extra dispatches granted to a task lost to a crashed or hung worker
+#: before the supervisor stops re-dispatching it.
+_LOST_RETRIES = 1
+
+#: Pool respawns tolerated per run before everything still pending
+#: degrades (serially for crash losses, timeout-error for hangs).
+_MAX_RESPAWNS = 3
+
+#: Slack added to the policy deadline before a task is declared hung:
+#: covers result pickling and queue latency so a task that finished
+#: exactly at its cooperative deadline is not killed while its result
+#: is in flight.
+_TIMEOUT_GRACE = 0.5
+
+#: ``(key, wall_seconds, facts_payload | None, error | None,
+#: attempt_dicts)`` — what worker tasks and their serial twins return.
+RawOutcome = tuple[object, float, list | None, str | None, list]
+
 
 @dataclass(frozen=True)
 class PortfolioResult:
-    """One strategy's outcome inside a portfolio run."""
+    """One strategy's outcome inside a portfolio run.
+
+    ``attempts`` is the resilience trace: policy attempts made inside
+    the worker plus any supervision events (crash, timeout,
+    re-dispatch) observed by the parent.  Empty for an undisturbed
+    run without a policy.
+    """
 
     method: str
     propagation: Propagation | None
     wall_seconds: float
     error: str | None = None
+    attempts: tuple[AttemptRecord, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -79,7 +128,8 @@ class DeltaOutcome:
     ``propagation`` is bound to a problem variant carrying the request's
     own ΔV; ``error`` carries the failure text when the request could
     not be solved (unknown view tuple, solver error, ...).  Exactly one
-    of the two is set.
+    of the two is set.  ``attempts`` is the resilience trace (see
+    :class:`PortfolioResult`).
     """
 
     index: int
@@ -87,6 +137,7 @@ class DeltaOutcome:
     propagation: Propagation | None
     wall_seconds: float
     error: str | None = None
+    attempts: tuple[AttemptRecord, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -139,21 +190,47 @@ def _facts_payload(propagation: Propagation) -> list[tuple[str, tuple]]:
     ]
 
 
-def _solve_method_task(method: str) -> tuple[str, float, list | None, str | None]:
+def _error_attempts(exc: Exception) -> list[dict]:
+    """The policy attempt trace attached to a failed solve, as plain
+    dicts (they cross the process boundary)."""
+    records = getattr(exc, "attempts", None) or []
+    return [record.as_dict() for record in records]
+
+
+def _solve_method_task(
+    method: str, policy: SolvePolicy | None = None
+) -> RawOutcome:
     """Worker task: solve the cached problem with one strategy."""
-    from repro.core.registry import solve
+    from repro.core.faultinject import maybe_inject
+    from repro.core.registry import solve_report
 
     start = time.perf_counter()
     try:
-        propagation = solve(_worker_problem(), method=method)
+        maybe_inject("portfolio", method)
+        report = solve_report(_worker_problem(), method=method, policy=policy)
     except Exception as exc:  # travel as text; solver errors are data here
-        return method, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
-    return method, time.perf_counter() - start, _facts_payload(propagation), None
+        return (
+            method,
+            time.perf_counter() - start,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            _error_attempts(exc),
+        )
+    return (
+        method,
+        time.perf_counter() - start,
+        _facts_payload(report.propagation),
+        None,
+        [record.as_dict() for record in report.attempts],
+    )
 
 
 def _solve_delta_task(
-    index: int, deletions: Mapping[str, list], method: str
-) -> tuple[int, float, list | None, str | None]:
+    index: int,
+    deletions: Mapping[str, list],
+    method: str,
+    policy: SolvePolicy | None = None,
+) -> RawOutcome:
     """Worker task: solve one ΔV request against the cached instance.
 
     The base problem is reconstructed once per worker (compile-once) and
@@ -161,15 +238,235 @@ def _solve_delta_task(
     :meth:`~repro.core.problem.DeletionPropagationProblem.with_deletions`
     — no per-task document parse, no view re-materialization.
     """
-    from repro.core.registry import solve
+    from repro.core.faultinject import maybe_inject
+    from repro.core.registry import solve_report
 
     start = time.perf_counter()
     try:
+        maybe_inject("delta", index)
         problem = _worker_problem().with_deletions(deletions)
-        propagation = solve(problem, method=method)
+        report = solve_report(problem, method=method, policy=policy)
     except Exception as exc:
-        return index, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
-    return index, time.perf_counter() - start, _facts_payload(propagation), None
+        return (
+            index,
+            time.perf_counter() - start,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            _error_attempts(exc),
+        )
+    return (
+        index,
+        time.perf_counter() - start,
+        _facts_payload(report.propagation),
+        None,
+        [record.as_dict() for record in report.attempts],
+    )
+
+
+# ----------------------------------------------------------------------
+# Pool supervisor
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Task:
+    """Supervisor bookkeeping for one unit of pool work."""
+
+    key: object  #: method name or request index (the raw outcome's key)
+    fn: Callable[..., RawOutcome]
+    args: tuple
+    serial: Callable[[], RawOutcome]  #: in-parent twin for crash fallback
+    dispatches: int = 0
+    timed_out: bool = False
+    events: list[AttemptRecord] = field(default_factory=list)
+
+    def record(self, outcome: str, cause: str) -> None:
+        self.events.append(
+            AttemptRecord(
+                method=str(self.key),
+                outcome=outcome,
+                attempt=self.dispatches - 1,
+                cause=cause,
+            )
+        )
+
+    def merged(self, raw: RawOutcome) -> RawOutcome:
+        """Prepend this task's supervision events to a raw outcome's
+        attempt trace."""
+        if not self.events:
+            return raw
+        key, seconds, payload, error, attempts = raw
+        events = [record.as_dict() for record in self.events]
+        return key, seconds, payload, error, events + list(attempts)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when a worker is hung: a plain shutdown
+    joins worker processes, which never happens for a worker stuck in a
+    non-cooperative call, so kill first."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _timeout_outcome(task: _Task, task_timeout: float) -> RawOutcome:
+    return task.merged(
+        (
+            task.key,
+            task_timeout,
+            None,
+            f"task exceeded its {task_timeout:.3f}s dispatch timeout "
+            f"{task.dispatches} time(s)",
+            [],
+        )
+    )
+
+
+def _run_supervised(
+    doc: Mapping[str, Any],
+    tasks: Sequence[_Task],
+    max_workers: int,
+    task_timeout: float | None,
+) -> list[RawOutcome]:
+    """Run ``tasks`` on a supervised process pool; one outcome per task.
+
+    See the module docstring for the recovery contract.  ``task_timeout``
+    of ``None`` disables hang detection (there is no deadline to judge
+    "hung" against).
+    """
+    results: dict[int, RawOutcome] = {}
+    pending: list[tuple[int, _Task]] = list(enumerate(tasks))
+    budget = 1 + _LOST_RETRIES
+    respawns = 0
+
+    def finalize_lost(slot: int, task: _Task) -> None:
+        """A task out of dispatch budget (or out of pool respawns)."""
+        if task.timed_out:
+            # Serially re-running a hanger would hang the parent.
+            results[slot] = _timeout_outcome(task, task_timeout or 0.0)
+        else:
+            task.record("serial-fallback", "dispatch budget exhausted")
+            results[slot] = task.merged(task.serial())
+
+    def requeue(slot: int, task: _Task, outcome: str, cause: str) -> None:
+        task.record(outcome, cause)
+        if task.dispatches < budget:
+            pending.append((slot, task))
+        else:
+            finalize_lost(slot, task)
+
+    while pending:
+        if respawns > _MAX_RESPAWNS:
+            for slot, task in pending:
+                finalize_lost(slot, task)
+            break
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(doc,),
+            )
+        except (OSError, PermissionError):
+            # No usable process primitives (restricted sandboxes): same
+            # work, same results, one process.
+            for slot, task in pending:
+                results[slot] = task.merged(task.serial())
+            break
+
+        in_flight: dict[Any, tuple[int, _Task]] = {}
+        expiry: dict[Any, float | None] = {}
+        batch, pending = pending, []
+        broken = False
+        for slot, task in batch:
+            task.dispatches += 1
+            try:
+                future = pool.submit(task.fn, *task.args)
+            except Exception:
+                # Pool already unusable; this dispatch never started.
+                task.dispatches -= 1
+                pending.append((slot, task))
+                broken = True
+                break
+            in_flight[future] = (slot, task)
+            expiry[future] = (
+                time.monotonic() + task_timeout
+                if task_timeout is not None
+                else None
+            )
+
+        while in_flight and not broken:
+            poll: float | None = None
+            if task_timeout is not None:
+                poll = max(
+                    0.0, min(expiry.values()) - time.monotonic()
+                )
+            done, _ = wait(
+                set(in_flight), timeout=poll, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                slot, task = in_flight.pop(future)
+                del expiry[future]
+                try:
+                    results[slot] = task.merged(future.result())
+                except BrokenProcessPool:
+                    broken = True
+                    requeue(
+                        slot, task, "worker-crash", "worker process died"
+                    )
+                except Exception as exc:
+                    # Tasks catch their own exceptions, so anything here
+                    # is infrastructure (pickling, cancellation): treat
+                    # like a crash.
+                    broken = True
+                    requeue(
+                        slot,
+                        task,
+                        "worker-crash",
+                        f"{type(exc).__name__}: {exc}",
+                    )
+            if broken:
+                break
+            if task_timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    future
+                    for future, when in expiry.items()
+                    if when is not None and when <= now
+                ]
+                for future in overdue:
+                    slot, task = in_flight.pop(future)
+                    del expiry[future]
+                    task.timed_out = True
+                    broken = True
+                    requeue(
+                        slot,
+                        task,
+                        "worker-timeout",
+                        f"no result after {task_timeout:.3f}s",
+                    )
+                if broken:
+                    break
+
+        if broken:
+            # Innocent in-flight tasks are casualties of the pool loss:
+            # their dispatch is spent, but they go back in the queue.
+            for future, (slot, task) in in_flight.items():
+                requeue(slot, task, "pool-lost", "pool recycled")
+            respawns += 1
+            _kill_pool(pool)
+        else:
+            pool.shutdown()
+
+    return [results[slot] for slot in sorted(results)]
+
+
+def _policy_task_timeout(policy: SolvePolicy | None) -> float | None:
+    if policy is None or policy.deadline_seconds is None:
+        return None
+    return policy.deadline_seconds + _TIMEOUT_GRACE
 
 
 # ----------------------------------------------------------------------
@@ -186,29 +483,68 @@ def _rebuild(
     return Propagation(problem, facts, method=method)
 
 
-def _run_serial(
-    problem: DeletionPropagationProblem, methods: Sequence[str]
-) -> list[PortfolioResult]:
-    from repro.core.registry import solve
+def _attempt_records(attempts: Iterable[dict]) -> tuple[AttemptRecord, ...]:
+    return tuple(AttemptRecord.from_dict(doc) for doc in attempts)
 
+
+def _solve_method_serial(
+    problem: DeletionPropagationProblem,
+    method: str,
+    policy: SolvePolicy | None = None,
+) -> RawOutcome:
+    """In-process twin of :func:`_solve_method_task` bound to an
+    explicit problem (must not touch the worker-global cache)."""
+    from repro.core.registry import solve_report
+
+    start = time.perf_counter()
+    try:
+        report = solve_report(problem, method=method, policy=policy)
+    except Exception as exc:
+        return (
+            method,
+            time.perf_counter() - start,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            _error_attempts(exc),
+        )
+    return (
+        method,
+        time.perf_counter() - start,
+        _facts_payload(report.propagation),
+        None,
+        [record.as_dict() for record in report.attempts],
+    )
+
+
+def _run_serial(
+    problem: DeletionPropagationProblem,
+    methods: Sequence[str],
+    policy: SolvePolicy | None = None,
+) -> list[PortfolioResult]:
     results: list[PortfolioResult] = []
     for method in methods:
-        start = time.perf_counter()
-        try:
-            propagation = solve(problem, method=method)
-        except Exception as exc:
+        _, seconds, payload, error, attempts = _solve_method_serial(
+            problem, method, policy
+        )
+        if payload is None:
             results.append(
                 PortfolioResult(
                     method,
                     None,
-                    time.perf_counter() - start,
-                    f"{type(exc).__name__}: {exc}",
+                    seconds,
+                    error,
+                    attempts=_attempt_records(attempts),
                 )
             )
-            continue
-        results.append(
-            PortfolioResult(method, propagation, time.perf_counter() - start)
-        )
+        else:
+            results.append(
+                PortfolioResult(
+                    method,
+                    _rebuild(problem, method, payload),
+                    seconds,
+                    attempts=_attempt_records(attempts),
+                )
+            )
     return results
 
 
@@ -216,14 +552,17 @@ def run_portfolio(
     problem: DeletionPropagationProblem,
     methods: Sequence[str] = DEFAULT_PORTFOLIO,
     max_workers: int | None = None,
+    policy: SolvePolicy | None = None,
 ) -> list[PortfolioResult]:
     """Solve ``problem`` with every strategy in ``methods``.
 
-    Strategies run in a process pool when ``max_workers`` permits
-    (default: one worker per strategy, capped at the CPU count) and
-    serially otherwise.  Returns one :class:`PortfolioResult` per
-    strategy in input order; strategies that raised carry their error
-    text instead of a propagation.
+    Strategies run in a supervised process pool when ``max_workers``
+    permits (default: one worker per strategy, capped at the CPU count)
+    and serially otherwise.  ``policy`` applies the full resilience
+    contract to every strategy: its deadline also arms the supervisor's
+    hang detection (deadline + grace per dispatch).  Returns one
+    :class:`PortfolioResult` per strategy in input order; strategies
+    that raised carry their error text instead of a propagation.
     """
     methods = list(dict.fromkeys(methods))  # dedupe, keep order
     if not methods:
@@ -231,30 +570,53 @@ def run_portfolio(
     if max_workers is None:
         max_workers = min(len(methods), os.cpu_count() or 1)
     if max_workers <= 0 or len(methods) == 1:
-        return _run_serial(problem, methods)
+        return _run_serial(problem, methods, policy=policy)
 
     from repro.io.serialize import problem_to_dict
 
     doc = problem_to_dict(problem)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(doc,),
-        ) as pool:
-            outcomes = list(pool.map(_solve_method_task, methods))
-    except (OSError, PermissionError):
-        # No usable process primitives (restricted sandboxes): same
-        # work, same results, one process.
-        return _run_serial(problem, methods)
+    tasks = [
+        _Task(
+            key=method,
+            fn=_solve_method_task,
+            args=(method, policy),
+            serial=(
+                lambda method=method: _solve_method_serial(
+                    problem, method, policy
+                )
+            ),
+        )
+        for method in methods
+    ]
+    raw = _run_supervised(
+        doc,
+        tasks,
+        max_workers=max_workers,
+        task_timeout=_policy_task_timeout(policy),
+    )
 
+    by_method = {outcome[0]: outcome for outcome in raw}
     results: list[PortfolioResult] = []
-    for method, seconds, payload, error in outcomes:
+    for method in methods:
+        _, seconds, payload, error, attempts = by_method[method]
         if payload is None:
-            results.append(PortfolioResult(method, None, seconds, error))
+            results.append(
+                PortfolioResult(
+                    method,
+                    None,
+                    seconds,
+                    error,
+                    attempts=_attempt_records(attempts),
+                )
+            )
         else:
             results.append(
-                PortfolioResult(method, _rebuild(problem, method, payload), seconds)
+                PortfolioResult(
+                    method,
+                    _rebuild(problem, method, payload),
+                    seconds,
+                    attempts=_attempt_records(attempts),
+                )
             )
     return results
 
@@ -282,13 +644,14 @@ def solve_portfolio(
     problem: DeletionPropagationProblem,
     methods: Sequence[str] = DEFAULT_PORTFOLIO,
     max_workers: int | None = None,
+    policy: SolvePolicy | None = None,
 ) -> Propagation:
     """Run the portfolio and return the best feasible propagation.
 
     Raises :class:`SolverError` when no strategy produced a feasible
     result (for balanced problems every propagation is feasible, so the
     portfolio always answers)."""
-    results = run_portfolio(problem, methods, max_workers=max_workers)
+    results = run_portfolio(problem, methods, max_workers=max_workers, policy=policy)
     feasible = [r for r in results if r.ok and r.propagation.is_feasible()]
     winner = best_result(feasible if feasible else results)
     if not winner.propagation.is_feasible():
@@ -303,21 +666,34 @@ def _solve_delta_serial(
     index: int,
     deletions: Mapping[str, list],
     method: str,
-) -> tuple[int, float, list | None, str | None]:
+    policy: SolvePolicy | None = None,
+) -> RawOutcome:
     """In-process twin of :func:`_solve_delta_task` bound to an explicit
     problem — the serial fallback must not touch the module-level
     ``_WORKER_DOC`` / ``_WORKER_PROBLEM`` cache, which belongs to worker
     processes (a parent that is itself a pool worker would otherwise
     have its cached problem clobbered)."""
-    from repro.core.registry import solve
+    from repro.core.registry import solve_report
 
     start = time.perf_counter()
     try:
         variant = problem.with_deletions(deletions)
-        propagation = solve(variant, method=method)
+        report = solve_report(variant, method=method, policy=policy)
     except Exception as exc:
-        return index, time.perf_counter() - start, None, f"{type(exc).__name__}: {exc}"
-    return index, time.perf_counter() - start, _facts_payload(propagation), None
+        return (
+            index,
+            time.perf_counter() - start,
+            None,
+            f"{type(exc).__name__}: {exc}",
+            _error_attempts(exc),
+        )
+    return (
+        index,
+        time.perf_counter() - start,
+        _facts_payload(report.propagation),
+        None,
+        [record.as_dict() for record in report.attempts],
+    )
 
 
 def run_delta_batch(
@@ -326,6 +702,7 @@ def run_delta_batch(
     method: str = "auto",
     max_workers: int | None = None,
     strict: bool = False,
+    policy: SolvePolicy | None = None,
 ) -> list[DeltaOutcome]:
     """Solve a batch of ΔV requests against one shared instance.
 
@@ -335,9 +712,12 @@ def run_delta_batch(
     the deletion set.  Returns one :class:`DeltaOutcome` per request, in
     order; a request that fails (unknown view tuple, solver error)
     carries its error text instead of aborting the batch, so every
-    completed propagation survives one bad request.  ``strict=True``
-    restores the historical behavior of raising :class:`SolverError` on
-    the first failed request.
+    completed propagation survives one bad request — including requests
+    lost to a crashed or hung worker, which the pool supervisor
+    re-dispatches (see the module docstring).  ``strict=True`` restores
+    the historical behavior of raising :class:`SolverError` on the
+    first failed request.  ``policy`` applies the resilience contract
+    per request and arms hang detection with its deadline.
     """
     normalized = [
         {name: [list(values) for values in rows] for name, rows in req.items()}
@@ -351,45 +731,58 @@ def run_delta_batch(
     # session's arena instead of recompiling per request.
     _prime_session(problem)
 
-    raw: list[tuple[int, float, list | None, str | None]]
+    raw: list[RawOutcome]
     if max_workers <= 0 or len(normalized) <= 1:
         raw = [
-            _solve_delta_serial(problem, i, req, method)
+            _solve_delta_serial(problem, i, req, method, policy)
             for i, req in enumerate(normalized)
         ]
     else:
         from repro.io.serialize import problem_to_dict
 
         doc = problem_to_dict(problem)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_init_worker,
-                initargs=(doc,),
-            ) as pool:
-                raw = list(
-                    pool.map(
-                        _solve_delta_task,
-                        range(len(normalized)),
-                        normalized,
-                        [method] * len(normalized),
+        tasks = [
+            _Task(
+                key=i,
+                fn=_solve_delta_task,
+                args=(i, req, method, policy),
+                serial=(
+                    lambda i=i, req=req: _solve_delta_serial(
+                        problem, i, req, method, policy
                     )
-                )
-        except (OSError, PermissionError):
-            raw = [
-                _solve_delta_serial(problem, i, req, method)
-                for i, req in enumerate(normalized)
-            ]
+                ),
+            )
+            for i, req in enumerate(normalized)
+        ]
+        raw = _run_supervised(
+            doc,
+            tasks,
+            max_workers=max_workers,
+            task_timeout=_policy_task_timeout(policy),
+        )
 
     outcomes: list[DeltaOutcome] = []
-    for index, seconds, payload, error in sorted(raw):
+    for index, seconds, payload, error, attempts in sorted(
+        raw, key=lambda outcome: outcome[0]
+    ):
+        records = _attempt_records(attempts)
         if payload is None:
             if strict:
                 raise SolverError(f"request #{index} failed: {error}")
-            outcomes.append(DeltaOutcome(index, method, None, seconds, error))
+            outcomes.append(
+                DeltaOutcome(
+                    index, method, None, seconds, error, attempts=records
+                )
+            )
             continue
         variant = problem.with_deletions(normalized[index])
         outcomes.append(
-            DeltaOutcome(index, method, _rebuild(variant, method, payload), seconds)
+            DeltaOutcome(
+                index,
+                method,
+                _rebuild(variant, method, payload),
+                seconds,
+                attempts=records,
+            )
         )
     return outcomes

@@ -48,6 +48,12 @@ from repro.core.lowdeg_tree import solve_lowdeg_tree_sweep
 from repro.core.lp_rounding import solve_lp_rounding, solve_randomized_rounding
 from repro.core.primal_dual import solve_primal_dual
 from repro.core.problem import DeletionPropagationProblem
+from repro.core.resilience import (
+    AttemptRecord,
+    Deadline,
+    SolvePolicy,
+    deadline_scope,
+)
 from repro.core.session import SolveSession, StructureProfile
 from repro.core.single_query import (
     solve_single_deletion,
@@ -127,12 +133,19 @@ class SolveReport:
     ``trace`` holds every solver actually executed — for the forest
     duel that is both candidates, with the loser's cost preserved
     instead of silently discarded.
+
+    ``attempts`` is the resilience trace: empty for a plain dispatch,
+    and one :class:`~repro.core.resilience.AttemptRecord` per attempt
+    (method tried, deadline hit, retry cause) when the solve ran under
+    a :class:`~repro.core.resilience.SolvePolicy` or through the pool
+    supervisor.
     """
 
     propagation: Propagation
     route: str  #: name of the route-table entry (or ``forced:<name>``)
     profile: StructureProfile
     trace: list[RouteStage] = field(default_factory=list)
+    attempts: list[AttemptRecord] = field(default_factory=list)
 
     @property
     def method(self) -> str:
@@ -160,6 +173,8 @@ class SolveReport:
                 f"  {mark} {stage.method:<24} {stage.seconds * 1e3:8.2f} ms"
                 f"  objective {objective}"
             )
+        for record in self.attempts:
+            lines.append(f"  ~ {record.summary()}")
         return "\n".join(lines)
 
 
@@ -185,10 +200,19 @@ def _run_trivial(session: SolveSession) -> Propagation:
 def _run_forest_duel(session: SolveSession) -> Propagation:
     """Run Algorithms 1 and 3, keep the cheaper, label it with the
     winner (satellite: the losing candidate used to be discarded with
-    no trace that the duel even happened)."""
+    no trace that the duel even happened).
+
+    Under an active deadline the duel degrades gracefully: once a first
+    candidate exists, an expired deadline skips the remaining
+    contender instead of raising — a one-candidate duel is still a
+    correct (just possibly costlier) answer.
+    """
     problem = session.problem
+    deadline = session.deadline
     candidates = []
     for solver in (solve_primal_dual, solve_lowdeg_tree_sweep):
+        if candidates and deadline is not None and deadline.expired:
+            break
         start = time.perf_counter()
         candidate = solver(problem)
         candidates.append((candidate, time.perf_counter() - start))
@@ -261,12 +285,28 @@ ROUTE_TABLE: tuple[Route, ...] = (
 def solve_report(
     problem: DeletionPropagationProblem | SolveSession,
     method: str = "auto",
+    deadline: Deadline | None = None,
+    policy: SolvePolicy | None = None,
 ) -> SolveReport:
     """Solve and return the full :class:`SolveReport` envelope.
 
     Accepts either a problem (a session is built or reused via
-    :meth:`SolveSession.of`) or an existing session.
+    :meth:`SolveSession.of`) or an existing session.  ``deadline``
+    installs a cooperative per-request deadline around the dispatch
+    (composing with any enclosing scope); ``policy`` delegates to
+    :func:`repro.core.resilience.solve_with_policy` for the full
+    deadline + retry + fallback-chain treatment.
     """
+    if policy is not None:
+        from repro.core.resilience import solve_with_policy
+
+        return solve_with_policy(
+            problem, method=method, policy=policy, deadline=deadline
+        )
+    if deadline is not None:
+        with deadline_scope(deadline):
+            return solve_report(problem, method=method)
+
     if isinstance(problem, SolveSession):
         session = problem
     else:
@@ -326,13 +366,19 @@ def solve_report(
 
 
 def solve(
-    problem: DeletionPropagationProblem, method: str = "auto"
+    problem: DeletionPropagationProblem,
+    method: str = "auto",
+    deadline: Deadline | None = None,
+    policy: SolvePolicy | None = None,
 ) -> Propagation:
     """Solve a deletion-propagation problem.
 
     ``method="auto"`` dispatches by structure via the route table (see
     module docstring); any name from :func:`available_solvers` forces a
-    specific algorithm.  Use :func:`solve_report` for the route trace
-    and per-stage timings.
+    specific algorithm.  ``deadline`` / ``policy`` add the resilience
+    layer (see :mod:`repro.core.resilience`).  Use :func:`solve_report`
+    for the route trace, per-stage timings, and attempt trace.
     """
-    return solve_report(problem, method=method).propagation
+    return solve_report(
+        problem, method=method, deadline=deadline, policy=policy
+    ).propagation

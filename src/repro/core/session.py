@@ -41,6 +41,7 @@ from repro.errors import (
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.arena import CompiledProblem
+from repro.core.resilience import Deadline, active_deadline
 from repro.core.problem import (
     BalancedDeletionPropagationProblem,
     DeletionPropagationProblem,
@@ -191,6 +192,30 @@ class SolveSession:
                 self.profile, norm_delta_v=problem.norm_delta_v
             )
         return clone
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+
+    @property
+    def deadline(self) -> Deadline | None:
+        """The ambient per-request :class:`Deadline` (installed by
+        :func:`repro.core.resilience.deadline_scope`), or ``None``.
+
+        Solver hot loops read this once at entry and keep the object in
+        a local, so the no-deadline fast path stays unchanged.
+        """
+        return active_deadline()
+
+    def checkpoint(
+        self, incumbent: object | None = None, what: str = "solve"
+    ) -> None:
+        """Cooperative deadline checkpoint: raises
+        :class:`~repro.errors.DeadlineExceededError` (carrying
+        ``incumbent``) when the ambient deadline has expired."""
+        deadline = active_deadline()
+        if deadline is not None:
+            deadline.check(incumbent=incumbent, what=what)
 
     # ------------------------------------------------------------------
     # Structure profile

@@ -57,6 +57,27 @@ class StructureError(SolverError):
     tuple) was applied to an input that does not satisfy them."""
 
 
+class DeadlineExceededError(SolverError):
+    """A cooperative deadline checkpoint fired inside a solver loop.
+
+    ``incumbent`` carries the best-so-far feasible
+    :class:`~repro.core.solution.Propagation` when the interrupted
+    algorithm had one (local search's current state, branch & bound's
+    best complete solution, the τ sweep's best threshold), so callers —
+    notably :func:`repro.core.resilience.solve_with_policy` — can
+    degrade to a usable answer instead of failing outright.  It is
+    ``None`` when the algorithm timed out before producing anything
+    feasible.  ``attempts`` is filled in by the policy layer with the
+    :class:`~repro.core.resilience.AttemptRecord` trace accumulated
+    before the deadline fired.
+    """
+
+    def __init__(self, message: str, incumbent: object | None = None):
+        super().__init__(message)
+        self.incumbent = incumbent
+        self.attempts: list | None = None
+
+
 class ReductionError(ReproError):
     """A reduction between problems received an invalid instance or a
     solution that does not map back."""

@@ -39,7 +39,12 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.errors import NotKeyPreservingError, ProblemError, SolverError
+from repro.errors import (
+    DeadlineExceededError,
+    NotKeyPreservingError,
+    ProblemError,
+    SolverError,
+)
 from repro.relational.instance import Instance
 from repro.relational.schema import Key, RelationSchema, Schema
 from repro.relational.tuples import Fact
@@ -50,6 +55,7 @@ from repro.core.problem import (
     DeletionPropagationProblem,
 )
 from repro.core.registry import solve
+from repro.core.resilience import Deadline, deadline_scope
 from repro.core.session import SolveSession
 from repro.core.solution import Propagation
 from repro.core.verify import verify_solution
@@ -146,6 +152,10 @@ def _solve_route(
     """Run one route; SolverError = inapplicable, anything else = crash."""
     try:
         propagation = solve(problem, method=method)
+    except DeadlineExceededError:
+        # The campaign budget (a SolverError subclass — it must not be
+        # swallowed as "inapplicable") propagates to run_fuzz.
+        raise
     except (SolverError, NotKeyPreservingError):
         return None
     except Exception:
@@ -176,6 +186,8 @@ def _check_roundtrip(
         twin = problem_from_dict(
             json.loads(json.dumps(problem_to_dict(problem)))
         )
+    except DeadlineExceededError:
+        raise
     except Exception as exc:
         report.fail("serialize-roundtrip", f"{type(exc).__name__}: {exc}")
         return
@@ -200,6 +212,8 @@ def _check_propagation(
     for backend in ("engine", "sqlite"):
         try:
             verdict = verify_solution(propagation, backend=backend)
+        except DeadlineExceededError:
+            raise
         except Exception as exc:
             report.fail(
                 f"verify-crash:{method}:{backend}",
@@ -251,6 +265,8 @@ def _check_arena_vs_reference(
         try:
             arena = arena_solver(problem)
             reference = reference_solver(problem)
+        except DeadlineExceededError:
+            raise
         except (SolverError, NotKeyPreservingError):
             continue
         except Exception:
@@ -272,6 +288,8 @@ def _check_arena_vs_reference(
         try:
             improved = improve(start)
             ref_improved = reference_improve(start)
+        except DeadlineExceededError:
+            raise
         except Exception:
             report.fail(
                 "twin-crash:local-search",
@@ -305,6 +323,8 @@ def _check_ratios(
 
     try:
         optimum = solve_exact(problem)
+    except DeadlineExceededError:
+        raise
     except (SolverError, NotKeyPreservingError):
         return
     except Exception:
@@ -391,12 +411,16 @@ def _check_metamorphic(
     # (1) Adding an unrelated fact never changes any route's answer.
     try:
         augmented = _with_unrelated_fact(problem)
+    except DeadlineExceededError:
+        raise
     except Exception as exc:
         report.fail("metamorphic-setup", f"{type(exc).__name__}: {exc}")
         return
     for method, original in produced.items():
         try:
             again = solve(augmented, method=method)
+        except DeadlineExceededError:
+            raise
         except (SolverError, NotKeyPreservingError) as exc:
             report.fail(
                 f"metamorphic-unrelated-fact:{method}",
@@ -430,6 +454,8 @@ def _check_metamorphic(
         }
         try:
             twin = solve(problem_from_dict(doubled), method="auto")
+        except DeadlineExceededError:
+            raise
         except Exception as exc:
             report.fail(
                 "metamorphic-duplicate-request",
@@ -453,6 +479,8 @@ def _check_metamorphic(
                 residual_instance, list(problem.queries), {}
             )
             noop = solve(residual, method="auto")
+        except DeadlineExceededError:
+            raise
         except Exception as exc:
             report.fail("metamorphic-residual", f"{type(exc).__name__}: {exc}")
         else:
@@ -478,23 +506,39 @@ def check_problem(
     problem: DeletionPropagationProblem,
     kind: str = "adhoc",
     metamorphic: bool = True,
+    deadline: Deadline | None = None,
 ) -> CaseReport:
-    """Run the full differential check battery on one problem."""
+    """Run the full differential check battery on one problem.
+
+    ``deadline`` bounds the battery *cooperatively*: it is installed as
+    the ambient deadline scope, so the solver hot loops inside each
+    route check it mid-solve — an adversarial case cannot pin the
+    campaign for longer than one checkpoint stride past the budget.
+    Expiry raises :class:`~repro.errors.DeadlineExceededError` to the
+    caller (:func:`run_fuzz` turns it into a clean campaign stop).
+    """
     report = CaseReport(kind=kind)
-    _check_roundtrip(problem, report)
+    with deadline_scope(deadline):
+        _check_roundtrip(problem, report)
 
-    produced: dict[str, Propagation] = {}
-    for method in _routes_for(problem):
-        propagation = _solve_route(problem, method, report)
-        if propagation is None:
-            continue
-        produced[method] = propagation
-        _check_propagation(method, propagation, report)
+        produced: dict[str, Propagation] = {}
+        for method in _routes_for(problem):
+            if deadline is not None:
+                deadline.check(what=f"fuzz route sweep ({method})")
+            propagation = _solve_route(problem, method, report)
+            if propagation is None:
+                continue
+            produced[method] = propagation
+            _check_propagation(method, propagation, report)
 
-    _check_arena_vs_reference(problem, report)
-    _check_ratios(problem, produced, report)
-    if metamorphic:
-        _check_metamorphic(problem, produced, report)
+        if deadline is not None:
+            deadline.check(what="fuzz cross-checks")
+        _check_arena_vs_reference(problem, report)
+        _check_ratios(problem, produced, report)
+        if metamorphic:
+            if deadline is not None:
+                deadline.check(what="fuzz metamorphic checks")
+            _check_metamorphic(problem, produced, report)
     return report
 
 
@@ -537,10 +581,14 @@ def run_fuzz(
     say = on_event or (lambda _message: None)
     stats = FuzzStats()
     started = time.perf_counter()
+    # A real Deadline, not an every-iteration elapsed check: the budget
+    # also cuts *through* a slow case via the solver checkpoints, so one
+    # adversarial instance cannot blow far past budget_seconds.
+    deadline = (
+        Deadline.after(budget_seconds) if budget_seconds is not None else None
+    )
     for iteration in range(iterations):
-        if budget_seconds is not None and (
-            time.perf_counter() - started > budget_seconds
-        ):
+        if deadline is not None and deadline.expired:
             say(f"budget exhausted after {iteration} iterations")
             break
         rng = random.Random((seed * 1_000_003 + iteration) & 0xFFFFFFFF)
@@ -548,7 +596,13 @@ def run_fuzz(
             case = generate_case(rng, kinds)
         except ProblemError:
             continue  # degenerate sample (e.g. empty views); not a bug
-        report = check_problem(case.problem, kind=case.kind)
+        try:
+            report = check_problem(
+                case.problem, kind=case.kind, deadline=deadline
+            )
+        except DeadlineExceededError:
+            say(f"budget exhausted during iteration {iteration}")
+            break
         stats.iterations += 1
         stats.routes += len(report.routes_run)
         if report.ok:

@@ -1,0 +1,242 @@
+"""Fault-injected recovery tests for the pool supervisor and policy
+retry loop.
+
+Each test drives one injected failure mode (``repro.core.faultinject``)
+through the real runtime and asserts the recovery contract from the
+portfolio module docstring:
+
+* **crash** — a worker killed mid-task loses no other request's result;
+  a task that keeps crashing falls back to an in-process serial run.
+* **hang** — a task stuck past the policy deadline (plus grace) is
+  reclaimed within its deadline, not the hang duration; a task that
+  keeps hanging becomes a timeout-error outcome.
+* **transient** — an injected infrastructure failure succeeds on retry
+  (or falls down the fallback chain when no retries are granted).
+
+CI's fault-injection matrix runs this file one mode per leg via
+``pytest -k <mode>``, so every test name carries its mode.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.faultinject import (
+    ENV_DIR,
+    ENV_FAULTS,
+    ENV_HANG_SECONDS,
+    InjectedFault,
+    parse_faults,
+)
+from repro.core.portfolio import (
+    run_delta_batch,
+    run_portfolio,
+)
+from repro.core.resilience import SolvePolicy, solve_with_policy
+from repro.workloads import scaling_problem
+
+#: Injected hang duration — long enough that a test passing because the
+#: hang simply *finished* is impossible, short enough that a supervisor
+#: regression fails the suite instead of stalling CI forever.
+_HANG_SECONDS = 20.0
+
+#: Every timing assertion's ceiling: well under the hang duration, well
+#: over any honest solve + pool respawn on a loaded CI box.
+_ELAPSED_CEILING = 15.0
+
+
+@pytest.fixture
+def problem():
+    return scaling_problem(random.Random(11), facts_per_relation=60)
+
+
+def _requests(problem, count=3):
+    rng = random.Random(99)
+    pool = sorted(problem.deleted_view_tuples())
+    requests = []
+    for _ in range(count):
+        picks = rng.sample(pool, k=min(4, len(pool)))
+        req: dict = {}
+        for vt in picks:
+            req.setdefault(vt.view, []).append(list(vt.values))
+        requests.append(req)
+    return requests
+
+
+def _arm(monkeypatch, tmp_path, spec: str) -> None:
+    """Configure the fault environment: ``spec`` plus a marker directory
+    so counted faults stop firing once claimed (across processes)."""
+    monkeypatch.setenv(ENV_FAULTS, spec)
+    monkeypatch.setenv(ENV_DIR, str(tmp_path))
+    monkeypatch.setenv(ENV_HANG_SECONDS, str(_HANG_SECONDS))
+
+
+def _outcomes(records) -> list[str]:
+    return [record.outcome for record in records]
+
+
+class TestParseFaults:
+    def test_parse_faults_specs(self):
+        assert parse_faults("crash@delta:1") == [("crash", "delta", "1", 1)]
+        assert parse_faults("hang@delta:1:2, transient@solve:claim1") == [
+            ("hang", "delta", "1", 2),
+            ("transient", "solve", "claim1", 1),
+        ]
+        assert parse_faults("transient@portfolio") == [
+            ("transient", "portfolio", "*", 1)
+        ]
+
+    def test_parse_faults_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_faults("explode@delta:1")
+        with pytest.raises(ValueError):
+            parse_faults("no-separator")
+        with pytest.raises(ValueError):
+            parse_faults("crash@")
+
+
+class TestTransient:
+    def test_transient_solve_succeeds_on_retry(
+        self, problem, monkeypatch, tmp_path
+    ):
+        _arm(monkeypatch, tmp_path, "transient@solve:claim1")
+        report = solve_with_policy(
+            problem,
+            method="claim1",
+            policy=SolvePolicy(retries=1, backoff_seconds=0.0),
+        )
+        assert report.propagation.is_feasible()
+        assert _outcomes(report.attempts) == ["retry", "ok"]
+        assert "InjectedFault" in report.attempts[0].cause
+
+    def test_transient_without_retries_falls_down_the_chain(
+        self, problem, monkeypatch, tmp_path
+    ):
+        _arm(monkeypatch, tmp_path, "transient@solve:claim1:99")
+        report = solve_with_policy(
+            problem,
+            method="claim1",
+            policy=SolvePolicy(fallback=("greedy-min-damage",)),
+        )
+        assert report.propagation.is_feasible()
+        assert _outcomes(report.attempts) == ["error", "ok"]
+        assert report.attempts[1].method == "greedy-min-damage"
+
+    def test_transient_in_delta_batch_surfaces_not_aborts(
+        self, problem, monkeypatch, tmp_path
+    ):
+        # No policy: the injected failure is reported on its own request
+        # while every other request in the batch still completes.
+        _arm(monkeypatch, tmp_path, "transient@delta:1:99")
+        outcomes = run_delta_batch(
+            problem,
+            _requests(problem),
+            method="greedy-min-damage",
+            max_workers=2,
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "InjectedFault" in outcomes[1].error
+
+
+class TestCrash:
+    def test_crash_in_delta_batch_loses_no_other_request(
+        self, problem, monkeypatch, tmp_path
+    ):
+        requests = _requests(problem)
+        baseline = run_delta_batch(
+            problem, requests, method="greedy-min-damage", max_workers=0
+        )
+        _arm(monkeypatch, tmp_path, "crash@delta:1")
+        outcomes = run_delta_batch(
+            problem, requests, method="greedy-min-damage", max_workers=2
+        )
+        assert [o.ok for o in outcomes] == [True, True, True]
+        for got, want in zip(outcomes, baseline):
+            assert got.propagation.deleted_facts == want.propagation.deleted_facts
+        # The supervision trace shows the crash and the re-dispatch.
+        events = [r.outcome for o in outcomes for r in o.attempts]
+        assert "worker-crash" in events or "pool-lost" in events
+
+    def test_crash_exhausted_falls_back_to_serial(
+        self, problem, monkeypatch, tmp_path
+    ):
+        # Crash both dispatches of request 1: the dispatch budget runs
+        # out and the supervisor re-runs it in-process (where the fault
+        # hook is not installed).
+        _arm(monkeypatch, tmp_path, "crash@delta:1:2")
+        outcomes = run_delta_batch(
+            problem,
+            _requests(problem),
+            method="greedy-min-damage",
+            max_workers=2,
+        )
+        assert [o.ok for o in outcomes] == [True, True, True]
+        assert "serial-fallback" in _outcomes(outcomes[1].attempts)
+
+    def test_crash_in_portfolio_preserves_other_strategies(
+        self, problem, monkeypatch, tmp_path
+    ):
+        _arm(monkeypatch, tmp_path, "crash@portfolio:claim1")
+        results = run_portfolio(
+            problem,
+            methods=("claim1", "greedy-min-damage", "greedy-max-coverage"),
+            max_workers=2,
+        )
+        assert [r.ok for r in results] == [True, True, True]
+        events = [rec.outcome for r in results for rec in r.attempts]
+        assert "worker-crash" in events or "pool-lost" in events
+
+
+class TestHang:
+    def test_hang_reclaimed_within_deadline(
+        self, problem, monkeypatch, tmp_path
+    ):
+        _arm(monkeypatch, tmp_path, "hang@delta:1")
+        start = time.monotonic()
+        outcomes = run_delta_batch(
+            problem,
+            _requests(problem),
+            method="greedy-min-damage",
+            max_workers=2,
+            policy=SolvePolicy(deadline_seconds=1.0),
+        )
+        elapsed = time.monotonic() - start
+        assert [o.ok for o in outcomes] == [True, True, True]
+        assert elapsed < _ELAPSED_CEILING  # never the 20s hang
+        assert "worker-timeout" in _outcomes(outcomes[1].attempts)
+
+    def test_hang_exhausted_times_out_without_stalling_the_batch(
+        self, problem, monkeypatch, tmp_path
+    ):
+        # Hang both dispatches of request 1: serially re-running a
+        # hanger would hang the parent, so it must become a timeout
+        # outcome while the rest of the batch still answers.
+        _arm(monkeypatch, tmp_path, "hang@delta:1:2")
+        start = time.monotonic()
+        outcomes = run_delta_batch(
+            problem,
+            _requests(problem),
+            method="greedy-min-damage",
+            max_workers=2,
+            policy=SolvePolicy(deadline_seconds=1.0),
+        )
+        elapsed = time.monotonic() - start
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "dispatch timeout" in outcomes[1].error
+        assert elapsed < _ELAPSED_CEILING
+
+
+class TestInertByDefault:
+    def test_no_faults_configured_is_a_noop(self, monkeypatch):
+        from repro.core.faultinject import maybe_inject
+
+        monkeypatch.delenv(ENV_FAULTS, raising=False)
+        maybe_inject("delta", 0)  # must not raise
+
+    def test_transient_exception_is_not_a_repro_error(self):
+        # The retry loop classifies ReproError as "inapplicable"; an
+        # injected transient must look like infrastructure instead.
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFault, ReproError)
