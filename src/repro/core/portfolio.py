@@ -27,13 +27,24 @@ The supervisor in :func:`_run_supervised`:
   loses at most its own in-flight tasks;
 * detects worker crashes (``BrokenProcessPool``), respawns the pool a
   bounded number of times, and re-dispatches only the lost tasks;
+* dispatches at most ``max_workers`` tasks at a time, so a task's
+  hang-detection clock starts when a worker slot is free for it — a
+  task queued behind a full pool is never declared hung while waiting
+  for its turn;
 * reclaims **hung** tasks: when a :class:`SolvePolicy` deadline is in
   force, a task overdue past the deadline plus a small grace gets its
   pool killed (``SIGKILL`` — a hung worker ignores cooperative
   deadlines by definition) and is re-dispatched on a fresh pool;
-* applies a per-task dispatch budget: a task that keeps crashing falls
-  back to an in-process serial run, a task that keeps hanging becomes
-  a timeout-error outcome (running it serially would hang the parent);
+* applies a per-task dispatch budget: a task that keeps hanging
+  becomes a timeout-error outcome (running it serially would hang the
+  parent), a task implicated in worker crashes gets one last dispatch
+  on an isolated single-worker *quarantine* pool — an innocent
+  casualty of a shared pool loss recovers its result there, while a
+  task that deterministically kills its worker breaks only the
+  throwaway pool and becomes an error outcome instead of being re-run
+  in the parent process (where a segfault or ``os._exit`` would take
+  down the whole batch); only tasks never implicated in a process
+  death fall back to an in-process serial run;
 * records every supervision event as an
   :class:`~repro.core.resilience.AttemptRecord` on the task's outcome,
   so ``--trace`` shows crashes, timeouts, and re-dispatches.
@@ -52,7 +63,12 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -278,6 +294,7 @@ class _Task:
     serial: Callable[[], RawOutcome]  #: in-parent twin for crash fallback
     dispatches: int = 0
     timed_out: bool = False
+    crashed: bool = False  #: saw its worker process die at least once
     events: list[AttemptRecord] = field(default_factory=list)
 
     def record(self, outcome: str, cause: str) -> None:
@@ -303,8 +320,14 @@ class _Task:
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down even when a worker is hung: a plain shutdown
     joins worker processes, which never happens for a worker stuck in a
-    non-cooperative call, so kill first."""
-    for proc in list(getattr(pool, "_processes", {}).values()):
+    non-cooperative call, so kill first.
+
+    ``ProcessPoolExecutor`` does not expose its worker processes, so
+    this reaches into the private ``_processes`` dict (stable CPython
+    3.7–3.13; ``tests/core/test_portfolio.py`` asserts it exists so an
+    interpreter upgrade that renames it fails loudly instead of
+    silently leaking hung workers)."""
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
         try:
             proc.kill()
         except Exception:
@@ -323,6 +346,57 @@ def _timeout_outcome(task: _Task, task_timeout: float) -> RawOutcome:
             [],
         )
     )
+
+
+def _crash_outcome(task: _Task, cause: str) -> RawOutcome:
+    return task.merged(
+        (
+            task.key,
+            0.0,
+            None,
+            f"task lost its worker process in {task.dispatches} "
+            f"dispatch(es) ({cause}); refusing in-process re-run of a "
+            "crash suspect",
+            [],
+        )
+    )
+
+
+def _run_quarantined(
+    doc: Mapping[str, Any], task: _Task, task_timeout: float | None
+) -> RawOutcome:
+    """Last dispatch for a crash-lost task, on an isolated
+    single-worker pool.
+
+    A task whose shared pool broke may be the crasher or an innocent
+    bystander (``BrokenProcessPool`` hits every in-flight future, not
+    just the culprit's).  Re-running it here sorts the two apart
+    without risking the parent: an innocent task completes and keeps
+    its result; a task that deterministically kills its worker breaks
+    only this throwaway pool and is finalized as an error outcome —
+    never re-executed in the parent process, where a segfault or
+    ``os._exit`` would kill the whole batch.
+    """
+    task.dispatches += 1
+    task.record("quarantine", "dispatch budget exhausted")
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker, initargs=(doc,)
+        )
+    except (OSError, PermissionError):
+        task.dispatches -= 1
+        return _crash_outcome(task, "no process primitives for quarantine")
+    try:
+        raw = pool.submit(task.fn, *task.args).result(timeout=task_timeout)
+    except FuturesTimeoutError:
+        task.timed_out = True
+        _kill_pool(pool)
+        return _timeout_outcome(task, task_timeout or 0.0)
+    except Exception as exc:
+        _kill_pool(pool)
+        return _crash_outcome(task, f"{type(exc).__name__}: {exc}")
+    pool.shutdown()
+    return task.merged(raw)
 
 
 def _run_supervised(
@@ -347,6 +421,10 @@ def _run_supervised(
         if task.timed_out:
             # Serially re-running a hanger would hang the parent.
             results[slot] = _timeout_outcome(task, task_timeout or 0.0)
+        elif task.crashed:
+            # Re-running a crash suspect in the parent process could
+            # kill the parent; quarantine it on a throwaway pool.
+            results[slot] = _run_quarantined(doc, task, task_timeout)
         else:
             task.record("serial-fallback", "dispatch budget exhausted")
             results[slot] = task.merged(task.serial())
@@ -378,25 +456,39 @@ def _run_supervised(
 
         in_flight: dict[Any, tuple[int, _Task]] = {}
         expiry: dict[Any, float | None] = {}
-        batch, pending = pending, []
+        queue, pending = pending, []
         broken = False
-        for slot, task in batch:
-            task.dispatches += 1
-            try:
-                future = pool.submit(task.fn, *task.args)
-            except Exception:
-                # Pool already unusable; this dispatch never started.
-                task.dispatches -= 1
-                pending.append((slot, task))
-                broken = True
-                break
-            in_flight[future] = (slot, task)
-            expiry[future] = (
-                time.monotonic() + task_timeout
-                if task_timeout is not None
-                else None
-            )
 
+        def dispatch() -> bool:
+            """Submit queued tasks while worker slots are free.
+
+            At most ``max_workers`` tasks are in flight at once, so the
+            hang-detection expiry armed here starts when the task can
+            actually execute — a task queued behind a full pool is not
+            on the clock while it waits for a slot.  Returns ``False``
+            (pool unusable) on a failed submit, leaving the failing
+            task and everything still queued for the next pool with
+            their dispatch budgets untouched.
+            """
+            while queue and len(in_flight) < max_workers:
+                slot, task = queue.pop(0)
+                task.dispatches += 1
+                try:
+                    future = pool.submit(task.fn, *task.args)
+                except Exception:
+                    # This dispatch never started.
+                    task.dispatches -= 1
+                    queue.insert(0, (slot, task))
+                    return False
+                in_flight[future] = (slot, task)
+                expiry[future] = (
+                    time.monotonic() + task_timeout
+                    if task_timeout is not None
+                    else None
+                )
+            return True
+
+        broken = not dispatch()
         while in_flight and not broken:
             poll: float | None = None
             if task_timeout is not None:
@@ -413,13 +505,16 @@ def _run_supervised(
                     results[slot] = task.merged(future.result())
                 except BrokenProcessPool:
                     broken = True
+                    task.crashed = True
                     requeue(
                         slot, task, "worker-crash", "worker process died"
                     )
                 except Exception as exc:
                     # Tasks catch their own exceptions, so anything here
                     # is infrastructure (pickling, cancellation): treat
-                    # like a crash.
+                    # like a crash, but do not mark the task a crash
+                    # suspect — no worker process died, so an in-parent
+                    # serial re-run stays safe.
                     broken = True
                     requeue(
                         slot,
@@ -449,12 +544,18 @@ def _run_supervised(
                     )
                 if broken:
                     break
+            if not dispatch():
+                broken = True
+                break
 
         if broken:
             # Innocent in-flight tasks are casualties of the pool loss:
             # their dispatch is spent, but they go back in the queue.
+            # Tasks still queued never dispatched on this pool — they
+            # carry over untouched, losing neither budget nor results.
             for future, (slot, task) in in_flight.items():
                 requeue(slot, task, "pool-lost", "pool recycled")
+            pending.extend(queue)
             respawns += 1
             _kill_pool(pool)
         else:

@@ -6,7 +6,9 @@ through the real runtime and asserts the recovery contract from the
 portfolio module docstring:
 
 * **crash** — a worker killed mid-task loses no other request's result;
-  a task that keeps crashing falls back to an in-process serial run.
+  a task that keeps crashing gets one final dispatch on an isolated
+  quarantine pool (never an in-process re-run, which a deterministic
+  crasher would turn into a dead parent).
 * **hang** — a task stuck past the policy deadline (plus grace) is
   reclaimed within its deadline, not the hang duration; a task that
   keeps hanging becomes a timeout-error outcome.
@@ -158,12 +160,14 @@ class TestCrash:
         events = [r.outcome for o in outcomes for r in o.attempts]
         assert "worker-crash" in events or "pool-lost" in events
 
-    def test_crash_exhausted_falls_back_to_serial(
+    def test_crash_exhausted_recovers_in_quarantine(
         self, problem, monkeypatch, tmp_path
     ):
         # Crash both dispatches of request 1: the dispatch budget runs
-        # out and the supervisor re-runs it in-process (where the fault
-        # hook is not installed).
+        # out and the supervisor gives it a final dispatch on an
+        # isolated single-worker pool (the fault's count is spent, so
+        # the quarantined run completes) — never an in-process re-run,
+        # which a deterministic crasher would turn into a dead parent.
         _arm(monkeypatch, tmp_path, "crash@delta:1:2")
         outcomes = run_delta_batch(
             problem,
@@ -172,7 +176,25 @@ class TestCrash:
             max_workers=2,
         )
         assert [o.ok for o in outcomes] == [True, True, True]
-        assert "serial-fallback" in _outcomes(outcomes[1].attempts)
+        assert "quarantine" in _outcomes(outcomes[1].attempts)
+
+    def test_crash_every_dispatch_is_an_error_not_a_dead_parent(
+        self, problem, monkeypatch, tmp_path
+    ):
+        # A task that kills its worker on *every* dispatch — including
+        # the quarantine pool — must surface as an error outcome on its
+        # own request; re-running it in the parent would os._exit the
+        # test process itself.
+        _arm(monkeypatch, tmp_path, "crash@delta:1:99")
+        outcomes = run_delta_batch(
+            problem,
+            _requests(problem),
+            method="greedy-min-damage",
+            max_workers=2,
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "crash suspect" in outcomes[1].error
+        assert "quarantine" in _outcomes(outcomes[1].attempts)
 
     def test_crash_in_portfolio_preserves_other_strategies(
         self, problem, monkeypatch, tmp_path
@@ -189,6 +211,32 @@ class TestCrash:
 
 
 class TestHang:
+    def test_hang_queued_tasks_are_not_declared_hung_while_waiting(
+        self, problem, monkeypatch, tmp_path
+    ):
+        # Six requests that each "hang" for 1s — slow, but well inside
+        # the 2.5s deadline — on two worker slots take three waves, so
+        # the whole batch outlives any single deadline window.  The
+        # hang-detection clock must start when a task reaches a worker
+        # slot: a supervisor arming it at batch submit would falsely
+        # reclaim the queued waves (and SIGKILL their innocent
+        # pool-mates) for the crime of waiting in line.
+        monkeypatch.setenv(ENV_FAULTS, "hang@delta:*:99")
+        monkeypatch.setenv(ENV_DIR, str(tmp_path))
+        monkeypatch.setenv(ENV_HANG_SECONDS, "1.0")
+        requests = _requests(problem, count=6)
+        outcomes = run_delta_batch(
+            problem,
+            requests,
+            method="greedy-min-damage",
+            max_workers=2,
+            policy=SolvePolicy(deadline_seconds=2.5),
+        )
+        assert [o.ok for o in outcomes] == [True] * len(requests)
+        events = [r.outcome for o in outcomes for r in o.attempts]
+        assert "worker-timeout" not in events
+        assert "pool-lost" not in events
+
     def test_hang_reclaimed_within_deadline(
         self, problem, monkeypatch, tmp_path
     ):

@@ -226,3 +226,54 @@ class TestRunDeltaBatch:
             max_workers=0,
         )
         assert (mod._WORKER_DOC, mod._WORKER_PROBLEM) == before
+
+
+class TestSupervisor:
+    def _requests(self, problem, count):
+        return TestRunDeltaBatch._requests(self, problem, count=count)
+
+    def test_submit_failure_requeues_every_undispatched_task(self, problem):
+        # A pool whose submit dies mid-dispatch must not drop the tasks
+        # it never accepted: they carry over to the next pool and every
+        # request still gets an outcome.
+        from concurrent.futures import ProcessPoolExecutor
+
+        real_submit = ProcessPoolExecutor.submit
+        failures = {"left": 1}
+
+        def flaky_submit(pool, fn, /, *args, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("injected submit failure")
+            return real_submit(pool, fn, *args, **kwargs)
+
+        requests = self._requests(problem, count=4)
+        baseline = run_delta_batch(
+            problem, requests, method="greedy-min-damage", max_workers=0
+        )
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ProcessPoolExecutor, "submit", flaky_submit)
+            outcomes = run_delta_batch(
+                problem, requests, method="greedy-min-damage", max_workers=2
+            )
+        assert [o.ok for o in outcomes] == [True] * len(requests)
+        for got, want in zip(outcomes, baseline):
+            assert (
+                got.propagation.deleted_facts
+                == want.propagation.deleted_facts
+            )
+
+    def test_kill_pool_private_attribute_still_exists(self):
+        # _kill_pool reaches into ProcessPoolExecutor._processes to
+        # SIGKILL hung workers; the getattr fallback would silently
+        # skip the kill if a CPython upgrade renamed it, so pin the
+        # internal here.
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=1)
+        try:
+            assert pool.submit(abs, -7).result() == 7
+            processes = getattr(pool, "_processes", None)
+            assert isinstance(processes, dict) and processes
+        finally:
+            pool.shutdown()
