@@ -22,7 +22,13 @@ Timings and counters are recorded to ``BENCH_oracle_local_search.json``
 import random
 from pathlib import Path
 
-from repro.bench import counter_rows, format_table, timed, write_bench_json
+from repro.bench import (
+    counter_rows,
+    format_table,
+    timed,
+    timed_best,
+    write_bench_json,
+)
 from repro.core import (
     OracleCounters,
     improve,
@@ -43,12 +49,20 @@ def _measure(seed: int) -> dict:
     assert len(problem.queries) >= 3
     start = solve_greedy_max_coverage(problem)
 
-    arena_counters = OracleCounters()
-    object_counters = OracleCounters()
-    fast, fast_seconds = timed(improve, start, counters=arena_counters)
-    prior, prior_seconds = timed(
-        reference_improve, start, counters=object_counters
-    )
+    # Best-of-N timing: both fast bars run multiple times with fresh
+    # counters (each call is deterministic and independent) and record
+    # the minimum — the steady-state estimate on a noisy shared box.
+    # The rebuild bar is orders of magnitude slower and single-shot.
+    def _arena() -> tuple:
+        counters = OracleCounters()
+        return improve(start, counters=counters), counters
+
+    def _object() -> tuple:
+        counters = OracleCounters()
+        return reference_improve(start, counters=counters), counters
+
+    (fast, arena_counters), fast_seconds = timed_best(_arena, repeats=9)
+    (prior, object_counters), prior_seconds = timed_best(_object, repeats=3)
     slow, slow_seconds = timed(improve_reference, start)
 
     # (a) the move loop is all deltas: the only full pass is the build.

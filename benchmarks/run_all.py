@@ -10,13 +10,17 @@ committed ``BENCH_oracle_local_search.json`` acceptance record — into
 
 ``--full`` additionally runs the pytest acceptance bench
 (``bench_oracle_local_search.py``), which re-verifies the >=5x arena
-speedup and refreshes its artifact.
+speedup and refreshes its artifact, and the session batch bench
+(``bench_session_batch.py``).
 
 ``--validate`` turns the sweep into a gate: every ``BENCH_*.json`` in
 the output directory must parse against the harness schema and carry at
 least one row — checked once *before* the sweep (a pre-existing corrupt
 artifact fails fast, before minutes of benching) and once after
-aggregation.  Any violation exits 2.
+aggregation.  It is also the perf-regression guard: the guarded row
+keys (``arena_s``, ``per_request_ms``) of every artifact present
+before the sweep are snapshotted, and any fresh value more than 2x its
+committed baseline fails the gate.  Any violation exits 2.
 
 Usage::
 
@@ -75,6 +79,17 @@ def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
                 ],
             )
         )
+        commands.append(
+            (
+                "session_batch",
+                [
+                    sys.executable,
+                    str(_HERE / "bench_session_batch.py"),
+                    "--out",
+                    str(out_dir),
+                ],
+            )
+        )
     return commands
 
 
@@ -128,6 +143,67 @@ def _aggregate(out_dir: Path) -> list[dict]:
     return rows
 
 
+_GUARDED_KEYS = ("arena_s", "per_request_ms")
+_MAX_REGRESSION = 2.0
+
+
+def _perf_snapshot(out_dir: Path) -> dict[str, dict[str, float]]:
+    """Guarded perf values of every parseable ``BENCH_*.json`` in
+    ``out_dir``: artifact name → {row-label.key: value}.
+
+    Must be taken *before* the sweep — the default output directory is
+    the repo root, so the sweep overwrites the committed baseline
+    artifacts in place.
+    """
+    from repro.bench import load_bench_json
+
+    snapshot: dict[str, dict[str, float]] = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        if path.name == _INDEX_NAME:
+            continue
+        try:
+            document = load_bench_json(path)
+        except (ValueError, OSError):
+            continue  # schema problems are _validate's to report
+        entries: dict[str, float] = {}
+        for position, row in enumerate(document["rows"]):
+            if not isinstance(row, dict):
+                continue
+            label = str(
+                row.get("seed", row.get("path", row.get("label", position)))
+            )
+            for key in _GUARDED_KEYS:
+                value = row.get(key)
+                if isinstance(value, (int, float)) and value > 0:
+                    entries[f"{label}.{key}"] = float(value)
+        if entries:
+            snapshot[path.name] = entries
+    return snapshot
+
+
+def _perf_regressions(
+    out_dir: Path, baseline: dict[str, dict[str, float]]
+) -> list[str]:
+    """Compare the fresh artifacts against a pre-sweep snapshot; one
+    message per guarded value that regressed beyond the 2x budget."""
+    fresh = _perf_snapshot(out_dir)
+    problems: list[str] = []
+    for name, base_entries in baseline.items():
+        fresh_entries = fresh.get(name, {})
+        for entry, base_value in base_entries.items():
+            new_value = fresh_entries.get(entry)
+            if new_value is None:
+                continue  # row/key gone; the schema gate covers emptiness
+            if new_value > _MAX_REGRESSION * base_value:
+                problems.append(
+                    f"{name}: {entry} regressed "
+                    f"{new_value / base_value:.1f}x "
+                    f"({base_value:g}s -> {new_value:g}s, "
+                    f"budget {_MAX_REGRESSION:g}x)"
+                )
+    return problems
+
+
 def _validate(out_dir: Path) -> list[str]:
     """Schema-check every ``BENCH_*.json`` artifact; one message per
     violation (empty list = all valid)."""
@@ -178,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
+    baseline: dict[str, dict[str, float]] = {}
     if args.validate:
         stale = _validate(out_dir)
         if stale:
@@ -185,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"[invalid artifact] {problem}")
             print("pre-existing artifacts failed validation; not sweeping")
             return 2
+        baseline = _perf_snapshot(out_dir)
 
     commands = _bench_commands(out_dir, args.full)
     jobs = args.jobs
@@ -228,9 +306,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.validate:
         invalid = _validate(out_dir)
-        if invalid:
-            for problem in invalid:
-                print(f"[invalid artifact] {problem}")
+        for problem in invalid:
+            print(f"[invalid artifact] {problem}")
+        regressions = _perf_regressions(out_dir, baseline)
+        for problem in regressions:
+            print(f"[perf regression] {problem}")
+        if invalid or regressions:
             return 2
 
     return 1 if failed else 0

@@ -22,6 +22,7 @@ from repro.bench.harness import (
     geometric_mean,
     load_bench_json,
     timed,
+    timed_best,
     write_bench_json,
 )
 from repro.bench.reporting import format_experiment, format_table
@@ -47,5 +48,6 @@ __all__ = [
     "geometric_mean",
     "load_bench_json",
     "timed",
+    "timed_best",
     "write_bench_json",
 ]

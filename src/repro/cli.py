@@ -5,6 +5,7 @@ Usage (installed as module)::
     python -m repro.cli solve problem.json [--method auto] [--json] [--trace]
     python -m repro.cli solve problem.json [--deadline 0.5] [--retries 2]
                                            [--fallback claim1,greedy-min-damage]
+                                           [--seed 42]
     python -m repro.cli solve problem.json --portfolio [--methods a,b] [--jobs N]
     python -m repro.cli classify problem.json
     python -m repro.cli repairs problem.json -k 3
@@ -131,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
             "'claim1,greedy-min-damage'"
         ),
     )
+    solve_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "seed for the retry backoff jitter (default: a stable "
+            "digest of the request, so repeated runs draw the same "
+            "delays)"
+        ),
+    )
 
     classify_cmd = sub.add_parser(
         "classify", help="report structure and complexity landscape rows"
@@ -236,6 +247,11 @@ def _build_policy(args: argparse.Namespace):
 def _cmd_solve(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
     policy = _build_policy(args)
+    rng = None
+    if policy is not None and args.seed is not None:
+        from repro.core.resilience import derive_backoff_rng
+
+        rng = derive_backoff_rng(args.method, policy, seed=args.seed)
     report = None
     if args.portfolio:
         from repro.core.portfolio import DEFAULT_PORTFOLIO, solve_portfolio
@@ -249,7 +265,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             problem, methods=methods, max_workers=args.jobs, policy=policy
         )
     else:
-        report = solve_report(problem, method=args.method, policy=policy)
+        report = solve_report(
+            problem, method=args.method, policy=policy, rng=rng
+        )
         solution = report.propagation
     if args.json:
         doc = solution_to_dict(solution)

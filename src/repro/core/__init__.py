@@ -69,6 +69,7 @@ from repro.core.resilience import (
     SolvePolicy,
     active_deadline,
     deadline_scope,
+    derive_backoff_rng,
     parse_fallback,
     solve_with_policy,
 )
@@ -130,6 +131,7 @@ __all__ = [
     "compile_problem",
     "coverage_of",
     "deadline_scope",
+    "derive_backoff_rng",
     "explain_solution",
     "improve",
     "improve_reference",

@@ -30,10 +30,17 @@ Memory layout
 * ``weights`` — flat per-view-tuple weight array.
 * ``is_delta`` — flat per-view-tuple ΔV membership flags.
 
-The CSR arrays are the canonical layout (``array('l')`` /
-``array('d')``); ``dep_of`` and ``wit_of`` are per-row tuple views over
-the same indices, precomputed because iterating a small tuple is the
-fastest loop CPython offers and the hot paths do nothing else.
+The CSR slabs are **read-only numpy buffers** (``np.int32`` adjacency,
+``np.float64`` weights, ``np.uint8`` flags): the canonical layout for
+the vectorized kernels (batched gathers + segment sums in
+:mod:`repro.core.npkernels`), and — being flat, immutable, contiguous
+buffers — directly shareable for the planned shared-memory serving
+arena.  The scalar move loops keep allocation-free Python views over
+the same data: ``dep_of`` / ``wit_of`` are per-row tuples,
+``weights_list`` / ``delta_flags`` are a float tuple / ``bytes`` twin
+of the flat arrays (iterating small tuples and indexing ``bytes`` is
+the fastest loop CPython offers, and numpy scalar extraction would
+slow every per-move read).
 
 The object-level API (:class:`~repro.core.problem.DeletionPropagationProblem`,
 :class:`~repro.core.solution.Propagation`) remains the public surface;
@@ -43,8 +50,9 @@ reconstruct objects from IDs on export.
 
 from __future__ import annotations
 
-from array import array
-from typing import Iterable
+from typing import Iterable, NamedTuple
+
+import numpy as np
 
 from repro.errors import NotKeyPreservingError
 from repro.relational.tuples import Fact
@@ -54,7 +62,34 @@ from repro.core.problem import (
     DeletionPropagationProblem,
 )
 
-__all__ = ["CompiledProblem", "compile_problem"]
+__all__ = ["CandidateSlab", "CompiledProblem", "compile_problem"]
+
+
+class CandidateSlab(NamedTuple):
+    """Flat batch layout of the candidate facts' dependent rows.
+
+    One gather-ready slab per (arena, ΔV) binding: the dependent rows
+    of every candidate fact concatenated (``vids``), with the owning
+    candidate *position* per slot (``rowid``), the per-candidate
+    offsets (``rowptr``), the candidate fact IDs in ascending order
+    (``ids``), and the inverse map fact ID → candidate position
+    (``pos_of``, ``-1`` for non-candidates).  ``delta`` / ``weights``
+    are the per-slot ΔV flags and weights (state-independent gathers
+    the batch passes would otherwise redo every call).
+    """
+
+    ids: np.ndarray
+    rowptr: np.ndarray
+    vids: np.ndarray
+    rowid: np.ndarray
+    pos_of: np.ndarray
+    delta: np.ndarray
+    weights: np.ndarray
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
 
 
 class CompiledProblem:
@@ -79,13 +114,20 @@ class CompiledProblem:
         "dep_set_of",
         "wit_of",
         "weights",
+        "weights_list",
         "is_delta",
+        "delta_flags",
+        "delta_mask",
         "delta_ids",
+        "delta_ids_np",
         "preserved_ids",
         "candidate_ids",
+        "candidate_ids_np",
         "num_delta",
         "balanced",
         "delta_penalty",
+        "_cand_slab",
+        "_exact_costs",
     )
 
     def __init__(self, problem: DeletionPropagationProblem):
@@ -111,29 +153,30 @@ class CompiledProblem:
         }
 
         num_facts = len(self.facts)
-        num_vts = len(self.view_tuples)
 
         # One pass over the unique witnesses builds both CSR sides.
-        self.weights = array("d", bytes(8 * num_vts))
-        self.is_delta = bytearray(num_vts)
+        weight_values: list[float] = []
+        delta_flags = bytearray(len(self.view_tuples))
         witness_ids: list[list[int]] = []
         dep_lists: list[list[int]] = [[] for _ in range(num_facts)]
         deletion = problem.deletion
         weight = problem.weight
         fact_ids = self.fact_ids
         for vid, vt in enumerate(self.view_tuples):
-            self.weights[vid] = weight(vt)
+            weight_values.append(weight(vt))
             if vt in deletion:
-                self.is_delta[vid] = 1
+                delta_flags[vid] = 1
             wit = sorted(fact_ids[fact] for fact in problem.witness(vt))
             witness_ids.append(wit)
             for fid in wit:
                 dep_lists[fid].append(vid)
 
+        self.weights = _readonly(np.asarray(weight_values, dtype=np.float64))
+        self.weights_list: tuple[float, ...] = tuple(weight_values)
         self.wit_offsets, self.wit_indices = _csr(witness_ids)
         self.dep_offsets, self.dep_indices = _csr(dep_lists)
         # Per-row tuple views over the CSR indices for allocation-free
-        # iteration in the hot loops.
+        # iteration in the scalar hot loops.
         self.wit_of: tuple[tuple[int, ...], ...] = tuple(
             tuple(row) for row in witness_ids
         )
@@ -146,14 +189,52 @@ class CompiledProblem:
             frozenset(row) for row in dep_lists
         )
 
+        self._set_delta_flags(bytes(delta_flags))
         self._bind_delta()
+        self._exact_costs: bool | None = None
+
+    @property
+    def exact_costs(self) -> bool:
+        """Whether every objective value any solver can compute over
+        this arena is exact in ``float64``.
+
+        True when the weights and the ΔV penalty are non-negative
+        integers whose largest reachable aggregate stays below
+        ``2**52``: integer float64 arithmetic never rounds there, so
+        *every* association of a cost computation — scalar fold or
+        vectorized broadcast — yields the identical bit pattern.  The
+        batch kernels use this to decide swap accepts straight from the
+        vectorized cost matrix instead of re-running near-ties through
+        the scalar trial.  Computed lazily, cached per binding.
+        """
+        cached = self._exact_costs
+        if cached is None:
+            weights = self.weights
+            penalty = self.delta_penalty
+            reach = float(weights.sum()) + (abs(penalty) + 1.0) * (
+                self.num_view_tuples + 1
+            )
+            cached = bool(
+                penalty.is_integer()
+                and penalty >= 0.0
+                and reach < 2.0**52
+                and bool(np.all(np.floor(weights) == weights))
+                and bool(np.all(weights >= 0.0))
+            )
+            self._exact_costs = cached
+        return cached
+
+    def _set_delta_flags(self, flags: bytes) -> None:
+        self.delta_flags = flags
+        self.is_delta = np.frombuffer(flags, dtype=np.uint8)
+        self.delta_mask = _readonly(self.is_delta.view(bool))
 
     def _bind_delta(self) -> None:
         """Derive the ΔV slices (``delta_ids`` / ``preserved_ids`` /
         ``candidate_ids`` / ``num_delta``) from ``is_delta``.  Shared by
         the full compile and the O(‖ΔV‖) rebind."""
         num_vts = len(self.view_tuples)
-        is_delta = self.is_delta
+        is_delta = self.delta_flags
         self.delta_ids: tuple[int, ...] = tuple(
             vid for vid in range(num_vts) if is_delta[vid]
         )
@@ -165,6 +246,39 @@ class CompiledProblem:
         for vid in self.delta_ids:
             candidate.update(self.wit_of[vid])
         self.candidate_ids: tuple[int, ...] = tuple(sorted(candidate))
+        self.delta_ids_np = _readonly(
+            np.asarray(self.delta_ids, dtype=np.int64)
+        )
+        self.candidate_ids_np = _readonly(
+            np.asarray(self.candidate_ids, dtype=np.int64)
+        )
+        self._cand_slab: CandidateSlab | None = None
+
+    def candidate_slab(self) -> CandidateSlab:
+        """The (lazily built, per-binding cached) flat batch layout of
+        the candidate facts' dependent rows (see :class:`CandidateSlab`).
+        ΔV-dependent — rebuilt by :meth:`rebound`, not shared."""
+        slab = self._cand_slab
+        if slab is None:
+            from repro.core.npkernels import concat_rows
+
+            ids = self.candidate_ids_np
+            vids, rowid, rowptr = concat_rows(
+                self.dep_offsets, self.dep_indices, ids
+            )
+            pos_of = np.full(len(self.facts), -1, dtype=np.int64)
+            pos_of[ids] = np.arange(ids.size, dtype=np.int64)
+            slab = CandidateSlab(
+                ids=ids,
+                rowptr=_readonly(rowptr),
+                vids=_readonly(vids),
+                rowid=_readonly(rowid),
+                pos_of=_readonly(pos_of),
+                delta=_readonly(self.delta_mask[vids]),
+                weights=_readonly(self.weights[vids]),
+            )
+            self._cand_slab = slab
+        return slab
 
     def rebound(self, problem: DeletionPropagationProblem) -> "CompiledProblem":
         """A sibling arena for ``problem`` — the same instance/queries
@@ -199,12 +313,21 @@ class CompiledProblem:
         clone.dep_set_of = self.dep_set_of
         clone.wit_of = self.wit_of
         clone.weights = self.weights
+        clone.weights_list = self.weights_list
         # ΔV slices: rebuilt from the new deletion.
-        clone.is_delta = bytearray(len(self.view_tuples))
+        flags = bytearray(len(self.view_tuples))
         vt_ids = self.vt_ids
         for vt in problem.deleted_view_tuples():
-            clone.is_delta[vt_ids[vt]] = 1
+            flags[vt_ids[vt]] = 1
+        clone._set_delta_flags(bytes(flags))
         clone._bind_delta()
+        # Exactness depends only on the (shared) weights and the
+        # penalty — carry the verdict over when the penalty matches.
+        clone._exact_costs = (
+            self._exact_costs
+            if clone.delta_penalty == self.delta_penalty
+            else None
+        )
         return clone
 
     # ------------------------------------------------------------------
@@ -269,17 +392,15 @@ class CompiledProblem:
         )
 
 
-def _csr(rows: list[list[int]]) -> tuple[array, array]:
-    """Pack a list of index rows into (offsets, indices) CSR arrays."""
-    offsets = array("l", [0])
-    total = 0
-    for row in rows:
-        total += len(row)
-        offsets.append(total)
-    indices = array("l")
-    for row in rows:
-        indices.extend(row)
-    return offsets, indices
+def _csr(rows: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack a list of index rows into read-only ``np.int32``
+    (offsets, indices) CSR buffers."""
+    offsets = np.zeros(len(rows) + 1, dtype=np.int32)
+    np.cumsum([len(row) for row in rows], out=offsets[1:])
+    indices = np.asarray(
+        [index for row in rows for index in row], dtype=np.int32
+    )
+    return _readonly(offsets), _readonly(indices)
 
 
 def compile_problem(problem: DeletionPropagationProblem) -> CompiledProblem:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.errors import ReproError
 from repro.relational.analysis import (
     FunctionalDependency,
     has_fd_head_domination,
@@ -325,7 +326,11 @@ def verdict(
             continue
         try:
             applies = row.predicate(queries, fds)
-        except Exception:
+        except ReproError:
+            # A predicate defined only on a narrower query class (e.g.
+            # key-preserving analyses on a non-key-preserving set) means
+            # "row does not apply" — anything else is a real bug and
+            # must surface, not be classified away.
             applies = False
         if applies:
             out.append(row)

@@ -27,16 +27,25 @@ selection sequence is identical to the full-rescan originals.
 The loops run at the integer-ID level of the compiled witness arena
 (:mod:`repro.core.arena`): heap entries hold fact/view-tuple IDs, and
 because IDs are interned in sorted object order the heap's tie-breaks
-reproduce the object-level selection sequence exactly.  The
-object-backed twins live in :mod:`repro.core.reference` for the
-differential suite.
+reproduce the object-level selection sequence exactly.  The initial
+heaps are built by one batched oracle query (one gather + segment sum
+over the witness CSR) and ``heapify`` — heap keys are totally ordered
+tuples, so the pop sequence of a heapified batch is identical to
+sequential ``heappush`` of the same entries, and the scores themselves
+are bitwise the scalar ones (see :mod:`repro.core.npkernels`).  The
+rescoring after each pick stays scalar: it touches only the few
+candidates whose dependents intersect the newly eliminated view
+tuples.  The object-backed twins live in :mod:`repro.core.reference`
+for the differential suite.
 """
 
 from __future__ import annotations
 
 import heapq
+from itertools import repeat
 
 from repro.errors import NotKeyPreservingError
+from repro.core.npkernels import concat_rows
 from repro.core.oracle import EliminationOracle, OracleCounters
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.session import SolveSession
@@ -63,7 +72,7 @@ def solve_greedy_min_damage(
     oracle = EliminationOracle(problem, (), counters=counters)
     dep_of = arena.dep_of
     wit_of = arena.wit_of
-    is_delta = arena.is_delta
+    is_delta = arena.delta_flags
     hits = oracle._hits
     deleted = oracle._deleted_ids
     candidate_set = frozenset(arena.candidate_ids)
@@ -71,13 +80,26 @@ def solve_greedy_min_damage(
     # Heap of (damage, vid, fid, stamp) over every uncovered ΔV tuple
     # and every fact of its witness — the same key the full rescan
     # minimized (ID order == object order).  version[fid] invalidates
-    # entries when the fact's damage may have changed.
+    # entries when the fact's damage may have changed.  All (vid, fid)
+    # witness pairs come from one CSR gather and their damages from one
+    # batched oracle query (same per-pair oracle-hit accounting, same
+    # per-fact fold bits as the scalar marginal_damage loop).
     version: dict[int, int] = {}
-    heap: list[tuple[float, int, int, int]] = []
     marginal_damage = oracle.marginal_damage_id
-    for vid in arena.delta_ids:
-        for fid in wit_of[vid]:
-            heapq.heappush(heap, (marginal_damage(fid), vid, fid, 0))
+    delta_np = arena.delta_ids_np
+    pair_fids, pair_row, _ = concat_rows(
+        arena.wit_offsets, arena.wit_indices, delta_np
+    )
+    damages = oracle.marginal_damage_ids(pair_fids)
+    heap: list[tuple[float, int, int, int]] = list(
+        zip(
+            damages.tolist(),
+            delta_np[pair_row].tolist(),
+            pair_fids.tolist(),
+            repeat(0),
+        )
+    )
+    heapq.heapify(heap)
 
     while oracle._uncovered and heap:
         damage, vid, fid, stamp = heapq.heappop(heap)
@@ -123,9 +145,12 @@ def solve_greedy_max_coverage(
 
     # Max-heap of (-score, fid, stamp); ties break toward the smallest
     # fact ID — i.e. the smallest fact, matching the original scan over
-    # sorted candidates.
+    # sorted candidates.  The initial scan is batched: one coverage
+    # query over all candidates, one damage query over the covering
+    # subset (the scalar loop skips the damage call when coverage is
+    # zero, so the oracle-hit totals match), and a single vectorized
+    # score division — the same IEEE op per entry as the scalar path.
     version: dict[int, int] = {}
-    heap: list[tuple[float, int, int]] = []
 
     def _push(fid: int, stamp: int) -> None:
         cov = coverage(fid)
@@ -134,8 +159,16 @@ def solve_greedy_max_coverage(
         score = cov / (1.0 + marginal_damage(fid))
         heapq.heappush(heap, (-score, fid, stamp))
 
-    for fid in arena.candidate_ids:
-        _push(fid, 0)
+    cand_np = arena.candidate_ids_np
+    cov_all = oracle.coverage_ids(cand_np)
+    covering = cand_np[cov_all > 0]
+    scores = cov_all[cov_all > 0] / (
+        1.0 + oracle.marginal_damage_ids(covering)
+    )
+    heap: list[tuple[float, int, int]] = list(
+        zip((-scores).tolist(), covering.tolist(), repeat(0))
+    )
+    heapq.heapify(heap)
 
     while oracle._uncovered and heap:
         _, fid, stamp = heapq.heappop(heap)

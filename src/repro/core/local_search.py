@@ -15,19 +15,32 @@ additional **add** move (delete one more candidate fact) are evaluated
 directly against the balanced objective.
 
 The move loop runs entirely on the integer-ID witness arena
-(:mod:`repro.core.arena`): every candidate move is costed over flat
-``hits`` / weight / ΔV-flag arrays with the loop state hoisted into
-locals, so one trial is a handful of small-int reads — no object
-hashing and no per-trial method dispatch.  The loop mutates the
-:class:`~repro.core.oracle.EliminationOracle`'s live structures in
-place and flushes the aggregates and counters back before exporting, so
-the exported :class:`Propagation` and its
+(:mod:`repro.core.arena`), and each pass is evaluated **in batch**: the
+candidate moves of a whole drop/swap/add pass are costed at once as
+masked gathers + segment sums over the CSR slabs
+(:mod:`repro.core.npkernels`) instead of a per-fact Python loop.  Batch
+evaluation is only valid while the state is fixed, so the pass runs in
+*epochs*: one vectorized screen per epoch, the first accepted move
+applied exactly as the scalar loop would have applied it, then a fresh
+screen over the remaining tail.  Rejections are decided by the batch
+(drop/add costs are reproduced bit for bit via sequential-fold segment
+sums); near-accepting swap pairs — whose cost has a genuinely pairwise
+term — are re-evaluated by the original scalar trial code, so every
+*accept/reject decision and tie-break is identical to the scalar loop*,
+move for move and counter for counter.  The stride-counted cooperative
+deadline checkpoints fire between batches; a timed-out batch has every
+previously accepted move applied and flushed, so the incumbent attached
+to the :class:`~repro.errors.DeadlineExceededError` is always a
+consistent (and for standard problems feasible) iterate.  The loop
+mutates the :class:`~repro.core.oracle.EliminationOracle`'s live
+structures in place and flushes the aggregates and counters back before
+exporting, so the exported :class:`Propagation` and its
 :class:`~repro.core.oracle.OracleCounters` are exactly what the
 object-level API would have produced.  Two ground-truth twins exist for
 the differential suite: :func:`repro.core.reference.reference_improve`
-(the previous PR's object-backed oracle, identical moves *and identical
-counters*) and :func:`improve_reference` here (the original
-rebuild-per-trial implementation, identical moves).
+(the object-backed oracle, identical moves *and identical counters*)
+and :func:`improve_reference` here (the original rebuild-per-trial
+implementation, identical moves).
 
 :func:`solve_with_local_search` wraps any registered solver with an
 improvement pass — this is the ablation knob benchmarked in
@@ -38,6 +51,9 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
+from repro.core.npkernels import concat_rows
 from repro.errors import DeadlineExceededError, NotKeyPreservingError
 from repro.relational.tuples import Fact
 from repro.core.oracle import EliminationOracle, OracleCounters
@@ -106,18 +122,31 @@ def improve(
     if not balanced and oracle._uncovered:
         raise ValueError("local search needs a feasible starting solution")
 
-    # Hot-path setup: hoist the arena arrays and the oracle's live
-    # structures into locals.  The loop below is the trusted in-place
-    # twin of the oracle's own move methods — it mutates ``hits`` /
-    # ``deleted`` / ``eliminated`` directly and flushes the float/int
-    # aggregates and the counters back before exporting.
+    # Hot-path setup: hoist the arena slabs and the oracle's live
+    # structures into locals.  Each pass below is the batch twin of the
+    # scalar move loop (kept verbatim in ``_swap_trial`` and the apply
+    # helpers): move costs are screened for a whole pass at once over
+    # the CSR slabs, and every accept/reject decision reproduces the
+    # scalar decision bit for bit — see the module docstring.
     arena = oracle.arena
     dep_of = arena.dep_of
     dep_set_of = arena.dep_set_of
-    is_delta = arena.is_delta
-    weights = arena.weights
+    is_delta = arena.delta_flags
+    weights = arena.weights_list
     penalty = arena.delta_penalty
     candidates = arena.candidate_ids
+    num_cand = len(candidates)
+    slab = arena.candidate_slab()
+    cand_vids = slab.vids
+    cand_rowid = slab.rowid
+    pos_of = slab.pos_of
+    dep_offsets = arena.dep_offsets
+    dep_indices = arena.dep_indices
+    wit_offsets = arena.wit_offsets
+    wit_indices = arena.wit_indices
+    weights_np = arena.weights
+    delta_np = arena.delta_mask
+    exact = arena.exact_costs
     hits = oracle._hits
     deleted = oracle._deleted_ids
     eliminated = oracle._eliminated_ids
@@ -152,205 +181,380 @@ def improve(
             incumbent=oracle.to_propagation(method=method_label),
         )
 
-    # Stride-counted cooperative checkpoints: -1 disables the per-trial
-    # branch body entirely when no deadline is active.
+    # Stride-counted cooperative checkpoints: the scalar loop decrements
+    # a counter once per trial (deleted-candidate skips included) and
+    # polls the clock when it underflows — one read every
+    # ``_DEADLINE_STRIDE + 1`` trials.  ``_consume`` replays exactly
+    # that cadence for ``n`` trials at once, so checkpoints keep firing
+    # *between* vectorized batches.  -1 disables it entirely.
     trials_left = _DEADLINE_STRIDE if deadline is not None else -1
+
+    def _consume(n):
+        nonlocal trials_left
+        t = trials_left
+        if t < 0:
+            return
+        while n > t + 1:
+            n -= t + 1
+            if deadline.expired:
+                _deadline_hit(side_effect, uncovered, hypotheticals, applied)
+            t = _DEADLINE_STRIDE
+        t -= n
+        if t < 0:
+            if deadline.expired:
+                _deadline_hit(side_effect, uncovered, hypotheticals, applied)
+            t = _DEADLINE_STRIDE
+        trials_left = t
+
+    # In-place apply helpers — the trusted twins of the oracle's own
+    # move methods, mutating ``hits`` / ``deleted`` / ``eliminated``
+    # directly (flushed back before exporting).
+    def _apply_remove_fid(fid):
+        nonlocal side_effect, uncovered, n_del_cand
+        deleted.discard(fid)
+        p = pos_of[fid]
+        if p >= 0:
+            cand_del[p] = False
+            n_del_cand -= 1
+        for vid in dep_of[fid]:
+            h = hits[vid] - 1
+            hits[vid] = h
+            if h == 0:
+                if eliminated is not None:
+                    eliminated.discard(vid)
+                if is_delta[vid]:
+                    uncovered += 1
+                else:
+                    side_effect -= weights[vid]
+
+    def _apply_add_rid(rid):
+        nonlocal side_effect, uncovered, n_del_cand
+        deleted.add(rid)
+        p = pos_of[rid]
+        if p >= 0:
+            cand_del[p] = True
+            n_del_cand += 1
+        for vid in dep_of[rid]:
+            h = hits[vid]
+            hits[vid] = h + 1
+            if h == 0:
+                if eliminated is not None:
+                    eliminated.add(vid)
+                if is_delta[vid]:
+                    uncovered -= 1
+                else:
+                    side_effect += weights[vid]
+
+    def _swap_trial(fid, rid):
+        """The verbatim scalar swap trial: ``(feasible, cost)`` with the
+        exact accumulation order of the original per-pair loop.  Only
+        pairs the vectorized screen could not reject run through here,
+        so accepts and tie-breaks are decided by scalar arithmetic."""
+        deps_out = dep_of[fid]
+        out_set = dep_set_of[fid]
+        in_set = dep_set_of[rid]
+        if not balanced:
+            # With a feasible current state every ΔV tuple has positive
+            # hits, so the swap stays feasible iff no ΔV tuple is
+            # uniquely covered by ``fid`` and not re-covered by ``rid``.
+            for vid in deps_out:
+                if is_delta[vid] and hits[vid] == 1 and vid not in in_set:
+                    return False, infinity
+            d_se = 0.0
+            for vid in deps_out:
+                if hits[vid] == 1 and not is_delta[vid] and vid not in in_set:
+                    d_se -= weights[vid]
+            for vid in dep_of[rid]:
+                if hits[vid] == 0 and not is_delta[vid] and vid not in out_set:
+                    d_se += weights[vid]
+            return True, side_effect + d_se
+        d_se = 0.0
+        d_unc = 0
+        for vid in deps_out:
+            if vid in in_set:
+                continue
+            if hits[vid] == 1:
+                if is_delta[vid]:
+                    d_unc += 1
+                else:
+                    d_se -= weights[vid]
+        for vid in dep_of[rid]:
+            if vid in out_set:
+                continue
+            if hits[vid] == 0:
+                if is_delta[vid]:
+                    d_unc -= 1
+                else:
+                    d_se += weights[vid]
+        return True, penalty * (uncovered + d_unc) + side_effect + d_se
+
+    # Candidate-slab gathers that do not depend on the live state, plus
+    # the deleted-candidate mask, maintained incrementally by the apply
+    # helpers above (one flat write per applied move).
+    cand_delta = slab.delta
+    cand_w = slab.weights
+    # The oracle build just gathered the dependent rows of exactly the
+    # ids the first drop screen needs — reuse that slab once (its ids
+    # are the current deletion set, which also seeds ``cand_del``).
+    init_slab = oracle._initial_slab
+    oracle._initial_slab = None
+    cand_del = np.zeros(num_cand, dtype=bool)
+    n_del_cand = 0
+    if deleted and num_cand:
+        if init_slab is not None:
+            dpos = pos_of[init_slab[0]]
+        else:
+            dpos = pos_of[
+                np.fromiter(deleted, count=len(deleted), dtype=np.int64)
+            ]
+        cand_del[dpos[dpos >= 0]] = True
+        n_del_cand = int(np.count_nonzero(cand_del))
 
     for _ in range(max_rounds):
         improved = False
         if deadline is not None and deadline.expired:
             _deadline_hit(side_effect, uncovered, hypotheticals, applied)
 
-        # Drop moves.
-        for fid in sorted(deleted):
-            if trials_left >= 0:
-                trials_left -= 1
-                if trials_left < 0:
-                    if deadline.expired:
-                        _deadline_hit(
-                            side_effect, uncovered, hypotheticals, applied
-                        )
-                    trials_left = _DEADLINE_STRIDE
-            deps = dep_of[fid]
-            if not balanced:
-                hypotheticals += 1  # feasible_if_removed
-                feasible = uncovered == 0
-                if feasible:
-                    for vid in deps:
-                        if is_delta[vid] and hits[vid] == 1:
-                            feasible = False
-                            break
-                if not feasible:
-                    continue
-                hypotheticals += 1  # objective_if_removed
-                d_se = 0.0
-                for vid in deps:
-                    if hits[vid] == 1 and not is_delta[vid]:
-                        d_se -= weights[vid]
-                cost = side_effect + d_se
+        # Per-epoch out-side stats over the deleted snapshot: one
+        # masked gather + two segment sums give, per deleted fact, the
+        # number of ΔV tuples it holds critically and the weight it
+        # would stop eliminating.  When the drop pass accepts nothing
+        # the state is unchanged, so the same stats seed the swap pass.
+        def _out_stats(ids, k, pre=None):
+            if pre is None:
+                flat, rowid, _ = concat_rows(dep_offsets, dep_indices, ids)
             else:
-                hypotheticals += 1  # objective_if_removed
-                d_se = 0.0
-                d_unc = 0
-                for vid in deps:
-                    if hits[vid] == 1:
-                        if is_delta[vid]:
-                            d_unc += 1
-                        else:
-                            d_se -= weights[vid]
-                cost = penalty * (uncovered + d_unc) + side_effect + d_se
-            if cost <= current_cost:
+                flat, rowid = pre
+            h1 = hits[flat] == 1
+            dl = delta_np[flat]
+            crit = np.bincount(rowid[h1 & dl], minlength=k)
+            loss = np.bincount(
+                rowid, weights=weights_np[flat] * (h1 & ~dl), minlength=k
+            )
+            return flat, rowid, h1, dl, crit, loss
+
+        # Drop moves, in batch epochs: drop costs are bitwise what the
+        # scalar trial computes (``X - loss`` with ``loss`` a
+        # sequential fold equals ``X + d_se`` exactly), so accepts are
+        # decided straight from the vector.  The first accept is
+        # applied, then the tail is re-screened against the new state.
+        if init_slab is not None:
+            snap_np = init_slab[0]
+        else:
+            snap_np = np.asarray(sorted(deleted), dtype=np.int64)
+        base = 0
+        carried = None
+        while base < snap_np.size:
+            ids = snap_np[base:]
+            k = ids.size
+            pre = None
+            if init_slab is not None:
+                _, flat0, rowptr0 = init_slab
+                init_slab = None
+                pre = (
+                    flat0,
+                    np.arange(k, dtype=np.int64).repeat(
+                        rowptr0[1:] - rowptr0[:-1]
+                    ),
+                )
+            stats = _out_stats(ids, k, pre)
+            crit, loss = stats[4], stats[5]
+            if balanced:
+                cost_v = (penalty * (uncovered + crit) + side_effect) - loss
                 # dropping never hurts; accept even at equal cost to
                 # shrink the deletion set
-                applied += 1
-                deleted.discard(fid)
-                for vid in deps:
-                    h = hits[vid] - 1
-                    hits[vid] = h
-                    if h == 0:
-                        eliminated.discard(vid)
-                        if is_delta[vid]:
-                            uncovered += 1
-                        else:
-                            side_effect -= weights[vid]
-                current_cost = cost
-                improved = True
+                ok = cost_v <= current_cost
+            else:
+                # the non-balanced loop only ever visits feasible
+                # states, so a drop stays feasible iff the fact holds no
+                # ΔV tuple critically
+                feas = crit == 0
+                cost_v = side_effect - loss
+                ok = feas & (cost_v <= current_cost)
+            if not ok.any():
+                _consume(k)
+                hypotheticals += (
+                    k
+                    if balanced
+                    else 2 * k - int(np.count_nonzero(crit))
+                )
+                if base == 0:
+                    carried = stats
+                break
+            j = int(ok.argmax())
+            _consume(j + 1)
+            hypotheticals += (
+                (j + 1)
+                if balanced
+                else 2 * (j + 1) - int(np.count_nonzero(crit[: j + 1]))
+            )
+            applied += 1
+            _apply_remove_fid(int(ids[j]))
+            current_cost = float(cost_v[j])
+            improved = True
+            base += j + 1
 
-        # Swap moves.
-        for fid in sorted(deleted):
-            deps_out = dep_of[fid]
-            out_set = dep_set_of[fid]
-            for rid in candidates:
-                if trials_left >= 0:
-                    trials_left -= 1
-                    if trials_left < 0:
-                        if deadline.expired:
-                            _deadline_hit(
-                                side_effect, uncovered, hypotheticals, applied
-                            )
-                        trials_left = _DEADLINE_STRIDE
-                if rid in deleted:
-                    continue
-                in_set = dep_set_of[rid]
+        # Swap moves.  The swap cost has genuinely pairwise terms (ΔV
+        # tuples critically held by ``fid`` and re-covered by ``rid``,
+        # and side-effect losses of ``fid`` that ``rid`` regains), so
+        # the batch computes the exact integer re-coverage matrix
+        # ``pair_cov`` — feasibility is decided exactly — and the full
+        # pairwise cost matrix ``cost_v`` (dependents of a deleted
+        # ``fid`` all have positive hits, so the in-side gain term is
+        # state-only and the matrix covers every term of the scalar
+        # trial).  On an exact-cost arena (integral weights/penalty:
+        # float64 never rounds, so association is irrelevant) accepts
+        # are decided straight from the matrix; otherwise the matrix is
+        # a float-association-accurate value, pairs beyond a relative
+        # margin are rejected in bulk, and only near-ties re-run the
+        # verbatim scalar trial in scan order.
+        if carried is None:
+            snap_np = np.asarray(sorted(deleted), dtype=np.int64)
+        base = 0
+        while num_cand and base < snap_np.size:
+            ids = snap_np[base:]
+            k = ids.size
+            nondel = ~cand_del
+            n_nondel = num_cand - n_del_cand
+            if carried is not None:
+                flat, rowid, h1, dl, crit, loss = carried
+                carried = None
+            else:
+                flat, rowid, h1, dl, crit, loss = _out_stats(ids, k)
+            hc0 = hits[cand_vids] == 0
+            gain = np.bincount(
+                cand_rowid,
+                weights=cand_w * (hc0 & ~cand_delta),
+                minlength=num_cand,
+            )
+            # One witness gather over every uniquely-held dependent
+            # (hits == 1) feeds both pairwise matrices, scattered into
+            # (row, candidate-position) cells:
+            # * ``pair_cov`` — |K_fid ∩ dep(rid)|, where K_fid is the
+            #   set of ΔV tuples critically held by ``fid``; their
+            #   witness rows list candidate facts only.
+            # * ``regain`` — the weight of ``fid``'s would-be side-
+            #   effect losses (hits == 1, preserved) whose elimination
+            #   ``rid`` keeps alive.  Witnesses outside the candidate
+            #   set are never a swap-in, hence the ``pos >= 0`` filter.
+            fsel = rowid[h1]
+            vsel = flat[h1]
+            dl_sel = dl[h1]
+            wflat, wrow, _ = concat_rows(wit_offsets, wit_indices, vsel)
+            pos_w = pos_of[wflat]
+            cell = fsel[wrow] * num_cand + pos_w
+            dl_we = dl_sel[wrow]
+            pair_cov = np.bincount(
+                cell[dl_we], minlength=k * num_cand
+            ).reshape(k, num_cand)
+            lsel_we = ~dl_we & (pos_w >= 0)
+            regain = np.bincount(
+                cell[lsel_we],
+                weights=weights_np[vsel][wrow][lsel_we],
+                minlength=k * num_cand,
+            ).reshape(k, num_cand)
+            if balanced:
+                cov0 = np.bincount(
+                    cand_rowid[hc0 & cand_delta], minlength=num_cand
+                )
+                d_unc = (crit[:, None] - pair_cov) - cov0[None, :]
+                cost_v = (
+                    penalty * (uncovered + d_unc)
+                    + side_effect
+                    - loss[:, None]
+                    + gain[None, :]
+                ) + regain
+                feas_nondel = None
+                pair_ok = nondel[None, :]
+            else:
+                feas_nondel = (pair_cov == crit[:, None]) & nondel[None, :]
+                cost_v = ((side_effect - loss)[:, None] + gain[None, :]) + regain
+                pair_ok = feas_nondel
+            acc_row = -1
+            if exact:
+                # Integral arena: ``cost_v`` equals the scalar trial's
+                # fold bit for bit, so the first cell below the current
+                # cost in row-major (= scalar scan) order is the accept.
+                acc = np.flatnonzero(pair_ok & (cost_v < current_cost))
+                if acc.size:
+                    acc_row, acc_col = divmod(int(acc[0]), num_cand)
+                    acc_cost = float(cost_v[acc_row, acc_col])
+            else:
+                # Walk the surviving near-ties in (row, candidate) scan
+                # order — exactly the scalar nesting — and let the
+                # verbatim scalar trial decide each one.  Everything
+                # off-screen is rejected wholesale, so trials and
+                # hypotheticals for those pairs are accounted in bulk
+                # (the stride checkpoints fire inside ``_consume`` with
+                # the same cadence either way).
+                margin = 1e-9 * (1.0 + abs(current_cost))
+                screen = pair_ok & (cost_v < current_cost + margin)
+                for i in np.flatnonzero(screen).tolist():
+                    r, c = divmod(i, num_cand)
+                    feasible, cost = _swap_trial(int(ids[r]), candidates[c])
+                    if feasible and cost < current_cost:
+                        acc_row, acc_col, acc_cost = r, c, cost
+                        break
+            if acc_row < 0:
+                # pass exhausted with no accept
+                _consume(num_cand * k)
+                hypotheticals += n_nondel * k
                 if not balanced:
-                    hypotheticals += 1  # feasible_if_swapped
-                    # With a feasible current state every ΔV tuple has
-                    # positive hits, so the swap stays feasible iff no
-                    # ΔV tuple is uniquely covered by ``fid`` and not
-                    # re-covered by ``rid``.
-                    feasible = True
-                    for vid in deps_out:
-                        if (
-                            is_delta[vid]
-                            and hits[vid] == 1
-                            and vid not in in_set
-                        ):
-                            feasible = False
-                            break
-                    if not feasible:
-                        continue
-                    hypotheticals += 1  # objective_if_swapped
-                    d_se = 0.0
-                    for vid in deps_out:
-                        if (
-                            hits[vid] == 1
-                            and not is_delta[vid]
-                            and vid not in in_set
-                        ):
-                            d_se -= weights[vid]
-                    for vid in dep_of[rid]:
-                        if (
-                            hits[vid] == 0
-                            and not is_delta[vid]
-                            and vid not in out_set
-                        ):
-                            d_se += weights[vid]
-                    cost = side_effect + d_se
-                else:
-                    hypotheticals += 1  # objective_if_swapped
-                    d_se = 0.0
-                    d_unc = 0
-                    for vid in deps_out:
-                        if vid in in_set:
-                            continue
-                        if hits[vid] == 1:
-                            if is_delta[vid]:
-                                d_unc += 1
-                            else:
-                                d_se -= weights[vid]
-                    for vid in dep_of[rid]:
-                        if vid in out_set:
-                            continue
-                        if hits[vid] == 0:
-                            if is_delta[vid]:
-                                d_unc -= 1
-                            else:
-                                d_se += weights[vid]
-                    cost = penalty * (uncovered + d_unc) + side_effect + d_se
-                if cost < current_cost:
-                    # apply the swap: remove ``fid`` then add ``rid``
-                    applied += 2
-                    deleted.discard(fid)
-                    for vid in deps_out:
-                        h = hits[vid] - 1
-                        hits[vid] = h
-                        if h == 0:
-                            eliminated.discard(vid)
-                            if is_delta[vid]:
-                                uncovered += 1
-                            else:
-                                side_effect -= weights[vid]
-                    deleted.add(rid)
-                    for vid in dep_of[rid]:
-                        h = hits[vid]
-                        hits[vid] = h + 1
-                        if h == 0:
-                            eliminated.add(vid)
-                            if is_delta[vid]:
-                                uncovered -= 1
-                            else:
-                                side_effect += weights[vid]
-                    current_cost = cost
-                    improved = True
-                    break
+                    hypotheticals += int(np.count_nonzero(feas_nondel))
+                break
+            # apply the swap: remove ``fid`` then add ``rid``; the
+            # scalar loop stops scanning candidates at the accept, so
+            # only the prefix up to it is accounted.
+            _consume(num_cand * acc_row + acc_col + 1)
+            hypotheticals += n_nondel * acc_row + (acc_col + 1) - int(
+                cand_del[: acc_col + 1].sum()
+            )
+            if not balanced:
+                hypotheticals += int(feas_nondel[:acc_row].sum()) + int(
+                    feas_nondel[acc_row, : acc_col + 1].sum()
+                )
+            applied += 2
+            _apply_remove_fid(int(ids[acc_row]))
+            _apply_add_rid(candidates[acc_col])
+            current_cost = acc_cost
+            improved = True
+            base += acc_row + 1
 
         # Add moves (balanced only: adding can pay off by covering ΔV).
-        if balanced:
-            for rid in candidates:
-                if trials_left >= 0:
-                    trials_left -= 1
-                    if trials_left < 0:
-                        if deadline.expired:
-                            _deadline_hit(
-                                side_effect, uncovered, hypotheticals, applied
-                            )
-                        trials_left = _DEADLINE_STRIDE
-                if rid in deleted:
-                    continue
-                hypotheticals += 1  # objective_if_added
-                d_se = 0.0
-                d_unc = 0
-                for vid in dep_of[rid]:
-                    if hits[vid] == 0:
-                        if is_delta[vid]:
-                            d_unc -= 1
-                        else:
-                            d_se += weights[vid]
-                cost = penalty * (uncovered + d_unc) + side_effect + d_se
-                if cost < current_cost:
-                    applied += 1
-                    deleted.add(rid)
-                    for vid in dep_of[rid]:
-                        h = hits[vid]
-                        hits[vid] = h + 1
-                        if h == 0:
-                            eliminated.add(vid)
-                            if is_delta[vid]:
-                                uncovered -= 1
-                            else:
-                                side_effect += weights[vid]
-                    current_cost = cost
-                    improved = True
+        # Add costs, like drop costs, are bitwise equal to the scalar
+        # trial (the gain fold is sequential and the uncovered shift is
+        # integer-exact), so accepts are decided from the vector.
+        if balanced and num_cand:
+            start = 0
+            while start < num_cand:
+                hc0 = hits[cand_vids] == 0
+                gain = np.bincount(
+                    cand_rowid,
+                    weights=cand_w * (hc0 & ~cand_delta),
+                    minlength=num_cand,
+                )
+                cov0 = np.bincount(
+                    cand_rowid[hc0 & cand_delta], minlength=num_cand
+                )
+                cost_v = (penalty * (uncovered - cov0) + side_effect) + gain
+                ok = (cost_v < current_cost) & ~cand_del
+                ok[:start] = False
+                if not ok.any():
+                    _consume(num_cand - start)
+                    hypotheticals += (num_cand - start) - int(
+                        cand_del[start:].sum()
+                    )
+                    break
+                p = int(ok.argmax())
+                _consume(p - start + 1)
+                hypotheticals += (p - start + 1) - int(
+                    cand_del[start : p + 1].sum()
+                )
+                applied += 1
+                _apply_add_rid(candidates[p])
+                current_cost = float(cost_v[p])
+                improved = True
+                start = p + 1
         if not improved:
             break
 

@@ -1,0 +1,111 @@
+"""Bit-exact numpy kernels over CSR slabs.
+
+The vectorized solve paths (:mod:`repro.core.oracle`,
+:mod:`repro.core.local_search`, :mod:`repro.core.greedy`) must make the
+*same floating-point decisions* as the scalar loops they replace — the
+differential suites compare them against :mod:`repro.core.reference`
+move-for-move.  Floats make that non-trivial: the weights are inexact
+doubles, so ``a + b + c`` and ``a + (b + c)`` can differ in the last
+ulp, and a segment sum computed with a different association could flip
+a ``cost < current_cost`` decision on a tie.
+
+The helpers here therefore standardize on **sequential left folds**:
+
+* :func:`seq_segment_sum` wraps :func:`numpy.bincount`, whose C kernel
+  accumulates ``out[row[i]] += w[i]`` in input order — for each segment
+  this is exactly the left-to-right fold the scalar loops perform, with
+  masked-out entries contributing ``+0.0`` (which is bitwise inert for
+  the non-negative partial sums that occur here).  ``np.add.reduceat``
+  / ``np.add.reduce`` are deliberately avoided: they switch to pairwise
+  summation for longer runs, which is *better* numerically but *not*
+  what the scalar twins compute.
+* :func:`seq_sum` is the whole-array variant (one segment).
+* :func:`concat_rows` gathers multiple CSR rows into one flat slab
+  (values + segment ids), preserving row order and in-row order, so a
+  fold over the slab reproduces the nested scalar loop order.
+* :func:`first_occurrence_mask` marks the first occurrence of every
+  value in a flat array — the vector form of the scalar "``hits`` went
+  0 → 1, account the transition once" pattern, in transition order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "concat_rows",
+    "first_occurrence_mask",
+    "seq_segment_sum",
+    "seq_sum",
+]
+
+_I64 = np.int64
+
+
+def concat_rows(
+    offsets: np.ndarray,
+    indices: np.ndarray,
+    ids: np.ndarray,
+    want_rowid: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray]:
+    """Gather the CSR rows ``ids`` into one flat slab.
+
+    Returns ``(flat, rowid, rowptr)`` where ``flat`` concatenates
+    ``indices[offsets[i]:offsets[i+1]]`` for each ``i`` in ``ids`` (row
+    order and in-row order preserved, duplicate ids allowed),
+    ``rowid[j]`` is the position *within ids* of the row slot ``j``
+    came from (``None`` unless ``want_rowid``), and ``rowptr`` is the
+    per-row offset vector into ``flat`` (``len(ids) + 1`` entries).
+
+    The hot paths call this dozens of times per solve on slabs of a few
+    hundred entries, where per-call numpy dispatch dominates — hence no
+    dtype normalization beyond what indexing requires.
+    """
+    ids = np.asarray(ids)
+    if ids.size == 0:
+        empty = np.empty(0, dtype=_I64)
+        return empty, empty.copy() if want_rowid else None, np.zeros(
+            1, dtype=_I64
+        )
+    starts = offsets[ids]
+    lengths = offsets[1:][ids] - starts
+    rowptr = np.zeros(ids.size + 1, dtype=_I64)
+    np.cumsum(lengths, out=rowptr[1:])
+    total = int(rowptr[-1])
+    flat = indices[
+        np.arange(total, dtype=_I64) + (starts - rowptr[:-1]).repeat(lengths)
+    ]
+    rowid = (
+        np.arange(ids.size, dtype=_I64).repeat(lengths)
+        if want_rowid
+        else None
+    )
+    return flat, rowid, rowptr
+
+
+def seq_segment_sum(
+    rowid: np.ndarray, values: np.ndarray, num_rows: int
+) -> np.ndarray:
+    """Per-segment sequential left fold: ``out[rowid[i]] += values[i]``
+    in input order (the scalar loop's association, bit for bit)."""
+    return np.bincount(rowid, weights=values, minlength=num_rows)
+
+
+def seq_sum(values: np.ndarray) -> float:
+    """Whole-array sequential left fold from ``0.0`` (bitwise identical
+    to ``acc = 0.0; for v in values: acc += v``)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    zeros = np.zeros(values.size, dtype=_I64)
+    return float(np.bincount(zeros, weights=values, minlength=1)[0])
+
+
+def first_occurrence_mask(flat: np.ndarray) -> np.ndarray:
+    """Boolean mask selecting the first occurrence of each distinct
+    value in ``flat`` (in array order)."""
+    mask = np.zeros(flat.size, dtype=bool)
+    if flat.size:
+        _, first = np.unique(flat, return_index=True)
+        mask[first] = True
+    return mask

@@ -53,10 +53,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import ProblemError
 from repro.relational.tuples import Fact
 from repro.relational.views import ViewTuple
 from repro.core.arena import CompiledProblem
+from repro.core.npkernels import concat_rows, first_occurrence_mask, seq_sum
 from repro.core.resilience import active_deadline
 from repro.core.problem import DeletionPropagationProblem
 from repro.core.solution import Propagation
@@ -127,9 +130,11 @@ class EliminationOracle:
         self.counters = counters if counters is not None else OracleCounters()
         self._balanced = compiled.balanced
         self._penalty = compiled.delta_penalty
-        self._hits: list[int] = [0] * compiled.num_view_tuples
         self._deleted_ids: set[int] = set()
-        self._eliminated_ids: set[int] = set()
+        # ``None`` means "derive from the hit counts on demand": the
+        # set is always ≡ {vid : hits[vid] > 0}, so builders that never
+        # need it materialized leave it lazy (see ``_eliminated_set``).
+        self._eliminated_ids: set[int] | None = set()
         self._side_effect: float = 0.0
         self._uncovered: int = compiled.num_delta
         self._deleted_cache: frozenset[Fact] | None = frozenset()
@@ -144,16 +149,69 @@ class EliminationOracle:
             deadline.check(what="elimination oracle build")
         self.counters.full_reevaluations += 1
         fact_ids = compiled.fact_ids
-        initial: set[int] = set()
-        for fact in deleted:
-            fid = fact_ids.get(fact)
-            if fid is None:
-                raise ProblemError(
-                    f"{fact!r} is not in the source instance"
-                )
-            initial.add(fid)
-        for fid in sorted(initial):
-            self._apply_add(fid)
+        deleted = tuple(deleted)
+        try:
+            initial = set(map(fact_ids.__getitem__, deleted))
+        except KeyError:
+            missing = next(f for f in deleted if f not in fact_ids)
+            raise ProblemError(
+                f"{missing!r} is not in the source instance"
+            ) from None
+        self._build_from(initial)
+
+    def _build_from(self, initial: set[int]) -> None:
+        """Vectorized initial pass: equivalent — transition for
+        transition and bit for bit — to ``_apply_add`` over ``initial``
+        in ascending ID order.
+
+        ``hits`` is one ``bincount`` over the concatenated dependent
+        rows; the 0 → positive transition accounting needs the *first*
+        occurrence of each view tuple in scan order, which is exactly
+        :func:`~repro.core.npkernels.first_occurrence_mask`, and the
+        side-effect aggregate folds the masked weights sequentially so
+        its value matches the scalar accumulation order.  On an exact
+        arena (:attr:`CompiledProblem.exact_costs`) no fold order can
+        change any bit, so the aggregates come straight from the hit
+        counts.
+        """
+        compiled = self.arena
+        num_vts = compiled.num_view_tuples
+        # Stashed gather of the initial deleted rows; the local-search
+        # batch loop reuses it for its first screen (same ids, same
+        # state) instead of re-gathering, then drops it.
+        self._initial_slab = None
+        if not initial:
+            self._hits = np.zeros(num_vts, dtype=np.int64)
+            return
+        ids = np.fromiter(initial, count=len(initial), dtype=np.int64)
+        ids.sort()
+        flat, _, rowptr = concat_rows(
+            compiled.dep_offsets, compiled.dep_indices, ids, want_rowid=False
+        )
+        self._initial_slab = (ids, flat, rowptr)
+        self._hits = np.bincount(flat, minlength=num_vts)
+        if compiled.exact_costs:
+            # Integral weights: the fold order of the side-effect sum
+            # cannot change its bits, so the aggregates come straight
+            # from the hit counts — no first-occurrence scan needed,
+            # and the eliminated-ID set stays lazy (``None`` means
+            # "derive from ``hits`` on demand", see ``_eliminated_set``).
+            nz = np.flatnonzero(self._hits)
+            nz_delta = compiled.delta_mask[nz]
+            self._uncovered -= int(np.count_nonzero(nz_delta))
+            self._side_effect = float(compiled.weights[nz][~nz_delta].sum())
+            self._eliminated_ids = None
+        else:
+            first = first_occurrence_mask(flat)
+            preserved_first = first & ~compiled.delta_mask[flat]
+            self._uncovered -= int(first.sum()) - int(preserved_first.sum())
+            self._side_effect = seq_sum(
+                compiled.weights[flat] * preserved_first
+            )
+            self._eliminated_ids = set(flat[first].tolist())
+        self._deleted_ids = set(initial)
+        self._deleted_cache = None
+        self._eliminated_cache = None
 
     # ------------------------------------------------------------------
     # State observation
@@ -165,7 +223,7 @@ class EliminationOracle:
         cache = self._deleted_cache
         if cache is None:
             facts = self.arena.facts
-            cache = frozenset(facts[fid] for fid in self._deleted_ids)
+            cache = frozenset(map(facts.__getitem__, self._deleted_ids))
             self._deleted_cache = cache
         return cache
 
@@ -187,13 +245,22 @@ class EliminationOracle:
     def hits(self, vt: ViewTuple) -> int:
         """``|wit(vt) ∩ ΔD|`` — the live support counter."""
         vid = self.arena.vt_ids.get(vt)
-        return 0 if vid is None else self._hits[vid]
+        return 0 if vid is None else int(self._hits[vid])
 
     def hits_id(self, vid: int) -> int:
-        return self._hits[vid]
+        return int(self._hits[vid])
 
     def is_eliminated(self, vt: ViewTuple) -> bool:
         return self.hits(vt) > 0
+
+    def _eliminated_set(self) -> set[int]:
+        """The eliminated view-tuple IDs, materialized on demand from
+        the hit counts (the set is the invariant image of ``hits``)."""
+        eliminated = self._eliminated_ids
+        if eliminated is None:
+            eliminated = set(np.flatnonzero(self._hits).tolist())
+            self._eliminated_ids = eliminated
+        return eliminated
 
     def eliminated_view_tuples(self) -> frozenset[ViewTuple]:
         """All view tuples with positive hit count (cached snapshot,
@@ -201,7 +268,7 @@ class EliminationOracle:
         cache = self._eliminated_cache
         if cache is None:
             vts = self.arena.view_tuples
-            cache = frozenset(vts[vid] for vid in self._eliminated_ids)
+            cache = frozenset(vts[vid] for vid in self._eliminated_set())
             self._eliminated_cache = cache
         return cache
 
@@ -237,14 +304,15 @@ class EliminationOracle:
         self._deleted_cache = None
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         eliminated = self._eliminated_ids
         for vid in arena.dep_of[fid]:
             h = hits[vid]
             hits[vid] = h + 1
             if h == 0:
-                eliminated.add(vid)
+                if eliminated is not None:
+                    eliminated.add(vid)
                 self._eliminated_cache = None
                 if is_delta[vid]:
                     self._uncovered -= 1
@@ -256,14 +324,15 @@ class EliminationOracle:
         self._deleted_cache = None
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         eliminated = self._eliminated_ids
         for vid in arena.dep_of[fid]:
             h = hits[vid] - 1
             hits[vid] = h
             if h == 0:
-                eliminated.discard(vid)
+                if eliminated is not None:
+                    eliminated.discard(vid)
                 self._eliminated_cache = None
                 if is_delta[vid]:
                     self._uncovered += 1
@@ -318,8 +387,8 @@ class EliminationOracle:
         d_unc = 0
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         for vid in arena.dep_of[fid]:
             if hits[vid] == 0:
                 if is_delta[vid]:
@@ -333,8 +402,8 @@ class EliminationOracle:
         d_unc = 0
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         for vid in arena.dep_of[fid]:
             if hits[vid] == 1:
                 if is_delta[vid]:
@@ -350,8 +419,8 @@ class EliminationOracle:
         out_set = arena.dep_set_of[out]
         in_set = arena.dep_set_of[replacement]
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         d_se = 0.0
         d_unc = 0
         for vid in deps_out:
@@ -429,7 +498,7 @@ class EliminationOracle:
         self.counters.oracle_hits += 1
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
+        is_delta = arena.delta_flags
         for vid in arena.dep_of[fid]:
             if is_delta[vid] and hits[vid] == 1:
                 return False
@@ -459,8 +528,8 @@ class EliminationOracle:
         self.counters.oracle_hits += 1
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
-        weights = arena.weights
+        is_delta = arena.delta_flags
+        weights = arena.weights_list
         total = 0.0
         for vid in arena.dep_of[fid]:
             if not is_delta[vid] and hits[vid] == 0:
@@ -476,7 +545,7 @@ class EliminationOracle:
         self.counters.oracle_hits += 1
         arena = self.arena
         hits = self._hits
-        is_delta = arena.is_delta
+        is_delta = arena.delta_flags
         total = 0
         for vid in arena.dep_of[fid]:
             if is_delta[vid] and hits[vid] == 0:
@@ -484,16 +553,89 @@ class EliminationOracle:
         return total
 
     # ------------------------------------------------------------------
+    # Batched twins (vectorized, same counter accounting)
+    # ------------------------------------------------------------------
+
+    def marginal_damage_ids(self, fids) -> np.ndarray:
+        """Vector of :meth:`marginal_damage_id` over ``fids`` — one
+        oracle hit per entry (duplicates allowed), answered as one
+        masked gather + sequential segment sum so each entry is bitwise
+        equal to the scalar accumulation."""
+        arena = self.arena
+        fids = np.asarray(fids, dtype=np.int64)
+        self.counters.oracle_hits += int(fids.size)
+        flat, rowid, _ = concat_rows(
+            arena.dep_offsets, arena.dep_indices, fids
+        )
+        mask = (self._hits[flat] == 0) & ~arena.delta_mask[flat]
+        return np.bincount(
+            rowid, weights=arena.weights[flat] * mask, minlength=fids.size
+        )
+
+    def coverage_ids(self, fids) -> np.ndarray:
+        """Vector of :meth:`coverage_id` over ``fids`` — one oracle hit
+        per entry, answered as one masked gather + segment count."""
+        arena = self.arena
+        fids = np.asarray(fids, dtype=np.int64)
+        self.counters.oracle_hits += int(fids.size)
+        flat, rowid, _ = concat_rows(
+            arena.dep_offsets, arena.dep_indices, fids
+        )
+        mask = (self._hits[flat] == 0) & arena.delta_mask[flat]
+        return np.bincount(rowid[mask], minlength=fids.size)
+
+    def add_ids(self, fids) -> None:
+        """Batch ``ΔD ← ΔD ∪ fids`` — equivalent, transition for
+        transition and bit for bit, to :meth:`add_id` over ``fids`` in
+        the given order (one delta evaluation per fact, one scatter-add
+        over the concatenated dependent slices)."""
+        fids = np.asarray(fids, dtype=np.int64)
+        if fids.size == 0:
+            return
+        for fid in fids.tolist():
+            if fid in self._deleted_ids:
+                raise ProblemError(
+                    f"{self.arena.facts[fid]!r} is already deleted"
+                )
+        if np.unique(fids).size != fids.size:
+            raise ProblemError("duplicate fact ids in batch add")
+        arena = self.arena
+        self.counters.delta_evaluations += int(fids.size)
+        flat, _, _ = concat_rows(
+            arena.dep_offsets, arena.dep_indices, fids, want_rowid=False
+        )
+        pre = self._hits[flat]
+        np.add.at(self._hits, flat, 1)
+        newly = first_occurrence_mask(flat) & (pre == 0)
+        delta = arena.delta_mask[flat]
+        self._uncovered -= int((newly & delta).sum())
+        # Fold from the running aggregate (not from 0.0 and add once) so
+        # the result is bitwise what the scalar add sequence computes.
+        self._side_effect = seq_sum(
+            np.concatenate(
+                ([self._side_effect], arena.weights[flat] * (newly & ~delta))
+            )
+        )
+        self._deleted_ids.update(fids.tolist())
+        if self._eliminated_ids is not None:
+            self._eliminated_ids.update(flat[newly].tolist())
+        self._deleted_cache = None
+        self._eliminated_cache = None
+
+    # ------------------------------------------------------------------
     # Export / ground truth
     # ------------------------------------------------------------------
 
     def to_propagation(self, method: str = "oracle") -> Propagation:
         """Freeze the current state as an immutable result."""
+        # The deleted facts come from the arena's interning table, so
+        # they are in the source instance by construction.
         return Propagation(
             self.problem,
             self.deleted_facts,
             method=method,
             counters=self.counters,
+            validate=False,
         )
 
     def verify(self) -> bool:

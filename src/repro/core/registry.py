@@ -30,6 +30,7 @@ propagation-only wrapper.  Named solvers are exposed directly via
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -287,6 +288,7 @@ def solve_report(
     method: str = "auto",
     deadline: Deadline | None = None,
     policy: SolvePolicy | None = None,
+    rng: "random.Random | None" = None,
 ) -> SolveReport:
     """Solve and return the full :class:`SolveReport` envelope.
 
@@ -295,13 +297,14 @@ def solve_report(
     installs a cooperative per-request deadline around the dispatch
     (composing with any enclosing scope); ``policy`` delegates to
     :func:`repro.core.resilience.solve_with_policy` for the full
-    deadline + retry + fallback-chain treatment.
+    deadline + retry + fallback-chain treatment, with ``rng`` (or a
+    per-request seeded default) driving its backoff jitter.
     """
     if policy is not None:
         from repro.core.resilience import solve_with_policy
 
         return solve_with_policy(
-            problem, method=method, policy=policy, deadline=deadline
+            problem, method=method, policy=policy, deadline=deadline, rng=rng
         )
     if deadline is not None:
         with deadline_scope(deadline):
@@ -370,15 +373,17 @@ def solve(
     method: str = "auto",
     deadline: Deadline | None = None,
     policy: SolvePolicy | None = None,
+    rng: "random.Random | None" = None,
 ) -> Propagation:
     """Solve a deletion-propagation problem.
 
     ``method="auto"`` dispatches by structure via the route table (see
     module docstring); any name from :func:`available_solvers` forces a
-    specific algorithm.  ``deadline`` / ``policy`` add the resilience
-    layer (see :mod:`repro.core.resilience`).  Use :func:`solve_report`
-    for the route trace, per-stage timings, and attempt trace.
+    specific algorithm.  ``deadline`` / ``policy`` / ``rng`` add the
+    resilience layer (see :mod:`repro.core.resilience`).  Use
+    :func:`solve_report` for the route trace, per-stage timings, and
+    attempt trace.
     """
     return solve_report(
-        problem, method=method, deadline=deadline, policy=policy
+        problem, method=method, deadline=deadline, policy=policy, rng=rng
     ).propagation

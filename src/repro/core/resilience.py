@@ -42,6 +42,7 @@ import contextlib
 import contextvars
 import random as _random
 import time
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
@@ -59,6 +60,7 @@ __all__ = [
     "SolvePolicy",
     "active_deadline",
     "deadline_scope",
+    "derive_backoff_rng",
     "parse_fallback",
     "solve_with_policy",
 ]
@@ -180,6 +182,10 @@ class AttemptRecord:
     seconds: float = 0.0
     attempt: int = 0  #: 0-based retry index (or dispatch index for pool events)
     cause: str | None = None
+    #: Backoff sleep drawn before the next retry (``"retry"`` records
+    #: only) — recorded so a trace pins down the exact jittered delays
+    #: of a run and a replay with the same seed reproduces them.
+    jitter: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -188,16 +194,19 @@ class AttemptRecord:
             "seconds": self.seconds,
             "attempt": self.attempt,
             "cause": self.cause,
+            "jitter": self.jitter,
         }
 
     @classmethod
     def from_dict(cls, document: dict) -> "AttemptRecord":
+        jitter = document.get("jitter")
         return cls(
             method=str(document.get("method", "?")),
             outcome=str(document.get("outcome", "?")),
             seconds=float(document.get("seconds", 0.0)),
             attempt=int(document.get("attempt", 0)),
             cause=document.get("cause"),
+            jitter=None if jitter is None else float(jitter),
         )
 
     def summary(self) -> str:
@@ -242,7 +251,15 @@ class SolvePolicy:
         return tuple(dict.fromkeys((method, *self.fallback)))
 
     def backoff(self, attempt: int, rng: _random.Random | None = None) -> float:
-        """Sleep before retry number ``attempt + 1``."""
+        """Sleep before retry number ``attempt + 1``.
+
+        The jitter draw comes from ``rng`` so backoff schedules are
+        reproducible: :func:`solve_with_policy` always passes one (its
+        caller's, or a per-request seeded instance via
+        :func:`derive_backoff_rng`).  ``rng=None`` falls back to the
+        process-global generator and is only appropriate where
+        reproducibility is explicitly not wanted.
+        """
         base = self.backoff_seconds * (self.backoff_factor**attempt)
         jitter = (rng.random() if rng is not None else _random.random())
         return base * (1.0 + self.backoff_jitter * jitter)
@@ -261,6 +278,23 @@ class SolvePolicy:
 # ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
+
+
+def derive_backoff_rng(
+    method: str, policy: SolvePolicy, seed: int | None = None
+) -> _random.Random:
+    """A deterministically seeded RNG for one request's backoff jitter.
+
+    With no explicit ``seed`` the seed is a stable digest (CRC-32, not
+    Python's randomized ``hash``) of the request shape — the method and
+    the policy contract — so the same request draws the same jitter
+    sequence in every process, while distinct requests decorrelate.
+    ``seed`` (e.g. the CLI's ``--seed``) overrides the digest.
+    """
+    if seed is None:
+        shape = f"{method}|{sorted(policy.as_dict().items())!r}"
+        seed = zlib.crc32(shape.encode("utf-8"))
+    return _random.Random(seed)
 
 
 def solve_with_policy(
@@ -293,6 +327,11 @@ def solve_with_policy(
         policy = SolvePolicy()
     if deadline is None:
         deadline = policy.deadline()
+    if rng is None:
+        # Never fall through to the process-global generator: backoff
+        # jitter must be reproducible per request (and recorded in the
+        # attempt trace below).
+        rng = derive_backoff_rng(method, policy)
     attempts: list[AttemptRecord] = []
     last_error: Exception | None = None
 
@@ -364,10 +403,12 @@ def solve_with_policy(
                 last_error = exc
                 cause = f"{type(exc).__name__}: {exc}"
                 if attempt < policy.retries:
-                    attempts.append(
-                        AttemptRecord(name, "retry", seconds, attempt, cause)
-                    )
                     delay = policy.backoff(attempt, rng)
+                    attempts.append(
+                        AttemptRecord(
+                            name, "retry", seconds, attempt, cause, jitter=delay
+                        )
+                    )
                     if deadline is not None:
                         delay = min(delay, max(0.0, deadline.remaining()))
                     if delay > 0:

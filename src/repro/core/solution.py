@@ -41,6 +41,7 @@ class Propagation:
         deleted_facts: Iterable[Fact],
         method: str = "unspecified",
         counters: object | None = None,
+        validate: bool = True,
     ):
         self.problem = problem
         self.deleted_facts: frozenset[Fact] = frozenset(deleted_facts)
@@ -48,11 +49,17 @@ class Propagation:
         # Optional perf accounting (an OracleCounters when the producing
         # solver ran on the elimination oracle); never part of equality.
         self.counters = counters
-        for fact in self.deleted_facts:
-            if fact not in problem.instance:
-                raise ProblemError(
-                    f"solution deletes {fact!r} which is not in the source"
-                )
+        # ``validate=False`` skips the membership check for producers
+        # whose facts are in the source by construction (the oracle
+        # interns its fact table from the instance); external callers
+        # should keep the default.
+        if validate:
+            for fact in self.deleted_facts:
+                if fact not in problem.instance:
+                    raise ProblemError(
+                        f"solution deletes {fact!r} which is not in the "
+                        "source"
+                    )
 
     # ------------------------------------------------------------------
     # Derived view-level effect

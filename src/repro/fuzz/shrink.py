@@ -25,6 +25,8 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable, Mapping
 
+from repro.errors import DeadlineExceededError
+
 __all__ = ["shrink_document"]
 
 _DEFAULT_BUDGET = 400
@@ -40,6 +42,11 @@ def _reproduces(
     try:
         problem = rebuild(doc)
         report = run_checks(problem)
+    except DeadlineExceededError:
+        # The ambient shrink deadline, not a property of the candidate:
+        # swallowing it would keep probing candidates on an expired
+        # clock.  Propagate so the shrink loop can stop cleanly.
+        raise
     except Exception:
         return False
     return any(failure.check == check for failure in report.failures)
@@ -56,6 +63,8 @@ def _prune_invalid_deletions(
     probe["deletions"] = {}
     try:
         base = rebuild(probe)
+    except DeadlineExceededError:
+        raise
     except Exception:
         return None
     repaired = copy.deepcopy(doc)
@@ -63,6 +72,8 @@ def _prune_invalid_deletions(
     for name, rows in doc.get("deletions", {}).items():
         try:
             view = base.views.view(name)
+        except DeadlineExceededError:
+            raise
         except Exception:
             continue
         kept = [row for row in rows if tuple(row) in view.tuples]
@@ -101,17 +112,41 @@ def shrink_document(
         return current, 1
 
     progress = True
-    while progress and attempts < max_attempts:
-        progress = False
+    try:
+        while progress and attempts < max_attempts:
+            progress = False
 
-        # 1. ΔV rows.
-        for name in sorted(current.get("deletions", {})):
+            # 1. ΔV rows.
+            for name in sorted(current.get("deletions", {})):
+                index = 0
+                while index < len(current["deletions"].get(name, [])):
+                    candidate = copy.deepcopy(current)
+                    del candidate["deletions"][name][index]
+                    if not candidate["deletions"][name]:
+                        del candidate["deletions"][name]
+                    if try_candidate(candidate):
+                        progress = True
+                    else:
+                        index += 1
+                    if attempts >= max_attempts:
+                        break
+
+            # 2. Whole queries (only while more than one remains),
+            # together with their ΔV entries and weights.
             index = 0
-            while index < len(current["deletions"].get(name, [])):
+            while len(current.get("queries", [])) > 1 and index < len(
+                current["queries"]
+            ):
+                text = current["queries"][index]
+                name = text.split("(", 1)[0].strip()
                 candidate = copy.deepcopy(current)
-                del candidate["deletions"][name][index]
-                if not candidate["deletions"][name]:
-                    del candidate["deletions"][name]
+                del candidate["queries"][index]
+                candidate.get("deletions", {}).pop(name, None)
+                candidate["weights"] = [
+                    entry
+                    for entry in candidate.get("weights", [])
+                    if entry.get("view") != name
+                ]
                 if try_candidate(candidate):
                     progress = True
                 else:
@@ -119,55 +154,38 @@ def shrink_document(
                 if attempts >= max_attempts:
                     break
 
-        # 2. Whole queries (only while more than one remains), together
-        # with their ΔV entries and weights.
-        index = 0
-        while len(current.get("queries", [])) > 1 and index < len(
-            current["queries"]
-        ):
-            text = current["queries"][index]
-            name = text.split("(", 1)[0].strip()
-            candidate = copy.deepcopy(current)
-            del candidate["queries"][index]
-            candidate.get("deletions", {}).pop(name, None)
-            candidate["weights"] = [
-                entry
-                for entry in candidate.get("weights", [])
-                if entry.get("view") != name
-            ]
-            if try_candidate(candidate):
-                progress = True
-            else:
-                index += 1
-            if attempts >= max_attempts:
-                break
+            # 3. Facts — repairing ΔV rows the removal invalidates.
+            for relation in sorted(current.get("facts", {})):
+                index = 0
+                while index < len(current["facts"].get(relation, [])):
+                    candidate = copy.deepcopy(current)
+                    del candidate["facts"][relation][index]
+                    if not candidate["facts"][relation]:
+                        del candidate["facts"][relation]
+                    repaired = _prune_invalid_deletions(candidate, rebuild)
+                    if repaired is not None and try_candidate(repaired):
+                        progress = True
+                    else:
+                        index += 1
+                    if attempts >= max_attempts:
+                        break
 
-        # 3. Facts — repairing ΔV rows the removal invalidates.
-        for relation in sorted(current.get("facts", {})):
+            # 4. Weight entries.
             index = 0
-            while index < len(current["facts"].get(relation, [])):
+            while index < len(current.get("weights", [])):
                 candidate = copy.deepcopy(current)
-                del candidate["facts"][relation][index]
-                if not candidate["facts"][relation]:
-                    del candidate["facts"][relation]
-                repaired = _prune_invalid_deletions(candidate, rebuild)
-                if repaired is not None and try_candidate(repaired):
+                del candidate["weights"][index]
+                if try_candidate(candidate):
                     progress = True
                 else:
                     index += 1
                 if attempts >= max_attempts:
                     break
-
-        # 4. Weight entries.
-        index = 0
-        while index < len(current.get("weights", [])):
-            candidate = copy.deepcopy(current)
-            del candidate["weights"][index]
-            if try_candidate(candidate):
-                progress = True
-            else:
-                index += 1
-            if attempts >= max_attempts:
-                break
+    except DeadlineExceededError:
+        # Deadline fired mid-pass.  Every update to ``current`` was a
+        # verified reproducer, so the best-so-far document is still a
+        # valid corpus entry — stop shrinking and return it rather than
+        # losing the work (or, worse, probing on with an expired clock).
+        pass
 
     return current, attempts

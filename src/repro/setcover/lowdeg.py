@@ -55,10 +55,21 @@ def low_deg_two(instance: RedBlueSetCover) -> tuple[list[str], float]:
     element is uncoverable."""
     if not instance.blues:
         return [], 0.0
+    # Vectorized feasibility pre-screen: any τ below the max-over-blues
+    # minimum red degree strips every set containing some blue, so those
+    # passes can only return None — skip them without running greedy.
+    # ``None`` means a blue is in no set at all: every pass (including
+    # the unfiltered one) fails, which is exactly the sweep's infeasible
+    # outcome.
+    tau_min = instance.min_feasible_tau()
+    if tau_min is None:
+        raise SolverError("RBSC instance is infeasible (uncoverable blue)")
     degrees = sorted({instance.red_degree(name) for name in instance.sets})
     best_selection: list[str] | None = None
     best_cost = float("inf")
     for tau in (*degrees, None):
+        if tau is not None and tau < tau_min:
+            continue
         selection = low_deg(instance, tau)
         if selection is None:
             continue

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import ReductionError, SolverError
 
 __all__ = ["RedBlueSetCover", "solve_rbsc_exact"]
@@ -99,6 +101,51 @@ class RedBlueSetCover:
     def feasibility_possible(self) -> bool:
         """Is any feasible selection possible at all?"""
         return self.is_feasible(self.sets)
+
+    def min_feasible_tau(self) -> int | None:
+        """Smallest red-degree threshold τ at which a LowDeg(τ) pass can
+        possibly be feasible: the max over blue elements of the minimum
+        red degree among sets containing that blue.  Any τ below this
+        leaves some blue with no allowed set, so the τ-sweep in
+        :func:`~repro.setcover.lowdeg.low_deg_two` skips those passes
+        outright.  Returns ``None`` when some blue element is in no set
+        at all (the instance is infeasible for every τ, including the
+        unfiltered pass).  Computed once as a vectorized segment-min
+        over the (set, blue) incidence pairs; cached.
+        """
+        cached = getattr(self, "_min_tau_cache", False)
+        if cached is not False:
+            return cached
+        blue_index = {blue: i for i, blue in enumerate(self.blues)}
+        num_blues = len(blue_index)
+        sentinel = np.iinfo(np.int64).max
+        min_deg = np.full(num_blues, sentinel, dtype=np.int64)
+        names = list(self.sets)
+        counts = [len(self._blues_of[name]) for name in names]
+        degrees = np.repeat(
+            np.fromiter(
+                (len(self._reds_of[name]) for name in names),
+                dtype=np.int64,
+                count=len(names),
+            ),
+            counts,
+        )
+        pair_blues = np.fromiter(
+            (
+                blue_index[blue]
+                for name in names
+                for blue in self._blues_of[name]
+            ),
+            dtype=np.int64,
+            count=int(degrees.size),
+        )
+        np.minimum.at(min_deg, pair_blues, degrees)
+        if num_blues and int(min_deg.max()) == sentinel:
+            result: int | None = None
+        else:
+            result = int(min_deg.max()) if num_blues else 0
+        self._min_tau_cache = result
+        return result
 
     def __repr__(self) -> str:
         return (

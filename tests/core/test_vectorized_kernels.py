@@ -1,0 +1,478 @@
+"""Differential and behavioral tests for the vectorized solve kernels.
+
+The batch paths (:mod:`repro.core.local_search`, the batched oracle
+queries, the greedy heap builds) must be *decision-for-decision and
+counter-for-counter* identical to the object-backed twins in
+:mod:`repro.core.reference` — including on weighted instances, where
+the inexact swap screen re-verifies near-accepting pairs through the
+verbatim scalar trial.  This suite pins:
+
+* numpy-vs-reference identity per fuzz shape, integral weights (the
+  exact-arithmetic fast path) and fractional weights (the margin screen
+  + scalar verification path) alike;
+* the mid-batch cooperative deadline: a timed-out pass still flushes a
+  consistent, feasible incumbent onto the error;
+* the sequential-fold contract of the numpy kernels;
+* the :attr:`CompiledProblem.exact_costs` verdict and the lazily
+  materialized eliminated set behind it;
+* the determinism and exception-hygiene fixes that ride along (seeded
+  backoff jitter, shrinker deadline propagation, classify's narrowed
+  predicate guard).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import classify as classify_module
+from repro.core import local_search as local_search_module
+from repro.core.arena import CompiledProblem
+from repro.core.classify import LandscapeRow, verdict
+from repro.core.greedy import (
+    solve_greedy_max_coverage,
+    solve_greedy_min_damage,
+)
+from repro.core.local_search import improve
+from repro.core.oracle import EliminationOracle, OracleCounters
+from repro.core.reference import (
+    reference_greedy_max_coverage,
+    reference_greedy_min_damage,
+    reference_improve,
+)
+from repro.core.registry import SOLVERS
+from repro.core.resilience import (
+    Deadline,
+    SolvePolicy,
+    deadline_scope,
+    derive_backoff_rng,
+    solve_with_policy,
+)
+from repro.core.solution import Propagation
+from repro.errors import DeadlineExceededError, ProblemError, SolverError
+from repro.fuzz.shrink import shrink_document
+from repro.core.npkernels import seq_segment_sum, seq_sum
+from repro.setcover.lowdeg import low_deg, low_deg_two
+from repro.setcover.redblue import RedBlueSetCover
+from repro.workloads import random_problem, scaling_problem
+from repro.workloads.setcover_gen import random_rbsc
+
+
+class FakeClock:
+    """A monotonic clock advanced by ``step`` on every read."""
+
+    def __init__(self, start: float = 0.0, step: float = 0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+# ----------------------------------------------------------------------
+# Vectorized improve == object-backed improve, per fuzz shape
+# ----------------------------------------------------------------------
+
+
+class TestImproveMatchesObjectOracle:
+    """Batch local search vs the object-backed oracle twin: identical
+    final solution *and identical counters* — the counters prove the
+    batch screens replayed the scalar trial sequence exactly."""
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_identity_per_fuzz_shape(self, seed):
+        rng = random.Random(seed)
+        # seed % 3 == 0 draws fractional weights → the inexact screen +
+        # scalar-verify path; otherwise unit weights → the
+        # exact-arithmetic fast path.  seed % 5 == 0 exercises the
+        # balanced objective (drop/swap/add passes).
+        problem = random_problem(
+            rng, weighted=(seed % 3 == 0), balanced=(seed % 5 == 0)
+        )
+        start = (
+            Propagation(problem, frozenset())
+            if seed % 5 == 0
+            else solve_greedy_max_coverage(problem)
+        )
+        fast_counters = OracleCounters()
+        slow_counters = OracleCounters()
+        fast = improve(start, counters=fast_counters)
+        slow = reference_improve(start, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast.objective() == slow.objective()
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+        assert fast.verify_by_reevaluation()
+
+    @pytest.mark.parametrize("seed", (3, 9, 21))
+    def test_fractional_weights_hit_the_inexact_path(self, seed):
+        problem = random_problem(random.Random(seed), weighted=True)
+        arena = CompiledProblem.of(problem)
+        assert not arena.exact_costs  # the screen+verify path is live
+
+
+class TestGreedyMatchesObjectOracle:
+    """Heapified batch-built greedy == sequential object-backed greedy,
+    selections and counters both."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_min_damage(self, seed):
+        problem = random_problem(random.Random(seed), weighted=(seed % 3 == 0))
+        fast_counters = OracleCounters()
+        slow_counters = OracleCounters()
+        fast = solve_greedy_min_damage(problem, counters=fast_counters)
+        slow = reference_greedy_min_damage(problem, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+        assert fast.verify_by_reevaluation()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_max_coverage(self, seed):
+        problem = random_problem(random.Random(seed), weighted=(seed % 3 == 0))
+        fast_counters = OracleCounters()
+        slow_counters = OracleCounters()
+        fast = solve_greedy_max_coverage(problem, counters=fast_counters)
+        slow = reference_greedy_max_coverage(problem, counters=slow_counters)
+        assert fast.deleted_facts == slow.deleted_facts
+        assert fast_counters.as_dict() == slow_counters.as_dict()
+        assert fast.verify_by_reevaluation()
+
+
+# ----------------------------------------------------------------------
+# Mid-batch deadline: consistent feasible incumbent
+# ----------------------------------------------------------------------
+
+
+class TestMidBatchDeadline:
+    def test_timeout_between_batches_flushes_feasible_incumbent(
+        self, monkeypatch
+    ):
+        """With the checkpoint stride forced to 1 and a clock that
+        expires after a few reads, the deadline fires between vectorized
+        batches mid-run — the error must carry an incumbent that is a
+        consistent, feasible iterate no worse than the start."""
+        problem = scaling_problem(random.Random(73), facts_per_relation=200)
+        start = solve_greedy_max_coverage(problem)
+        reference = improve(start)  # untimed ground truth
+        assert reference.objective() < start.objective()  # moves happen
+
+        monkeypatch.setattr(local_search_module, "_DEADLINE_STRIDE", 1)
+        clock = FakeClock(step=0.0)
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.step = 0.05  # ~20 reads until expiry: fires mid-loop
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                improve(start)
+        incumbent = excinfo.value.incumbent
+        assert incumbent is not None
+        assert incumbent.is_feasible()
+        assert incumbent.verify_by_reevaluation()
+        assert (
+            reference.objective()
+            <= incumbent.objective()
+            <= start.objective()
+        )
+
+    def test_expired_before_first_move_returns_start(self):
+        problem = scaling_problem(random.Random(73), facts_per_relation=60)
+        start = solve_greedy_max_coverage(problem)
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.now += 5.0
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                improve(start)
+        assert excinfo.value.incumbent is start
+
+
+# ----------------------------------------------------------------------
+# Sequential-fold kernels
+# ----------------------------------------------------------------------
+
+
+class TestSequentialFolds:
+    """The numpy kernels must reproduce the scalar left fold bit for
+    bit — values are chosen so pairwise summation would differ."""
+
+    def test_seq_sum_is_the_scalar_left_fold(self):
+        rng = random.Random(5)
+        values = np.asarray(
+            [rng.uniform(-1.0, 1.0) * 10 ** rng.randint(-8, 8) for _ in range(500)]
+        )
+        acc = 0.0
+        for v in values.tolist():
+            acc += v
+        assert seq_sum(values) == acc
+
+    def test_seq_segment_sum_is_per_segment_left_fold(self):
+        rng = random.Random(6)
+        rowid = np.asarray([rng.randint(0, 7) for _ in range(400)])
+        values = np.asarray(
+            [rng.uniform(0.0, 1.0) * 10 ** rng.randint(-6, 6) for _ in range(400)]
+        )
+        out = seq_segment_sum(rowid, values, 8)
+        expected = [0.0] * 8
+        for row, value in zip(rowid.tolist(), values.tolist()):
+            expected[row] += value
+        assert out.tolist() == expected
+
+
+# ----------------------------------------------------------------------
+# exact_costs verdict and the lazy eliminated set
+# ----------------------------------------------------------------------
+
+
+class TestExactCosts:
+    def test_unit_weights_are_exact(self):
+        problem = random_problem(random.Random(1))
+        assert CompiledProblem.of(problem).exact_costs
+
+    def test_rebound_carries_verdict_for_same_penalty(self):
+        problem = scaling_problem(random.Random(7), facts_per_relation=40)
+        arena = CompiledProblem.of(problem)
+        assert arena.exact_costs
+        vt = problem.deleted_view_tuples()[0]
+        sibling = problem.with_deletions({vt.view: [vt.values]})
+        rebound = arena.rebound(sibling)
+        assert rebound._exact_costs is True  # no recompute needed
+
+    def test_lazy_eliminated_set_matches_ground_truth(self):
+        problem = random_problem(random.Random(8))
+        assert CompiledProblem.of(problem).exact_costs
+        candidates = list(problem.candidate_facts())
+        assert len(candidates) >= 3
+        deleted = candidates[:2]
+        oracle = EliminationOracle(problem, deleted)
+        # The exact-path build leaves the set lazy ...
+        assert oracle._eliminated_ids is None
+        truth = Propagation(problem, deleted, validate=False)
+        # ... and materialization on demand agrees with ground truth.
+        assert oracle.eliminated_view_tuples() == truth.eliminated_view_tuples
+        assert oracle._eliminated_ids is not None
+        # Mutation after materialization keeps the set live.
+        extra = candidates[2]
+        oracle.add(extra)
+        truth2 = Propagation(problem, [*deleted, extra], validate=False)
+        assert oracle.eliminated_view_tuples() == truth2.eliminated_view_tuples
+
+
+class TestPropagationValidate:
+    def test_foreign_fact_rejected_by_default(self):
+        problem = random_problem(random.Random(2))
+        other = random_problem(random.Random(40))
+        foreign = next(
+            iter(
+                set(other.instance.facts()) - set(problem.instance.facts())
+            )
+        )
+        with pytest.raises(ProblemError):
+            Propagation(problem, [foreign])
+
+    def test_validate_false_skips_the_membership_check(self):
+        problem = random_problem(random.Random(2))
+        other = random_problem(random.Random(40))
+        foreign = next(
+            iter(
+                set(other.instance.facts()) - set(problem.instance.facts())
+            )
+        )
+        Propagation(problem, [foreign], validate=False)  # no raise
+
+
+# ----------------------------------------------------------------------
+# LowDeg τ-sweep pre-screen
+# ----------------------------------------------------------------------
+
+
+class TestMinFeasibleTau:
+    def test_matches_definition(self):
+        instance = RedBlueSetCover(
+            reds=["r1", "r2", "r3"],
+            blues=["b1", "b2"],
+            sets={
+                "wide": ["b1", "b2", "r1", "r2", "r3"],
+                "narrow": ["b1", "r1"],
+            },
+        )
+        # b1's cheapest set has red degree 1; b2 only has 'wide' (3).
+        assert instance.min_feasible_tau() == 3
+
+    def test_uncoverable_blue_is_none_and_sweep_raises(self):
+        instance = RedBlueSetCover(
+            reds=["r1"],
+            blues=["b1", "orphan"],
+            sets={"only": ["b1", "r1"]},
+        )
+        assert instance.min_feasible_tau() is None
+        with pytest.raises(SolverError):
+            low_deg_two(instance)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sweep_equals_unskipped_sweep(self, seed):
+        instance = random_rbsc(random.Random(seed), weighted=(seed % 2 == 0))
+        selection, cost = low_deg_two(instance)
+        # Brute-force sweep with no feasibility pre-screen.
+        degrees = sorted({instance.red_degree(n) for n in instance.sets})
+        best_cost = float("inf")
+        for tau in (*degrees, None):
+            brute = low_deg(instance, tau)
+            if brute is not None:
+                best_cost = min(best_cost, instance.cost(brute))
+        assert cost == best_cost
+        assert instance.is_feasible(selection)
+
+
+# ----------------------------------------------------------------------
+# Satellite fixes: seeded jitter, shrinker deadline, classify guard
+# ----------------------------------------------------------------------
+
+
+class TestSeededBackoff:
+    def test_derived_rng_is_stable_across_calls(self):
+        policy = SolvePolicy(retries=2)
+        a = derive_backoff_rng("auto", policy)
+        b = derive_backoff_rng("auto", policy)
+        assert [a.random() for _ in range(4)] == [
+            b.random() for _ in range(4)
+        ]
+
+    def test_explicit_seed_overrides_the_digest(self):
+        policy = SolvePolicy(retries=2)
+        digest = derive_backoff_rng("auto", policy)
+        seeded = derive_backoff_rng("auto", policy, seed=1234)
+        twin = random.Random(1234)
+        assert seeded.random() == twin.random()
+        assert digest.random() != random.Random(1234).random()
+
+    def test_retry_records_jitter_and_is_reproducible(self, monkeypatch):
+        problem = random_problem(random.Random(3))
+        policy = SolvePolicy(retries=1, backoff_seconds=1e-7)
+
+        def run_once():
+            failures = {"left": 1}
+
+            def flaky(p):
+                if failures["left"]:
+                    failures["left"] -= 1
+                    raise RuntimeError("transient blip")
+                return SOLVERS["greedy-min-damage"](p)
+
+            monkeypatch.setitem(SOLVERS, "flaky", flaky)
+            return solve_with_policy(problem, method="flaky", policy=policy)
+
+        first = run_once()
+        second = run_once()
+        retry = first.attempts[0]
+        assert retry.outcome == "retry"
+        assert retry.jitter is not None and retry.jitter > 0
+        # Same request → same derived seed → identical drawn jitter.
+        assert second.attempts[0].jitter == retry.jitter
+        # The jitter rides through the trace round-trip.
+        from repro.core.resilience import AttemptRecord
+
+        assert AttemptRecord.from_dict(retry.as_dict()).jitter == retry.jitter
+
+    def test_ok_records_have_no_jitter(self):
+        problem = random_problem(random.Random(3))
+        report = solve_with_policy(
+            problem, method="greedy-min-damage", policy=SolvePolicy()
+        )
+        assert [a.jitter for a in report.attempts] == [None]
+
+
+class TestShrinkerDeadline:
+    @staticmethod
+    def _doc():
+        return {
+            "deletions": {"Q0": [[1], [2], [3], [4]]},
+            "queries": ["Q0(x) :- R(x)"],
+            "facts": {},
+            "weights": [],
+        }
+
+    def test_deadline_mid_shrink_returns_best_so_far(self):
+        class _Failure:
+            check = "bug"
+
+        class _Report:
+            failures = [_Failure()]
+
+        calls = {"n": 0}
+
+        def run_checks(doc):
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise DeadlineExceededError("shrink deadline")
+            return _Report()
+
+        shrunk, attempts = shrink_document(
+            self._doc(), "bug", rebuild=lambda d: d, run_checks=run_checks
+        )
+        # Probes 2 and 3 each removed a verified-reproducing ΔV row
+        # before the deadline fired — that progress must be kept.
+        assert shrunk["deletions"]["Q0"] == [[3], [4]]
+        assert attempts == 3
+
+    def test_deadline_in_rebuild_is_not_swallowed_as_nonrepro(self):
+        """A deadline raised while rebuilding a candidate must not be
+        misread as 'candidate does not reproduce' (which would keep the
+        loop probing on an expired clock)."""
+
+        class _Failure:
+            check = "bug"
+
+        class _Report:
+            failures = [_Failure()]
+
+        calls = {"n": 0}
+
+        def rebuild(doc):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise DeadlineExceededError("shrink deadline")
+            return doc
+
+        shrunk, _ = shrink_document(
+            self._doc(), "bug", rebuild=rebuild, run_checks=lambda p: _Report()
+        )
+        assert shrunk["deletions"]["Q0"] == [[2], [3], [4]]
+
+
+class TestClassifyPredicateGuard:
+    @staticmethod
+    def _row(predicate):
+        return LandscapeRow(
+            table="test",
+            problem="view side-effect",
+            complexity="?",
+            citation="test",
+            query_class="test",
+            predicate=predicate,
+        )
+
+    def test_repro_error_means_row_does_not_apply(self, monkeypatch):
+        problem = random_problem(random.Random(4))
+
+        def raising(queries, fds):
+            raise SolverError("narrower class only")
+
+        monkeypatch.setattr(
+            classify_module, "PAPER_RESULTS", (self._row(raising),)
+        )
+        rows = verdict(list(problem.queries))
+        assert all(row.table != "test" for row in rows)
+
+    def test_unexpected_errors_surface(self, monkeypatch):
+        problem = random_problem(random.Random(4))
+
+        def buggy(queries, fds):
+            raise ZeroDivisionError("predicate bug")
+
+        monkeypatch.setattr(
+            classify_module, "PAPER_RESULTS", (self._row(buggy),)
+        )
+        with pytest.raises(ZeroDivisionError):
+            verdict(list(problem.queries))
