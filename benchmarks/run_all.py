@@ -10,17 +10,21 @@ committed ``BENCH_oracle_local_search.json`` acceptance record — into
 
 ``--full`` additionally runs the pytest acceptance bench
 (``bench_oracle_local_search.py``), which re-verifies the >=5x arena
-speedup and refreshes its artifact, and the session batch bench
-(``bench_session_batch.py``).
+speedup and refreshes its artifact, the session batch bench
+(``bench_session_batch.py``), and the serve throughput bench
+(``bench_serve_throughput.py``), which re-verifies the >=5x
+attach-by-manifest speedup and the closed-loop request rate.
 
 ``--validate`` turns the sweep into a gate: every ``BENCH_*.json`` in
 the output directory must parse against the harness schema and carry at
 least one row — checked once *before* the sweep (a pre-existing corrupt
 artifact fails fast, before minutes of benching) and once after
 aggregation.  It is also the perf-regression guard: the guarded row
-keys (``arena_s``, ``per_request_ms``) of every artifact present
-before the sweep are snapshotted, and any fresh value more than 2x its
-committed baseline fails the gate.  Any violation exits 2.
+keys of every artifact present before the sweep are snapshotted, and
+any fresh value outside its 2x budget fails the gate — latency keys
+(``arena_s``, ``per_request_ms``) must not grow past 2x, throughput
+keys (``requests_per_s``) must not shrink below half.  Any violation
+exits 2.
 
 Usage::
 
@@ -90,6 +94,17 @@ def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
                 ],
             )
         )
+        commands.append(
+            (
+                "serve_throughput",
+                [
+                    sys.executable,
+                    str(_HERE / "bench_serve_throughput.py"),
+                    "--out",
+                    str(out_dir),
+                ],
+            )
+        )
     return commands
 
 
@@ -143,7 +158,10 @@ def _aggregate(out_dir: Path) -> list[dict]:
     return rows
 
 
+#: Guarded perf keys where *lower* is better (latency-style).
 _GUARDED_KEYS = ("arena_s", "per_request_ms")
+#: Guarded perf keys where *higher* is better (throughput-style).
+_GUARDED_KEYS_HIGHER = ("requests_per_s",)
 _MAX_REGRESSION = 2.0
 
 
@@ -172,7 +190,7 @@ def _perf_snapshot(out_dir: Path) -> dict[str, dict[str, float]]:
             label = str(
                 row.get("seed", row.get("path", row.get("label", position)))
             )
-            for key in _GUARDED_KEYS:
+            for key in _GUARDED_KEYS + _GUARDED_KEYS_HIGHER:
                 value = row.get(key)
                 if isinstance(value, (int, float)) and value > 0:
                     entries[f"{label}.{key}"] = float(value)
@@ -185,7 +203,9 @@ def _perf_regressions(
     out_dir: Path, baseline: dict[str, dict[str, float]]
 ) -> list[str]:
     """Compare the fresh artifacts against a pre-sweep snapshot; one
-    message per guarded value that regressed beyond the 2x budget."""
+    message per guarded value that regressed beyond the 2x budget.
+    Latency-style keys fail when they grow; throughput-style keys
+    (``_GUARDED_KEYS_HIGHER``) fail when they shrink."""
     fresh = _perf_snapshot(out_dir)
     problems: list[str] = []
     for name, base_entries in baseline.items():
@@ -194,11 +214,17 @@ def _perf_regressions(
             new_value = fresh_entries.get(entry)
             if new_value is None:
                 continue  # row/key gone; the schema gate covers emptiness
-            if new_value > _MAX_REGRESSION * base_value:
+            higher_is_better = entry.endswith(_GUARDED_KEYS_HIGHER)
+            if higher_is_better:
+                regressed = new_value * _MAX_REGRESSION < base_value
+                ratio = base_value / new_value if new_value else float("inf")
+            else:
+                regressed = new_value > _MAX_REGRESSION * base_value
+                ratio = new_value / base_value if base_value else float("inf")
+            if regressed:
                 problems.append(
-                    f"{name}: {entry} regressed "
-                    f"{new_value / base_value:.1f}x "
-                    f"({base_value:g}s -> {new_value:g}s, "
+                    f"{name}: {entry} regressed {ratio:.1f}x "
+                    f"({base_value:g} -> {new_value:g}, "
                     f"budget {_MAX_REGRESSION:g}x)"
                 )
     return problems

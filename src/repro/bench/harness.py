@@ -72,25 +72,57 @@ def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
 
 
 def timed_best(
-    fn: Callable, *args, repeats: int = 5, **kwargs
+    fn: Callable,
+    *args,
+    repeats: int = 5,
+    mode: str = "seconds",
+    requests: int | None = None,
+    **kwargs,
 ) -> tuple[object, float]:
-    """Run ``fn`` ``repeats`` times and return ``(result, seconds)``
-    with the *minimum* single-run wall time.
+    """Run ``fn`` ``repeats`` times and return ``(result, measure)``
+    under the steady-state estimator for the chosen ``mode``.
 
-    The minimum is the standard steady-state estimator on shared or
-    single-core machines: scheduler interference and cache-cold first
-    calls only ever add time, so the fastest observed run is the one
-    closest to the code's intrinsic cost.  ``fn`` must be repeatable
-    (deterministic, no cross-call state accumulation); the returned
-    result is the first run's.
+    ``mode="seconds"`` (default) returns the *minimum* single-run wall
+    time: scheduler interference and cache-cold first calls only ever
+    add time, so the fastest observed run is the one closest to the
+    code's intrinsic cost.
+
+    ``mode="requests_per_s"`` is the throughput twin for closed-loop
+    benches: each call is one loop of ``requests`` requests (or, when
+    ``requests`` is ``None``, ``fn`` returns the completed count
+    itself), the per-run measure is requests divided by wall seconds,
+    and the *maximum* observed rate is returned — interference only
+    ever lowers throughput, so max mirrors min-time.  Both modes share
+    the ``BENCH_<name>.json`` artifact schema; only the row key and
+    the regression-gate direction differ.
+
+    ``fn`` must be repeatable (deterministic, no cross-call state
+    accumulation); the returned result is the first run's.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    result, best = timed(fn, *args, **kwargs)
+    if mode not in ("seconds", "requests_per_s"):
+        raise ValueError(
+            f"unknown mode {mode!r}; use 'seconds' or 'requests_per_s'"
+        )
+
+    def measure(result: object, seconds: float) -> float:
+        if mode == "seconds":
+            return seconds
+        count = requests if requests is not None else result
+        if not isinstance(count, int) or count <= 0:
+            raise ValueError(
+                "requests_per_s mode needs requests= or an fn returning "
+                f"a positive request count, got {count!r}"
+            )
+        return count / seconds if seconds > 0 else float("inf")
+
+    better = min if mode == "seconds" else max
+    result, seconds = timed(fn, *args, **kwargs)
+    best = measure(result, seconds)
     for _ in range(repeats - 1):
-        _, seconds = timed(fn, *args, **kwargs)
-        if seconds < best:
-            best = seconds
+        run_result, seconds = timed(fn, *args, **kwargs)
+        best = better(best, measure(run_result, seconds))
     return result, best
 
 

@@ -17,6 +17,11 @@ Usage (installed as module)::
     python -m repro.cli experiments [--out EXPERIMENTS.md]
     python -m repro.cli fuzz [--seed 0] [--iterations 100] [--budget-seconds 60]
                              [--corpus tests/corpus] [--kinds chain,star] [--no-shrink]
+    python -m repro.cli serve [--port 7341] [--unix PATH] [--jobs N]
+                              [--preload problem.json]
+    python -m repro.cli client ping|stats|register|solve|shutdown
+                               [TARGET] [--connect host:port]
+                               [--deletions JSON|@file] [--deadline 0.5]
 
 ``solve`` loads a JSON problem document (see :mod:`repro.io.serialize`),
 dispatches to the requested algorithm, and prints the deletion
@@ -224,6 +229,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="persist failing cases without shrinking them",
+    )
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help=(
+            "run the solve service: JSON lines over TCP or a unix "
+            "socket, instances registered by content hash"
+        ),
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=7341,
+        help="TCP port (0 picks a free one; printed on startup)",
+    )
+    serve_cmd.add_argument(
+        "--unix",
+        default=None,
+        metavar="PATH",
+        help="serve on a unix domain socket instead of TCP",
+    )
+    serve_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for pooled batches (default: CPU count; "
+            "0 runs everything in-process)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--pool-threshold",
+        type=int,
+        default=4,
+        help="smallest batch worth the worker pool (default: 4)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="per-instance queue depth before solves are rejected",
+    )
+    serve_cmd.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="PROBLEM",
+        help="problem document(s) to register before listening",
+    )
+
+    client_cmd = sub.add_parser(
+        "client", help="talk to a running solve service"
+    )
+    client_cmd.add_argument(
+        "action",
+        choices=["ping", "stats", "register", "solve", "shutdown"],
+    )
+    client_cmd.add_argument(
+        "target",
+        nargs="?",
+        help=(
+            "problem document path (register, or solve — registers "
+            "then solves its own ΔV) or instance hash (solve with "
+            "--deletions)"
+        ),
+    )
+    client_cmd.add_argument(
+        "--connect",
+        default="127.0.0.1:7341",
+        help="server address: host:port or unix:<path>",
+    )
+    client_cmd.add_argument(
+        "--deletions",
+        default=None,
+        help="ΔV as inline JSON ({view: [row, ...]}) or @file.json",
+    )
+    client_cmd.add_argument("--method", default=None)
+    client_cmd.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds (SolvePolicy)",
+    )
+    client_cmd.add_argument(
+        "--retries", type=int, default=0,
+        help="per-request retries for transient failures",
+    )
+    client_cmd.add_argument(
+        "--fallback", default=None,
+        help="comma-separated fallback methods",
     )
 
     return parser
@@ -498,6 +592,109 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import SolveServer
+
+    async def run() -> int:
+        server = SolveServer(
+            host=args.host,
+            port=args.port,
+            unix_path=args.unix,
+            max_workers=args.jobs,
+            pool_threshold=args.pool_threshold,
+            max_pending=args.max_pending,
+        )
+        await server.start()
+        try:
+            for path in args.preload:
+                with open(path, encoding="utf-8") as handle:
+                    doc = json.load(handle)
+                instance_id, cached = server.register_document(doc)
+                suffix = " (cached)" if cached else ""
+                print(f"preloaded {path}: instance {instance_id}{suffix}")
+            print(f"repro serve: listening on {server.address}")
+            sys.stdout.flush()
+            await server.serve_until_closed()
+        finally:
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    policy = _build_policy(args)
+    policy_doc = policy.as_dict() if policy is not None else None
+
+    def load_deletions() -> dict:
+        spec = args.deletions
+        if spec.startswith("@"):
+            with open(spec[1:], encoding="utf-8") as handle:
+                return json.load(handle)
+        return json.loads(spec)
+
+    with ServeClient.connect(args.connect) as client:
+        if args.action == "ping":
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.action == "stats":
+            json.dump(client.stats(), sys.stdout, indent=2)
+            print()
+            return 0
+        if args.action == "shutdown":
+            client.shutdown()
+            print("server stopping")
+            return 0
+        if args.action == "register":
+            if not args.target:
+                print("register needs a problem document path",
+                      file=sys.stderr)
+                return 2
+            with open(args.target, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            info = client.register_info(doc)
+            json.dump(info, sys.stdout, indent=2)
+            print()
+            return 0
+        # solve: target is an instance hash, or a problem document that
+        # is registered first and solved for its own ΔV.
+        if not args.target:
+            print("solve needs an instance hash or a problem path",
+                  file=sys.stderr)
+            return 2
+        import os.path
+
+        if os.path.exists(args.target):
+            with open(args.target, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            instance = client.register(doc)
+            deletions = (
+                load_deletions() if args.deletions else doc.get(
+                    "deletions", {}
+                )
+            )
+        else:
+            instance = args.target
+            if not args.deletions:
+                print("solving by instance hash needs --deletions",
+                      file=sys.stderr)
+                return 2
+            deletions = load_deletions()
+        result = client.solve(
+            instance, deletions, method=args.method, policy=policy_doc
+        )
+        json.dump(result, sys.stdout, indent=2)
+        print()
+        return 0 if result["solution"]["feasible"] else 1
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "classify": _cmd_classify,
@@ -509,6 +706,8 @@ _COMMANDS = {
     "example": _cmd_example,
     "experiments": _cmd_experiments,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

@@ -34,13 +34,19 @@ The CSR slabs are **read-only numpy buffers** (``np.int32`` adjacency,
 ``np.float64`` weights, ``np.uint8`` flags): the canonical layout for
 the vectorized kernels (batched gathers + segment sums in
 :mod:`repro.core.npkernels`), and — being flat, immutable, contiguous
-buffers — directly shareable for the planned shared-memory serving
-arena.  The scalar move loops keep allocation-free Python views over
-the same data: ``dep_of`` / ``wit_of`` are per-row tuples,
-``weights_list`` / ``delta_flags`` are a float tuple / ``bytes`` twin
-of the flat arrays (iterating small tuples and indexing ``bytes`` is
-the fastest loop CPython offers, and numpy scalar extraction would
-slow every per-move read).
+buffers — directly shareable across processes: :meth:`export_shm` /
+:meth:`attach_shm` move them onto named ``multiprocessing.shared_memory``
+segments so workers *attach* to a compiled instance instead of
+re-compiling it (see :mod:`repro.core.shm`).  The scalar move loops
+keep allocation-free Python views over the same data: ``dep_of`` /
+``wit_of`` are per-row tuples, ``weights_list`` / ``delta_flags`` are a
+float tuple / ``bytes`` twin of the flat arrays (iterating small tuples
+and indexing ``bytes`` is the fastest loop CPython offers, and numpy
+scalar extraction would slow every per-move read).  The numpy slab is
+the single source of truth: every scalar twin is a *lazy* view
+materialized on first use (and shared by reference across ΔV-sibling
+arenas), so the witness structure is stored once, not twice, and an
+attached arena pays nothing for loops it never runs.
 
 The object-level API (:class:`~repro.core.problem.DeletionPropagationProblem`,
 :class:`~repro.core.solution.Propagation`) remains the public surface;
@@ -92,6 +98,37 @@ def _readonly(array: np.ndarray) -> np.ndarray:
     return array
 
 
+class _StructCache:
+    """Lazily materialized scalar twins of the ΔV-independent CSR slabs.
+
+    Shared **by reference** across every ΔV-sibling arena of one
+    instance (:meth:`CompiledProblem.rebound`), so whichever binding
+    first runs a scalar loop materializes the tuple views for all of
+    them — and bindings that only ever run the vectorized kernels never
+    materialize them at all.
+    """
+
+    __slots__ = ("wit_of", "dep_of", "dep_set_of", "weights_list")
+
+    def __init__(self) -> None:
+        self.wit_of: tuple[tuple[int, ...], ...] | None = None
+        self.dep_of: tuple[tuple[int, ...], ...] | None = None
+        self.dep_set_of: tuple[frozenset[int], ...] | None = None
+        self.weights_list: tuple[float, ...] | None = None
+
+
+def _csr_rows(
+    offsets: np.ndarray, indices: np.ndarray
+) -> tuple[tuple[int, ...], ...]:
+    """Per-row tuple views of a CSR slab (plain Python ints, so the
+    scalar hot loops hash/compare without numpy boxing)."""
+    flat = indices.tolist()
+    bounds = offsets.tolist()
+    return tuple(
+        tuple(flat[start:stop]) for start, stop in zip(bounds, bounds[1:])
+    )
+
+
 class CompiledProblem:
     """Integer-ID witness arena for one key-preserving problem.
 
@@ -110,24 +147,22 @@ class CompiledProblem:
         "dep_indices",
         "wit_offsets",
         "wit_indices",
-        "dep_of",
-        "dep_set_of",
-        "wit_of",
         "weights",
-        "weights_list",
         "is_delta",
         "delta_flags",
         "delta_mask",
-        "delta_ids",
         "delta_ids_np",
-        "preserved_ids",
-        "candidate_ids",
         "candidate_ids_np",
         "num_delta",
         "balanced",
         "delta_penalty",
+        "_struct",
+        "_delta_ids",
+        "_preserved_ids",
+        "_candidate_ids",
         "_cand_slab",
         "_exact_costs",
+        "_shm",
     )
 
     def __init__(self, problem: DeletionPropagationProblem):
@@ -172,22 +207,12 @@ class CompiledProblem:
                 dep_lists[fid].append(vid)
 
         self.weights = _readonly(np.asarray(weight_values, dtype=np.float64))
-        self.weights_list: tuple[float, ...] = tuple(weight_values)
         self.wit_offsets, self.wit_indices = _csr(witness_ids)
         self.dep_offsets, self.dep_indices = _csr(dep_lists)
-        # Per-row tuple views over the CSR indices for allocation-free
-        # iteration in the scalar hot loops.
-        self.wit_of: tuple[tuple[int, ...], ...] = tuple(
-            tuple(row) for row in witness_ids
-        )
-        self.dep_of: tuple[tuple[int, ...], ...] = tuple(
-            tuple(row) for row in dep_lists
-        )
-        # Frozen membership views for the swap hypotheticals (``vid in
-        # dep(replacement)``) — built once so no per-trial set churn.
-        self.dep_set_of: tuple[frozenset[int], ...] = tuple(
-            frozenset(row) for row in dep_lists
-        )
+        # Scalar tuple views over the CSR slabs are *lazy* (see
+        # _StructCache) — the flat arrays are the only eager store.
+        self._struct = _StructCache()
+        self._shm = None
 
         self._set_delta_flags(bytes(delta_flags))
         self._bind_delta()
@@ -224,35 +249,112 @@ class CompiledProblem:
             self._exact_costs = cached
         return cached
 
-    def _set_delta_flags(self, flags: bytes) -> None:
-        self.delta_flags = flags
-        self.is_delta = np.frombuffer(flags, dtype=np.uint8)
+    def _set_delta_flags(self, flags: "bytes | np.ndarray") -> None:
+        """Install the per-view-tuple ΔV flags from either a ``bytes``
+        string (local compile / rebind) or a ``np.uint8`` array (a
+        shared-memory view on attach) — the other representation is
+        derived, so both stores stay in lock-step."""
+        if isinstance(flags, np.ndarray):
+            self.is_delta = flags
+            self.delta_flags = flags.tobytes()
+        else:
+            self.delta_flags = flags
+            self.is_delta = np.frombuffer(flags, dtype=np.uint8)
         self.delta_mask = _readonly(self.is_delta.view(bool))
 
     def _bind_delta(self) -> None:
-        """Derive the ΔV slices (``delta_ids`` / ``preserved_ids`` /
-        ``candidate_ids`` / ``num_delta``) from ``is_delta``.  Shared by
-        the full compile and the O(‖ΔV‖) rebind."""
-        num_vts = len(self.view_tuples)
-        is_delta = self.delta_flags
-        self.delta_ids: tuple[int, ...] = tuple(
-            vid for vid in range(num_vts) if is_delta[vid]
-        )
-        self.preserved_ids: tuple[int, ...] = tuple(
-            vid for vid in range(num_vts) if not is_delta[vid]
-        )
-        self.num_delta = len(self.delta_ids)
-        candidate: set[int] = set()
-        for vid in self.delta_ids:
-            candidate.update(self.wit_of[vid])
-        self.candidate_ids: tuple[int, ...] = tuple(sorted(candidate))
-        self.delta_ids_np = _readonly(
-            np.asarray(self.delta_ids, dtype=np.int64)
-        )
+        """Derive the ΔV slices (``delta_ids_np`` / ``candidate_ids_np``
+        / ``num_delta``) from ``is_delta`` as batch numpy operations.
+        Shared by the full compile, the O(‖ΔV‖) rebind, and the
+        shared-memory attach; the tuple twins reset to lazy."""
+        mask = self.delta_mask
+        self.delta_ids_np = _readonly(np.flatnonzero(mask))
+        self.num_delta = int(self.delta_ids_np.size)
+        witness_lengths = np.diff(self.wit_offsets)
+        slot_is_delta = np.repeat(mask, witness_lengths)
         self.candidate_ids_np = _readonly(
-            np.asarray(self.candidate_ids, dtype=np.int64)
+            np.unique(self.wit_indices[slot_is_delta]).astype(np.int64)
         )
+        self._delta_ids: tuple[int, ...] | None = None
+        self._preserved_ids: tuple[int, ...] | None = None
+        self._candidate_ids: tuple[int, ...] | None = None
         self._cand_slab: CandidateSlab | None = None
+
+    # ------------------------------------------------------------------
+    # Lazy scalar twins (single source of truth: the numpy slabs)
+    # ------------------------------------------------------------------
+
+    @property
+    def wit_of(self) -> tuple[tuple[int, ...], ...]:
+        """Per-row tuple views of the vt → witness CSR (lazy, shared
+        across ΔV siblings)."""
+        cached = self._struct.wit_of
+        if cached is None:
+            cached = self._struct.wit_of = _csr_rows(
+                self.wit_offsets, self.wit_indices
+            )
+        return cached
+
+    @property
+    def dep_of(self) -> tuple[tuple[int, ...], ...]:
+        """Per-row tuple views of the fact → dependents CSR (lazy,
+        shared across ΔV siblings)."""
+        cached = self._struct.dep_of
+        if cached is None:
+            cached = self._struct.dep_of = _csr_rows(
+                self.dep_offsets, self.dep_indices
+            )
+        return cached
+
+    @property
+    def dep_set_of(self) -> tuple[frozenset[int], ...]:
+        """Frozen membership views of the dependent rows for the swap
+        hypotheticals (``vid in dep(replacement)``) — built once so no
+        per-trial set churn."""
+        cached = self._struct.dep_set_of
+        if cached is None:
+            cached = self._struct.dep_set_of = tuple(
+                frozenset(row) for row in self.dep_of
+            )
+        return cached
+
+    @property
+    def weights_list(self) -> tuple[float, ...]:
+        """Float-tuple twin of ``weights`` for the scalar loops."""
+        cached = self._struct.weights_list
+        if cached is None:
+            cached = self._struct.weights_list = tuple(self.weights.tolist())
+        return cached
+
+    @property
+    def delta_ids(self) -> tuple[int, ...]:
+        """ΔV view-tuple IDs, ascending (tuple twin of
+        ``delta_ids_np``)."""
+        cached = self._delta_ids
+        if cached is None:
+            cached = self._delta_ids = tuple(self.delta_ids_np.tolist())
+        return cached
+
+    @property
+    def preserved_ids(self) -> tuple[int, ...]:
+        """Non-ΔV view-tuple IDs, ascending."""
+        cached = self._preserved_ids
+        if cached is None:
+            cached = self._preserved_ids = tuple(
+                np.flatnonzero(~self.delta_mask).tolist()
+            )
+        return cached
+
+    @property
+    def candidate_ids(self) -> tuple[int, ...]:
+        """Facts occurring in some ΔV witness, ascending (tuple twin of
+        ``candidate_ids_np``)."""
+        cached = self._candidate_ids
+        if cached is None:
+            cached = self._candidate_ids = tuple(
+                self.candidate_ids_np.tolist()
+            )
+        return cached
 
     def candidate_slab(self) -> CandidateSlab:
         """The (lazily built, per-binding cached) flat batch layout of
@@ -309,11 +411,11 @@ class CompiledProblem:
         clone.dep_indices = self.dep_indices
         clone.wit_offsets = self.wit_offsets
         clone.wit_indices = self.wit_indices
-        clone.dep_of = self.dep_of
-        clone.dep_set_of = self.dep_set_of
-        clone.wit_of = self.wit_of
         clone.weights = self.weights
-        clone.weights_list = self.weights_list
+        # The lazy scalar-twin cache is shared *by reference*: whichever
+        # sibling materializes a tuple view first shares it with all.
+        clone._struct = self._struct
+        clone._shm = self._shm
         # ΔV slices: rebuilt from the new deletion.
         flags = bytearray(len(self.view_tuples))
         vt_ids = self.vt_ids
@@ -329,6 +431,36 @@ class CompiledProblem:
             else None
         )
         return clone
+
+    # ------------------------------------------------------------------
+    # Shared-memory export / attach (see :mod:`repro.core.shm`)
+    # ------------------------------------------------------------------
+
+    def export_shm(self) -> dict:
+        """Publish this arena's flat slabs into one named
+        ``multiprocessing.shared_memory`` segment and return the JSON
+        manifest other processes pass to :meth:`attach_shm`.
+
+        Idempotent per arena: repeated calls return the same manifest /
+        segment.  The calling process owns the segment; it is closed and
+        unlinked when the arena (and every ΔV sibling sharing the
+        handle) is garbage collected, or eagerly via
+        :func:`repro.core.shm.release_arena`.
+        """
+        from repro.core.shm import export_arena
+
+        return export_arena(self)
+
+    @classmethod
+    def attach_shm(cls, manifest: dict) -> "CompiledProblem":
+        """Attach to an arena exported by :meth:`export_shm` in another
+        process — bitwise-identical slabs, zero compile work.  The
+        returned arena holds a read-only attachment; the exporting
+        process retains ownership of the segment's lifetime.
+        """
+        from repro.core.shm import attach_arena
+
+        return attach_arena(manifest)
 
     # ------------------------------------------------------------------
     # Shared-compile cache

@@ -8,11 +8,27 @@ one shared instance through worker processes.
 
 Processes, not threads — the solvers are pure Python and hold the GIL,
 so ``ProcessPoolExecutor`` is the only way the strategies actually
-overlap.  The problem travels to the workers once as its JSON document
-(:func:`repro.io.serialize.problem_to_dict`), is reconstructed and
-compiled worker-side on first use, and is cached in the worker process
-for the rest of the pool's lifetime — the classic compile-once
-solve-many layout, one compile per worker instead of one per task.
+overlap.  The problem reaches the workers through two channels:
+
+* **Shared memory** (the fast path): the parent exports its compiled
+  arena once (:meth:`repro.core.session.SolveSession.export_shm`) and
+  ships only the manifest — a small dict naming the segment — through
+  the pool initializer.  Workers attach the slabs in place
+  (:func:`repro.core.shm.attach_session`), skipping query evaluation,
+  arena compilation, and the pivot search entirely.
+* **The JSON document** (the fallback): when the problem has no arena
+  (non-key-preserving), the platform lacks POSIX shared memory, or the
+  segment vanished before the worker attached, the worker reconstructs
+  from :func:`repro.io.serialize.problem_to_dict` output and compiles
+  locally.  Both channels produce bitwise-identical arenas, so this is
+  a latency knob, never a semantics knob.
+
+Either way the problem is cached in the worker process for the rest of
+the pool's lifetime — the classic compile-once solve-many layout, one
+attach (or compile) per worker instead of one per task.  The document
+itself is cached on the parent's session, so repeated batches against
+one instance serialize it once, and serial in-process runs skip the
+doc round-trip entirely.
 Workers return plain ``(relation, values)`` pairs; the parent rebuilds
 :class:`~repro.core.solution.Propagation` objects against its own
 problem, so the public surface stays object-level.
@@ -165,12 +181,16 @@ class DeltaOutcome:
 # ----------------------------------------------------------------------
 
 _WORKER_DOC: Mapping[str, Any] | None = None
+_WORKER_MANIFEST: Mapping[str, Any] | None = None
 _WORKER_PROBLEM: DeletionPropagationProblem | None = None
 
 
-def _init_worker(doc: Mapping[str, Any]) -> None:
-    global _WORKER_DOC, _WORKER_PROBLEM
+def _init_worker(
+    doc: Mapping[str, Any], manifest: Mapping[str, Any] | None = None
+) -> None:
+    global _WORKER_DOC, _WORKER_MANIFEST, _WORKER_PROBLEM
     _WORKER_DOC = doc
+    _WORKER_MANIFEST = manifest
     _WORKER_PROBLEM = None
 
 
@@ -188,9 +208,21 @@ def _prime_session(problem: DeletionPropagationProblem):
 
 
 def _worker_problem() -> DeletionPropagationProblem:
-    """Reconstruct (once), prime, and cache the problem in this worker."""
-    global _WORKER_PROBLEM
+    """Attach (once) to the parent's shared-memory export — or, when no
+    manifest was shipped or its segment is gone, reconstruct from the
+    JSON document — then prime and cache the problem in this worker."""
+    global _WORKER_MANIFEST, _WORKER_PROBLEM
     if _WORKER_PROBLEM is None:
+        if _WORKER_MANIFEST is not None:
+            from repro.core.shm import ShmError, attach_session
+
+            try:
+                _WORKER_PROBLEM = attach_session(_WORKER_MANIFEST).problem
+                return _WORKER_PROBLEM
+            except ShmError:
+                # Segment unlinked between export and attach (parent
+                # session closed early): compile from the doc instead.
+                _WORKER_MANIFEST = None
         from repro.io.serialize import problem_from_dict
 
         problem = problem_from_dict(_WORKER_DOC)
@@ -363,7 +395,10 @@ def _crash_outcome(task: _Task, cause: str) -> RawOutcome:
 
 
 def _run_quarantined(
-    doc: Mapping[str, Any], task: _Task, task_timeout: float | None
+    doc: Mapping[str, Any],
+    task: _Task,
+    task_timeout: float | None,
+    manifest: Mapping[str, Any] | None = None,
 ) -> RawOutcome:
     """Last dispatch for a crash-lost task, on an isolated
     single-worker pool.
@@ -381,7 +416,7 @@ def _run_quarantined(
     task.record("quarantine", "dispatch budget exhausted")
     try:
         pool = ProcessPoolExecutor(
-            max_workers=1, initializer=_init_worker, initargs=(doc,)
+            max_workers=1, initializer=_init_worker, initargs=(doc, manifest)
         )
     except (OSError, PermissionError):
         task.dispatches -= 1
@@ -404,6 +439,7 @@ def _run_supervised(
     tasks: Sequence[_Task],
     max_workers: int,
     task_timeout: float | None,
+    manifest: Mapping[str, Any] | None = None,
 ) -> list[RawOutcome]:
     """Run ``tasks`` on a supervised process pool; one outcome per task.
 
@@ -424,7 +460,9 @@ def _run_supervised(
         elif task.crashed:
             # Re-running a crash suspect in the parent process could
             # kill the parent; quarantine it on a throwaway pool.
-            results[slot] = _run_quarantined(doc, task, task_timeout)
+            results[slot] = _run_quarantined(
+                doc, task, task_timeout, manifest=manifest
+            )
         else:
             task.record("serial-fallback", "dispatch budget exhausted")
             results[slot] = task.merged(task.serial())
@@ -445,7 +483,7 @@ def _run_supervised(
             pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
-                initargs=(doc,),
+                initargs=(doc, manifest),
             )
         except (OSError, PermissionError):
             # No usable process primitives (restricted sandboxes): same
@@ -570,6 +608,23 @@ def _policy_task_timeout(policy: SolvePolicy | None) -> float | None:
     return policy.deadline_seconds + _TIMEOUT_GRACE
 
 
+def _session_manifest(session) -> dict | None:
+    """Best-effort shared-memory export of the session's compiled state.
+
+    Returns the manifest workers attach by, or ``None`` when the fast
+    path is unavailable — no arena (non-key-preserving problem) or no
+    usable POSIX shared memory (restricted sandboxes).  ``None`` simply
+    routes workers through the JSON-document fallback; results are
+    identical either way.
+    """
+    if not session.profile.key_preserving:
+        return None
+    try:
+        return session.export_shm()
+    except Exception:
+        return None
+
+
 # ----------------------------------------------------------------------
 # Parent-side API
 # ----------------------------------------------------------------------
@@ -673,9 +728,9 @@ def run_portfolio(
     if max_workers <= 0 or len(methods) == 1:
         return _run_serial(problem, methods, policy=policy)
 
-    from repro.io.serialize import problem_to_dict
-
-    doc = problem_to_dict(problem)
+    session = _prime_session(problem)
+    doc = session.document
+    manifest = _session_manifest(session)
     tasks = [
         _Task(
             key=method,
@@ -694,6 +749,7 @@ def run_portfolio(
         tasks,
         max_workers=max_workers,
         task_timeout=_policy_task_timeout(policy),
+        manifest=manifest,
     )
 
     by_method = {outcome[0]: outcome for outcome in raw}
@@ -830,18 +886,18 @@ def run_delta_batch(
     # Compile the shared base once up front: serial tasks and the
     # parent-side variant rebuilds below all rebind ΔV against this
     # session's arena instead of recompiling per request.
-    _prime_session(problem)
+    session = _prime_session(problem)
 
     raw: list[RawOutcome]
     if max_workers <= 0 or len(normalized) <= 1:
+        # In-process execution never touches the JSON document.
         raw = [
             _solve_delta_serial(problem, i, req, method, policy)
             for i, req in enumerate(normalized)
         ]
     else:
-        from repro.io.serialize import problem_to_dict
-
-        doc = problem_to_dict(problem)
+        doc = session.document
+        manifest = _session_manifest(session)
         tasks = [
             _Task(
                 key=i,
@@ -860,6 +916,7 @@ def run_delta_batch(
             tasks,
             max_workers=max_workers,
             task_timeout=_policy_task_timeout(policy),
+            manifest=manifest,
         )
 
     outcomes: list[DeltaOutcome] = []

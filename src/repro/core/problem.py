@@ -202,6 +202,45 @@ class DeletionPropagationProblem:
         clone._session_base = SolveSession.of(self)
         return clone
 
+    @classmethod
+    def from_materialized(
+        cls,
+        instance: Instance,
+        queries: Sequence[ConjunctiveQuery],
+        views: ViewSet,
+        deletions: Mapping[str, Iterable[tuple]],
+        weights: Mapping[ViewTuple | tuple, float] | None = None,
+        delta_penalty: float = 1.0,
+    ) -> "DeletionPropagationProblem":
+        """A problem over *pre-materialized* views, skipping query
+        evaluation.
+
+        The shared-memory attach path (:mod:`repro.core.shm`) rebuilds
+        views from shipped witness arrays via
+        :meth:`~repro.relational.views.View.from_witnesses`; this
+        constructor accepts them instead of re-running
+        ``ViewSet.materialize``.  ``delta_penalty`` only applies when
+        ``cls`` is the balanced variant.
+        """
+        if not queries:
+            raise ProblemError("at least one query is required")
+        problem = object.__new__(cls)
+        problem.instance = instance
+        problem.queries = tuple(queries)
+        problem.views = views
+        problem.deletion = Deletion(views, deletions)
+        problem._weights = {}
+        for key, value in (weights or {}).items():
+            vt = key if isinstance(key, ViewTuple) else ViewTuple(key[0], key[1])
+            if value < 0:
+                raise ProblemError(f"negative weight {value} for {vt!r}")
+            problem._weights[vt] = float(value)
+        if issubclass(cls, BalancedDeletionPropagationProblem):
+            if delta_penalty < 0:
+                raise ProblemError(f"negative delta_penalty {delta_penalty}")
+            problem.delta_penalty = float(delta_penalty)
+        return problem
+
     def eliminated_by(self, deleted: Iterable[Fact]) -> set[ViewTuple]:
         """View tuples eliminated by deleting ``deleted``: those whose
         *every* witness meets the deletion (correct for all CQs, since a

@@ -194,6 +194,51 @@ class SolveSession:
         return clone
 
     # ------------------------------------------------------------------
+    # Serialization / shared-memory export
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def document(self) -> dict:
+        """The problem's JSON document
+        (:func:`repro.io.serialize.problem_to_dict`), serialized exactly
+        once per session — the portfolio/batch layers and the shm
+        manifest all read this instead of re-serializing per call."""
+        from repro.io.serialize import problem_to_dict
+
+        return problem_to_dict(self.problem)
+
+    @cached_property
+    def content_hash(self) -> str:
+        """sha256 content address of :attr:`document` — the key an
+        instance registers under in :mod:`repro.serve`."""
+        from repro.core.shm import document_hash
+
+        return document_hash(self.document)
+
+    def export_shm(self) -> dict:
+        """Publish the compiled arena into a named shared-memory segment
+        (profile verdicts and pivot hints riding along) and return the
+        manifest workers pass to :func:`repro.core.shm.attach_session`.
+        Idempotent; this process owns the segment until :meth:`close`."""
+        from repro.core.shm import export_session
+
+        return export_session(self)
+
+    def close(self) -> None:
+        """Release this session's shared-memory segment, if any was
+        exported (owners unlink it, attachers just close).  The session
+        and its arena remain usable afterwards — solves fall back to the
+        local heap arrays only if the arena never moved to shm; an
+        *attached* session must not be used after ``close``."""
+        from repro.core.shm import release_arena
+
+        arena = self.__dict__.get("arena")
+        if arena is None:
+            arena = getattr(self.problem, "_compiled_arena", None)
+        if arena is not None:
+            release_arena(arena)
+
+    # ------------------------------------------------------------------
     # Resilience
     # ------------------------------------------------------------------
 

@@ -247,25 +247,43 @@ class DataDualGraph:
                 return None
         return Segment(view_tuple, facts[0], facts[-1], tuple(facts))
 
-    def find_pivot(self, component: set[Fact]) -> RootedComponent | None:
+    def find_pivot(
+        self, component: set[Fact], hints: Sequence[Fact] = ()
+    ) -> RootedComponent | None:
         """Search every fact of the component as a pivot candidate and
         return the first rooting under which all witnesses are vertical
-        segments (``None`` if no pivot exists)."""
+        segments (``None`` if no pivot exists).
+
+        ``hints`` are candidates tried *first*: a process attaching to
+        an exported instance (:mod:`repro.core.shm`) already knows the
+        pivots the exporter found, turning the O(|component|²) search
+        into one O(|component|) rooting.  A wrong hint merely falls
+        through to the full search, so hints never change the answer —
+        only which valid pivot is returned.
+        """
+        for candidate in hints:
+            if candidate in component:
+                rooted = self.root_at(candidate, component)
+                if rooted is not None:
+                    return rooted
         for candidate in sorted(component):
             rooted = self.root_at(candidate, component)
             if rooted is not None:
                 return rooted
         return None
 
-    def rooted_components(self) -> list[RootedComponent]:
+    def rooted_components(
+        self, pivot_hints: Sequence[Fact] = ()
+    ) -> list[RootedComponent]:
         """Rooted layout of every component; raises
         :class:`StructureError` when some component has no pivot (the
-        instance is outside Algorithm 4's class)."""
+        instance is outside Algorithm 4's class).  ``pivot_hints`` are
+        forwarded to :meth:`find_pivot` (candidates tried first)."""
         if not self.is_forest():
             raise StructureError("data dual graph contains a cycle")
         out: list[RootedComponent] = []
         for component in self.components():
-            rooted = self.find_pivot(component)
+            rooted = self.find_pivot(component, hints=pivot_hints)
             if rooted is None:
                 raise StructureError(
                     "no pivot tuple: some component admits no rooting "

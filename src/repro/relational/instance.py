@@ -56,6 +56,40 @@ class Instance:
                 instance.add(Fact(relation, row))
         return instance
 
+    @classmethod
+    def from_trusted_facts(
+        cls, schema: Schema, facts: Iterable[Fact]
+    ) -> "Instance":
+        """Bulk-load facts already known valid — right arity, no key
+        collisions — skipping the per-fact :meth:`add` checks.
+
+        This is the shared-memory attach path
+        (:mod:`repro.core.shm`): the exporting process validated the
+        facts when it built the instance, so attachers only rebuild the
+        sets and key indexes.  Do **not** feed unvalidated data here; a
+        key collision silently keeps the last fact.
+        """
+        instance = cls.__new__(cls)
+        instance._schema = schema
+        instance._facts = {r.name: set() for r in schema}
+        instance._key_index = {r.name: {} for r in schema}
+        buckets = instance._facts
+        indexes = instance._key_index
+        relation: str | None = None
+        key_positions: tuple[int, ...] = ()
+        for fact in facts:
+            if fact.relation != relation:
+                relation = fact.relation
+                if relation not in buckets:
+                    raise SchemaError(f"unknown relation {relation!r}")
+                key_positions = schema.relation(relation).key.positions
+            values = fact.values
+            buckets[relation].add(fact)
+            indexes[relation][
+                tuple(values[p] for p in key_positions)
+            ] = fact
+        return instance
+
     @property
     def schema(self) -> Schema:
         return self._schema

@@ -68,6 +68,31 @@ class View:
             self._witnesses = witness_map(query, instance)
         self._tuples: frozenset[tuple] = frozenset(self._witnesses)
 
+    @classmethod
+    def from_witnesses(
+        cls,
+        query: ConjunctiveQuery,
+        witnesses: Mapping[tuple, Iterable[frozenset[Fact]]],
+    ) -> "View":
+        """A view from an *already materialized* witness map, skipping
+        query evaluation entirely.
+
+        This is the shared-memory attach path
+        (:mod:`repro.core.shm`): the exporting process evaluated the
+        queries once, shipped the witness structure as flat arrays, and
+        attaching processes rebuild the object surface from it.  The
+        caller is responsible for ``witnesses`` actually being
+        ``Q(D)`` — the differential suites cover that contract.
+        """
+        view = cls.__new__(cls)
+        view.query = query
+        view.name = query.name
+        view._witnesses = {
+            tuple(head): list(wits) for head, wits in witnesses.items()
+        }
+        view._tuples = frozenset(view._witnesses)
+        return view
+
     @property
     def tuples(self) -> frozenset[tuple]:
         """The raw value tuples of the view."""

@@ -1,0 +1,39 @@
+"""Long-lived solve service over the shared-memory arena.
+
+``repro.serve`` is the request front door for the compile-once
+solve-many layout: a stdlib-only asyncio server speaking newline-
+delimited JSON over TCP or a unix socket.  Instances are registered
+once by content hash (:func:`repro.core.shm.document_hash`), compiled
+into a shared :class:`~repro.core.session.SolveSession`, and exported
+to shared memory; every subsequent ΔV request is an O(‖ΔV‖) rebind
+against the resident arena — no parsing, no view materialization, no
+recompilation.
+
+Each request is admitted under the :class:`~repro.core.resilience
+.SolvePolicy` contract (deadline / retries / fallback chain) and
+executed through :func:`repro.core.portfolio.run_delta_batch`, so the
+supervised worker pool — crash quarantine, hang reclamation, serial
+fallback — is the tier below the socket.  See
+:mod:`repro.serve.server` for the batching and admission rules.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_message,
+    policy_from_doc,
+    policy_to_doc,
+)
+from repro.serve.server import ServeStats, SolveServer
+
+__all__ = [
+    "ProtocolError",
+    "ServeClient",
+    "ServeStats",
+    "SolveServer",
+    "decode_line",
+    "encode_message",
+    "policy_from_doc",
+    "policy_to_doc",
+]

@@ -1,0 +1,177 @@
+"""Synchronous client for the solve service.
+
+A thin blocking wrapper over one socket: callers that want concurrency
+open one client per thread (the closed-loop throughput benchmark does
+exactly that).  Addresses take the server's own notation —
+``host:port`` for TCP, ``unix:/path/to.sock`` for unix sockets.
+
+>>> with ServeClient.connect("127.0.0.1:7341") as client:
+...     instance = client.register(problem_doc)
+...     result = client.solve(instance, {"Q1": [["a", "b"]]},
+...                           policy={"deadline_seconds": 0.5})
+...     result["solution"]["deleted_facts"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """An error response from the server (carries its ``code``)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.SolveServer`."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls, address: str, timeout: float | None = 10.0
+    ) -> "ServeClient":
+        """Connect to ``host:port`` or ``unix:<path>``."""
+        if address.startswith("unix:"):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(address[len("unix:"):])
+        else:
+            host, _, port = address.rpartition(":")
+            if not host or not port.isdigit():
+                raise ProtocolError(
+                    f"bad address {address!r}; expected host:port or "
+                    "unix:<path>"
+                )
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+        return cls(sock)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Raw request/response
+    # ------------------------------------------------------------------
+
+    def request(self, message: Mapping[str, Any]) -> dict:
+        """Send one request, block for its response, raise
+        :class:`ServeError` on an error response."""
+        self._next_id += 1
+        payload = dict(message)
+        payload.setdefault("id", self._next_id)
+        self._file.write(encode_message(payload))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ProtocolError("server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                str(error.get("code", "unknown")),
+                str(error.get("message", response)),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def register(self, problem_doc: Mapping[str, Any]) -> str:
+        """Register a problem document; returns its instance id."""
+        return self.request(
+            {"op": "register", "problem": dict(problem_doc)}
+        )["instance"]
+
+    def register_info(self, problem_doc: Mapping[str, Any]) -> dict:
+        """Like :meth:`register` but returns the full response
+        (``cached``, ``shared``, ``profile``)."""
+        return self.request({"op": "register", "problem": dict(problem_doc)})
+
+    def unregister(self, instance: str) -> None:
+        self.request({"op": "unregister", "instance": instance})
+
+    def solve(
+        self,
+        instance: str,
+        deletions: Mapping[str, Sequence[Sequence[object]]],
+        method: str | None = None,
+        policy: Mapping[str, Any] | None = None,
+    ) -> dict:
+        """Solve one ΔV request; returns the response document
+        (``solution``, ``wall_seconds``, ``attempts``)."""
+        message: dict[str, Any] = {
+            "op": "solve",
+            "instance": instance,
+            "deletions": {
+                name: [list(row) for row in rows]
+                for name, rows in deletions.items()
+            },
+        }
+        if method is not None:
+            message["method"] = method
+        if policy is not None:
+            message["policy"] = dict(policy)
+        return self.request(message)
+
+    def solve_batch(
+        self,
+        instance: str,
+        requests: Sequence[Mapping[str, Sequence[Sequence[object]]]],
+        method: str | None = None,
+        policy: Mapping[str, Any] | None = None,
+    ) -> list[dict]:
+        """Solve a batch in one round trip; returns per-request result
+        documents (errors inline, never raising mid-batch)."""
+        message: dict[str, Any] = {
+            "op": "solve_batch",
+            "instance": instance,
+            "requests": [
+                {
+                    name: [list(row) for row in rows]
+                    for name, rows in req.items()
+                }
+                for req in requests
+            ],
+        }
+        if method is not None:
+            message["method"] = method
+        if policy is not None:
+            message["policy"] = dict(policy)
+        return self.request(message)["results"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (used by tests and ``repro client``)."""
+        self.request({"op": "shutdown"})

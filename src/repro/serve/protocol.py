@@ -1,0 +1,127 @@
+"""Wire protocol of the solve service: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, no framing beyond
+``\\n`` — the format survives ``nc``/``socat`` debugging and needs no
+dependency.  Every request is an object with an ``op`` field; every
+response carries ``ok`` plus either the op's payload or an ``error``
+object ``{"code", "message"}``.  A request may carry an ``id`` of any
+JSON type; it is echoed verbatim on the response so clients can
+pipeline requests over one connection and match answers by id.
+
+Operations (see :class:`repro.serve.server.SolveServer` for semantics):
+
+``register``
+    ``{"op": "register", "problem": <problem document>}`` →
+    ``{"ok": true, "instance": <hash>, "cached": bool, "shared": bool,
+    "profile": {...}}``
+``solve``
+    ``{"op": "solve", "instance": <hash>, "deletions": {view: [row..]},
+    "method"?: str, "policy"?: <policy doc>}`` →
+    ``{"ok": true, "solution": {...}, "wall_seconds": float,
+    "attempts": [...]}``
+``solve_batch``
+    Same, with ``"requests": [<deletions>, ...]`` and a ``"results"``
+    array (one entry per request, errors inline).
+``stats`` / ``ping`` / ``unregister`` / ``shutdown``
+    Introspection and lifecycle.
+
+The policy document mirrors
+:meth:`repro.core.resilience.SolvePolicy.as_dict`; absent fields take
+the dataclass defaults, so ``{"deadline_seconds": 0.5}`` is a complete
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "policy_from_doc",
+    "policy_to_doc",
+]
+
+#: Upper bound on one request/response line.  Problem documents ride
+#: inside ``register`` requests, so the bound is sized for instances,
+#: not pings (64 MiB ≈ a few million facts as JSON).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ReproError):
+    """A malformed request or response line."""
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to its wire line (compact JSON + ``\\n``)."""
+    return (
+        json.dumps(message, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a message dict."""
+    try:
+        message = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def error_response(code: str, message: str, request_id: Any = None) -> dict:
+    response: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def policy_to_doc(policy) -> dict | None:
+    """``SolvePolicy`` → wire document (``None`` stays ``None``)."""
+    return None if policy is None else policy.as_dict()
+
+
+def policy_from_doc(doc: Mapping[str, Any] | None):
+    """Wire document → ``SolvePolicy`` (``None``/``{}`` → no policy).
+
+    Unknown fields are rejected rather than ignored — a client that
+    misspells ``deadline_seconds`` should hear about it, not run
+    unbounded.
+    """
+    if not doc:
+        return None
+    from repro.core.resilience import SolvePolicy, parse_fallback
+
+    known = {
+        "deadline_seconds",
+        "retries",
+        "backoff_seconds",
+        "backoff_factor",
+        "backoff_jitter",
+        "fallback",
+    }
+    unknown = set(doc) - known
+    if unknown:
+        raise ProtocolError(
+            f"unknown policy field(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    fields = dict(doc)
+    if "fallback" in fields:
+        fields["fallback"] = parse_fallback(fields["fallback"])
+    try:
+        return SolvePolicy(**fields)
+    except TypeError as exc:  # pragma: no cover - guarded by `known`
+        raise ProtocolError(f"bad policy document: {exc}") from exc

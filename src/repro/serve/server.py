@@ -1,0 +1,577 @@
+"""The asyncio solve server (stdlib-only).
+
+Architecture — three tiers, matching the module goal of *compile once,
+share everywhere, bound every request*:
+
+1. **Front door** (this module): an asyncio JSON-lines listener on TCP
+   or a unix socket.  Connections are cheap; requests carry an optional
+   ``id`` and may be pipelined.
+2. **Resident instances**: ``register`` parses a problem document once,
+   compiles its :class:`~repro.core.session.SolveSession` (structure
+   profile + witness arena), exports the arena to shared memory, and
+   files it under its content hash.  Re-registering an identical
+   document is a cache hit — no parse, no compile.
+3. **Execution**: ΔV requests against one instance are *micro-batched*
+   by a per-instance group-commit loop: while one batch executes,
+   arriving requests accumulate; when it finishes, the accumulated
+   queue runs as the next batch through
+   :func:`repro.core.portfolio.run_delta_batch`.  Small batches run
+   serially in-process (a ΔV rebind against the resident arena is
+   micro-seconds-to-milliseconds); batches of at least
+   ``pool_threshold`` requests run on the supervised worker pool,
+   whose workers attach the exported arena by manifest instead of
+   re-priming.  Either way every request is admitted under its own
+   :class:`~repro.core.resilience.SolvePolicy` contract.
+
+Admission control is explicit: a per-instance queue deeper than
+``max_pending`` rejects new solves with an ``overloaded`` error rather
+than absorbing unbounded work — the client owns the retry decision
+(and can attach a policy deadline so queued work cannot hang it).
+
+Shutdown (the ``shutdown`` op, :meth:`SolveServer.close`, or context
+exit) drains nothing: pending requests get ``shutting-down`` errors,
+sessions are closed, and every exported shared-memory segment is
+released — a clean exit leaves ``/dev/shm`` exactly as it found it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    policy_from_doc,
+)
+
+__all__ = ["ServeStats", "SolveServer"]
+
+
+@dataclass
+class ServeStats:
+    """Lifetime counters, exposed by the ``stats`` op."""
+
+    registered: int = 0
+    cache_hits: int = 0
+    solves: int = 0
+    solve_errors: int = 0
+    batches: int = 0
+    pooled_batches: int = 0
+    rejected: int = 0
+    protocol_errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "registered": self.registered,
+            "cache_hits": self.cache_hits,
+            "solves": self.solves,
+            "solve_errors": self.solve_errors,
+            "batches": self.batches,
+            "pooled_batches": self.pooled_batches,
+            "rejected": self.rejected,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+@dataclass
+class _Registered:
+    """One resident instance."""
+
+    instance_id: str
+    problem: Any
+    session: Any
+    shared: bool  #: arena exported to shared memory (workers can attach)
+    profile: dict
+    solves: int = 0
+    #: serializes thread-side execution: sessions are not thread-safe.
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+
+class _PendingSolve:
+    __slots__ = ("deletions", "method", "policy", "future")
+
+    def __init__(self, deletions, method, policy, future):
+        self.deletions = deletions
+        self.method = method
+        self.policy = policy
+        self.future = future
+
+
+class SolveServer:
+    """See the module docstring for the architecture.
+
+    Parameters
+    ----------
+    host / port:
+        TCP endpoint (``port=0`` picks a free port; see
+        :attr:`address` after :meth:`start`).  Ignored when
+        ``unix_path`` is given.
+    unix_path:
+        Serve on a unix domain socket instead of TCP.
+    max_workers:
+        Worker processes for pooled batches (``None``: CPU count,
+        ``0``: never pool — everything runs serially in-process).
+    pool_threshold:
+        Minimum batch size that is worth the pool's dispatch overhead;
+        smaller batches run serially against the resident session.
+    max_pending:
+        Per-instance queue depth before new solves are rejected.
+    default_method:
+        Solver used when a request names none.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: str | None = None,
+        max_workers: int | None = None,
+        pool_threshold: int = 4,
+        max_pending: int = 1024,
+        default_method: str = "auto",
+    ):
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self.max_workers = max_workers
+        self.pool_threshold = max(2, pool_threshold)
+        self.max_pending = max_pending
+        self.default_method = default_method
+        self.stats = ServeStats()
+        self._registry: dict[str, _Registered] = {}
+        self._doc_alias: dict[str, str] = {}  #: raw-doc hash → instance id
+        self._batchers: dict[str, "_Batcher"] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closing = False
+        self._done = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The endpoint clients connect to (``host:port`` or
+        ``unix:<path>``), available after :meth:`start`."""
+        if self._unix_path is not None:
+            return f"unix:{self._unix_path}"
+        return f"{self._host}:{self._port}"
+
+    async def start(self) -> "SolveServer":
+        if self._unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection,
+                path=self._unix_path,
+                limit=MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection,
+                host=self._host,
+                port=self._port,
+                limit=MAX_LINE_BYTES,
+            )
+            self._port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_closed(self) -> None:
+        """Block until :meth:`close` (or the ``shutdown`` op)."""
+        await self._done.wait()
+
+    async def close(self) -> None:
+        """Stop listening, fail pending work, release every session and
+        its shared-memory segment."""
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self._connections.clear()
+        for batcher in self._batchers.values():
+            await batcher.stop()
+        self._batchers.clear()
+        for entry in self._registry.values():
+            entry.session.close()
+        self._registry.clear()
+        self._doc_alias.clear()
+        self._done.set()
+
+    async def __aenter__(self) -> "SolveServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Registration (sync core so the CLI can preload before serving)
+    # ------------------------------------------------------------------
+
+    def register_document(self, doc: Mapping[str, Any]) -> tuple[str, bool]:
+        """Compile and file ``doc``; returns ``(instance_id, cached)``.
+
+        The cache has two levels: the hash of the incoming document
+        (skips even the parse for byte-identical re-registrations) and
+        the content hash of the *canonical* document (catches
+        re-registrations that differ only in JSON formatting).
+        """
+        from repro.core.shm import document_hash
+        from repro.io.serialize import problem_from_dict
+
+        raw_hash = document_hash(doc)
+        known = self._doc_alias.get(raw_hash)
+        if known is not None:
+            self.stats.cache_hits += 1
+            return known, True
+
+        problem = problem_from_dict(doc)
+        from repro.core.portfolio import _prime_session, _session_manifest
+
+        session = _prime_session(problem)
+        instance_id = session.content_hash
+        if instance_id in self._registry:
+            session.close()
+            self._doc_alias[raw_hash] = instance_id
+            self.stats.cache_hits += 1
+            return instance_id, True
+
+        manifest = _session_manifest(session)
+        self._registry[instance_id] = _Registered(
+            instance_id=instance_id,
+            problem=problem,
+            session=session,
+            shared=manifest is not None,
+            profile=session.profile.as_dict(),
+        )
+        self._doc_alias[raw_hash] = instance_id
+        self.stats.registered += 1
+        return instance_id, False
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while not self._closing:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._dispatch(line)
+                try:
+                    writer.write(encode_message(response))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        except asyncio.CancelledError:
+            pass  # server shutdown cancels live connections
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        request_id: Any = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ProtocolError(
+                    f"unknown op {op!r}; known: {sorted(self._OPS)}"
+                )
+            response = await handler(self, message)
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            return error_response("bad-request", str(exc), request_id)
+        except Exception as exc:  # internal error: report, keep serving
+            return error_response(
+                "internal", f"{type(exc).__name__}: {exc}", request_id
+            )
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    async def _op_ping(self, message: dict) -> dict:
+        return {"ok": True, "pong": True}
+
+    async def _op_stats(self, message: dict) -> dict:
+        return {
+            "ok": True,
+            "stats": self.stats.as_dict(),
+            "instances": [
+                {
+                    "instance": entry.instance_id,
+                    "shared": entry.shared,
+                    "solves": entry.solves,
+                }
+                for entry in self._registry.values()
+            ],
+        }
+
+    async def _op_register(self, message: dict) -> dict:
+        doc = message.get("problem")
+        if not isinstance(doc, dict):
+            raise ProtocolError("register needs a 'problem' document")
+        instance_id, cached = await asyncio.to_thread(
+            self.register_document, doc
+        )
+        entry = self._registry[instance_id]
+        return {
+            "ok": True,
+            "instance": instance_id,
+            "cached": cached,
+            "shared": entry.shared,
+            "profile": entry.profile,
+        }
+
+    async def _op_unregister(self, message: dict) -> dict:
+        entry = self._entry(message)
+        batcher = self._batchers.pop(entry.instance_id, None)
+        if batcher is not None:
+            await batcher.stop()
+        del self._registry[entry.instance_id]
+        self._doc_alias = {
+            raw: iid
+            for raw, iid in self._doc_alias.items()
+            if iid != entry.instance_id
+        }
+        entry.session.close()
+        return {"ok": True, "instance": entry.instance_id}
+
+    async def _op_solve(self, message: dict) -> dict:
+        entry = self._entry(message)
+        deletions = message.get("deletions")
+        if not isinstance(deletions, dict):
+            raise ProtocolError("solve needs a 'deletions' mapping")
+        method = message.get("method", self.default_method)
+        policy = policy_from_doc(message.get("policy"))
+        batcher = self._batcher(entry)
+        result = await batcher.submit(deletions, method, policy)
+        entry.solves += 1
+        self.stats.solves += 1
+        if result.get("error"):
+            self.stats.solve_errors += 1
+            return {"ok": False, "error": {"code": "solve-failed",
+                                           "message": result["error"]},
+                    "wall_seconds": result["wall_seconds"],
+                    "attempts": result["attempts"]}
+        return {"ok": True, **result}
+
+    async def _op_solve_batch(self, message: dict) -> dict:
+        entry = self._entry(message)
+        requests = message.get("requests")
+        if not isinstance(requests, list) or not all(
+            isinstance(req, dict) for req in requests
+        ):
+            raise ProtocolError(
+                "solve_batch needs a 'requests' list of deletion mappings"
+            )
+        method = message.get("method", self.default_method)
+        policy = policy_from_doc(message.get("policy"))
+        async with entry.lock:
+            results = await asyncio.to_thread(
+                self._execute, entry, requests, method, policy
+            )
+        entry.solves += len(requests)
+        self.stats.solves += len(requests)
+        self.stats.solve_errors += sum(1 for r in results if r.get("error"))
+        return {"ok": True, "results": results}
+
+    async def _op_shutdown(self, message: dict) -> dict:
+        # Respond first, then tear down; close() is idempotent.
+        asyncio.get_running_loop().call_soon(
+            lambda: asyncio.ensure_future(self.close())
+        )
+        return {"ok": True, "stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "stats": _op_stats,
+        "register": _op_register,
+        "unregister": _op_unregister,
+        "solve": _op_solve,
+        "solve_batch": _op_solve_batch,
+        "shutdown": _op_shutdown,
+    }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _entry(self, message: dict) -> _Registered:
+        instance_id = message.get("instance")
+        entry = self._registry.get(instance_id)
+        if entry is None:
+            raise ProtocolError(
+                f"unknown instance {instance_id!r}; register it first"
+            )
+        return entry
+
+    def _batcher(self, entry: _Registered) -> "_Batcher":
+        batcher = self._batchers.get(entry.instance_id)
+        if batcher is None:
+            batcher = _Batcher(self, entry)
+            self._batchers[entry.instance_id] = batcher
+        return batcher
+
+    def _execute(
+        self,
+        entry: _Registered,
+        requests: list[Mapping[str, Any]],
+        method: str,
+        policy,
+    ) -> list[dict]:
+        """Thread-side: run one batch and render outcome documents.
+
+        Runs under ``entry.lock`` — one batch per instance at a time;
+        parallelism comes from the pool underneath, not from racing
+        threads over a shared session.
+        """
+        from repro.core.portfolio import run_delta_batch
+        from repro.io.serialize import solution_to_dict
+
+        pooled = len(requests) >= self.pool_threshold
+        max_workers = self.max_workers if pooled else 0
+        self.stats.batches += 1
+        if pooled and (max_workers is None or max_workers > 0):
+            self.stats.pooled_batches += 1
+        outcomes = run_delta_batch(
+            entry.problem,
+            requests,
+            method=method,
+            max_workers=max_workers,
+            policy=policy,
+        )
+        results = []
+        for outcome in outcomes:
+            doc: dict[str, Any] = {
+                "wall_seconds": outcome.wall_seconds,
+                "attempts": [
+                    record.as_dict() for record in outcome.attempts
+                ],
+            }
+            if outcome.ok:
+                doc["solution"] = solution_to_dict(outcome.propagation)
+            else:
+                doc["error"] = outcome.error
+            results.append(doc)
+        return results
+
+
+class _Batcher:
+    """Per-instance group-commit loop (see the module docstring)."""
+
+    def __init__(self, server: SolveServer, entry: _Registered):
+        self._server = server
+        self._entry = entry
+        self._pending: list[_PendingSolve] = []
+        self._wakeup = asyncio.Event()
+        self._stopped = False
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def submit(self, deletions, method, policy) -> dict:
+        if self._stopped:
+            raise ProtocolError("server is shutting down")
+        if len(self._pending) >= self._server.max_pending:
+            self._server.stats.rejected += 1
+            raise ProtocolError(
+                f"instance queue full ({self._server.max_pending} pending); "
+                "retry later or raise --max-pending"
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(_PendingSolve(deletions, method, policy, future))
+        self._wakeup.set()
+        return await future
+
+    async def stop(self) -> None:
+        self._stopped = True
+        self._wakeup.set()
+        try:
+            await self._task
+        except asyncio.CancelledError:  # pragma: no cover
+            pass
+        for item in self._pending:
+            if not item.future.done():
+                item.future.set_exception(
+                    ProtocolError("server is shutting down")
+                )
+        self._pending.clear()
+
+    async def _run(self) -> None:
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if self._stopped:
+                return
+            batch, self._pending = self._pending, []
+            if not batch:
+                continue
+            # Group by execution contract: run_delta_batch applies one
+            # (method, policy) pair per call.
+            groups: dict[tuple, list[_PendingSolve]] = {}
+            for item in batch:
+                key = (item.method, None) if item.policy is None else (
+                    item.method,
+                    tuple(
+                        (name, tuple(value) if isinstance(value, list)
+                         else value)
+                        for name, value in sorted(
+                            item.policy.as_dict().items()
+                        )
+                    ),
+                )
+                groups.setdefault(key, []).append(item)
+            for items in groups.values():
+                try:
+                    async with self._entry.lock:
+                        results = await asyncio.to_thread(
+                            self._server._execute,
+                            self._entry,
+                            [item.deletions for item in items],
+                            items[0].method,
+                            items[0].policy,
+                        )
+                except Exception as exc:
+                    for item in items:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+                    continue
+                for item, result in zip(items, results):
+                    if not item.future.done():
+                        item.future.set_result(result)

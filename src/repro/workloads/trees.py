@@ -65,6 +65,21 @@ def _sample_deletions(
     return deletions
 
 
+def _nonempty_draw(build, attempts: int = 32):
+    """Redraw degenerate instances whose views are all empty (e.g. a
+    star draw where no leaf pair shares a center).  ``build()`` pulls
+    from an rng whose state advances across attempts, so seeds that
+    succeed first try are byte-identical to an unretried call and
+    unlucky seeds stay deterministic."""
+    error: ProblemError | None = None
+    for _ in range(attempts):
+        try:
+            return build()
+        except ProblemError as exc:
+            error = exc
+    raise error if error is not None else ProblemError("empty draw")
+
+
 def _random_weights(
     rng: random.Random, problem: DeletionPropagationProblem
 ) -> dict:
@@ -201,15 +216,21 @@ def random_star_problem(
 ) -> DeletionPropagationProblem:
     """Star-join instance (see module docstring)."""
     schema = _star_schema(num_leaves)
-    instance = _star_instance(
-        rng, schema, num_leaves, center_facts, leaf_facts
-    )
-    queries: list[ConjunctiveQuery] = []
-    for q in range(num_queries):
-        k = rng.randint(1, min(max_leaves_per_query, num_leaves))
-        leaves = sorted(rng.sample(range(num_leaves), k))
-        queries.append(_star_query(f"Q{q}", leaves, schema))
-    return _finalize(rng, instance, queries, delta_fraction, weighted, balanced)
+
+    def build() -> DeletionPropagationProblem:
+        instance = _star_instance(
+            rng, schema, num_leaves, center_facts, leaf_facts
+        )
+        queries: list[ConjunctiveQuery] = []
+        for q in range(num_queries):
+            k = rng.randint(1, min(max_leaves_per_query, num_leaves))
+            leaves = sorted(rng.sample(range(num_leaves), k))
+            queries.append(_star_query(f"Q{q}", leaves, schema))
+        return _finalize(
+            rng, instance, queries, delta_fraction, weighted, balanced
+        )
+
+    return _nonempty_draw(build)
 
 
 # ----------------------------------------------------------------------
@@ -320,7 +341,6 @@ def random_triangle_problem(
     other directly on the reference — dual hypergraph edges
     ``{L0,C}, {L1,C}, {L0,L1}`` form Fig. 3's non-hypertree triangle."""
     schema = _star_schema(2)
-    instance = _star_instance(rng, schema, 2, center_facts, leaf_facts)
     q0 = _star_query("Q0", [0], schema)
     q1 = _star_query("Q1", [1], schema)
     y0, y1, yc = Variable("y0"), Variable("y1"), Variable("yc")
@@ -330,6 +350,11 @@ def random_triangle_problem(
         [Atom("L0", (y0, yc)), Atom("L1", (y1, yc))],
         schema,
     )
-    return _finalize(
-        rng, instance, [q0, q1, q2], delta_fraction, weighted, balanced
-    )
+
+    def build() -> DeletionPropagationProblem:
+        instance = _star_instance(rng, schema, 2, center_facts, leaf_facts)
+        return _finalize(
+            rng, instance, [q0, q1, q2], delta_fraction, weighted, balanced
+        )
+
+    return _nonempty_draw(build)

@@ -1,0 +1,234 @@
+"""The solve service: protocol, registration, solving, admission, and
+shutdown hygiene (:mod:`repro.serve`)."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+
+import pytest
+
+from repro.core.registry import solve
+from repro.core.shm import active_segments
+from repro.fuzz.generator import make_case
+from repro.io.serialize import problem_to_dict
+from repro.serve import ServeClient, SolveServer
+from repro.serve.client import ServeError
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_line,
+    encode_message,
+    policy_from_doc,
+)
+
+
+# ----------------------------------------------------------------------
+# Protocol unit tests (no sockets)
+# ----------------------------------------------------------------------
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "solve", "id": 7, "deletions": {"Q1": [["a", 1]]}}
+    assert decode_line(encode_message(message)) == message
+
+
+def test_decode_rejects_non_objects():
+    with pytest.raises(ProtocolError):
+        decode_line(b"[1, 2]\n")
+    with pytest.raises(ProtocolError):
+        decode_line(b"not json\n")
+
+
+def test_policy_from_doc():
+    assert policy_from_doc(None) is None
+    assert policy_from_doc({}) is None
+    policy = policy_from_doc(
+        {"deadline_seconds": 0.5, "retries": 2, "fallback": "claim1"}
+    )
+    assert policy.deadline_seconds == 0.5
+    assert policy.retries == 2
+    assert policy.fallback == ("claim1",)
+    with pytest.raises(ProtocolError):
+        policy_from_doc({"deadline_secnods": 1.0})  # typo must not pass
+
+
+# ----------------------------------------------------------------------
+# Server round trips
+# ----------------------------------------------------------------------
+
+
+def _serve(tmp_path, **kwargs):
+    """Run a server on a unix socket in a background thread; returns
+    ``(address, thread)`` once it is accepting connections."""
+    socket_path = str(tmp_path / "serve.sock")
+    ready = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            server = SolveServer(unix_path=socket_path, **kwargs)
+            await server.start()
+            ready.set()
+            await server.serve_until_closed()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(30), "server did not come up"
+    return f"unix:{socket_path}", thread
+
+
+def _case_problem(seed: int = 6):
+    return make_case("chain", random.Random(seed)).problem
+
+
+def test_register_solve_matches_local(tmp_path):
+    problem = _case_problem()
+    doc = problem_to_dict(problem)
+    local = solve(problem, method="auto")
+    address, thread = _serve(tmp_path)
+    try:
+        with ServeClient.connect(address) as client:
+            assert client.ping()
+            info = client.register_info(doc)
+            instance = info["instance"]
+            assert info["cached"] is False
+            assert isinstance(info["profile"], dict)
+
+            # Identical doc re-registration is a cache hit.
+            assert client.register_info(doc)["cached"] is True
+
+            result = client.solve(instance, doc["deletions"])
+            served = {
+                (entry["relation"], tuple(entry["values"]))
+                for entry in result["solution"]["deleted_facts"]
+            }
+            expected = {
+                (fact.relation, fact.values)
+                for fact in local.deleted_facts
+            }
+            assert served == expected
+            assert result["solution"]["feasible"] == local.is_feasible()
+    finally:
+        with ServeClient.connect(address) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+
+
+def test_solve_batch_and_policy_admission(tmp_path):
+    problem = _case_problem(12)
+    doc = problem_to_dict(problem)
+    address, thread = _serve(tmp_path)
+    try:
+        with ServeClient.connect(address) as client:
+            instance = client.register(doc)
+            results = client.solve_batch(
+                instance,
+                [doc["deletions"]] * 3,
+                policy={"deadline_seconds": 10.0, "retries": 1},
+            )
+            assert len(results) == 3
+            assert all("solution" in result for result in results)
+            # The policy rode along: the resilience trace shows the
+            # attempt loop ran for each request.
+            assert all(result["attempts"] for result in results)
+
+            with pytest.raises(ServeError) as excinfo:
+                client.solve(
+                    instance,
+                    doc["deletions"],
+                    policy={"deadline_sec": 1},
+                )
+            assert excinfo.value.code == "bad-request"
+    finally:
+        with ServeClient.connect(address) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+
+
+def test_error_paths_keep_serving(tmp_path):
+    problem = _case_problem(23)
+    doc = problem_to_dict(problem)
+    address, thread = _serve(tmp_path)
+    try:
+        with ServeClient.connect(address) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.solve("no-such-instance", {"Q1": [["x"]]})
+            assert excinfo.value.code == "bad-request"
+
+            instance = client.register(doc)
+            with pytest.raises(ServeError) as excinfo:
+                client.solve(instance, {"NoSuchView": [["x"]]})
+            assert excinfo.value.code == "solve-failed"
+
+            # The connection and the instance both survived.
+            assert client.ping()
+            assert "solution" in client.solve(instance, doc["deletions"])
+
+            stats = client.stats()["stats"]
+            assert stats["registered"] == 1
+            assert stats["solve_errors"] >= 1
+    finally:
+        with ServeClient.connect(address) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+
+
+def test_concurrent_clients_get_consistent_answers(tmp_path):
+    problem = _case_problem(31)
+    doc = problem_to_dict(problem)
+    local = solve(problem, method="auto")
+    expected = {
+        (fact.relation, fact.values) for fact in local.deleted_facts
+    }
+    address, thread = _serve(tmp_path)
+    try:
+        with ServeClient.connect(address) as client:
+            instance = client.register(doc)
+
+        failures: list[str] = []
+
+        def drive() -> None:
+            try:
+                with ServeClient.connect(address) as client:
+                    for _ in range(5):
+                        result = client.solve(instance, doc["deletions"])
+                        got = {
+                            (entry["relation"], tuple(entry["values"]))
+                            for entry in result["solution"]["deleted_facts"]
+                        }
+                        assert got == expected
+            except Exception as exc:  # noqa: BLE001
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=drive) for _ in range(4)]
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=120)
+        assert not failures, failures
+    finally:
+        with ServeClient.connect(address) as client:
+            client.shutdown()
+        thread.join(timeout=30)
+
+
+def test_unregister_and_shutdown_release_segments(tmp_path):
+    before = set(active_segments())
+    problem = _case_problem(44)
+    doc = problem_to_dict(problem)
+    address, thread = _serve(tmp_path)
+    with ServeClient.connect(address) as client:
+        instance = client.register(doc)
+        assert client.stats()["instances"]
+        client.unregister(instance)
+        assert client.stats()["instances"] == []
+        # Solving an unregistered instance is a clean error.
+        with pytest.raises(ServeError):
+            client.solve(instance, doc["deletions"])
+        client.register(doc)
+        client.shutdown()
+    thread.join(timeout=30)
+    # Everything the server exported in this process is released.
+    assert set(active_segments()) == before
