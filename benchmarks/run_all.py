@@ -105,6 +105,17 @@ def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
                 ],
             )
         )
+        commands.append(
+            (
+                "ilp_exact",
+                [
+                    sys.executable,
+                    str(_HERE / "bench_ilp_exact.py"),
+                    "--out",
+                    str(out_dir),
+                ],
+            )
+        )
     return commands
 
 

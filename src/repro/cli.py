@@ -134,7 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "ordered fallback methods tried when the requested method "
             "is inapplicable or out of retries, e.g. "
-            "'claim1,greedy-min-damage'"
+            "'claim1,greedy-min-damage'; the alias 'exact-chain' "
+            "expands to the exact-ilp route's chain "
+            "(exact-bnb,greedy-min-damage)"
         ),
     )
     solve_cmd.add_argument(

@@ -7,21 +7,21 @@ Two backends:
   pruning on the (monotone) partial side-effect.  Works for arbitrary
   CQs, including non-key-preserving ones with multiple witnesses (every
   witness of a ΔV tuple must be hit).
-* **ILP** (:func:`solve_exact_ilp`): 0/1 program via
-  ``scipy.optimize.milp`` for key-preserving problems (unique witnesses),
-  standard and balanced.
+* **ILP** (:func:`solve_exact_ilp`): the arena-compiled 0/1 program of
+  :mod:`repro.lp.ilp` for key-preserving problems (unique witnesses),
+  standard and balanced — sparse constraint blocks over the CSR slabs,
+  an exact lexicographic tie-break, warm starts, and deadline-respecting
+  incumbent degradation.
 
-:func:`solve_exact` picks automatically.  These solvers are exponential
-in the worst case — exactly as Theorem 1 predicts — and are intended for
-the small/medium instances of the test- and bench-suites.
+:func:`solve_exact` picks automatically.  Branch & bound is exponential
+in the worst case — exactly as Theorem 1 predicts — and is intended for
+the small/medium instances of the test- and bench-suites; the ILP route
+scales to everything HiGHS can chew.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
-
-import numpy as np
 
 from repro.errors import DeadlineExceededError, SolverError
 from repro.relational.tuples import Fact
@@ -162,99 +162,17 @@ def _milp_available() -> bool:
 
 
 def solve_exact_ilp(problem: DeletionPropagationProblem) -> Propagation:
-    """Exact 0/1 ILP for key-preserving problems.
+    """Exact 0/1 ILP for key-preserving problems (standard and
+    balanced), lexicographically optimal in (objective, deletions).
 
-    Variables: ``y_t`` per candidate fact (delete), ``x_r`` per
-    at-risk preserved view tuple (collateral).  Standard problem adds
-    a covering constraint per ΔV witness; balanced adds coverage
-    indicators ``c_b`` with objective penalty for ``c_b = 0``.
+    Delegates to :func:`repro.lp.ilp.solve_ilp` — the arena-compiled
+    route with sparse constraint blocks, the exact lexicographic
+    tie-break, warm starts, and the deadline/incumbent contract (an
+    expiring :class:`~repro.core.resilience.Deadline` raises
+    :class:`~repro.errors.DeadlineExceededError` *carrying* the best
+    feasible incumbent, so policy-governed solves degrade instead of
+    failing).
     """
-    if not SolveSession.of(problem).profile.key_preserving:
-        raise SolverError("ILP backend requires key-preserving queries")
-    try:
-        from scipy.optimize import Bounds, LinearConstraint, milp
-    except ImportError as exc:  # pragma: no cover - scipy is a dependency
-        raise SolverError("scipy.optimize.milp unavailable") from exc
+    from repro.lp.ilp import solve_ilp
 
-    balanced = isinstance(problem, BalancedDeletionPropagationProblem)
-    candidates: Sequence[Fact] = problem.candidate_facts()
-    if not candidates:
-        return Propagation(problem, (), method="exact-ilp")
-    fact_index = {fact: i for i, fact in enumerate(candidates)}
-    candidate_set = frozenset(candidates)
-
-    delta = problem.deleted_view_tuples()
-    at_risk = [
-        vt
-        for vt in problem.preserved_view_tuples()
-        if problem.witness(vt) & candidate_set
-    ]
-    risk_index = {vt: len(candidates) + i for i, vt in enumerate(at_risk)}
-
-    num_vars = len(candidates) + len(at_risk) + (len(delta) if balanced else 0)
-    cost = np.zeros(num_vars)
-    # Tiny per-deletion cost keeps solutions minimal without perturbing
-    # optimality among view-tuple weights of realistic magnitude.
-    cost[: len(candidates)] = 1e-9
-    for vt, xi in risk_index.items():
-        cost[xi] = problem.weight(vt)
-
-    rows: list[np.ndarray] = []
-    lower: list[float] = []
-    upper: list[float] = []
-
-    def add_row(row: np.ndarray, lo: float, hi: float) -> None:
-        rows.append(row)
-        lower.append(lo)
-        upper.append(hi)
-
-    # Collateral linking: deleting any witness fact of r forces x_r = 1.
-    for vt in at_risk:
-        xi = risk_index[vt]
-        for fact in problem.witness(vt) & candidate_set:
-            row = np.zeros(num_vars)
-            row[xi] = 1.0
-            row[fact_index[fact]] = -1.0
-            add_row(row, 0.0, np.inf)  # x_r - y_t >= 0
-
-    if balanced:
-        # Coverage indicators: c_b <= sum of y over the witness.
-        for i, vt in enumerate(delta):
-            ci = len(candidates) + len(at_risk) + i
-            cost[ci] = -problem.delta_penalty  # reward covering
-            row = np.zeros(num_vars)
-            row[ci] = 1.0
-            for fact in problem.witness(vt):
-                row[fact_index[fact]] = -1.0
-            add_row(row, -np.inf, 0.0)
-    else:
-        # Covering constraints: each ΔV witness must be hit.
-        for vt in delta:
-            row = np.zeros(num_vars)
-            for fact in problem.witness(vt):
-                row[fact_index[fact]] = 1.0
-            add_row(row, 1.0, np.inf)
-
-    constraints = (
-        LinearConstraint(np.vstack(rows), np.array(lower), np.array(upper))
-        if rows
-        else ()
-    )
-    deadline = active_deadline()
-    if deadline is not None:
-        # ``milp`` cannot be interrupted cooperatively; check once before
-        # committing to the call so an already-expired deadline does not
-        # start an unbounded solve.
-        deadline.check(what="exact ILP")
-    result = milp(
-        c=cost,
-        constraints=constraints,
-        integrality=np.ones(num_vars),
-        bounds=Bounds(0, 1),
-    )
-    if not result.success:
-        raise SolverError(f"ILP solver failed: {result.message}")
-    chosen = [
-        fact for fact, i in fact_index.items() if result.x[i] > 0.5
-    ]
-    return Propagation(problem, chosen, method="exact-ilp")
+    return solve_ilp(problem)

@@ -18,7 +18,11 @@ structural scans.  The routes, in order:
    notes the ``2·sqrt(‖V‖)`` bound "is sometimes better than factor l".
    The winner is labeled ``auto:<winner>`` and both candidates' costs
    are recorded in the :class:`SolveReport` trace.
-7. Otherwise: the Claim 1 RBSC pipeline.
+7. Small/medium key-preserving instances (``‖V‖`` up to
+   ``_ILP_ROUTE_MAX_NORM_V``) with no special structure: the
+   arena-compiled exact ILP (:mod:`repro.lp.ilp`) — an exact answer in
+   milliseconds where the general pipeline only approximates.
+8. Otherwise: the Claim 1 RBSC pipeline.
 
 ``solve_report`` returns the full :class:`SolveReport` envelope (the
 :class:`~repro.core.solution.Propagation` plus the route taken, the
@@ -194,6 +198,13 @@ class Route:
     run: Callable[[SolveSession], Propagation]
 
 
+#: Instances up to this ``‖V‖`` take the exact ILP route when no
+#: stronger structural route applies — the arena-compiled backend
+#: answers these in single-digit milliseconds (see BENCH_ilp_exact),
+#: so an exact answer beats the Claim 1 approximation outright.
+_ILP_ROUTE_MAX_NORM_V = 64
+
+
 def _run_trivial(session: SolveSession) -> Propagation:
     return Propagation(session.problem, (), method="auto-trivial")
 
@@ -273,6 +284,21 @@ ROUTE_TABLE: tuple[Route, ...] = (
         "forest-duel",
         lambda p: p.forest_case and p.self_join_free,
         _run_forest_duel,
+    ),
+    Route(
+        # Small/medium key-preserving instances outside every special
+        # structure: the arena-compiled ILP answers *exactly* in
+        # milliseconds where the Claim 1 pipeline only approximates.
+        # Balanced problems never reach here (the balanced routes are
+        # a catch-all for them); larger instances fall through to the
+        # approximation below.
+        "exact-ilp",
+        lambda p: (
+            not p.balanced
+            and p.key_preserving
+            and p.norm_v <= _ILP_ROUTE_MAX_NORM_V
+        ),
+        lambda s: solve_exact_ilp(s.problem),
     ),
     Route("general", lambda p: True, lambda s: solve_general(s.problem)),
 )

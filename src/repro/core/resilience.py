@@ -57,6 +57,7 @@ __all__ = [
     "AttemptRecord",
     "Deadline",
     "DeadlineExceededError",
+    "EXACT_FALLBACK",
     "SolvePolicy",
     "active_deadline",
     "deadline_scope",
@@ -64,6 +65,13 @@ __all__ = [
     "parse_fallback",
     "solve_with_policy",
 ]
+
+#: The fallback chain behind the first-class exact ILP route: branch &
+#: bound covers the shapes HiGHS cannot take (non-key-preserving
+#: inputs), and greedy guarantees *an* answer under deadlines too tight
+#: for any exact method.  ``SolvePolicy.exact()`` preconfigures it; the
+#: CLI accepts the chain as the ``exact-chain`` fallback alias.
+EXACT_FALLBACK: tuple[str, ...] = ("exact-bnb", "greedy-min-damage")
 
 
 class Deadline:
@@ -244,6 +252,25 @@ class SolvePolicy:
         if self.deadline_seconds is None:
             return None
         return Deadline.after(self.deadline_seconds)
+
+    @classmethod
+    def exact(
+        cls,
+        deadline_seconds: float | None = None,
+        retries: int = 0,
+        **overrides: object,
+    ) -> "SolvePolicy":
+        """A policy preconfigured for ``method="exact-ilp"`` requests:
+        the :data:`EXACT_FALLBACK` chain behind the ILP, so a request
+        degrades branch & bound → greedy instead of erroring when the
+        ILP is inapplicable, and an expiring deadline returns the ILP's
+        best feasible incumbent (route ``degraded:exact-ilp``)."""
+        return cls(
+            deadline_seconds=deadline_seconds,
+            retries=retries,
+            fallback=EXACT_FALLBACK,
+            **overrides,  # type: ignore[arg-type]
+        )
 
     def chain(self, method: str) -> tuple[str, ...]:
         """The full method chain: the requested method first, then the
@@ -438,11 +465,25 @@ def solve_with_policy(
     raise error from last_error
 
 
+#: ``--fallback`` aliases expanded by :func:`parse_fallback`.
+_FALLBACK_ALIASES: dict[str, tuple[str, ...]] = {
+    "exact-chain": EXACT_FALLBACK,
+}
+
+
 def parse_fallback(spec: str | Sequence[str] | None) -> tuple[str, ...]:
     """Normalize a ``--fallback`` CLI value (comma-separated string or
-    sequence) into a method tuple."""
+    sequence) into a method tuple, expanding chain aliases (e.g.
+    ``exact-chain`` → :data:`EXACT_FALLBACK`)."""
     if spec is None:
         return ()
     if isinstance(spec, str):
-        return tuple(part.strip() for part in spec.split(",") if part.strip())
-    return tuple(spec)
+        parts = tuple(
+            part.strip() for part in spec.split(",") if part.strip()
+        )
+    else:
+        parts = tuple(spec)
+    expanded: list[str] = []
+    for part in parts:
+        expanded.extend(_FALLBACK_ALIASES.get(part, (part,)))
+    return tuple(dict.fromkeys(expanded))

@@ -49,6 +49,7 @@ from repro.core.problem import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.hypergraph.datadual import DataDualGraph, RootedComponent
+    from repro.lp.ilp import CompiledILP
     from repro.reductions.to_setcover import SetCoverReduction
 
 __all__ = ["SolveSession", "StructureProfile"]
@@ -106,13 +107,23 @@ class _InstanceArtifacts:
     the pivot rooting first builds it for all of them.
     """
 
-    __slots__ = ("witness_map", "data_dual", "dual_depths", "rooted")
+    __slots__ = (
+        "witness_map",
+        "data_dual",
+        "dual_depths",
+        "rooted",
+        "ilp_incidence",
+    )
 
     def __init__(self) -> None:
         self.witness_map: Mapping[ViewTuple, frozenset[Fact]] | None = None
         self.data_dual: "DataDualGraph | None" = None
         self.dual_depths: dict[Fact, int] | None = None
         self.rooted: "list[RootedComponent] | object" = _UNSET
+        #: Full vt × fact witness incidence as a scipy csr_matrix over
+        #: the arena slabs (see :func:`repro.lp.ilp.witness_incidence`)
+        #: — ΔV-independent, so siblings share one build.
+        self.ilp_incidence: object | None = None
 
 
 class SolveSession:
@@ -137,6 +148,7 @@ class SolveSession:
         self._preserved_degree: dict[Fact, int] | None = None
         self._rbsc: "SetCoverReduction | None" = None
         self._posneg: "SetCoverReduction | None" = None
+        self._ilp: "CompiledILP | None" = None
 
     # ------------------------------------------------------------------
     # Construction / caching
@@ -483,6 +495,22 @@ class SolveSession:
             )
         return self._posneg
 
+    def ilp_model(self) -> "CompiledILP":
+        """The memoized arena-compiled 0/1 program of this ΔV binding
+        (:func:`repro.lp.ilp.compile_ilp`): linking and
+        covering/coverage blocks as sparse matrices over the CSR slabs.
+
+        The covering rows are ΔV-dependent, so the model itself is
+        per-session — but the witness incidence it slices lives in the
+        shared artifact holder, so rebinding a sibling ΔV re-slices one
+        cached matrix instead of rebuilding the incidence structure.
+        """
+        if self._ilp is None:
+            from repro.lp.ilp import compile_ilp
+
+            self._ilp = compile_ilp(self)
+        return self._ilp
+
     def __repr__(self) -> str:
         built = [
             name
@@ -492,6 +520,7 @@ class SolveSession:
                 ("data-dual", self._shared.data_dual is not None),
                 ("rbsc", self._rbsc is not None),
                 ("posneg", self._posneg is not None),
+                ("ilp", self._ilp is not None),
             )
             if flag
         ]

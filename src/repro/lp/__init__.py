@@ -2,12 +2,16 @@
 backend and the paper's primal/dual formulations (Section IV.C)."""
 
 from repro.lp.formulations import dual_vse_lp, lp_lower_bound, primal_vse_lp
+from repro.lp.ilp import CompiledILP, compile_ilp, solve_ilp
 from repro.lp.model import LinearProgram, LPSolution
 
 __all__ = [
+    "CompiledILP",
     "LPSolution",
     "LinearProgram",
+    "compile_ilp",
     "dual_vse_lp",
     "lp_lower_bound",
     "primal_vse_lp",
+    "solve_ilp",
 ]

@@ -4,7 +4,7 @@ Just enough structure for the paper's LP formulations: named variables
 with bounds and objective coefficients, linear constraints with
 ``<=``/``>=``/``==`` senses, minimization or maximization, and a typed
 solution object.  Integrality is handled by the ILP backend in
-:mod:`repro.core.exact`; this module is for *relaxations* (lower bounds
+:mod:`repro.lp.ilp`; this module is for *relaxations* (lower bounds
 in the ratio experiments) and dual feasibility checks.
 """
 
@@ -25,9 +25,14 @@ VarName = Hashable
 
 @dataclass(frozen=True)
 class LPSolution:
-    """Solved LP: status flag, objective value, and variable values."""
+    """Solved LP: objective value and variable values.
 
-    optimal: bool
+    Every constructed instance is optimal by construction — ``solve``
+    raises :class:`~repro.errors.SolverError` on infeasible/unbounded
+    programs instead of returning a flagged solution, so the former
+    always-``True`` ``optimal`` field has been removed.
+    """
+
     objective: float
     values: dict[VarName, float]
     message: str = ""
@@ -91,7 +96,7 @@ class LinearProgram:
         unbounded programs."""
         n = len(self._names)
         if n == 0:
-            return LPSolution(True, 0.0, {})
+            return LPSolution(0.0, {})
         c = np.array(self._objective)
         if maximize:
             c = -c
@@ -127,4 +132,4 @@ class LinearProgram:
         values = {
             name: float(result.x[i]) for name, i in self._index.items()
         }
-        return LPSolution(True, objective, values, result.message)
+        return LPSolution(objective, values, result.message)

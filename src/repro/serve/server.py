@@ -37,6 +37,7 @@ released — a clean exit leaves ``/dev/shm`` exactly as it found it.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -51,6 +52,8 @@ from repro.serve.protocol import (
 
 __all__ = ["ServeStats", "SolveServer"]
 
+_log = logging.getLogger("repro.serve")
+
 
 @dataclass
 class ServeStats:
@@ -64,6 +67,7 @@ class ServeStats:
     pooled_batches: int = 0
     rejected: int = 0
     protocol_errors: int = 0
+    internal_errors: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -75,6 +79,7 @@ class ServeStats:
             "pooled_batches": self.pooled_batches,
             "rejected": self.rejected,
             "protocol_errors": self.protocol_errors,
+            "internal_errors": self.internal_errors,
         }
 
 
@@ -298,10 +303,13 @@ class SolveServer:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
-                pass
+                # Routine on abrupt client disconnects; the connection
+                # is gone either way, but keep an audit trail.
+                _log.debug("connection close failed", exc_info=True)
 
     async def _dispatch(self, line: bytes) -> dict:
         request_id: Any = None
+        op: Any = None
         try:
             message = decode_line(line)
             request_id = message.get("id")
@@ -316,6 +324,8 @@ class SolveServer:
             self.stats.protocol_errors += 1
             return error_response("bad-request", str(exc), request_id)
         except Exception as exc:  # internal error: report, keep serving
+            self.stats.internal_errors += 1
+            _log.exception("internal error handling op %r", op)
             return error_response(
                 "internal", f"{type(exc).__name__}: {exc}", request_id
             )
@@ -525,7 +535,10 @@ class _Batcher:
         try:
             await self._task
         except asyncio.CancelledError:  # pragma: no cover
-            pass
+            _log.debug(
+                "batcher for %s cancelled during stop",
+                self._entry.instance_id,
+            )
         for item in self._pending:
             if not item.future.done():
                 item.future.set_exception(
@@ -568,6 +581,16 @@ class _Batcher:
                             items[0].policy,
                         )
                 except Exception as exc:
+                    # Typed solver failures are rendered into outcome
+                    # documents inside ``_execute``; anything reaching
+                    # here is a serve-side bug.  Log it and hand it to
+                    # the waiting futures (whose dispatch path counts
+                    # it under ``internal_errors``) instead of letting
+                    # it vanish with the batch.
+                    _log.exception(
+                        "batch execution failed for instance %s",
+                        self._entry.instance_id,
+                    )
                     for item in items:
                         if not item.future.done():
                             item.future.set_exception(exc)

@@ -1,0 +1,203 @@
+"""The arena-compiled exact ILP route (:mod:`repro.lp.ilp`).
+
+Covers the PR's contract surface: deadline-respecting degradation to a
+verified incumbent, the typed ``ReductionError`` on candidate-set
+inconsistencies (formerly a raw ``KeyError``), incidence-matrix sharing
+across ``with_deletions`` siblings (the incremental re-solve half), the
+exact lexicographic tie-break on fractional weights (formerly a
+``1e-9`` epsilon bias), and the resilience-side route plumbing.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ReductionError
+from repro.core.exact import solve_exact
+from repro.core.problem import BalancedDeletionPropagationProblem
+from repro.core.reference import ReferenceEliminationOracle
+from repro.core.resilience import (
+    EXACT_FALLBACK,
+    Deadline,
+    SolvePolicy,
+    deadline_scope,
+    parse_fallback,
+    solve_with_policy,
+)
+from repro.core.session import SolveSession
+from repro.fuzz.generator import CASE_KINDS, make_case
+from repro.lp.ilp import solve_ilp, witness_incidence
+from repro.relational.tuples import Fact
+from repro.workloads import random_triangle_problem
+
+
+class FakeClock:
+    """A monotonic clock advanced by ``step`` on every read."""
+
+    def __init__(self, start: float = 0.0, step: float = 0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _triangle(seed: int = 7, **kwargs):
+    return random_triangle_problem(random.Random(seed), **kwargs)
+
+
+class TestDegradedIncumbent:
+    """An expiring deadline yields a verified feasible incumbent under a
+    policy, never a bare exception."""
+
+    def test_policy_degrades_to_verified_incumbent(self):
+        problem = _triangle(3, delta_fraction=0.5)
+        clock = FakeClock(step=1.0)  # every read burns a second
+        report = solve_with_policy(
+            problem,
+            method="exact-ilp",
+            policy=SolvePolicy(),
+            deadline=Deadline.after(2.5, clock=clock),
+        )
+        assert report.route == "degraded:exact-ilp"
+        assert report.method == "exact-ilp-incumbent"
+        assert report.propagation.is_feasible()
+
+    def test_already_expired_deadline_raises_before_compiling(self):
+        # No incumbent exists yet at entry, so there is nothing to
+        # degrade to — the error must propagate (and must not be a
+        # solver crash from a half-compiled model).
+        problem = _triangle(9, delta_fraction=0.5)
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(2.0)
+        with deadline_scope(deadline):
+            with pytest.raises(DeadlineExceededError):
+                solve_ilp(problem)
+
+
+class TestCandidateConsistency:
+    """Regression: a ΔV witness fact outside ``candidate_facts()`` used
+    to escape as a raw ``KeyError`` from the dense row assembly."""
+
+    def test_truncated_candidate_set_raises_reduction_error(self):
+        problem = _triangle(11, delta_fraction=0.5)
+        full = problem.candidate_facts()
+        assert len(full) > 1
+        # Lie through the cached_property slot: the declared candidate
+        # set drops one fact that ΔV witnesses still reference.
+        problem.__dict__["_candidate_facts"] = full[:-1]
+        with pytest.raises(ReductionError):
+            solve_ilp(problem)
+
+    def test_foreign_candidate_fact_raises_reduction_error(self):
+        problem = _triangle(13, delta_fraction=0.5)
+        full = problem.candidate_facts()
+        foreign = Fact("NoSuchRelation", ("ghost", 0))
+        problem.__dict__["_candidate_facts"] = (*full, foreign)
+        with pytest.raises(ReductionError) as excinfo:
+            solve_ilp(problem)
+        assert "fact table" in str(excinfo.value)
+
+
+class TestIncrementalSiblings:
+    """The incidence matrix is ΔV-independent: ``with_deletions``
+    siblings re-slice the same object instead of recompiling."""
+
+    def test_siblings_share_incidence_object(self):
+        problem = _triangle(17, delta_fraction=0.5)
+        base = solve_ilp(problem)
+        assert base.is_feasible()
+        matrix = SolveSession.of(problem)._shared.ilp_incidence
+        assert matrix is not None
+
+        vts = sorted(problem.all_view_tuples())
+        sibling = problem.with_deletions(
+            {vts[0].view: [list(vts[0].values)]}
+        )
+        refined = solve_ilp(sibling)
+        assert refined.is_feasible()
+        assert witness_incidence(SolveSession.of(sibling)) is matrix
+
+    def test_sibling_answer_matches_fresh_problem(self):
+        problem = _triangle(19, delta_fraction=0.5)
+        solve_ilp(problem)
+        vts = sorted(problem.all_view_tuples())
+        request = {vts[0].view: [list(vts[0].values)]}
+        sibling = problem.with_deletions(request)
+        fresh = _triangle(19, delta_fraction=0.5).with_deletions(request)
+        assert (
+            solve_ilp(sibling).deleted_facts
+            == solve_ilp(fresh).deleted_facts
+        )
+
+
+class TestLexicographicTieBreak:
+    """The epsilon bias is gone: on fractional weights the ILP optimum
+    matches the branch & bound reference exactly, and among equal-cost
+    optima the ILP deletes no more facts than the reference."""
+
+    @pytest.mark.parametrize("kind", CASE_KINDS)
+    def test_fractional_weight_differential(self, kind):
+        case = make_case(kind, random.Random(23))
+        problem = case.problem
+        if not problem.is_key_preserving():
+            pytest.skip("ILP route requires key preservation")
+        if len(problem.candidate_facts()) > 24:
+            pytest.skip("reference B&B too slow at this size")
+        # Fractional weights defeat the integer-scaled single solve and
+        # exercise the two-stage lexicographic path.
+        weights = {
+            vt: 0.25 + (index % 7) / 9.0
+            for index, vt in enumerate(sorted(problem.all_view_tuples()))
+        }
+        fractional = type(problem)(
+            problem.instance,
+            list(problem.queries),
+            {
+                name: [list(v) for v in sorted(problem.deletion.on(name))]
+                for name in problem.views.names
+                if problem.deletion.on(name)
+            },
+            weights=weights,
+        )
+        reference = solve_exact(fractional)
+        ilp = solve_ilp(fractional)
+        if not isinstance(fractional, BalancedDeletionPropagationProblem):
+            # Balanced solutions may leave ΔV tuples uncovered (paying
+            # the penalty); only standard solutions must be feasible.
+            assert ilp.is_feasible()
+        assert ilp.objective() == pytest.approx(reference.objective())
+        assert len(ilp.deleted_facts) <= len(reference.deleted_facts)
+        # Independent cost accounting: replay the ILP answer through
+        # the object-backed reference oracle.
+        oracle = ReferenceEliminationOracle(fractional, ilp.deleted_facts)
+        assert oracle.objective() == pytest.approx(ilp.objective())
+        if not isinstance(fractional, BalancedDeletionPropagationProblem):
+            assert oracle.is_feasible()
+
+    def test_warm_and_cold_agree(self):
+        problem = _triangle(29, delta_fraction=0.5)
+        warm = solve_ilp(problem, warm_start=True)
+        cold = solve_ilp(problem, warm_start=False)
+        assert warm.objective() == pytest.approx(cold.objective())
+        assert warm.deleted_facts == cold.deleted_facts
+
+
+class TestRoutePlumbing:
+    def test_exact_chain_alias_expands_and_dedups(self):
+        assert parse_fallback("exact-chain") == EXACT_FALLBACK
+        assert (
+            parse_fallback("exact-chain,exact-bnb") == EXACT_FALLBACK
+        )
+
+    def test_policy_exact_classmethod(self):
+        policy = SolvePolicy.exact(deadline_seconds=2.0, retries=1)
+        assert policy.fallback == EXACT_FALLBACK
+        assert policy.deadline_seconds == 2.0
+        assert policy.retries == 1

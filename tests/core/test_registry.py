@@ -64,6 +64,25 @@ class TestAutoDispatch:
         pytest.skip("no non-pivot forest instance hit the tree route")
 
     def test_general_routes_to_claim1(self):
+        # Large enough that norm_v exceeds the exact-ILP route threshold.
+        rng = random.Random(102)
+        for _ in range(10):
+            problem = random_triangle_problem(
+                rng, center_facts=12, leaf_facts=20, delta_fraction=0.4
+            )
+            if problem.norm_delta_v <= 1:
+                continue
+            from repro.core.dp_tree import applies_to
+
+            if applies_to(problem):
+                continue
+            sol = solve(problem)
+            assert sol.method == "claim1-lowdeg"
+            assert sol.is_feasible()
+            return
+        pytest.skip("no suitable triangle instance generated")
+
+    def test_small_nonforest_routes_to_exact_ilp(self):
         rng = random.Random(102)
         for _ in range(10):
             problem = random_triangle_problem(rng, delta_fraction=0.5)
@@ -74,7 +93,7 @@ class TestAutoDispatch:
             if applies_to(problem):
                 continue
             sol = solve(problem)
-            assert sol.method == "claim1-lowdeg"
+            assert sol.method == "exact-ilp"
             assert sol.is_feasible()
             return
         pytest.skip("no suitable triangle instance generated")
@@ -122,10 +141,15 @@ class TestSelfJoinDispatch:
         assert not problem.is_self_join_free()
         assert applies_to(problem) is False
 
-    def test_auto_routes_self_join_forest_to_claim1(self):
+    def test_auto_dispatch_skips_tree_algorithms(self):
         problem = self._problem()
-        # Structurally a forest case (one relation), but not sj-free.
+        # Structurally a forest case (one relation), but not sj-free:
+        # dispatch must fall through the tree routes without raising.
+        # Small and key-preserving, so it lands on the exact-ILP route.
         assert problem.is_forest_case()
         sol = solve(problem, method="auto")
-        assert sol.method == "claim1-lowdeg"
+        assert sol.method == "exact-ilp"
         assert sol.is_feasible()
+        # Claim 1 remains available (and sound) when forced by name.
+        forced = solve(problem, method="claim1")
+        assert forced.is_feasible()

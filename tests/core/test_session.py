@@ -173,7 +173,15 @@ class TestRouteTable:
                 random_triangle_problem(
                     random.Random(200 + seed), delta_fraction=0.5
                 )
-            )  # general
+            )  # exact-ilp (small non-forest, key-preserving)
+            problems.append(
+                random_triangle_problem(
+                    random.Random(500 + seed),
+                    center_facts=12,
+                    leaf_facts=20,
+                    delta_fraction=0.4,
+                )
+            )  # general (norm_v above the ILP route threshold)
             problems.append(_chain(300 + seed, balanced=True))  # balanced-dp
             problems.append(
                 random_problem(random.Random(400 + seed), balanced=True)
@@ -226,6 +234,7 @@ _FORCED_OF_ROUTE = {
     "dp-tree": "dp-tree",
     "single-deletion": "single-deletion",
     "exact-fallback": "exact",
+    "exact-ilp": "exact-ilp",
 }
 _FORCED_OF_DUEL = {
     "auto:primal-dual": "primal-dual",

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SolverError
-from repro.lp import LinearProgram
+from repro.lp import LinearProgram, LPSolution
 
 
 class TestModel:
@@ -34,10 +34,28 @@ class TestModel:
         lp.add_constraint({"x": 1.0}, "<=", 5.0)
         assert lp.solve().value("x") == pytest.approx(5.0)
 
+    def test_maximization_objective_sign(self):
+        # The maximize path negates c for linprog and must negate the
+        # reported objective back: a mixed-sign objective catches a
+        # missing un-negation that a single positive variable would not.
+        lp = LinearProgram()
+        lp.add_variable("x", objective=2.0, upper=3.0)
+        lp.add_variable("y", objective=-5.0, upper=4.0)
+        solution = lp.solve(maximize=True)
+        assert solution.objective == pytest.approx(6.0)
+        assert solution.value("x") == pytest.approx(3.0)
+        assert solution.value("y") == pytest.approx(0.0)
+
     def test_infeasible_raises(self):
         lp = LinearProgram()
         lp.add_variable("x", upper=1.0)
         lp.add_constraint({"x": 1.0}, ">=", 2.0)
+        with pytest.raises(SolverError):
+            lp.solve()
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=-1.0, upper=None)
         with pytest.raises(SolverError):
             lp.solve()
 
@@ -59,8 +77,17 @@ class TestModel:
             lp.add_constraint({"x": 1.0}, "~", 0.0)
 
     def test_empty_program(self):
+        # Fast path: no variables means no linprog call at all.
         solution = LinearProgram().solve()
         assert solution.objective == 0.0
+        assert solution.values == {}
+        assert solution.message == ""
+
+    def test_solution_has_no_optimal_flag(self):
+        # Regression: the always-True ``optimal`` field was removed —
+        # ``solve`` raises on non-optimal outcomes, so every returned
+        # LPSolution is optimal by construction.
+        assert not hasattr(LPSolution(0.0, {}), "optimal")
 
     def test_counts(self):
         lp = LinearProgram()

@@ -169,6 +169,15 @@ def test_error_paths_keep_serving(tmp_path):
             stats = client.stats()["stats"]
             assert stats["registered"] == 1
             assert stats["solve_errors"] >= 1
+            assert stats["internal_errors"] == 0
+
+            # A document that explodes inside the serializer (not a
+            # protocol violation) is reported as an internal error AND
+            # counted, instead of vanishing into the reply stream.
+            with pytest.raises(ServeError) as excinfo:
+                client.register({"nonsense": 1})
+            assert excinfo.value.code == "internal"
+            assert client.stats()["stats"]["internal_errors"] == 1
     finally:
         with ServeClient.connect(address) as client:
             client.shutdown()
