@@ -1,0 +1,210 @@
+"""Adaptive-routing benchmark — the forest-duel skip, measured.
+
+The static dispatcher answers a forest-case instance by running **both**
+duel candidates (Algorithm 1 ``PrimeDualVSE`` and Algorithm 3
+``LowDegTreeVSETwo``) and keeping the cheaper.  A learned router
+(:mod:`repro.core.router`) that has watched enough decided duels for an
+instance's profile bucket names the winner up front and runs only that
+candidate.  This bench measures that skip end to end through
+``solve_report``:
+
+* **Workload** — star-join instances that the route table sends to the
+  forest duel, filtered to those where (a) the warmed cost model
+  actually commits to a winner and (b) the skipped candidate is a
+  material share of the duel (skipping a free loser proves nothing).
+* **Warm-up** — every instance is dispatched statically and its trace
+  records appended to a dedicated :class:`~repro.core.tracestore.
+  TraceStore`; the learned router under test is fit from exactly those
+  records (the same pipeline production traces feed).
+* **Measured** — best-of-``repeats`` wall time of the full dispatch
+  sweep over prepared sessions (profiles precomputed, mirroring the
+  document/shm profile cache), static versus learned.  Asserted:
+  ``duel_skip_speedup >= 1.3`` and every learned answer stays feasible
+  with a side-effect no better than the full duel's optimum (a skip can
+  cost optimality headroom, never correctness).
+
+Timings land in ``BENCH_routing.json``; ``run_all.py --validate`` gates
+the ``per_request_ms`` rows as lower-is-better.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import tempfile
+
+from repro.core.registry import solve_report
+from repro.core.router import LearnedRouter
+from repro.core.session import SolveSession
+from repro.core.tracestore import TRACE_ENV, TraceStore, record_from_report
+from repro.workloads import random_star_problem
+
+_MIN_DUEL_SKIP_SPEEDUP = 1.3
+#: The skipped candidate must be at least this share of the duel's
+#: solver time for the instance to count — otherwise the "skip" saves
+#: nothing and the measurement is noise.
+_MIN_LOSER_SHARE = 0.25
+_EPS = 1e-9
+
+
+def _duel_instances(seed: int, count: int, attempts: int = 400) -> list:
+    """Forest-duel instances whose skipped candidate is worth skipping."""
+    rng = random.Random(seed)
+    found = []
+    for _ in range(attempts):
+        if len(found) >= count:
+            break
+        problem = random_star_problem(
+            rng,
+            num_leaves=3,
+            center_facts=6,
+            leaf_facts=8,
+            num_queries=3,
+            max_leaves_per_query=3,
+            delta_fraction=0.4,
+        )
+        report = solve_report(problem, router="static")
+        if report.route != "forest-duel" or len(report.trace) != 2:
+            continue
+        total = sum(stage.seconds for stage in report.trace)
+        loser = min(stage.seconds for stage in report.trace)
+        if total <= 0 or loser / total < _MIN_LOSER_SHARE:
+            continue
+        found.append(problem)
+    return found
+
+
+def _warm_store(directory, sessions, rounds: int) -> TraceStore:
+    """Record ``rounds`` static full-duel dispatches per session — the
+    decided-duel evidence the learned router's winner rule requires."""
+    store = TraceStore(directory)
+    for session in sessions:
+        for _ in range(rounds):
+            report = solve_report(session, router="static")
+            store.append(record_from_report(session, report))
+    return store
+
+
+def run(seed: int = 0, instances: int = 6, repeats: int = 5):
+    from repro.bench import timed_best
+
+    # Recording during the measured loops would add filesystem writes
+    # of its own; the bench warms its store explicitly instead.
+    os.environ[TRACE_ENV] = "off"
+
+    problems = _duel_instances(seed, instances)
+    if not problems:
+        raise SystemExit("no forest-duel instances found (generator drift?)")
+    sessions = [SolveSession.of(problem) for problem in problems]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-routing-") as tmp:
+        store = _warm_store(tmp, sessions, rounds=3)
+        router = LearnedRouter(store)
+        router.refit()
+
+        # Keep only the sessions whose bucket committed to a winner —
+        # the skip path must actually engage for the measurement to
+        # mean anything.  (Mixed-winner buckets correctly stay duels.)
+        skippable = [
+            session
+            for session in sessions
+            if router.plan(session.profile).duel_winner is not None
+        ]
+        if not skippable:
+            raise SystemExit("cost model committed to no duel winner")
+
+        def sweep(router_spec):
+            return [
+                solve_report(session, router=router_spec)
+                for session in skippable
+            ]
+
+        static_reports, static_seconds = timed_best(
+            sweep, "static", repeats=repeats
+        )
+        learned_reports, learned_seconds = timed_best(
+            sweep, router, repeats=repeats
+        )
+
+    duels = 0
+    for static, learned in zip(static_reports, learned_reports):
+        assert learned.route == "forest-duel", learned.route
+        duels += len(learned.trace)
+        assert learned.propagation.is_feasible(), "skip broke feasibility"
+        # A skipped duel may only ever cost optimality headroom: its
+        # side-effect cannot beat the full duel's minimum.
+        assert (
+            learned.propagation.side_effect()
+            >= static.propagation.side_effect() - _EPS
+        ), "learned skip beat the full duel (duel accounting bug)"
+    assert duels == len(skippable), "a measured dispatch ran a full duel"
+
+    per_static = static_seconds / len(skippable)
+    per_learned = learned_seconds / len(skippable)
+    speedup = per_static / per_learned if per_learned > 0 else float("inf")
+    assert speedup >= _MIN_DUEL_SKIP_SPEEDUP, (
+        f"duel skip only {speedup:.2f}x "
+        f"({per_learned * 1e3:.2f}ms vs {per_static * 1e3:.2f}ms static); "
+        f"floor is {_MIN_DUEL_SKIP_SPEEDUP}x"
+    )
+
+    rows = [
+        {
+            "path": "static-full-duel",
+            "instances": len(skippable),
+            "per_request_ms": round(per_static * 1e3, 3),
+        },
+        {
+            "path": "learned-duel-skip",
+            "instances": len(skippable),
+            "per_request_ms": round(per_learned * 1e3, 3),
+        },
+        {
+            "path": "duel-skip",
+            "duel_skip_speedup": round(speedup, 2),
+        },
+    ]
+    return rows, static_seconds + learned_seconds
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.bench import write_bench_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--instances", type=int, default=6)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--out", default=".", help="directory for BENCH_routing.json"
+    )
+    args = parser.parse_args(argv)
+
+    rows, wall = run(
+        seed=args.seed, instances=args.instances, repeats=args.repeats
+    )
+    path = write_bench_json(
+        bench="routing",
+        workload=(
+            f"forest-duel star joins (seed={args.seed}, "
+            f"{args.instances} candidate instances, "
+            f"best-of-{args.repeats}); learned router fit from 3 recorded "
+            f"static duels per instance"
+        ),
+        rows=rows,
+        wall_seconds=wall,
+        directory=args.out,
+    )
+    print(json.dumps(rows, indent=2, sort_keys=True))
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

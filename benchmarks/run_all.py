@@ -11,9 +11,11 @@ committed ``BENCH_oracle_local_search.json`` acceptance record — into
 ``--full`` additionally runs the pytest acceptance bench
 (``bench_oracle_local_search.py``), which re-verifies the >=5x arena
 speedup and refreshes its artifact, the session batch bench
-(``bench_session_batch.py``), and the serve throughput bench
+(``bench_session_batch.py``), the serve throughput bench
 (``bench_serve_throughput.py``), which re-verifies the >=5x
-attach-by-manifest speedup and the closed-loop request rate.
+attach-by-manifest speedup and the closed-loop request rate, the exact
+ILP bench, and the adaptive-routing bench (``bench_routing.py``), which
+re-verifies the >=1.3x forest-duel skip of the learned router.
 
 ``--validate`` turns the sweep into a gate: every ``BENCH_*.json`` in
 the output directory must parse against the harness schema and carry at
@@ -116,6 +118,17 @@ def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
                 ],
             )
         )
+        commands.append(
+            (
+                "routing",
+                [
+                    sys.executable,
+                    str(_HERE / "bench_routing.py"),
+                    "--out",
+                    str(out_dir),
+                ],
+            )
+        )
     return commands
 
 
@@ -172,7 +185,7 @@ def _aggregate(out_dir: Path) -> list[dict]:
 #: Guarded perf keys where *lower* is better (latency-style).
 _GUARDED_KEYS = ("arena_s", "per_request_ms")
 #: Guarded perf keys where *higher* is better (throughput-style).
-_GUARDED_KEYS_HIGHER = ("requests_per_s",)
+_GUARDED_KEYS_HIGHER = ("requests_per_s", "duel_skip_speedup")
 _MAX_REGRESSION = 2.0
 
 

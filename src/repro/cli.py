@@ -149,11 +149,46 @@ def build_parser() -> argparse.ArgumentParser:
             "delays)"
         ),
     )
+    solve_cmd.add_argument(
+        "--router",
+        default=None,
+        choices=["static", "learned"],
+        help=(
+            "route planner for auto dispatch: 'static' replays the "
+            "declared route table, 'learned' fits duel-winner / ILP-"
+            "threshold / chain-order knobs from the trace store "
+            "(default: the REPRO_ROUTER env var, else static)"
+        ),
+    )
+    solve_cmd.add_argument(
+        "--no-trace-store",
+        action="store_true",
+        help=(
+            "do not append this dispatch to the solve trace store "
+            "(equivalent to REPRO_TRACE=off)"
+        ),
+    )
 
     classify_cmd = sub.add_parser(
         "classify", help="report structure and complexity landscape rows"
     )
     classify_cmd.add_argument("problem", help="path to a JSON problem document")
+
+    route_cmd = sub.add_parser(
+        "route",
+        help=(
+            "inspect adaptive routing: 'explain' prints the route plan "
+            "an auto dispatch of the problem would follow"
+        ),
+    )
+    route_cmd.add_argument("action", choices=["explain"])
+    route_cmd.add_argument("problem", help="path to a JSON problem document")
+    route_cmd.add_argument(
+        "--router",
+        default=None,
+        choices=["static", "learned"],
+        help="route planner to explain (default: REPRO_ROUTER, else static)",
+    )
 
     repairs_cmd = sub.add_parser(
         "repairs", help="enumerate the k cheapest distinct repairs"
@@ -231,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="persist failing cases without shrinking them",
+    )
+    fuzz_cmd.add_argument(
+        "--router",
+        default=None,
+        choices=["static", "learned"],
+        help=(
+            "route planner the campaign's auto dispatches use "
+            "(sets REPRO_ROUTER for the run; default: current env)"
+        ),
     )
 
     serve_cmd = sub.add_parser(
@@ -341,6 +385,12 @@ def _build_policy(args: argparse.Namespace):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.no_trace_store:
+        import os
+
+        from repro.core.tracestore import TRACE_ENV
+
+        os.environ[TRACE_ENV] = "off"
     problem = load_problem(args.problem)
     policy = _build_policy(args)
     rng = None
@@ -362,7 +412,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
     else:
         report = solve_report(
-            problem, method=args.method, policy=policy, rng=rng
+            problem,
+            method=args.method,
+            policy=policy,
+            rng=rng,
+            router=args.router,
         )
         solution = report.propagation
     if args.json:
@@ -400,15 +454,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     problem = load_problem(args.problem)
-    flags = classification_flags(list(problem.queries))
+    # Classify the problem itself (not its bare query list): the flags
+    # then come off the session's StructureProfile — the same single
+    # scan auto dispatch uses.
+    flags = classification_flags(problem)
     print(f"{problem!r}")
     print("structure:")
     for name, value in sorted(flags.items()):
         print(f"  {name}: {value}")
     print("complexity landscape rows that apply:")
-    for row in verdict(list(problem.queries)):
+    for row in verdict(problem):
         print(f"  [{row.table}] {row.complexity} — {row.query_class} "
               f"({row.citation})")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.core.registry import route_plan
+
+    problem = load_problem(args.problem)
+    plan = route_plan(problem, router=args.router)
+    print(plan.explain())
     return 0
 
 
@@ -561,6 +627,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import CASE_KINDS, run_fuzz
 
+    if args.router:
+        import os
+
+        from repro.core.router import ROUTER_ENV
+
+        os.environ[ROUTER_ENV] = args.router
     kinds = None
     if args.kinds:
         kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
@@ -700,6 +772,7 @@ def _cmd_client(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "classify": _cmd_classify,
+    "route": _cmd_route,
     "repairs": _cmd_repairs,
     "render": _cmd_render,
     "sql": _cmd_sql,

@@ -59,8 +59,23 @@ from repro.core.registry import (
     RouteStage,
     SolveReport,
     available_solvers,
+    route_plan,
     solve,
     solve_report,
+)
+from repro.core.router import (
+    LearnedRouter,
+    RoutePlan,
+    StaticRouter,
+    active_plan,
+    plan_scope,
+    resolve_router,
+)
+from repro.core.tracestore import (
+    TraceStore,
+    default_store,
+    record_from_report,
+    validate_record,
 )
 from repro.core.resilience import (
     AttemptRecord,
@@ -108,6 +123,7 @@ __all__ = [
     "VerificationReport",
     "WorkloadStatistics",
     "DeletionPropagationProblem",
+    "LearnedRouter",
     "PAPER_RESULTS",
     "ParetoPoint",
     "PortfolioResult",
@@ -115,16 +131,20 @@ __all__ = [
     "Propagation",
     "ROUTE_TABLE",
     "Route",
+    "RoutePlan",
     "RouteStage",
     "SolvePolicy",
     "SolveReport",
     "SolveSession",
+    "StaticRouter",
     "StructureProfile",
+    "TraceStore",
     "TABLE_II",
     "TABLE_III",
     "TABLE_IV",
     "TABLE_V",
     "active_deadline",
+    "active_plan",
     "available_solvers",
     "claim1_bound",
     "classification_flags",
@@ -138,10 +158,15 @@ __all__ = [
     "lemma1_bound",
     "lp_rounding_bound",
     "minimum_deletion_size",
+    "default_store",
     "pareto_front",
     "parse_fallback",
+    "plan_scope",
     "preserved_degree",
+    "record_from_report",
     "resilience",
+    "resolve_router",
+    "route_plan",
     "run_delta_batch",
     "run_portfolio",
     "solve_bounded_exact",
@@ -171,6 +196,7 @@ __all__ = [
     "solver_statistics",
     "source_cost",
     "theorem4_bound",
+    "validate_record",
     "verdict",
     "verify_solution",
     "workload_statistics",

@@ -2,26 +2,24 @@
 
 The paper situates its contribution in the complexity landscape of
 deletion propagation summarized in its Tables II–V.  This module encodes
-every row of those tables as a machine-checkable predicate over query
-sets (via :mod:`repro.relational.analysis`) and classifies concrete
-inputs, which is how bench E10 regenerates the tables and how
-:func:`verdict` explains which of the paper's results applies to a
-problem instance.
+every row of those tables as a machine-checkable predicate over the
+structural *flag dictionary* produced by
+:func:`repro.relational.analysis.query_set_flags` — the same single
+scan that backs the dispatcher's
+:class:`~repro.core.session.StructureProfile`.  Classifying a problem
+(or an existing session) therefore reuses the session's profile instead
+of re-deriving any predicate; classifying a bare query sequence (or a
+set with explicit functional dependencies) runs the shared scan once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence, Union
 
-from repro.errors import ReproError
 from repro.relational.analysis import (
     FunctionalDependency,
-    has_fd_head_domination,
-    has_fd_induced_triad,
-    has_head_domination,
-    has_triad,
-    is_hierarchical,
+    query_set_flags,
 )
 from repro.relational.cq import ConjunctiveQuery
 
@@ -33,11 +31,18 @@ __all__ = [
     "TABLE_V",
     "PAPER_RESULTS",
     "classification_flags",
+    "structure_flags",
     "verdict",
 ]
 
-Predicate = Callable[
-    [Sequence[ConjunctiveQuery], Sequence[FunctionalDependency]], bool
+#: Row predicates are evaluated over the flag dictionary of
+#: :func:`repro.relational.analysis.query_set_flags` — never over raw
+#: queries, so classification shares the session's one structural scan.
+Predicate = Callable[[Mapping[str, "bool | None"]], bool]
+
+#: Anything classifiable: a query sequence, a problem, or a session.
+Classifiable = Union[
+    Sequence[ConjunctiveQuery], "object"  # DeletionPropagationProblem/SolveSession
 ]
 
 
@@ -45,10 +50,10 @@ Predicate = Callable[
 class LandscapeRow:
     """One row of the paper's complexity tables.
 
-    ``predicate`` returns True when the row's query class contains the
-    given query set (with its functional dependencies); ``None`` marks
-    rows whose class is parameterized in ways outside this library's
-    scope (the parameterized-complexity rows of Table III).
+    ``predicate`` returns True when the row's query class contains a
+    query set with the given structural flags; ``None`` marks rows whose
+    class is parameterized in ways outside this library's scope (the
+    parameterized-complexity rows of Table III).
     """
 
     table: str
@@ -59,88 +64,48 @@ class LandscapeRow:
     predicate: Predicate | None
 
 
-def _single(queries: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery | None:
-    return queries[0] if len(queries) == 1 else None
+def _project_free_and_sj_free(flags) -> bool:
+    return bool(flags["project_free"] and flags["self_join_free"])
 
 
-def _all_project_free(queries, fds) -> bool:
-    return all(q.is_project_free() for q in queries)
+def _all_key_preserving(flags) -> bool:
+    return bool(flags["key_preserving"])
 
 
-def _all_sj_free(queries, fds) -> bool:
-    return all(q.is_self_join_free() for q in queries)
+def _non_key_preserving(flags) -> bool:
+    return not flags["key_preserving"]
 
 
-def _all_key_preserving(queries, fds) -> bool:
-    return all(q.is_key_preserving() for q in queries)
+def _head_dominated(flags) -> bool:
+    return flags["head_domination"] is True
 
 
-def _project_free_and_sj_free(queries, fds) -> bool:
-    return _all_project_free(queries, fds) and _all_sj_free(queries, fds)
+def _fd_head_dominated(flags) -> bool:
+    return flags["fd_head_domination"] is True
 
 
-def _non_key_preserving(queries, fds) -> bool:
-    return not _all_key_preserving(queries, fds)
+def _not_head_dominated(flags) -> bool:
+    return flags["head_domination"] is False
 
 
-def _head_dominated(queries, fds) -> bool:
-    q = _single(queries)
-    return q is not None and q.is_self_join_free() and has_head_domination(q)
+def _not_fd_head_dominated(flags) -> bool:
+    return flags["fd_head_domination"] is False
 
 
-def _fd_head_dominated(queries, fds) -> bool:
-    q = _single(queries)
-    return (
-        q is not None
-        and q.is_self_join_free()
-        and has_fd_head_domination(q, fds)
-    )
+def _triad_free_sj_free(flags) -> bool:
+    return flags["triad"] is False
 
 
-def _not_head_dominated(queries, fds) -> bool:
-    q = _single(queries)
-    return (
-        q is not None
-        and q.is_self_join_free()
-        and not has_head_domination(q)
-    )
+def _fd_triad_free_sj_free(flags) -> bool:
+    return flags["fd_induced_triad"] is False
 
 
-def _not_fd_head_dominated(queries, fds) -> bool:
-    q = _single(queries)
-    return (
-        q is not None
-        and q.is_self_join_free()
-        and not has_fd_head_domination(q, fds)
-    )
+def _with_triad(flags) -> bool:
+    return flags["triad"] is True
 
 
-def _triad_free_sj_free(queries, fds) -> bool:
-    q = _single(queries)
-    return q is not None and q.is_self_join_free() and not has_triad(q)
-
-
-def _fd_triad_free_sj_free(queries, fds) -> bool:
-    q = _single(queries)
-    return (
-        q is not None
-        and q.is_self_join_free()
-        and not has_fd_induced_triad(q, fds)
-    )
-
-
-def _with_triad(queries, fds) -> bool:
-    q = _single(queries)
-    return q is not None and q.is_self_join_free() and has_triad(q)
-
-
-def _with_fd_triad(queries, fds) -> bool:
-    q = _single(queries)
-    return (
-        q is not None
-        and q.is_self_join_free()
-        and has_fd_induced_triad(q, fds)
-    )
+def _with_fd_triad(flags) -> bool:
+    return flags["fd_induced_triad"] is True
 
 
 TABLE_II: tuple[LandscapeRow, ...] = (
@@ -260,8 +225,9 @@ PAPER_RESULTS: tuple[LandscapeRow, ...] = (
         "inapprox within O(2^(log^(1-δ)‖V‖)) unless P=NP (Thm 1)",
         "this paper",
         "two or more project-free conjunctive queries",
-        lambda queries, fds: len(queries) >= 2
-        and _all_project_free(queries, fds),
+        lambda flags: bool(
+            flags["multiple_queries"] and flags["project_free"]
+        ),
     ),
     LandscapeRow(
         "paper", "view side-effect",
@@ -273,7 +239,7 @@ PAPER_RESULTS: tuple[LandscapeRow, ...] = (
         "paper", "view side-effect",
         "l-approx (Thm 3) and 2·sqrt(‖V‖)-approx (Thm 4)", "this paper",
         "forest case: dual hypergraph components are hypertrees",
-        lambda queries, fds: _forest(queries),
+        lambda flags: bool(flags["forest_case"]),
     ),
     LandscapeRow(
         "paper", "view side-effect",
@@ -283,55 +249,71 @@ PAPER_RESULTS: tuple[LandscapeRow, ...] = (
 )
 
 
-def _forest(queries: Sequence[ConjunctiveQuery]) -> bool:
-    from repro.hypergraph.dual import is_forest_case
+def structure_flags(
+    source: Classifiable,
+    fds: Sequence[FunctionalDependency] = (),
+) -> dict[str, bool | None]:
+    """The full structural flag dictionary of ``source``.
 
-    return all(q.is_key_preserving() for q in queries) and is_forest_case(
-        queries
-    )
+    ``source`` may be a problem or :class:`SolveSession` — then the
+    session's cached :class:`StructureProfile` answers and **no
+    predicate is re-evaluated** (explicit ``fds`` force a fresh scan:
+    the profile is computed without FDs) — or a raw query sequence,
+    which runs :func:`~repro.relational.analysis.query_set_flags` once.
+    """
+    from repro.core.session import SolveSession
+
+    if isinstance(source, SolveSession):
+        if not fds:
+            return source.profile.classification_flags()
+        source = source.problem
+    queries = getattr(source, "queries", None)
+    if queries is not None and not isinstance(source, (list, tuple)):
+        if not fds:
+            return SolveSession.of(source).profile.classification_flags()
+        return query_set_flags(list(queries), fds)
+    return query_set_flags(list(source), fds)
 
 
 def classification_flags(
-    queries: Sequence[ConjunctiveQuery],
+    source: Classifiable,
     fds: Sequence[FunctionalDependency] = (),
 ) -> dict[str, bool]:
-    """All structural flags of a query set in one dictionary."""
-    single = _single(queries)
-    flags = {
-        "multiple_queries": len(queries) > 1,
-        "project_free": _all_project_free(queries, fds),
-        "self_join_free": _all_sj_free(queries, fds),
-        "key_preserving": _all_key_preserving(queries, fds),
-        "forest_case": _forest(queries),
+    """All *defined* structural flags of ``source`` in one dictionary
+    (the historical public shape: single-query analyses appear only
+    when they are defined, instead of carrying ``None``)."""
+    flags = structure_flags(source, fds)
+    out = {
+        "multiple_queries": bool(flags["multiple_queries"]),
+        "project_free": bool(flags["project_free"]),
+        "self_join_free": bool(flags["self_join_free"]),
+        "key_preserving": bool(flags["key_preserving"]),
+        "forest_case": bool(flags["forest_case"]),
     }
-    if single is not None and single.is_self_join_free():
-        flags["head_domination"] = has_head_domination(single)
-        flags["fd_head_domination"] = has_fd_head_domination(single, fds)
-        flags["triad"] = has_triad(single)
-        flags["fd_induced_triad"] = has_fd_induced_triad(single, fds)
-        flags["hierarchical"] = is_hierarchical(single)
-    return flags
+    for name in (
+        "head_domination",
+        "fd_head_domination",
+        "triad",
+        "fd_induced_triad",
+        "hierarchical",
+    ):
+        if flags.get(name) is not None:
+            out[name] = bool(flags[name])
+    return out
 
 
 def verdict(
-    queries: Sequence[ConjunctiveQuery],
+    source: Classifiable,
     fds: Sequence[FunctionalDependency] = (),
 ) -> list[LandscapeRow]:
     """All landscape rows (prior work + this paper) whose class contains
-    the query set, most specific paper results included."""
+    the query set, most specific paper results included.  The flags are
+    computed once (or read off the session profile); every row predicate
+    is a cheap dictionary lookup."""
+    flags = structure_flags(source, fds)
     rows = TABLE_II + TABLE_III + TABLE_IV + TABLE_V + PAPER_RESULTS
-    out = []
-    for row in rows:
-        if row.predicate is None:
-            continue
-        try:
-            applies = row.predicate(queries, fds)
-        except ReproError:
-            # A predicate defined only on a narrower query class (e.g.
-            # key-preserving analyses on a non-key-preserving set) means
-            # "row does not apply" — anything else is a real bug and
-            # must surface, not be classified away.
-            applies = False
-        if applies:
-            out.append(row)
-    return out
+    return [
+        row
+        for row in rows
+        if row.predicate is not None and row.predicate(flags)
+    ]

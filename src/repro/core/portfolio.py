@@ -128,8 +128,11 @@ _MAX_RESPAWNS = 3
 _TIMEOUT_GRACE = 0.5
 
 #: ``(key, wall_seconds, facts_payload | None, error | None,
-#: attempt_dicts)`` — what worker tasks and their serial twins return.
-RawOutcome = tuple[object, float, list | None, str | None, list]
+#: attempt_dicts, route | None)`` — what worker tasks and their serial
+#: twins return.  ``route`` is the dispatch route the report took
+#: (``forced:<method>``, a route-table name, ``degraded:<method>``), so
+#: the serve tier's per-route histogram sees pool runs too.
+RawOutcome = tuple[object, float, list | None, str | None, list, str | None]
 
 
 @dataclass(frozen=True)
@@ -147,6 +150,7 @@ class PortfolioResult:
     wall_seconds: float
     error: str | None = None
     attempts: tuple[AttemptRecord, ...] = ()
+    route: str | None = None  #: dispatch route taken (None on failure)
 
     @property
     def ok(self) -> bool:
@@ -170,6 +174,7 @@ class DeltaOutcome:
     wall_seconds: float
     error: str | None = None
     attempts: tuple[AttemptRecord, ...] = ()
+    route: str | None = None  #: dispatch route taken (None on failure)
 
     @property
     def ok(self) -> bool:
@@ -263,6 +268,7 @@ def _solve_method_task(
             None,
             f"{type(exc).__name__}: {exc}",
             _error_attempts(exc),
+            None,
         )
     return (
         method,
@@ -270,6 +276,7 @@ def _solve_method_task(
         _facts_payload(report.propagation),
         None,
         [record.as_dict() for record in report.attempts],
+        report.route,
     )
 
 
@@ -301,6 +308,7 @@ def _solve_delta_task(
             None,
             f"{type(exc).__name__}: {exc}",
             _error_attempts(exc),
+            None,
         )
     return (
         index,
@@ -308,6 +316,7 @@ def _solve_delta_task(
         _facts_payload(report.propagation),
         None,
         [record.as_dict() for record in report.attempts],
+        report.route,
     )
 
 
@@ -344,9 +353,9 @@ class _Task:
         attempt trace."""
         if not self.events:
             return raw
-        key, seconds, payload, error, attempts = raw
+        key, seconds, payload, error, attempts, route = raw
         events = [record.as_dict() for record in self.events]
-        return key, seconds, payload, error, events + list(attempts)
+        return key, seconds, payload, error, events + list(attempts), route
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -376,6 +385,7 @@ def _timeout_outcome(task: _Task, task_timeout: float) -> RawOutcome:
             f"task exceeded its {task_timeout:.3f}s dispatch timeout "
             f"{task.dispatches} time(s)",
             [],
+            None,
         )
     )
 
@@ -390,6 +400,7 @@ def _crash_outcome(task: _Task, cause: str) -> RawOutcome:
             f"dispatch(es) ({cause}); refusing in-process re-run of a "
             "crash suspect",
             [],
+            None,
         )
     )
 
@@ -662,6 +673,7 @@ def _solve_method_serial(
             None,
             f"{type(exc).__name__}: {exc}",
             _error_attempts(exc),
+            None,
         )
     return (
         method,
@@ -669,6 +681,7 @@ def _solve_method_serial(
         _facts_payload(report.propagation),
         None,
         [record.as_dict() for record in report.attempts],
+        report.route,
     )
 
 
@@ -679,7 +692,7 @@ def _run_serial(
 ) -> list[PortfolioResult]:
     results: list[PortfolioResult] = []
     for method in methods:
-        _, seconds, payload, error, attempts = _solve_method_serial(
+        _, seconds, payload, error, attempts, route = _solve_method_serial(
             problem, method, policy
         )
         if payload is None:
@@ -699,6 +712,7 @@ def _run_serial(
                     _rebuild(problem, method, payload),
                     seconds,
                     attempts=_attempt_records(attempts),
+                    route=route,
                 )
             )
     return results
@@ -755,7 +769,7 @@ def run_portfolio(
     by_method = {outcome[0]: outcome for outcome in raw}
     results: list[PortfolioResult] = []
     for method in methods:
-        _, seconds, payload, error, attempts = by_method[method]
+        _, seconds, payload, error, attempts, route = by_method[method]
         if payload is None:
             results.append(
                 PortfolioResult(
@@ -773,6 +787,7 @@ def run_portfolio(
                     _rebuild(problem, method, payload),
                     seconds,
                     attempts=_attempt_records(attempts),
+                    route=route,
                 )
             )
     return results
@@ -843,6 +858,7 @@ def _solve_delta_serial(
             None,
             f"{type(exc).__name__}: {exc}",
             _error_attempts(exc),
+            None,
         )
     return (
         index,
@@ -850,6 +866,7 @@ def _solve_delta_serial(
         _facts_payload(report.propagation),
         None,
         [record.as_dict() for record in report.attempts],
+        report.route,
     )
 
 
@@ -920,7 +937,7 @@ def run_delta_batch(
         )
 
     outcomes: list[DeltaOutcome] = []
-    for index, seconds, payload, error, attempts in sorted(
+    for index, seconds, payload, error, attempts, route in sorted(
         raw, key=lambda outcome: outcome[0]
     ):
         records = _attempt_records(attempts)
@@ -941,6 +958,7 @@ def run_delta_batch(
                 _rebuild(variant, method, payload),
                 seconds,
                 attempts=records,
+                route=route,
             )
         )
     return outcomes

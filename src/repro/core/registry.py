@@ -59,6 +59,17 @@ from repro.core.resilience import (
     SolvePolicy,
     deadline_scope,
 )
+from repro.core.router import (
+    DEFAULT_ILP_NORM_V,
+    LearnedRouter,
+    RoutePlan,
+    StaticRouter,
+    active_duel_winner,
+    active_ilp_norm_v,
+    active_plan,
+    plan_scope,
+    resolve_router,
+)
 from repro.core.session import SolveSession, StructureProfile
 from repro.core.single_query import (
     solve_single_deletion,
@@ -74,6 +85,7 @@ __all__ = [
     "RouteStage",
     "SolveReport",
     "available_solvers",
+    "route_plan",
     "solve",
     "solve_report",
 ]
@@ -201,8 +213,18 @@ class Route:
 #: Instances up to this ``‖V‖`` take the exact ILP route when no
 #: stronger structural route applies — the arena-compiled backend
 #: answers these in single-digit milliseconds (see BENCH_ilp_exact),
-#: so an exact answer beats the Claim 1 approximation outright.
-_ILP_ROUTE_MAX_NORM_V = 64
+#: so an exact answer beats the Claim 1 approximation outright.  The
+#: constant is now only the *default* gate: the active
+#: :class:`~repro.core.router.RoutePlan` supplies the effective value
+#: (``REPRO_ILP_NORM_V`` overrides, a learned router may move it).
+_ILP_ROUTE_MAX_NORM_V = DEFAULT_ILP_NORM_V
+
+#: The forest duel's candidate families, keyed as
+#: :class:`~repro.core.router.RoutePlan.duel_winner` names them.
+_DUEL_SOLVERS = {
+    "primal-dual": solve_primal_dual,
+    "lowdeg-tree": solve_lowdeg_tree_sweep,
+}
 
 
 def _run_trivial(session: SolveSession) -> Propagation:
@@ -214,6 +236,11 @@ def _run_forest_duel(session: SolveSession) -> Propagation:
     winner (satellite: the losing candidate used to be discarded with
     no trace that the duel even happened).
 
+    When the active route plan names a duel winner (a learned router
+    with enough decided duels for this profile bucket), only that
+    candidate runs — the duel-skip fast path measured in
+    ``BENCH_routing.json``.
+
     Under an active deadline the duel degrades gracefully: once a first
     candidate exists, an expired deadline skips the remaining
     contender instead of raising — a one-candidate duel is still a
@@ -221,8 +248,14 @@ def _run_forest_duel(session: SolveSession) -> Propagation:
     """
     problem = session.problem
     deadline = session.deadline
+    preferred = _DUEL_SOLVERS.get(active_duel_winner() or "")
+    solvers = (
+        (preferred,)
+        if preferred is not None
+        else (solve_primal_dual, solve_lowdeg_tree_sweep)
+    )
     candidates = []
-    for solver in (solve_primal_dual, solve_lowdeg_tree_sweep):
+    for solver in solvers:
         if candidates and deadline is not None and deadline.expired:
             break
         start = time.perf_counter()
@@ -296,7 +329,7 @@ ROUTE_TABLE: tuple[Route, ...] = (
         lambda p: (
             not p.balanced
             and p.key_preserving
-            and p.norm_v <= _ILP_ROUTE_MAX_NORM_V
+            and p.norm_v <= active_ilp_norm_v()
         ),
         lambda s: solve_exact_ilp(s.problem),
     ),
@@ -309,12 +342,41 @@ ROUTE_TABLE: tuple[Route, ...] = (
 # ----------------------------------------------------------------------
 
 
+def route_plan(
+    problem: DeletionPropagationProblem | SolveSession,
+    router: "str | StaticRouter | LearnedRouter | None" = None,
+) -> RoutePlan:
+    """The :class:`~repro.core.router.RoutePlan` an auto dispatch of
+    ``problem`` would follow (``repro route explain`` prints it)."""
+    session = (
+        problem
+        if isinstance(problem, SolveSession)
+        else SolveSession.of(problem)
+    )
+    return resolve_router(router).plan(session.profile)
+
+
+def _record_trace(session: SolveSession, report: SolveReport) -> None:
+    """Append the dispatch to the trace store.  Best-effort by
+    contract: recording failures must never surface as solve
+    failures."""
+    try:
+        from repro.core.tracestore import default_store, record_from_report
+
+        store = default_store()
+        if store is not None:
+            store.append(record_from_report(session, report))
+    except Exception:
+        pass
+
+
 def solve_report(
     problem: DeletionPropagationProblem | SolveSession,
     method: str = "auto",
     deadline: Deadline | None = None,
     policy: SolvePolicy | None = None,
     rng: "random.Random | None" = None,
+    router: "str | StaticRouter | LearnedRouter | None" = None,
 ) -> SolveReport:
     """Solve and return the full :class:`SolveReport` envelope.
 
@@ -325,16 +387,28 @@ def solve_report(
     :func:`repro.core.resilience.solve_with_policy` for the full
     deadline + retry + fallback-chain treatment, with ``rng`` (or a
     per-request seeded default) driving its backoff jitter.
+
+    ``router`` picks the route planner for auto dispatch: ``"static"``
+    (the declared table, the default), ``"learned"`` (the trace-store
+    cost model), a router instance, or ``None`` to defer to the
+    ``REPRO_ROUTER`` environment variable — unless an ambient plan is
+    already installed (a policy chain re-entering the dispatcher), which
+    then stays in force.
     """
     if policy is not None:
         from repro.core.resilience import solve_with_policy
 
         return solve_with_policy(
-            problem, method=method, policy=policy, deadline=deadline, rng=rng
+            problem,
+            method=method,
+            policy=policy,
+            deadline=deadline,
+            rng=rng,
+            router=router,
         )
     if deadline is not None:
         with deadline_scope(deadline):
-            return solve_report(problem, method=method)
+            return solve_report(problem, method=method, router=router)
 
     if isinstance(problem, SolveSession):
         session = problem
@@ -352,7 +426,7 @@ def solve_report(
         start = time.perf_counter()
         propagation = solver(session.problem)
         seconds = time.perf_counter() - start
-        return SolveReport(
+        report = SolveReport(
             propagation=propagation,
             route=f"forced:{method}",
             profile=session.profile,
@@ -366,31 +440,47 @@ def solve_report(
                 )
             ],
         )
+        _record_trace(session, report)
+        return report
 
     profile = session.profile
-    for route in ROUTE_TABLE:
-        if not route.applies(profile):
-            continue
-        start = time.perf_counter()
-        propagation = route.run(session)
-        seconds = time.perf_counter() - start
-        stages = getattr(propagation, "duel_stages", None)
-        if stages is None:
-            stages = [
-                RouteStage(
-                    route=route.name,
-                    method=propagation.method,
-                    seconds=seconds,
-                    objective=propagation.objective(),
-                    chosen=True,
-                )
-            ]
-        return SolveReport(
-            propagation=propagation,
-            route=route.name,
-            profile=profile,
-            trace=stages,
-        )
+    # An ambient plan (installed by an enclosing dispatch or a policy
+    # chain) stays in force unless the caller names a router explicitly.
+    plan = active_plan() if router is None else None
+    if plan is None:
+        plan = resolve_router(router).plan(profile)
+    routes = {route.name: route for route in ROUTE_TABLE}
+    # Walk in plan order; any table entry the plan does not name keeps
+    # its declared position afterwards (the catch-all can never be
+    # planned away).
+    walk = [routes.pop(name) for name in plan.order if name in routes]
+    walk.extend(routes.values())
+    with plan_scope(plan):
+        for route in walk:
+            if not route.applies(profile):
+                continue
+            start = time.perf_counter()
+            propagation = route.run(session)
+            seconds = time.perf_counter() - start
+            stages = getattr(propagation, "duel_stages", None)
+            if stages is None:
+                stages = [
+                    RouteStage(
+                        route=route.name,
+                        method=propagation.method,
+                        seconds=seconds,
+                        objective=propagation.objective(),
+                        chosen=True,
+                    )
+                ]
+            report = SolveReport(
+                propagation=propagation,
+                route=route.name,
+                profile=profile,
+                trace=stages,
+            )
+            _record_trace(session, report)
+            return report
     raise SolverError("route table exhausted (missing catch-all)")
 
 
@@ -400,16 +490,23 @@ def solve(
     deadline: Deadline | None = None,
     policy: SolvePolicy | None = None,
     rng: "random.Random | None" = None,
+    router: "str | StaticRouter | LearnedRouter | None" = None,
 ) -> Propagation:
     """Solve a deletion-propagation problem.
 
     ``method="auto"`` dispatches by structure via the route table (see
     module docstring); any name from :func:`available_solvers` forces a
     specific algorithm.  ``deadline`` / ``policy`` / ``rng`` add the
-    resilience layer (see :mod:`repro.core.resilience`).  Use
+    resilience layer (see :mod:`repro.core.resilience`); ``router``
+    picks the route planner (see :mod:`repro.core.router`).  Use
     :func:`solve_report` for the route trace, per-stage timings, and
     attempt trace.
     """
     return solve_report(
-        problem, method=method, deadline=deadline, policy=policy, rng=rng
+        problem,
+        method=method,
+        deadline=deadline,
+        policy=policy,
+        rng=rng,
+        router=router,
     ).propagation

@@ -1,0 +1,568 @@
+"""Route planning — the static dispatch contract plus learned knobs.
+
+:mod:`repro.core.registry` used to hard-code every dispatch decision:
+the route-table order, the forest duel that always runs *both*
+candidates, the ILP route's fixed ``norm_v <= 64`` gate, and the
+:class:`~repro.core.resilience.SolvePolicy` fallback chain in its
+declared order.  This module turns those decisions into a
+:class:`RoutePlan` produced by a **router**:
+
+* :class:`StaticRouter` — reproduces today's behaviour exactly: the
+  route table's declared order, both duel candidates, the default (or
+  ``REPRO_ILP_NORM_V``) ILP threshold, the chain as declared.  This is
+  the default and the *cold-start contract*: a learned router with no
+  usable trace data must degrade to precisely this plan.
+* :class:`LearnedRouter` — fits a transparent cost model from the
+  :mod:`repro.core.tracestore` records: instances are bucketed by their
+  structural feature key (the profile's boolean flags plus log2 size
+  buckets), and per bucket the model keeps per-route latency quantiles,
+  forest-duel win counts, and per-method latencies.  A plan for a new
+  instance looks up its exact feature key, falls back to the nearest
+  recorded key (bounded Hamming + bucket distance), and otherwise
+  returns the static plan.  The learned knobs are deliberately narrow —
+  routes stay *structurally* gated (an inapplicable algorithm is never
+  chosen by statistics):
+
+  - **duel winner**: with enough decided duels in the bucket, the plan
+    names the winning candidate family and the duel runs only that
+    candidate (the ≥1.3x per-request win of ``BENCH_routing.json``);
+  - **ILP threshold**: ``norm_v`` gate raised while observed exact-ILP
+    latencies stay within budget, lowered when they blow it;
+  - **chain order**: the fallback tail of a policy chain reordered by
+    observed median method latency (the requested method stays first).
+
+Selection: an explicit ``router=`` argument beats the ``REPRO_ROUTER``
+environment variable beats the ``"static"`` default.  During a dispatch
+the active plan travels in a context variable (:func:`plan_scope`) so
+the route-table predicates and the duel runner read their knobs without
+signature churn — exactly like the ambient deadline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+from repro.errors import SolverError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.session import StructureProfile
+    from repro.core.tracestore import TraceStore
+
+__all__ = [
+    "DEFAULT_ILP_NORM_V",
+    "ILP_NORM_V_ENV",
+    "ROUTER_ENV",
+    "LearnedRouter",
+    "RoutePlan",
+    "StaticRouter",
+    "active_duel_winner",
+    "active_ilp_norm_v",
+    "active_plan",
+    "env_ilp_norm_v",
+    "plan_scope",
+    "reset_shared_learned_router",
+    "resolve_router",
+]
+
+#: ``static`` (default) or ``learned``.
+ROUTER_ENV = "REPRO_ROUTER"
+#: Overrides the ILP route's ``norm_v`` gate for both routers — the
+#: reproducibility escape hatch: with it set, dispatch ignores whatever
+#: threshold the cost model learned.
+ILP_NORM_V_ENV = "REPRO_ILP_NORM_V"
+#: The historical hard-coded gate (see BENCH_ilp_exact: instances up to
+#: here answer exactly in single-digit milliseconds).
+DEFAULT_ILP_NORM_V = 64
+
+#: Learned ILP thresholds never leave this range: the lower bound keeps
+#: the exact route alive for toy instances even after pathological
+#: latency samples, the upper bound caps how far a few lucky samples
+#: can push an exponential-worst-case solver.
+_ILP_MIN, _ILP_MAX = 8, 1024
+#: An exact-ILP solve within this budget counts as "fast" when raising
+#: the learned threshold; samples over it argue for lowering it.
+_ILP_LATENCY_BUDGET_S = 0.25
+
+#: Decided duels required in a feature bucket before the plan dares to
+#: skip a candidate, and the win share the leader must hold.
+_MIN_DUEL_SAMPLES = 3
+_MIN_DUEL_WIN_SHARE = 2 / 3
+
+#: Maximum feature distance for the nearest-profile fallback: one
+#: flipped flag or one size-bucket step away still predicts, anything
+#: further is a cold start.
+_MAX_NEIGHBOR_DISTANCE = 2
+
+_FEATURE_BOOLS = (
+    "key_preserving",
+    "self_join_free",
+    "project_free",
+    "single_query",
+    "forest_case",
+    "dp_tree_applies",
+    "balanced",
+)
+_FEATURE_FLAGS = (
+    "head_domination",
+    "fd_head_domination",
+    "triad",
+    "fd_induced_triad",
+    "hierarchical",
+)
+_FEATURE_SIZES = ("norm_v", "norm_delta_v", "max_arity")
+
+
+def env_ilp_norm_v(default: int = DEFAULT_ILP_NORM_V) -> int:
+    """The ``REPRO_ILP_NORM_V`` override, or ``default``.  An unparsable
+    value is ignored (dispatch must not crash on a typo'd environment)."""
+    raw = os.environ.get(ILP_NORM_V_ENV)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 0 else default
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """One dispatch's worth of routing decisions, fully inspectable.
+
+    ``order`` is the route-table walk order (names); ``duel_winner``
+    names the forest-duel candidate family to run alone (``None`` =
+    run both); ``ilp_norm_v`` is the exact-ILP route's ``norm_v`` gate;
+    ``chain_hint`` ranks methods by expected latency for
+    :meth:`order_chain`.  ``basis`` records how the plan was reached —
+    ``repro route explain`` prints it verbatim.
+    """
+
+    router: str
+    order: tuple[str, ...]
+    ilp_norm_v: int = DEFAULT_ILP_NORM_V
+    duel_winner: str | None = None
+    chain_hint: tuple[str, ...] = ()
+    basis: Mapping[str, object] = field(default_factory=dict)
+
+    def order_chain(self, chain: Sequence[str]) -> tuple[str, ...]:
+        """Reorder a policy fallback chain by :attr:`chain_hint`.
+
+        The requested method (the chain head) always stays first —
+        ordering is a latency optimization of the *fallback tail*, never
+        an override of what the caller asked for.  Methods the hint has
+        never seen keep their declared relative order, after the ranked
+        ones.
+        """
+        if len(chain) <= 2 or not self.chain_hint:
+            return tuple(chain)
+        rank = {name: pos for pos, name in enumerate(self.chain_hint)}
+        unknown = len(rank)
+        tail = sorted(
+            enumerate(chain[1:]),
+            key=lambda pair: (rank.get(pair[1], unknown), pair[0]),
+        )
+        return (chain[0], *(name for _, name in tail))
+
+    def explain(self) -> str:
+        """A human-readable account of every decision in the plan."""
+        lines = [
+            f"router: {self.router}",
+            f"route order: {' > '.join(self.order)}",
+            f"ilp norm_v gate: {self.ilp_norm_v}",
+            "forest duel: "
+            + (
+                f"run only {self.duel_winner}"
+                if self.duel_winner
+                else "run both candidates"
+            ),
+        ]
+        if self.chain_hint:
+            lines.append(f"chain hint: {', '.join(self.chain_hint)}")
+        for key in sorted(self.basis):
+            lines.append(f"  {key}: {self.basis[key]}")
+        return "\n".join(lines)
+
+
+def _static_order() -> tuple[str, ...]:
+    from repro.core.registry import ROUTE_TABLE
+
+    return tuple(route.name for route in ROUTE_TABLE)
+
+
+class StaticRouter:
+    """Today's hard-coded dispatch, expressed as a plan.
+
+    Byte-identical behaviour to the pre-router dispatcher: declared
+    route order, both duel candidates, the default (or env-overridden)
+    ILP gate, no chain reordering.
+    """
+
+    name = "static"
+
+    def plan(self, profile: "StructureProfile | None" = None) -> RoutePlan:
+        return RoutePlan(
+            router="static",
+            order=_static_order(),
+            ilp_norm_v=env_ilp_norm_v(),
+            basis={"source": "route-table declaration"},
+        )
+
+
+def _candidate_family(method: str) -> str | None:
+    """Normalize a duel stage's method label to its candidate family
+    (``lowdeg-tree-sweep`` / ``lowdeg-tree(tau=3)`` / the fallback label
+    are all one Algorithm 3 family)."""
+    label = method[5:] if method.startswith("auto:") else method
+    if label.startswith("primal-dual"):
+        return "primal-dual"
+    if label.startswith("lowdeg-tree"):
+        return "lowdeg-tree"
+    return None
+
+
+def _feature_key(features: Mapping[str, object]) -> tuple:
+    """The cost model's bucket key: every structural boolean verbatim,
+    classifier flags three-valued, sizes as log2 buckets (norm 100 and
+    norm 120 should share statistics; norm 8 and norm 800 must not)."""
+    key: list[object] = [bool(features.get(name)) for name in _FEATURE_BOOLS]
+    for name in _FEATURE_FLAGS:
+        value = features.get(name)
+        key.append("?" if value is None else bool(value))
+    for name in _FEATURE_SIZES:
+        key.append(int(features.get(name, 0) or 0).bit_length())
+    return tuple(key)
+
+
+def _key_distance(a: tuple, b: tuple) -> int:
+    flags = len(_FEATURE_BOOLS) + len(_FEATURE_FLAGS)
+    distance = sum(1 for x, y in zip(a[:flags], b[:flags]) if x != y)
+    distance += sum(abs(x - y) for x, y in zip(a[flags:], b[flags:]))
+    return distance
+
+
+class _BucketStats:
+    """Per-feature-bucket aggregates of the trace records."""
+
+    __slots__ = ("routes", "methods", "duel_wins", "duel_total")
+
+    def __init__(self) -> None:
+        self.routes: dict[str, list[float]] = {}
+        self.methods: dict[str, list[float]] = {}
+        self.duel_wins: dict[str, int] = {}
+        self.duel_total = 0
+
+    def duel_winner(self) -> str | None:
+        if self.duel_total < _MIN_DUEL_SAMPLES or not self.duel_wins:
+            return None
+        family, wins = max(self.duel_wins.items(), key=lambda kv: kv[1])
+        if wins / self.duel_total < _MIN_DUEL_WIN_SHARE:
+            return None
+        return family
+
+    def chain_hint(self) -> tuple[str, ...]:
+        ranked = sorted(
+            (
+                (statistics.median(samples), name)
+                for name, samples in self.methods.items()
+                if samples
+            ),
+        )
+        return tuple(name for _, name in ranked)
+
+    def route_quantiles(self) -> dict[str, dict[str, float]]:
+        out = {}
+        for name, samples in sorted(self.routes.items()):
+            ordered = sorted(samples)
+            out[name] = {
+                "n": len(ordered),
+                "p50": ordered[len(ordered) // 2],
+                "p90": ordered[min(len(ordered) - 1, int(len(ordered) * 0.9))],
+            }
+        return out
+
+
+class LearnedRouter:
+    """A cost model fit from the trace store, degrading to the static
+    plan wherever the data is missing, thin, or ambiguous.
+
+    The model is refit lazily on first use and pinned for the router's
+    lifetime (a dispatching process must not change its mind mid-batch);
+    :meth:`refit` re-reads the store explicitly.
+    """
+
+    name = "learned"
+
+    def __init__(self, store: "TraceStore | None" = None):
+        self._store = store
+        self._buckets: dict[tuple, _BucketStats] | None = None
+        self._ilp_fast: list[int] = []
+        self._ilp_slow: list[int] = []
+        self._records = 0
+
+    # -- fitting -------------------------------------------------------
+
+    def _resolve_store(self) -> "TraceStore | None":
+        if self._store is not None:
+            return self._store
+        from repro.core.tracestore import default_store
+
+        return default_store()
+
+    def refit(self) -> int:
+        """(Re)read the trace store; returns the number of usable
+        records."""
+        self._buckets = {}
+        self._ilp_fast = []
+        self._ilp_slow = []
+        self._records = 0
+        store = self._resolve_store()
+        if store is None:
+            return 0
+        for record in store.records():
+            profile = record.get("profile")
+            route = record.get("route")
+            seconds = record.get("seconds")
+            if (
+                not isinstance(profile, Mapping)
+                or not isinstance(route, str)
+                or not isinstance(seconds, (int, float))
+            ):
+                continue
+            self._records += 1
+            bucket = self._buckets.setdefault(
+                _feature_key(profile), _BucketStats()
+            )
+            bucket.routes.setdefault(route, []).append(float(seconds))
+            for stage in record.get("stages") or ():
+                if not isinstance(stage, Mapping):
+                    continue
+                method = stage.get("method")
+                stage_seconds = stage.get("seconds")
+                if not isinstance(method, str) or not isinstance(
+                    stage_seconds, (int, float)
+                ):
+                    continue
+                bucket.methods.setdefault(method, []).append(
+                    float(stage_seconds)
+                )
+                if route == "forest-duel" and stage.get("chosen"):
+                    family = _candidate_family(method)
+                    if family is not None:
+                        bucket.duel_total += 1
+                        bucket.duel_wins[family] = (
+                            bucket.duel_wins.get(family, 0) + 1
+                        )
+            if route in ("exact-ilp", "forced:exact-ilp"):
+                norm_v = profile.get("norm_v")
+                if isinstance(norm_v, int):
+                    if seconds <= _ILP_LATENCY_BUDGET_S:
+                        self._ilp_fast.append(norm_v)
+                    else:
+                        self._ilp_slow.append(norm_v)
+        return self._records
+
+    def _fitted(self) -> dict[tuple, _BucketStats]:
+        if self._buckets is None:
+            self.refit()
+        assert self._buckets is not None
+        return self._buckets
+
+    # -- planning ------------------------------------------------------
+
+    def _learned_ilp_norm_v(self) -> int:
+        threshold = DEFAULT_ILP_NORM_V
+        if self._ilp_fast:
+            threshold = max(threshold, max(self._ilp_fast))
+        if self._ilp_slow:
+            threshold = min(threshold, min(self._ilp_slow) - 1)
+        return max(_ILP_MIN, min(_ILP_MAX, threshold))
+
+    def _match(
+        self, key: tuple
+    ) -> tuple[_BucketStats | None, str, int]:
+        buckets = self._fitted()
+        exact = buckets.get(key)
+        if exact is not None:
+            return exact, "exact", 0
+        best: _BucketStats | None = None
+        best_distance = _MAX_NEIGHBOR_DISTANCE + 1
+        for other, stats in sorted(buckets.items(), key=lambda kv: kv[0]):
+            distance = _key_distance(key, other)
+            if distance < best_distance:
+                best, best_distance = stats, distance
+        if best is None:
+            return None, "cold", -1
+        return best, "nearest", best_distance
+
+    def plan(self, profile: "StructureProfile | None" = None) -> RoutePlan:
+        static = StaticRouter().plan(profile)
+        if profile is None:
+            return static
+        from repro.core.session import profile_to_dict
+
+        bucket, match, distance = self._match(
+            _feature_key(profile_to_dict(profile))
+        )
+        # The env override is absolute; otherwise let the model move the
+        # gate within its clamp.
+        ilp_norm_v = env_ilp_norm_v(default=self._learned_ilp_norm_v())
+        if bucket is None:
+            return RoutePlan(
+                router="learned",
+                order=static.order,
+                ilp_norm_v=ilp_norm_v,
+                basis={
+                    "source": "cold start (no matching trace bucket)",
+                    "records": self._records,
+                },
+            )
+        return RoutePlan(
+            router="learned",
+            order=static.order,
+            ilp_norm_v=ilp_norm_v,
+            duel_winner=bucket.duel_winner(),
+            chain_hint=bucket.chain_hint(),
+            basis={
+                "source": f"{match} profile match (distance {distance})",
+                "records": self._records,
+                "duel samples": bucket.duel_total,
+                "duel wins": dict(sorted(bucket.duel_wins.items())),
+                "route latency quantiles (s)": bucket.route_quantiles(),
+            },
+        )
+
+
+#: Shared learned-router cache for name-based resolution: fitting reads
+#: the whole store, so per-dispatch construction would turn every auto
+#: solve under ``REPRO_ROUTER=learned`` into a full trace-file scan.
+#: The cached model is reused until the store's file fingerprint
+#: changes *and* the refresh interval has elapsed (an appending
+#: dispatcher grows the store on every solve; refitting each time would
+#: reintroduce the scan).
+_LEARNED_REFRESH_S = 5.0
+_SHARED_LEARNED_LOCK = threading.Lock()
+_SHARED_LEARNED: dict = {
+    "router": None,
+    "directory": None,
+    "fingerprint": None,
+    "fitted_at": 0.0,
+}
+
+
+def _shared_learned_router() -> LearnedRouter:
+    from repro.core.tracestore import default_store
+
+    store = default_store()
+    if store is None:
+        return LearnedRouter(None)  # recording off: permanently cold
+    try:
+        fingerprint = tuple(
+            (str(path), path.stat().st_size) for path in store.paths()
+        )
+    except OSError:
+        fingerprint = None
+    with _SHARED_LEARNED_LOCK:
+        cached = _SHARED_LEARNED
+        now = time.monotonic()
+        stale = (
+            cached["router"] is None
+            or cached["directory"] != store.directory
+            or (
+                cached["fingerprint"] != fingerprint
+                and now - cached["fitted_at"] >= _LEARNED_REFRESH_S
+            )
+        )
+        if stale:
+            router = LearnedRouter(store)
+            router.refit()
+            cached.update(
+                router=router,
+                directory=store.directory,
+                fingerprint=fingerprint,
+                fitted_at=now,
+            )
+        return cached["router"]
+
+
+def reset_shared_learned_router() -> None:
+    """Drop the cached shared learned router (tests that rewrite the
+    trace store mid-process call this)."""
+    with _SHARED_LEARNED_LOCK:
+        _SHARED_LEARNED.update(
+            router=None, directory=None, fingerprint=None, fitted_at=0.0
+        )
+
+
+def resolve_router(
+    spec: "str | StaticRouter | LearnedRouter | None" = None,
+    store: "TraceStore | None" = None,
+) -> "StaticRouter | LearnedRouter":
+    """The router for one dispatch: an explicit ``spec`` (name or router
+    instance) beats :data:`ROUTER_ENV` beats static.
+
+    Resolving the *name* ``"learned"`` without an explicit ``store``
+    returns a shared, already-fitted router bound to the default trace
+    store (refit when the store files change, throttled) — per-dispatch
+    resolution must not re-read the whole store every time.
+    """
+    if spec is None:
+        spec = os.environ.get(ROUTER_ENV) or "static"
+    if not isinstance(spec, str):
+        return spec
+    name = spec.strip().lower()
+    if name == "static":
+        return StaticRouter()
+    if name == "learned":
+        if store is not None:
+            return LearnedRouter(store)
+        return _shared_learned_router()
+    raise SolverError(
+        f"unknown router {spec!r}; expected 'static' or 'learned'"
+    )
+
+
+# ----------------------------------------------------------------------
+# Ambient plan (context-var, mirroring the deadline scope)
+# ----------------------------------------------------------------------
+
+_ACTIVE_PLAN: contextvars.ContextVar[RoutePlan | None] = contextvars.ContextVar(
+    "repro_active_route_plan", default=None
+)
+
+
+def active_plan() -> RoutePlan | None:
+    """The plan governing the current dispatch, or ``None``."""
+    return _ACTIVE_PLAN.get()
+
+
+@contextlib.contextmanager
+def plan_scope(plan: RoutePlan | None) -> Iterator[RoutePlan | None]:
+    """Install ``plan`` as the ambient route plan for the block."""
+    token = _ACTIVE_PLAN.set(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE_PLAN.reset(token)
+
+
+def active_ilp_norm_v() -> int:
+    """The ILP route gate under the ambient plan (env/default when no
+    plan is installed — forced dispatches, bare solver calls)."""
+    plan = _ACTIVE_PLAN.get()
+    if plan is not None:
+        return plan.ilp_norm_v
+    return env_ilp_norm_v()
+
+
+def active_duel_winner() -> str | None:
+    """The forest-duel candidate family to run alone, or ``None`` to
+    run the full duel."""
+    plan = _ACTIVE_PLAN.get()
+    return None if plan is None else plan.duel_winner

@@ -52,7 +52,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.lp.ilp import CompiledILP
     from repro.reductions.to_setcover import SetCoverReduction
 
-__all__ = ["SolveSession", "StructureProfile"]
+__all__ = [
+    "SolveSession",
+    "StructureProfile",
+    "profile_from_dict",
+    "profile_to_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,12 @@ class StructureProfile:
     All fields except ``norm_delta_v`` (and the derived
     :attr:`empty_delta`) depend only on the queries and the source
     instance, so a ΔV rebind copies them verbatim.
+
+    The Tables II–V classifier flags (``head_domination`` through
+    ``hierarchical``) ride along from the same scan, so
+    :mod:`repro.core.classify` and the dispatcher share one source of
+    truth; ``None`` marks a flag that is undefined for the query set
+    (multiple queries, self-joins, or an analysis outside its class).
     """
 
     key_preserving: bool
@@ -75,6 +86,12 @@ class StructureProfile:
     max_arity: int  #: the paper's ``l``
     norm_v: int  #: ``‖V‖``
     norm_delta_v: int  #: ``‖ΔV‖``
+    # Tables II–V classifier flags (single-query sj-free analyses).
+    head_domination: bool | None = None
+    fd_head_domination: bool | None = None
+    triad: bool | None = None
+    fd_induced_triad: bool | None = None
+    hierarchical: bool | None = None
 
     @property
     def empty_delta(self) -> bool:
@@ -92,7 +109,99 @@ class StructureProfile:
             "l": self.max_arity,
             "norm_v": self.norm_v,
             "norm_delta_v": self.norm_delta_v,
+            "head_domination": self.head_domination,
+            "fd_head_domination": self.fd_head_domination,
+            "triad": self.triad,
+            "fd_induced_triad": self.fd_induced_triad,
+            "hierarchical": self.hierarchical,
         }
+
+    def classification_flags(self) -> dict[str, bool | None]:
+        """The profile rephrased as the classifier's flag dictionary
+        (the shape :func:`repro.relational.analysis.query_set_flags`
+        produces) — ``forest_case`` here is the paper's *algorithmic*
+        forest case (key-preserving and forest structure), while the
+        profile field carries the raw structural test."""
+        return {
+            "multiple_queries": not self.single_query,
+            "project_free": self.project_free,
+            "self_join_free": self.self_join_free,
+            "key_preserving": self.key_preserving,
+            "forest_structure": self.forest_case,
+            "forest_case": self.key_preserving and self.forest_case,
+            "head_domination": self.head_domination,
+            "fd_head_domination": self.fd_head_domination,
+            "triad": self.triad,
+            "fd_induced_triad": self.fd_induced_triad,
+            "hierarchical": self.hierarchical,
+        }
+
+
+#: Profile fields serialized by :func:`profile_to_dict`, in order.
+_PROFILE_BOOL_FIELDS = (
+    "key_preserving",
+    "self_join_free",
+    "project_free",
+    "single_query",
+    "forest_case",
+    "dp_tree_applies",
+    "balanced",
+)
+_PROFILE_FLAG_FIELDS = (
+    "head_domination",
+    "fd_head_domination",
+    "triad",
+    "fd_induced_triad",
+    "hierarchical",
+)
+
+
+def profile_to_dict(profile: StructureProfile) -> dict[str, object]:
+    """Serialize a profile for problem documents and shm manifests
+    (field names verbatim, unlike :meth:`StructureProfile.as_dict`'s
+    display key ``l``)."""
+    doc: dict[str, object] = {
+        name: getattr(profile, name) for name in _PROFILE_BOOL_FIELDS
+    }
+    doc["max_arity"] = profile.max_arity
+    doc["norm_v"] = profile.norm_v
+    doc["norm_delta_v"] = profile.norm_delta_v
+    for name in _PROFILE_FLAG_FIELDS:
+        doc[name] = getattr(profile, name)
+    return doc
+
+
+def profile_from_dict(
+    doc: Mapping[str, object], norm_delta_v: int | None = None
+) -> StructureProfile:
+    """Rebuild a :class:`StructureProfile` from :func:`profile_to_dict`
+    output.  Documents written before the classifier flags existed load
+    with those flags ``None`` (undefined, never wrong).  ``norm_delta_v``
+    overrides the stored value — attachers pass their own ΔV binding."""
+
+    def flag(name: str) -> bool | None:
+        value = doc.get(name)
+        return None if value is None else bool(value)
+
+    return StructureProfile(
+        key_preserving=bool(doc["key_preserving"]),
+        self_join_free=bool(doc["self_join_free"]),
+        project_free=bool(doc["project_free"]),
+        single_query=bool(doc["single_query"]),
+        forest_case=bool(doc["forest_case"]),
+        dp_tree_applies=bool(doc["dp_tree_applies"]),
+        balanced=bool(doc["balanced"]),
+        max_arity=int(doc["max_arity"]),
+        norm_v=int(doc["norm_v"]),
+        norm_delta_v=int(
+            doc.get("norm_delta_v", 0) if norm_delta_v is None else norm_delta_v
+        ),
+        head_domination=flag("head_domination"),
+        fd_head_domination=flag("fd_head_domination"),
+        triad=flag("triad"),
+        fd_induced_triad=flag("fd_induced_triad"),
+        hierarchical=flag("hierarchical"),
+    )
 
 
 _UNSET = object()
@@ -227,6 +336,25 @@ class SolveSession:
 
         return document_hash(self.document)
 
+    @cached_property
+    def trace_key(self) -> str:
+        """A cheap instance fingerprint for trace-store records.
+
+        Prefers the exact :attr:`content_hash` when the document has
+        already been serialized (serve / portfolio paths); otherwise a
+        CRC over the query texts and size norms — never forces a full
+        document serialization onto the solve hot path."""
+        if "content_hash" in self.__dict__ or "document" in self.__dict__:
+            return self.content_hash
+        import zlib
+
+        problem = self.problem
+        shape = "|".join(sorted(repr(q) for q in problem.queries))
+        digest = zlib.crc32(
+            f"{shape}#{problem.norm_v}#{len(problem.instance)}".encode()
+        )
+        return f"crc32:{digest:08x}"
+
     def export_shm(self) -> dict:
         """Publish the compiled arena into a named shared-memory segment
         (profile verdicts and pivot hints riding along) and return the
@@ -280,18 +408,23 @@ class SolveSession:
 
     @cached_property
     def profile(self) -> StructureProfile:
-        """The problem's structural profile, computed exactly once."""
-        problem = self.problem
-        key_preserving = all(
-            q.is_key_preserving() for q in problem.queries
-        )
-        self_join_free = all(
-            q.is_self_join_free() for q in problem.queries
-        )
-        project_free = all(q.is_project_free() for q in problem.queries)
-        from repro.hypergraph.dual import is_forest_case
+        """The problem's structural profile, computed exactly once.
 
-        forest_case = is_forest_case(problem.queries)
+        A problem document that shipped with a cached ``profile`` block
+        (:func:`repro.io.serialize.problem_from_dict`) skips the
+        structural scan entirely — the hint is trusted only after its
+        size norms match the parsed problem, so a stale or hand-edited
+        document degrades to a fresh scan, never to a wrong profile.
+        """
+        problem = self.problem
+        hinted = self._profile_from_hint()
+        if hinted is not None:
+            return hinted
+        from repro.relational.analysis import query_set_flags
+
+        flags = query_set_flags(problem.queries)
+        key_preserving = bool(flags["key_preserving"])
+        forest_case = bool(flags["forest_structure"])
         # Algorithm 4 applicability: attempt the pivot rooting exactly
         # as dp_tree's probe used to, seeding the session memos so the
         # attempt is never repeated.  (The memos are seeded directly —
@@ -319,9 +452,9 @@ class SolveSession:
                 dp_tree_applies = True
         return StructureProfile(
             key_preserving=key_preserving,
-            self_join_free=self_join_free,
-            project_free=project_free,
-            single_query=len(problem.queries) == 1,
+            self_join_free=bool(flags["self_join_free"]),
+            project_free=bool(flags["project_free"]),
+            single_query=not flags["multiple_queries"],
             forest_case=forest_case,
             dp_tree_applies=dp_tree_applies,
             balanced=isinstance(
@@ -330,7 +463,35 @@ class SolveSession:
             max_arity=problem.max_arity,
             norm_v=problem.norm_v,
             norm_delta_v=problem.norm_delta_v,
+            head_domination=flags["head_domination"],
+            fd_head_domination=flags["fd_head_domination"],
+            triad=flags["triad"],
+            fd_induced_triad=flags["fd_induced_triad"],
+            hierarchical=flags["hierarchical"],
         )
+
+    def _profile_from_hint(self) -> StructureProfile | None:
+        """The document-cached profile, validated against the parsed
+        problem, or ``None`` (missing or untrustworthy hint)."""
+        hint = getattr(self.problem, "_profile_hint", None)
+        if not isinstance(hint, Mapping):
+            return None
+        try:
+            rebuilt = profile_from_dict(
+                hint, norm_delta_v=self.problem.norm_delta_v
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        problem = self.problem
+        if (
+            rebuilt.norm_v != problem.norm_v
+            or rebuilt.max_arity != problem.max_arity
+            or rebuilt.balanced
+            != isinstance(problem, BalancedDeletionPropagationProblem)
+            or rebuilt.single_query != (len(problem.queries) == 1)
+        ):
+            return None
+        return rebuilt
 
     # ------------------------------------------------------------------
     # Compiled arena

@@ -242,7 +242,16 @@ def _value_from_json(value: Any) -> Any:
 
 def document_hash(document: Mapping[str, Any]) -> str:
     """sha256 over the canonical (sorted-key, compact) document JSON —
-    the content address an instance registers under in the serve tier."""
+    the content address an instance registers under in the serve tier.
+
+    The optional ``"profile"`` block is excluded: it is a derived cache
+    of the document's own content (see
+    :func:`repro.io.serialize.problem_to_dict`), so a document with and
+    without it must hash to the same address — clients from before the
+    block existed keep hitting the same serve-tier cache entries.
+    """
+    if "profile" in document:
+        document = {k: v for k, v in document.items() if k != "profile"}
     canonical = json.dumps(
         document, sort_keys=True, separators=(",", ":"), default=str
     )
@@ -369,22 +378,12 @@ def export_session(session: "SolveSession") -> dict:
             "component": component,
             "pivots": pivots,
         }
-    profile_doc = {
-        "key_preserving": profile.key_preserving,
-        "self_join_free": profile.self_join_free,
-        "project_free": profile.project_free,
-        "single_query": profile.single_query,
-        "forest_case": profile.forest_case,
-        "dp_tree_applies": profile.dp_tree_applies,
-        "balanced": profile.balanced,
-        "max_arity": profile.max_arity,
-        "norm_v": profile.norm_v,
-        "norm_delta_v": profile.norm_delta_v,
-    }
+    from repro.core.session import profile_to_dict
+
     return export_arena(
         session.arena,
         document=session.document,
-        profile=profile_doc,
+        profile=profile_to_dict(profile),
         rooted=rooted_doc,
     )
 
@@ -626,7 +625,7 @@ def attach_session(manifest: Mapping[str, Any]) -> "SolveSession":
     the witness map and the pivot-rooted layout rebuilt from the
     shipped fact-ID arrays (the data dual graph itself stays lazy; no
     route needs its adjacency once the rooting is known)."""
-    from repro.core.session import SolveSession, StructureProfile
+    from repro.core.session import SolveSession, profile_from_dict
 
     arena = attach_arena(manifest)
     problem = arena.problem
@@ -637,17 +636,8 @@ def attach_session(manifest: Mapping[str, Any]) -> "SolveSession":
 
     profile_doc = manifest.get("profile")
     if profile_doc is not None:
-        session.__dict__["profile"] = StructureProfile(
-            key_preserving=bool(profile_doc["key_preserving"]),
-            self_join_free=bool(profile_doc["self_join_free"]),
-            project_free=bool(profile_doc["project_free"]),
-            single_query=bool(profile_doc["single_query"]),
-            forest_case=bool(profile_doc["forest_case"]),
-            dp_tree_applies=bool(profile_doc["dp_tree_applies"]),
-            balanced=bool(profile_doc["balanced"]),
-            max_arity=int(profile_doc["max_arity"]),
-            norm_v=int(profile_doc["norm_v"]),
-            norm_delta_v=problem.norm_delta_v,
+        session.__dict__["profile"] = profile_from_dict(
+            profile_doc, norm_delta_v=problem.norm_delta_v
         )
         if profile_doc["dp_tree_applies"]:
             shared = session._shared

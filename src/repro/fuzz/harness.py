@@ -6,6 +6,9 @@ all routes agree).  The checks, in the order they run:
 
 1. **Serialization round-trip** — ``problem_to_dict`` →
    ``problem_from_dict`` must reproduce the views and ΔV.
+1b. **Classifier agreement** — the session profile's classifier flags
+   must match a fresh standalone structural scan
+   (:func:`repro.relational.analysis.query_set_flags`).
 2. **Route sweep** — every applicable registered strategy
    (:mod:`repro.core.registry`) must produce a feasible propagation
    (standard problems), and each propagation must be *consistent* under
@@ -201,6 +204,37 @@ def _check_roundtrip(
         problem.deleted_view_tuples()
     ):
         report.fail("serialize-roundtrip", "ΔV changed")
+
+
+def _check_classifier_agreement(
+    problem: DeletionPropagationProblem, report: CaseReport
+) -> None:
+    """The session profile's classifier flags must agree with a fresh
+    standalone structural scan.
+
+    Auto dispatch and ``repro classify`` both read the flags off the
+    cached :class:`StructureProfile` (one shared scan); this check
+    pins that cache to the ground truth
+    :func:`repro.relational.analysis.query_set_flags` recomputes from
+    scratch, so a stale or mis-serialized profile hint cannot silently
+    reroute a problem."""
+    from repro.relational.analysis import query_set_flags
+
+    try:
+        cached = SolveSession.of(problem).profile.classification_flags()
+        fresh = query_set_flags(list(problem.queries))
+    except DeadlineExceededError:
+        raise
+    except Exception as exc:
+        report.fail("classify-vs-profile", f"{type(exc).__name__}: {exc}")
+        return
+    for name, value in fresh.items():
+        if cached.get(name) != value:
+            report.fail(
+                "classify-vs-profile",
+                f"flag {name}: profile says {cached.get(name)!r}, "
+                f"fresh scan says {value!r}",
+            )
 
 
 def _check_propagation(
@@ -524,6 +558,7 @@ def check_problem(
     report = CaseReport(kind=kind)
     with deadline_scope(deadline):
         _check_roundtrip(problem, report)
+        _check_classifier_agreement(problem, report)
 
         produced: dict[str, Propagation] = {}
         for method in _routes_for(problem):

@@ -148,7 +148,9 @@ def query_to_text(query: ConjunctiveQuery) -> str:
 # ----------------------------------------------------------------------
 
 
-def problem_to_dict(problem: DeletionPropagationProblem) -> dict[str, Any]:
+def problem_to_dict(
+    problem: DeletionPropagationProblem, include_profile: bool = True
+) -> dict[str, Any]:
     # All non-default weights are stored, ΔV tuples included: a ΔV
     # tuple's weight is irrelevant to the base problem's objective but
     # matters once the document's ΔV is rebound to a different request
@@ -175,6 +177,17 @@ def problem_to_dict(problem: DeletionPropagationProblem) -> dict[str, Any]:
     }
     if document["balanced"]:
         document["delta_penalty"] = problem.delta_penalty
+    if include_profile:
+        # Ship the structure profile with the document so a consumer
+        # (repro.serve register, a portfolio worker, the route planner)
+        # cold-starts dispatch without re-running the classifier scan.
+        # The block is advisory: problem_from_dict stores it as a hint
+        # that SolveSession validates against the parsed problem, and
+        # repro.core.shm.document_hash ignores it, so embedding is
+        # content-address neutral.
+        from repro.core.session import SolveSession, profile_to_dict
+
+        document["profile"] = profile_to_dict(SolveSession.of(problem).profile)
     return document
 
 
@@ -199,16 +212,25 @@ def problem_from_dict(data: Mapping[str, Any]) -> DeletionPropagationProblem:
         for entry in data.get("weights", [])
     }
     if data.get("balanced"):
-        return BalancedDeletionPropagationProblem(
-            instance,
-            queries,
-            deletions,
-            weights=weights,
-            delta_penalty=float(data.get("delta_penalty", 1.0)),
+        problem: DeletionPropagationProblem = (
+            BalancedDeletionPropagationProblem(
+                instance,
+                queries,
+                deletions,
+                weights=weights,
+                delta_penalty=float(data.get("delta_penalty", 1.0)),
+            )
         )
-    return DeletionPropagationProblem(
-        instance, queries, deletions, weights=weights
-    )
+    else:
+        problem = DeletionPropagationProblem(
+            instance, queries, deletions, weights=weights
+        )
+    profile = data.get("profile")
+    if isinstance(profile, Mapping):
+        # Advisory only: SolveSession._profile_from_hint validates the
+        # hint against the parsed problem before trusting it.
+        problem._profile_hint = dict(profile)
+    return problem
 
 
 # ----------------------------------------------------------------------

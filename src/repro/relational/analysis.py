@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Sequence
 
-from repro.errors import QueryError
+from repro.errors import QueryError, ReproError
 from repro.relational.cq import Atom, ConjunctiveQuery, Variable
 
 __all__ = [
@@ -42,6 +42,7 @@ __all__ = [
     "head_domination_counterexample",
     "find_triad",
     "is_hierarchical",
+    "query_set_flags",
 ]
 
 
@@ -320,3 +321,74 @@ def is_hierarchical(query: ConjunctiveQuery) -> bool:
             if a & b and not (a <= b or b <= a):
                 return False
     return True
+
+
+# ----------------------------------------------------------------------
+# The single shared structural scan
+# ----------------------------------------------------------------------
+
+
+def query_set_flags(
+    queries: Sequence[ConjunctiveQuery],
+    fds: Sequence[FunctionalDependency] = (),
+) -> dict[str, bool | None]:
+    """Every structural flag of a query set, evaluated in one scan.
+
+    This is the single source of truth behind both the complexity
+    classifier (:mod:`repro.core.classify`, Tables II–V) and the
+    dispatcher's :class:`~repro.core.session.StructureProfile` — each
+    underlying predicate runs exactly once per call.
+
+    Keys always present: ``multiple_queries``, ``project_free``,
+    ``self_join_free``, ``key_preserving``, ``forest_structure`` (the
+    raw forest-case test on the dual hypergraph) and ``forest_case``
+    (the paper's algorithmic forest case: key-preserving *and* forest
+    structure).  The Tables IV/V single-query analyses
+    (``head_domination``, ``fd_head_domination``, ``triad``,
+    ``fd_induced_triad``, ``hierarchical``) are ``None`` when undefined
+    — multiple queries, a self-join, or an analysis that rejects the
+    query class.
+    """
+    from repro.hypergraph.dual import is_forest_case
+
+    single = queries[0] if len(queries) == 1 else None
+    project_free = all(q.is_project_free() for q in queries)
+    self_join_free = all(q.is_self_join_free() for q in queries)
+    key_preserving = all(q.is_key_preserving() for q in queries)
+    forest_structure = is_forest_case(queries)
+    flags: dict[str, bool | None] = {
+        "multiple_queries": len(queries) > 1,
+        "project_free": project_free,
+        "self_join_free": self_join_free,
+        "key_preserving": key_preserving,
+        "forest_structure": forest_structure,
+        "forest_case": key_preserving and forest_structure,
+    }
+
+    def probe(analysis) -> bool | None:
+        # A dichotomy predicate defined only on a narrower query class
+        # answers "undefined" (None) instead of crashing the scan.
+        try:
+            return bool(analysis())
+        except ReproError:
+            return None
+
+    if single is not None and self_join_free:
+        flags["head_domination"] = probe(
+            lambda: has_head_domination(single)
+        )
+        flags["fd_head_domination"] = probe(
+            lambda: has_fd_head_domination(single, fds)
+        )
+        flags["triad"] = probe(lambda: has_triad(single))
+        flags["fd_induced_triad"] = probe(
+            lambda: has_fd_induced_triad(single, fds)
+        )
+        flags["hierarchical"] = probe(lambda: is_hierarchical(single))
+    else:
+        flags["head_domination"] = None
+        flags["fd_head_domination"] = None
+        flags["triad"] = None
+        flags["fd_induced_triad"] = None
+        flags["hierarchical"] = None
+    return flags

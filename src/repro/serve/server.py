@@ -55,9 +55,30 @@ __all__ = ["ServeStats", "SolveServer"]
 _log = logging.getLogger("repro.serve")
 
 
+def _latency_bucket(seconds: float) -> str:
+    """Log2 latency bucket label (``<=1ms``, ``<=2ms``, …, ``>16384ms``)
+    — coarse enough that the histogram stays a handful of keys, fine
+    enough that routing drift (a route suddenly answering 8x slower)
+    shows up in the ``stats`` op."""
+    ms = seconds * 1e3
+    bound = 1
+    while ms > bound:
+        if bound >= 16384:
+            return ">16384ms"
+        bound *= 2
+    return f"<={bound}ms"
+
+
 @dataclass
 class ServeStats:
-    """Lifetime counters, exposed by the ``stats`` op."""
+    """Lifetime counters, exposed by the ``stats`` op.
+
+    ``routes`` is the per-route request/latency histogram: for every
+    dispatch route taken by a solve (``forest-duel``, ``exact-ilp``,
+    ``forced:<method>``, …) the request count, accumulated wall time,
+    and a log2 latency histogram — the production-side view of routing
+    drift (a learned router changing its mind shows up here first).
+    """
 
     registered: int = 0
     cache_hits: int = 0
@@ -68,8 +89,21 @@ class ServeStats:
     rejected: int = 0
     protocol_errors: int = 0
     internal_errors: int = 0
+    routes: dict = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def record_route(self, route: str | None, seconds: float) -> None:
+        """Count one solved request under its dispatch route (failed
+        requests carry no route and count under ``"unrouted"``)."""
+        entry = self.routes.setdefault(
+            route or "unrouted",
+            {"requests": 0, "total_seconds": 0.0, "latency_ms": {}},
+        )
+        entry["requests"] += 1
+        entry["total_seconds"] += seconds
+        bucket = _latency_bucket(seconds)
+        entry["latency_ms"][bucket] = entry["latency_ms"].get(bucket, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
         return {
             "registered": self.registered,
             "cache_hits": self.cache_hits,
@@ -80,6 +114,14 @@ class ServeStats:
             "rejected": self.rejected,
             "protocol_errors": self.protocol_errors,
             "internal_errors": self.internal_errors,
+            "routes": {
+                route: {
+                    "requests": entry["requests"],
+                    "total_seconds": round(entry["total_seconds"], 6),
+                    "latency_ms": dict(entry["latency_ms"]),
+                }
+                for route, entry in sorted(self.routes.items())
+            },
         }
 
 
@@ -492,6 +534,7 @@ class SolveServer:
         for outcome in outcomes:
             doc: dict[str, Any] = {
                 "wall_seconds": outcome.wall_seconds,
+                "route": outcome.route,
                 "attempts": [
                     record.as_dict() for record in outcome.attempts
                 ],
@@ -500,6 +543,7 @@ class SolveServer:
                 doc["solution"] = solution_to_dict(outcome.propagation)
             else:
                 doc["error"] = outcome.error
+            self.stats.record_route(outcome.route, outcome.wall_seconds)
             results.append(doc)
         return results
 

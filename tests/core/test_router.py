@@ -1,0 +1,347 @@
+"""Tests for the adaptive route planner (repro.core.router).
+
+The load-bearing guarantees:
+
+* **Cold-start contract** — a learned router with no usable trace data
+  dispatches byte-identically to the static router, across every fuzz
+  generator shape.
+* **Duel skip** — with enough decided duels recorded for a profile
+  bucket, the learned plan names the winner, the dispatch runs only
+  that candidate, and the answer still matches the full duel's.
+* **One shared scan** — classify and auto dispatch both read the
+  session profile; the underlying structural scan runs exactly once
+  per problem.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.core.registry import ROUTE_TABLE, route_plan, solve_report
+from repro.core.router import (
+    DEFAULT_ILP_NORM_V,
+    ILP_NORM_V_ENV,
+    ROUTER_ENV,
+    LearnedRouter,
+    RoutePlan,
+    StaticRouter,
+    active_ilp_norm_v,
+    active_plan,
+    env_ilp_norm_v,
+    plan_scope,
+    reset_shared_learned_router,
+    resolve_router,
+)
+from repro.core.session import SolveSession
+from repro.core.tracestore import (
+    TRACE_DIR_ENV,
+    TRACE_ENV,
+    TraceStore,
+    record_from_report,
+    reset_default_store,
+)
+from repro.fuzz.generator import CASE_KINDS, generate_case
+from repro.workloads import figure1_problem_q4, random_star_problem
+
+_STATIC_ORDER = tuple(route.name for route in ROUTE_TABLE)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_routing_env(monkeypatch, tmp_path):
+    """No ambient router/threshold overrides, and a per-test default
+    trace directory so learned routers never see real developer traces."""
+    monkeypatch.delenv(ROUTER_ENV, raising=False)
+    monkeypatch.delenv(ILP_NORM_V_ENV, raising=False)
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path / "traces"))
+    reset_default_store()
+    reset_shared_learned_router()
+    yield
+    reset_default_store()
+    reset_shared_learned_router()
+
+
+def _forest_duel_case():
+    rng = random.Random(101)
+    for _ in range(30):
+        problem = random_star_problem(
+            rng, num_queries=3, max_leaves_per_query=3, delta_fraction=0.4
+        )
+        if solve_report(problem, router="static").route == "forest-duel":
+            return problem
+    pytest.skip("no forest-duel instance in the sample")
+
+
+class TestStaticRouter:
+    def test_plan_mirrors_route_table(self):
+        plan = StaticRouter().plan()
+        assert plan.order == _STATIC_ORDER
+        assert plan.ilp_norm_v == DEFAULT_ILP_NORM_V
+        assert plan.duel_winner is None
+        assert plan.chain_hint == ()
+
+    def test_env_moves_the_ilp_gate(self, monkeypatch):
+        monkeypatch.setenv(ILP_NORM_V_ENV, "17")
+        assert env_ilp_norm_v() == 17
+        assert StaticRouter().plan().ilp_norm_v == 17
+        monkeypatch.setenv(ILP_NORM_V_ENV, "typo")
+        assert env_ilp_norm_v() == DEFAULT_ILP_NORM_V
+        monkeypatch.setenv(ILP_NORM_V_ENV, "-3")
+        assert env_ilp_norm_v() == DEFAULT_ILP_NORM_V
+
+    def test_resolve_router_precedence(self, monkeypatch):
+        assert resolve_router(None).name == "static"
+        monkeypatch.setenv(ROUTER_ENV, "learned")
+        assert resolve_router(None).name == "learned"
+        assert resolve_router("static").name == "static"  # arg beats env
+        router = LearnedRouter()
+        assert resolve_router(router) is router
+        with pytest.raises(SolverError, match="unknown router"):
+            resolve_router("quantum")
+
+    def test_named_learned_resolution_reuses_one_fitted_router(
+        self, tmp_path
+    ):
+        # Name-based resolution must not re-read the trace store per
+        # dispatch: the shared router is cached until reset (or until
+        # the store files change past the refresh throttle).
+        first = resolve_router("learned")
+        assert first is resolve_router("learned")
+        reset_shared_learned_router()
+        assert resolve_router("learned") is not first
+        # An explicit store still gets a private, uncached router.
+        store = TraceStore(tmp_path / "private")
+        assert resolve_router("learned", store) is not resolve_router(
+            "learned", store
+        )
+
+
+class TestRoutePlan:
+    def test_order_chain_reorders_only_the_tail(self):
+        plan = RoutePlan(
+            router="learned",
+            order=_STATIC_ORDER,
+            chain_hint=("fast", "slow"),
+        )
+        assert plan.order_chain(("auto", "slow", "fast", "other")) == (
+            "auto",
+            "fast",
+            "slow",
+            "other",
+        )
+        # Short chains and hintless plans pass through untouched.
+        assert plan.order_chain(("auto", "slow")) == ("auto", "slow")
+        hintless = RoutePlan(router="static", order=_STATIC_ORDER)
+        assert hintless.order_chain(("a", "b", "c")) == ("a", "b", "c")
+
+    def test_unknown_methods_keep_declared_relative_order(self):
+        plan = RoutePlan(
+            router="learned", order=_STATIC_ORDER, chain_hint=("c",)
+        )
+        assert plan.order_chain(("x", "a", "b", "c")) == ("x", "c", "a", "b")
+
+    def test_plan_scope_is_ambient_and_restored(self):
+        plan = RoutePlan(router="static", order=_STATIC_ORDER, ilp_norm_v=5)
+        assert active_plan() is None
+        with plan_scope(plan):
+            assert active_plan() is plan
+            assert active_ilp_norm_v() == 5
+        assert active_plan() is None
+        assert active_ilp_norm_v() == DEFAULT_ILP_NORM_V
+
+    def test_explain_names_every_decision(self):
+        text = RoutePlan(
+            router="learned",
+            order=("a", "b"),
+            duel_winner="primal-dual",
+            chain_hint=("fast",),
+            basis={"records": 7},
+        ).explain()
+        assert "router: learned" in text
+        assert "a > b" in text
+        assert "run only primal-dual" in text
+        assert "records: 7" in text
+
+
+class TestColdStart:
+    def test_cold_plan_degrades_to_static(self, tmp_path):
+        problem = figure1_problem_q4()
+        profile = SolveSession.of(problem).profile
+        cold = LearnedRouter(TraceStore(tmp_path / "empty")).plan(profile)
+        static = StaticRouter().plan(profile)
+        assert cold.order == static.order
+        assert cold.ilp_norm_v == static.ilp_norm_v
+        assert cold.duel_winner is None
+        assert cold.chain_hint == ()
+
+    def test_cold_dispatch_is_byte_identical_across_fuzz_shapes(
+        self, tmp_path, monkeypatch
+    ):
+        # The acceptance bar: an empty store reproduces static dispatch
+        # exactly — same route, same method, same deleted fact set —
+        # for every generator shape.
+        monkeypatch.setenv(TRACE_ENV, "off")  # keep the store empty
+        reset_default_store()
+        rng = random.Random(7)
+        checked = set()
+        for _ in range(40):
+            case = generate_case(rng)
+            static = solve_report(case.problem, router="static")
+            learned = solve_report(
+                case.problem,
+                router=LearnedRouter(TraceStore(tmp_path / "empty")),
+            )
+            assert learned.route == static.route, case.kind
+            assert learned.propagation.method == static.propagation.method
+            assert (
+                learned.propagation.deleted_facts
+                == static.propagation.deleted_facts
+            ), case.kind
+            checked.add(case.kind)
+            if checked == set(CASE_KINDS):
+                break
+        assert len(checked) >= 3  # the sample covered several shapes
+
+
+class TestLearnedRouter:
+    def _warmed_store(self, path, problem, runs=4):
+        """A store seeded with static full-duel dispatches of
+        ``problem`` (so any learned duel winner is the true one)."""
+        store = TraceStore(path)
+        session = SolveSession.of(problem)
+        for _ in range(runs):
+            report = solve_report(session, router="static")
+            store.append(record_from_report(session, report))
+        return store, session
+
+    def test_duel_skip_matches_the_full_duel(self, tmp_path):
+        problem = _forest_duel_case()
+        store, session = self._warmed_store(tmp_path / "warm", problem)
+        router = LearnedRouter(store)
+        plan = router.plan(session.profile)
+        if plan.duel_winner is None:
+            pytest.skip("duel not decided for this bucket (no 2/3 leader)")
+        full = solve_report(session, router="static")
+        skipped = solve_report(session, router=router)
+        assert skipped.route == "forest-duel"
+        # The fast path ran exactly one candidate; the full duel ran two
+        # (unless a deadline degraded it, which cannot happen here).
+        assert len(skipped.trace) == 1
+        assert len(full.trace) == 2
+        assert (
+            skipped.propagation.deleted_facts
+            == full.propagation.deleted_facts
+        )
+        assert skipped.propagation.method == full.propagation.method
+
+    def test_forced_methods_are_router_invariant(self, tmp_path):
+        # Forcing a method must give byte-identical answers no matter
+        # which router is configured — the router only plans "auto".
+        problem = _forest_duel_case()
+        store, _session = self._warmed_store(tmp_path / "warm", problem)
+        for method in ("exact", "primal-dual", "lowdeg-tree"):
+            static = solve_report(problem, method=method, router="static")
+            learned = solve_report(
+                problem, method=method, router=LearnedRouter(store)
+            )
+            assert (
+                learned.propagation.deleted_facts
+                == static.propagation.deleted_facts
+            )
+            assert learned.propagation.method == static.propagation.method
+
+    def _ilp_record(self, session, norm_v, seconds):
+        record = record_from_report(
+            session, solve_report(session, router="static")
+        )
+        record["route"] = "exact-ilp"
+        record["seconds"] = seconds
+        record["profile"] = dict(record["profile"], norm_v=norm_v)
+        return record
+
+    def test_learned_ilp_gate_raises_on_fast_samples(self, tmp_path):
+        session = SolveSession.of(figure1_problem_q4())
+        store = TraceStore(tmp_path / "ilp")
+        store.append(self._ilp_record(session, norm_v=400, seconds=0.01))
+        router = LearnedRouter(store)
+        router.refit()
+        plan = router.plan(session.profile)
+        assert plan.ilp_norm_v == 400
+
+    def test_learned_ilp_gate_lowers_on_slow_samples(self, tmp_path):
+        session = SolveSession.of(figure1_problem_q4())
+        store = TraceStore(tmp_path / "ilp")
+        store.append(self._ilp_record(session, norm_v=40, seconds=5.0))
+        plan = LearnedRouter(store).plan(session.profile)
+        assert plan.ilp_norm_v == 39
+
+    def test_learned_ilp_gate_is_clamped(self, tmp_path):
+        session = SolveSession.of(figure1_problem_q4())
+        store = TraceStore(tmp_path / "ilp")
+        store.append(self._ilp_record(session, norm_v=2, seconds=9.0))
+        store2 = TraceStore(tmp_path / "ilp2")
+        store2.append(self._ilp_record(session, norm_v=10_000, seconds=0.01))
+        assert LearnedRouter(store).plan(session.profile).ilp_norm_v == 8
+        assert (
+            LearnedRouter(store2).plan(session.profile).ilp_norm_v == 1024
+        )
+
+    def test_env_override_beats_the_learned_gate(self, tmp_path, monkeypatch):
+        session = SolveSession.of(figure1_problem_q4())
+        store = TraceStore(tmp_path / "ilp")
+        store.append(self._ilp_record(session, norm_v=400, seconds=0.01))
+        monkeypatch.setenv(ILP_NORM_V_ENV, "12")
+        plan = LearnedRouter(store).plan(session.profile)
+        assert plan.ilp_norm_v == 12
+
+    def test_nearest_bucket_within_distance_bound(self, tmp_path):
+        problem = figure1_problem_q4()
+        session = SolveSession.of(problem)
+        store = TraceStore(tmp_path / "near")
+        record = record_from_report(
+            session, solve_report(session, router="static")
+        )
+        # Perturb one size feature by one log2 bucket: still a neighbour.
+        near = dict(record, profile=dict(
+            record["profile"],
+            norm_v=int(record["profile"]["norm_v"]) * 2 + 1,
+        ))
+        store.append(near)
+        router = LearnedRouter(store)
+        plan = router.plan(session.profile)
+        assert "nearest" in str(plan.basis.get("source"))
+
+    def test_route_plan_helper_and_cli_surface(self, tmp_path):
+        plan = route_plan(figure1_problem_q4())
+        assert plan.router == "static"
+        assert plan.order == _STATIC_ORDER
+        learned = route_plan(
+            figure1_problem_q4(),
+            router=LearnedRouter(TraceStore(tmp_path / "empty")),
+        )
+        assert learned.router == "learned"
+
+
+class TestSingleScan:
+    def test_classify_and_dispatch_share_one_structural_scan(
+        self, monkeypatch
+    ):
+        import repro.relational.analysis as analysis
+
+        calls = {"n": 0}
+        real = analysis.query_set_flags
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(analysis, "query_set_flags", counting)
+        from repro.core.classify import classification_flags, verdict
+
+        problem = figure1_problem_q4()
+        solve_report(problem, router="static")  # dispatch scans once...
+        classification_flags(problem)  # ...classification reuses it
+        verdict(problem)
+        solve_report(problem, router="static")
+        assert calls["n"] == 1

@@ -453,14 +453,20 @@ class TestClassifyPredicateGuard:
             predicate=predicate,
         )
 
-    def test_repro_error_means_row_does_not_apply(self, monkeypatch):
+    def test_undefined_flag_means_row_does_not_apply(self, monkeypatch):
+        # Row predicates read the shared flag dictionary; an analysis
+        # defined only on a narrower query class surfaces as a None
+        # flag there (query_set_flags' ReproError guard), and a
+        # three-valued `is True` predicate then rejects the row.
         problem = random_problem(random.Random(4))
 
-        def raising(queries, fds):
-            raise SolverError("narrower class only")
+        def narrow_class_only(flags):
+            return flags.get("no_such_analysis") is True
 
         monkeypatch.setattr(
-            classify_module, "PAPER_RESULTS", (self._row(raising),)
+            classify_module,
+            "PAPER_RESULTS",
+            (self._row(narrow_class_only),),
         )
         rows = verdict(list(problem.queries))
         assert all(row.table != "test" for row in rows)
@@ -468,7 +474,7 @@ class TestClassifyPredicateGuard:
     def test_unexpected_errors_surface(self, monkeypatch):
         problem = random_problem(random.Random(4))
 
-        def buggy(queries, fds):
+        def buggy(flags):
             raise ZeroDivisionError("predicate bug")
 
         monkeypatch.setattr(
