@@ -13,9 +13,12 @@ committed ``BENCH_oracle_local_search.json`` acceptance record — into
 speedup and refreshes its artifact, the session batch bench
 (``bench_session_batch.py``), the serve throughput bench
 (``bench_serve_throughput.py``), which re-verifies the >=5x
-attach-by-manifest speedup and the closed-loop request rate, the exact
-ILP bench, and the adaptive-routing bench (``bench_routing.py``), which
-re-verifies the >=1.3x forest-duel skip of the learned router.
+attach-by-manifest speedup and the closed-loop request rate, the serve
+chaos bench (``bench_serve_chaos.py``), which pins the request rate
+under a ~1% connection-drop fault schedule with every request recovered
+to an answer, the exact ILP bench, and the adaptive-routing bench
+(``bench_routing.py``), which re-verifies the >=1.3x forest-duel skip
+of the learned router.
 
 ``--validate`` turns the sweep into a gate: every ``BENCH_*.json`` in
 the output directory must parse against the harness schema and carry at
@@ -102,6 +105,17 @@ def _bench_commands(out_dir: Path, full: bool) -> list[tuple[str, list[str]]]:
                 [
                     sys.executable,
                     str(_HERE / "bench_serve_throughput.py"),
+                    "--out",
+                    str(out_dir),
+                ],
+            )
+        )
+        commands.append(
+            (
+                "serve_chaos",
+                [
+                    sys.executable,
+                    str(_HERE / "bench_serve_chaos.py"),
                     "--out",
                     str(out_dir),
                 ],

@@ -18,10 +18,13 @@ Usage (installed as module)::
     python -m repro.cli fuzz [--seed 0] [--iterations 100] [--budget-seconds 60]
                              [--corpus tests/corpus] [--kinds chain,star] [--no-shrink]
     python -m repro.cli serve [--port 7341] [--unix PATH] [--jobs N]
-                              [--preload problem.json]
-    python -m repro.cli client ping|stats|register|solve|shutdown
+                              [--preload problem.json] [--state-dir DIR]
+                              [--drain-seconds 5]
+    python -m repro.cli client ping|stats|health|register|solve|shutdown
                                [TARGET] [--connect host:port]
                                [--deletions JSON|@file] [--deadline 0.5]
+                               [--shutdown-mode now|drain]
+                               [--retry-overloaded N]
 
 ``solve`` loads a JSON problem document (see :mod:`repro.io.serialize`),
 dispatches to the requested algorithm, and prints the deletion
@@ -325,13 +328,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PROBLEM",
         help="problem document(s) to register before listening",
     )
+    serve_cmd.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable registration journal directory: registrations are "
+            "fsynced before acknowledgement and replayed on restart "
+            "(default: memory-only)"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        help=(
+            "graceful-drain budget for SIGTERM and shutdown "
+            "mode=drain (default: 5)"
+        ),
+    )
 
     client_cmd = sub.add_parser(
         "client", help="talk to a running solve service"
     )
     client_cmd.add_argument(
         "action",
-        choices=["ping", "stats", "register", "solve", "shutdown"],
+        choices=["ping", "stats", "health", "register", "solve",
+                 "shutdown"],
     )
     client_cmd.add_argument(
         "target",
@@ -364,6 +387,37 @@ def build_parser() -> argparse.ArgumentParser:
     client_cmd.add_argument(
         "--fallback", default=None,
         help="comma-separated fallback methods",
+    )
+    client_cmd.add_argument(
+        "--shutdown-mode",
+        choices=["now", "drain"],
+        default="now",
+        help=(
+            "shutdown action only: 'drain' finishes in-flight work "
+            "under the server's drain budget first (default: now)"
+        ),
+    )
+    client_cmd.add_argument(
+        "--retry-overloaded",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry overload-class rejections up to N times, honoring "
+            "the server's retry_after_ms hint with seeded jitter"
+        ),
+    )
+    client_cmd.add_argument(
+        "--backoff-seconds",
+        type=float,
+        default=0.05,
+        help="base of the client retry backoff schedule (default: 0.05)",
+    )
+    client_cmd.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=None,
+        help="override the derived backoff jitter seed",
     )
 
     return parser
@@ -668,6 +722,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.serve import SolveServer
 
@@ -679,8 +734,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_workers=args.jobs,
             pool_threshold=args.pool_threshold,
             max_pending=args.max_pending,
+            state_dir=args.state_dir,
+            drain_seconds=args.drain_seconds,
         )
         await server.start()
+        # SIGTERM means "stop taking work, finish what you hold" —
+        # the graceful half of the shutdown contract.  SIGINT (^C)
+        # keeps its abrupt KeyboardInterrupt path.
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(
+            signal.SIGTERM,
+            lambda: asyncio.ensure_future(server.drain()),
+        )
         try:
             for path in args.preload:
                 with open(path, encoding="utf-8") as handle:
@@ -688,10 +753,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 instance_id, cached = server.register_document(doc)
                 suffix = " (cached)" if cached else ""
                 print(f"preloaded {path}: instance {instance_id}{suffix}")
+            if server.stats.replayed:
+                print(
+                    f"replayed {server.stats.replayed} instance(s) "
+                    f"from {args.state_dir}"
+                )
             print(f"repro serve: listening on {server.address}")
             sys.stdout.flush()
             await server.serve_until_closed()
         finally:
+            loop.remove_signal_handler(signal.SIGTERM)
             await server.close()
         return 0
 
@@ -714,7 +785,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 return json.load(handle)
         return json.loads(spec)
 
-    with ServeClient.connect(args.connect) as client:
+    with ServeClient.connect(
+        args.connect,
+        retries=args.retry_overloaded,
+        backoff_seconds=args.backoff_seconds,
+        backoff_seed=args.backoff_seed,
+    ) as client:
         if args.action == "ping":
             print("pong" if client.ping() else "no pong")
             return 0
@@ -722,9 +798,14 @@ def _cmd_client(args: argparse.Namespace) -> int:
             json.dump(client.stats(), sys.stdout, indent=2)
             print()
             return 0
+        if args.action == "health":
+            health = client.health()
+            json.dump(health, sys.stdout, indent=2)
+            print()
+            return 0 if health.get("ready") else 1
         if args.action == "shutdown":
-            client.shutdown()
-            print("server stopping")
+            client.shutdown(mode=args.shutdown_mode)
+            print(f"server stopping (mode={args.shutdown_mode})")
             return 0
         if args.action == "register":
             if not args.target:

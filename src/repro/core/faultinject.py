@@ -17,11 +17,23 @@ and nothing else:
     mid-task), ``hang`` (a non-cooperative ``time.sleep`` that ignores
     deadlines), or ``transient`` (raise :class:`InjectedFault`, a
     plain ``RuntimeError`` the retry machinery treats as retryable).
+    The serve-layer chaos sites add **action modes** — ``drop``
+    (connection closed mid-response), ``partial`` (half a wire line
+    written, then the stream dies), ``unlink`` (a live shared-memory
+    segment removed), ``kill`` (``SIGKILL`` to the current process,
+    fired *mid-write* at the journal-append site) — which
+    :func:`maybe_inject` does not execute itself; the instrumented
+    site asks :func:`inject_action` for the claimed mode and performs
+    the fault where only it can (inside the stream writer, between
+    two ``write`` calls of one journal record, …).
   - ``site`` — where the hook fires: ``delta`` (per ΔV batch task,
     keyed by request index), ``portfolio`` (per portfolio task, keyed
     by method name), ``solve`` (inside
     :func:`repro.core.resilience.solve_with_policy`'s attempt loop,
-    keyed by method name).
+    keyed by method name), ``serve-write`` (per response write, keyed
+    by op name), ``serve-batcher`` (per micro-batch, keyed by instance
+    hash), ``journal-append`` (per durable registration record, keyed
+    by instance hash).
   - ``key`` — which task at the site (``*`` or omitted = any).
   - ``count`` — inject only the first ``count`` matching invocations
     (default 1), tracked **across processes** via marker files so a
@@ -43,13 +55,17 @@ from __future__ import annotations
 import os
 import time
 
-__all__ = ["InjectedFault", "maybe_inject", "parse_faults"]
+__all__ = ["InjectedFault", "inject_action", "maybe_inject", "parse_faults"]
 
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_DIR = "REPRO_FAULT_DIR"
 ENV_HANG_SECONDS = "REPRO_FAULT_HANG_SECONDS"
 
-_MODES = ("crash", "hang", "transient")
+#: Modes :func:`maybe_inject` executes itself.
+_EXEC_MODES = ("crash", "hang", "transient")
+#: Action modes the instrumented site executes (serve chaos sites).
+_ACTION_MODES = ("drop", "partial", "unlink", "kill")
+_MODES = _EXEC_MODES + _ACTION_MODES
 
 
 class InjectedFault(RuntimeError):
@@ -109,23 +125,50 @@ def _claim(mode: str, site: str, key: str, count: int) -> bool:
     return False
 
 
-def maybe_inject(site: str, key: object) -> None:
-    """Fault-injection hook: no-op unless ``REPRO_FAULTS`` matches
-    ``site``/``key``, in which case the configured failure mode fires.
-    Called from the pool worker tasks and the policy attempt loop.
+def inject_action(site: str, key: object) -> str | None:
+    """Claim and return the fault mode armed for ``site``/``key``, or
+    ``None`` when nothing matches.
+
+    The site-executed twin of :func:`maybe_inject`: serve chaos sites
+    (response writer, micro-batcher, journal appender) call this and
+    perform the claimed fault themselves, because only they can fault
+    *mid-operation* — half a line on the wire, half a record on disk.
+    Claiming observes the same cross-process ``count`` markers, so a
+    ``kill@journal-append`` spec fires exactly once across a
+    kill-restart sequence.
     """
     spec = os.environ.get(ENV_FAULTS)
     if not spec:
-        return
+        return None
     wanted = str(key)
     for mode, fault_site, fault_key, count in parse_faults(spec):
         if fault_site != site or (fault_key != "*" and fault_key != wanted):
             continue
         if not _claim(mode, site, fault_key, count):
             continue
-        if mode == "crash":
-            os._exit(3)
-        if mode == "hang":
-            time.sleep(float(os.environ.get(ENV_HANG_SECONDS, "60")))
-            return
-        raise InjectedFault(f"injected transient fault at {site}:{wanted}")
+        return mode
+    return None
+
+
+def maybe_inject(site: str, key: object) -> None:
+    """Fault-injection hook: no-op unless ``REPRO_FAULTS`` matches
+    ``site``/``key``, in which case the configured failure mode fires.
+    Called from the pool worker tasks and the policy attempt loop.
+    """
+    mode = inject_action(site, key)
+    if mode is None:
+        return
+    if mode == "crash":
+        os._exit(3)
+    if mode == "hang":
+        time.sleep(float(os.environ.get(ENV_HANG_SECONDS, "60")))
+        return
+    if mode == "transient":
+        raise InjectedFault(f"injected transient fault at {site}:{key}")
+    # An action mode reached a site that cannot perform it: fail the
+    # run loudly — a silently dropped fault spec makes a chaos leg
+    # pass vacuously.
+    raise InjectedFault(
+        f"fault mode {mode!r} needs an action-aware site, but plain "
+        f"maybe_inject ran at {site}:{key}"
+    )

@@ -845,10 +845,12 @@ def _solve_delta_serial(
     ``_WORKER_DOC`` / ``_WORKER_PROBLEM`` cache, which belongs to worker
     processes (a parent that is itself a pool worker would otherwise
     have its cached problem clobbered)."""
+    from repro.core.faultinject import maybe_inject
     from repro.core.registry import solve_report
 
     start = time.perf_counter()
     try:
+        maybe_inject("delta", index)
         variant = problem.with_deletions(deletions)
         report = solve_report(variant, method=method, policy=policy)
     except Exception as exc:

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "AttemptRecord",
+    "CircuitBreaker",
     "Deadline",
     "DeadlineExceededError",
     "EXACT_FALLBACK",
@@ -164,6 +165,133 @@ def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
         yield effective
     finally:
         _ACTIVE_DEADLINE.reset(token)
+
+
+class CircuitBreaker:
+    """A per-route circuit breaker for the serving layer.
+
+    Tracks consecutive *bad* outcomes (degraded answers, timeouts,
+    errors) for one route.  After ``threshold`` consecutive failures
+    the breaker **opens**: :meth:`allow` answers ``False`` so callers
+    stop routing new work at a method that is currently blowing its
+    deadlines.  After ``cooldown_seconds`` the breaker goes
+    **half-open** and :meth:`allow` admits exactly one probe; the
+    probe's outcome closes the breaker (success) or re-opens it with a
+    fresh cooldown (failure).
+
+    The state machine is deliberately tiny — three states, one counter
+    — because it sits on the request admission path of
+    :class:`repro.serve.server.SolveServer`.  ``clock`` is injectable
+    (same convention as :class:`Deadline`) so tests drive the cooldown
+    deterministically.
+    """
+
+    __slots__ = (
+        "threshold",
+        "cooldown_seconds",
+        "_clock",
+        "_state",
+        "_consecutive_failures",
+        "_opened_at",
+        "_probe_outstanding",
+        "_opens",
+    )
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        self._opens = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (cooldown
+        elapsed, probe admitted or admissible)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            return "half-open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request route here right now?
+
+        ``closed`` always admits.  ``open`` rejects until the cooldown
+        elapses, then admits exactly one half-open probe at a time —
+        concurrent requests during a probe are rejected so a single
+        slow probe cannot re-flood a struggling route.
+        """
+        state = self.state
+        if state == "closed":
+            return True
+        if state == "half-open" and not self._probe_outstanding:
+            self._state = "half-open"
+            self._probe_outstanding = True
+            return True
+        return False
+
+    def record(self, ok: bool) -> None:
+        """Feed one outcome (``ok=False`` for degraded/timeout/error)."""
+        if self._state == "half-open":
+            self._probe_outstanding = False
+            if ok:
+                self._state = "closed"
+                self._consecutive_failures = 0
+            else:
+                self._trip()
+            return
+        if ok:
+            self._consecutive_failures = 0
+            return
+        self._consecutive_failures += 1
+        if self._state == "closed" and (
+            self._consecutive_failures >= self.threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probe_outstanding = False
+        self._opens += 1
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe window (0 when the
+        breaker admits traffic) — the serving layer's ``retry_after_ms``
+        hint for circuit-open rejections."""
+        if self.state != "open":
+            return 0.0
+        return max(
+            0.0,
+            self.cooldown_seconds - (self._clock() - self._opened_at),
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "threshold": self.threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "opens": self._opens,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/{self.threshold})"
+        )
 
 
 # ----------------------------------------------------------------------

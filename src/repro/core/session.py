@@ -355,14 +355,16 @@ class SolveSession:
         )
         return f"crc32:{digest:08x}"
 
-    def export_shm(self) -> dict:
+    def export_shm(self, name: str | None = None) -> dict:
         """Publish the compiled arena into a named shared-memory segment
         (profile verdicts and pivot hints riding along) and return the
         manifest workers pass to :func:`repro.core.shm.attach_session`.
-        Idempotent; this process owns the segment until :meth:`close`."""
+        Idempotent; this process owns the segment until :meth:`close`.
+        ``name`` pins the segment name (see
+        :func:`repro.core.shm.export_arena`)."""
         from repro.core.shm import export_session
 
-        return export_session(self)
+        return export_session(self, name=name)
 
     def close(self) -> None:
         """Release this session's shared-memory segment, if any was

@@ -14,10 +14,18 @@ Each request is admitted under the :class:`~repro.core.resilience
 executed through :func:`repro.core.portfolio.run_delta_batch`, so the
 supervised worker pool — crash quarantine, hang reclamation, serial
 fallback — is the tier below the socket.  See
-:mod:`repro.serve.server` for the batching and admission rules.
+:mod:`repro.serve.server` for the batching and admission rules,
+:mod:`repro.serve.journal` for the crash-safe registration journal,
+and :mod:`repro.serve.chaos` for the service-level chaos harness that
+keeps both honest.
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.journal import (
+    JournalError,
+    JournalRecord,
+    RegistrationJournal,
+)
 from repro.serve.protocol import (
     ProtocolError,
     decode_line,
@@ -25,11 +33,16 @@ from repro.serve.protocol import (
     policy_from_doc,
     policy_to_doc,
 )
-from repro.serve.server import ServeStats, SolveServer
+from repro.serve.server import Rejection, ServeStats, SolveServer
 
 __all__ = [
+    "JournalError",
+    "JournalRecord",
     "ProtocolError",
+    "RegistrationJournal",
+    "Rejection",
     "ServeClient",
+    "ServeError",
     "ServeStats",
     "SolveServer",
     "decode_line",

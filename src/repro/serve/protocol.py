@@ -22,8 +22,26 @@ Operations (see :class:`repro.serve.server.SolveServer` for semantics):
 ``solve_batch``
     Same, with ``"requests": [<deletions>, ...]`` and a ``"results"``
     array (one entry per request, errors inline).
-``stats`` / ``ping`` / ``unregister`` / ``shutdown``
+``health``
+    ``{"op": "health"}`` → readiness/draining flags, pool
+    configuration, journal lag, active shared-memory segment count,
+    per-route circuit-breaker states, and in-flight watermarks.
+``shutdown``
+    ``{"op": "shutdown", "mode"?: "now"|"drain"}``.  ``now`` (the
+    default) keeps the abrupt semantics: pending work gets
+    ``shutting-down`` errors.  ``drain`` flips the server to draining
+    (new solves rejected with code ``draining``, readiness false),
+    lets in-flight batches finish under the drain budget, then closes.
+``stats`` / ``ping`` / ``unregister``
     Introspection and lifecycle.
+
+``solve`` requests may carry an integer ``"priority"`` (default 0).
+Under overload the server sheds load in tiers: past the *soft*
+watermark only policy-less requests with priority <= 0 are rejected;
+past the hard watermark everything is.  Overload rejections use code
+``overloaded`` and carry a ``retry_after_ms`` hint in the error object
+that :class:`repro.serve.client.ServeClient` honors with seeded
+jittered backoff.
 
 The policy document mirrors
 :meth:`repro.core.resilience.SolvePolicy.as_dict`; absent fields take
@@ -78,11 +96,15 @@ def decode_line(line: bytes) -> dict:
     return message
 
 
-def error_response(code: str, message: str, request_id: Any = None) -> dict:
-    response: dict[str, Any] = {
-        "ok": False,
-        "error": {"code": code, "message": message},
-    }
+def error_response(
+    code: str, message: str, request_id: Any = None, **extra: Any
+) -> dict:
+    """An error response document.  ``extra`` fields land inside the
+    error object (e.g. ``retry_after_ms`` on ``overloaded``/``draining``
+    rejections, so clients can back off intelligently)."""
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    response: dict[str, Any] = {"ok": False, "error": error}
     if request_id is not None:
         response["id"] = request_id
     return response

@@ -1,0 +1,151 @@
+"""The durable registration journal (:mod:`repro.serve.journal`):
+append/replay round trips, torn-tail healing, corruption detection,
+tombstones, compaction, and stale-segment reaping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.journal import (
+    JournalError,
+    JournalRecord,
+    RegistrationJournal,
+)
+
+
+def _record(n: int, segments=()) -> JournalRecord:
+    return JournalRecord(
+        op="register",
+        instance=f"crc32:{n:08x}",
+        problem={"relations": {"R": [["a", n]]}},
+        profile={"key_preserving": True, "n": n},
+        options={"max_pending": 8},
+        segments=tuple(segments),
+    )
+
+
+def test_record_round_trip():
+    record = _record(7, segments=("repro_jdeadbeef",))
+    assert JournalRecord.from_dict(record.as_dict()) == record
+    tombstone = JournalRecord(op="unregister", instance="crc32:00000007")
+    assert JournalRecord.from_dict(tombstone.as_dict()) == tombstone
+
+
+def test_record_rejects_malformed_documents():
+    with pytest.raises(JournalError):
+        JournalRecord.from_dict({"op": "mystery", "instance": "x"})
+    with pytest.raises(JournalError):
+        JournalRecord.from_dict({"op": "register", "instance": "x"})
+
+
+def test_append_replay_applies_tombstones_in_order(tmp_path):
+    journal = RegistrationJournal(tmp_path)
+    journal.append(_record(1))
+    journal.append(_record(2))
+    journal.append_unregister(_record(1).instance)
+    journal.append(_record(3))
+    live = journal.replay()
+    assert [r.instance for r in live] == [
+        _record(2).instance, _record(3).instance
+    ]
+    # A re-registration after a tombstone resurrects the instance.
+    journal.append(_record(1))
+    assert _record(1).instance in {r.instance for r in journal.replay()}
+    journal.close()
+
+
+def test_torn_tail_is_healed_not_fatal(tmp_path):
+    journal = RegistrationJournal(tmp_path)
+    journal.append(_record(1))
+    journal.close()
+    # Simulate a SIGKILL mid-append: half of record 2's line on disk.
+    path = tmp_path / "registrations.jsonl"
+    line = json.dumps(_record(2).as_dict()).encode() + b"\n"
+    with open(path, "ab") as handle:
+        handle.write(line[: len(line) // 2])
+    # Replay drops the unacknowledged fragment and counts it.
+    fresh = RegistrationJournal(tmp_path)
+    live = fresh.replay()
+    assert [r.instance for r in live] == [_record(1).instance]
+    assert fresh.torn_records == 1
+    # The next append first truncates the torn tail, so the journal
+    # never fuses a fragment with a later record.
+    fresh.append(_record(3))
+    live = fresh.replay()
+    assert [r.instance for r in live] == [
+        _record(1).instance, _record(3).instance
+    ]
+    fresh.close()
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    journal = RegistrationJournal(tmp_path)
+    journal.append(_record(1))
+    journal.append(_record(2))
+    journal.close()
+    path = tmp_path / "registrations.jsonl"
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[0] = b"{broken json\n"
+    path.write_bytes(b"".join(lines))
+    with pytest.raises(JournalError):
+        RegistrationJournal(tmp_path).replay()
+
+
+def test_compaction_rewrites_live_set_and_keeps_one_generation(tmp_path):
+    journal = RegistrationJournal(tmp_path)
+    for n in range(4):
+        journal.append(_record(n))
+    journal.append_unregister(_record(0).instance)
+    journal.compact()
+    assert journal.compactions == 1
+    # The compacted file holds exactly the live set, one record per
+    # line, and the previous journal survives as the .1 generation.
+    lines = (tmp_path / "registrations.jsonl").read_bytes().splitlines()
+    assert len(lines) == 3
+    assert (tmp_path / "registrations.jsonl.1").exists()
+    live = journal.replay()
+    assert {r.instance for r in live} == {
+        _record(n).instance for n in (1, 2, 3)
+    }
+    # Appends keep working after compaction.
+    journal.append(_record(9))
+    assert len(journal.replay()) == 4
+    journal.close()
+
+
+def test_auto_compaction_past_max_bytes(tmp_path):
+    journal = RegistrationJournal(tmp_path, max_bytes=400)
+    for _ in range(10):
+        journal.append(_record(1))  # same instance: live set stays 1
+    assert journal.compactions >= 1
+    assert (tmp_path / "registrations.jsonl").stat().st_size <= 400
+    journal.close()
+
+
+def test_reap_stale_segments_unlinks_recorded_names(tmp_path):
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(
+        create=True, name="repro_jtestreap", size=16
+    )
+    segment.close()
+    journal = RegistrationJournal(tmp_path)
+    reaped = journal.reap_stale_segments(
+        [_record(1, segments=("repro_jtestreap", "repro_jnosuch"))]
+    )
+    assert reaped == ["repro_jtestreap"]
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name="repro_jtestreap")
+    journal.close()
+
+
+def test_lag_reports_counters(tmp_path):
+    journal = RegistrationJournal(tmp_path)
+    journal.append(_record(1))
+    lag = journal.lag()
+    assert lag["appends"] == 1
+    assert lag["bytes"] > 0
+    assert lag["compactions"] == 0
+    journal.close()
